@@ -1,0 +1,56 @@
+//! Criterion benches for the circuit-level use case the paper motivates:
+//! the compact CNFET inside a SPICE-like engine (inverter VTC sweep and a
+//! ring-oscillator transient).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cntfet_bench::paper_device;
+use cntfet_circuit::prelude::*;
+use cntfet_core::CompactCntFet;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn tech() -> CntTechnology {
+    let model = Arc::new(CompactCntFet::model2(paper_device(300.0, -0.32)).expect("fit"));
+    CntTechnology::symmetric(model, 0.8)
+}
+
+fn bench_inverter_vtc(c: &mut Criterion) {
+    let t = tech();
+    c.bench_function("inverter_vtc_33pts", |b| {
+        b.iter(|| {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let vin = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.add(VoltageSource::dc("VDD", vdd, Circuit::ground(), t.vdd));
+            ckt.add(VoltageSource::dc("VIN", vin, Circuit::ground(), 0.0));
+            add_inverter(&mut ckt, &t, "inv", vin, out, vdd);
+            let vals: Vec<f64> = (0..33).map(|i| t.vdd * i as f64 / 32.0).collect();
+            black_box(dc_sweep(&mut ckt, "VIN", &vals).expect("vtc sweep"))
+        })
+    });
+}
+
+fn bench_ring_transient(c: &mut Criterion) {
+    let t = tech();
+    let mut group = c.benchmark_group("ring_oscillator");
+    group.sample_size(10);
+    group.bench_function("ring3_200steps", |b| {
+        b.iter(|| {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            ckt.add(VoltageSource::dc("VDD", vdd, Circuit::ground(), t.vdd));
+            let nodes = add_ring_oscillator(&mut ckt, &t, "ring", 3, vdd);
+            // Kick the ring out of its metastable point.
+            let mut x0 = vec![0.0; ckt.unknown_count()];
+            if let Some(i) = nodes[0].unknown_index() {
+                x0[i] = t.vdd;
+            }
+            black_box(solve_transient(&ckt, 2e-9, 1e-11, Some(&x0)).expect("ring transient"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inverter_vtc, bench_ring_transient);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches behind Table I: single-point and full-family model
+//! evaluation cost for the reference model vs the compact models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cntfet_bench::{paper_device, table_vds_grid, FIG6_VG};
+use cntfet_core::CompactCntFet;
+use cntfet_reference::BallisticModel;
+use std::hint::black_box;
+
+fn bench_single_point(c: &mut Criterion) {
+    let params = paper_device(300.0, -0.32);
+    let reference = BallisticModel::new(params.clone());
+    let m1 = CompactCntFet::model1(params.clone()).expect("model 1 fit");
+    let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+
+    let mut group = c.benchmark_group("single_bias_point");
+    group.bench_function("reference_newton_quadrature", |b| {
+        b.iter(|| {
+            black_box(
+                reference
+                    .solve_point(black_box(0.5), black_box(0.4), 0.0)
+                    .expect("reference point")
+                    .ids,
+            )
+        })
+    });
+    group.bench_function("model1_closed_form", |b| {
+        b.iter(|| black_box(m1.ids(black_box(0.5), black_box(0.4)).expect("m1")))
+    });
+    group.bench_function("model2_closed_form", |b| {
+        b.iter(|| black_box(m2.ids(black_box(0.5), black_box(0.4)).expect("m2")))
+    });
+    group.finish();
+}
+
+fn bench_family(c: &mut Criterion) {
+    let params = paper_device(300.0, -0.32);
+    let reference = BallisticModel::new(params.clone());
+    let m1 = CompactCntFet::model1(params.clone()).expect("model 1 fit");
+    let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+    let grid = table_vds_grid();
+
+    let mut group = c.benchmark_group("seven_curve_family");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("reference", "7x31"), |b| {
+        b.iter(|| {
+            for &vg in &FIG6_VG {
+                black_box(
+                    reference
+                        .output_characteristic(vg, &grid)
+                        .expect("reference sweep"),
+                );
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("model1", "7x31"), |b| {
+        b.iter(|| {
+            for &vg in &FIG6_VG {
+                black_box(m1.output_characteristic(vg, &grid).expect("m1 sweep"));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("model2", "7x31"), |b| {
+        b.iter(|| {
+            for &vg in &FIG6_VG {
+                black_box(m2.output_characteristic(vg, &grid).expect("m2 sweep"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_point, bench_family);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches isolating the paper's core claim: the closed-form
+//! self-consistent-voltage solution vs Newton–Raphson over quadrature,
+//! plus the one-off cost of fitting (which is amortised over every
+//! subsequent evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cntfet_bench::paper_device;
+use cntfet_core::spec::PiecewiseSpec;
+use cntfet_core::CompactCntFet;
+use cntfet_reference::{BiasPoint, ScfSolver};
+use std::hint::black_box;
+
+fn bench_scf(c: &mut Criterion) {
+    let params = paper_device(300.0, -0.32);
+    let newton = ScfSolver::new(&params, 1e-9);
+    let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+
+    let mut group = c.benchmark_group("self_consistent_voltage");
+    group.bench_function("newton_over_quadrature", |b| {
+        b.iter(|| {
+            black_box(
+                newton
+                    .solve(BiasPoint::common_source(black_box(0.5), black_box(0.4)), 0.0)
+                    .expect("newton scf")
+                    .vsc,
+            )
+        })
+    });
+    group.bench_function("closed_form_cubic", |b| {
+        b.iter(|| black_box(m2.vsc(black_box(0.5), black_box(0.4)).expect("closed form")))
+    });
+    group.finish();
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let params = paper_device(300.0, -0.32);
+    let mut group = c.benchmark_group("one_off_fitting");
+    group.sample_size(10);
+    group.bench_function("fit_model1", |b| {
+        b.iter(|| black_box(CompactCntFet::model1(params.clone()).expect("fit")))
+    });
+    group.bench_function("fit_model2", |b| {
+        b.iter(|| black_box(CompactCntFet::model2(params.clone()).expect("fit")))
+    });
+    group.bench_function("fit_custom_5piece", |b| {
+        let spec = PiecewiseSpec::custom(vec![-0.4, -0.2, -0.05, 0.12], vec![1, 2, 3, 3])
+            .expect("spec");
+        b.iter(|| {
+            black_box(CompactCntFet::from_spec(params.clone(), spec.clone()).expect("fit"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scf, bench_fitting);
+criterion_main!(benches);

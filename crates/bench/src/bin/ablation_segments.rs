@@ -1,0 +1,58 @@
+//! Ablation study: accuracy/speed trade-off versus the number of
+//! piecewise segments — the investigation the paper lists as ongoing work
+//! ("It is possible to use more sections for an even higher accuracy but
+//! at some computational expense").
+//!
+//! Sweeps region layouts from the paper's 3-piece Model 1 up to a
+//! 6-piece custom model, reporting the mean RMS accuracy over
+//! `V_G = 0.1 … 0.6 V` and the evaluation throughput.
+
+use cntfet_bench::{paper_device, table_vds_grid, time_loops, TABLE_VG};
+use cntfet_core::spec::PiecewiseSpec;
+use cntfet_core::validation::rms_error_percent;
+use cntfet_core::CompactCntFet;
+use cntfet_reference::BallisticModel;
+
+fn main() {
+    let params = paper_device(300.0, -0.32);
+    let reference = BallisticModel::new(params.clone());
+    let grid = table_vds_grid();
+
+    let layouts: Vec<(&str, PiecewiseSpec)> = vec![
+        ("model1 (3 regions)", PiecewiseSpec::model1()),
+        ("model2 (4 regions)", PiecewiseSpec::model2()),
+        (
+            "5 regions",
+            PiecewiseSpec::custom(vec![-0.40, -0.20, -0.05, 0.12], vec![1, 2, 3, 3])
+                .expect("valid spec"),
+        ),
+        (
+            "6 regions",
+            PiecewiseSpec::custom(vec![-0.45, -0.30, -0.15, -0.03, 0.12], vec![1, 2, 3, 3, 3])
+                .expect("valid spec"),
+        ),
+    ];
+
+    println!("Ablation: piecewise segment count vs accuracy and speed (T=300K, EF=-0.32eV)");
+    println!(
+        "{:<22}  {:>10}  {:>10}  {:>14}",
+        "layout", "mean RMS", "max RMS", "evals/second"
+    );
+    for (name, spec) in layouts {
+        let model = CompactCntFet::from_spec(params.clone(), spec).expect("fit");
+        let errs: Vec<f64> = TABLE_VG
+            .iter()
+            .map(|&vg| rms_error_percent(&model, &reference, vg, &grid).expect("rms"))
+            .collect();
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let max = errs.iter().fold(0.0f64, |m, e| m.max(*e));
+        let loops = 20_000usize;
+        let dt = time_loops(loops, || {
+            let _ = model.ids(0.5, 0.4).expect("ids");
+        });
+        println!(
+            "{name:<22}  {mean:>9.2}%  {max:>9.2}%  {:>14.0}",
+            loops as f64 / dt
+        );
+    }
+}

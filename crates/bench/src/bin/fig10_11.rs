@@ -1,0 +1,38 @@
+//! Regenerates **Figs. 10 and 11**: the (surrogate) experimental I–V
+//! points vs the reference model and Model 1 (Fig. 10) / Model 2
+//! (Fig. 11) for the Javey et al. device at `V_G ∈ {0, 0.2, 0.4, 0.6}`.
+
+use cntfet_core::CompactCntFet;
+use cntfet_expdata::JaveyDataset;
+use cntfet_numerics::interp::linspace;
+use cntfet_reference::{BallisticModel, DeviceParams};
+
+fn main() {
+    let data = JaveyDataset::new(2024);
+    let params = DeviceParams::javey_experimental();
+    let reference = BallisticModel::new(params.clone());
+    let m1 = CompactCntFet::model1(params.clone()).expect("model 1 fit");
+    let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+    let grid = linspace(0.0, 0.4, 21);
+
+    println!("Figs. 10-11: experiment (surrogate) vs reference vs Model 1 / Model 2");
+    println!("d=1.6nm, tox=50nm, T=300K, EF=-0.05eV (paper peak ~1e-5 A at VG=0.6)");
+    for &vg in &[0.0, 0.2, 0.4, 0.6] {
+        let measured = data.curve(vg, &grid).expect("surrogate");
+        println!("VG = {vg} V");
+        println!(
+            "{:>8}  {:>12}  {:>12}  {:>12}  {:>12}",
+            "VDS[V]", "experiment", "reference", "model1", "model2"
+        );
+        for (i, &vds) in grid.iter().enumerate() {
+            let r = reference.solve_point(vg, vds, 0.0).expect("reference").ids;
+            let i1 = m1.solve_point(vg, vds).expect("m1").ids;
+            let i2 = m2.solve_point(vg, vds).expect("m2").ids;
+            println!(
+                "{vds:>8.3}  {:>12.4e}  {r:>12.4e}  {i1:>12.4e}  {i2:>12.4e}",
+                measured.ids[i]
+            );
+        }
+        println!();
+    }
+}

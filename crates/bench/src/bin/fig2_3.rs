@@ -1,0 +1,40 @@
+//! Regenerates **Figs. 2 and 3**: the piecewise approximations of the
+//! mobile charge `Q_S(V_SC)` for Model 1 (three regions) and Model 2
+//! (four regions), with the region boundaries annotated.
+//!
+//! Columns: `V_SC`, theoretical `Q_S`, Model 1, Model 2, and the region
+//! index each model evaluates in.
+
+use cntfet_bench::paper_device;
+use cntfet_core::CompactCntFet;
+use cntfet_numerics::interp::linspace;
+use cntfet_reference::ChargeModel;
+
+fn main() {
+    let params = paper_device(300.0, -0.32);
+    let ef = params.fermi_level.value();
+    let charge = ChargeModel::new(&params, 1e-9);
+    let m1 = CompactCntFet::model1(params.clone()).expect("model 1 fit");
+    let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+    let qn0_half = 0.5 * m1.equilibrium_charge();
+
+    println!("Figs. 2-3: piecewise approximation of Q_S(V_SC), T=300K, EF=-0.32eV");
+    println!("Model 1 boundaries at EF/q + {{-0.08, +0.08}} V: {:?}", m1.charge().breakpoints());
+    println!("Model 2 boundaries at EF/q + {{-0.28, -0.03, +0.12}} V: {:?}", m2.charge().breakpoints());
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}  {:>4}  {:>4}",
+        "VSC[V]", "theory[C/m]", "model1", "model2", "r1", "r2"
+    );
+    for v in linspace(ef - 0.5, ef + 0.2, 36) {
+        // Model curves store q·N_S; subtract qN0/2 to plot the paper's
+        // Q_S = q(N_S − N0/2) definition for both theory and models.
+        let theory = charge.q_s(v);
+        let q1 = m1.charge().eval(v) - qn0_half;
+        let q2 = m2.charge().eval(v) - qn0_half;
+        println!(
+            "{v:>8.3}  {theory:>12.4e}  {q1:>12.4e}  {q2:>12.4e}  {:>4}  {:>4}",
+            m1.charge().region_index(v),
+            m2.charge().region_index(v)
+        );
+    }
+}

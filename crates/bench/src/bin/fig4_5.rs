@@ -1,0 +1,36 @@
+//! Regenerates **Figs. 4 and 5**: theoretical source and drain mobile
+//! charge densities `Q_S`, `Q_D` at `T = 300 K`, `E_F = −0.32 eV`
+//! compared with their piecewise approximations (Model 1 in Fig. 4,
+//! Model 2 in Fig. 5) at a representative drain bias.
+
+use cntfet_bench::paper_device;
+use cntfet_core::CompactCntFet;
+use cntfet_numerics::interp::linspace;
+use cntfet_reference::ChargeModel;
+
+fn main() {
+    let params = paper_device(300.0, -0.32);
+    let ef = params.fermi_level.value();
+    let vds = 0.2;
+    let charge = ChargeModel::new(&params, 1e-9);
+    let m1 = CompactCntFet::model1(params.clone()).expect("model 1 fit");
+    let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+    let half = 0.5 * m1.equilibrium_charge();
+
+    println!("Figs. 4-5: Q_S and Q_D vs V_SC at T=300K, EF=-0.32eV, VDS={vds}V");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
+        "VSC[V]", "QS theory", "QS m1", "QS m2", "QD theory", "QD m1", "QD m2"
+    );
+    for v in linspace(ef - 0.3, ef + 0.15, 28) {
+        let qs_t = charge.q_s(v);
+        let qd_t = charge.q_d(v, vds);
+        let qs_1 = m1.charge().eval(v) - half;
+        let qs_2 = m2.charge().eval(v) - half;
+        let qd_1 = m1.charge().eval(v + vds) - half;
+        let qd_2 = m2.charge().eval(v + vds) - half;
+        println!(
+            "{v:>8.3}  {qs_t:>12.4e}  {qs_1:>12.4e}  {qs_2:>12.4e}  {qd_t:>12.4e}  {qd_1:>12.4e}  {qd_2:>12.4e}"
+        );
+    }
+}

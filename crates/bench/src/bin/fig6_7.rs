@@ -1,0 +1,37 @@
+//! Regenerates **Figs. 6 and 7**: drain-current characteristics at
+//! `T = 300 K`, `E_F = −0.32 eV` for the reference model vs Model 1
+//! (Fig. 6) and Model 2 (Fig. 7), `V_G = 0.3 … 0.6 V`.
+
+use cntfet_bench::{paper_device, print_family, table_vds_grid, FIG6_VG};
+use cntfet_core::CompactCntFet;
+use cntfet_reference::BallisticModel;
+
+fn main() {
+    let params = paper_device(300.0, -0.32);
+    let reference = BallisticModel::new(params.clone());
+    let m1 = CompactCntFet::model1(params.clone()).expect("model 1 fit");
+    let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+    let grid = table_vds_grid();
+
+    let mut labels = Vec::new();
+    let mut series = Vec::new();
+    for &vg in &FIG6_VG {
+        labels.push(format!("ref@{vg:.2}"));
+        series.push(
+            reference
+                .output_characteristic(vg, &grid)
+                .expect("reference sweep")
+                .currents(),
+        );
+        labels.push(format!("m1@{vg:.2}"));
+        series.push(m1.output_characteristic(vg, &grid).expect("m1").currents());
+        labels.push(format!("m2@{vg:.2}"));
+        series.push(m2.output_characteristic(vg, &grid).expect("m2").currents());
+    }
+    print_family(
+        "Figs. 6-7: IDS(VDS) families, T=300K, EF=-0.32eV (paper peak ~9e-6 A at VG=0.6)",
+        &grid,
+        &labels,
+        &series,
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Figs. 8 and 9**: Model 2 vs the reference at the
+//! temperature/Fermi-level extremes — `T = 150 K, E_F = 0 eV` (Fig. 8,
+//! `V_G = 0.1 … 0.6 V`) and `T = 450 K, E_F = −0.5 eV` (Fig. 9,
+//! `V_G = 0.4 … 0.6 V`).
+
+use cntfet_bench::{paper_device, print_family, table_vds_grid};
+use cntfet_core::CompactCntFet;
+use cntfet_reference::BallisticModel;
+
+fn run_case(title: &str, t: f64, ef: f64, vgs: &[f64]) {
+    let params = paper_device(t, ef);
+    let reference = BallisticModel::new(params.clone());
+    let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+    let grid = table_vds_grid();
+    let mut labels = Vec::new();
+    let mut series = Vec::new();
+    for &vg in vgs {
+        labels.push(format!("ref@{vg:.2}"));
+        series.push(
+            reference
+                .output_characteristic(vg, &grid)
+                .expect("reference sweep")
+                .currents(),
+        );
+        labels.push(format!("m2@{vg:.2}"));
+        series.push(m2.output_characteristic(vg, &grid).expect("m2").currents());
+    }
+    print_family(title, &grid, &labels, &series);
+    println!();
+}
+
+fn main() {
+    run_case(
+        "Fig. 8: T=150K, EF=0eV (paper peak ~3.5e-5 A at VG=0.6)",
+        150.0,
+        0.0,
+        &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+    );
+    run_case(
+        "Fig. 9: T=450K, EF=-0.5eV (paper peak ~3.2e-6 A at VG=0.6)",
+        450.0,
+        -0.5,
+        &[0.4, 0.45, 0.5, 0.55, 0.6],
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table I**: average CPU time of the reference (FETToy)
+//! model vs Model 1 vs Model 2 for 5/10/50/100 invocations of the full
+//! seven-curve `I_DS(V_DS)` family at `T = 300 K`, `E_F = −0.32 eV`.
+//!
+//! Absolute seconds differ from the paper (2008 Pentium IV + MATLAB vs a
+//! modern CPU + Rust); the claim under test is the *ratio*: both compact
+//! models ≥ 3 orders of magnitude faster than the reference, Model 1
+//! faster than Model 2.
+
+use cntfet_bench::{paper_device, table_vds_grid, time_loops, FIG6_VG};
+use cntfet_core::CompactCntFet;
+use cntfet_reference::BallisticModel;
+
+fn main() {
+    let params = paper_device(300.0, -0.32);
+    let reference = BallisticModel::new(params.clone());
+    let m1 = CompactCntFet::model1(params.clone()).expect("model 1 fit");
+    let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+    let grid = table_vds_grid();
+
+    let run_reference = || {
+        for &vg in &FIG6_VG {
+            let _ = reference
+                .output_characteristic(vg, &grid)
+                .expect("reference sweep");
+        }
+    };
+    let run_compact = |m: &CompactCntFet| {
+        for &vg in &FIG6_VG {
+            let _ = m.output_characteristic(vg, &grid).expect("compact sweep");
+        }
+    };
+
+    println!("Table I: average CPU time comparison (this machine)");
+    println!("{:>6}  {:>12}  {:>12}  {:>12}  {:>10}  {:>10}", "Loops", "Reference", "Model 1", "Model 2", "Ref/M1", "Ref/M2");
+    for loops in [5usize, 10, 50, 100] {
+        let t_ref = time_loops(loops, run_reference);
+        let t_m1 = time_loops(loops, || run_compact(&m1));
+        let t_m2 = time_loops(loops, || run_compact(&m2));
+        println!(
+            "{loops:>6}  {t_ref:>11.4}s  {t_m1:>11.4}s  {t_m2:>11.4}s  {:>9.0}x  {:>9.0}x",
+            t_ref / t_m1.max(1e-12),
+            t_ref / t_m2.max(1e-12),
+        );
+    }
+    println!();
+    println!("Paper (Pentium IV, MATLAB FETToy): 100 loops = 1287.45 s vs 0.38 s (M1, ~3400x) / 1.12 s (M2, ~1150x).");
+}

@@ -1,0 +1,12 @@
+//! Regenerates **Table II**: average RMS errors in `I_DS` of Model 1 and
+//! Model 2 against the reference at `E_F = −0.32 eV`, for
+//! `T ∈ {150, 300, 450} K` and `V_G = 0.1 … 0.6 V`.
+
+use cntfet_bench::print_accuracy_table;
+
+fn main() {
+    print_accuracy_table(
+        "Table II: average RMS errors in IDS, EF = -0.32 eV (paper: M1 1.5-4.6%, M2 0.4-2.3%)",
+        -0.32,
+    );
+}

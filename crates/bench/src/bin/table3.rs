@@ -1,0 +1,11 @@
+//! Regenerates **Table III**: average RMS errors in `I_DS` at
+//! `E_F = −0.5 eV`.
+
+use cntfet_bench::print_accuracy_table;
+
+fn main() {
+    print_accuracy_table(
+        "Table III: average RMS errors in IDS, EF = -0.5 eV (paper: M1 1.8-4.8%, M2 0.7-2.8%)",
+        -0.5,
+    );
+}

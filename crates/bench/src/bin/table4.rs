@@ -1,0 +1,11 @@
+//! Regenerates **Table IV**: average RMS errors in `I_DS` at
+//! `E_F = 0 eV`.
+
+use cntfet_bench::print_accuracy_table;
+
+fn main() {
+    print_accuracy_table(
+        "Table IV: average RMS errors in IDS, EF = 0 eV (paper: M1 1.2-4.0%, M2 0.4-2.1%)",
+        0.0,
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table V**: average RMS errors of the reference model,
+//! Model 1 and Model 2 against the (surrogate) experimental measurements
+//! of the Javey et al. device (d = 1.6 nm, t_ox = 50 nm, T = 300 K,
+//! E_F = −0.05 eV) at `V_G ∈ {0.2, 0.4, 0.6}`.
+
+use cntfet_core::validation::rms_error_vs_series_percent;
+use cntfet_core::CompactCntFet;
+use cntfet_expdata::JaveyDataset;
+use cntfet_numerics::interp::linspace;
+use cntfet_reference::{BallisticModel, DeviceParams};
+
+fn main() {
+    let data = JaveyDataset::new(2024);
+    let params = DeviceParams::javey_experimental();
+    let reference = BallisticModel::new(params.clone());
+    let m1 = CompactCntFet::model1(params.clone()).expect("model 1 fit");
+    let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+    let grid = linspace(0.0, 0.4, 21);
+
+    println!("Table V: average RMS errors vs (surrogate) experiment, d=1.6nm tox=50nm T=300K EF=-0.05eV");
+    println!("{:>6}  {:>9}  {:>9}  {:>9}   (paper: 8.5/10.7/9.9 at 0.2V ... 7.2/9.3/8.1 at 0.6V)",
+        "VG[V]", "Reference", "Model 1", "Model 2");
+    for &vg in &[0.2, 0.4, 0.6] {
+        let measured = data.curve(vg, &grid).expect("surrogate curve");
+        let i_ref: Vec<f64> = grid
+            .iter()
+            .map(|&v| reference.solve_point(vg, v, 0.0).expect("reference").ids)
+            .collect();
+        let i_m1 = m1
+            .output_characteristic(vg, &grid)
+            .expect("model 1 sweep")
+            .currents();
+        let i_m2 = m2
+            .output_characteristic(vg, &grid)
+            .expect("model 2 sweep")
+            .currents();
+        println!(
+            "{vg:>6.1}  {:>8.1}%  {:>8.1}%  {:>8.1}%",
+            rms_error_vs_series_percent(&i_ref, &measured.ids),
+            rms_error_vs_series_percent(&i_m1, &measured.ids),
+            rms_error_vs_series_percent(&i_m2, &measured.ids),
+        );
+    }
+}

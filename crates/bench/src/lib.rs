@@ -1,0 +1,133 @@
+//! Shared harness code for the experiment-regeneration binaries and the
+//! Criterion benches.
+//!
+//! One binary per paper table/figure lives in `src/bin/`; each prints the
+//! same rows/series the paper reports (see `DESIGN.md` §5 for the
+//! experiment index and `EXPERIMENTS.md` for recorded results).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use cntfet_core::validation::accuracy_table;
+use cntfet_core::CompactCntFet;
+use cntfet_numerics::interp::linspace;
+use cntfet_physics::units::{ElectronVolts, Kelvin};
+use cntfet_reference::{BallisticModel, DeviceParams};
+use std::time::Instant;
+
+/// The gate-voltage column of Tables II–IV.
+pub const TABLE_VG: [f64; 6] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+
+/// The drain sweep used for every accuracy table (0 → 0.6 V).
+pub fn table_vds_grid() -> Vec<f64> {
+    linspace(0.0, 0.6, 31)
+}
+
+/// The seven-curve output family of Figs. 6–7
+/// (`V_G = 0.3 … 0.6 V` in 0.05 V steps).
+pub const FIG6_VG: [f64; 7] = [0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6];
+
+/// Builds the device of Tables I–IV / Figs. 2–9 at the given temperature
+/// and Fermi level.
+pub fn paper_device(t_kelvin: f64, ef_ev: f64) -> DeviceParams {
+    DeviceParams::paper_default()
+        .with_temperature(Kelvin(t_kelvin))
+        .with_fermi_level(ElectronVolts(ef_ev))
+}
+
+/// Prints one of the paper's accuracy tables (II, III or IV) for the
+/// given Fermi level: rows are `V_G`, column pairs are Model 1 / Model 2
+/// at 150, 300 and 450 K.
+///
+/// # Panics
+///
+/// Panics if any model fails to construct or evaluate — these are
+/// regeneration binaries where failure should be loud.
+pub fn print_accuracy_table(title: &str, ef_ev: f64) {
+    println!("{title}");
+    println!("        150K            300K            450K");
+    println!("VG[V]   M1      M2      M1      M2      M1      M2");
+    let grid = table_vds_grid();
+    let mut columns: Vec<Vec<(f64, f64)>> = Vec::new();
+    for t in [150.0, 300.0, 450.0] {
+        let params = paper_device(t, ef_ev);
+        let m1 = CompactCntFet::model1(params.clone()).expect("model 1 fit");
+        let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
+        let reference = BallisticModel::new(params);
+        let table = accuracy_table(&[&m1, &m2], &reference, &TABLE_VG, &grid)
+            .expect("accuracy table evaluation");
+        columns.push(
+            table
+                .into_iter()
+                .map(|row| (row.errors_percent[0], row.errors_percent[1]))
+                .collect(),
+        );
+    }
+    for (i, &vg) in TABLE_VG.iter().enumerate() {
+        print!("{vg:.1}  ");
+        for col in &columns {
+            print!("  {:5.1}%  {:5.1}%", col[i].0, col[i].1);
+        }
+        println!();
+    }
+}
+
+/// Wall-clock time of `f` invoked `loops` times, in seconds.
+pub fn time_loops<F: FnMut()>(loops: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..loops {
+        f();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Prints an I–V family as aligned columns: `V_DS`, then one current
+/// column per gate voltage and model.
+pub fn print_family(
+    header: &str,
+    vds_grid: &[f64],
+    labels: &[String],
+    series: &[Vec<f64>],
+) {
+    println!("{header}");
+    print!("{:>8}", "VDS[V]");
+    for l in labels {
+        print!("  {l:>12}");
+    }
+    println!();
+    for (i, vds) in vds_grid.iter().enumerate() {
+        print!("{vds:>8.3}");
+        for s in series {
+            print!("  {:>12.4e}", s[i]);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_device_applies_overrides() {
+        let d = paper_device(450.0, -0.5);
+        assert_eq!(d.temperature.value(), 450.0);
+        assert_eq!(d.fermi_level.value(), -0.5);
+    }
+
+    #[test]
+    fn vds_grid_covers_paper_range() {
+        let g = table_vds_grid();
+        assert_eq!(g[0], 0.0);
+        assert_eq!(*g.last().unwrap(), 0.6);
+        assert_eq!(g.len(), 31);
+    }
+
+    #[test]
+    fn time_loops_counts_invocations() {
+        let mut n = 0;
+        let dt = time_loops(5, || n += 1);
+        assert_eq!(n, 5);
+        assert!(dt >= 0.0);
+    }
+}

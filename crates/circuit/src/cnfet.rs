@@ -1,0 +1,320 @@
+//! The CNFET circuit element — the paper's Fig. 1 equivalent circuit.
+//!
+//! The element owns one extra MNA unknown: the inner node Σ that "comprises
+//! all the CNT charges". Its row is the charge-balance form of the
+//! self-consistent voltage equation,
+//!
+//! ```text
+//! F_Σ = C_Σ·V_SC + Q_t + qN₀ − q̂N_S(V_SC) − q̂N_S(V_SC + V_DS) = 0
+//! ```
+//!
+//! with `V_SC = V_Σ − V_S`, `Q_t = C_G(V_G−V_S) + C_D(V_D−V_S)` (source-
+//! referenced). Because the fitted charge `q̂N_S` is piecewise polynomial,
+//! each Newton iteration of the *circuit* sees cheap closed-form values
+//! and derivatives — no quadrature, no nested solver: this is exactly how
+//! the paper intends the model to live inside a SPICE-like engine.
+//!
+//! The ballistic transport current `I_DS(V_SC, V_DS)` (paper eq. 14) is a
+//! voltage-controlled current source from drain to source. In transient
+//! analysis the three terminal capacitances carry displacement currents
+//! between the terminals and Σ (backward-Euler companions), scaled by the
+//! device length.
+//!
+//! P-type devices are modelled by mirror symmetry: an ideal p-CNFET is an
+//! n-CNFET with every terminal voltage negated and every current
+//! reversed. The Σ unknown of a p-device stores the *mirrored* inner
+//! voltage.
+
+use crate::element::{node_voltage, AnalysisMode, Element, Mna};
+use crate::netlist::NodeId;
+use cntfet_core::CompactCntFet;
+use cntfet_physics::constants::BALLISTIC_CURRENT_PREFACTOR;
+use cntfet_physics::fermi::fermi_integral_zero_derivative;
+use cntfet_reference::current::drain_current;
+use std::sync::Arc;
+
+/// Channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Electron conduction (the paper's device).
+    N,
+    /// Hole conduction, modelled by mirror symmetry.
+    P,
+}
+
+/// A ballistic CNFET instance in a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_circuit::netlist::Circuit;
+/// use cntfet_circuit::cnfet::{CnfetElement, Polarity};
+/// use cntfet_core::CompactCntFet;
+/// use cntfet_reference::DeviceParams;
+/// use std::sync::Arc;
+///
+/// let model = Arc::new(CompactCntFet::model2(DeviceParams::paper_default())?);
+/// let mut c = Circuit::new();
+/// let (d, g) = (c.node("d"), c.node("g"));
+/// c.add(CnfetElement::new("M1", model, Polarity::N, d, g, Circuit::ground(), 100e-9));
+/// # Ok::<(), cntfet_core::CompactModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CnfetElement {
+    name: String,
+    model: Arc<CompactCntFet>,
+    polarity: Polarity,
+    drain: NodeId,
+    gate: NodeId,
+    source: NodeId,
+    /// Channel length in metres (converts per-unit-length capacitances to
+    /// farads for transient terminal currents).
+    length: f64,
+}
+
+impl CnfetElement {
+    /// Creates a CNFET of the given polarity with channel `length`
+    /// metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length <= 0`.
+    pub fn new(
+        name: &str,
+        model: Arc<CompactCntFet>,
+        polarity: Polarity,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        length: f64,
+    ) -> Self {
+        assert!(length > 0.0, "channel length must be positive");
+        CnfetElement {
+            name: name.to_string(),
+            model,
+            polarity,
+            drain,
+            gate,
+            source,
+            length,
+        }
+    }
+
+    fn sign(&self) -> f64 {
+        match self.polarity {
+            Polarity::N => 1.0,
+            Polarity::P => -1.0,
+        }
+    }
+
+    /// Drain current and its partial derivatives w.r.t. `(vsc, vds)` in
+    /// mirrored (n-type) space.
+    fn current_core(&self, vsc: f64, vds: f64) -> (f64, f64, f64) {
+        let p = self.model.params();
+        let ef = p.fermi_level.value();
+        let kt = p.thermal_energy_ev();
+        let temperature = p.temperature.value();
+        let i = drain_current(ef, vsc, vds, temperature, kt);
+        let k = BALLISTIC_CURRENT_PREFACTOR * temperature / kt;
+        let sig_s = fermi_integral_zero_derivative((ef - vsc) / kt);
+        let sig_d = fermi_integral_zero_derivative((ef - vsc - vds) / kt);
+        let di_dvsc = -k * (sig_s - sig_d);
+        let di_dvds = k * sig_d;
+        (i, di_dvsc, di_dvds)
+    }
+}
+
+impl Element for CnfetElement {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn extra_vars(&self) -> usize {
+        1 // the inner node Σ (mirrored voltage for P devices)
+    }
+
+    fn stamp(&self, x: &[f64], sigma: usize, mode: &AnalysisMode, mna: &mut Mna<'_>) {
+        let s = self.sign();
+        // Mirrored terminal voltages (identity for N devices).
+        let vd = s * node_voltage(x, self.drain);
+        let vg = s * node_voltage(x, self.gate);
+        let vs = s * node_voltage(x, self.source);
+        let vsig = x[sigma];
+        let vsc = vsig - vs;
+        let vds = vd - vs;
+
+        let caps = self.model.params().capacitances;
+        let charge = self.model.charge();
+        let q_src = charge.eval(vsc);
+        let dq_src = charge.eval_derivative(vsc);
+        let q_drn = charge.eval(vsc + vds);
+        let dq_drn = charge.eval_derivative(vsc + vds);
+
+        // --- Σ row: charge balance (units C/m). -------------------------
+        let qt = caps.gate * (vg - vs) + caps.drain * (vd - vs);
+        let f_sigma = caps.total() * vsc + qt + self.model.equilibrium_charge() - q_src - q_drn;
+        mna.add_f_extra(sigma, f_sigma);
+        // ∂F/∂vσ (mirrored unknown, no sign factor).
+        mna.add_j_extra_extra(sigma, sigma, caps.total() - dq_src - dq_drn);
+        // ∂F/∂(node voltages): chain through the mirror (× s).
+        // vsc depends on vs; vds on vd, vs; qt on vg, vd, vs.
+        let df_dvg = caps.gate;
+        let df_dvd = caps.drain - dq_drn;
+        let df_dvs = -caps.total() - caps.gate - caps.drain + dq_src + 2.0 * dq_drn;
+        mna.add_j_extra_node(sigma, self.gate, s * df_dvg);
+        mna.add_j_extra_node(sigma, self.drain, s * df_dvd);
+        mna.add_j_extra_node(sigma, self.source, s * df_dvs);
+
+        // --- Transport current source drain → source. -------------------
+        let (i_core, di_dvsc, di_dvds) = self.current_core(vsc, vds);
+        // Real current into the real drain is s·i_core.
+        mna.add_f_node(self.drain, s * i_core);
+        mna.add_f_node(self.source, -s * i_core);
+        // ∂(s·i)/∂x[node] = s · (∂i/∂v_mirror) · s = ∂i/∂v_mirror.
+        let di_dvd_m = di_dvds;
+        let di_dvs_m = -di_dvsc - di_dvds;
+        if let Some(r) = self.drain.unknown_index() {
+            mna.jacobian[(r, r)] += di_dvd_m;
+            if let Some(c) = self.source.unknown_index() {
+                mna.jacobian[(r, c)] += di_dvs_m;
+            }
+            mna.add_j_node_extra(self.drain, sigma, s * di_dvsc);
+        }
+        if let Some(r) = self.source.unknown_index() {
+            if let Some(c) = self.drain.unknown_index() {
+                mna.jacobian[(r, c)] += -di_dvd_m;
+            }
+            mna.jacobian[(r, r)] += -di_dvs_m;
+            mna.add_j_node_extra(self.source, sigma, -s * di_dvsc);
+        }
+
+        // --- Terminal displacement currents (transient only). -----------
+        if let AnalysisMode::Transient { dt, prev, .. } = mode {
+            let prev_vd = s * node_voltage(prev, self.drain);
+            let prev_vg = s * node_voltage(prev, self.gate);
+            let prev_vs = s * node_voltage(prev, self.source);
+            let prev_vsig = prev[sigma];
+            // Per-terminal capacitor to Σ, scaled to farads by length.
+            for (node, c_per_m, v_now, v_prev) in [
+                (self.gate, caps.gate, vg, prev_vg),
+                (self.drain, caps.drain, vd, prev_vd),
+                (self.source, caps.source, vs, prev_vs),
+            ] {
+                let c = c_per_m * self.length;
+                let g = c / dt;
+                let i_core = g * ((v_now - vsig) - (v_prev - prev_vsig));
+                // Mirrored current out of the mirrored node = s·i into the
+                // real node's KCL.
+                mna.add_f_node(node, s * i_core);
+                // ∂/∂(real node voltage) = s·g·s = g.
+                mna.add_j_nodes(node, node, g);
+                mna.add_j_node_extra(node, sigma, -s * g);
+                // The Σ row stays algebraic (charge balance), so the
+                // return current exits through the other terminals via
+                // their own companions; no Σ-row stamp here.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::solve_dc;
+    use crate::element::VoltageSource;
+    use crate::netlist::Circuit;
+    use cntfet_reference::DeviceParams;
+
+    fn model() -> Arc<CompactCntFet> {
+        Arc::new(CompactCntFet::model2(DeviceParams::paper_default()).unwrap())
+    }
+
+    fn single_device_circuit(vg: f64, vd: f64, pol: Polarity) -> (Circuit, NodeId, usize) {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        c.add(VoltageSource::dc("VD", d, Circuit::ground(), vd));
+        c.add(VoltageSource::dc("VG", g, Circuit::ground(), vg));
+        c.add(CnfetElement::new(
+            "M1",
+            model(),
+            pol,
+            d,
+            g,
+            Circuit::ground(),
+            100e-9,
+        ));
+        let bases = c.extra_var_bases();
+        (c, d, bases[2])
+    }
+
+    #[test]
+    fn dc_inner_node_matches_compact_model() {
+        let m = model();
+        for &(vg, vd) in &[(0.3, 0.2), (0.5, 0.4), (0.6, 0.6)] {
+            let (c, _, sigma) = single_device_circuit(vg, vd, Polarity::N);
+            let sol = solve_dc(&c, None).unwrap();
+            let expect = m.vsc(vg, vd).unwrap();
+            assert!(
+                (sol.x[sigma] - expect).abs() < 1e-6,
+                "vg {vg} vd {vd}: circuit {} vs model {expect}",
+                sol.x[sigma]
+            );
+        }
+    }
+
+    #[test]
+    fn dc_drain_current_matches_compact_model() {
+        let m = model();
+        let (c, _, _) = single_device_circuit(0.5, 0.4, Polarity::N);
+        let sol = solve_dc(&c, None).unwrap();
+        // VD branch current = −I_D (source delivers the drain current).
+        let bases = c.extra_var_bases();
+        let i_vd = sol.x[bases[0]];
+        let expect = m.ids(0.5, 0.4).unwrap();
+        assert!(
+            (i_vd + expect).abs() < 1e-9 + 1e-5 * expect,
+            "branch {i_vd} vs −{expect}"
+        );
+    }
+
+    #[test]
+    fn p_device_mirrors_n_device() {
+        let mn = {
+            let (c, _, _) = single_device_circuit(0.5, 0.4, Polarity::N);
+            let bases = c.extra_var_bases();
+            solve_dc(&c, None).unwrap().x[bases[0]]
+        };
+        let mp = {
+            let (c, _, _) = single_device_circuit(-0.5, -0.4, Polarity::P);
+            let bases = c.extra_var_bases();
+            solve_dc(&c, None).unwrap().x[bases[0]]
+        };
+        assert!(
+            (mn + mp).abs() < 1e-9 + 1e-6 * mn.abs(),
+            "n-branch {mn} vs p-branch {mp}"
+        );
+    }
+
+    #[test]
+    fn zero_bias_gives_zero_current() {
+        let (c, _, _) = single_device_circuit(0.0, 0.0, Polarity::N);
+        let sol = solve_dc(&c, None).unwrap();
+        let bases = c.extra_var_bases();
+        assert!(sol.x[bases[0]].abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_panics() {
+        let _ = CnfetElement::new(
+            "M",
+            model(),
+            Polarity::N,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,445 @@
+//! Circuit elements and the MNA stamping interface.
+//!
+//! The solver works on the residual form `F(x) = 0`: every element adds
+//! its Kirchhoff current contributions to `F` and the matching partial
+//! derivatives to the Jacobian. Linear elements (R, sources) contribute
+//! affine terms; the CNFET (in [`crate::cnfet`]) is fully nonlinear.
+
+use crate::netlist::NodeId;
+use cntfet_numerics::linalg::Matrix;
+use std::fmt;
+
+/// What kind of solve is being assembled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisMode {
+    /// DC operating point; `gmin` is a node-to-ground leak added by the
+    /// solver for convergence (not by elements).
+    Dc,
+    /// One backward-Euler transient step of size `dt` ending at time `t`,
+    /// with the converged unknown vector of the previous step.
+    Transient {
+        /// Step size, seconds.
+        dt: f64,
+        /// Absolute time at the end of the step, seconds.
+        t: f64,
+        /// Converged unknowns of the previous time point.
+        prev: Vec<f64>,
+    },
+}
+
+/// Assembly target handed to [`Element::stamp`].
+#[derive(Debug)]
+pub struct Mna<'a> {
+    /// Residual vector `F(x)` (length = unknown count).
+    pub residual: &'a mut [f64],
+    /// Jacobian `∂F/∂x`.
+    pub jacobian: &'a mut Matrix,
+}
+
+impl Mna<'_> {
+    /// Adds `v` to the residual row of `node` (no-op for ground).
+    pub fn add_f_node(&mut self, node: NodeId, v: f64) {
+        if let Some(i) = node.unknown_index() {
+            self.residual[i] += v;
+        }
+    }
+
+    /// Adds `v` to the residual of an extra-variable row.
+    pub fn add_f_extra(&mut self, row: usize, v: f64) {
+        self.residual[row] += v;
+    }
+
+    /// Adds `v` to the Jacobian entry (`row` node, `col` node).
+    pub fn add_j_nodes(&mut self, row: NodeId, col: NodeId, v: f64) {
+        if let (Some(r), Some(c)) = (row.unknown_index(), col.unknown_index()) {
+            self.jacobian[(r, c)] += v;
+        }
+    }
+
+    /// Adds `v` to the Jacobian entry (node row, extra-variable column).
+    pub fn add_j_node_extra(&mut self, row: NodeId, col: usize, v: f64) {
+        if let Some(r) = row.unknown_index() {
+            self.jacobian[(r, col)] += v;
+        }
+    }
+
+    /// Adds `v` to the Jacobian entry (extra-variable row, node column).
+    pub fn add_j_extra_node(&mut self, row: usize, col: NodeId, v: f64) {
+        if let Some(c) = col.unknown_index() {
+            self.jacobian[(row, c)] += v;
+        }
+    }
+
+    /// Adds `v` to the Jacobian entry (extra row, extra column).
+    pub fn add_j_extra_extra(&mut self, row: usize, col: usize, v: f64) {
+        self.jacobian[(row, col)] += v;
+    }
+}
+
+/// Reads a node voltage out of the unknown vector (0 for ground).
+pub fn node_voltage(x: &[f64], node: NodeId) -> f64 {
+    node.unknown_index().map(|i| x[i]).unwrap_or(0.0)
+}
+
+/// A circuit element that can stamp itself into the MNA system.
+pub trait Element: fmt::Debug {
+    /// Unique name used for lookups (e.g. sweeping a source).
+    fn name(&self) -> &str;
+
+    /// Number of extra unknowns this element owns (branch currents,
+    /// internal nodes).
+    fn extra_vars(&self) -> usize {
+        0
+    }
+
+    /// Adds this element's residual and Jacobian contributions at the
+    /// current iterate `x`. `extra_base` is the index of the element's
+    /// first extra variable (meaningless when [`Element::extra_vars`] is
+    /// 0).
+    fn stamp(&self, x: &[f64], extra_base: usize, mode: &AnalysisMode, mna: &mut Mna<'_>);
+
+    /// Updates the element's primary value (source voltage/current).
+    /// Returns `false` if the element has no such notion.
+    fn set_value(&mut self, _value: f64) -> bool {
+        false
+    }
+}
+
+/// A linear resistor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resistor {
+    name: String,
+    a: NodeId,
+    b: NodeId,
+    resistance: f64,
+}
+
+impl Resistor {
+    /// Creates a resistor of `resistance` ohms between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resistance <= 0`.
+    pub fn new(name: &str, a: NodeId, b: NodeId, resistance: f64) -> Self {
+        assert!(resistance > 0.0, "resistance must be positive");
+        Resistor {
+            name: name.to_string(),
+            a,
+            b,
+            resistance,
+        }
+    }
+}
+
+impl Element for Resistor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp(&self, x: &[f64], _extra: usize, _mode: &AnalysisMode, mna: &mut Mna<'_>) {
+        let g = 1.0 / self.resistance;
+        let i = g * (node_voltage(x, self.a) - node_voltage(x, self.b));
+        mna.add_f_node(self.a, i);
+        mna.add_f_node(self.b, -i);
+        mna.add_j_nodes(self.a, self.a, g);
+        mna.add_j_nodes(self.a, self.b, -g);
+        mna.add_j_nodes(self.b, self.a, -g);
+        mna.add_j_nodes(self.b, self.b, g);
+    }
+}
+
+/// A linear capacitor (open at DC, backward-Euler companion in
+/// transient).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    name: String,
+    a: NodeId,
+    b: NodeId,
+    capacitance: f64,
+}
+
+impl Capacitor {
+    /// Creates a capacitor of `capacitance` farads between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance <= 0`.
+    pub fn new(name: &str, a: NodeId, b: NodeId, capacitance: f64) -> Self {
+        assert!(capacitance > 0.0, "capacitance must be positive");
+        Capacitor {
+            name: name.to_string(),
+            a,
+            b,
+            capacitance,
+        }
+    }
+}
+
+impl Element for Capacitor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp(&self, x: &[f64], _extra: usize, mode: &AnalysisMode, mna: &mut Mna<'_>) {
+        if let AnalysisMode::Transient { dt, prev, .. } = mode {
+            let g = self.capacitance / dt;
+            let v_now = node_voltage(x, self.a) - node_voltage(x, self.b);
+            let v_prev = node_voltage(prev, self.a) - node_voltage(prev, self.b);
+            let i = g * (v_now - v_prev);
+            mna.add_f_node(self.a, i);
+            mna.add_f_node(self.b, -i);
+            mna.add_j_nodes(self.a, self.a, g);
+            mna.add_j_nodes(self.a, self.b, -g);
+            mna.add_j_nodes(self.b, self.a, -g);
+            mna.add_j_nodes(self.b, self.b, g);
+        }
+    }
+}
+
+/// Time-dependent source waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Trapezoidal pulse: `low` before `delay`, ramp to `high` over
+    /// `rise`, hold for `width`, ramp back over `fall`, repeat with
+    /// `period` (0 = single shot).
+    Pulse {
+        /// Initial/low level.
+        low: f64,
+        /// Pulsed/high level.
+        high: f64,
+        /// Time before the first edge, s.
+        delay: f64,
+        /// Rise time, s.
+        rise: f64,
+        /// High hold time, s.
+        width: f64,
+        /// Fall time, s.
+        fall: f64,
+        /// Repetition period (0 disables repetition), s.
+        period: f64,
+    },
+    /// `offset + amplitude·sin(2π f t)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency, Hz.
+        frequency: f64,
+    },
+}
+
+impl Waveform {
+    /// Value of the waveform at time `t` (DC analyses use `t = 0`).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match *self {
+            Waveform::Dc(v) => v,
+            Waveform::Pulse {
+                low,
+                high,
+                delay,
+                rise,
+                width,
+                fall,
+                period,
+            } => {
+                let mut tau = t - delay;
+                if tau < 0.0 {
+                    return low;
+                }
+                if period > 0.0 {
+                    tau %= period;
+                }
+                if tau < rise {
+                    low + (high - low) * tau / rise.max(1e-18)
+                } else if tau < rise + width {
+                    high
+                } else if tau < rise + width + fall {
+                    high - (high - low) * (tau - rise - width) / fall.max(1e-18)
+                } else {
+                    low
+                }
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * frequency * t).sin(),
+        }
+    }
+}
+
+/// An ideal voltage source with a branch-current extra variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageSource {
+    name: String,
+    plus: NodeId,
+    minus: NodeId,
+    waveform: Waveform,
+}
+
+impl VoltageSource {
+    /// A DC source of `volts` from `minus` to `plus`.
+    pub fn dc(name: &str, plus: NodeId, minus: NodeId, volts: f64) -> Self {
+        VoltageSource {
+            name: name.to_string(),
+            plus,
+            minus,
+            waveform: Waveform::Dc(volts),
+        }
+    }
+
+    /// A source driven by an arbitrary waveform.
+    pub fn with_waveform(name: &str, plus: NodeId, minus: NodeId, waveform: Waveform) -> Self {
+        VoltageSource {
+            name: name.to_string(),
+            plus,
+            minus,
+            waveform,
+        }
+    }
+}
+
+impl Element for VoltageSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn extra_vars(&self) -> usize {
+        1
+    }
+
+    fn stamp(&self, x: &[f64], extra: usize, mode: &AnalysisMode, mna: &mut Mna<'_>) {
+        let t = match mode {
+            AnalysisMode::Dc => 0.0,
+            AnalysisMode::Transient { t, .. } => *t,
+        };
+        let target = self.waveform.value_at(t);
+        let i_branch = x[extra];
+        // Branch current leaves the + node through the source.
+        mna.add_f_node(self.plus, i_branch);
+        mna.add_f_node(self.minus, -i_branch);
+        mna.add_j_node_extra(self.plus, extra, 1.0);
+        mna.add_j_node_extra(self.minus, extra, -1.0);
+        // Constraint row: V(+) − V(−) − target = 0.
+        let v = node_voltage(x, self.plus) - node_voltage(x, self.minus);
+        mna.add_f_extra(extra, v - target);
+        mna.add_j_extra_node(extra, self.plus, 1.0);
+        mna.add_j_extra_node(extra, self.minus, -1.0);
+    }
+
+    fn set_value(&mut self, value: f64) -> bool {
+        self.waveform = Waveform::Dc(value);
+        true
+    }
+}
+
+/// An ideal current source pushing `amps` from `from` into `to`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentSource {
+    name: String,
+    from: NodeId,
+    to: NodeId,
+    amps: f64,
+}
+
+impl CurrentSource {
+    /// Creates a DC current source.
+    pub fn dc(name: &str, from: NodeId, to: NodeId, amps: f64) -> Self {
+        CurrentSource {
+            name: name.to_string(),
+            from,
+            to,
+            amps,
+        }
+    }
+}
+
+impl Element for CurrentSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp(&self, _x: &[f64], _extra: usize, _mode: &AnalysisMode, mna: &mut Mna<'_>) {
+        // Current leaves `from`, enters `to`.
+        mna.add_f_node(self.from, self.amps);
+        mna.add_f_node(self.to, -self.amps);
+    }
+
+    fn set_value(&mut self, value: f64) -> bool {
+        self.amps = value;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_dc_is_constant() {
+        let w = Waveform::Dc(1.5);
+        assert_eq!(w.value_at(0.0), 1.5);
+        assert_eq!(w.value_at(1e-3), 1.5);
+    }
+
+    #[test]
+    fn waveform_pulse_shape() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 1e-9,
+            rise: 1e-9,
+            width: 2e-9,
+            fall: 1e-9,
+            period: 0.0,
+        };
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert!((w.value_at(1.5e-9) - 0.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.value_at(3e-9), 1.0); // high
+        assert!((w.value_at(4.5e-9) - 0.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.value_at(10e-9), 0.0);
+    }
+
+    #[test]
+    fn waveform_pulse_repeats_with_period() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 0.0,
+            rise: 1e-9,
+            width: 1e-9,
+            fall: 1e-9,
+            period: 4e-9,
+        };
+        assert_eq!(w.value_at(1.5e-9), 1.0);
+        assert_eq!(w.value_at(1.5e-9 + 4e-9), 1.0);
+        assert_eq!(w.value_at(3.5e-9), 0.0);
+        assert_eq!(w.value_at(3.5e-9 + 8e-9), 0.0);
+    }
+
+    #[test]
+    fn waveform_sine() {
+        let w = Waveform::Sine {
+            offset: 0.5,
+            amplitude: 0.5,
+            frequency: 1e9,
+        };
+        assert!((w.value_at(0.0) - 0.5).abs() < 1e-12);
+        assert!((w.value_at(0.25e-9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resistance_panics() {
+        let _ = Resistor::new("R", NodeId::GROUND, NodeId::GROUND, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacitance_panics() {
+        let _ = Capacitor::new("C", NodeId::GROUND, NodeId::GROUND, 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type of the circuit simulator.
+
+use std::fmt;
+
+/// Error returned by circuit analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// Newton failed to converge within its budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual infinity norm.
+        residual: f64,
+    },
+    /// The MNA matrix was singular (floating node, short loop of ideal
+    /// sources, …).
+    SingularSystem(String),
+    /// An analysis was configured inconsistently.
+    InvalidAnalysis(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "newton failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            CircuitError::SingularSystem(msg) => write!(f, "singular mna system: {msg}"),
+            CircuitError::InvalidAnalysis(msg) => write!(f, "invalid analysis: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let e = CircuitError::NoConvergence {
+            iterations: 10,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("10"));
+        let s = CircuitError::SingularSystem("pivot 0".into());
+        assert!(s.to_string().contains("pivot 0"));
+    }
+}

@@ -1,0 +1,60 @@
+//! SPICE-like circuit simulator with a ballistic CNFET compact device.
+//!
+//! The DATE 2008 paper motivates its fast CNFET model by "implementation
+//! in circuit-level, e.g. SPICE-like, simulators where large numbers of
+//! such devices may be used". This crate is that substrate: a modified-
+//! nodal-analysis engine with
+//!
+//! * [`netlist`] — nodes and element containers;
+//! * [`element`] — R, C, V (DC/pulse/sine), I sources and the stamping
+//!   interface;
+//! * [`cnfet`] — the CNFET element implementing the paper's Fig. 1
+//!   equivalent circuit (inner charge node Σ + ballistic current source),
+//!   with n- and mirror-symmetric p-type polarity;
+//! * [`dc`] — damped Newton operating-point solver with a gmin ramp;
+//! * [`sweep`] — warm-started DC sweeps (VTCs);
+//! * [`transient`] — fixed-step backward-Euler integration;
+//! * [`logic`] — complementary inverter / NAND / ring-oscillator builders
+//!   (the paper's future-work "practical logic circuit structures").
+//!
+//! # Examples
+//!
+//! ```
+//! use cntfet_circuit::prelude::*;
+//!
+//! let mut c = Circuit::new();
+//! let vin = c.node("in");
+//! let out = c.node("out");
+//! c.add(VoltageSource::dc("V1", vin, Circuit::ground(), 2.0));
+//! c.add(Resistor::new("R1", vin, out, 1e3));
+//! c.add(Resistor::new("R2", out, Circuit::ground(), 1e3));
+//! let sol = solve_dc(&c, None)?;
+//! assert!((sol.voltage(out) - 1.0).abs() < 1e-9);
+//! # Ok::<(), cntfet_circuit::CircuitError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cnfet;
+pub mod dc;
+pub mod element;
+pub mod error;
+pub mod logic;
+pub mod netlist;
+pub mod sweep;
+pub mod transient;
+
+pub use error::CircuitError;
+
+/// Convenient glob import for building and solving circuits.
+pub mod prelude {
+    pub use crate::cnfet::{CnfetElement, Polarity};
+    pub use crate::dc::{solve_dc, Solution};
+    pub use crate::element::{Capacitor, CurrentSource, Resistor, VoltageSource, Waveform};
+    pub use crate::error::CircuitError;
+    pub use crate::logic::{add_inverter, add_nand2, add_ring_oscillator, CntTechnology};
+    pub use crate::netlist::{Circuit, NodeId};
+    pub use crate::sweep::{dc_sweep, SweepResult};
+    pub use crate::transient::{solve_transient, TransientResult};
+}

@@ -1,0 +1,84 @@
+//! DC sweeps (transfer curves, VTCs).
+
+use crate::dc::{solve_dc, Solution};
+use crate::error::CircuitError;
+use crate::netlist::{Circuit, NodeId};
+
+/// Result of a DC sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Swept source values.
+    pub values: Vec<f64>,
+    /// Converged solution at each value.
+    pub solutions: Vec<Solution>,
+}
+
+impl SweepResult {
+    /// Voltage of `node` across the sweep.
+    pub fn voltages(&self, node: NodeId) -> Vec<f64> {
+        self.solutions.iter().map(|s| s.voltage(node)).collect()
+    }
+}
+
+/// Sweeps the named source through `values`, warm-starting each point
+/// from the previous solution.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidAnalysis`] when no source has the given
+/// name, and propagates solver failures.
+pub fn dc_sweep(
+    circuit: &mut Circuit,
+    source: &str,
+    values: &[f64],
+) -> Result<SweepResult, CircuitError> {
+    let mut solutions = Vec::with_capacity(values.len());
+    let mut prev: Option<Vec<f64>> = None;
+    for &v in values {
+        if !circuit.set_source_value(source, v) {
+            return Err(CircuitError::InvalidAnalysis(format!(
+                "no sweepable source named {source}"
+            )));
+        }
+        let sol = solve_dc(circuit, prev.as_deref())?;
+        prev = Some(sol.x.clone());
+        solutions.push(sol);
+    }
+    Ok(SweepResult {
+        values: values.to_vec(),
+        solutions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Resistor, VoltageSource};
+
+    #[test]
+    fn sweep_tracks_divider_linearly() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add(VoltageSource::dc("V1", vin, Circuit::ground(), 0.0));
+        c.add(Resistor::new("R1", vin, out, 1e3));
+        c.add(Resistor::new("R2", out, Circuit::ground(), 1e3));
+        let vals = [0.0, 0.5, 1.0, 1.5];
+        let res = dc_sweep(&mut c, "V1", &vals).unwrap();
+        let outs = res.voltages(out);
+        for (v, o) in vals.iter().zip(&outs) {
+            assert!((o - v / 2.0).abs() < 1e-9, "{v} -> {o}");
+        }
+    }
+
+    #[test]
+    fn unknown_source_is_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add(Resistor::new("R1", a, Circuit::ground(), 1e3));
+        assert!(matches!(
+            dc_sweep(&mut c, "VX", &[0.0]),
+            Err(CircuitError::InvalidAnalysis(_))
+        ));
+    }
+}

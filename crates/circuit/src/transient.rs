@@ -1,0 +1,194 @@
+//! Transient analysis: fixed-step backward Euler.
+//!
+//! Backward Euler is L-stable, which matters here because the CNFET's Σ
+//! row is an algebraic constraint (index-1 DAE) — trapezoidal rules ring
+//! on such systems. The step size is caller-chosen; the ring-oscillator
+//! benchmark uses ~1000 steps per period.
+
+use crate::dc::{newton, solve_dc, Solution};
+use crate::element::AnalysisMode;
+use crate::error::CircuitError;
+use crate::netlist::{Circuit, NodeId};
+
+/// Result of a transient run: time points and the full unknown history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientResult {
+    /// Time points, seconds (first entry is 0 with the initial
+    /// condition).
+    pub time: Vec<f64>,
+    /// Unknown vector at each time point.
+    pub states: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// Voltage waveform of `node`.
+    pub fn waveform(&self, node: NodeId) -> Vec<f64> {
+        match node.unknown_index() {
+            Some(i) => self.states.iter().map(|x| x[i]).collect(),
+            None => vec![0.0; self.states.len()],
+        }
+    }
+
+    /// Number of stored time points.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// `true` when no time points were stored.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+}
+
+/// Runs a backward-Euler transient of duration `t_stop` with fixed step
+/// `dt`, starting from `initial` (or the DC operating point at `t = 0`).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidAnalysis`] for non-positive `dt` or
+/// `t_stop`, and propagates solver failures at any step.
+pub fn solve_transient(
+    circuit: &Circuit,
+    t_stop: f64,
+    dt: f64,
+    initial: Option<&[f64]>,
+) -> Result<TransientResult, CircuitError> {
+    if dt <= 0.0 || t_stop <= 0.0 {
+        return Err(CircuitError::InvalidAnalysis(format!(
+            "t_stop ({t_stop}) and dt ({dt}) must be positive"
+        )));
+    }
+    let x0 = match initial {
+        Some(x) => {
+            if x.len() != circuit.unknown_count() {
+                return Err(CircuitError::InvalidAnalysis(format!(
+                    "initial state has {} entries, circuit has {} unknowns",
+                    x.len(),
+                    circuit.unknown_count()
+                )));
+            }
+            x.to_vec()
+        }
+        None => solve_dc(circuit, None)?.x,
+    };
+    let steps = (t_stop / dt).ceil() as usize;
+    let mut time = Vec::with_capacity(steps + 1);
+    let mut states = Vec::with_capacity(steps + 1);
+    time.push(0.0);
+    states.push(x0.clone());
+    let mut x = x0;
+    for k in 1..=steps {
+        let t = k as f64 * dt;
+        let mode = AnalysisMode::Transient {
+            dt,
+            t,
+            prev: x.clone(),
+        };
+        let (nx, _) = newton(circuit, &x, &mode, 0.0, 120)?;
+        x = nx;
+        time.push(t);
+        states.push(x.clone());
+    }
+    Ok(TransientResult { time, states })
+}
+
+/// Convenience: DC operating point (re-exported through the prelude).
+pub fn operating_point(circuit: &Circuit) -> Result<Solution, CircuitError> {
+    solve_dc(circuit, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Capacitor, Resistor, VoltageSource, Waveform};
+    use crate::netlist::Circuit;
+
+    /// RC low-pass driven by a step: analytic exponential response.
+    fn rc_circuit(r: f64, c: f64) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(VoltageSource::with_waveform(
+            "V1",
+            vin,
+            Circuit::ground(),
+            Waveform::Pulse {
+                low: 0.0,
+                high: 1.0,
+                delay: 0.0,
+                rise: 1e-12,
+                width: 1.0,
+                fall: 1e-12,
+                period: 0.0,
+            },
+        ));
+        ckt.add(Resistor::new("R1", vin, out, r));
+        ckt.add(Capacitor::new("C1", out, Circuit::ground(), c));
+        (ckt, out)
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let (r, c) = (1e3, 1e-9); // tau = 1 µs
+        let tau = r * c;
+        let (ckt, out) = rc_circuit(r, c);
+        let res = solve_transient(&ckt, 5.0 * tau, tau / 500.0, None).unwrap();
+        let w = res.waveform(out);
+        for (t, v) in res.time.iter().zip(&w) {
+            let expect = 1.0 - (-t / tau).exp();
+            assert!(
+                (v - expect).abs() < 0.01,
+                "t = {t}: {v} vs analytic {expect}"
+            );
+        }
+        // Fully settled at the end.
+        assert!((w.last().unwrap() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rc_final_value_is_supply() {
+        let (ckt, out) = rc_circuit(10e3, 1e-12);
+        let res = solve_transient(&ckt, 1e-6, 1e-9, None).unwrap();
+        assert!((res.waveform(out).last().unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn invalid_steps_are_rejected() {
+        let (ckt, _) = rc_circuit(1e3, 1e-9);
+        assert!(solve_transient(&ckt, -1.0, 1e-9, None).is_err());
+        assert!(solve_transient(&ckt, 1e-6, 0.0, None).is_err());
+        assert!(solve_transient(&ckt, 1e-6, 1e-9, Some(&[0.0])).is_err());
+    }
+
+    #[test]
+    fn waveform_of_ground_is_zero() {
+        let (ckt, _) = rc_circuit(1e3, 1e-9);
+        let res = solve_transient(&ckt, 1e-8, 1e-9, None).unwrap();
+        assert!(res.waveform(Circuit::ground()).iter().all(|&v| v == 0.0));
+        assert_eq!(res.len(), res.time.len());
+        assert!(!res.is_empty());
+    }
+
+    #[test]
+    fn sine_drive_passes_through_at_low_frequency() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(VoltageSource::with_waveform(
+            "V1",
+            vin,
+            Circuit::ground(),
+            Waveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                frequency: 1e3, // far below RC corner
+            },
+        ));
+        ckt.add(Resistor::new("R1", vin, out, 1e3));
+        ckt.add(Capacitor::new("C1", out, Circuit::ground(), 1e-12));
+        let res = solve_transient(&ckt, 1e-3, 1e-6, None).unwrap();
+        let w = res.waveform(out);
+        let peak = w.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!((peak - 1.0).abs() < 0.01, "peak {peak}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the MNA engine: conservation laws and
+//! network theorems on randomly generated linear circuits.
+
+use cntfet_circuit::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A voltage divider chain of random resistors: node voltages must
+    /// interpolate monotonically between the rails and match the exact
+    /// series-resistance formula.
+    #[test]
+    fn resistor_chain_matches_series_formula(
+        rs in proptest::collection::vec(10.0f64..1e6, 2..8),
+        vsrc in -10.0f64..10.0,
+    ) {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        c.add(VoltageSource::dc("V1", top, Circuit::ground(), vsrc));
+        let mut prev = top;
+        let mut nodes = Vec::new();
+        for (i, &r) in rs.iter().enumerate() {
+            let next = if i + 1 == rs.len() {
+                Circuit::ground()
+            } else {
+                c.node(&format!("n{i}"))
+            };
+            c.add(Resistor::new(&format!("R{i}"), prev, next, r));
+            nodes.push(next);
+            prev = next;
+        }
+        let sol = solve_dc(&c, None).expect("dc");
+        let total: f64 = rs.iter().sum();
+        let mut acc = 0.0;
+        for (i, &r) in rs.iter().enumerate() {
+            acc += r;
+            let expect = vsrc * (1.0 - acc / total);
+            let got = sol.voltage(nodes[i]);
+            prop_assert!((got - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                "node {i}: {got} vs {expect}");
+        }
+    }
+
+    /// Superposition: the response to two sources equals the sum of the
+    /// responses to each source alone (linear circuit).
+    #[test]
+    fn superposition_holds_for_linear_circuits(
+        v1 in -5.0f64..5.0,
+        i2 in -1e-3f64..1e-3,
+        r1 in 100.0f64..1e5,
+        r2 in 100.0f64..1e5,
+        r3 in 100.0f64..1e5,
+    ) {
+        let build = |va: f64, ia: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            c.add(VoltageSource::dc("V1", a, Circuit::ground(), va));
+            c.add(Resistor::new("R1", a, b, r1));
+            c.add(Resistor::new("R2", b, Circuit::ground(), r2));
+            c.add(Resistor::new("R3", b, Circuit::ground(), r3));
+            c.add(CurrentSource::dc("I2", Circuit::ground(), b, ia));
+            let sol = solve_dc(&c, None).expect("dc");
+            sol.voltage(b)
+        };
+        let both = build(v1, i2);
+        let only_v = build(v1, 0.0);
+        let only_i = build(0.0, i2);
+        prop_assert!((both - (only_v + only_i)).abs() < 1e-9 * (1.0 + both.abs()));
+    }
+
+    /// KCL at the source: the voltage-source branch current equals the
+    /// sum of currents through the attached resistors.
+    #[test]
+    fn source_branch_current_balances_loads(
+        v in 0.1f64..10.0,
+        r1 in 100.0f64..1e5,
+        r2 in 100.0f64..1e5,
+    ) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add(VoltageSource::dc("V1", a, Circuit::ground(), v));
+        c.add(Resistor::new("R1", a, Circuit::ground(), r1));
+        c.add(Resistor::new("R2", a, Circuit::ground(), r2));
+        let sol = solve_dc(&c, None).expect("dc");
+        let bases = c.extra_var_bases();
+        let i_branch = sol.x[bases[0]];
+        let expected = -(v / r1 + v / r2);
+        prop_assert!((i_branch - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+    }
+
+    /// RC discharge decays exponentially regardless of component values.
+    #[test]
+    fn rc_transient_decay_rate(
+        r in 1e2f64..1e5,
+        c_f in 1e-12f64..1e-9,
+    ) {
+        let tau = r * c_f;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Resistor::new("R1", a, Circuit::ground(), r));
+        ckt.add(Capacitor::new("C1", a, Circuit::ground(), c_f));
+        // Start charged to 1 V (the cap holds the state; no source).
+        let x0 = vec![1.0];
+        let res = solve_transient(&ckt, 2.0 * tau, tau / 400.0, Some(&x0)).expect("tran");
+        let w = res.waveform(a);
+        // After one time constant the voltage should be ~e^-1.
+        let idx = (res.time.len() - 1) / 2;
+        let expect = (-res.time[idx] / tau).exp();
+        prop_assert!((w[idx] - expect).abs() < 0.01, "{} vs {expect}", w[idx]);
+    }
+
+    /// Sweeping a source twice gives identical results (no hidden state).
+    #[test]
+    fn dc_sweep_is_reproducible(v_end in 0.5f64..5.0) {
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            c.add(VoltageSource::dc("V1", a, Circuit::ground(), 0.0));
+            c.add(Resistor::new("R1", a, b, 1e3));
+            c.add(Resistor::new("R2", b, Circuit::ground(), 2e3));
+            (c, b)
+        };
+        let vals: Vec<f64> = (0..6).map(|i| v_end * i as f64 / 5.0).collect();
+        let (mut c1, b1) = build();
+        let (mut c2, b2) = build();
+        let s1 = dc_sweep(&mut c1, "V1", &vals).expect("sweep 1");
+        let s2 = dc_sweep(&mut c2, "V1", &vals).expect("sweep 2");
+        prop_assert_eq!(s1.voltages(b1), s2.voltages(b2));
+    }
+}

@@ -1,0 +1,407 @@
+//! The compact CNFET device: fitted piecewise charge + closed-form solver
+//! + closed-form current — the complete fast model of the paper.
+
+use crate::error::CompactModelError;
+use crate::fit::{fit_piecewise, fit_with_optimized_breakpoints, FitOptions};
+use crate::piecewise::PiecewiseCharge;
+use crate::solver::ClosedFormScf;
+use crate::spec::PiecewiseSpec;
+use cntfet_physics::constants::ELEMENTARY_CHARGE;
+use cntfet_reference::current::drain_current;
+use cntfet_reference::{ChargeModel, DeviceParams, IvCurve, IvPoint};
+
+/// Fast compact CNFET model (the paper's contribution).
+///
+/// Construction performs the one-off fitting step (sampling the
+/// theoretical charge curve and solving small constrained least-squares
+/// problems); every subsequent bias-point evaluation is closed-form —
+/// polynomial roots and two logarithms.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_core::CompactCntFet;
+/// use cntfet_reference::DeviceParams;
+///
+/// let fast = CompactCntFet::model2(DeviceParams::paper_default())?;
+/// let point = fast.solve_point(0.6, 0.6)?;
+/// assert!(point.ids > 1e-6); // µA scale, like the reference
+/// # Ok::<(), cntfet_core::CompactModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompactCntFet {
+    params: DeviceParams,
+    spec: PiecewiseSpec,
+    scf: ClosedFormScf,
+    /// Equilibrium mobile charge `q·N₀` (C/m), folded into the terminal
+    /// charge of the self-consistent equation; see [`CompactCntFet::vsc`].
+    qn0: f64,
+    ef: f64,
+    kt: f64,
+    temperature: f64,
+}
+
+impl CompactCntFet {
+    /// Builds the paper's three-piece **Model 1** for `params`.
+    ///
+    /// Model 1's single-degree-of-freedom quadratic cannot satisfy a C¹
+    /// zero anchor *and* track the exponential charge tail, so — matching
+    /// the error pattern of the paper's Table II — it is fitted with
+    /// absolute least squares and a value-only joint at the zero region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting failures.
+    pub fn model1(params: DeviceParams) -> Result<Self, CompactModelError> {
+        let opts = FitOptions {
+            relative_weight_floor: 1e12, // plain absolute least squares
+            c1_zero_anchor: false,
+            ..FitOptions::default()
+        };
+        Self::with_fit_options(params, PiecewiseSpec::model1(), opts)
+    }
+
+    /// Builds the paper's four-piece **Model 2** for `params`.
+    ///
+    /// Model 2 has enough degrees of freedom for the fully C¹ fit with
+    /// mild relative weighting (the [`FitOptions::default`] settings),
+    /// which lands its accuracy in the paper's sub-2 % band.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting failures.
+    pub fn model2(params: DeviceParams) -> Result<Self, CompactModelError> {
+        Self::from_spec(params, PiecewiseSpec::model2())
+    }
+
+    /// Builds a compact model with a custom region specification, fitted
+    /// against the reference theoretical charge curve with default fit
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting failures.
+    pub fn from_spec(params: DeviceParams, spec: PiecewiseSpec) -> Result<Self, CompactModelError> {
+        Self::with_fit_options(params, spec, FitOptions::default())
+    }
+
+    /// Builds with explicit fitting options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting failures.
+    pub fn with_fit_options(
+        params: DeviceParams,
+        spec: PiecewiseSpec,
+        opts: FitOptions,
+    ) -> Result<Self, CompactModelError> {
+        let charge_model = ChargeModel::new(&params, 1e-9);
+        let ef = params.fermi_level.value();
+        // Fit q·N_S rather than Q_S = q(N_S − N₀/2): the former decays to
+        // *exactly* zero above E_F, so the paper's zero region is exact,
+        // while the constant q·N₀ moves into the terminal charge (the two
+        // formulations are algebraically identical in eq. 7). For E_F
+        // deep in the gap they coincide; for E_F at the band edge the
+        // Q_S form would miss the −qN₀/2 asymptote entirely.
+        let curve = |v: f64| ELEMENTARY_CHARGE * charge_model.n_s(v);
+        let pw = fit_piecewise(&curve, ef, &spec, opts)?;
+        let qn0 = ELEMENTARY_CHARGE * charge_model.n_0();
+        Ok(Self::assemble(params, spec, pw, qn0))
+    }
+
+    /// Builds with numerically optimised breakpoints (the paper's
+    /// RMS-minimising boundary placement) starting from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting failures.
+    pub fn with_optimized_breakpoints(
+        params: DeviceParams,
+        initial: PiecewiseSpec,
+    ) -> Result<Self, CompactModelError> {
+        let charge_model = ChargeModel::new(&params, 1e-9);
+        let ef = params.fermi_level.value();
+        let curve = |v: f64| ELEMENTARY_CHARGE * charge_model.n_s(v);
+        let (pw, spec) =
+            fit_with_optimized_breakpoints(&curve, ef, &initial, FitOptions::default())?;
+        let qn0 = ELEMENTARY_CHARGE * charge_model.n_0();
+        Ok(Self::assemble(params, spec, pw, qn0))
+    }
+
+    /// Builds directly from an already-fitted `q·N_S` curve (used by
+    /// tests, ablations and serialisation layers above this crate).
+    ///
+    /// `qn0` is the equilibrium mobile charge `q·N₀` in C/m; pass 0 when
+    /// the Fermi level is deep in the gap.
+    pub fn from_fitted(
+        params: DeviceParams,
+        spec: PiecewiseSpec,
+        charge: PiecewiseCharge,
+        qn0: f64,
+    ) -> Self {
+        Self::assemble(params, spec, charge, qn0)
+    }
+
+    fn assemble(params: DeviceParams, spec: PiecewiseSpec, charge: PiecewiseCharge, qn0: f64) -> Self {
+        let c_total = params.capacitances.total();
+        let ef = params.fermi_level.value();
+        let kt = params.thermal_energy_ev();
+        let temperature = params.temperature.value();
+        CompactCntFet {
+            scf: ClosedFormScf::new(charge, c_total),
+            params,
+            spec,
+            qn0,
+            ef,
+            kt,
+            temperature,
+        }
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// The region specification in effect.
+    pub fn spec(&self) -> &PiecewiseSpec {
+        &self.spec
+    }
+
+    /// The fitted piecewise charge curve (`q·N_S` as a function of
+    /// `V_SC`, C/m).
+    pub fn charge(&self) -> &PiecewiseCharge {
+        self.scf.charge()
+    }
+
+    /// Equilibrium mobile charge `q·N₀` in C/m — the constant folded into
+    /// the terminal charge of the self-consistent equation (see
+    /// [`CompactCntFet::vsc`]). Circuit elements embedding the model need
+    /// it to reconstruct the charge-balance residual.
+    pub fn equilibrium_charge(&self) -> f64 {
+        self.qn0
+    }
+
+    /// Self-consistent voltage at a common-source bias point, in volts.
+    ///
+    /// Solves `C_Σ V + (Q_t + qN₀) − q̂N_S(V) − q̂N_S(V + V_DS) = 0` in
+    /// closed form, which is eq. (7) rewritten with the fitted `q·N_S`
+    /// curve (the `−qN₀` of `ΔQ` moves to the constant side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactModelError::NoRoot`] only for a malformed fit.
+    pub fn vsc(&self, vg: f64, vds: f64) -> Result<f64, CompactModelError> {
+        let q_t = self.params.capacitances.terminal_charge(vg, vds, 0.0);
+        self.scf.solve(q_t + self.qn0, vds)
+    }
+
+    /// Drain current at a common-source bias point, in amperes
+    /// (paper eq. 14).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompactModelError::NoRoot`].
+    pub fn ids(&self, vg: f64, vds: f64) -> Result<f64, CompactModelError> {
+        let vsc = self.vsc(vg, vds)?;
+        Ok(drain_current(self.ef, vsc, vds, self.temperature, self.kt))
+    }
+
+    /// Solves one bias point, returning the same [`IvPoint`] record the
+    /// reference model produces so comparisons are structural.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompactModelError::NoRoot`].
+    pub fn solve_point(&self, vg: f64, vds: f64) -> Result<IvPoint, CompactModelError> {
+        let vsc = self.vsc(vg, vds)?;
+        let ids = drain_current(self.ef, vsc, vds, self.temperature, self.kt);
+        Ok(IvPoint { vg, vds, vsc, ids })
+    }
+
+    /// Output characteristic at fixed `vg` over `vds_grid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing point.
+    pub fn output_characteristic(
+        &self,
+        vg: f64,
+        vds_grid: &[f64],
+    ) -> Result<IvCurve, CompactModelError> {
+        let points = vds_grid
+            .iter()
+            .map(|&vds| self.solve_point(vg, vds))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(IvCurve { points })
+    }
+
+    /// Transfer characteristic at fixed `vds` over `vg_grid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing point.
+    pub fn transfer_characteristic(
+        &self,
+        vds: f64,
+        vg_grid: &[f64],
+    ) -> Result<IvCurve, CompactModelError> {
+        let points = vg_grid
+            .iter()
+            .map(|&vg| self.solve_point(vg, vds))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(IvCurve { points })
+    }
+
+    /// Family of output characteristics, one per gate voltage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing point.
+    pub fn output_family(
+        &self,
+        vg_values: &[f64],
+        vds_grid: &[f64],
+    ) -> Result<Vec<IvCurve>, CompactModelError> {
+        vg_values
+            .iter()
+            .map(|&vg| self.output_characteristic(vg, vds_grid))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cntfet_numerics::interp::linspace;
+
+    fn model2() -> CompactCntFet {
+        CompactCntFet::model2(DeviceParams::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn fitted_charge_is_c1_and_monotone() {
+        let m = model2();
+        for (dv, ds) in m.charge().continuity_jumps() {
+            assert!(dv.abs() < 1e-20, "value jump {dv}");
+            assert!(ds.abs() < 1e-18, "slope jump {ds}");
+        }
+        assert!(m.charge().is_non_increasing(-0.9, 0.2, 300));
+    }
+
+    #[test]
+    fn vsc_matches_reference_closely() {
+        use cntfet_reference::BallisticModel;
+        let m = model2();
+        let r = BallisticModel::new(DeviceParams::paper_default());
+        for &(vg, vds) in &[(0.3, 0.1), (0.45, 0.3), (0.6, 0.6)] {
+            let fast = m.vsc(vg, vds).unwrap();
+            let slow = r.solve_point(vg, vds, 0.0).unwrap().vsc;
+            assert!(
+                (fast - slow).abs() < 0.01,
+                "vg {vg} vds {vds}: compact {fast} vs reference {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn ids_tracks_reference_within_paper_accuracy() {
+        use cntfet_numerics::stats::relative_rms_percent;
+        use cntfet_reference::BallisticModel;
+        let m = model2();
+        let r = BallisticModel::new(DeviceParams::paper_default());
+        let grid = linspace(0.0, 0.6, 25);
+        for &vg in &[0.3, 0.5, 0.6] {
+            let fast = m.output_characteristic(vg, &grid).unwrap().currents();
+            let slow = r.output_characteristic(vg, &grid).unwrap().currents();
+            let err = relative_rms_percent(&fast, &slow);
+            assert!(err < 5.0, "vg {vg}: RMS error {err}%");
+        }
+    }
+
+    #[test]
+    fn model1_is_faster_shape_but_less_accurate_than_model2() {
+        use cntfet_numerics::stats::relative_rms_percent;
+        use cntfet_reference::BallisticModel;
+        let p = DeviceParams::paper_default();
+        let m1 = CompactCntFet::model1(p.clone()).unwrap();
+        let m2 = CompactCntFet::model2(p.clone()).unwrap();
+        let r = BallisticModel::new(p);
+        let grid = linspace(0.0, 0.6, 25);
+        let mut e1_total = 0.0;
+        let mut e2_total = 0.0;
+        for &vg in &[0.2, 0.35, 0.5] {
+            let slow = r.output_characteristic(vg, &grid).unwrap().currents();
+            let f1 = m1.output_characteristic(vg, &grid).unwrap().currents();
+            let f2 = m2.output_characteristic(vg, &grid).unwrap().currents();
+            e1_total += relative_rms_percent(&f1, &slow);
+            e2_total += relative_rms_percent(&f2, &slow);
+        }
+        assert!(
+            e2_total < e1_total,
+            "model2 ({e2_total}) should beat model1 ({e1_total})"
+        );
+    }
+
+    #[test]
+    fn output_curve_is_monotone_and_saturating() {
+        let m = model2();
+        let grid = linspace(0.0, 0.6, 31);
+        let c = m.output_characteristic(0.5, &grid).unwrap();
+        assert!(c.points[0].ids.abs() < 1e-12);
+        for w in c.points.windows(2) {
+            assert!(w[1].ids >= w[0].ids - 1e-12);
+        }
+        let n = c.points.len();
+        let early = c.points[1].ids - c.points[0].ids;
+        let late = c.points[n - 1].ids - c.points[n - 2].ids;
+        assert!(late < 0.2 * early);
+    }
+
+    #[test]
+    fn zero_bias_is_zero_current() {
+        let m = model2();
+        assert!(m.ids(0.0, 0.0).unwrap().abs() < 1e-15);
+        assert!(m.ids(0.6, 0.0).unwrap().abs() < 1e-15);
+    }
+
+    #[test]
+    fn family_ordering_follows_gate_voltage() {
+        let m = model2();
+        let fam = m.output_family(&[0.3, 0.45, 0.6], &[0.6]).unwrap();
+        assert!(fam[0].points[0].ids < fam[1].points[0].ids);
+        assert!(fam[1].points[0].ids < fam[2].points[0].ids);
+    }
+
+    #[test]
+    fn transfer_curve_is_monotone() {
+        let m = model2();
+        let grid = linspace(0.1, 0.6, 11);
+        let c = m.transfer_characteristic(0.4, &grid).unwrap();
+        for w in c.points.windows(2) {
+            assert!(w[1].ids > w[0].ids);
+        }
+    }
+
+    #[test]
+    fn optimized_breakpoints_construct_successfully() {
+        let m = CompactCntFet::with_optimized_breakpoints(
+            DeviceParams::paper_default(),
+            PiecewiseSpec::model1(),
+        )
+        .unwrap();
+        // Still three regions, still C¹.
+        assert_eq!(m.spec().region_count(), 3);
+        for (dv, ds) in m.charge().continuity_jumps() {
+            assert!(dv.abs() < 1e-20 && ds.abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let m = model2();
+        assert_eq!(m.spec().region_count(), 4);
+        assert_eq!(m.params().fermi_level.value(), -0.32);
+        assert_eq!(m.charge().breakpoints().len(), 3);
+    }
+}

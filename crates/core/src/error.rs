@@ -1,0 +1,78 @@
+//! Error type of the compact model.
+
+use cntfet_numerics::NumericsError;
+use std::fmt;
+
+/// Error returned by compact-model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompactModelError {
+    /// A numerical routine failed during fitting or solving.
+    Numerics(NumericsError),
+    /// The closed-form self-consistent solver found no root in any
+    /// segment interval — indicates a malformed charge approximation
+    /// (e.g. a non-monotone fit), not a bias-point problem.
+    NoRoot {
+        /// The terminal charge `Q_t` of the failing bias point, C/m.
+        terminal_charge: f64,
+        /// Drain–source voltage of the failing bias point, V.
+        vds: f64,
+    },
+    /// A model specification was internally inconsistent.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for CompactModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompactModelError::Numerics(e) => write!(f, "numerical failure: {e}"),
+            CompactModelError::NoRoot {
+                terminal_charge,
+                vds,
+            } => write!(
+                f,
+                "closed-form solver found no root (Qt = {terminal_charge:.3e} C/m, vds = {vds} V)"
+            ),
+            CompactModelError::InvalidSpec(msg) => write!(f, "invalid model spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompactModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompactModelError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for CompactModelError {
+    fn from(e: NumericsError) -> Self {
+        CompactModelError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CompactModelError::NoRoot {
+            terminal_charge: 1e-10,
+            vds: 0.3,
+        };
+        assert!(e.to_string().contains("no root"));
+        let w: CompactModelError = NumericsError::SingularMatrix { pivot: 1 }.into();
+        assert!(w.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn source_chains_to_numerics() {
+        use std::error::Error;
+        let w: CompactModelError = NumericsError::SingularMatrix { pivot: 1 }.into();
+        assert!(w.source().is_some());
+        let n = CompactModelError::InvalidSpec("x".into());
+        assert!(n.source().is_none());
+    }
+}

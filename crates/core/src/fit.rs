@@ -1,0 +1,578 @@
+//! Numerical fitting of the piecewise charge approximation (paper §IV).
+//!
+//! The paper's procedure, reproduced here:
+//!
+//! 1. sample the theoretical `Q_S(V_SC)` curve (from the reference model's
+//!    quadrature) on a dense grid;
+//! 2. anchor the final region at zero;
+//! 3. fit each remaining region **right-to-left** by least squares subject
+//!    to value *and* slope continuity with the region already fitted on
+//!    its right — "assuring the continuity of the first derivative";
+//! 4. optionally move the breakpoints themselves to minimise the RMS
+//!    deviation ("boundaries … calculated to minimise the RMS deviation
+//!    from the theoretical curves" — the purely numerical approach that
+//!    distinguishes this paper from the symbolic one it improves on).
+
+use crate::error::CompactModelError;
+use crate::piecewise::PiecewiseCharge;
+use crate::spec::PiecewiseSpec;
+use cntfet_numerics::fit::LinearConstraint;
+use cntfet_numerics::interp::linspace;
+use cntfet_numerics::linalg::Matrix;
+use cntfet_numerics::optimize::{nelder_mead, NelderMeadOptions};
+use cntfet_numerics::polynomial::Polynomial;
+use cntfet_numerics::stats::relative_rms_percent;
+
+/// Controls for the fitting pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitOptions {
+    /// Lower edge of the fitting window measured from `E_F/q`, volts
+    /// (negative; the window upper edge is the last breakpoint).
+    pub domain_below_ef: f64,
+    /// Sample count per region.
+    pub samples_per_region: usize,
+    /// Relative-weighting floor as a fraction of the curve's peak value.
+    ///
+    /// Samples are weighted `1/(|Q| + floor·Q_peak)²`, approximating a
+    /// relative-error objective. The device spends its low-gate-bias life
+    /// in the charge curve's small-value transition region, so pure
+    /// absolute least squares (floor → ∞) sacrifices exactly the biases
+    /// the paper's tables start at (`V_G = 0.1 V`).
+    pub relative_weight_floor: f64,
+    /// Whether the joint with the zero region constrains the slope as
+    /// well as the value.
+    ///
+    /// `true` gives a fully C¹ curve. `false` keeps C¹ at all *interior*
+    /// joints but lets the last fitted region reach zero with a free
+    /// (negative) slope, which tracks the exponential tail of the true
+    /// charge much better at the cost of a slope kink where the charge
+    /// vanishes.
+    pub c1_zero_anchor: bool,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            domain_below_ef: -0.7,
+            samples_per_region: 160,
+            relative_weight_floor: 0.1,
+            c1_zero_anchor: true,
+        }
+    }
+}
+
+/// Fits a piecewise charge curve to `curve` (the theoretical `Q_S` as a
+/// function of `V_SC`) for a device with Fermi level `ef` (eV).
+///
+/// # Errors
+///
+/// Propagates least-squares failures and spec validation errors.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_core::fit::{fit_piecewise, FitOptions};
+/// use cntfet_core::spec::PiecewiseSpec;
+///
+/// // A synthetic saturating curve standing in for Q_S.
+/// let ef = -0.32;
+/// let curve = |v: f64| if v < ef { ef - v } else { 0.0f64.max(0.0) };
+/// let pw = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default())?;
+/// assert_eq!(pw.breakpoints().len(), 2);
+/// # Ok::<(), cntfet_core::CompactModelError>(())
+/// ```
+pub fn fit_piecewise<F: Fn(f64) -> f64>(
+    curve: &F,
+    ef: f64,
+    spec: &PiecewiseSpec,
+    opts: FitOptions,
+) -> Result<PiecewiseCharge, CompactModelError> {
+    validate_window(spec, opts)?;
+    let bps = spec.absolute_breakpoints(ef);
+    let n_regions = spec.region_count();
+    let mut polys = vec![Polynomial::zero(); n_regions];
+
+    // The paper's procedure: fit region by region from the zero anchor
+    // leftwards, each region constrained to join its right neighbour with
+    // matching value and slope. The least-squares weight inside each
+    // region is uniform (absolute error), which — like the paper —
+    // prioritises the large-charge part of the curve and accepts larger
+    // *relative* error in the small-charge tail (visible as the higher
+    // low-V_G errors in Tables II–IV).
+    let mut join_value = 0.0;
+    let mut join_slope = 0.0;
+    let last = spec.degrees.len() - 1;
+    for i in (0..spec.degrees.len()).rev() {
+        // Region i lies between bps[i−1] (or the window edge) and bps[i].
+        let right_bound = bps[i];
+        let left_bound = if i == 0 {
+            ef + opts.domain_below_ef
+        } else {
+            bps[i - 1]
+        };
+        let degree = spec.degrees[i];
+        let xs = linspace(left_bound, right_bound, opts.samples_per_region);
+        // Clamp at zero: the model's final region *is* zero, and for
+        // E_F near the band edge the true Q_S dips negative above E_F
+        // (the −qN₀/2 asymptote of eq. 10). Fitting those negative
+        // samples would drag the constrained chain into non-monotone
+        // territory; the paper's zero region discards them by design.
+        let ys: Vec<f64> = xs.iter().map(|&x| curve(x).max(0.0)).collect();
+        let poly = if degree == 1 {
+            // Linear region: fully determined by the C¹ joint — the
+            // tangent extension of its right neighbour.
+            Polynomial::new(vec![join_value - join_slope * right_bound, join_slope])
+        } else {
+            let mut constraints = vec![LinearConstraint::value_at(right_bound, join_value, degree)];
+            if i != last || opts.c1_zero_anchor {
+                constraints.push(LinearConstraint::derivative_at(
+                    right_bound,
+                    join_slope,
+                    degree,
+                ));
+            }
+            let peak = ys.iter().fold(0.0f64, |m, y| m.max(y.abs()));
+            let floor = opts.relative_weight_floor * peak.max(1e-300);
+            let ws: Vec<f64> = ys
+                .iter()
+                .map(|y| {
+                    let d = y.abs() + floor;
+                    1.0 / (d * d)
+                })
+                .collect();
+            weighted_constrained_polyfit(&xs, &ys, &ws, degree, &constraints)?
+        };
+        let (v, s) = poly.eval_with_derivative(left_bound);
+        join_value = v;
+        join_slope = s;
+        polys[i] = poly;
+    }
+    PiecewiseCharge::new(bps, polys)
+}
+
+/// Weighted equality-constrained polynomial least squares via the KKT
+/// system (the single-region analogue of the global fitter).
+fn weighted_constrained_polyfit(
+    xs: &[f64],
+    ys: &[f64],
+    ws: &[f64],
+    degree: usize,
+    constraints: &[LinearConstraint],
+) -> Result<Polynomial, CompactModelError> {
+    let n = degree + 1;
+    let m = constraints.len();
+    let mut ata = Matrix::zeros(n, n);
+    let mut aty = vec![0.0; n];
+    for ((&x, &y), &w) in xs.iter().zip(ys).zip(ws) {
+        for i in 0..n {
+            let bi = x.powi(i as i32);
+            aty[i] += w * bi * y;
+            for j in 0..n {
+                ata[(i, j)] += w * bi * x.powi(j as i32);
+            }
+        }
+    }
+    let dim = n + m;
+    let mut kkt = Matrix::zeros(dim, dim);
+    let mut rhs = vec![0.0; dim];
+    for i in 0..n {
+        rhs[i] = 2.0 * aty[i];
+        for j in 0..n {
+            kkt[(i, j)] = 2.0 * ata[(i, j)];
+        }
+    }
+    for (ci, c) in constraints.iter().enumerate() {
+        rhs[n + ci] = c.rhs;
+        for (k, &w) in c.coeffs.iter().enumerate() {
+            kkt[(k, n + ci)] = w;
+            kkt[(n + ci, k)] = w;
+        }
+    }
+    let sol = kkt.solve(&rhs)?;
+    Ok(Polynomial::new(sol[..n].to_vec()))
+}
+
+fn validate_window(spec: &PiecewiseSpec, opts: FitOptions) -> Result<(), CompactModelError> {
+    if opts.domain_below_ef >= spec.offsets[0] {
+        return Err(CompactModelError::InvalidSpec(format!(
+            "fit domain edge {} must lie below the first breakpoint offset {}",
+            opts.domain_below_ef, spec.offsets[0]
+        )));
+    }
+    Ok(())
+}
+
+/// Variant of [`fit_piecewise`] that fits **all regions simultaneously**
+/// by equality-constrained weighted least squares: C¹ coupling at every
+/// joint, zero anchor at the last breakpoint, and per-sample weights
+/// `1/(|Q| + floor·Q_peak)²` approximating a relative-error objective.
+///
+/// This is *not* the paper's procedure — it is the ablation arm of the
+/// accuracy/speed study (see `DESIGN.md`): joint values become free
+/// optimisation parameters instead of being inherited from the right
+/// neighbour, and weighting emphasises the subthreshold tail. It improves
+/// the charge-curve RMS but can trade away large-charge accuracy, which
+/// is what the paper's tables actually reward.
+///
+/// # Errors
+///
+/// Propagates spec validation and linear-algebra failures.
+pub fn fit_piecewise_global<F: Fn(f64) -> f64>(
+    curve: &F,
+    ef: f64,
+    spec: &PiecewiseSpec,
+    opts: FitOptions,
+) -> Result<PiecewiseCharge, CompactModelError> {
+    validate_window(spec, opts)?;
+    let bps = spec.absolute_breakpoints(ef);
+    let degrees = &spec.degrees;
+    let r_count = degrees.len();
+    let sizes: Vec<usize> = degrees.iter().map(|d| d + 1).collect();
+    let block_start: Vec<usize> = sizes
+        .iter()
+        .scan(0usize, |acc, &s| {
+            let start = *acc;
+            *acc += s;
+            Some(start)
+        })
+        .collect();
+    let n: usize = sizes.iter().sum();
+
+    // Pre-sample every region to establish the peak for relative
+    // weighting.
+    let mut region_samples: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(r_count);
+    let mut peak = 0.0f64;
+    for r in 0..r_count {
+        let left = if r == 0 { ef + opts.domain_below_ef } else { bps[r - 1] };
+        let right = bps[r];
+        let xs = linspace(left, right, opts.samples_per_region);
+        // Clamp at zero: the model's final region *is* zero, and for
+        // E_F near the band edge the true Q_S dips negative above E_F
+        // (the −qN₀/2 asymptote of eq. 10). Fitting those negative
+        // samples would drag the constrained chain into non-monotone
+        // territory; the paper's zero region discards them by design.
+        let ys: Vec<f64> = xs.iter().map(|&x| curve(x).max(0.0)).collect();
+        for &y in &ys {
+            peak = peak.max(y.abs());
+        }
+        region_samples.push((xs, ys));
+    }
+    let floor = opts.relative_weight_floor.max(1e-6) * peak.max(1e-300);
+
+    // Weighted normal-equation accumulation, block by block (the design
+    // matrix is block diagonal since each sample touches one region).
+    let mut ata = Matrix::zeros(n, n);
+    let mut aty = vec![0.0; n];
+    for (r, (xs, ys)) in region_samples.iter().enumerate() {
+        let s0 = block_start[r];
+        for (&x, &y) in xs.iter().zip(ys) {
+            let denom = y.abs() + floor;
+            let w = 1.0 / (denom * denom);
+            for i in 0..sizes[r] {
+                let bi = x.powi(i as i32);
+                aty[s0 + i] += w * bi * y;
+                for j in 0..sizes[r] {
+                    ata[(s0 + i, s0 + j)] += w * bi * x.powi(j as i32);
+                }
+            }
+        }
+    }
+
+    // Constraints: value+slope continuity at interior joints, value+slope
+    // zero at the final breakpoint.
+    let mut constraints: Vec<(Vec<f64>, f64)> = Vec::new();
+    let basis_row = |x: f64, r: usize, derivative: bool| -> Vec<f64> {
+        let mut row = vec![0.0; n];
+        for i in 0..sizes[r] {
+            row[block_start[r] + i] = if derivative {
+                if i == 0 { 0.0 } else { i as f64 * x.powi(i as i32 - 1) }
+            } else {
+                x.powi(i as i32)
+            };
+        }
+        row
+    };
+    for r in 0..r_count - 1 {
+        let x = bps[r];
+        for derivative in [false, true] {
+            let mut row = basis_row(x, r, derivative);
+            let rhs_row = basis_row(x, r + 1, derivative);
+            for (a, b) in row.iter_mut().zip(&rhs_row) {
+                *a -= b;
+            }
+            constraints.push((row, 0.0));
+        }
+    }
+    let anchor = bps[r_count - 1];
+    constraints.push((basis_row(anchor, r_count - 1, false), 0.0));
+    if opts.c1_zero_anchor {
+        constraints.push((basis_row(anchor, r_count - 1, true), 0.0));
+    }
+
+    let m = constraints.len();
+    if m > n {
+        return Err(CompactModelError::InvalidSpec(format!(
+            "{m} continuity constraints exceed {n} coefficients; increase region degrees"
+        )));
+    }
+    let dim = n + m;
+    let mut kkt = Matrix::zeros(dim, dim);
+    let mut rhs = vec![0.0; dim];
+    for i in 0..n {
+        rhs[i] = 2.0 * aty[i];
+        for j in 0..n {
+            kkt[(i, j)] = 2.0 * ata[(i, j)];
+        }
+    }
+    for (ci, (row, b)) in constraints.iter().enumerate() {
+        rhs[n + ci] = *b;
+        for (k, &w) in row.iter().enumerate() {
+            kkt[(k, n + ci)] = w;
+            kkt[(n + ci, k)] = w;
+        }
+    }
+    let sol = kkt.solve(&rhs)?;
+
+    let mut polys: Vec<Polynomial> = (0..r_count)
+        .map(|r| Polynomial::new(sol[block_start[r]..block_start[r] + sizes[r]].to_vec()))
+        .collect();
+    polys.push(Polynomial::zero());
+    PiecewiseCharge::new(bps, polys)
+}
+
+/// RMS-percent deviation of a fitted piecewise curve from the theoretical
+/// curve over the fitting window, normalised by the curve's peak value
+/// (the metric plotted against in the paper's Figs. 4–5).
+pub fn fit_error_percent<F: Fn(f64) -> f64>(
+    curve: &F,
+    pw: &PiecewiseCharge,
+    ef: f64,
+    opts: FitOptions,
+    eval_points: usize,
+) -> f64 {
+    let top = pw
+        .breakpoints()
+        .last()
+        .copied()
+        .unwrap_or(ef);
+    let xs = linspace(ef + opts.domain_below_ef, top, eval_points.max(2));
+    let reference: Vec<f64> = xs.iter().map(|&x| curve(x)).collect();
+    let model: Vec<f64> = xs.iter().map(|&x| pw.eval(x)).collect();
+    relative_rms_percent(&model, &reference)
+}
+
+/// Relative (per-point) RMS error of a fit in percent, with a floor to
+/// keep the near-zero tail finite: the breakpoint optimiser's objective.
+///
+/// Unlike [`fit_error_percent`], which normalises by the curve peak and
+/// therefore ignores the small-charge tail, this metric penalises
+/// *relative* deviation everywhere — which is what the self-consistent
+/// solve actually feels, since the device operates in the tail at low
+/// gate bias. The evaluation window extends `tail_beyond` volts past the
+/// last breakpoint so a candidate cannot hide error by shrinking its
+/// domain.
+pub fn fit_error_relative_percent<F: Fn(f64) -> f64>(
+    curve: &F,
+    pw: &PiecewiseCharge,
+    ef: f64,
+    opts: FitOptions,
+    eval_points: usize,
+    tail_beyond: f64,
+) -> f64 {
+    let lo = ef + opts.domain_below_ef;
+    let hi = ef + 0.2f64.max(tail_beyond);
+    let xs = linspace(lo, hi, eval_points.max(2));
+    let reference: Vec<f64> = xs.iter().map(|&x| curve(x)).collect();
+    let peak = reference.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+    if peak == 0.0 {
+        return 0.0;
+    }
+    let floor = 1e-3 * peak;
+    let mut acc = 0.0;
+    for (&x, &r) in xs.iter().zip(&reference) {
+        let m = pw.eval(x);
+        let rel = (m - r) / (r.abs() + floor);
+        acc += rel * rel;
+    }
+    100.0 * (acc / xs.len() as f64).sqrt()
+}
+
+/// Fits with breakpoints optimised numerically (Nelder–Mead over the
+/// offset vector) instead of the paper's published fixed values.
+///
+/// Returns the fitted curve and the optimised spec. This implements the
+/// paper's "purely numerical … boundaries calculated to minimise the RMS
+/// deviation" procedure and is also the machinery behind the accuracy/
+/// speed trade-off study the paper mentions as ongoing work.
+///
+/// # Errors
+///
+/// Propagates fitting errors at the optimum; candidate evaluations that
+/// fail during the search are penalised rather than propagated.
+pub fn fit_with_optimized_breakpoints<F: Fn(f64) -> f64>(
+    curve: &F,
+    ef: f64,
+    initial: &PiecewiseSpec,
+    opts: FitOptions,
+) -> Result<(PiecewiseCharge, PiecewiseSpec), CompactModelError> {
+    let degrees = initial.degrees.clone();
+    let x0 = initial.offsets.clone();
+    let objective = |offsets: &[f64]| -> f64 {
+        // Penalise non-increasing or out-of-window candidates.
+        let mut sorted_ok = offsets.windows(2).all(|w| w[1] > w[0] + 1e-4);
+        if offsets[0] <= opts.domain_below_ef + 0.02 {
+            sorted_ok = false;
+        }
+        if !sorted_ok {
+            return 1e6;
+        }
+        match PiecewiseSpec::custom(offsets.to_vec(), degrees.clone())
+            .and_then(|spec| fit_piecewise(curve, ef, &spec, opts).map(|pw| (spec, pw)))
+        {
+            Ok((_, pw)) => fit_error_relative_percent(curve, &pw, ef, opts, 400, 0.25),
+            Err(_) => 1e6,
+        }
+    };
+    let minimum = nelder_mead(
+        objective,
+        &x0,
+        NelderMeadOptions {
+            initial_step: 0.2,
+            f_tol: 1e-6,
+            max_evals: 400,
+        },
+    );
+    let spec = PiecewiseSpec::custom(minimum.x.clone(), degrees)?;
+    let pw = fit_piecewise(curve, ef, &spec, opts)?;
+    Ok((pw, spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth saturating stand-in with the right qualitative shape:
+    /// softplus-like decay to zero above `ef`, linear growth below.
+    fn synthetic_curve(ef: f64, kt: f64) -> impl Fn(f64) -> f64 {
+        move |v: f64| {
+            let eta = (ef - v) / kt;
+            // kt·ln(1+e^η) ~ linear for η ≫ 0, → 0 for η ≪ 0.
+            let scaled = if eta > 0.0 {
+                eta + (-eta).exp().ln_1p()
+            } else {
+                eta.exp().ln_1p()
+            };
+            1e-10 * kt * scaled / 0.0259
+        }
+    }
+
+    #[test]
+    fn model1_fit_is_c1_continuous() {
+        let ef = -0.32;
+        let curve = synthetic_curve(ef, 0.0259);
+        let pw = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default()).unwrap();
+        for (dv, ds) in pw.continuity_jumps() {
+            assert!(dv.abs() < 1e-16, "value jump {dv}");
+            assert!(ds.abs() < 1e-14, "slope jump {ds}");
+        }
+    }
+
+    #[test]
+    fn model2_fit_is_c1_continuous_and_accurate() {
+        let ef = -0.32;
+        let curve = synthetic_curve(ef, 0.0259);
+        // Absolute weighting: this test measures peak-normalised accuracy.
+        let opts = FitOptions {
+            relative_weight_floor: 1e12,
+            ..FitOptions::default()
+        };
+        let pw = fit_piecewise(&curve, ef, &PiecewiseSpec::model2(), opts).unwrap();
+        for (dv, ds) in pw.continuity_jumps() {
+            assert!(dv.abs() < 1e-16);
+            assert!(ds.abs() < 1e-14);
+        }
+        let err = fit_error_percent(&curve, &pw, ef, opts, 500);
+        assert!(err < 10.0, "fit error {err}%");
+    }
+
+    #[test]
+    fn model2_beats_model1_on_the_real_charge_curve() {
+        // On the theoretical Q_S of the paper's device — the curve both
+        // models were designed around — the four-piece model must win.
+        use cntfet_reference::{ChargeModel, DeviceParams};
+        let params = DeviceParams::paper_default();
+        let ef = params.fermi_level.value();
+        let charge = ChargeModel::new(&params, 1e-9);
+        let curve = |v: f64| charge.q_s(v);
+        let o = FitOptions::default();
+        let m1 = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), o).unwrap();
+        let m2 = fit_piecewise(&curve, ef, &PiecewiseSpec::model2(), o).unwrap();
+        let e1 = fit_error_percent(&curve, &m1, ef, o, 300);
+        let e2 = fit_error_percent(&curve, &m2, ef, o, 300);
+        assert!(e2 < e1, "model2 {e2}% should beat model1 {e1}%");
+    }
+
+    #[test]
+    fn global_fit_improves_charge_rms_over_greedy() {
+        let ef = -0.32;
+        let curve = synthetic_curve(ef, 0.0259);
+        let o = FitOptions::default();
+        let greedy = fit_piecewise(&curve, ef, &PiecewiseSpec::model2(), o).unwrap();
+        let global = fit_piecewise_global(&curve, ef, &PiecewiseSpec::model2(), o).unwrap();
+        let eg = fit_error_percent(&curve, &greedy, ef, o, 500);
+        let eo = fit_error_percent(&curve, &global, ef, o, 500);
+        assert!(eo < eg, "global {eo}% should beat greedy {eg}%");
+        // And it must preserve C¹ continuity exactly (hard constraints).
+        for (dv, ds) in global.continuity_jumps() {
+            assert!(dv.abs() < 1e-16, "value jump {dv}");
+            assert!(ds.abs() < 1e-13, "slope jump {ds}");
+        }
+    }
+
+    #[test]
+    fn zero_region_is_exactly_zero() {
+        let ef = -0.32;
+        let curve = synthetic_curve(ef, 0.0259);
+        let pw = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default()).unwrap();
+        assert_eq!(pw.eval(ef + 0.2), 0.0);
+        assert_eq!(pw.eval(1.0), 0.0);
+    }
+
+    #[test]
+    fn linear_region_extends_as_tangent() {
+        let ef = -0.32;
+        let curve = synthetic_curve(ef, 0.0259);
+        let pw = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default()).unwrap();
+        // Below the first breakpoint the polynomial is degree ≤ 1.
+        assert!(pw.polynomials()[0].degree().unwrap_or(0) <= 1);
+        // And it stays close to the (asymptotically linear) curve well
+        // below the fitting window.
+        let v = ef - 1.0;
+        let rel = (pw.eval(v) - curve(v)).abs() / curve(v);
+        assert!(rel < 0.05, "extrapolation error {rel}");
+    }
+
+    #[test]
+    fn fit_domain_must_cover_first_region() {
+        let ef = -0.32;
+        let curve = synthetic_curve(ef, 0.0259);
+        let bad = FitOptions {
+            domain_below_ef: -0.05, // above Model 1's −0.08 offset
+            ..Default::default()
+        };
+        assert!(fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), bad).is_err());
+    }
+
+    #[test]
+    fn optimized_breakpoints_do_not_regress() {
+        let ef = -0.32;
+        let curve = synthetic_curve(ef, 0.0259);
+        let o = FitOptions::default();
+        let fixed = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), o).unwrap();
+        let e_fixed = fit_error_percent(&curve, &fixed, ef, o, 400);
+        let (opt, spec) = fit_with_optimized_breakpoints(&curve, ef, &PiecewiseSpec::model1(), o).unwrap();
+        let e_opt = fit_error_percent(&curve, &opt, ef, o, 400);
+        assert!(e_opt <= e_fixed * 1.02, "optimised {e_opt}% vs fixed {e_fixed}%");
+        assert!(spec.offsets.windows(2).all(|w| w[1] > w[0]));
+    }
+}

@@ -1,0 +1,292 @@
+//! Closed-form solution of the self-consistent voltage equation (paper §V).
+//!
+//! With the charge approximated by piecewise polynomials of degree ≤ 3,
+//! the residual of the self-consistent equation,
+//!
+//! ```text
+//! G(V) = C_Σ·V + Q_t − Q̂(V) − Q̂(V + V_DS)
+//! ```
+//!
+//! is itself a polynomial of degree ≤ 3 on every interval of the combined
+//! breakpoint partition (the model's own breakpoints plus the drain copy's
+//! breakpoints shifted by `−V_DS`). The solver therefore:
+//!
+//! 1. merges the two breakpoint sets into a sorted partition;
+//! 2. walks the intervals left to right, looking for the sign change of
+//!    the (strictly increasing) residual;
+//! 3. solves the cubic/quadratic/linear closed form on that interval.
+//!
+//! No Newton–Raphson, no quadrature — this is the entire speed-up of the
+//! paper. The fallback bisection in step 3 exists only to absorb
+//! floating-point corner cases at interval edges; it still evaluates
+//! nothing but polynomials.
+
+use crate::error::CompactModelError;
+use crate::piecewise::PiecewiseCharge;
+use cntfet_numerics::polynomial::Polynomial;
+use cntfet_numerics::roots::real_roots;
+
+/// Closed-form self-consistent-voltage solver over a fitted charge curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedFormScf {
+    charge: PiecewiseCharge,
+    c_total: f64,
+}
+
+impl ClosedFormScf {
+    /// Creates a solver for total terminal capacitance `c_total` (F/m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_total <= 0`.
+    pub fn new(charge: PiecewiseCharge, c_total: f64) -> Self {
+        assert!(c_total > 0.0, "total capacitance must be positive");
+        ClosedFormScf { charge, c_total }
+    }
+
+    /// The fitted charge curve.
+    pub fn charge(&self) -> &PiecewiseCharge {
+        &self.charge
+    }
+
+    /// Residual `G(V) = C_Σ V + Q_t − Q̂(V) − Q̂(V + V_DS)`.
+    pub fn residual(&self, v: f64, q_t: f64, vds: f64) -> f64 {
+        self.c_total * v + q_t - self.charge.eval(v) - self.charge.eval(v + vds)
+    }
+
+    /// Solves `G(V_SC) = 0` in closed form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactModelError::NoRoot`] if no interval brackets a
+    /// sign change — possible only if the fitted curve is so badly
+    /// non-monotone that `G` is not increasing, which the fitting pipeline
+    /// prevents.
+    pub fn solve(&self, q_t: f64, vds: f64) -> Result<f64, CompactModelError> {
+        // Combined partition: own breakpoints and the drain copy's,
+        // shifted left by vds.
+        let own = self.charge.breakpoints();
+        let mut cuts: Vec<f64> = own
+            .iter()
+            .copied()
+            .chain(own.iter().map(|&b| b - vds))
+            .collect();
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+        cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+
+        // Outer bounds: beyond the last cut the curve is zero, so
+        // G = C_Σ V + Q_t is linear; below the first cut both copies are
+        // linear, so G is linear too. Expand until the residual brackets.
+        let mut lo = cuts.first().copied().unwrap_or(0.0) - 1.0;
+        let mut hi = cuts.last().copied().unwrap_or(0.0) + 1.0 + q_t.abs() / self.c_total;
+        for _ in 0..64 {
+            if self.residual(lo, q_t, vds) < 0.0 {
+                break;
+            }
+            lo = -(lo.abs() * 2.0) - 1.0;
+        }
+        for _ in 0..64 {
+            if self.residual(hi, q_t, vds) > 0.0 {
+                break;
+            }
+            hi = hi.abs() * 2.0 + 1.0;
+        }
+
+        let mut edges = Vec::with_capacity(cuts.len() + 2);
+        edges.push(lo);
+        edges.extend(cuts.iter().copied().filter(|&c| c > lo && c < hi));
+        edges.push(hi);
+
+        // Walk intervals; the residual is increasing, so the first
+        // interval whose right end is non-negative holds the root.
+        let mut g_left = self.residual(edges[0], q_t, vds);
+        for w in edges.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let g_right = self.residual(b, q_t, vds);
+            if g_left <= 0.0 && g_right >= 0.0 {
+                return self.solve_interval(a, b, q_t, vds);
+            }
+            g_left = g_right;
+        }
+        Err(CompactModelError::NoRoot {
+            terminal_charge: q_t,
+            vds,
+        })
+    }
+
+    /// Closed-form root on one interval where both charge copies are
+    /// single polynomials.
+    fn solve_interval(&self, a: f64, b: f64, q_t: f64, vds: f64) -> Result<f64, CompactModelError> {
+        let mid = 0.5 * (a + b);
+        let p_own = &self.charge.polynomials()[self.charge.region_index(mid)];
+        let p_drain = &self.charge.polynomials()[self.charge.region_index(mid + vds)];
+        // G(V) = C·V + Qt − P_own(V) − P_drain(V + vds) as one polynomial.
+        let linear = Polynomial::new(vec![q_t, self.c_total]);
+        let g = &(&linear - p_own) - &p_drain.shift_argument(vds);
+        let tol = 1e-9 * (1.0 + b.abs().max(a.abs()));
+        let mut best: Option<f64> = None;
+        for r in real_roots(&g) {
+            if r >= a - tol && r <= b + tol {
+                // Monotone residual → at most one root in the interval;
+                // if numerics produce several, keep the one with the
+                // smallest residual.
+                let candidate = r.clamp(a, b);
+                let keep = match best {
+                    None => true,
+                    Some(prev) => {
+                        self.residual(candidate, q_t, vds).abs()
+                            < self.residual(prev, q_t, vds).abs()
+                    }
+                };
+                if keep {
+                    best = Some(candidate);
+                }
+            }
+        }
+        if let Some(r) = best {
+            return Ok(r);
+        }
+        // Floating-point corner case (root at an interval edge): polish
+        // with bisection on the polynomial residual.
+        let (mut lo, mut hi) = (a, b);
+        let mut flo = self.residual(lo, q_t, vds);
+        if flo > 0.0 {
+            return Ok(lo);
+        }
+        for _ in 0..200 {
+            let m = 0.5 * (lo + hi);
+            let fm = self.residual(m, q_t, vds);
+            if fm.abs() < 1e-24 || (hi - lo) < 1e-15 {
+                return Ok(m);
+            }
+            if (fm > 0.0) == (flo > 0.0) {
+                lo = m;
+                flo = fm;
+            } else {
+                hi = m;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::piecewise::PiecewiseCharge;
+
+    /// A simple C¹ test curve: quadratic ramp joining a linear region to
+    /// zero, mimicking a Model-1 fit with breakpoints at −0.4 and −0.24.
+    fn test_charge() -> PiecewiseCharge {
+        // Region 3 (zero) for v > -0.24.
+        // Region 2: quadratic with value 0, slope 0 at −0.24:
+        //   p2 = k (v + 0.24)², k = 1e-9 F/m-ish curvature, decreasing.
+        let k = 2e-10;
+        let p2 = Polynomial::new(vec![k * 0.24 * 0.24, 2.0 * k * 0.24, k]);
+        // Region 1: tangent of p2 at −0.4.
+        let (v, s) = p2.eval_with_derivative(-0.4);
+        let p1 = Polynomial::new(vec![v - s * (-0.4), s]);
+        PiecewiseCharge::new(vec![-0.4, -0.24], vec![p1, p2, Polynomial::zero()]).unwrap()
+    }
+
+    fn solver() -> ClosedFormScf {
+        ClosedFormScf::new(test_charge(), 1.7e-10)
+    }
+
+    #[test]
+    fn residual_is_monotone() {
+        let s = solver();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let v = -1.0 + 1.5 * i as f64 / 100.0;
+            let g = s.residual(v, 5e-11, 0.3);
+            assert!(g >= prev, "not monotone at {v}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn zero_terminal_charge_zero_vds_solves_in_zero_region() {
+        let s = solver();
+        let v = s.solve(0.0, 0.0).unwrap();
+        // G = C·V in the zero region → root at 0.
+        assert!(v.abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn positive_terminal_charge_pulls_vsc_negative() {
+        let s = solver();
+        let v = s.solve(8e-11, 0.0).unwrap();
+        assert!(v < -0.1, "{v}");
+        let g = s.residual(v, 8e-11, 0.0);
+        assert!(g.abs() < 1e-20, "residual {g}");
+    }
+
+    #[test]
+    fn root_lands_in_every_region_as_qt_grows() {
+        let s = solver();
+        let mut regions_hit = std::collections::HashSet::new();
+        for i in 0..60 {
+            let qt = i as f64 * 4e-12;
+            let v = s.solve(qt, 0.25).unwrap();
+            regions_hit.insert(s.charge().region_index(v));
+            let g = s.residual(v, qt, 0.25);
+            assert!(g.abs() < 1e-18, "qt {qt}: residual {g}");
+        }
+        // The sweep must traverse zero, quadratic and linear regions.
+        assert!(regions_hit.len() >= 3, "{regions_hit:?}");
+    }
+
+    #[test]
+    fn vds_shift_moves_the_solution() {
+        let s = solver();
+        let v0 = s.solve(6e-11, 0.0).unwrap();
+        let v1 = s.solve(6e-11, 0.5).unwrap();
+        // Draining the +VDS copy removes charge, so V_SC falls further.
+        assert!(v1 < v0, "{v1} vs {v0}");
+    }
+
+    #[test]
+    fn negative_vds_also_solves() {
+        let s = solver();
+        let v = s.solve(6e-11, -0.3).unwrap();
+        assert!(s.residual(v, 6e-11, -0.3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn solution_matches_dense_bisection() {
+        let s = solver();
+        for &(qt, vds) in &[(2e-11, 0.1), (5e-11, 0.4), (9e-11, 0.6), (1.2e-10, 0.05)] {
+            let closed = s.solve(qt, vds).unwrap();
+            // Brute-force bisection over a wide window.
+            let (mut lo, mut hi) = (-2.0, 2.0);
+            for _ in 0..200 {
+                let m = 0.5 * (lo + hi);
+                if s.residual(m, qt, vds) < 0.0 {
+                    lo = m;
+                } else {
+                    hi = m;
+                }
+            }
+            let brute = 0.5 * (lo + hi);
+            assert!(
+                (closed - brute).abs() < 1e-9,
+                "qt {qt} vds {vds}: closed {closed} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_bias_still_brackets() {
+        let s = solver();
+        let v = s.solve(1e-8, 2.0).unwrap(); // absurdly large Q_t
+        assert!(v.is_finite());
+        assert!(s.residual(v, 1e-8, 2.0).abs() < 1e-16);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_capacitance_panics() {
+        let _ = ClosedFormScf::new(test_charge(), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Model specifications: where the paper's regions sit and which
+//! polynomial order each uses.
+
+use crate::error::CompactModelError;
+
+/// A piecewise model specification: interior breakpoint *offsets* measured
+/// from `E_F/q` (volts) and polynomial degrees for every region except the
+/// last, which is identically zero (the paper's "zero" region).
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_core::spec::PiecewiseSpec;
+/// let m2 = PiecewiseSpec::model2();
+/// assert_eq!(m2.offsets, vec![-0.28, -0.03, 0.12]);
+/// assert_eq!(m2.degrees, vec![1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseSpec {
+    /// Breakpoint offsets from `E_F/q`, ascending, volts.
+    pub offsets: Vec<f64>,
+    /// Polynomial degree of each region left of the final zero region.
+    pub degrees: Vec<usize>,
+}
+
+impl PiecewiseSpec {
+    /// The paper's **Model 1**: linear below `E_F/q − 0.08 V`, quadratic
+    /// between `±0.08 V`, zero above.
+    pub fn model1() -> Self {
+        PiecewiseSpec {
+            offsets: vec![-0.08, 0.08],
+            degrees: vec![1, 2],
+        }
+    }
+
+    /// The paper's **Model 2**: linear below `E_F/q − 0.28 V`, quadratic
+    /// on `(−0.28, −0.03]`, cubic on `(−0.03, 0.12]`, zero above.
+    pub fn model2() -> Self {
+        PiecewiseSpec {
+            offsets: vec![-0.28, -0.03, 0.12],
+            degrees: vec![1, 2, 3],
+        }
+    }
+
+    /// A custom specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactModelError::InvalidSpec`] if the lengths disagree,
+    /// the offsets are not strictly increasing, any degree exceeds 3, or
+    /// there are no regions.
+    pub fn custom(offsets: Vec<f64>, degrees: Vec<usize>) -> Result<Self, CompactModelError> {
+        if offsets.is_empty() || degrees.len() != offsets.len() {
+            return Err(CompactModelError::InvalidSpec(format!(
+                "need one degree per non-zero region: {} offsets vs {} degrees",
+                offsets.len(),
+                degrees.len()
+            )));
+        }
+        for w in offsets.windows(2) {
+            if !(w[1] > w[0]) {
+                return Err(CompactModelError::InvalidSpec(format!(
+                    "offsets must be strictly increasing ({} then {})",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if let Some(&d) = degrees.iter().find(|&&d| d > 3) {
+            return Err(CompactModelError::InvalidSpec(format!(
+                "degree {d} exceeds the closed-form limit of 3"
+            )));
+        }
+        Ok(PiecewiseSpec { offsets, degrees })
+    }
+
+    /// Number of regions including the final zero region.
+    pub fn region_count(&self) -> usize {
+        self.offsets.len() + 1
+    }
+
+    /// Absolute breakpoints for a device with Fermi level `ef` (eV; the
+    /// breakpoints live at `E_F/q + offset` volts).
+    pub fn absolute_breakpoints(&self, ef: f64) -> Vec<f64> {
+        self.offsets.iter().map(|o| ef + o).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model1_matches_paper_section_iv() {
+        let m = PiecewiseSpec::model1();
+        assert_eq!(m.region_count(), 3);
+        assert_eq!(m.offsets, vec![-0.08, 0.08]);
+        assert_eq!(m.degrees, vec![1, 2]);
+    }
+
+    #[test]
+    fn model2_matches_paper_section_iv() {
+        let m = PiecewiseSpec::model2();
+        assert_eq!(m.region_count(), 4);
+        assert_eq!(m.offsets, vec![-0.28, -0.03, 0.12]);
+        assert_eq!(m.degrees, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn absolute_breakpoints_shift_with_fermi_level() {
+        let m = PiecewiseSpec::model1();
+        let bps = m.absolute_breakpoints(-0.32);
+        assert!((bps[0] + 0.40).abs() < 1e-12);
+        assert!((bps[1] + 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_validation() {
+        assert!(PiecewiseSpec::custom(vec![], vec![]).is_err());
+        assert!(PiecewiseSpec::custom(vec![0.1, 0.0], vec![1, 2]).is_err());
+        assert!(PiecewiseSpec::custom(vec![0.0, 0.1], vec![1]).is_err());
+        assert!(PiecewiseSpec::custom(vec![0.0], vec![4]).is_err());
+        assert!(PiecewiseSpec::custom(vec![-0.1, 0.1], vec![1, 3]).is_ok());
+    }
+}

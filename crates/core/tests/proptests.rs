@@ -1,0 +1,133 @@
+//! Property-based tests for the compact model's structural invariants.
+
+use cntfet_core::fit::{fit_piecewise, FitOptions};
+use cntfet_core::piecewise::PiecewiseCharge;
+use cntfet_core::solver::ClosedFormScf;
+use cntfet_core::spec::PiecewiseSpec;
+use cntfet_numerics::polynomial::Polynomial;
+use proptest::prelude::*;
+
+/// A softplus-like monotone decreasing charge curve with tunable scale
+/// and sharpness — the qualitative family the real `q·N_S` lives in.
+fn softplus_curve(ef: f64, kt: f64, scale: f64) -> impl Fn(f64) -> f64 {
+    move |v: f64| {
+        let eta = (ef - v) / kt;
+        let f0 = if eta > 0.0 {
+            eta + (-eta).exp().ln_1p()
+        } else {
+            eta.exp().ln_1p()
+        };
+        scale * kt * f0
+    }
+}
+
+/// A C¹ two-region decreasing test curve for solver properties.
+fn two_region_charge(k: f64, b: f64) -> PiecewiseCharge {
+    // Quadratic k(v−b)² left of b, zero right of b; tangent-linear left
+    // of b−0.2.
+    let p2 = Polynomial::new(vec![k * b * b, -2.0 * k * b, k]);
+    let (v, s) = p2.eval_with_derivative(b - 0.2);
+    let p1 = Polynomial::new(vec![v - s * (b - 0.2), s]);
+    PiecewiseCharge::new(vec![b - 0.2, b], vec![p1, p2, Polynomial::zero()])
+        .expect("valid test curve")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fitted_curves_are_c1_at_interior_joints(
+        ef in -0.5f64..-0.1,
+        kt in 0.012f64..0.04,
+        scale in 0.5f64..2.0,
+    ) {
+        let curve = softplus_curve(ef, kt, scale * 1e-10 / 0.026);
+        let pw = fit_piecewise(&curve, ef, &PiecewiseSpec::model2(), FitOptions::default())
+            .expect("fit");
+        let jumps = pw.continuity_jumps();
+        // All interior joints C¹; the zero joint C¹ under default opts.
+        for (dv, ds) in jumps {
+            prop_assert!(dv.abs() < 1e-15, "value jump {dv}");
+            prop_assert!(ds.abs() < 1e-12, "slope jump {ds}");
+        }
+    }
+
+    #[test]
+    fn fitted_zero_region_is_exactly_zero(
+        ef in -0.5f64..-0.1,
+        kt in 0.012f64..0.04,
+        probe in 0.15f64..2.0,
+    ) {
+        let curve = softplus_curve(ef, kt, 1e-10 / 0.026);
+        let pw = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default())
+            .expect("fit");
+        prop_assert_eq!(pw.eval(ef + probe), 0.0);
+    }
+
+    #[test]
+    fn closed_form_root_always_satisfies_residual(
+        k in 1e-10f64..1e-9,
+        b in -0.4f64..0.0,
+        qt in 0.0f64..2e-10,
+        vds in 0.0f64..0.8,
+        c_total in 5e-11f64..4e-10,
+    ) {
+        let charge = two_region_charge(k, b);
+        let scf = ClosedFormScf::new(charge, c_total);
+        let v = scf.solve(qt, vds).expect("solve");
+        let g = scf.residual(v, qt, vds);
+        prop_assert!(g.abs() < 1e-16, "residual {g} at root {v}");
+    }
+
+    #[test]
+    fn closed_form_root_is_monotone_in_terminal_charge(
+        k in 1e-10f64..1e-9,
+        b in -0.4f64..0.0,
+        vds in 0.0f64..0.6,
+        c_total in 5e-11f64..4e-10,
+    ) {
+        let charge = two_region_charge(k, b);
+        let scf = ClosedFormScf::new(charge, c_total);
+        let mut prev = f64::INFINITY;
+        for i in 0..10 {
+            let qt = i as f64 * 2e-11;
+            let v = scf.solve(qt, vds).expect("solve");
+            prop_assert!(v <= prev + 1e-12, "root must fall as qt rises");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_brute_force_bisection(
+        k in 1e-10f64..1e-9,
+        b in -0.4f64..0.0,
+        qt in 0.0f64..2e-10,
+        vds in 0.0f64..0.8,
+    ) {
+        let c_total = 1.7e-10;
+        let charge = two_region_charge(k, b);
+        let scf = ClosedFormScf::new(charge, c_total);
+        let closed = scf.solve(qt, vds).expect("solve");
+        let (mut lo, mut hi) = (-5.0, 5.0);
+        for _ in 0..200 {
+            let m = 0.5 * (lo + hi);
+            if scf.residual(m, qt, vds) < 0.0 { lo = m; } else { hi = m; }
+        }
+        let brute = 0.5 * (lo + hi);
+        prop_assert!((closed - brute).abs() < 1e-8, "{closed} vs {brute}");
+    }
+
+    #[test]
+    fn spec_roundtrips_absolute_breakpoints(
+        ef in -0.6f64..0.0,
+        o1 in -0.45f64..-0.2,
+        o2 in -0.15f64..0.0,
+        o3 in 0.05f64..0.2,
+    ) {
+        let spec = PiecewiseSpec::custom(vec![o1, o2, o3], vec![1, 2, 3]).expect("spec");
+        let bps = spec.absolute_breakpoints(ef);
+        prop_assert!((bps[0] - (ef + o1)).abs() < 1e-15);
+        prop_assert!((bps[2] - (ef + o3)).abs() < 1e-15);
+        prop_assert!(bps.windows(2).all(|w| w[1] > w[0]));
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type shared by all fallible routines in this crate.
+
+use std::fmt;
+
+/// Error returned by the numerical routines in [`crate`].
+///
+/// Every variant carries enough context to diagnose the failing call without
+/// a debugger; the [`fmt::Display`] output is a lowercase, punctuation-free
+/// sentence as recommended by the Rust API guidelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// An iterative method exhausted its iteration budget.
+    ///
+    /// Carries the method name, the iteration limit, and the best residual
+    /// seen so the caller can decide whether the partial answer is usable.
+    ConvergenceFailure {
+        /// Human-readable name of the failing method (e.g. `"newton"`).
+        method: &'static str,
+        /// Number of iterations that were performed.
+        iterations: usize,
+        /// Magnitude of the residual when the budget ran out.
+        residual: f64,
+    },
+    /// A bracketing method was given an interval whose endpoints do not
+    /// bracket a root (`f(a)` and `f(b)` have the same sign).
+    InvalidBracket {
+        /// Function value at the left end of the interval.
+        fa: f64,
+        /// Function value at the right end of the interval.
+        fb: f64,
+    },
+    /// A matrix was numerically singular during factorisation.
+    SingularMatrix {
+        /// Pivot column at which factorisation broke down.
+        pivot: usize,
+    },
+    /// Input data violated a documented precondition.
+    InvalidInput(String),
+    /// A least-squares system was rank deficient.
+    RankDeficient {
+        /// Number of columns of the design matrix.
+        columns: usize,
+        /// Estimated numerical rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::ConvergenceFailure {
+                method,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{method} failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericsError::InvalidBracket { fa, fb } => write!(
+                f,
+                "interval endpoints do not bracket a root (f(a) = {fa:.3e}, f(b) = {fb:.3e})"
+            ),
+            NumericsError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            NumericsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            NumericsError::RankDeficient { columns, rank } => write!(
+                f,
+                "least-squares system is rank deficient (rank {rank} of {columns} columns)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NumericsError::ConvergenceFailure {
+            method: "newton",
+            iterations: 50,
+            residual: 1e-3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("newton"));
+        assert!(s.contains("50"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<NumericsError>();
+    }
+
+    #[test]
+    fn variants_compare_equal_by_value() {
+        let a = NumericsError::SingularMatrix { pivot: 2 };
+        let b = NumericsError::SingularMatrix { pivot: 2 };
+        assert_eq!(a, b);
+        let c = NumericsError::SingularMatrix { pivot: 3 };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_bracket_reports_both_values() {
+        let e = NumericsError::InvalidBracket { fa: 1.0, fb: 2.0 };
+        let s = e.to_string();
+        assert!(s.contains("1.000e0"));
+        assert!(s.contains("2.000e0"));
+    }
+}

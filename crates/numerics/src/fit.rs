@@ -1,0 +1,313 @@
+//! Polynomial least-squares fitting, optionally with linear equality
+//! constraints.
+//!
+//! The paper fits each piecewise charge segment "according to the same rule
+//! while assuring the continuity of the first derivative" — i.e. a
+//! least-squares polynomial fit subject to value and slope constraints at
+//! the segment boundaries. The constraint machinery here expresses exactly
+//! that: a constraint is a linear functional of the coefficient vector, and
+//! the constrained minimiser is obtained from the KKT system.
+
+use crate::error::NumericsError;
+use crate::linalg::{lstsq, Matrix};
+use crate::polynomial::Polynomial;
+
+/// A linear equality constraint `Σ coeffs[k] · c[k] = rhs` on the
+/// coefficient vector `c` of a fitted polynomial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConstraint {
+    /// Weights applied to the polynomial coefficients (ascending degree).
+    pub coeffs: Vec<f64>,
+    /// Required value of the linear functional.
+    pub rhs: f64,
+}
+
+impl LinearConstraint {
+    /// Constraint fixing the fitted polynomial's *value* at `x` to `y`:
+    /// `p(x) = y`.
+    pub fn value_at(x: f64, y: f64, degree: usize) -> Self {
+        let coeffs = (0..=degree).map(|k| x.powi(k as i32)).collect();
+        LinearConstraint { coeffs, rhs: y }
+    }
+
+    /// Constraint fixing the fitted polynomial's *derivative* at `x` to
+    /// `slope`: `p'(x) = slope`.
+    pub fn derivative_at(x: f64, slope: f64, degree: usize) -> Self {
+        let coeffs = (0..=degree)
+            .map(|k| {
+                if k == 0 {
+                    0.0
+                } else {
+                    k as f64 * x.powi(k as i32 - 1)
+                }
+            })
+            .collect();
+        LinearConstraint { coeffs, rhs: slope }
+    }
+}
+
+/// Fits a polynomial of the given degree to `(xs, ys)` in the least-squares
+/// sense.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] if the point count is smaller
+/// than `degree + 1` or the slices disagree in length, and propagates
+/// rank-deficiency errors from the QR solver (e.g. duplicated abscissae).
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial, NumericsError> {
+    if xs.len() != ys.len() {
+        return Err(NumericsError::InvalidInput(format!(
+            "xs and ys lengths differ ({} vs {})",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < degree + 1 {
+        return Err(NumericsError::InvalidInput(format!(
+            "need at least {} points for degree {degree}, got {}",
+            degree + 1,
+            xs.len()
+        )));
+    }
+    let rows: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|&x| (0..=degree).map(|k| x.powi(k as i32)).collect())
+        .collect();
+    let a = Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+    let c = lstsq(&a, ys)?;
+    Ok(Polynomial::new(c))
+}
+
+/// Fits a polynomial of the given degree to `(xs, ys)` subject to linear
+/// equality constraints, by solving the KKT system
+///
+/// ```text
+/// | 2 AᵀA  Cᵀ | | c |   | 2 Aᵀy |
+/// | C      0  | | λ | = | d     |
+/// ```
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] on inconsistent input sizes or
+/// more constraints than coefficients, and
+/// [`NumericsError::SingularMatrix`] when the KKT system is singular
+/// (linearly dependent constraints).
+pub fn polyfit_constrained(
+    xs: &[f64],
+    ys: &[f64],
+    degree: usize,
+    constraints: &[LinearConstraint],
+) -> Result<Polynomial, NumericsError> {
+    if xs.len() != ys.len() {
+        return Err(NumericsError::InvalidInput(format!(
+            "xs and ys lengths differ ({} vs {})",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    let n = degree + 1;
+    let m = constraints.len();
+    if m > n {
+        return Err(NumericsError::InvalidInput(format!(
+            "{m} constraints exceed {n} coefficients"
+        )));
+    }
+    if m == 0 {
+        return polyfit(xs, ys, degree);
+    }
+    for c in constraints {
+        if c.coeffs.len() != n {
+            return Err(NumericsError::InvalidInput(format!(
+                "constraint has {} weights, expected {n}",
+                c.coeffs.len()
+            )));
+        }
+    }
+    if xs.is_empty() {
+        return Err(NumericsError::InvalidInput(
+            "no data points provided".to_string(),
+        ));
+    }
+
+    // Normal-equation blocks.
+    let mut ata = Matrix::zeros(n, n);
+    let mut aty = vec![0.0; n];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let basis: Vec<f64> = (0..n).map(|k| x.powi(k as i32)).collect();
+        for i in 0..n {
+            aty[i] += basis[i] * y;
+            for j in 0..n {
+                ata[(i, j)] += basis[i] * basis[j];
+            }
+        }
+    }
+
+    let dim = n + m;
+    let mut kkt = Matrix::zeros(dim, dim);
+    let mut rhs = vec![0.0; dim];
+    for i in 0..n {
+        rhs[i] = 2.0 * aty[i];
+        for j in 0..n {
+            kkt[(i, j)] = 2.0 * ata[(i, j)];
+        }
+    }
+    for (ci, c) in constraints.iter().enumerate() {
+        rhs[n + ci] = c.rhs;
+        for (k, &w) in c.coeffs.iter().enumerate() {
+            kkt[(k, n + ci)] = w;
+            kkt[(n + ci, k)] = w;
+        }
+    }
+    let sol = kkt.solve(&rhs)?;
+    Ok(Polynomial::new(sol[..n].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn sample<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..n)
+            .map(|i| a + (b - a) * i as f64 / (n - 1) as f64)
+            .collect();
+        let ys = xs.iter().map(|&x| f(x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn polyfit_recovers_exact_polynomial() {
+        let (xs, ys) = sample(|x| 1.0 - 2.0 * x + 0.5 * x * x, -1.0, 2.0, 20);
+        let p = polyfit(&xs, &ys, 2).unwrap();
+        assert!(close(p.coeff(0), 1.0, 1e-10));
+        assert!(close(p.coeff(1), -2.0, 1e-10));
+        assert!(close(p.coeff(2), 0.5, 1e-10));
+    }
+
+    #[test]
+    fn polyfit_smooths_noise() {
+        // Deterministic "noise" with zero mean over the sample.
+        let (xs, mut ys) = sample(|x| 2.0 * x, 0.0, 1.0, 40);
+        for (i, y) in ys.iter_mut().enumerate() {
+            *y += if i % 2 == 0 { 1e-3 } else { -1e-3 };
+        }
+        let p = polyfit(&xs, &ys, 1).unwrap();
+        assert!(close(p.coeff(1), 2.0, 1e-3));
+    }
+
+    #[test]
+    fn polyfit_rejects_too_few_points() {
+        assert!(matches!(
+            polyfit(&[0.0, 1.0], &[0.0, 1.0], 2),
+            Err(NumericsError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn polyfit_rejects_mismatched_lengths() {
+        assert!(matches!(
+            polyfit(&[0.0, 1.0, 2.0], &[0.0, 1.0], 1),
+            Err(NumericsError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn value_constraint_is_honoured_exactly() {
+        let (xs, ys) = sample(|x| x * x, 0.0, 1.0, 25);
+        let c = LinearConstraint::value_at(0.0, 0.25, 2);
+        let p = polyfit_constrained(&xs, &ys, 2, &[c]).unwrap();
+        assert!(close(p.eval(0.0), 0.25, 1e-12));
+    }
+
+    #[test]
+    fn derivative_constraint_is_honoured_exactly() {
+        let (xs, ys) = sample(|x| x * x * x, -1.0, 1.0, 30);
+        let c = LinearConstraint::derivative_at(0.5, 0.0, 3);
+        let p = polyfit_constrained(&xs, &ys, 3, &[c]).unwrap();
+        assert!(p.derivative().eval(0.5).abs() < 1e-11);
+    }
+
+    #[test]
+    fn unconstrained_path_matches_polyfit() {
+        let (xs, ys) = sample(|x| 3.0 + x, 0.0, 2.0, 10);
+        let a = polyfit(&xs, &ys, 1).unwrap();
+        let b = polyfit_constrained(&xs, &ys, 1, &[]).unwrap();
+        assert!(close(a.coeff(0), b.coeff(0), 1e-10));
+        assert!(close(a.coeff(1), b.coeff(1), 1e-10));
+    }
+
+    #[test]
+    fn inactive_constraint_changes_nothing() {
+        // Constraint already satisfied by the unconstrained optimum.
+        let (xs, ys) = sample(|x| 2.0 * x, 0.0, 1.0, 15);
+        let c = LinearConstraint::value_at(0.0, 0.0, 1);
+        let p = polyfit_constrained(&xs, &ys, 1, &[c]).unwrap();
+        assert!(close(p.coeff(1), 2.0, 1e-9));
+        assert!(p.coeff(0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn c1_join_between_two_fitted_segments() {
+        // Emulates the paper's requirement: fit the left segment freely,
+        // then force the right segment to join with matching value and
+        // slope at the breakpoint.
+        let f = |x: f64| (2.0 * x).tanh();
+        let (xl, yl) = sample(f, -2.0, 0.0, 40);
+        let (xr, yr) = sample(f, 0.0, 2.0, 40);
+        let left = polyfit(&xl, &yl, 3).unwrap();
+        let join_v = left.eval(0.0);
+        let join_s = left.derivative().eval(0.0);
+        let right = polyfit_constrained(
+            &xr,
+            &yr,
+            3,
+            &[
+                LinearConstraint::value_at(0.0, join_v, 3),
+                LinearConstraint::derivative_at(0.0, join_s, 3),
+            ],
+        )
+        .unwrap();
+        assert!(close(right.eval(0.0), join_v, 1e-10));
+        assert!(close(right.derivative().eval(0.0), join_s, 1e-10));
+    }
+
+    #[test]
+    fn too_many_constraints_is_invalid() {
+        let cs = vec![
+            LinearConstraint::value_at(0.0, 0.0, 1),
+            LinearConstraint::value_at(1.0, 1.0, 1),
+            LinearConstraint::derivative_at(0.5, 1.0, 1),
+        ];
+        assert!(matches!(
+            polyfit_constrained(&[0.0, 0.5, 1.0], &[0.0, 0.5, 1.0], 1, &cs),
+            Err(NumericsError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_constraint_width_is_invalid() {
+        let c = LinearConstraint {
+            coeffs: vec![1.0],
+            rhs: 0.0,
+        };
+        assert!(matches!(
+            polyfit_constrained(&[0.0, 1.0, 2.0], &[0.0, 1.0, 2.0], 2, &[c]),
+            Err(NumericsError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_constraints_are_singular() {
+        let c = LinearConstraint::value_at(0.0, 0.0, 2);
+        let r = polyfit_constrained(
+            &[0.0, 0.5, 1.0, 1.5],
+            &[0.0, 0.25, 1.0, 2.25],
+            2,
+            &[c.clone(), c],
+        );
+        assert!(matches!(r, Err(NumericsError::SingularMatrix { .. })));
+    }
+}

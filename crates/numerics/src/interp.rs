@@ -1,0 +1,247 @@
+//! Interpolation of tabulated data.
+//!
+//! Used to resample the synthetic experimental I–V curves onto model sweep
+//! grids before computing the Table V error metrics, and by the reference
+//! model's optional charge-curve caching.
+
+use crate::error::NumericsError;
+
+/// Piecewise-linear interpolant over strictly increasing abscissae.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_numerics::interp::LinearInterpolator;
+/// let li = LinearInterpolator::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0])?;
+/// assert_eq!(li.eval(0.5), 5.0);
+/// # Ok::<(), cntfet_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterpolator {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterpolator {
+    /// Creates an interpolant from matched samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] if fewer than two points are
+    /// given, lengths differ, or `xs` is not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, NumericsError> {
+        validate_table(&xs, &ys)?;
+        Ok(LinearInterpolator { xs, ys })
+    }
+
+    /// Domain of the table as `(min, max)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("validated non-empty"))
+    }
+
+    /// Evaluates the interpolant at `x`, clamping outside the domain to the
+    /// end values (flat extrapolation, appropriate for saturating charge
+    /// and current curves).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => return self.ys[i],
+            Err(i) => i - 1,
+        };
+        let t = (x - self.xs[i]) / (self.xs[i + 1] - self.xs[i]);
+        self.ys[i] + t * (self.ys[i + 1] - self.ys[i])
+    }
+}
+
+/// Monotone (Fritsch–Carlson) piecewise-cubic Hermite interpolant.
+///
+/// Preserves monotonicity of the data — important when resampling measured
+/// I–V curves, where a plain cubic spline can introduce spurious wiggles
+/// near saturation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PchipInterpolator {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    slopes: Vec<f64>,
+}
+
+impl PchipInterpolator {
+    /// Creates a monotone cubic interpolant from matched samples.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearInterpolator::new`].
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, NumericsError> {
+        validate_table(&xs, &ys)?;
+        let n = xs.len();
+        let mut deltas = vec![0.0; n - 1];
+        for i in 0..n - 1 {
+            deltas[i] = (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i]);
+        }
+        let mut slopes = vec![0.0; n];
+        slopes[0] = deltas[0];
+        slopes[n - 1] = deltas[n - 2];
+        for i in 1..n - 1 {
+            if deltas[i - 1] * deltas[i] <= 0.0 {
+                slopes[i] = 0.0;
+            } else {
+                // Weighted harmonic mean (Fritsch–Butland).
+                let h0 = xs[i] - xs[i - 1];
+                let h1 = xs[i + 1] - xs[i];
+                let w1 = 2.0 * h1 + h0;
+                let w2 = h1 + 2.0 * h0;
+                slopes[i] = (w1 + w2) / (w1 / deltas[i - 1] + w2 / deltas[i]);
+            }
+        }
+        Ok(PchipInterpolator { xs, ys, slopes })
+    }
+
+    /// Evaluates the interpolant at `x` with flat extrapolation outside the
+    /// domain.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let i = match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => return self.ys[i],
+            Err(i) => i - 1,
+        };
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let (t2, t3) = (t * t, t * t * t);
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i] + h10 * h * self.slopes[i] + h01 * self.ys[i + 1] + h11 * h * self.slopes[i + 1]
+    }
+}
+
+fn validate_table(xs: &[f64], ys: &[f64]) -> Result<(), NumericsError> {
+    if xs.len() != ys.len() {
+        return Err(NumericsError::InvalidInput(format!(
+            "xs and ys lengths differ ({} vs {})",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(NumericsError::InvalidInput(
+            "interpolation requires at least two points".to_string(),
+        ));
+    }
+    for w in xs.windows(2) {
+        if !(w[1] > w[0]) {
+            return Err(NumericsError::InvalidInput(format!(
+                "abscissae must be strictly increasing ({} then {})",
+                w[0], w[1]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Returns `n` evenly spaced values covering `[a, b]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace requires at least two points");
+    (0..n)
+        .map(|i| a + (b - a) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_hits_knots_and_midpoints() {
+        let li = LinearInterpolator::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, -2.0]).unwrap();
+        assert_eq!(li.eval(0.0), 0.0);
+        assert_eq!(li.eval(1.0), 2.0);
+        assert_eq!(li.eval(3.0), -2.0);
+        assert_eq!(li.eval(0.5), 1.0);
+        assert_eq!(li.eval(2.0), 0.0);
+    }
+
+    #[test]
+    fn linear_clamps_outside_domain() {
+        let li = LinearInterpolator::new(vec![0.0, 1.0], vec![5.0, 7.0]).unwrap();
+        assert_eq!(li.eval(-1.0), 5.0);
+        assert_eq!(li.eval(2.0), 7.0);
+        assert_eq!(li.domain(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn table_validation_catches_errors() {
+        assert!(LinearInterpolator::new(vec![0.0], vec![1.0]).is_err());
+        assert!(LinearInterpolator::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(LinearInterpolator::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterpolator::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pchip_reproduces_knots() {
+        let xs = vec![0.0, 0.5, 1.5, 2.0];
+        let ys = vec![1.0, 3.0, 3.5, 4.0];
+        let p = PchipInterpolator::new(xs.clone(), ys.clone()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((p.eval(*x) - y).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn pchip_preserves_monotonicity() {
+        // Data with a sharp saturation; cubic splines would overshoot.
+        let xs = vec![0.0, 0.1, 0.2, 0.3, 1.0, 2.0];
+        let ys = vec![0.0, 0.8, 0.95, 0.99, 1.0, 1.0];
+        let p = PchipInterpolator::new(xs, ys).unwrap();
+        let mut prev = p.eval(0.0);
+        for i in 1..=200 {
+            let x = 2.0 * i as f64 / 200.0;
+            let v = p.eval(x);
+            assert!(v >= prev - 1e-12, "non-monotone at x = {x}");
+            assert!(v <= 1.0 + 1e-12, "overshoot at x = {x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn pchip_flat_data_stays_flat() {
+        let p = PchipInterpolator::new(vec![0.0, 1.0, 2.0], vec![4.0, 4.0, 4.0]).unwrap();
+        for i in 0..=20 {
+            assert_eq!(p.eval(i as f64 / 10.0), 4.0);
+        }
+    }
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(1.0, 2.0, 5);
+        assert_eq!(v, vec![1.0, 1.25, 1.5, 1.75, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linspace_requires_two_points() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+}

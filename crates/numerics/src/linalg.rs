@@ -1,0 +1,563 @@
+//! Dense linear algebra: matrices, LU factorisation and Householder QR.
+//!
+//! Sized for the workloads in this workspace — MNA systems of a few dozen
+//! unknowns in the circuit simulator and small design matrices in the
+//! charge-curve fitter. Row-major storage, partial pivoting, no unsafe
+//! code.
+
+use crate::error::NumericsError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_numerics::linalg::Matrix;
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let x = a.solve(&[5.0, 10.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty or have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "at least one row required");
+        let cols = rows[0].len();
+        assert!(cols > 0, "rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row lengths");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `A B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul_mat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// LU factorisation with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] when a pivot column has no
+    /// usable pivot, and [`NumericsError::InvalidInput`] for non-square
+    /// input.
+    pub fn lu(&self) -> Result<LuDecomposition, NumericsError> {
+        if self.rows != self.cols {
+            return Err(NumericsError::InvalidInput(format!(
+                "lu requires a square matrix, got {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Pivot search.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let v = m * lu[(k, j)];
+                    lu[(i, j)] -= v;
+                }
+            }
+        }
+        Ok(LuDecomposition { lu, perm, sign })
+    }
+
+    /// Solves `A x = b` via LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the factorisation errors of [`Matrix::lu`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        Ok(self.lu()?.solve(b))
+    }
+
+    /// Determinant via LU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] for non-square matrices.
+    /// Singular matrices yield `Ok(0.0)`.
+    pub fn determinant(&self) -> Result<f64, NumericsError> {
+        if self.rows != self.cols {
+            return Err(NumericsError::InvalidInput(format!(
+                "determinant requires a square matrix, got {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        match self.lu() {
+            Ok(f) => {
+                let mut det = f.sign;
+                for i in 0..self.rows {
+                    det *= f.lu[(i, i)];
+                }
+                Ok(det)
+            }
+            Err(NumericsError::SingularMatrix { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>12.5e}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// An LU factorisation `P A = L U` that can be reused for several
+/// right-hand sides — the circuit simulator factors the Jacobian once per
+/// Newton step and back-substitutes cheaply.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuDecomposition {
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` disagrees with the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.perm.len();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` by Householder QR.
+///
+/// Works for `A` with at least as many rows as columns and full column
+/// rank.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::RankDeficient`] when a diagonal of `R` is
+/// negligible, and [`NumericsError::InvalidInput`] when `A` has fewer rows
+/// than columns or `b` has the wrong length.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    let m = a.rows();
+    let n = a.cols();
+    if m < n {
+        return Err(NumericsError::InvalidInput(format!(
+            "lstsq requires rows >= cols, got {m}x{n}"
+        )));
+    }
+    if b.len() != m {
+        return Err(NumericsError::InvalidInput(format!(
+            "rhs length {} does not match row count {m}",
+            b.len()
+        )));
+    }
+    let mut r = a.clone();
+    let mut qtb = b.to_vec();
+    // Scale for relative rank decisions: largest column norm of A.
+    let mut col_scale = 0.0f64;
+    for j in 0..n {
+        let mut s = 0.0;
+        for i in 0..m {
+            s += a[(i, j)] * a[(i, j)];
+        }
+        col_scale = col_scale.max(s.sqrt());
+    }
+    let rank_tol = 1e-12 * col_scale.max(1e-300);
+    // Householder transformations applied in place.
+    for k in 0..n {
+        // Norm of the k-th column below the diagonal.
+        let mut norm = 0.0;
+        for i in k..m {
+            norm += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm <= rank_tol {
+            return Err(NumericsError::RankDeficient { columns: n, rank: k });
+        }
+        let alpha = if r[(k, k)] > 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m - k];
+        v[0] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv <= 1e-300 {
+            // Column already triangular.
+            continue;
+        }
+        r[(k, k)] = alpha;
+        for i in (k + 1)..m {
+            r[(i, k)] = 0.0;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to remaining columns and to b.
+        for j in (k + 1)..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                let vi = if i == k { v[0] } else { v[i - k] };
+                dot += vi * r[(i, j)];
+            }
+            let beta = 2.0 * dot / vtv;
+            for i in k..m {
+                let vi = if i == k { v[0] } else { v[i - k] };
+                r[(i, j)] -= beta * vi;
+            }
+        }
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i - k] * qtb[i];
+        }
+        let beta = 2.0 * dot / vtv;
+        for i in k..m {
+            qtb[i] -= beta * v[i - k];
+        }
+    }
+    // Back substitution on the n×n upper triangle.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = qtb[i];
+        for j in (i + 1)..n {
+            acc -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() <= rank_tol {
+            return Err(NumericsError::RankDeficient { columns: n, rank: i });
+        }
+        x[i] = acc / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.5, 0.0];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solve_small_system() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]);
+        let x = a.solve(&[1.0, -2.0, 0.0]).unwrap();
+        assert!(close(x[0], 1.0, 1e-12));
+        assert!(close(x[1], -2.0, 1e-12));
+        assert!(close(x[2], -2.0, 1e-12));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!(close(x[0], 3.0, 1e-14));
+        assert!(close(x[1], 2.0, 1e-14));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_lu_is_invalid_input() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(NumericsError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn lu_reuse_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let f = a.lu().unwrap();
+        let x1 = f.solve(&[1.0, 2.0]);
+        let x2 = f.solve(&[0.0, 1.0]);
+        let r1 = a.mul_vec(&x1);
+        let r2 = a.mul_vec(&x2);
+        assert!(close(r1[0], 1.0, 1e-12) && close(r1[1], 2.0, 1e-12));
+        assert!(close(r2[0], 0.0, 1e-12) && close(r2[1], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(close(a.determinant().unwrap(), -2.0, 1e-12));
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(s.determinant().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutations() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!(close(a.determinant().unwrap(), -1.0, 1e-14));
+    }
+
+    #[test]
+    fn mul_mat_and_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let at = a.transpose();
+        let p = a.mul_mat(&at);
+        assert!(close(p[(0, 0)], 5.0, 1e-14));
+        assert!(close(p[(0, 1)], 11.0, 1e-14));
+        assert!(close(p[(1, 1)], 25.0, 1e-14));
+    }
+
+    #[test]
+    fn lstsq_exact_fit_recovers_solution() {
+        // Overdetermined but consistent.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let x = lstsq(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(close(x[0], 1.0, 1e-12));
+        assert!(close(x[1], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn lstsq_minimises_residual() {
+        // Fit y = c0 + c1 x to noisy points; residual must be orthogonal to
+        // the column space (normal equations check).
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.1, 0.9, 2.1, 2.9];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let a = Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+        let c = lstsq(&a, &ys).unwrap();
+        let resid: Vec<f64> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| y - (c[0] + c[1] * x))
+            .collect();
+        let dot0: f64 = resid.iter().sum();
+        let dot1: f64 = resid.iter().zip(&xs).map(|(r, &x)| r * x).sum();
+        assert!(dot0.abs() < 1e-12, "{dot0}");
+        assert!(dot1.abs() < 1e-12, "{dot1}");
+    }
+
+    #[test]
+    fn lstsq_detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert!(matches!(
+            lstsq(&a, &[1.0, 2.0, 3.0]),
+            Err(NumericsError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn lstsq_rejects_underdetermined() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            lstsq(&a, &[1.0, 2.0]),
+            Err(NumericsError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn norm_inf_is_max_row_sum() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+        assert_eq!(a.norm_inf(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_checks_dimensions() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.mul_vec(&[1.0]);
+    }
+
+    #[test]
+    fn display_prints_every_entry() {
+        let a = Matrix::identity(2);
+        let s = format!("{a}");
+        assert_eq!(s.lines().count(), 2);
+    }
+}

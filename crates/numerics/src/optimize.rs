@@ -1,0 +1,279 @@
+//! Scalar and small-dimension minimisation.
+//!
+//! The paper determines segment boundaries "calculated to minimise the RMS
+//! deviation from the theoretical curves" — a low-dimensional, noisy-free
+//! but non-smooth optimisation (the objective re-fits polynomials for every
+//! candidate breakpoint vector). Golden-section handles the 1-D case and
+//! Nelder–Mead the 2-D/3-D breakpoint searches; neither needs derivatives.
+
+/// Result of a minimisation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// Arguments of the minimum found.
+    pub x: Vec<f64>,
+    /// Objective value at [`Minimum::x`].
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+}
+
+/// Minimises a unimodal scalar function on `[a, b]` by golden-section
+/// search.
+///
+/// Runs until the interval shrinks below `x_tol` (or 200 iterations). For
+/// multimodal objectives it converges to *a* local minimum inside the
+/// bracket.
+///
+/// # Panics
+///
+/// Panics if `a >= b` or `x_tol <= 0`.
+pub fn golden_section<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, x_tol: f64) -> Minimum {
+    assert!(a < b, "golden_section requires a < b");
+    assert!(x_tol > 0.0, "x_tol must be positive");
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut lo, mut hi) = (a, b);
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    let mut evals = 2;
+    for _ in 0..200 {
+        if (hi - lo).abs() < x_tol {
+            break;
+        }
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+        evals += 1;
+    }
+    let (x, value) = if f1 < f2 { (x1, f1) } else { (x2, f2) };
+    Minimum {
+        x: vec![x],
+        value,
+        evaluations: evals,
+    }
+}
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Initial simplex edge length, per coordinate.
+    pub initial_step: f64,
+    /// Stop when the simplex's objective spread falls below this value.
+    pub f_tol: f64,
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            initial_step: 0.05,
+            f_tol: 1e-12,
+            max_evals: 2000,
+        }
+    }
+}
+
+/// Minimises an `n`-dimensional function with the Nelder–Mead simplex
+/// method (reflection/expansion/contraction/shrink with standard
+/// coefficients).
+///
+/// Derivative-free and robust to the mildly non-smooth objectives produced
+/// by refitting piecewise models per candidate breakpoint.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    opts: NelderMeadOptions,
+) -> Minimum {
+    assert!(!x0.is_empty(), "nelder_mead requires at least one dimension");
+    let n = x0.len();
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| {
+        *evals += 1;
+        f(x)
+    };
+
+    // Initial simplex: x0 plus one perturbed vertex per coordinate.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let fx0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), fx0));
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        v[i] += if v[i].abs() > 1e-12 {
+            opts.initial_step * v[i].abs()
+        } else {
+            opts.initial_step
+        };
+        let fv = eval(&v, &mut evals);
+        simplex.push((v, fv));
+    }
+
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective must not be NaN"));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < opts.f_tol {
+            break;
+        }
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (v, _) in simplex.iter().take(n) {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = eval(&reflect, &mut evals);
+        if fr < simplex[0].1 {
+            // Try expansion.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + gamma * (c - w))
+                .collect();
+            let fe = eval(&expand, &mut evals);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // Contraction.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            let fc = eval(&contract, &mut evals);
+            if fc < worst.1 {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink towards the best vertex.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let shrunk: Vec<f64> = best
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, v)| b + sigma * (v - b))
+                        .collect();
+                    let fs = eval(&shrunk, &mut evals);
+                    *entry = (shrunk, fs);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective must not be NaN"));
+    Minimum {
+        x: simplex[0].0.clone(),
+        value: simplex[0].1,
+        evaluations: evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let m = golden_section(|x| (x - 1.3) * (x - 1.3) + 2.0, -5.0, 5.0, 1e-10);
+        assert!((m.x[0] - 1.3).abs() < 1e-7, "{:?}", m.x);
+        assert!((m.value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_section_respects_bracket() {
+        // Minimum of x at left edge of bracket.
+        let m = golden_section(|x| x, 2.0, 5.0, 1e-9);
+        assert!((m.x[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "a < b")]
+    fn golden_section_rejects_inverted_bracket() {
+        let _ = golden_section(|x| x * x, 1.0, -1.0, 1e-6);
+    }
+
+    #[test]
+    fn nelder_mead_minimises_quadratic_bowl() {
+        let m = nelder_mead(
+            |x| (x[0] - 1.0).powi(2) + 2.0 * (x[1] + 0.5).powi(2),
+            &[4.0, 4.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((m.x[0] - 1.0).abs() < 1e-4, "{:?}", m.x);
+        assert!((m.x[1] + 0.5).abs() < 1e-4, "{:?}", m.x);
+    }
+
+    #[test]
+    fn nelder_mead_handles_rosenbrock() {
+        let m = nelder_mead(
+            |x| {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                a * a + 100.0 * b * b
+            },
+            &[-1.2, 1.0],
+            NelderMeadOptions {
+                max_evals: 6000,
+                f_tol: 1e-14,
+                ..Default::default()
+            },
+        );
+        assert!((m.x[0] - 1.0).abs() < 1e-3, "{:?}", m.x);
+        assert!((m.x[1] - 1.0).abs() < 1e-3, "{:?}", m.x);
+    }
+
+    #[test]
+    fn nelder_mead_one_dimension() {
+        let m = nelder_mead(|x| (x[0] + 2.0).powi(2), &[7.0], NelderMeadOptions::default());
+        assert!((m.x[0] + 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nelder_mead_respects_eval_budget() {
+        let mut count = 0usize;
+        let _ = nelder_mead(
+            |x| {
+                count += 1;
+                x.iter().map(|v| v * v).sum()
+            },
+            &[1.0, 1.0, 1.0],
+            NelderMeadOptions {
+                max_evals: 50,
+                f_tol: 0.0,
+                ..Default::default()
+            },
+        );
+        // A shrink step may overshoot by at most n evaluations.
+        assert!(count <= 55, "{count}");
+    }
+
+    #[test]
+    fn nelder_mead_zero_start_perturbs_absolutely() {
+        let m = nelder_mead(
+            |x| (x[0] - 0.3).powi(2),
+            &[0.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((m.x[0] - 0.3).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,442 @@
+//! Dense univariate polynomials with real coefficients.
+//!
+//! The compact model of the paper stores each piecewise charge segment as a
+//! polynomial of degree ≤ 3; the closed-form self-consistent-voltage solver
+//! adds and composes such segments before handing the result to
+//! [`crate::roots`]. This module therefore provides exact arithmetic,
+//! calculus and affine-argument composition rather than a general CAS.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A polynomial `c[0] + c[1] x + c[2] x² + …` stored densely, lowest degree
+/// first.
+///
+/// The zero polynomial is represented by an empty coefficient vector;
+/// construction trims trailing (near-)zero coefficients so that
+/// [`Polynomial::degree`] is meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_numerics::polynomial::Polynomial;
+///
+/// let p = Polynomial::new(vec![1.0, -3.0, 2.0]); // 1 - 3x + 2x²
+/// assert_eq!(p.degree(), Some(2));
+/// assert_eq!(p.eval(1.0), 0.0);
+/// assert_eq!(p.derivative().eval(1.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+/// Coefficients smaller than this (relative to the largest coefficient) are
+/// trimmed from the high end during normalisation.
+const TRIM_EPS: f64 = 1e-300;
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients in ascending-degree order.
+    ///
+    /// Trailing exact zeros are trimmed, so `Polynomial::new(vec![1.0, 0.0])`
+    /// equals `Polynomial::new(vec![1.0])`.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// The monic linear polynomial `x`.
+    pub fn x() -> Self {
+        Polynomial::new(vec![0.0, 1.0])
+    }
+
+    /// Builds the monic polynomial with the given real roots.
+    ///
+    /// ```
+    /// use cntfet_numerics::polynomial::Polynomial;
+    /// let p = Polynomial::from_roots(&[1.0, 2.0]);
+    /// assert_eq!(p.eval(1.0), 0.0);
+    /// assert_eq!(p.eval(2.0), 0.0);
+    /// assert_eq!(p.eval(0.0), 2.0);
+    /// ```
+    pub fn from_roots(roots: &[f64]) -> Self {
+        let mut p = Polynomial::constant(1.0);
+        for &r in roots {
+            p = &p * &Polynomial::new(vec![-r, 1.0]);
+        }
+        p
+    }
+
+    fn normalize(&mut self) {
+        while let Some(&c) = self.coeffs.last() {
+            if c == 0.0 || c.abs() < TRIM_EPS {
+                self.coeffs.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Degree of the polynomial, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Coefficients in ascending-degree order (empty for the zero
+    /// polynomial).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of `x^k` (zero when `k` exceeds the degree).
+    pub fn coeff(&self, k: usize) -> f64 {
+        self.coeffs.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluates the polynomial and its first derivative at `x` in a single
+    /// Horner pass, which the safeguarded Newton polish uses.
+    pub fn eval_with_derivative(&self, x: f64) -> (f64, f64) {
+        let mut p = 0.0;
+        let mut dp = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            dp = dp * x + p;
+            p = p * x + c;
+        }
+        (p, dp)
+    }
+
+    /// First derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(k, &c)| k as f64 * c)
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Antiderivative with integration constant zero.
+    pub fn antiderivative(&self) -> Polynomial {
+        if self.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = Vec::with_capacity(self.coeffs.len() + 1);
+        coeffs.push(0.0);
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            coeffs.push(c / (k as f64 + 1.0));
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Definite integral over `[a, b]`.
+    pub fn integrate(&self, a: f64, b: f64) -> f64 {
+        let anti = self.antiderivative();
+        anti.eval(b) - anti.eval(a)
+    }
+
+    /// Multiplies every coefficient by `s`.
+    pub fn scale(&self, s: f64) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|c| c * s).collect())
+    }
+
+    /// Composes with an affine argument: returns `q(x) = p(x + shift)`.
+    ///
+    /// The compact model uses this to express the drain charge curve
+    /// `Q_D(V_SC) = Q_S(V_SC + V_DS)` on the source-charge segments without
+    /// refitting.
+    pub fn shift_argument(&self, shift: f64) -> Polynomial {
+        // Synthetic Taylor shift: repeatedly divide by (x - (-shift)).
+        if self.is_zero() || shift == 0.0 {
+            return self.clone();
+        }
+        let n = self.coeffs.len();
+        let mut work = self.coeffs.clone();
+        let mut out = vec![0.0; n];
+        // out[k] = p^(k)(shift)/k! obtained via repeated synthetic division
+        // by (x - shift) evaluated at x = shift.
+        for out_k in out.iter_mut().take(n) {
+            // Synthetic division of `work` by (x - shift): remainder is
+            // work evaluated at shift; quotient replaces work.
+            let mut rem = 0.0;
+            for c in work.iter_mut().rev() {
+                let new = *c + rem * shift;
+                rem = new;
+                *c = new;
+            }
+            // After the loop `work[0]` holds the remainder; quotient is
+            // work[1..] shifted down.
+            *out_k = work.remove(0);
+            if work.is_empty() {
+                break;
+            }
+        }
+        Polynomial::new(out)
+    }
+
+    /// L² norm of the coefficient vector; a cheap magnitude measure used by
+    /// tests and conditioning heuristics.
+    pub fn coeff_norm(&self) -> f64 {
+        self.coeffs.iter().map(|c| c * c).sum::<f64>().sqrt()
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 {
+                continue;
+            }
+            if first {
+                first = false;
+                if c < 0.0 {
+                    write!(f, "-")?;
+                }
+            } else if c < 0.0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let a = c.abs();
+            match k {
+                0 => write!(f, "{a}")?,
+                1 => {
+                    if a == 1.0 {
+                        write!(f, "x")?
+                    } else {
+                        write!(f, "{a} x")?
+                    }
+                }
+                _ => {
+                    if a == 1.0 {
+                        write!(f, "x^{k}")?
+                    } else {
+                        write!(f, "{a} x^{k}")?
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Add for &Polynomial {
+    type Output = Polynomial;
+
+    fn add(self, rhs: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut coeffs = vec![0.0; n];
+        for (k, c) in coeffs.iter_mut().enumerate() {
+            *c = self.coeff(k) + rhs.coeff(k);
+        }
+        Polynomial::new(coeffs)
+    }
+}
+
+impl Sub for &Polynomial {
+    type Output = Polynomial;
+
+    fn sub(self, rhs: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut coeffs = vec![0.0; n];
+        for (k, c) in coeffs.iter_mut().enumerate() {
+            *c = self.coeff(k) - rhs.coeff(k);
+        }
+        Polynomial::new(coeffs)
+    }
+}
+
+impl Mul for &Polynomial {
+    type Output = Polynomial;
+
+    fn mul(self, rhs: &Polynomial) -> Polynomial {
+        if self.is_zero() || rhs.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![0.0; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::new(coeffs)
+    }
+}
+
+impl Neg for &Polynomial {
+    type Output = Polynomial;
+
+    fn neg(self) -> Polynomial {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn new_trims_trailing_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_polynomial_properties() {
+        let z = Polynomial::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(3.7), 0.0);
+        assert_eq!(z.derivative(), Polynomial::zero());
+        assert_eq!(format!("{z}"), "0");
+    }
+
+    #[test]
+    fn horner_matches_naive_eval() {
+        let p = Polynomial::new(vec![2.0, -1.0, 0.5, 3.0]);
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.0, 10.0] {
+            let naive = 2.0 - x + 0.5 * x * x + 3.0 * x * x * x;
+            assert!(close(p.eval(x), naive, 1e-14), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn eval_with_derivative_agrees_with_separate_eval() {
+        let p = Polynomial::new(vec![1.0, 2.0, -4.0, 0.25]);
+        let d = p.derivative();
+        for &x in &[-1.5, 0.0, 0.7, 2.0] {
+            let (v, dv) = p.eval_with_derivative(x);
+            assert!(close(v, p.eval(x), 1e-14));
+            assert!(close(dv, d.eval(x), 1e-14));
+        }
+    }
+
+    #[test]
+    fn derivative_of_cubic() {
+        let p = Polynomial::new(vec![5.0, 1.0, 2.0, 4.0]);
+        assert_eq!(p.derivative().coeffs(), &[1.0, 4.0, 12.0]);
+    }
+
+    #[test]
+    fn antiderivative_roundtrips_derivative() {
+        let p = Polynomial::new(vec![3.0, -2.0, 6.0]);
+        let back = p.antiderivative().derivative();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn definite_integral_of_quadratic() {
+        let p = Polynomial::new(vec![0.0, 0.0, 3.0]); // 3x²
+        assert!(close(p.integrate(0.0, 2.0), 8.0, 1e-14));
+        assert!(close(p.integrate(2.0, 0.0), -8.0, 1e-14));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        let q = Polynomial::new(vec![-1.0, 4.0]);
+        let sum = &p + &q;
+        let diff = &sum - &q;
+        assert_eq!(diff, p);
+        let prod = &p * &q;
+        for &x in &[-1.0, 0.0, 0.5, 2.0] {
+            assert!(close(prod.eval(x), p.eval(x) * q.eval(x), 1e-13));
+            assert!(close(sum.eval(x), p.eval(x) + q.eval(x), 1e-13));
+        }
+    }
+
+    #[test]
+    fn from_roots_vanishes_at_roots() {
+        let roots = [-2.0, 0.5, 3.0];
+        let p = Polynomial::from_roots(&roots);
+        assert_eq!(p.degree(), Some(3));
+        for &r in &roots {
+            assert!(p.eval(r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shift_argument_matches_direct_evaluation() {
+        let p = Polynomial::new(vec![1.0, -2.0, 0.5, 0.125]);
+        for &s in &[-0.7, 0.0, 0.35, 2.0] {
+            let q = p.shift_argument(s);
+            for &x in &[-1.0, 0.0, 0.4, 1.3] {
+                assert!(
+                    close(q.eval(x), p.eval(x + s), 1e-12),
+                    "shift {s}, x {x}: {} vs {}",
+                    q.eval(x),
+                    p.eval(x + s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shift_argument_preserves_degree() {
+        let p = Polynomial::new(vec![0.0, 0.0, 0.0, 2.0]);
+        let q = p.shift_argument(1.5);
+        assert_eq!(q.degree(), Some(3));
+        assert!(close(q.coeff(3), 2.0, 1e-14));
+    }
+
+    #[test]
+    fn display_formats_signs() {
+        let p = Polynomial::new(vec![-1.0, 0.0, 2.0]);
+        assert_eq!(format!("{p}"), "2 x^2 - 1");
+        let q = Polynomial::new(vec![1.0, 1.0]);
+        assert_eq!(format!("{q}"), "x + 1");
+    }
+
+    #[test]
+    fn neg_negates_values() {
+        let p = Polynomial::new(vec![1.0, -4.0, 2.0]);
+        let n = -&p;
+        for &x in &[-1.0, 0.0, 2.5] {
+            assert_eq!(n.eval(x), -p.eval(x));
+        }
+    }
+
+    #[test]
+    fn coeff_out_of_range_is_zero() {
+        let p = Polynomial::new(vec![1.0]);
+        assert_eq!(p.coeff(5), 0.0);
+    }
+}

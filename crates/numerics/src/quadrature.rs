@@ -1,0 +1,271 @@
+//! Numerical integration.
+//!
+//! The reference ballistic model (the paper's FETToy baseline) evaluates the
+//! state-density integrals of eqs. (2)–(4) numerically; this module supplies
+//! the quadrature rules it uses. The compact model deliberately avoids all
+//! of this — which is exactly the speed-up the paper measures.
+
+/// Integrates `f` over `[a, b]` with adaptive Simpson quadrature.
+///
+/// `tol` is an absolute error target for the whole interval; `max_depth`
+/// bounds the recursion (40 is ample for the smooth Fermi-type integrands
+/// used in this workspace). The orientation is signed: swapping `a` and `b`
+/// negates the result.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_numerics::quadrature::adaptive_simpson;
+/// let v = adaptive_simpson(&|x: f64| x.sin(), 0.0, std::f64::consts::PI, 1e-12, 40);
+/// assert!((v - 2.0).abs() < 1e-10);
+/// ```
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, tol: f64, max_depth: u32) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson_panel(a, b, fa, fm, fb);
+    simpson_recurse(f, a, b, fa, fm, fb, whole, tol, max_depth)
+}
+
+fn simpson_panel(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_recurse<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson_panel(a, m, fa, flm, fm);
+    let right = simpson_panel(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        simpson_recurse(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + simpson_recurse(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+/// Fixed-order composite Simpson rule with `n` panels (rounded up to even).
+///
+/// Used by the reference model when a deterministic, fixed work budget is
+/// preferable to adaptivity — e.g. in the CPU-time benchmark mirroring
+/// Table I, where FETToy's fixed energy grid is the right analogue.
+pub fn composite_simpson<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, n: usize) -> f64 {
+    let n = if n.is_multiple_of(2) { n.max(2) } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for k in 1..n {
+        let x = a + k as f64 * h;
+        acc += if k % 2 == 1 { 4.0 } else { 2.0 } * f(x);
+    }
+    acc * h / 3.0
+}
+
+/// Nodes and weights of the `n`-point Gauss–Legendre rule on `[-1, 1]`.
+///
+/// Computed on the fly by Newton iteration on the Legendre polynomial
+/// recurrence; accuracy is near machine precision for `n ≤ 64`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn gauss_legendre_nodes(n: usize) -> Vec<(f64, f64)> {
+    assert!(n > 0, "gauss_legendre_nodes requires n > 0");
+    let mut out = Vec::with_capacity(n);
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // Initial guess (Tricomi-style).
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        for _ in 0..100 {
+            let (p, dp) = legendre_with_derivative(n, x);
+            let dx = p / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        let (_, dp) = legendre_with_derivative(n, x);
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        out.push((-x, w));
+        if 2 * (i + 1) <= n && x.abs() > 1e-14 {
+            out.push((x, w));
+        } else if x.abs() <= 1e-14 {
+            // Central node of odd rules: keep exactly one copy at 0.
+            let last = out.last_mut().expect("just pushed");
+            last.0 = 0.0;
+        }
+    }
+    out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("nodes are finite"));
+    out
+}
+
+fn legendre_with_derivative(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0;
+    let mut p1 = x;
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    for k in 2..=n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+        p0 = p1;
+        p1 = p2;
+    }
+    let dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+    (p1, dp)
+}
+
+/// Integrates `f` over `[a, b]` with an `n`-point Gauss–Legendre rule.
+///
+/// Exact for polynomials of degree ≤ `2n − 1`.
+pub fn gauss_legendre<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, n: usize) -> f64 {
+    let half = 0.5 * (b - a);
+    let mid = 0.5 * (a + b);
+    gauss_legendre_nodes(n)
+        .iter()
+        .map(|&(x, w)| w * f(mid + half * x))
+        .sum::<f64>()
+        * half
+}
+
+/// Integrates `f` over `[a, ∞)` for integrands with (at worst) exponential
+/// tails, such as `D(E) f_FD(E − μ)`.
+///
+/// The tail is handled by marching in fixed-width windows until a window
+/// contributes less than `tol` relative to the accumulated value; each
+/// window uses adaptive Simpson. `decay_scale` sets the window width and
+/// should be of the order of the integrand's decay length (`kT` for Fermi
+/// tails).
+pub fn integrate_semi_infinite<F: Fn(f64) -> f64>(f: &F, a: f64, decay_scale: f64, tol: f64) -> f64 {
+    let w = decay_scale.abs().max(1e-12) * 10.0;
+    let mut total = 0.0;
+    let mut lo = a;
+    for _ in 0..200 {
+        let hi = lo + w;
+        let part = adaptive_simpson(f, lo, hi, tol.max(1e-16), 30);
+        total += part;
+        if part.abs() <= tol * (1.0 + total.abs()) {
+            break;
+        }
+        lo = hi;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simpson_integrates_polynomial_exactly_enough() {
+        let v = adaptive_simpson(&|x: f64| x * x * x - 2.0 * x + 1.0, -1.0, 2.0, 1e-13, 40);
+        // ∫ = x⁴/4 - x² + x  →  (4-4+2) - (1/4-1-1) = 2 + 1.75 = 3.75
+        assert!((v - 3.75).abs() < 1e-11, "{v}");
+    }
+
+    #[test]
+    fn simpson_empty_interval_is_zero() {
+        assert_eq!(adaptive_simpson(&|x: f64| x.exp(), 1.0, 1.0, 1e-10, 10), 0.0);
+    }
+
+    #[test]
+    fn simpson_orientation_is_signed() {
+        let fwd = adaptive_simpson(&|x: f64| x.exp(), 0.0, 1.0, 1e-12, 40);
+        let bwd = adaptive_simpson(&|x: f64| x.exp(), 1.0, 0.0, 1e-12, 40);
+        assert!((fwd + bwd).abs() < 1e-12);
+        assert!((fwd - (std::f64::consts::E - 1.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simpson_handles_sharp_fermi_step() {
+        // Fermi function with kT = 0.0259/40 ≈ sharp step at 0.3.
+        let kt = 0.00065;
+        let f = |x: f64| 1.0 / (1.0 + ((x - 0.3) / kt).exp());
+        let v = adaptive_simpson(&f, 0.0, 1.0, 1e-12, 48);
+        assert!((v - 0.3).abs() < 1e-6, "{v}");
+    }
+
+    #[test]
+    fn composite_simpson_matches_adaptive_on_smooth_function() {
+        let f = |x: f64| (x * 1.3).cos();
+        let a = composite_simpson(&f, 0.0, 2.0, 400);
+        let b = adaptive_simpson(&f, 0.0, 2.0, 1e-13, 40);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composite_simpson_rounds_odd_panel_counts_up() {
+        let f = |x: f64| x * x;
+        let v = composite_simpson(&f, 0.0, 1.0, 3);
+        assert!((v - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_legendre_nodes_are_symmetric_and_weights_sum_to_two() {
+        for n in [1, 2, 3, 4, 5, 8, 16, 33] {
+            let nodes = gauss_legendre_nodes(n);
+            assert_eq!(nodes.len(), n, "n = {n}");
+            let wsum: f64 = nodes.iter().map(|&(_, w)| w).sum();
+            assert!((wsum - 2.0).abs() < 1e-12, "n = {n}, wsum = {wsum}");
+            for &(x, _) in &nodes {
+                assert!(nodes.iter().any(|&(y, _)| (y + x).abs() < 1e-12), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_legendre_is_exact_for_high_degree_polynomials() {
+        // 5-point rule is exact through degree 9.
+        let f = |x: f64| x.powi(9) + 3.0 * x.powi(6) - x;
+        let got = gauss_legendre(&f, -1.0, 1.0, 5);
+        let want = 2.0 * 3.0 / 7.0; // odd terms vanish on [-1,1]
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn gauss_legendre_on_shifted_interval() {
+        let got = gauss_legendre(&|x: f64| x * x, 1.0, 4.0, 8);
+        assert!((got - 21.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn semi_infinite_exponential_tail() {
+        let got = integrate_semi_infinite(&|x: f64| (-x).exp(), 0.0, 1.0, 1e-12);
+        assert!((got - 1.0).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn semi_infinite_fermi_integrand() {
+        // ∫_0^∞ 1/(1+e^{(x−μ)/kT}) dx = kT ln(1+e^{μ/kT}) (F0 closed form).
+        let kt = 0.0259;
+        let mu = 0.2;
+        let f = |x: f64| 1.0 / (1.0 + ((x - mu) / kt).exp());
+        let got = integrate_semi_infinite(&f, 0.0, kt, 1e-13);
+        let want = kt * (1.0 + (mu / kt).exp()).ln();
+        assert!((got - want).abs() < 1e-9 * want, "{got} vs {want}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn gauss_legendre_zero_points_panics() {
+        let _ = gauss_legendre_nodes(0);
+    }
+}

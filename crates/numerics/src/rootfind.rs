@@ -1,0 +1,416 @@
+//! Scalar root finding: bisection, Brent, and safeguarded Newton–Raphson.
+//!
+//! The reference ballistic model solves the self-consistent voltage
+//! equation (paper eq. 7) with exactly the safeguarded Newton iteration
+//! implemented here — the expensive loop the compact model eliminates.
+
+use crate::error::NumericsError;
+
+/// Options controlling the iterative root finders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootFindOptions {
+    /// Absolute tolerance on the argument.
+    pub x_tol: f64,
+    /// Absolute tolerance on the residual.
+    pub f_tol: f64,
+    /// Iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for RootFindOptions {
+    fn default() -> Self {
+        RootFindOptions {
+            x_tol: 1e-12,
+            f_tol: 1e-14,
+            max_iter: 100,
+        }
+    }
+}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidBracket`] if `f(a)` and `f(b)` have the
+/// same sign, and [`NumericsError::ConvergenceFailure`] if the interval
+/// fails to shrink below tolerance within the iteration budget (possible
+/// only with pathological tolerances).
+pub fn bisection<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    opts: RootFindOptions,
+) -> Result<f64, NumericsError> {
+    let (mut lo, mut hi) = (a.min(b), a.max(b));
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericsError::InvalidBracket { fa: flo, fb: fhi });
+    }
+    for _ in 0..opts.max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 || (hi - lo) < opts.x_tol || fm.abs() < opts.f_tol {
+            return Ok(mid);
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumericsError::ConvergenceFailure {
+        method: "bisection",
+        iterations: opts.max_iter,
+        residual: hi - lo,
+    })
+}
+
+/// Finds a root of `f` in `[a, b]` with Brent's method (inverse quadratic
+/// interpolation + secant + bisection safeguards).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidBracket`] if the endpoints do not
+/// bracket a sign change, and [`NumericsError::ConvergenceFailure`] if the
+/// budget is exhausted.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    opts: RootFindOptions,
+) -> Result<f64, NumericsError> {
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::InvalidBracket { fa, fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..opts.max_iter {
+        if fb.abs() < opts.f_tol || (b - a).abs() < opts.x_tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond_outside = !((lo.min(b) < s) && (s < lo.max(b)));
+        let cond_mflag = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond_dflag = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond_small_m = mflag && (b - c).abs() < opts.x_tol;
+        let cond_small_d = !mflag && (c - d).abs() < opts.x_tol;
+        if cond_outside || cond_mflag || cond_dflag || cond_small_m || cond_small_d {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericsError::ConvergenceFailure {
+        method: "brent",
+        iterations: opts.max_iter,
+        residual: fb.abs(),
+    })
+}
+
+/// Safeguarded Newton–Raphson: Newton steps with damping, falling back to
+/// bisection on the bracket `[a, b]` whenever a step leaves the bracket or
+/// fails to reduce the residual.
+///
+/// `fdf` returns `(f(x), f'(x))`. This mirrors the solver structure used by
+/// FETToy for the self-consistent voltage equation.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidBracket`] if `[a, b]` does not bracket a
+/// sign change, and [`NumericsError::ConvergenceFailure`] on budget
+/// exhaustion.
+pub fn newton_bracketed<F: FnMut(f64) -> (f64, f64)>(
+    mut fdf: F,
+    a: f64,
+    b: f64,
+    x0: f64,
+    opts: RootFindOptions,
+) -> Result<f64, NumericsError> {
+    let (mut lo, mut hi) = (a.min(b), a.max(b));
+    let (flo, _) = fdf(lo);
+    let (fhi, _) = fdf(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericsError::InvalidBracket { fa: flo, fb: fhi });
+    }
+    let mut x = x0.clamp(lo, hi);
+    let (mut fx, mut dfx) = fdf(x);
+    for it in 0..opts.max_iter {
+        if fx.abs() < opts.f_tol {
+            return Ok(x);
+        }
+        // Maintain the bracket.
+        if fx.signum() == flo.signum() {
+            lo = x;
+        } else {
+            hi = x;
+        }
+        if (hi - lo).abs() < opts.x_tol {
+            return Ok(0.5 * (lo + hi));
+        }
+        let newton_ok = dfx != 0.0 && dfx.is_finite();
+        let mut next = if newton_ok { x - fx / dfx } else { f64::NAN };
+        if !next.is_finite() || next <= lo || next >= hi {
+            next = 0.5 * (lo + hi);
+        }
+        let (fnext, dfnext) = fdf(next);
+        // Damp if the full step increased the residual badly.
+        if fnext.abs() > 2.0 * fx.abs() && it + 1 < opts.max_iter {
+            let damped = 0.5 * (x + next);
+            let (fd, dfd) = fdf(damped);
+            x = damped;
+            fx = fd;
+            dfx = dfd;
+        } else {
+            x = next;
+            fx = fnext;
+            dfx = dfnext;
+        }
+    }
+    Err(NumericsError::ConvergenceFailure {
+        method: "newton",
+        iterations: opts.max_iter,
+        residual: fx.abs(),
+    })
+}
+
+/// Unbracketed Newton–Raphson with step damping, for callers that have a
+/// good initial guess and a smooth function (e.g. warm-started sweeps).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ConvergenceFailure`] if the iteration budget is
+/// exhausted or a derivative vanishes with a non-zero residual.
+pub fn newton<F: FnMut(f64) -> (f64, f64)>(
+    mut fdf: F,
+    x0: f64,
+    opts: RootFindOptions,
+) -> Result<f64, NumericsError> {
+    let mut x = x0;
+    let (mut fx, mut dfx) = fdf(x);
+    for _ in 0..opts.max_iter {
+        if fx.abs() < opts.f_tol {
+            return Ok(x);
+        }
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(NumericsError::ConvergenceFailure {
+                method: "newton",
+                iterations: opts.max_iter,
+                residual: fx.abs(),
+            });
+        }
+        let mut step = fx / dfx;
+        let mut next = x - step;
+        let mut tries = 0;
+        loop {
+            let (fn_, dfn) = fdf(next);
+            if fn_.abs() <= fx.abs() || tries >= 8 {
+                if (next - x).abs() < opts.x_tol && fn_.abs() < opts.f_tol * 1e3 {
+                    return Ok(next);
+                }
+                x = next;
+                fx = fn_;
+                dfx = dfn;
+                break;
+            }
+            step *= 0.5;
+            next = x - step;
+            tries += 1;
+        }
+    }
+    if fx.abs() < opts.f_tol * 1e3 {
+        Ok(x)
+    } else {
+        Err(NumericsError::ConvergenceFailure {
+            method: "newton",
+            iterations: opts.max_iter,
+            residual: fx.abs(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> RootFindOptions {
+        RootFindOptions::default()
+    }
+
+    #[test]
+    fn bisection_finds_sqrt2() {
+        let r = bisection(|x| x * x - 2.0, 0.0, 2.0, opts()).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisection_rejects_bad_bracket() {
+        let e = bisection(|x| x * x + 1.0, -1.0, 1.0, opts()).unwrap_err();
+        assert!(matches!(e, NumericsError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn bisection_accepts_root_at_endpoint() {
+        let r = bisection(|x| x - 1.0, 1.0, 3.0, opts()).unwrap();
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn brent_beats_bisection_on_iterations() {
+        let mut n_brent = 0;
+        let mut n_bis = 0;
+        let _ = brent(
+            |x| {
+                n_brent += 1;
+                x.exp() - 5.0
+            },
+            0.0,
+            4.0,
+            opts(),
+        )
+        .unwrap();
+        let _ = bisection(
+            |x| {
+                n_bis += 1;
+                x.exp() - 5.0
+            },
+            0.0,
+            4.0,
+            opts(),
+        )
+        .unwrap();
+        assert!(n_brent < n_bis, "brent {n_brent} vs bisection {n_bis}");
+    }
+
+    #[test]
+    fn brent_finds_root_of_cubic() {
+        let r = brent(|x| x * x * x - 2.0 * x - 5.0, 2.0, 3.0, opts()).unwrap();
+        assert!((r - 2.0945514815423265).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, opts()),
+            Err(NumericsError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn newton_bracketed_converges_from_poor_guess() {
+        // Steep logistic-like residual, like the SCF equation.
+        let f = |x: f64| {
+            let e = (40.0 * (x - 0.3)).exp();
+            let v = x + e / (1.0 + e) - 0.9;
+            let dv = 1.0 + 40.0 * e / ((1.0 + e) * (1.0 + e));
+            (v, dv)
+        };
+        let r = newton_bracketed(f, -2.0, 2.0, -2.0, opts()).unwrap();
+        let (res, _) = f(r);
+        assert!(res.abs() < 1e-10, "residual {res} at {r}");
+    }
+
+    #[test]
+    fn newton_bracketed_requires_bracket() {
+        assert!(matches!(
+            newton_bracketed(|x| (x * x + 1.0, 2.0 * x), -1.0, 1.0, 0.0, opts()),
+            Err(NumericsError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn newton_quadratic_convergence() {
+        let mut evals = 0;
+        let r = newton(
+            |x| {
+                evals += 1;
+                (x * x - 2.0, 2.0 * x)
+            },
+            1.0,
+            opts(),
+        )
+        .unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-12);
+        assert!(evals < 12, "{evals} evaluations");
+    }
+
+    #[test]
+    fn newton_damps_overshooting_steps() {
+        // atan has small derivative far out; plain Newton diverges from 5.
+        let r = newton(|x: f64| (x.atan(), 1.0 / (1.0 + x * x)), 3.0, RootFindOptions {
+            max_iter: 200,
+            ..opts()
+        })
+        .unwrap();
+        assert!(r.abs() < 1e-6, "{r}");
+    }
+
+    #[test]
+    fn newton_reports_failure_on_flat_function() {
+        let e = newton(|_| (1.0, 0.0), 0.0, opts()).unwrap_err();
+        assert!(matches!(e, NumericsError::ConvergenceFailure { .. }));
+    }
+
+    #[test]
+    fn all_methods_agree_on_same_problem() {
+        let f = |x: f64| x.cos() - x;
+        let b1 = bisection(f, 0.0, 1.0, opts()).unwrap();
+        let b2 = brent(f, 0.0, 1.0, opts()).unwrap();
+        let b3 = newton(|x: f64| (x.cos() - x, -x.sin() - 1.0), 0.5, opts()).unwrap();
+        assert!((b1 - b2).abs() < 1e-8);
+        assert!((b2 - b3).abs() < 1e-8);
+    }
+}

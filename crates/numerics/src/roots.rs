@@ -1,0 +1,350 @@
+//! Closed-form real roots of polynomials up to cubic order.
+//!
+//! The paper's headline trick is that with charge segments of order ≤ 3 the
+//! self-consistent voltage equation becomes a cubic per segment pair, so the
+//! entire Newton–Raphson loop of the reference model collapses into the
+//! formulas in this module. Numerical care matters here: the quadratic uses
+//! the stable `q = -(b + sign(b)√Δ)/2` form and the cubic uses the
+//! trigonometric method in the three-real-root regime to avoid catastrophic
+//! cancellation, followed by one Newton polish step.
+
+use crate::polynomial::Polynomial;
+
+/// Relative tolerance used to classify near-zero leading coefficients and
+/// near-zero discriminants.
+const EPS: f64 = 1e-12;
+
+/// Real roots of `a x + b = 0`.
+///
+/// Returns an empty vector when `a == 0` (either no root or infinitely
+/// many; both are useless to the segment solver, which treats them as "no
+/// crossing in this segment").
+pub fn solve_linear(a: f64, b: f64) -> Vec<f64> {
+    if a == 0.0 {
+        Vec::new()
+    } else {
+        vec![-b / a]
+    }
+}
+
+/// Real roots of `a x² + b x + c = 0`, in ascending order.
+///
+/// Degenerates gracefully to the linear case when `a` is negligible
+/// relative to the other coefficients. A double root is reported once.
+pub fn solve_quadratic(a: f64, b: f64, c: f64) -> Vec<f64> {
+    let scale = a.abs().max(b.abs()).max(c.abs());
+    if scale == 0.0 {
+        return Vec::new();
+    }
+    if a.abs() < EPS * scale {
+        return solve_linear(b, c);
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < -EPS * scale * scale {
+        return Vec::new();
+    }
+    if disc <= 0.0 {
+        return vec![-b / (2.0 * a)];
+    }
+    let sq = disc.sqrt();
+    // Stable form: compute the larger-magnitude root first, derive the other
+    // from the product of roots to avoid cancellation.
+    let q = -0.5 * (b + b.signum() * sq);
+    let (r1, r2) = if b == 0.0 {
+        let r = sq / (2.0 * a);
+        (-r, r)
+    } else {
+        (q / a, c / q)
+    };
+    let mut roots = vec![r1, r2];
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    roots.dedup_by(|x, y| (*x - *y).abs() <= EPS * (1.0 + x.abs()));
+    roots
+}
+
+/// Real roots of `a x³ + b x² + c x + d = 0`, in ascending order.
+///
+/// Uses the depressed-cubic reduction; the one-real-root regime goes through
+/// Cardano's formula with cancellation-free signs and the three-real-root
+/// regime goes through Viète's trigonometric method. Every root receives a
+/// single Newton polish on the original coefficients.
+pub fn solve_cubic(a: f64, b: f64, c: f64, d: f64) -> Vec<f64> {
+    let scale = a.abs().max(b.abs()).max(c.abs()).max(d.abs());
+    if scale == 0.0 {
+        return Vec::new();
+    }
+    if a.abs() < EPS * scale {
+        return solve_quadratic(b, c, d);
+    }
+    // Normalise to x³ + p2 x² + p1 x + p0.
+    let p2 = b / a;
+    let p1 = c / a;
+    let p0 = d / a;
+    // Depress: x = t - p2/3 → t³ + p t + q = 0.
+    let shift = p2 / 3.0;
+    let p = p1 - p2 * p2 / 3.0;
+    let q = p0 - p2 * p1 / 3.0 + 2.0 * p2 * p2 * p2 / 27.0;
+
+    let candidates = depressed_cubic_roots(p, q)
+        .into_iter()
+        .map(|t| t - shift)
+        .collect::<Vec<_>>();
+
+    // The analytic candidates can lose most of their digits when the
+    // depressed-cubic back-substitution `t − p2/3` cancels (e.g. a cubic
+    // that is nearly quadratic). Strategy: Newton-polish every candidate,
+    // keep the one that converged best, then deflate to a quadratic and
+    // solve the remaining roots in closed form.
+    let rel_res = |r: f64| {
+        let f = ((a * r + b) * r + c) * r + d;
+        let s = a.abs() * r.abs().powi(3) + b.abs() * r * r + c.abs() * r.abs() + d.abs();
+        f.abs() / (1.0 + s)
+    };
+    let polish = |mut r: f64| {
+        for _ in 0..20 {
+            let f = ((a * r + b) * r + c) * r + d;
+            let df = (3.0 * a * r + 2.0 * b) * r + c;
+            if df == 0.0 {
+                break;
+            }
+            let step = f / df;
+            if !step.is_finite() || step.abs() >= 1.0 + r.abs() {
+                break;
+            }
+            r -= step;
+            if step.abs() <= 1e-15 * (1.0 + r.abs()) {
+                break;
+            }
+        }
+        r
+    };
+    let polished: Vec<f64> = candidates.into_iter().map(polish).collect();
+    let r0 = polished
+        .iter()
+        .copied()
+        .min_by(|x, y| rel_res(*x).partial_cmp(&rel_res(*y)).expect("finite"))
+        .expect("analytic cubic solver always yields a candidate");
+
+    // Synthetic division by (x − r0): quotient a x² + e x + g.
+    let e = b + a * r0;
+    let g = c + e * r0;
+    let mut roots = vec![r0];
+    for r in solve_quadratic(a, e, g) {
+        let rp = polish(r);
+        // Accept only roots the original cubic actually supports.
+        if rel_res(rp) < 1e-7 {
+            roots.push(rp);
+        }
+    }
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    roots.dedup_by(|x, y| (*x - *y).abs() <= 1e-9 * (1.0 + x.abs()));
+    roots
+}
+
+/// Real roots of the depressed cubic `t³ + p t + q = 0`.
+fn depressed_cubic_roots(p: f64, q: f64) -> Vec<f64> {
+    let half_q = q / 2.0;
+    let third_p = p / 3.0;
+    let disc = half_q * half_q + third_p * third_p * third_p;
+    let magnitude = (p.abs() / 3.0).max(q.abs() / 2.0).max(1e-30);
+    let disc_tol = EPS * magnitude * magnitude * magnitude.max(1.0);
+
+    if disc > disc_tol {
+        // One real root: Cardano with a cancellation-free pairing.
+        let s = disc.sqrt();
+        let u = (-half_q + s).cbrt();
+        // v from u via p to avoid subtracting nearly equal cube roots.
+        let v = if u.abs() > 1e-300 { -third_p / u } else { (-half_q - s).cbrt() };
+        vec![u + v]
+    } else if disc < -disc_tol {
+        // Three distinct real roots: trigonometric method (p < 0 here).
+        let m = (-third_p).sqrt();
+        let arg = (-half_q / (m * m * m)).clamp(-1.0, 1.0);
+        let theta = arg.acos() / 3.0;
+        let two_pi_3 = 2.0 * std::f64::consts::PI / 3.0;
+        vec![
+            2.0 * m * theta.cos(),
+            2.0 * m * (theta - two_pi_3).cos(),
+            2.0 * m * (theta + two_pi_3).cos(),
+        ]
+    } else {
+        // Borderline: repeated roots.
+        if p.abs() < EPS * magnitude {
+            // Triple root at 0 (q ~ 0 too when disc ~ 0).
+            vec![0.0]
+        } else {
+            // disc = 0 with p ≠ 0: a double root and a simple root.
+            let r_double = -1.5 * q / p;
+            let r_single = 3.0 * q / p;
+            if (r_double - r_single).abs() < 1e-9 * (1.0 + r_double.abs()) {
+                vec![r_double]
+            } else {
+                vec![r_double, r_single]
+            }
+        }
+    }
+}
+
+/// Real roots of an arbitrary polynomial of degree ≤ 3, in ascending order.
+///
+/// # Panics
+///
+/// Panics if the polynomial degree exceeds 3; the compact model never
+/// constructs such a polynomial and a higher degree indicates a logic error
+/// upstream.
+pub fn real_roots(p: &Polynomial) -> Vec<f64> {
+    match p.degree() {
+        None | Some(0) => Vec::new(),
+        Some(1) => solve_linear(p.coeff(1), p.coeff(0)),
+        Some(2) => solve_quadratic(p.coeff(2), p.coeff(1), p.coeff(0)),
+        Some(3) => solve_cubic(p.coeff(3), p.coeff(2), p.coeff(1), p.coeff(0)),
+        Some(n) => panic!("real_roots supports degree <= 3, got {n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_roots(got: &[f64], want: &[f64], tol: f64) {
+        assert_eq!(got.len(), want.len(), "got {got:?}, want {want:?}");
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < tol * (1.0 + w.abs()), "got {got:?}, want {want:?}");
+        }
+    }
+
+    #[test]
+    fn linear_root() {
+        assert_roots(&solve_linear(2.0, -4.0), &[2.0], 1e-14);
+        assert!(solve_linear(0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn quadratic_two_roots() {
+        assert_roots(&solve_quadratic(1.0, -3.0, 2.0), &[1.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn quadratic_no_real_roots() {
+        assert!(solve_quadratic(1.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn quadratic_double_root_reported_once() {
+        let r = solve_quadratic(1.0, -2.0, 1.0);
+        assert_roots(&r, &[1.0], 1e-9);
+    }
+
+    #[test]
+    fn quadratic_is_stable_for_small_c() {
+        // x² - 1e8 x + 1 = 0 has roots ~1e8 and ~1e-8; the naive formula
+        // destroys the small root.
+        let r = solve_quadratic(1.0, -1e8, 1.0);
+        assert_eq!(r.len(), 2);
+        assert!((r[0] - 1e-8).abs() < 1e-16);
+        assert!((r[1] - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn quadratic_degenerates_to_linear() {
+        assert_roots(&solve_quadratic(0.0, 2.0, -6.0), &[3.0], 1e-14);
+    }
+
+    #[test]
+    fn cubic_three_real_roots() {
+        // (x-1)(x-2)(x-3) = x³ -6x² +11x -6
+        assert_roots(&solve_cubic(1.0, -6.0, 11.0, -6.0), &[1.0, 2.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    fn cubic_one_real_root() {
+        // (x-2)(x²+1) = x³ -2x² + x - 2
+        assert_roots(&solve_cubic(1.0, -2.0, 1.0, -2.0), &[2.0], 1e-10);
+    }
+
+    #[test]
+    fn cubic_negative_roots() {
+        // (x+1)(x+4)(x-0.5)
+        let p = Polynomial::from_roots(&[-1.0, -4.0, 0.5]);
+        let r = solve_cubic(p.coeff(3), p.coeff(2), p.coeff(1), p.coeff(0));
+        assert_roots(&r, &[-4.0, -1.0, 0.5], 1e-10);
+    }
+
+    #[test]
+    fn cubic_degenerates_to_quadratic() {
+        assert_roots(&solve_cubic(0.0, 1.0, -3.0, 2.0), &[1.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn cubic_with_tiny_leading_coefficient_is_consistent() {
+        // Nearly-quadratic cubic: roots should stay close to the quadratic's.
+        let r = solve_cubic(1e-16, 1.0, -3.0, 2.0);
+        assert!(r.iter().any(|x| (x - 1.0).abs() < 1e-6));
+        assert!(r.iter().any(|x| (x - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn cubic_triple_root() {
+        // (x-1)³ = x³ -3x² +3x -1
+        let r = solve_cubic(1.0, -3.0, 3.0, -1.0);
+        assert!(!r.is_empty());
+        for x in &r {
+            assert!((x - 1.0).abs() < 2e-4, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn cubic_wide_magnitude_roots() {
+        let p = Polynomial::from_roots(&[-1e3, 0.25, 1e2]);
+        let r = solve_cubic(p.coeff(3), p.coeff(2), p.coeff(1), p.coeff(0));
+        assert_roots(&r, &[-1e3, 0.25, 1e2], 1e-6);
+    }
+
+    #[test]
+    fn real_roots_dispatches_by_degree() {
+        assert!(real_roots(&Polynomial::zero()).is_empty());
+        assert!(real_roots(&Polynomial::constant(5.0)).is_empty());
+        assert_roots(&real_roots(&Polynomial::new(vec![-2.0, 1.0])), &[2.0], 1e-14);
+        assert_roots(
+            &real_roots(&Polynomial::new(vec![2.0, -3.0, 1.0])),
+            &[1.0, 2.0],
+            1e-12,
+        );
+        assert_roots(
+            &real_roots(&Polynomial::from_roots(&[0.0, 1.0, -1.0])),
+            &[-1.0, 0.0, 1.0],
+            1e-10,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degree <= 3")]
+    fn real_roots_panics_on_quartic() {
+        let _ = real_roots(&Polynomial::new(vec![1.0, 0.0, 0.0, 0.0, 1.0]));
+    }
+
+    #[test]
+    fn roots_satisfy_residual_bound_on_random_cubics() {
+        // Deterministic pseudo-random sweep (no rand dependency needed).
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        };
+        for _ in 0..500 {
+            let (a, b, c, d) = (next(), next(), next(), next());
+            if a.abs() < 0.05 {
+                continue;
+            }
+            let roots = solve_cubic(a, b, c, d);
+            assert!(!roots.is_empty(), "odd-degree must have a real root");
+            for r in roots {
+                let res = ((a * r + b) * r + c) * r + d;
+                let scale = a.abs() * r.abs().powi(3) + b.abs() * r.powi(2).abs() + c.abs() * r.abs() + d.abs();
+                assert!(res.abs() <= 1e-7 * (1.0 + scale), "res {res} at root {r}");
+            }
+        }
+    }
+}

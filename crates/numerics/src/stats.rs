@@ -1,0 +1,150 @@
+//! Error metrics.
+//!
+//! The paper's Tables II–V report "average RMS errors" of the approximate
+//! drain current against a reference. This module pins down the exact
+//! definition used throughout the workspace so every table is computed the
+//! same way: RMS of the pointwise deviation, normalised by the peak
+//! reference magnitude of the sweep, in percent.
+
+/// Root-mean-square of a sample.
+///
+/// Returns 0 for an empty slice.
+pub fn rms(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v * v).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Maximum absolute value (0 for an empty slice).
+pub fn max_abs(values: &[f64]) -> f64 {
+    values.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// RMS deviation between two equal-length series.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn rms_deviation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must have equal length");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    rms(&diffs)
+}
+
+/// The paper's error metric: RMS deviation of `model` from `reference`,
+/// normalised by the peak reference magnitude, in percent.
+///
+/// Returns 0 when the reference is identically zero (both series are then
+/// expected to be zero too; any deviation would be meaningless to
+/// normalise).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_numerics::stats::relative_rms_percent;
+/// let reference = [0.0, 1.0, 2.0, 4.0];
+/// let model = [0.0, 1.0, 2.0, 4.0];
+/// assert_eq!(relative_rms_percent(&model, &reference), 0.0);
+/// ```
+pub fn relative_rms_percent(model: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(model.len(), reference.len(), "series must have equal length");
+    let peak = max_abs(reference);
+    if peak == 0.0 {
+        return 0.0;
+    }
+    100.0 * rms_deviation(model, reference) / peak
+}
+
+/// Mean of per-sweep [`relative_rms_percent`] values — the "average RMS
+/// error" aggregation used when a table cell spans several bias sweeps.
+///
+/// # Panics
+///
+/// Panics if any model/reference pair differs in length.
+pub fn average_relative_rms_percent(pairs: &[(&[f64], &[f64])]) -> f64 {
+    let per_sweep: Vec<f64> = pairs
+        .iter()
+        .map(|(m, r)| relative_rms_percent(m, r))
+        .collect();
+    mean(&per_sweep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rms_of_constant_series() {
+        assert_eq!(rms(&[2.0, 2.0, 2.0]), 2.0);
+        assert_eq!(rms(&[-2.0, 2.0]), 2.0);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_max_abs() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max_abs(&[-3.0, 2.0]), 3.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn rms_deviation_basic() {
+        assert_eq!(rms_deviation(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(rms_deviation(&[1.0, 3.0], &[1.0, 1.0]), 2.0f64.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rms_deviation_checks_lengths() {
+        let _ = rms_deviation(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn relative_rms_is_scale_invariant() {
+        let reference = [0.0, 1e-6, 2e-6, 4e-6];
+        let model = [0.0, 1.1e-6, 2.1e-6, 3.9e-6];
+        let a = relative_rms_percent(&model, &reference);
+        let scaled_ref: Vec<f64> = reference.iter().map(|v| v * 1e9).collect();
+        let scaled_model: Vec<f64> = model.iter().map(|v| v * 1e9).collect();
+        let b = relative_rms_percent(&scaled_model, &scaled_ref);
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 0.0 && a < 10.0, "{a}");
+    }
+
+    #[test]
+    fn relative_rms_zero_reference() {
+        assert_eq!(relative_rms_percent(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn relative_rms_known_value() {
+        // deviation rms = 1, peak = 10 → 10 %.
+        let reference = [10.0, 10.0];
+        let model = [11.0, 9.0];
+        assert!((relative_rms_percent(&model, &reference) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_over_sweeps() {
+        let r1 = [10.0, 10.0];
+        let m1 = [11.0, 9.0]; // 10 %
+        let r2 = [10.0, 10.0];
+        let m2 = [10.0, 10.0]; // 0 %
+        let avg = average_relative_rms_percent(&[(&m1, &r1), (&m2, &r2)]);
+        assert!((avg - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Physical constants (CODATA 2018) and graphene tight-binding parameters.
+//!
+//! Energies in this workspace are expressed in electron-volts and lengths
+//! in metres unless a name says otherwise; the constants here come in both
+//! SI and eV-flavoured forms so call sites never need ad-hoc conversion
+//! factors.
+
+/// Elementary charge, C.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN_J_PER_K: f64 = 1.380_649e-23;
+
+/// Boltzmann constant, eV/K.
+pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
+
+/// Reduced Planck constant, J·s.
+pub const HBAR_J_S: f64 = 1.054_571_817e-34;
+
+/// Vacuum permittivity, F/m.
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_812_8e-12;
+
+/// Carbon–carbon bond length in graphene, m.
+pub const CC_BOND_LENGTH: f64 = 0.142e-9;
+
+/// Graphene lattice constant `a = √3 · a_cc`, m.
+pub const GRAPHENE_LATTICE: f64 = 0.246e-9;
+
+/// Nearest-neighbour tight-binding hopping energy `V_ppπ`, eV.
+///
+/// The conventional value of ≈ 3 eV reproduces the `E_g ≈ 0.8 eV / d[nm]`
+/// rule used by the ballistic CNT literature the paper builds on.
+pub const V_PP_PI: f64 = 3.0;
+
+/// Quantum conductance prefactor of the ballistic current equation
+/// (paper eq. 12): `2 q k / (π ħ)` in A/(K) when multiplied by `T` and a
+/// dimensionless Fermi integral difference.
+///
+/// `I_DS = BALLISTIC_CURRENT_PREFACTOR · T · [F₀(η_S) − F₀(η_D)]`.
+pub const BALLISTIC_CURRENT_PREFACTOR: f64 =
+    2.0 * ELEMENTARY_CHARGE * BOLTZMANN_J_PER_K / (std::f64::consts::PI * HBAR_J_S);
+
+/// Thermal energy `kT` at temperature `t` kelvin, in eV.
+///
+/// # Examples
+///
+/// ```
+/// let kt = cntfet_physics::constants::thermal_energy_ev(300.0);
+/// assert!((kt - 0.02585).abs() < 1e-4);
+/// ```
+pub fn thermal_energy_ev(t: f64) -> f64 {
+    BOLTZMANN_EV_PER_K * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boltzmann_forms_are_consistent() {
+        // k[J/K] = k[eV/K] · q.
+        let derived = BOLTZMANN_EV_PER_K * ELEMENTARY_CHARGE;
+        assert!((derived - BOLTZMANN_J_PER_K).abs() / BOLTZMANN_J_PER_K < 1e-9);
+    }
+
+    #[test]
+    fn lattice_constant_matches_bond_length() {
+        let derived = 3f64.sqrt() * CC_BOND_LENGTH;
+        assert!((derived - GRAPHENE_LATTICE).abs() / GRAPHENE_LATTICE < 0.01);
+    }
+
+    #[test]
+    fn ballistic_prefactor_magnitude() {
+        // 2qk/(πħ) ≈ 1.335e-8 A/K; at 300 K the current scale is ~4e-6 A
+        // per unit F0 difference — consistent with the µA-scale currents of
+        // the paper's figures (0–9 µA for F0 differences of O(1)).
+        let at_300k = BALLISTIC_CURRENT_PREFACTOR * 300.0;
+        assert!((BALLISTIC_CURRENT_PREFACTOR - 1.3354e-8).abs() < 0.001e-8,
+            "{BALLISTIC_CURRENT_PREFACTOR}");
+        assert!(at_300k > 3e-6 && at_300k < 5e-6, "{at_300k}");
+    }
+
+    #[test]
+    fn thermal_energy_at_room_temperature() {
+        assert!((thermal_energy_ev(300.0) - 0.025852).abs() < 1e-5);
+        assert!((thermal_energy_ev(150.0) * 2.0 - thermal_energy_ev(300.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,234 @@
+//! Density of states of a semiconducting carbon nanotube.
+//!
+//! The state-density integrals of the paper (eqs. 2–4) integrate
+//! `D(E) f(E − μ)` over the conduction band. Within zone-folded tight
+//! binding the one-dimensional DOS of subband `i` with minimum `E_i`
+//! (measured from midgap) is, per unit tube length and per eV,
+//!
+//! ```text
+//! D_i(E) = D₀ · E / √(E² − E_i²)      for E > E_i,   D₀ = 8 / (3 π a_cc V_ppπ)
+//! ```
+//!
+//! including the factor 4 for spin × valley degeneracy and counting both
+//! `±k` branches.
+
+use crate::constants::{CC_BOND_LENGTH, V_PP_PI};
+use crate::nanotube::Chirality;
+
+/// First-subband(s) density of states of a semiconducting tube.
+///
+/// Energies are measured from midgap in eV; the returned density is in
+/// states/(eV·m).
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_physics::{Chirality, CntDensityOfStates};
+/// let dos = CntDensityOfStates::new(Chirality::new(13, 0), 1);
+/// let delta = dos.subband_minima()[0];
+/// assert_eq!(dos.density(delta * 0.9), 0.0); // inside the gap
+/// assert!(dos.density(delta * 1.5) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CntDensityOfStates {
+    chirality: Chirality,
+    minima: Vec<f64>,
+    d0: f64,
+}
+
+impl CntDensityOfStates {
+    /// Creates the DOS for the lowest `subbands` conduction subbands of
+    /// `chirality`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subbands == 0` or the tube is metallic (no gap — not a
+    /// FET channel; the ballistic MOSFET-like theory does not apply).
+    pub fn new(chirality: Chirality, subbands: usize) -> Self {
+        assert!(subbands > 0, "at least one subband is required");
+        assert!(
+            !chirality.is_metallic(),
+            "metallic tubes have no band gap and cannot form a FET channel"
+        );
+        let minima = chirality.subband_minima_ev(subbands);
+        let d0 = 8.0 / (3.0 * std::f64::consts::PI * CC_BOND_LENGTH * V_PP_PI);
+        CntDensityOfStates {
+            chirality,
+            minima,
+            d0,
+        }
+    }
+
+    /// The tube this DOS describes.
+    pub fn chirality(&self) -> Chirality {
+        self.chirality
+    }
+
+    /// Subband minima in eV from midgap, ascending.
+    pub fn subband_minima(&self) -> &[f64] {
+        &self.minima
+    }
+
+    /// The prefactor `D₀ = 8/(3π a_cc V_ppπ)` in states/(eV·m).
+    pub fn d0(&self) -> f64 {
+        self.d0
+    }
+
+    /// Total density of states at energy `e` (eV from midgap), summed over
+    /// the configured subbands, in states/(eV·m).
+    ///
+    /// The van Hove singularity at each subband edge is integrable; the
+    /// quadrature in the reference model splits intervals at the minima
+    /// and substitutes it away.
+    pub fn density(&self, e: f64) -> f64 {
+        let mut total = 0.0;
+        for &emin in &self.minima {
+            if e > emin {
+                total += self.d0 * e / ((e - emin) * (e + emin)).sqrt();
+            }
+        }
+        total
+    }
+
+    /// Number of electrons per unit length (1/m) contributed by states up
+    /// to the Fermi occupation `f(E − mu)` at thermal energy `kt`, i.e.
+    /// `∫ D(E) f(E − mu) dE` over the conduction band.
+    ///
+    /// Uses the singularity-free substitution `E = √(E_i² + u²)` per
+    /// subband, under which `D(E) dE = D₀ du` exactly — the van Hove
+    /// divergence disappears analytically and an ordinary adaptive rule
+    /// converges fast. `tol` is the *relative* quadrature tolerance; it is
+    /// scaled internally by the natural magnitude `D₀·kT` of the integral
+    /// so deep filling and tail filling cost similar work.
+    pub fn occupied_states(&self, mu: f64, kt: f64, tol: f64) -> f64 {
+        use cntfet_numerics::quadrature::integrate_semi_infinite;
+        let scale = self.d0 * kt.max(1e-4);
+        let abs_tol = tol * scale;
+        let mut total = 0.0;
+        for &emin in &self.minima {
+            // u parametrises E = sqrt(emin² + u²), so the integrand is
+            // D0 · f(E(u) − mu) — bounded, smooth, exponentially decaying.
+            let integrand = |u: f64| {
+                let e = (emin * emin + u * u).sqrt();
+                self.d0 * crate::fermi::fermi(e, mu, kt)
+            };
+            // The occupied window extends to u ≈ √(mu² − emin²) in the
+            // degenerate regime before the exponential tail begins.
+            let degenerate_reach = if mu > emin {
+                (mu * mu - emin * emin).sqrt()
+            } else {
+                0.0
+            };
+            let window = degenerate_reach.max(kt.max(1e-4));
+            total += integrate_semi_infinite(&integrand, 0.0, window, abs_tol);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::thermal_energy_ev;
+
+    fn dos13() -> CntDensityOfStates {
+        CntDensityOfStates::new(Chirality::new(13, 0), 1)
+    }
+
+    #[test]
+    fn density_is_zero_in_the_gap() {
+        let dos = dos13();
+        let delta = dos.subband_minima()[0];
+        assert_eq!(dos.density(0.0), 0.0);
+        assert_eq!(dos.density(delta), 0.0);
+        assert_eq!(dos.density(delta - 1e-6), 0.0);
+    }
+
+    #[test]
+    fn density_diverges_at_band_edge_and_decays_to_d0() {
+        let dos = dos13();
+        let delta = dos.subband_minima()[0];
+        assert!(dos.density(delta + 1e-9) > 100.0 * dos.d0());
+        // Far above the edge the 1-D DOS approaches D0 (E/√(E²−Δ²) → 1).
+        let far = dos.density(delta * 50.0);
+        assert!((far - dos.d0()).abs() / dos.d0() < 1e-3, "{far}");
+    }
+
+    #[test]
+    fn d0_magnitude() {
+        // 8/(3π·0.142e-9·3) ≈ 2.0e9 states/(eV·m).
+        let d0 = dos13().d0();
+        assert!((d0 - 1.99e9).abs() < 0.05e9, "{d0}");
+    }
+
+    #[test]
+    fn second_subband_adds_density_above_its_edge() {
+        let one = CntDensityOfStates::new(Chirality::new(13, 0), 1);
+        let two = CntDensityOfStates::new(Chirality::new(13, 0), 2);
+        let delta = one.subband_minima()[0];
+        // Between the edges the two agree; above 2Δ the two-subband DOS is
+        // strictly larger.
+        assert_eq!(one.density(1.5 * delta), two.density(1.5 * delta));
+        assert!(two.density(2.5 * delta) > one.density(2.5 * delta));
+    }
+
+    #[test]
+    fn occupied_states_increase_with_mu_and_t() {
+        let dos = dos13();
+        let kt = thermal_energy_ev(300.0);
+        let n1 = dos.occupied_states(0.0, kt, 1e-10);
+        let n2 = dos.occupied_states(0.2, kt, 1e-10);
+        let n3 = dos.occupied_states(0.2, thermal_energy_ev(450.0), 1e-10);
+        assert!(n2 > n1, "{n2} vs {n1}");
+        assert!(n3 > n2, "{n3} vs {n2}");
+    }
+
+    #[test]
+    fn occupied_states_degenerate_limit_matches_analytic() {
+        // For mu far above the band edge and kT → small, the integral
+        // approaches D0·√(mu² − Δ²) (from ∫ D dE = D0·u evaluated at the
+        // Fermi level).
+        let dos = dos13();
+        let delta = dos.subband_minima()[0];
+        let mu = delta + 0.5;
+        let kt = thermal_energy_ev(30.0); // very cold
+        let n = dos.occupied_states(mu, kt, 1e-11);
+        let analytic = dos.d0() * (mu * mu - delta * delta).sqrt();
+        assert!((n - analytic).abs() / analytic < 1e-3, "{n} vs {analytic}");
+    }
+
+    #[test]
+    fn occupied_states_nondegenerate_limit_is_exponential() {
+        let dos = dos13();
+        let kt = thermal_energy_ev(300.0);
+        let n1 = dos.occupied_states(-0.3, kt, 1e-12);
+        let n2 = dos.occupied_states(-0.3 - kt, kt, 1e-12);
+        // Boltzmann tail: one kT deeper in the gap costs a factor e.
+        let ratio = n1 / n2;
+        assert!((ratio - std::f64::consts::E).abs() < 0.05, "{ratio}");
+    }
+
+    #[test]
+    fn charge_scale_matches_paper_figures() {
+        // The paper's Q_S curves peak around 1e-10 C/m for strong filling;
+        // q·N at mu = Δ + 0.25 eV should be of that order.
+        let dos = dos13();
+        let delta = dos.subband_minima()[0];
+        let kt = thermal_energy_ev(300.0);
+        let n = dos.occupied_states(delta + 0.25, kt, 1e-10);
+        let q = crate::constants::ELEMENTARY_CHARGE * n;
+        assert!(q > 1e-11 && q < 1e-9, "q = {q} C/m");
+    }
+
+    #[test]
+    #[should_panic(expected = "metallic")]
+    fn metallic_tube_is_rejected() {
+        let _ = CntDensityOfStates::new(Chirality::new(12, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subband")]
+    fn zero_subbands_is_rejected() {
+        let _ = CntDensityOfStates::new(Chirality::new(13, 0), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Gate electrostatics: terminal capacitances per unit tube length.
+//!
+//! The paper's eqs. (8)–(9) treat the gate, drain and source couplings as
+//! three lumped capacitances `C_G, C_D, C_S` whose sum `C_Σ` divides the
+//! total charge in the self-consistent voltage equation. This module
+//! computes the dominant gate term from the insulator geometry and lets
+//! drain/source be specified as fractions, mirroring FETToy's
+//! `alpha_G/alpha_D` parametrisation.
+
+use crate::constants::VACUUM_PERMITTIVITY;
+
+/// Gate insulator geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateGeometry {
+    /// Coaxial (wrap-around) gate at oxide thickness `t_ox` — the
+    /// highest-coupling geometry, used by FETToy's default device.
+    Coaxial,
+    /// Planar (back-gate) electrode: the tube lies on the oxide, as in the
+    /// Javey et al. experimental device with its 50 nm back oxide.
+    Planar,
+}
+
+/// Computes the gate capacitance per unit length (F/m).
+///
+/// * Coaxial: `C = 2πε / ln((2 t_ox + d) / d)`.
+/// * Planar: `C = 2πε / acosh((2 t_ox + d) / d)` (wire over ground plane).
+///
+/// `d` is the tube diameter (m), `t_ox` the insulator thickness (m),
+/// `eps_r` its relative permittivity.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+pub fn gate_capacitance_per_m(geometry: GateGeometry, d: f64, t_ox: f64, eps_r: f64) -> f64 {
+    assert!(d > 0.0 && t_ox > 0.0 && eps_r > 0.0, "geometry must be positive");
+    let eps = VACUUM_PERMITTIVITY * eps_r;
+    let ratio = (2.0 * t_ox + d) / d;
+    match geometry {
+        GateGeometry::Coaxial => 2.0 * std::f64::consts::PI * eps / ratio.ln(),
+        GateGeometry::Planar => 2.0 * std::f64::consts::PI * eps / ratio.acosh(),
+    }
+}
+
+/// The three terminal capacitances of the equivalent circuit, per unit
+/// tube length (F/m).
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_physics::electrostatics::{gate_capacitance_per_m, GateGeometry, TerminalCapacitances};
+/// let cg = gate_capacitance_per_m(GateGeometry::Coaxial, 1.0e-9, 1.5e-9, 3.9);
+/// let caps = TerminalCapacitances::from_gate(cg, 0.035, 0.025);
+/// assert!(caps.total() > cg);
+/// assert!(caps.alpha_g() > 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TerminalCapacitances {
+    /// Gate capacitance `C_G`, F/m.
+    pub gate: f64,
+    /// Drain capacitance `C_D`, F/m.
+    pub drain: f64,
+    /// Source capacitance `C_S`, F/m.
+    pub source: f64,
+}
+
+impl TerminalCapacitances {
+    /// Builds the set from the gate capacitance and the drain/source
+    /// couplings expressed as fractions of `C_G` (FETToy convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate <= 0` or a fraction is negative.
+    pub fn from_gate(gate: f64, drain_fraction: f64, source_fraction: f64) -> Self {
+        assert!(gate > 0.0, "gate capacitance must be positive");
+        assert!(
+            drain_fraction >= 0.0 && source_fraction >= 0.0,
+            "capacitance fractions must be non-negative"
+        );
+        TerminalCapacitances {
+            gate,
+            drain: gate * drain_fraction,
+            source: gate * source_fraction,
+        }
+    }
+
+    /// Total terminal capacitance `C_Σ = C_G + C_D + C_S` (paper eq. 9).
+    pub fn total(&self) -> f64 {
+        self.gate + self.drain + self.source
+    }
+
+    /// Gate control ratio `α_G = C_G / C_Σ`.
+    pub fn alpha_g(&self) -> f64 {
+        self.gate / self.total()
+    }
+
+    /// Drain coupling ratio `α_D = C_D / C_Σ` (drain-induced barrier
+    /// lowering in the top-of-the-barrier picture).
+    pub fn alpha_d(&self) -> f64 {
+        self.drain / self.total()
+    }
+
+    /// Terminal charge `Q_t = V_G C_G + V_D C_D + V_S C_S` (paper eq. 8)
+    /// in C/m for terminal voltages in volts.
+    pub fn terminal_charge(&self, vg: f64, vd: f64, vs: f64) -> f64 {
+        vg * self.gate + vd * self.drain + vs * self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coaxial_capacitance_reference_value() {
+        // d = 1 nm, t_ox = 1.5 nm, κ = 3.9: C = 2πε0·3.9/ln(4) ≈ 1.57e-10 F/m.
+        let c = gate_capacitance_per_m(GateGeometry::Coaxial, 1.0e-9, 1.5e-9, 3.9);
+        assert!((c - 1.565e-10).abs() < 0.01e-10, "{c}");
+    }
+
+    #[test]
+    fn planar_is_weaker_than_coaxial() {
+        let cx = gate_capacitance_per_m(GateGeometry::Coaxial, 1.6e-9, 50e-9, 3.9);
+        let pl = gate_capacitance_per_m(GateGeometry::Planar, 1.6e-9, 50e-9, 3.9);
+        assert!(pl < cx, "planar {pl} vs coaxial {cx}");
+        assert!(pl > 0.0);
+    }
+
+    #[test]
+    fn capacitance_increases_with_permittivity_and_decreases_with_tox() {
+        let base = gate_capacitance_per_m(GateGeometry::Coaxial, 1e-9, 2e-9, 3.9);
+        let high_k = gate_capacitance_per_m(GateGeometry::Coaxial, 1e-9, 2e-9, 16.0);
+        let thick = gate_capacitance_per_m(GateGeometry::Coaxial, 1e-9, 10e-9, 3.9);
+        assert!(high_k > base);
+        assert!(thick < base);
+    }
+
+    #[test]
+    fn terminal_set_totals_and_ratios() {
+        let caps = TerminalCapacitances::from_gate(1.0e-10, 0.04, 0.02);
+        assert!((caps.total() - 1.06e-10).abs() < 1e-14);
+        assert!((caps.alpha_g() - 1.0 / 1.06).abs() < 1e-12);
+        assert!((caps.alpha_d() - 0.04 / 1.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terminal_charge_is_linear_in_biases() {
+        let caps = TerminalCapacitances::from_gate(2.0e-10, 0.05, 0.05);
+        let q1 = caps.terminal_charge(0.5, 0.3, 0.0);
+        let q2 = caps.terminal_charge(1.0, 0.6, 0.0);
+        assert!((q2 - 2.0 * q1).abs() < 1e-22);
+        assert_eq!(caps.terminal_charge(0.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn grounded_source_contributes_nothing() {
+        let caps = TerminalCapacitances::from_gate(1e-10, 0.1, 0.1);
+        let q = caps.terminal_charge(0.6, 0.4, 0.0);
+        let expect = 0.6 * caps.gate + 0.4 * caps.drain;
+        assert!((q - expect).abs() < 1e-24);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gate_capacitance_panics() {
+        let _ = TerminalCapacitances::from_gate(0.0, 0.1, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_geometry_panics() {
+        let _ = gate_capacitance_per_m(GateGeometry::Coaxial, -1e-9, 1e-9, 3.9);
+    }
+}

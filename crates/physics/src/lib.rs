@@ -1,0 +1,42 @@
+//! Carbon-nanotube device physics for the `cntfet` workspace.
+//!
+//! This crate holds everything the paper's eqs. (1)–(6) take as given:
+//!
+//! * [`constants`] — CODATA physical constants plus the tight-binding
+//!   parameters of the graphene lattice;
+//! * [`units`] — newtype wrappers distinguishing volts from electron-volts
+//!   from kelvin, so bias sweeps cannot be fed where energies are expected;
+//! * [`nanotube`] — chirality → diameter, band gap and subband minima of a
+//!   single-walled carbon nanotube;
+//! * [`dos`] — the first-subband density of states `D(E)` entering the
+//!   state-density integrals;
+//! * [`fermi`] — the Fermi–Dirac distribution and the closed-form
+//!   Fermi–Dirac integral of order 0, `F₀(η) = ln(1 + e^η)` (paper eq. 13);
+//! * [`electrostatics`] — gate/drain/source terminal capacitances per unit
+//!   length (paper eqs. 8–9).
+//!
+//! # Examples
+//!
+//! ```
+//! use cntfet_physics::nanotube::Chirality;
+//!
+//! let tube = Chirality::new(13, 0); // the FETToy default zigzag tube
+//! assert!(!tube.is_metallic());
+//! let d = tube.diameter_m() * 1e9;
+//! assert!((d - 1.018).abs() < 0.01, "diameter {d} nm");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod constants;
+pub mod dos;
+pub mod electrostatics;
+pub mod fermi;
+pub mod nanotube;
+pub mod units;
+
+pub use dos::CntDensityOfStates;
+pub use electrostatics::TerminalCapacitances;
+pub use nanotube::Chirality;
+pub use units::{ElectronVolts, Kelvin, Volts};

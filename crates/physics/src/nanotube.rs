@@ -1,0 +1,197 @@
+//! Single-walled carbon nanotube geometry and band structure.
+//!
+//! The zone-folding tight-binding picture used by the ballistic transport
+//! theory (Rahman et al. 2003) reduces a tube to its chiral indices
+//! `(n, m)`: they fix the diameter, whether the tube is metallic, and the
+//! subband minima whose lowest member sets the band gap.
+
+use crate::constants::{CC_BOND_LENGTH, GRAPHENE_LATTICE, V_PP_PI};
+
+/// Chiral indices `(n, m)` of a single-walled carbon nanotube.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_physics::nanotube::Chirality;
+/// let tube = Chirality::new(13, 0);
+/// assert!((tube.band_gap_ev() - 0.83).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Chirality {
+    n: u32,
+    m: u32,
+}
+
+impl Chirality {
+    /// Creates a chirality from the indices `(n, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both indices are zero or `m > n` (the conventional
+    /// ordering `n ≥ m` is required).
+    pub fn new(n: u32, m: u32) -> Self {
+        assert!(n > 0 || m > 0, "chirality (0,0) is not a nanotube");
+        assert!(m <= n, "chiral indices must satisfy n >= m");
+        Chirality { n, m }
+    }
+
+    /// The `n` index.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The `m` index.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Tube diameter in metres: `d = a √(n² + nm + m²) / π`.
+    pub fn diameter_m(&self) -> f64 {
+        let (n, m) = (self.n as f64, self.m as f64);
+        GRAPHENE_LATTICE * (n * n + n * m + m * m).sqrt() / std::f64::consts::PI
+    }
+
+    /// `true` when the tube is metallic (`(n − m) mod 3 == 0`), in which
+    /// case it has no band gap and cannot serve as a FET channel.
+    pub fn is_metallic(&self) -> bool {
+        (self.n as i64 - self.m as i64).rem_euclid(3) == 0
+    }
+
+    /// Band gap of a semiconducting tube in eV:
+    /// `E_g = 2 a_cc V_ppπ / d` (zero for metallic tubes).
+    pub fn band_gap_ev(&self) -> f64 {
+        if self.is_metallic() {
+            0.0
+        } else {
+            2.0 * CC_BOND_LENGTH * V_PP_PI / self.diameter_m()
+        }
+    }
+
+    /// Half band gap `Δ = E_g / 2` in eV — the conduction-band minimum
+    /// measured from midgap, which is where the DOS singularity sits.
+    pub fn half_gap_ev(&self) -> f64 {
+        0.5 * self.band_gap_ev()
+    }
+
+    /// Energies of the lowest `count` conduction subband minima in eV,
+    /// measured from midgap.
+    ///
+    /// For a semiconducting zigzag-like spectrum these scale as
+    /// `Δ, 2Δ, 4Δ, 5Δ, …` (the allowed lines skip multiples of 3); the
+    /// reference model only populates the subbands the caller requests.
+    pub fn subband_minima_ev(&self, count: usize) -> Vec<f64> {
+        let delta = self.half_gap_ev();
+        let mut out = Vec::with_capacity(count);
+        let mut p: u32 = 1;
+        while out.len() < count {
+            if !p.is_multiple_of(3) {
+                out.push(delta * p as f64);
+            }
+            p += 1;
+        }
+        out
+    }
+}
+
+/// Creates the chirality whose diameter best matches `d_m` metres among
+/// semiconducting zigzag tubes `(n, 0)`.
+///
+/// The experimental-comparison device of the paper is specified only by
+/// its diameter (1.6 nm); this helper picks the nearest semiconducting
+/// zigzag surrogate.
+pub fn zigzag_for_diameter(d_m: f64) -> Chirality {
+    let n_real = d_m * std::f64::consts::PI / GRAPHENE_LATTICE;
+    let mut best: Option<(f64, Chirality)> = None;
+    let lo = (n_real - 3.0).max(4.0) as u32;
+    for n in lo..(n_real as u32 + 4) {
+        let c = Chirality::new(n, 0);
+        if c.is_metallic() {
+            continue;
+        }
+        let err = (c.diameter_m() - d_m).abs();
+        if best.map(|(e, _)| err < e).unwrap_or(true) {
+            best = Some((err, c));
+        }
+    }
+    best.expect("search range always contains a semiconducting tube").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_zero_matches_fettoy_default() {
+        let t = Chirality::new(13, 0);
+        let d_nm = t.diameter_m() * 1e9;
+        assert!((d_nm - 1.018).abs() < 0.01, "{d_nm}");
+        assert!((t.band_gap_ev() - 0.837).abs() < 0.01, "{}", t.band_gap_ev());
+        assert!(!t.is_metallic());
+    }
+
+    #[test]
+    fn armchair_tubes_are_metallic() {
+        for n in [5, 8, 10] {
+            assert!(Chirality::new(n, n).is_metallic(), "({n},{n})");
+            assert_eq!(Chirality::new(n, n).band_gap_ev(), 0.0);
+        }
+    }
+
+    #[test]
+    fn zigzag_metallicity_rule() {
+        assert!(Chirality::new(9, 0).is_metallic());
+        assert!(Chirality::new(12, 0).is_metallic());
+        assert!(!Chirality::new(13, 0).is_metallic());
+        assert!(!Chirality::new(14, 0).is_metallic());
+    }
+
+    #[test]
+    fn band_gap_scales_inversely_with_diameter() {
+        let small = Chirality::new(10, 0);
+        let large = Chirality::new(20, 0);
+        assert!(small.band_gap_ev() > large.band_gap_ev());
+        let product_small = small.band_gap_ev() * small.diameter_m();
+        let product_large = large.band_gap_ev() * large.diameter_m();
+        assert!((product_small - product_large).abs() / product_small < 1e-12);
+    }
+
+    #[test]
+    fn rule_of_thumb_gap() {
+        // E_g ≈ 0.85 eV / d[nm] for V_ppπ = 3 eV.
+        let t = Chirality::new(16, 0);
+        let d_nm = t.diameter_m() * 1e9;
+        assert!((t.band_gap_ev() - 0.852 / d_nm).abs() < 0.01);
+    }
+
+    #[test]
+    fn subband_minima_skip_metallic_lines() {
+        let t = Chirality::new(13, 0);
+        let delta = t.half_gap_ev();
+        let bands = t.subband_minima_ev(4);
+        assert_eq!(bands.len(), 4);
+        assert!((bands[0] - delta).abs() < 1e-12);
+        assert!((bands[1] - 2.0 * delta).abs() < 1e-12);
+        assert!((bands[2] - 4.0 * delta).abs() < 1e-12);
+        assert!((bands[3] - 5.0 * delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zigzag_for_diameter_finds_1_6nm_tube() {
+        let c = zigzag_for_diameter(1.6e-9);
+        assert!(!c.is_metallic());
+        let d_nm = c.diameter_m() * 1e9;
+        assert!((d_nm - 1.6).abs() < 0.06, "{d_nm} nm from {c:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= m")]
+    fn inverted_indices_panic() {
+        let _ = Chirality::new(3, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a nanotube")]
+    fn zero_zero_panics() {
+        let _ = Chirality::new(0, 0);
+    }
+}

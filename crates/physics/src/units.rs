@@ -1,0 +1,170 @@
+//! Unit newtypes.
+//!
+//! The self-consistent-voltage algebra of the paper mixes three quantities
+//! that are all "just numbers" in a scripting language: terminal voltages
+//! (V), energies (eV) and temperatures (K). Confusing them is the classic
+//! compact-model bug, so the public APIs of the higher crates take these
+//! newtypes and convert explicitly.
+
+use crate::constants::BOLTZMANN_EV_PER_K;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! unit_newtype {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Raw numeric value.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// An electric potential in volts.
+    Volts,
+    "V"
+);
+
+unit_newtype!(
+    /// An energy in electron-volts.
+    ElectronVolts,
+    "eV"
+);
+
+unit_newtype!(
+    /// An absolute temperature in kelvin.
+    Kelvin,
+    "K"
+);
+
+impl Volts {
+    /// The potential energy `−qV` of an electron at this potential,
+    /// expressed in eV (numerically `−V`).
+    ///
+    /// This is the conversion hidden inside the paper's `E_F − qV_SC`
+    /// expressions once everything is measured in eV.
+    pub fn electron_energy(self) -> ElectronVolts {
+        ElectronVolts(-self.0)
+    }
+}
+
+impl ElectronVolts {
+    /// The electrostatic potential at which an electron has this potential
+    /// energy (numerically `−E`).
+    pub fn as_potential(self) -> Volts {
+        Volts(-self.0)
+    }
+}
+
+impl Kelvin {
+    /// Thermal energy `kT` in eV.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cntfet_physics::units::Kelvin;
+    /// let kt = Kelvin(300.0).thermal_energy();
+    /// assert!((kt.value() - 0.02585).abs() < 1e-4);
+    /// ```
+    pub fn thermal_energy(self) -> ElectronVolts {
+        ElectronVolts(BOLTZMANN_EV_PER_K * self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Volts(1.5);
+        let b = Volts(0.5);
+        assert_eq!((a + b).value(), 2.0);
+        assert_eq!((a - b).value(), 1.0);
+        assert_eq!((-a).value(), -1.5);
+        assert_eq!((a * 2.0).value(), 3.0);
+        assert_eq!((a / 3.0).value(), 0.5);
+        assert_eq!(a.abs(), Volts(1.5));
+        assert_eq!(Volts(-1.5).abs(), Volts(1.5));
+    }
+
+    #[test]
+    fn display_includes_unit_suffix() {
+        assert_eq!(Volts(0.5).to_string(), "0.5 V");
+        assert_eq!(ElectronVolts(-0.32).to_string(), "-0.32 eV");
+        assert_eq!(Kelvin(300.0).to_string(), "300 K");
+    }
+
+    #[test]
+    fn electron_energy_roundtrip() {
+        let v = Volts(0.7);
+        let e = v.electron_energy();
+        assert_eq!(e.value(), -0.7);
+        assert_eq!(e.as_potential(), v);
+    }
+
+    #[test]
+    fn thermal_energy_scales_linearly_in_t() {
+        let a = Kelvin(150.0).thermal_energy().value();
+        let b = Kelvin(450.0).thermal_energy().value();
+        assert!((b - 3.0 * a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_available() {
+        assert!(Volts(0.1) < Volts(0.2));
+        assert!(ElectronVolts(-0.5) < ElectronVolts(0.0));
+    }
+}

@@ -1,0 +1,284 @@
+//! State-density and mobile-charge evaluation (paper eqs. 1–4, 10–11).
+//!
+//! Everything here is the *expensive* path the compact model replaces:
+//! each call to [`ChargeModel::n_occupied`] performs adaptive quadrature of
+//! the nanotube DOS against the Fermi distribution.
+//!
+//! ## Energy bookkeeping
+//!
+//! Energies are in eV measured from the **equilibrium conduction-band edge
+//! at the top of the barrier**. The self-consistent voltage `V_SC` (volts)
+//! shifts the local band by `qV_SC`; equivalently — and this is how the
+//! code does it — the band stays put and the source/drain quasi-Fermi
+//! levels become `U_SF = E_F − qV_SC` and `U_DF = U_SF − qV_DS` (eqs. 5–6;
+//! numerically `qV ≡ V` once everything is in eV/volts).
+
+use crate::params::DeviceParams;
+use cntfet_physics::constants::ELEMENTARY_CHARGE;
+use cntfet_physics::dos::CntDensityOfStates;
+use cntfet_physics::fermi::fermi_derivative;
+use cntfet_numerics::quadrature::integrate_semi_infinite;
+
+/// Numerical evaluator of the state densities `N_S`, `N_D`, `N₀` and the
+/// apportioned mobile charges `Q_S`, `Q_D` for one device.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_reference::{ChargeModel, DeviceParams};
+/// let m = ChargeModel::new(&DeviceParams::paper_default(), 1e-9);
+/// // Driving the band down (negative V_SC) fills states.
+/// assert!(m.n_s(-0.3) > m.n_s(0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChargeModel {
+    dos: CntDensityOfStates,
+    /// Source Fermi level, eV from the equilibrium band edge.
+    ef: f64,
+    /// Thermal energy, eV.
+    kt: f64,
+    /// Relative quadrature tolerance.
+    tol: f64,
+    /// Half band gap (band-edge offset from midgap), eV.
+    half_gap: f64,
+}
+
+impl ChargeModel {
+    /// Builds the evaluator for `params` with relative quadrature
+    /// tolerance `tol` (1e-9 reproduces FETToy-grade accuracy; larger
+    /// values trade accuracy for speed in the CPU-time benchmark).
+    pub fn new(params: &DeviceParams, tol: f64) -> Self {
+        let dos = CntDensityOfStates::new(params.chirality, params.subbands);
+        let half_gap = params.chirality.half_gap_ev();
+        ChargeModel {
+            dos,
+            ef: params.fermi_level.value(),
+            kt: params.thermal_energy_ev(),
+            tol,
+            half_gap,
+        }
+    }
+
+    /// Source Fermi level in eV.
+    pub fn fermi_level(&self) -> f64 {
+        self.ef
+    }
+
+    /// Thermal energy in eV.
+    pub fn thermal_energy(&self) -> f64 {
+        self.kt
+    }
+
+    /// Electrons per metre with quasi-Fermi level `mu` (eV from the band
+    /// edge): `∫ D(E) f(E − mu) dE` over the conduction band.
+    pub fn n_occupied(&self, mu: f64) -> f64 {
+        // The DOS works in midgap coordinates; shift by the half gap.
+        self.dos.occupied_states(mu + self.half_gap, self.kt, self.tol)
+    }
+
+    /// Derivative `dN/dμ` (1/(m·eV)) — the quantum-capacitance integrand,
+    /// used by the Newton iteration of the self-consistent solver.
+    pub fn n_occupied_derivative(&self, mu: f64) -> f64 {
+        let mu_mid = mu + self.half_gap;
+        let d0 = self.dos.d0();
+        let kt = self.kt;
+        let scale = d0 / kt.max(1e-6);
+        let abs_tol = self.tol * scale * kt;
+        let mut total = 0.0;
+        for &emin in self.dos.subband_minima() {
+            let integrand = move |u: f64| {
+                let e = (emin * emin + u * u).sqrt();
+                // ∂f/∂μ = −∂f/∂E.
+                -d0 * fermi_derivative(e, mu_mid, kt)
+            };
+            let degenerate_reach = if mu_mid > emin {
+                (mu_mid * mu_mid - emin * emin).sqrt()
+            } else {
+                0.0
+            };
+            total += integrate_semi_infinite(
+                &integrand,
+                0.0,
+                degenerate_reach.max(kt.max(1e-4)),
+                abs_tol,
+            );
+        }
+        total
+    }
+
+    /// Density of +k states filled by the source (paper eq. 2):
+    /// `N_S = ½ N_occ(E_F − qV_SC)`, in 1/m.
+    pub fn n_s(&self, vsc: f64) -> f64 {
+        0.5 * self.n_occupied(self.ef - vsc)
+    }
+
+    /// Density of −k states filled by the drain (paper eq. 3):
+    /// `N_D = ½ N_occ(E_F − qV_SC − qV_DS)`, in 1/m.
+    pub fn n_d(&self, vsc: f64, vds: f64) -> f64 {
+        0.5 * self.n_occupied(self.ef - vsc - vds)
+    }
+
+    /// Equilibrium electron density (paper eq. 4): `N₀ = N_occ(E_F)`,
+    /// in 1/m.
+    pub fn n_0(&self) -> f64 {
+        self.n_occupied(self.ef)
+    }
+
+    /// Non-equilibrium electron surplus `ΔN = N_S + N_D − N₀` (paper
+    /// eq. 1 divided by q), in 1/m.
+    pub fn delta_n(&self, vsc: f64, vds: f64) -> f64 {
+        self.n_s(vsc) + self.n_d(vsc, vds) - self.n_0()
+    }
+
+    /// Source-apportioned mobile charge magnitude (paper eq. 10):
+    /// `Q_S(V_SC) = q (N_S − N₀/2)`, in C/m.
+    ///
+    /// This is the curve the compact model fits piecewise; the paper's
+    /// Figs. 2–5 plot exactly this quantity.
+    pub fn q_s(&self, vsc: f64) -> f64 {
+        ELEMENTARY_CHARGE * (self.n_s(vsc) - 0.5 * self.n_0())
+    }
+
+    /// Drain-apportioned mobile charge (paper eq. 11):
+    /// `Q_D(V_SC) = q (N_D − N₀/2) = Q_S(V_SC + V_DS)`, in C/m.
+    pub fn q_d(&self, vsc: f64, vds: f64) -> f64 {
+        ELEMENTARY_CHARGE * (self.n_d(vsc, vds) - 0.5 * self.n_0())
+    }
+
+    /// Samples `Q_S` on a `V_SC` grid — the fitting input of the compact
+    /// model.
+    pub fn q_s_curve(&self, vsc_grid: &[f64]) -> Vec<f64> {
+        vsc_grid.iter().map(|&v| self.q_s(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DeviceParams;
+    use cntfet_physics::units::{ElectronVolts, Kelvin};
+
+    fn model() -> ChargeModel {
+        ChargeModel::new(&DeviceParams::paper_default(), 1e-10)
+    }
+
+    #[test]
+    fn qd_is_qs_shifted_by_vds() {
+        let m = model();
+        for &vsc in &[-0.4, -0.2, 0.0] {
+            for &vds in &[0.0, 0.25, 0.6] {
+                let direct = m.q_d(vsc, vds);
+                let shifted = m.q_s(vsc + vds);
+                assert!(
+                    (direct - shifted).abs() <= 1e-9 * (1.0 + direct.abs()),
+                    "vsc {vsc} vds {vds}: {direct} vs {shifted}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qs_vanishes_well_above_fermi_level() {
+        let m = model();
+        // For V_SC ≫ E_F/q the source states empty and N_S → small, but
+        // Q_S = q(N_S − N0/2) → −q·N0/2; the *paper's* zero region means
+        // the curve is ≈ −qN0/2 + qN_S ≈ 0 relative to its peak.
+        let peak = m.q_s(-0.6);
+        let tail = m.q_s(0.3);
+        assert!(tail.abs() < 0.01 * peak.abs(), "tail {tail} vs peak {peak}");
+    }
+
+    #[test]
+    fn qs_is_monotone_decreasing_in_vsc() {
+        let m = model();
+        let mut prev = f64::INFINITY;
+        for i in 0..=30 {
+            let vsc = -0.7 + i as f64 * (1.0 / 30.0);
+            let v = m.q_s(vsc);
+            assert!(v <= prev + 1e-18, "non-monotone at {vsc}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn qs_magnitude_matches_paper_figures() {
+        // Fig. 4: at T = 300 K, E_F = −0.32 eV, Q_S reaches ~4e-11 C/m
+        // around V_SC ≈ −0.6 V.
+        let m = model();
+        let q = m.q_s(-0.6);
+        assert!(q > 5e-12 && q < 5e-10, "Q_S(-0.6) = {q}");
+    }
+
+    #[test]
+    fn equilibrium_delta_n_is_zero() {
+        let m = model();
+        let d = m.delta_n(0.0, 0.0);
+        let n0 = m.n_0();
+        assert!(d.abs() < 1e-6 * (1.0 + n0), "ΔN(0,0) = {d}");
+    }
+
+    #[test]
+    fn delta_n_grows_with_negative_vsc() {
+        let m = model();
+        assert!(m.delta_n(-0.3, 0.0) > m.delta_n(-0.1, 0.0));
+        assert!(m.delta_n(-0.1, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn drain_bias_empties_negative_velocity_states() {
+        let m = model();
+        let vsc = -0.3;
+        assert!(m.n_d(vsc, 0.5) < m.n_d(vsc, 0.0));
+        assert!((m.n_d(vsc, 0.0) - m.n_s(vsc)).abs() < 1e-6 * m.n_s(vsc));
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let m = model();
+        let h = 1e-5;
+        for &mu in &[-0.3, -0.1, 0.05, 0.2] {
+            let fd = (m.n_occupied(mu + h) - m.n_occupied(mu - h)) / (2.0 * h);
+            let an = m.n_occupied_derivative(mu);
+            assert!(
+                (fd - an).abs() < 2e-3 * (1.0 + an.abs()),
+                "mu {mu}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_temperature_softens_the_curve() {
+        let hot = ChargeModel::new(
+            &DeviceParams::paper_default().with_temperature(Kelvin(450.0)),
+            1e-10,
+        );
+        let cold = ChargeModel::new(
+            &DeviceParams::paper_default().with_temperature(Kelvin(150.0)),
+            1e-10,
+        );
+        // Above the Fermi level the hot tube holds far more charge.
+        let above = -0.2; // E_F/q = -0.32 → this is 0.12 V above
+        assert!(hot.q_s(above) > cold.q_s(above));
+    }
+
+    #[test]
+    fn fermi_level_shifts_the_transition_region() {
+        let shallow = model(); // E_F = −0.32 eV
+        let deep = ChargeModel::new(
+            &DeviceParams::paper_default().with_fermi_level(ElectronVolts(-0.5)),
+            1e-10,
+        );
+        // At the same V_SC the deep-Fermi device holds less charge.
+        assert!(deep.q_s(-0.4) < shallow.q_s(-0.4));
+    }
+
+    #[test]
+    fn q_s_curve_matches_pointwise_eval() {
+        let m = model();
+        let grid = [-0.5, -0.3, -0.1];
+        let curve = m.q_s_curve(&grid);
+        for (v, q) in grid.iter().zip(&curve) {
+            assert_eq!(m.q_s(*v), *q);
+        }
+    }
+}

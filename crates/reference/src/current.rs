@@ -1,0 +1,99 @@
+//! Ballistic drain current (paper eqs. 12–14).
+
+use cntfet_physics::constants::BALLISTIC_CURRENT_PREFACTOR;
+use cntfet_physics::fermi::fermi_integral_zero;
+
+/// Drain–source current of a ballistic CNFET given the solved
+/// self-consistent voltage, in amperes:
+///
+/// ```text
+/// I_DS = (2qkT/πħ) [F₀(U_SF/kT) − F₀(U_DF/kT)]
+/// U_SF = E_F − qV_SC,   U_DF = U_SF − qV_DS
+/// ```
+///
+/// Arguments: `ef` in eV (from the equilibrium band edge), `vsc`/`vds` in
+/// volts, `temperature` in kelvin, `kt` in eV.
+///
+/// This evaluation is *cheap* for both the reference and compact models —
+/// the cost difference between them is entirely in how `vsc` was obtained.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_reference::current::drain_current;
+/// // No drain bias, no current.
+/// let i = drain_current(-0.32, -0.2, 0.0, 300.0, 0.02585);
+/// assert_eq!(i, 0.0);
+/// ```
+pub fn drain_current(ef: f64, vsc: f64, vds: f64, temperature: f64, kt: f64) -> f64 {
+    let usf = ef - vsc;
+    let udf = usf - vds;
+    BALLISTIC_CURRENT_PREFACTOR
+        * temperature
+        * (fermi_integral_zero(usf / kt) - fermi_integral_zero(udf / kt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KT300: f64 = 0.025852;
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        assert_eq!(drain_current(-0.32, -0.3, 0.0, 300.0, KT300), 0.0);
+    }
+
+    #[test]
+    fn forward_bias_drives_positive_current() {
+        let i = drain_current(-0.32, -0.4, 0.3, 300.0, KT300);
+        assert!(i > 0.0);
+    }
+
+    #[test]
+    fn reversing_vds_reverses_the_current_sign() {
+        // At fixed V_SC the magnitudes differ (the full device would
+        // re-solve V_SC), but the direction must flip.
+        let fwd = drain_current(-0.32, -0.4, 0.3, 300.0, KT300);
+        let rev = drain_current(-0.32, -0.4, -0.3, 300.0, KT300);
+        assert!(fwd > 0.0);
+        assert!(rev < 0.0);
+    }
+
+    #[test]
+    fn current_increases_with_barrier_lowering() {
+        // More negative V_SC → higher U_SF → more current.
+        let low = drain_current(-0.32, -0.1, 0.4, 300.0, KT300);
+        let high = drain_current(-0.32, -0.45, 0.4, 300.0, KT300);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn saturation_in_vds() {
+        // Once U_DF is many kT below E_F the drain term vanishes and the
+        // current saturates.
+        let i1 = drain_current(-0.32, -0.45, 0.5, 300.0, KT300);
+        let i2 = drain_current(-0.32, -0.45, 0.6, 300.0, KT300);
+        assert!((i2 - i1) / i1 < 1e-2, "not saturated: {i1} vs {i2}");
+    }
+
+    #[test]
+    fn magnitude_matches_paper_scale() {
+        // Fig. 6: at V_G = 0.6, T = 300 K the saturation current is ~9 µA;
+        // the corresponding V_SC is around −0.37 V. This checks only the
+        // order of magnitude of the current formula itself.
+        let i = drain_current(-0.32, -0.37, 0.6, 300.0, KT300);
+        assert!(i > 1e-6 && i < 2e-5, "I = {i}");
+    }
+
+    #[test]
+    fn degenerate_limit_is_linear_in_usf() {
+        // For U_SF ≫ kT, F0 ≈ U_SF/kT and the saturated current is
+        // (2q/πħ)·U_SF (in joules).
+        let vsc = -1.0;
+        let ef = 0.0;
+        let i = drain_current(ef, vsc, 2.0, 300.0, KT300);
+        let expected = BALLISTIC_CURRENT_PREFACTOR * 300.0 * ((ef - vsc) / KT300);
+        assert!((i - expected).abs() / expected < 1e-3, "{i} vs {expected}");
+    }
+}

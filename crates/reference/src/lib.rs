@@ -1,0 +1,43 @@
+//! Reference theoretical ballistic CNFET model — a Rust reimplementation
+//! of the physics behind FETToy (Rahman et al., *Theory of ballistic
+//! nanotransistors*, IEEE TED 2003), which is the baseline every table and
+//! figure of the DATE 2008 paper compares against.
+//!
+//! The model chain is:
+//!
+//! 1. [`charge`] — numerical state-density integrals `N_S`, `N_D`, `N₀`
+//!    over the nanotube DOS (paper eqs. 1–4) — *expensive*;
+//! 2. [`scf`] — Newton–Raphson solution of the self-consistent voltage
+//!    equation (eq. 7) — *expensive, iterative*;
+//! 3. [`current`] — closed-form ballistic current (eqs. 12–14) — cheap;
+//! 4. [`sweep`] — I–V curve and family generation with warm starts.
+//!
+//! The compact model in `cntfet-core` replaces steps 1–2 with fitted
+//! piecewise polynomials and closed-form cubic roots; this crate is both
+//! its accuracy oracle and its fitting-data source.
+//!
+//! # Examples
+//!
+//! ```
+//! use cntfet_reference::{BallisticModel, DeviceParams};
+//!
+//! let model = BallisticModel::new(DeviceParams::paper_default());
+//! let point = model.solve_point(0.6, 0.6, 0.0)?;
+//! assert!(point.vsc < 0.0);      // barrier pulled down by the gate
+//! assert!(point.ids > 1e-6);     // µA-scale on current
+//! # Ok::<(), cntfet_numerics::NumericsError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod charge;
+pub mod current;
+pub mod params;
+pub mod scf;
+pub mod sweep;
+
+pub use charge::ChargeModel;
+pub use params::DeviceParams;
+pub use scf::{BiasPoint, ScfSolution, ScfSolver};
+pub use sweep::{BallisticModel, IvCurve, IvPoint};

@@ -1,0 +1,142 @@
+//! Device parameter sets.
+//!
+//! A [`DeviceParams`] bundle fixes everything about a ballistic CNFET
+//! except its bias point: tube chirality, number of populated subbands,
+//! lattice temperature, source Fermi level and the three terminal
+//! capacitances. Both the reference model and the compact model consume
+//! the same bundle, so every comparison in the paper's tables is
+//! apples-to-apples by construction.
+
+use cntfet_physics::electrostatics::{gate_capacitance_per_m, GateGeometry, TerminalCapacitances};
+use cntfet_physics::nanotube::{zigzag_for_diameter, Chirality};
+use cntfet_physics::units::{ElectronVolts, Kelvin};
+
+/// Complete parameter set of a ballistic CNFET.
+///
+/// Energies follow the convention of the ballistic transport theory: the
+/// source Fermi level [`DeviceParams::fermi_level`] is measured from the
+/// equilibrium conduction-band edge at the top of the barrier (negative
+/// values put the Fermi level inside the gap, as in the paper's
+/// `−0.5 eV ≤ E_F ≤ 0 eV` fitting range).
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_reference::DeviceParams;
+/// let device = DeviceParams::paper_default();
+/// assert_eq!(device.temperature.value(), 300.0);
+/// assert_eq!(device.fermi_level.value(), -0.32);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceParams {
+    /// Tube chirality (must be semiconducting).
+    pub chirality: Chirality,
+    /// Number of conduction subbands populated by the charge integrals.
+    pub subbands: usize,
+    /// Lattice temperature.
+    pub temperature: Kelvin,
+    /// Source Fermi level relative to the equilibrium band edge, eV.
+    pub fermi_level: ElectronVolts,
+    /// Terminal capacitances per unit length.
+    pub capacitances: TerminalCapacitances,
+}
+
+impl DeviceParams {
+    /// The device used throughout the paper's Tables I–IV and Figs. 2–9:
+    /// the FETToy default — a (13,0) tube (d ≈ 1 nm, E_g ≈ 0.83 eV) under
+    /// a coaxial gate with 1.5 nm of κ = 3.9 oxide, `α_G ≈ 0.88`,
+    /// `α_D ≈ 0.035`, at `T = 300 K` and `E_F = −0.32 eV`.
+    pub fn paper_default() -> Self {
+        let chirality = Chirality::new(13, 0);
+        let cg = gate_capacitance_per_m(
+            GateGeometry::Coaxial,
+            chirality.diameter_m(),
+            1.5e-9,
+            3.9,
+        );
+        // Fractions chosen so that α_G = 0.88 and α_D = 0.035 as in
+        // FETToy: C_D = 0.0398 C_G, C_S = 0.0966 C_G.
+        let capacitances = TerminalCapacitances::from_gate(cg, 0.035 / 0.88, 0.085 / 0.88);
+        DeviceParams {
+            chirality,
+            subbands: 1,
+            temperature: Kelvin(300.0),
+            fermi_level: ElectronVolts(-0.32),
+            capacitances,
+        }
+    }
+
+    /// The experimental-comparison device of the paper's Section VI
+    /// (Javey et al. 2005): d = 1.6 nm, 50 nm SiO₂ back gate,
+    /// `E_F = −0.05 eV`, `T = 300 K`.
+    pub fn javey_experimental() -> Self {
+        let chirality = zigzag_for_diameter(1.6e-9);
+        let cg = gate_capacitance_per_m(
+            GateGeometry::Planar,
+            chirality.diameter_m(),
+            50e-9,
+            3.9,
+        );
+        let capacitances = TerminalCapacitances::from_gate(cg, 0.035 / 0.88, 0.085 / 0.88);
+        DeviceParams {
+            chirality,
+            subbands: 1,
+            temperature: Kelvin(300.0),
+            fermi_level: ElectronVolts(-0.05),
+            capacitances,
+        }
+    }
+
+    /// Returns a copy with a different temperature (the paper sweeps
+    /// 150 K / 300 K / 450 K).
+    pub fn with_temperature(mut self, t: Kelvin) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Returns a copy with a different source Fermi level (the paper
+    /// sweeps −0.5 / −0.32 / 0 eV).
+    pub fn with_fermi_level(mut self, ef: ElectronVolts) -> Self {
+        self.fermi_level = ef;
+        self
+    }
+
+    /// Thermal energy `kT` in eV at the configured temperature.
+    pub fn thermal_energy_ev(&self) -> f64 {
+        self.temperature.thermal_energy().value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_fettoy_conventions() {
+        let d = DeviceParams::paper_default();
+        assert!((d.capacitances.alpha_g() - 0.88).abs() < 1e-3);
+        assert!((d.capacitances.alpha_d() - 0.035).abs() < 1e-3);
+        assert!((d.chirality.diameter_m() * 1e9 - 1.018).abs() < 0.01);
+        assert_eq!(d.subbands, 1);
+    }
+
+    #[test]
+    fn javey_device_geometry() {
+        let d = DeviceParams::javey_experimental();
+        assert!((d.chirality.diameter_m() * 1e9 - 1.6).abs() < 0.06);
+        assert_eq!(d.fermi_level.value(), -0.05);
+        // 50 nm back oxide couples far more weakly than 1.5 nm coaxial.
+        let strong = DeviceParams::paper_default();
+        assert!(d.capacitances.gate < strong.capacitances.gate / 2.0);
+    }
+
+    #[test]
+    fn with_builders_replace_fields() {
+        let d = DeviceParams::paper_default()
+            .with_temperature(Kelvin(150.0))
+            .with_fermi_level(ElectronVolts(-0.5));
+        assert_eq!(d.temperature.value(), 150.0);
+        assert_eq!(d.fermi_level.value(), -0.5);
+        assert!((d.thermal_energy_ev() - 0.012926).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Self-consistent voltage solution (paper eq. 7) by safeguarded
+//! Newton–Raphson — the costly iterative loop the compact model removes.
+//!
+//! ## Residual and sign convention
+//!
+//! Electrons carry charge `−q`, so an electron surplus `ΔN > 0` *raises*
+//! the local band. Written with all signs explicit, the self-consistent
+//! voltage satisfies
+//!
+//! ```text
+//! G(V_SC) = C_Σ · V_SC + Q_t − q·ΔN(V_SC) = 0
+//! ```
+//!
+//! (the paper's eq. 7 reads `V_SC = −(Q_t + ΔQ)/C_Σ` with `ΔQ` implicitly
+//! carrying the electron sign; the form above is the one that reproduces
+//! Rahman's theory and the paper's own figures — negative `V_SC` under
+//! positive gate bias with the charge increasing as `V_SC` falls).
+//!
+//! `G` is strictly increasing: `G'(V) = C_Σ + C_Q(V)` with the quantum
+//! capacitance `C_Q ≥ 0`, so the root is unique and bracketable.
+
+use crate::charge::ChargeModel;
+use crate::params::DeviceParams;
+use cntfet_numerics::rootfind::{newton_bracketed, RootFindOptions};
+use cntfet_numerics::NumericsError;
+use cntfet_physics::constants::ELEMENTARY_CHARGE;
+
+/// Bias point of the transistor (source at 0 V by convention elsewhere,
+/// but all three terminals are explicit here).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BiasPoint {
+    /// Gate voltage, V.
+    pub vg: f64,
+    /// Drain voltage, V.
+    pub vd: f64,
+    /// Source voltage, V.
+    pub vs: f64,
+}
+
+impl BiasPoint {
+    /// Common-source bias: source grounded.
+    pub fn common_source(vg: f64, vd: f64) -> Self {
+        BiasPoint { vg, vd, vs: 0.0 }
+    }
+
+    /// Drain–source voltage.
+    pub fn vds(&self) -> f64 {
+        self.vd - self.vs
+    }
+}
+
+/// Newton–Raphson self-consistent voltage solver for the reference model.
+#[derive(Debug, Clone)]
+pub struct ScfSolver {
+    charge: ChargeModel,
+    c_total: f64,
+    caps: cntfet_physics::TerminalCapacitances,
+    opts: RootFindOptions,
+}
+
+/// Outcome of a self-consistent solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScfSolution {
+    /// Self-consistent voltage, V.
+    pub vsc: f64,
+    /// Residual `G(V_SC)` at the solution, C/m (diagnostic).
+    pub residual: f64,
+}
+
+impl ScfSolver {
+    /// Builds a solver for `params` with quadrature tolerance `tol`
+    /// (see [`ChargeModel::new`]).
+    pub fn new(params: &DeviceParams, tol: f64) -> Self {
+        ScfSolver {
+            charge: ChargeModel::new(params, tol),
+            c_total: params.capacitances.total(),
+            caps: params.capacitances,
+            opts: RootFindOptions {
+                x_tol: 1e-12,
+                f_tol: 1e-24, // residual is in C/m; typical scale 1e-10
+                max_iter: 200,
+            },
+        }
+    }
+
+    /// Access to the underlying charge evaluator.
+    pub fn charge_model(&self) -> &ChargeModel {
+        &self.charge
+    }
+
+    /// Residual `G(V) = C_Σ V + Q_t − q ΔN(V)` and its derivative
+    /// `G'(V) = C_Σ + C_Q(V)`.
+    pub fn residual(&self, vsc: f64, bias: BiasPoint) -> (f64, f64) {
+        let qt = self.caps.terminal_charge(bias.vg, bias.vd, bias.vs);
+        let dn = self.charge.delta_n(vsc, bias.vds());
+        let g = self.c_total * vsc + qt - ELEMENTARY_CHARGE * dn;
+        // dΔN/dV = −(N_S' + N_D')/… : each density differentiates to
+        // −½ N_occ'(μ) through μ = E_F − V (− V_DS).
+        let ef = self.charge.fermi_level();
+        let dn_dv = -0.5 * self.charge.n_occupied_derivative(ef - vsc)
+            - 0.5 * self.charge.n_occupied_derivative(ef - vsc - bias.vds());
+        let dg = self.c_total - ELEMENTARY_CHARGE * dn_dv;
+        (g, dg)
+    }
+
+    /// Solves for the self-consistent voltage at the given bias, starting
+    /// from `guess` (pass the previous sweep point for warm starts, or 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ConvergenceFailure`] if the bracketed
+    /// Newton iteration exhausts its budget — which indicates a
+    /// non-physical parameter set, since `G` is strictly monotone.
+    pub fn solve(&self, bias: BiasPoint, guess: f64) -> Result<ScfSolution, NumericsError> {
+        // Bracket the unique root. G is increasing; expand until signs
+        // differ. The physical root lies within a few volts of zero for
+        // any sane bias.
+        let mut lo = -1.0f64.max(bias.vg.abs() + bias.vd.abs()) - 1.0;
+        let mut hi = 1.0 + bias.vg.abs() + bias.vd.abs();
+        for _ in 0..8 {
+            let (glo, _) = self.residual(lo, bias);
+            let (ghi, _) = self.residual(hi, bias);
+            if glo < 0.0 && ghi > 0.0 {
+                break;
+            }
+            if glo >= 0.0 {
+                lo -= 2.0;
+            }
+            if ghi <= 0.0 {
+                hi += 2.0;
+            }
+        }
+        // Scale the residual tolerance to the problem: C_Σ·1 µV.
+        let f_tol = self.c_total * 1e-9;
+        let opts = RootFindOptions {
+            f_tol,
+            ..self.opts
+        };
+        let vsc = newton_bracketed(
+            |v| self.residual(v, bias),
+            lo,
+            hi,
+            guess.clamp(lo, hi),
+            opts,
+        )?;
+        let (residual, _) = self.residual(vsc, bias);
+        Ok(ScfSolution { vsc, residual })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DeviceParams;
+
+    fn solver() -> ScfSolver {
+        ScfSolver::new(&DeviceParams::paper_default(), 1e-9)
+    }
+
+    #[test]
+    fn zero_bias_gives_zero_vsc() {
+        let s = solver();
+        let sol = s.solve(BiasPoint::common_source(0.0, 0.0), 0.0).unwrap();
+        assert!(sol.vsc.abs() < 1e-6, "vsc = {}", sol.vsc);
+    }
+
+    #[test]
+    fn positive_gate_pulls_vsc_negative() {
+        let s = solver();
+        let sol = s.solve(BiasPoint::common_source(0.5, 0.0), 0.0).unwrap();
+        assert!(sol.vsc < -0.05, "vsc = {}", sol.vsc);
+        assert!(sol.vsc > -0.5, "cannot exceed the Laplace solution");
+    }
+
+    #[test]
+    fn vsc_magnitude_is_below_laplace_solution() {
+        // Charge feedback must reduce |V_SC| below α_G·V_G.
+        let p = DeviceParams::paper_default();
+        let s = ScfSolver::new(&p, 1e-9);
+        for &vg in &[0.2, 0.4, 0.6] {
+            let sol = s.solve(BiasPoint::common_source(vg, 0.0), 0.0).unwrap();
+            let laplace = -p.capacitances.alpha_g() * vg;
+            assert!(sol.vsc > laplace, "vg {vg}: {} vs {laplace}", sol.vsc);
+            assert!(sol.vsc < 0.0);
+        }
+    }
+
+    #[test]
+    fn vsc_monotone_in_gate_voltage() {
+        let s = solver();
+        let mut prev = 1.0;
+        for i in 0..=12 {
+            let vg = i as f64 * 0.05;
+            let sol = s.solve(BiasPoint::common_source(vg, 0.3), 0.0).unwrap();
+            assert!(sol.vsc < prev, "vg = {vg}");
+            prev = sol.vsc;
+        }
+    }
+
+    #[test]
+    fn residual_is_monotone_increasing() {
+        let s = solver();
+        let bias = BiasPoint::common_source(0.5, 0.3);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let v = -1.0 + i as f64 * 0.1;
+            let (g, dg) = s.residual(v, bias);
+            assert!(g > prev, "residual not monotone at {v}");
+            assert!(dg > 0.0, "derivative not positive at {v}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn solution_residual_is_small() {
+        let s = solver();
+        let sol = s.solve(BiasPoint::common_source(0.6, 0.6), 0.0).unwrap();
+        // Residual relative to the terminal charge scale.
+        let scale = 0.6 * DeviceParams::paper_default().capacitances.total();
+        assert!(sol.residual.abs() < 1e-6 * scale, "{}", sol.residual);
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_start() {
+        let s = solver();
+        let bias = BiasPoint::common_source(0.45, 0.4);
+        let cold = s.solve(bias, 0.0).unwrap();
+        let warm = s.solve(bias, cold.vsc + 0.01).unwrap();
+        assert!((cold.vsc - warm.vsc).abs() < 1e-7);
+    }
+
+    #[test]
+    fn drain_bias_affects_vsc_weakly() {
+        // α_D ≈ 0.035 — the drain moves the barrier far less than the gate.
+        let s = solver();
+        let v0 = s.solve(BiasPoint::common_source(0.4, 0.0), 0.0).unwrap().vsc;
+        let v1 = s.solve(BiasPoint::common_source(0.4, 0.6), 0.0).unwrap().vsc;
+        let gate_pull = s.solve(BiasPoint::common_source(0.6, 0.0), 0.0).unwrap().vsc - v0;
+        assert!((v1 - v0).abs() < gate_pull.abs(), "drain {v1} vs {v0}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the reference ballistic model's physical
+//! invariants.
+
+use cntfet_physics::units::{ElectronVolts, Kelvin};
+use cntfet_reference::{BallisticModel, BiasPoint, ChargeModel, DeviceParams, ScfSolver};
+use proptest::prelude::*;
+
+fn device(t: f64, ef: f64) -> DeviceParams {
+    DeviceParams::paper_default()
+        .with_temperature(Kelvin(t))
+        .with_fermi_level(ElectronVolts(ef))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn charge_is_monotone_decreasing_in_vsc(
+        t in 150.0f64..450.0,
+        ef in -0.5f64..0.0,
+        v1 in -0.7f64..0.2,
+        dv in 0.01f64..0.3,
+    ) {
+        let m = ChargeModel::new(&device(t, ef), 1e-8);
+        let lo = m.q_s(v1);
+        let hi = m.q_s(v1 + dv);
+        prop_assert!(hi <= lo + 1e-18 * (1.0 + lo.abs()), "Q_S must fall as V_SC rises");
+    }
+
+    #[test]
+    fn qd_equals_shifted_qs(
+        t in 150.0f64..450.0,
+        ef in -0.5f64..0.0,
+        vsc in -0.5f64..0.0,
+        vds in 0.0f64..0.6,
+    ) {
+        let m = ChargeModel::new(&device(t, ef), 1e-9);
+        let direct = m.q_d(vsc, vds);
+        let shifted = m.q_s(vsc + vds);
+        prop_assert!((direct - shifted).abs() <= 1e-8 * (1.0 + direct.abs()));
+    }
+
+    #[test]
+    fn scf_residual_vanishes_at_solution(
+        t in 150.0f64..450.0,
+        ef in -0.5f64..0.0,
+        vg in 0.0f64..0.7,
+        vd in 0.0f64..0.7,
+    ) {
+        let p = device(t, ef);
+        let s = ScfSolver::new(&p, 1e-8);
+        let sol = s.solve(BiasPoint::common_source(vg, vd), 0.0).expect("scf");
+        let scale = p.capacitances.total() * (1.0 + vg + vd);
+        prop_assert!(sol.residual.abs() < 1e-5 * scale, "residual {}", sol.residual);
+        prop_assert!(sol.vsc <= 1e-6, "V_SC must be non-positive under n-type bias");
+    }
+
+    #[test]
+    fn vsc_bounded_by_laplace_solution(
+        t in 150.0f64..450.0,
+        ef in -0.5f64..0.0,
+        vg in 0.05f64..0.7,
+    ) {
+        let p = device(t, ef);
+        let s = ScfSolver::new(&p, 1e-8);
+        let sol = s.solve(BiasPoint::common_source(vg, 0.0), 0.0).expect("scf");
+        // Charge feedback can only reduce the barrier movement.
+        let laplace = -p.capacitances.alpha_g() * vg;
+        prop_assert!(sol.vsc >= laplace - 1e-9, "{} vs laplace {laplace}", sol.vsc);
+    }
+
+    #[test]
+    fn current_non_negative_and_monotone_in_vds(
+        t in 150.0f64..450.0,
+        ef in -0.5f64..0.0,
+        vg in 0.0f64..0.7,
+    ) {
+        let m = BallisticModel::with_tolerance(device(t, ef), 1e-8);
+        let grid = [0.0, 0.15, 0.3, 0.45, 0.6];
+        let c = m.output_characteristic(vg, &grid).expect("sweep");
+        let ids = c.currents();
+        prop_assert!(ids[0].abs() < 1e-12, "I(VDS=0) = {}", ids[0]);
+        for w in ids.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "output curve must not decrease");
+        }
+    }
+
+    #[test]
+    fn current_monotone_in_vg(
+        t in 150.0f64..450.0,
+        ef in -0.5f64..0.0,
+        vds in 0.1f64..0.6,
+        vg in 0.0f64..0.5,
+        dvg in 0.05f64..0.2,
+    ) {
+        let m = BallisticModel::with_tolerance(device(t, ef), 1e-8);
+        let lo = m.solve_point(vg, vds, 0.0).expect("lo").ids;
+        let hi = m.solve_point(vg + dvg, vds, 0.0).expect("hi").ids;
+        prop_assert!(hi > lo, "more gate must give more current");
+    }
+}

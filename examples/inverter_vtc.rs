@@ -1,0 +1,62 @@
+//! CNT inverter voltage-transfer characteristic: the compact CNFET
+//! living inside the SPICE-like MNA engine — the paper's motivating use
+//! case.
+//!
+//! Builds a complementary inverter from two mirror-symmetric Model 2
+//! devices, sweeps the input and prints the VTC plus the extracted gain
+//! and switching threshold.
+//!
+//! Run with `cargo run --release --example inverter_vtc`.
+
+use cntfet::circuit::prelude::*;
+use cntfet::core::CompactCntFet;
+use cntfet::reference::DeviceParams;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let model = Arc::new(CompactCntFet::model2(DeviceParams::paper_default())?);
+    let tech = CntTechnology::symmetric(model, 0.8);
+
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add(VoltageSource::dc("VDD", vdd, Circuit::ground(), tech.vdd));
+    ckt.add(VoltageSource::dc("VIN", vin, Circuit::ground(), 0.0));
+    add_inverter(&mut ckt, &tech, "inv1", vin, out, vdd);
+
+    let points = 41;
+    let values: Vec<f64> = (0..points)
+        .map(|i| tech.vdd * i as f64 / (points - 1) as f64)
+        .collect();
+    let sweep = dc_sweep(&mut ckt, "VIN", &values)?;
+    let vtc = sweep.voltages(out);
+
+    println!("# CNT inverter VTC, VDD = {} V", tech.vdd);
+    println!("vin\tvout");
+    for (vi, vo) in values.iter().zip(&vtc) {
+        println!("{vi:.4}\t{vo:.4}");
+    }
+
+    // Extract the switching threshold (closest point to vout = VDD/2) and
+    // the peak small-signal gain.
+    let mid = tech.vdd / 2.0;
+    let (threshold, _) = values
+        .iter()
+        .zip(&vtc)
+        .min_by(|(_, a), (_, b)| {
+            (*a - mid).abs().partial_cmp(&(*b - mid).abs()).expect("finite")
+        })
+        .map(|(v, o)| (*v, *o))
+        .expect("non-empty sweep");
+    let mut gain = 0.0f64;
+    for w in values.windows(2).zip(vtc.windows(2)) {
+        let dv = w.0[1] - w.0[0];
+        let dout = w.1[1] - w.1[0];
+        gain = gain.max((dout / dv).abs());
+    }
+    println!("# switching threshold ~ {threshold:.3} V (mid-rail {mid:.3} V)");
+    println!("# peak |dVout/dVin| ~ {gain:.1}");
+    Ok(())
+}

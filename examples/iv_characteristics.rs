@@ -1,0 +1,43 @@
+//! Generates the full I–V characteristic family of the paper's Fig. 6/7
+//! (reference vs Model 1 vs Model 2) as tab-separated values suitable for
+//! plotting.
+//!
+//! Run with `cargo run --release --example iv_characteristics > iv.tsv`.
+
+use cntfet::core::CompactCntFet;
+use cntfet::numerics::interp::linspace;
+use cntfet::reference::{BallisticModel, DeviceParams};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let params = DeviceParams::paper_default();
+    let reference = BallisticModel::new(params.clone());
+    let m1 = CompactCntFet::model1(params.clone())?;
+    let m2 = CompactCntFet::model2(params)?;
+
+    let vds_grid = linspace(0.0, 0.6, 61);
+    let vg_values = [0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6];
+
+    println!("# IDS(VDS) families at T=300K, EF=-0.32eV");
+    println!("# columns: vds, then per VG: reference, model1, model2");
+    print!("vds");
+    for vg in &vg_values {
+        print!("\tref_{vg}\tm1_{vg}\tm2_{vg}");
+    }
+    println!();
+
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for &vg in &vg_values {
+        columns.push(reference.output_characteristic(vg, &vds_grid)?.currents());
+        columns.push(m1.output_characteristic(vg, &vds_grid)?.currents());
+        columns.push(m2.output_characteristic(vg, &vds_grid)?.currents());
+    }
+    for (i, vds) in vds_grid.iter().enumerate() {
+        print!("{vds:.3}");
+        for col in &columns {
+            print!("\t{:.5e}", col[i]);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build both models for the paper's default device, compare
+//! one bias point and one output curve, and print the speed-up.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use cntfet::core::CompactCntFet;
+use cntfet::numerics::interp::linspace;
+use cntfet::numerics::stats::relative_rms_percent;
+use cntfet::reference::{BallisticModel, DeviceParams};
+use std::error::Error;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The FETToy default device: (13,0) tube, coaxial 1.5 nm oxide,
+    // T = 300 K, E_F = −0.32 eV.
+    let params = DeviceParams::paper_default();
+    println!(
+        "device: d = {:.2} nm, Eg = {:.2} eV, C_sigma = {:.3e} F/m",
+        params.chirality.diameter_m() * 1e9,
+        params.chirality.band_gap_ev(),
+        params.capacitances.total()
+    );
+
+    // Reference model: numerical Fermi integrals + Newton-Raphson.
+    let reference = BallisticModel::new(params.clone());
+    // Compact model: one-off fit, then closed-form everywhere.
+    let t_fit = Instant::now();
+    let fast = CompactCntFet::model2(params)?;
+    println!("model 2 fitted in {:.1} ms", t_fit.elapsed().as_secs_f64() * 1e3);
+
+    // One bias point.
+    let p_ref = reference.solve_point(0.6, 0.6, 0.0)?;
+    let i_fast = fast.ids(0.6, 0.6)?;
+    println!(
+        "IDS(VG=0.6, VDS=0.6): reference {:.4e} A, compact {:.4e} A ({:+.2}%)",
+        p_ref.ids,
+        i_fast,
+        100.0 * (i_fast - p_ref.ids) / p_ref.ids
+    );
+
+    // A full output curve with its RMS error.
+    let grid = linspace(0.0, 0.6, 31);
+    let slow_curve = reference.output_characteristic(0.5, &grid)?.currents();
+    let fast_curve = fast.output_characteristic(0.5, &grid)?.currents();
+    println!(
+        "VG = 0.5 sweep RMS error: {:.2}% of peak current",
+        relative_rms_percent(&fast_curve, &slow_curve)
+    );
+
+    // The headline: evaluation throughput.
+    let n = 2000;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let _ = fast.ids(0.5, 0.4)?;
+    }
+    let fast_rate = n as f64 / t0.elapsed().as_secs_f64();
+    let n_ref = 50;
+    let t1 = Instant::now();
+    for _ in 0..n_ref {
+        let _ = reference.solve_point(0.5, 0.4, 0.0)?;
+    }
+    let slow_rate = n_ref as f64 / t1.elapsed().as_secs_f64();
+    println!(
+        "throughput: compact {:.0}/s vs reference {:.0}/s  ->  {:.0}x speed-up",
+        fast_rate,
+        slow_rate,
+        fast_rate / slow_rate
+    );
+    Ok(())
+}

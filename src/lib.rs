@@ -1,0 +1,47 @@
+//! # cntfet — fast circuit-level modelling of ballistic carbon-nanotube transistors
+//!
+//! A complete Rust reproduction of *"Efficient circuit-level modelling of
+//! ballistic CNT using piecewise non-linear approximation of mobile charge
+//! density"* (Kazmierski, Zhou, Al-Hashimi — DATE 2008), including every
+//! substrate the paper depends on:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`mod@numerics`] | polynomials + closed-form cubic roots, quadrature, root finding, dense linear algebra, constrained least squares, optimisers |
+//! | [`mod@physics`] | CNT band structure, density of states, Fermi statistics, gate electrostatics |
+//! | [`mod@reference`] | the FETToy-style theoretical baseline: numerical state-density integrals + Newton–Raphson self-consistency |
+//! | [`mod@core`] | **the paper's contribution**: piecewise non-linear charge approximation with closed-form self-consistent solution |
+//! | [`mod@circuit`] | a SPICE-like MNA simulator with the CNFET as its Fig. 1 equivalent circuit, plus CNT logic builders |
+//! | [`mod@expdata`] | surrogate experimental data for the paper's Section VI comparison |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cntfet::core::CompactCntFet;
+//! use cntfet::reference::{BallisticModel, DeviceParams};
+//!
+//! let params = DeviceParams::paper_default();
+//! // Slow, accurate reference (quadrature + Newton-Raphson):
+//! let reference = BallisticModel::new(params.clone());
+//! // Fast compact model (fitted once, then closed-form):
+//! let fast = CompactCntFet::model2(params)?;
+//!
+//! let i_ref = reference.solve_point(0.6, 0.6, 0.0)?.ids;
+//! let i_fast = fast.ids(0.6, 0.6)?;
+//! assert!((i_ref - i_fast).abs() / i_ref < 0.05);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `DESIGN.md` for the architecture and per-experiment index, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
+//! figure.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use cntfet_circuit as circuit;
+pub use cntfet_core as core;
+pub use cntfet_expdata as expdata;
+pub use cntfet_numerics as numerics;
+pub use cntfet_physics as physics;
+pub use cntfet_reference as reference;

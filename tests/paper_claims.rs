@@ -1,0 +1,138 @@
+//! Tests pinned to the paper's headline claims (the "who wins, by
+//! roughly what factor" shape of the evaluation).
+
+use cntfet::core::CompactCntFet;
+use cntfet::numerics::interp::linspace;
+use cntfet::reference::{BallisticModel, DeviceParams};
+use std::time::Instant;
+
+/// The paper's Table I shape: the compact models are orders of magnitude
+/// faster than the reference. Our Rust reference is itself far faster
+/// than MATLAB FETToy, so the enforced floor is conservative (≥ 50×);
+/// release builds typically measure several hundred.
+#[test]
+fn compact_models_are_orders_of_magnitude_faster() {
+    let params = DeviceParams::paper_default();
+    let reference = BallisticModel::new(params.clone());
+    let m2 = CompactCntFet::model2(params).expect("fit");
+
+    // Warm both paths first.
+    let _ = reference.solve_point(0.5, 0.4, 0.0).expect("reference");
+    let _ = m2.ids(0.5, 0.4).expect("compact");
+
+    let n_fast = 3000;
+    let t0 = Instant::now();
+    for _ in 0..n_fast {
+        let _ = m2.ids(0.5, 0.4).expect("compact");
+    }
+    let per_fast = t0.elapsed().as_secs_f64() / n_fast as f64;
+
+    let n_slow = 20;
+    let t1 = Instant::now();
+    for _ in 0..n_slow {
+        let _ = reference.solve_point(0.5, 0.4, 0.0).expect("reference");
+    }
+    let per_slow = t1.elapsed().as_secs_f64() / n_slow as f64;
+
+    let speedup = per_slow / per_fast;
+    assert!(speedup > 50.0, "speed-up only {speedup:.0}x (debug build?)");
+}
+
+/// Model 2 must be at least as accurate as Model 1 when averaged over the
+/// paper's Table II conditions at room temperature.
+#[test]
+fn model2_is_more_accurate_than_model1_at_room_temperature() {
+    use cntfet::numerics::stats::relative_rms_percent;
+    let params = DeviceParams::paper_default();
+    let reference = BallisticModel::new(params.clone());
+    let m1 = CompactCntFet::model1(params.clone()).expect("fit m1");
+    let m2 = CompactCntFet::model2(params).expect("fit m2");
+    let grid = linspace(0.0, 0.6, 25);
+    let mut sum1 = 0.0;
+    let mut sum2 = 0.0;
+    for vg in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+        let slow = reference.output_characteristic(vg, &grid).expect("ref").currents();
+        sum1 += relative_rms_percent(
+            &m1.output_characteristic(vg, &grid).expect("m1").currents(),
+            &slow,
+        );
+        sum2 += relative_rms_percent(
+            &m2.output_characteristic(vg, &grid).expect("m2").currents(),
+            &slow,
+        );
+    }
+    assert!(sum2 < sum1, "model2 total {sum2}% vs model1 total {sum1}%");
+    // And Model 2's average stays in the paper's low-single-digit band.
+    assert!(sum2 / 6.0 < 3.0, "model2 average {}%", sum2 / 6.0);
+}
+
+/// Fig. 6 shape: the saturation current at VG = 0.6 V is ~9 µA and the
+/// family is ordered by gate voltage with visible saturation.
+#[test]
+fn figure6_magnitudes_and_shape() {
+    let params = DeviceParams::paper_default();
+    let reference = BallisticModel::new(params);
+    let grid = linspace(0.0, 0.6, 13);
+    let mut last_peak = 0.0;
+    for vg in [0.3, 0.4, 0.5, 0.6] {
+        let c = reference.output_characteristic(vg, &grid).expect("ref");
+        let peak = *c.currents().last().expect("non-empty");
+        assert!(peak > last_peak, "family must be ordered by VG");
+        last_peak = peak;
+    }
+    assert!(
+        last_peak > 4e-6 && last_peak < 2e-5,
+        "I(0.6, 0.6) = {last_peak} A vs paper ~9e-6"
+    );
+}
+
+/// Fig. 8 shape: at T = 150 K, EF = 0 eV the currents are several times
+/// larger (paper peak ~3.5e-5 A).
+#[test]
+fn figure8_low_temperature_band_edge_scale() {
+    use cntfet::physics::units::{ElectronVolts, Kelvin};
+    let params = DeviceParams::paper_default()
+        .with_temperature(Kelvin(150.0))
+        .with_fermi_level(ElectronVolts(0.0));
+    let reference = BallisticModel::new(params);
+    let peak = reference
+        .solve_point(0.6, 0.6, 0.0)
+        .expect("reference")
+        .ids;
+    assert!(
+        peak > 1e-5 && peak < 1e-4,
+        "I(0.6,0.6) at 150K/EF=0 is {peak} vs paper ~3.5e-5"
+    );
+}
+
+/// The closed-form solver and the reference Newton solver agree on the
+/// self-consistent voltage itself, not just the current.
+#[test]
+fn self_consistent_voltage_agreement() {
+    let params = DeviceParams::paper_default();
+    let reference = BallisticModel::new(params.clone());
+    let m2 = CompactCntFet::model2(params).expect("fit");
+    for vg in [0.3, 0.45, 0.6] {
+        for vds in [0.1, 0.4] {
+            let slow = reference.solve_point(vg, vds, 0.0).expect("ref").vsc;
+            let fast = m2.vsc(vg, vds).expect("compact");
+            assert!(
+                (slow - fast).abs() < 0.012,
+                "vg {vg} vds {vds}: {fast} vs {slow}"
+            );
+        }
+    }
+}
+
+/// Both models remain exactly zero-current at zero drain bias for any
+/// gate voltage (eq. 14 with U_SF = U_DF).
+#[test]
+fn zero_vds_zero_current_invariant() {
+    let params = DeviceParams::paper_default();
+    let m1 = CompactCntFet::model1(params.clone()).expect("fit m1");
+    let m2 = CompactCntFet::model2(params).expect("fit m2");
+    for vg in [0.0, 0.2, 0.4, 0.6, 0.8] {
+        assert!(m1.ids(vg, 0.0).expect("m1").abs() < 1e-15);
+        assert!(m2.ids(vg, 0.0).expect("m2").abs() < 1e-15);
+    }
+}
