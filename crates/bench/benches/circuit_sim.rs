@@ -2,10 +2,10 @@
 //! the compact CNFET inside a SPICE-like engine (inverter VTC sweep and a
 //! ring-oscillator transient).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cntfet_bench::paper_device;
 use cntfet_circuit::prelude::*;
 use cntfet_core::CompactCntFet;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 

@@ -1,10 +1,10 @@
 //! Criterion benches behind Table I: single-point and full-family model
 //! evaluation cost for the reference model vs the compact models.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cntfet_bench::{paper_device, table_vds_grid, FIG6_VG};
 use cntfet_core::CompactCntFet;
 use cntfet_reference::BallisticModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_single_point(c: &mut Criterion) {

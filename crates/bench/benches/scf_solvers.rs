@@ -3,11 +3,11 @@
 //! plus the one-off cost of fitting (which is amortised over every
 //! subsequent evaluation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cntfet_bench::paper_device;
 use cntfet_core::spec::PiecewiseSpec;
 use cntfet_core::CompactCntFet;
 use cntfet_reference::{BiasPoint, ScfSolver};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_scf(c: &mut Criterion) {
@@ -20,7 +20,10 @@ fn bench_scf(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 newton
-                    .solve(BiasPoint::common_source(black_box(0.5), black_box(0.4)), 0.0)
+                    .solve(
+                        BiasPoint::common_source(black_box(0.5), black_box(0.4)),
+                        0.0,
+                    )
                     .expect("newton scf")
                     .vsc,
             )
@@ -43,11 +46,9 @@ fn bench_fitting(c: &mut Criterion) {
         b.iter(|| black_box(CompactCntFet::model2(params.clone()).expect("fit")))
     });
     group.bench_function("fit_custom_5piece", |b| {
-        let spec = PiecewiseSpec::custom(vec![-0.4, -0.2, -0.05, 0.12], vec![1, 2, 3, 3])
-            .expect("spec");
-        b.iter(|| {
-            black_box(CompactCntFet::from_spec(params.clone(), spec.clone()).expect("fit"))
-        })
+        let spec =
+            PiecewiseSpec::custom(vec![-0.4, -0.2, -0.05, 0.12], vec![1, 2, 3, 3]).expect("spec");
+        b.iter(|| black_box(CompactCntFet::from_spec(params.clone(), spec.clone()).expect("fit")))
     });
     group.finish();
 }

@@ -19,8 +19,14 @@ fn main() {
     let qn0_half = 0.5 * m1.equilibrium_charge();
 
     println!("Figs. 2-3: piecewise approximation of Q_S(V_SC), T=300K, EF=-0.32eV");
-    println!("Model 1 boundaries at EF/q + {{-0.08, +0.08}} V: {:?}", m1.charge().breakpoints());
-    println!("Model 2 boundaries at EF/q + {{-0.28, -0.03, +0.12}} V: {:?}", m2.charge().breakpoints());
+    println!(
+        "Model 1 boundaries at EF/q + {{-0.08, +0.08}} V: {:?}",
+        m1.charge().breakpoints()
+    );
+    println!(
+        "Model 2 boundaries at EF/q + {{-0.28, -0.03, +0.12}} V: {:?}",
+        m2.charge().breakpoints()
+    );
     println!(
         "{:>8}  {:>12}  {:>12}  {:>12}  {:>4}  {:>4}",
         "VSC[V]", "theory[C/m]", "model1", "model2", "r1", "r2"

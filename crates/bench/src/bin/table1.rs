@@ -32,7 +32,10 @@ fn main() {
     };
 
     println!("Table I: average CPU time comparison (this machine)");
-    println!("{:>6}  {:>12}  {:>12}  {:>12}  {:>10}  {:>10}", "Loops", "Reference", "Model 1", "Model 2", "Ref/M1", "Ref/M2");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>12}  {:>10}  {:>10}",
+        "Loops", "Reference", "Model 1", "Model 2", "Ref/M1", "Ref/M2"
+    );
     for loops in [5usize, 10, 50, 100] {
         let t_ref = time_loops(loops, run_reference);
         let t_m1 = time_loops(loops, || run_compact(&m1));

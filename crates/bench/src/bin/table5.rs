@@ -17,9 +17,13 @@ fn main() {
     let m2 = CompactCntFet::model2(params.clone()).expect("model 2 fit");
     let grid = linspace(0.0, 0.4, 21);
 
-    println!("Table V: average RMS errors vs (surrogate) experiment, d=1.6nm tox=50nm T=300K EF=-0.05eV");
-    println!("{:>6}  {:>9}  {:>9}  {:>9}   (paper: 8.5/10.7/9.9 at 0.2V ... 7.2/9.3/8.1 at 0.6V)",
-        "VG[V]", "Reference", "Model 1", "Model 2");
+    println!(
+        "Table V: average RMS errors vs (surrogate) experiment, d=1.6nm tox=50nm T=300K EF=-0.05eV"
+    );
+    println!(
+        "{:>6}  {:>9}  {:>9}  {:>9}   (paper: 8.5/10.7/9.9 at 0.2V ... 7.2/9.3/8.1 at 0.6V)",
+        "VG[V]", "Reference", "Model 1", "Model 2"
+    );
     for &vg in &[0.2, 0.4, 0.6] {
         let measured = data.curve(vg, &grid).expect("surrogate curve");
         let i_ref: Vec<f64> = grid

@@ -83,12 +83,7 @@ pub fn time_loops<F: FnMut()>(loops: usize, mut f: F) -> f64 {
 
 /// Prints an I–V family as aligned columns: `V_DS`, then one current
 /// column per gate voltage and model.
-pub fn print_family(
-    header: &str,
-    vds_grid: &[f64],
-    labels: &[String],
-    series: &[Vec<f64>],
-) {
+pub fn print_family(header: &str, vds_grid: &[f64], labels: &[String], series: &[Vec<f64>]) {
     println!("{header}");
     print!("{:>8}", "VDS[V]");
     for l in labels {

@@ -55,6 +55,6 @@ pub mod prelude {
     pub use crate::error::CircuitError;
     pub use crate::logic::{add_inverter, add_nand2, add_ring_oscillator, CntTechnology};
     pub use crate::netlist::{Circuit, NodeId};
-    pub use crate::sweep::{dc_sweep, SweepResult};
+    pub use crate::sweep::{dc_sweep, dc_sweep_many, SweepJob, SweepResult};
     pub use crate::transient::{solve_transient, TransientResult};
 }

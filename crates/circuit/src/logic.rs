@@ -153,14 +153,24 @@ pub fn add_ring_oscillator(
     stages: usize,
     vdd_node: NodeId,
 ) -> Vec<NodeId> {
-    assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count >= 3");
+    assert!(
+        stages >= 3 && stages % 2 == 1,
+        "ring needs an odd stage count >= 3"
+    );
     let nodes: Vec<NodeId> = (0..stages)
         .map(|i| circuit.node(&format!("{name}_s{i}")))
         .collect();
     for i in 0..stages {
         let input = nodes[i];
         let output = nodes[(i + 1) % stages];
-        add_inverter(circuit, tech, &format!("{name}_inv{i}"), input, output, vdd_node);
+        add_inverter(
+            circuit,
+            tech,
+            &format!("{name}_inv{i}"),
+            input,
+            output,
+            vdd_node,
+        );
     }
     nodes
 }

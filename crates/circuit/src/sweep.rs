@@ -1,8 +1,20 @@
-//! DC sweeps (transfer curves, VTCs).
+//! DC sweeps (transfer curves, VTCs), including parallel multi-sweep
+//! batches.
+//!
+//! [`dc_sweep`] runs one warm-started sweep on one circuit. For the
+//! many-scenario workloads the paper motivates (corner analyses, VTC
+//! families, per-device parameter sweeps), [`dc_sweep_many`] fans a batch
+//! of independent sweeps out across threads — each worker builds its own
+//! circuit from a shared builder closure and warm-starts along its own
+//! sweep, so no locking is involved. With the `parallel` feature off the
+//! same batch runs sequentially and produces identical results.
 
 use crate::dc::{solve_dc, Solution};
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId};
+
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
 
 /// Result of a DC sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +62,101 @@ pub fn dc_sweep(
     })
 }
 
+/// One independent sweep job for [`dc_sweep_many`]: which source to
+/// sweep and through which values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepJob {
+    /// Name of the source to sweep.
+    pub source: String,
+    /// Values to sweep it through (warm-started in order).
+    pub values: Vec<f64>,
+}
+
+impl SweepJob {
+    /// Builds a job from a source name and its sweep values.
+    pub fn new(source: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            source: source.into(),
+            values,
+        }
+    }
+}
+
+fn run_sweep_job(
+    build: &(impl Fn(usize, &SweepJob) -> Circuit + Sync),
+    index: usize,
+    job: &SweepJob,
+) -> Result<SweepResult, CircuitError> {
+    let mut circuit = build(index, job);
+    dc_sweep(&mut circuit, &job.source, &job.values)
+}
+
+/// Runs a batch of independent warm-started sweeps, in parallel when the
+/// `parallel` feature is enabled (the default).
+///
+/// `build` constructs a fresh circuit for each job from the job's index
+/// and the job itself — so jobs can differ in topology or parameters
+/// (supply corners, per-device variants), not just in what they sweep.
+/// Every worker owns its circuit outright; the builder is the only thing
+/// shared across threads. Results are in `jobs` order and identical to
+/// running [`dc_sweep`] per job yourself.
+///
+/// # Errors
+///
+/// Propagates the first failing job's [`CircuitError`].
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_circuit::prelude::*;
+/// use cntfet_circuit::sweep::{dc_sweep_many, SweepJob};
+///
+/// // Four corners of the lower divider resistor, one sweep each.
+/// let corners = [1e3, 2e3, 5e3, 1e4];
+/// let build = |k: usize, _job: &SweepJob| {
+///     let mut c = Circuit::new();
+///     let a = c.node("a");
+///     let b = c.node("b");
+///     c.add(VoltageSource::dc("V1", a, Circuit::ground(), 0.0));
+///     c.add(Resistor::new("R1", a, b, 1e3));
+///     c.add(Resistor::new("R2", b, Circuit::ground(), corners[k]));
+///     c
+/// };
+/// let jobs = vec![SweepJob::new("V1", vec![0.0, 0.5, 1.0]); corners.len()];
+/// let results = dc_sweep_many(build, &jobs)?;
+/// assert_eq!(results.len(), corners.len());
+/// # Ok::<(), cntfet_circuit::CircuitError>(())
+/// ```
+#[cfg(feature = "parallel")]
+pub fn dc_sweep_many<F>(build: F, jobs: &[SweepJob]) -> Result<Vec<SweepResult>, CircuitError>
+where
+    F: Fn(usize, &SweepJob) -> Circuit + Sync,
+{
+    let indexed: Vec<(usize, &SweepJob)> = jobs.iter().enumerate().collect();
+    let ran: Vec<Result<SweepResult, CircuitError>> = indexed
+        .par_iter()
+        .map(|&(index, job)| run_sweep_job(&build, index, job))
+        .collect();
+    ran.into_iter().collect()
+}
+
+/// Runs a batch of independent warm-started sweeps (sequential build:
+/// the `parallel` feature is disabled).
+///
+/// # Errors
+///
+/// Propagates the first failing job's [`CircuitError`].
+#[cfg(not(feature = "parallel"))]
+pub fn dc_sweep_many<F>(build: F, jobs: &[SweepJob]) -> Result<Vec<SweepResult>, CircuitError>
+where
+    F: Fn(usize, &SweepJob) -> Circuit + Sync,
+{
+    jobs.iter()
+        .enumerate()
+        .map(|(index, job)| run_sweep_job(&build, index, job))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,6 +176,73 @@ mod tests {
         for (v, o) in vals.iter().zip(&outs) {
             assert!((o - v / 2.0).abs() < 1e-9, "{v} -> {o}");
         }
+    }
+
+    #[test]
+    fn many_sweeps_match_individual_sweeps() {
+        let build = || {
+            let mut c = Circuit::new();
+            let vin = c.node("in");
+            let out = c.node("out");
+            c.add(VoltageSource::dc("V1", vin, Circuit::ground(), 0.0));
+            c.add(Resistor::new("R1", vin, out, 2e3));
+            c.add(Resistor::new("R2", out, Circuit::ground(), 1e3));
+            c
+        };
+        let jobs: Vec<SweepJob> = (0..6)
+            .map(|k| {
+                let vals = (0..5).map(|i| 0.25 * i as f64 + k as f64).collect();
+                SweepJob::new("V1", vals)
+            })
+            .collect();
+        let batch = dc_sweep_many(|_, _| build(), &jobs).unwrap();
+        assert_eq!(batch.len(), jobs.len());
+        for (job, got) in jobs.iter().zip(&batch) {
+            let mut c = build();
+            let alone = dc_sweep(&mut c, &job.source, &job.values).unwrap();
+            assert_eq!(got, &alone, "batched sweep must equal the lone sweep");
+        }
+    }
+
+    #[test]
+    fn builder_sees_job_index_and_job() {
+        // Per-job circuits: job k's divider halves the source through a
+        // lower resistor of k-dependent value.
+        let lowers = [1e3, 3e3];
+        let build = |k: usize, job: &SweepJob| {
+            assert_eq!(job.source, "V1");
+            let mut c = Circuit::new();
+            let vin = c.node("in");
+            let out = c.node("out");
+            c.add(VoltageSource::dc("V1", vin, Circuit::ground(), 0.0));
+            c.add(Resistor::new("R1", vin, out, 1e3));
+            c.add(Resistor::new("R2", out, Circuit::ground(), lowers[k]));
+            c
+        };
+        let jobs = vec![SweepJob::new("V1", vec![2.0]); lowers.len()];
+        let batch = dc_sweep_many(build, &jobs).unwrap();
+        // Node "out" is unknown index 1 in both circuits; check the
+        // divider ratio reflects each job's own lower resistor.
+        let expect = [2.0 * 1e3 / 2e3, 2.0 * 3e3 / 4e3];
+        for (res, want) in batch.iter().zip(expect) {
+            let got = res.solutions[0].x[1];
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn many_sweeps_propagate_bad_source() {
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            c.add(Resistor::new("R1", a, Circuit::ground(), 1e3));
+            c
+        };
+        let jobs = [SweepJob::new("VX", vec![0.0])];
+        assert!(matches!(
+            dc_sweep_many(|_, _| build(), &jobs),
+            Err(CircuitError::InvalidAnalysis(_))
+        ));
     }
 
     #[test]

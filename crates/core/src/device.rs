@@ -142,7 +142,12 @@ impl CompactCntFet {
         Self::assemble(params, spec, charge, qn0)
     }
 
-    fn assemble(params: DeviceParams, spec: PiecewiseSpec, charge: PiecewiseCharge, qn0: f64) -> Self {
+    fn assemble(
+        params: DeviceParams,
+        spec: PiecewiseSpec,
+        charge: PiecewiseCharge,
+        qn0: f64,
+    ) -> Self {
         let c_total = params.capacitances.total();
         let ef = params.fermi_level.value();
         let kt = params.thermal_energy_ev();

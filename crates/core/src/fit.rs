@@ -243,7 +243,11 @@ pub fn fit_piecewise_global<F: Fn(f64) -> f64>(
     let mut region_samples: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(r_count);
     let mut peak = 0.0f64;
     for r in 0..r_count {
-        let left = if r == 0 { ef + opts.domain_below_ef } else { bps[r - 1] };
+        let left = if r == 0 {
+            ef + opts.domain_below_ef
+        } else {
+            bps[r - 1]
+        };
         let right = bps[r];
         let xs = linspace(left, right, opts.samples_per_region);
         // Clamp at zero: the model's final region *is* zero, and for
@@ -285,15 +289,18 @@ pub fn fit_piecewise_global<F: Fn(f64) -> f64>(
         let mut row = vec![0.0; n];
         for i in 0..sizes[r] {
             row[block_start[r] + i] = if derivative {
-                if i == 0 { 0.0 } else { i as f64 * x.powi(i as i32 - 1) }
+                if i == 0 {
+                    0.0
+                } else {
+                    i as f64 * x.powi(i as i32 - 1)
+                }
             } else {
                 x.powi(i as i32)
             };
         }
         row
     };
-    for r in 0..r_count - 1 {
-        let x = bps[r];
+    for (r, &x) in bps.iter().enumerate().take(r_count - 1) {
         for derivative in [false, true] {
             let mut row = basis_row(x, r, derivative);
             let rhs_row = basis_row(x, r + 1, derivative);
@@ -350,11 +357,7 @@ pub fn fit_error_percent<F: Fn(f64) -> f64>(
     opts: FitOptions,
     eval_points: usize,
 ) -> f64 {
-    let top = pw
-        .breakpoints()
-        .last()
-        .copied()
-        .unwrap_or(ef);
+    let top = pw.breakpoints().last().copied().unwrap_or(ef);
     let xs = linspace(ef + opts.domain_below_ef, top, eval_points.max(2));
     let reference: Vec<f64> = xs.iter().map(|&x| curve(x)).collect();
     let model: Vec<f64> = xs.iter().map(|&x| pw.eval(x)).collect();
@@ -470,7 +473,8 @@ mod tests {
     fn model1_fit_is_c1_continuous() {
         let ef = -0.32;
         let curve = synthetic_curve(ef, 0.0259);
-        let pw = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default()).unwrap();
+        let pw =
+            fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default()).unwrap();
         for (dv, ds) in pw.continuity_jumps() {
             assert!(dv.abs() < 1e-16, "value jump {dv}");
             assert!(ds.abs() < 1e-14, "slope jump {ds}");
@@ -533,7 +537,8 @@ mod tests {
     fn zero_region_is_exactly_zero() {
         let ef = -0.32;
         let curve = synthetic_curve(ef, 0.0259);
-        let pw = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default()).unwrap();
+        let pw =
+            fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default()).unwrap();
         assert_eq!(pw.eval(ef + 0.2), 0.0);
         assert_eq!(pw.eval(1.0), 0.0);
     }
@@ -542,7 +547,8 @@ mod tests {
     fn linear_region_extends_as_tangent() {
         let ef = -0.32;
         let curve = synthetic_curve(ef, 0.0259);
-        let pw = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default()).unwrap();
+        let pw =
+            fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), FitOptions::default()).unwrap();
         // Below the first breakpoint the polynomial is degree ≤ 1.
         assert!(pw.polynomials()[0].degree().unwrap_or(0) <= 1);
         // And it stays close to the (asymptotically linear) curve well
@@ -570,9 +576,13 @@ mod tests {
         let o = FitOptions::default();
         let fixed = fit_piecewise(&curve, ef, &PiecewiseSpec::model1(), o).unwrap();
         let e_fixed = fit_error_percent(&curve, &fixed, ef, o, 400);
-        let (opt, spec) = fit_with_optimized_breakpoints(&curve, ef, &PiecewiseSpec::model1(), o).unwrap();
+        let (opt, spec) =
+            fit_with_optimized_breakpoints(&curve, ef, &PiecewiseSpec::model1(), o).unwrap();
         let e_opt = fit_error_percent(&curve, &opt, ef, o, 400);
-        assert!(e_opt <= e_fixed * 1.02, "optimised {e_opt}% vs fixed {e_fixed}%");
+        assert!(
+            e_opt <= e_fixed * 1.02,
+            "optimised {e_opt}% vs fixed {e_fixed}%"
+        );
         assert!(spec.offsets.windows(2).all(|w| w[1] > w[0]));
     }
 }

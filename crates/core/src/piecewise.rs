@@ -44,10 +44,7 @@ impl PiecewiseCharge {
     /// does not match, the breakpoints are not strictly increasing, or any
     /// polynomial exceeds degree 3 (which would break the closed-form
     /// solver).
-    pub fn new(
-        breakpoints: Vec<f64>,
-        polys: Vec<Polynomial>,
-    ) -> Result<Self, CompactModelError> {
+    pub fn new(breakpoints: Vec<f64>, polys: Vec<Polynomial>) -> Result<Self, CompactModelError> {
         if polys.len() != breakpoints.len() + 1 {
             return Err(CompactModelError::InvalidSpec(format!(
                 "{} breakpoints require {} regions, got {}",
@@ -57,7 +54,8 @@ impl PiecewiseCharge {
             )));
         }
         for w in breakpoints.windows(2) {
-            if !(w[1] > w[0]) {
+            // partial_cmp so NaN values are rejected, not let through.
+            if w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater) {
                 return Err(CompactModelError::InvalidSpec(format!(
                     "breakpoints must be strictly increasing ({} then {})",
                     w[0], w[1]
@@ -231,7 +229,8 @@ mod tests {
         )
         .unwrap();
         assert!(decreasing.is_non_increasing(-2.0, 2.0, 50));
-        let increasing = PiecewiseCharge::new(vec![], vec![Polynomial::new(vec![0.0, 1.0])]).unwrap();
+        let increasing =
+            PiecewiseCharge::new(vec![], vec![Polynomial::new(vec![0.0, 1.0])]).unwrap();
         assert!(!increasing.is_non_increasing(-1.0, 1.0, 10));
     }
 

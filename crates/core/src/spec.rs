@@ -58,7 +58,8 @@ impl PiecewiseSpec {
             )));
         }
         for w in offsets.windows(2) {
-            if !(w[1] > w[0]) {
+            // partial_cmp so NaN values are rejected, not let through.
+            if w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater) {
                 return Err(CompactModelError::InvalidSpec(format!(
                     "offsets must be strictly increasing ({} then {})",
                     w[0], w[1]

@@ -1,5 +1,6 @@
 //! Property-based tests for the compact model's structural invariants.
 
+use cntfet_core::batch::{ids_points, ids_points_sequential, BiasGrid};
 use cntfet_core::fit::{fit_piecewise, FitOptions};
 use cntfet_core::piecewise::PiecewiseCharge;
 use cntfet_core::solver::ClosedFormScf;
@@ -30,6 +31,17 @@ fn two_region_charge(k: f64, b: f64) -> PiecewiseCharge {
     let p1 = Polynomial::new(vec![v - s * (b - 0.2), s]);
     PiecewiseCharge::new(vec![b - 0.2, b], vec![p1, p2, Polynomial::zero()])
         .expect("valid test curve")
+}
+
+/// One fitted Model 2 shared by the batch properties (fitting per case
+/// would dominate the runtime without exercising anything new).
+fn paper_model2() -> &'static cntfet_core::CompactCntFet {
+    use std::sync::OnceLock;
+    static MODEL: OnceLock<cntfet_core::CompactCntFet> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        cntfet_core::CompactCntFet::model2(cntfet_reference::DeviceParams::paper_default())
+            .expect("paper model 2 fit")
+    })
 }
 
 proptest! {
@@ -115,6 +127,38 @@ proptest! {
         }
         let brute = 0.5 * (lo + hi);
         prop_assert!((closed - brute).abs() < 1e-8, "{closed} vs {brute}");
+    }
+
+    #[test]
+    fn batched_grid_equals_scalar_loop(
+        vg in proptest::collection::vec(0.0f64..0.8, 1..6),
+        vds in proptest::collection::vec(0.0f64..0.7, 1..12),
+    ) {
+        let m = paper_model2();
+        let grid = BiasGrid::rectangular(vg, vds);
+        let par = grid.evaluate(m).expect("parallel batch");
+        let seq = grid.evaluate_sequential(m).expect("sequential batch");
+        // The parallel engine runs the same closed-form evaluation per
+        // point, so the results must be *bitwise* identical, not merely
+        // within tolerance.
+        prop_assert_eq!(&par.ids, &seq.ids);
+        // And both must equal scalar calls at every grid point.
+        for (i, &g) in grid.vg().iter().enumerate() {
+            for (j, &d) in grid.vds().iter().enumerate() {
+                prop_assert_eq!(par.ids_at(i, j), m.ids(g, d).expect("scalar"));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_points_equal_scalar_loop(
+        raw in proptest::collection::vec(0.0f64..0.8, 2..40),
+    ) {
+        let m = paper_model2();
+        let points: Vec<(f64, f64)> = raw.windows(2).map(|w| (w[0], w[1] * 0.75)).collect();
+        let par = ids_points(m, &points).expect("batched");
+        let seq = ids_points_sequential(m, &points).expect("sequential");
+        prop_assert_eq!(par, seq);
     }
 
     #[test]

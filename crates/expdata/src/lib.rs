@@ -154,11 +154,7 @@ impl JaveyDataset {
         let phase2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
         let amp1: f64 = rng.gen_range(0.5..1.0) * self.noise_fraction;
         let amp2: f64 = rng.gen_range(0.2..0.6) * self.noise_fraction;
-        let span = vds_grid
-            .last()
-            .copied()
-            .unwrap_or(1.0)
-            .max(1e-9);
+        let span = vds_grid.last().copied().unwrap_or(1.0).max(1e-9);
         let mut ids = Vec::with_capacity(vds_grid.len());
         for &vds in vds_grid {
             let clean = self.degraded_current(vg, vds)?;
@@ -272,10 +268,7 @@ mod tests {
         let g = grid();
         for &vg in &[0.2, 0.4, 0.6] {
             let meas = d.curve(vg, &g).unwrap();
-            let ideal: Vec<f64> = g
-                .iter()
-                .map(|&v| d.ideal_current(vg, v).unwrap())
-                .collect();
+            let ideal: Vec<f64> = g.iter().map(|&v| d.ideal_current(vg, v).unwrap()).collect();
             let err = relative_rms_percent(&ideal, &meas.ids);
             assert!(err < 15.0, "vg {vg}: reference-vs-measured {err}%");
         }

@@ -129,7 +129,10 @@ impl PchipInterpolator {
         let h10 = t3 - 2.0 * t2 + t;
         let h01 = -2.0 * t3 + 3.0 * t2;
         let h11 = t3 - t2;
-        h00 * self.ys[i] + h10 * h * self.slopes[i] + h01 * self.ys[i + 1] + h11 * h * self.slopes[i + 1]
+        h00 * self.ys[i]
+            + h10 * h * self.slopes[i]
+            + h01 * self.ys[i + 1]
+            + h11 * h * self.slopes[i + 1]
     }
 }
 
@@ -147,7 +150,8 @@ fn validate_table(xs: &[f64], ys: &[f64]) -> Result<(), NumericsError> {
         ));
     }
     for w in xs.windows(2) {
-        if !(w[1] > w[0]) {
+        // partial_cmp so NaN abscissae are rejected, not let through.
+        if w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater) {
             return Err(NumericsError::InvalidInput(format!(
                 "abscissae must be strictly increasing ({} then {})",
                 w[0], w[1]

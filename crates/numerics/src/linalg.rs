@@ -90,9 +90,8 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols.max(1))) {
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -292,16 +291,16 @@ impl LuDecomposition {
         // Forward substitution with unit-diagonal L.
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -354,7 +353,10 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
         }
         let norm = norm.sqrt();
         if norm <= rank_tol {
-            return Err(NumericsError::RankDeficient { columns: n, rank: k });
+            return Err(NumericsError::RankDeficient {
+                columns: n,
+                rank: k,
+            });
         }
         let alpha = if r[(k, k)] > 0.0 { -norm } else { norm };
         let mut v = vec![0.0; m - k];
@@ -402,7 +404,10 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
         }
         let d = r[(i, i)];
         if d.abs() <= rank_tol {
-            return Err(NumericsError::RankDeficient { columns: n, rank: i });
+            return Err(NumericsError::RankDeficient {
+                columns: n,
+                rank: i,
+            });
         }
         x[i] = acc / d;
     }

@@ -100,7 +100,10 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     x0: &[f64],
     opts: NelderMeadOptions,
 ) -> Minimum {
-    assert!(!x0.is_empty(), "nelder_mead requires at least one dimension");
+    assert!(
+        !x0.is_empty(),
+        "nelder_mead requires at least one dimension"
+    );
     let n = x0.len();
     let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
     let mut evals = 0usize;
@@ -244,7 +247,11 @@ mod tests {
 
     #[test]
     fn nelder_mead_one_dimension() {
-        let m = nelder_mead(|x| (x[0] + 2.0).powi(2), &[7.0], NelderMeadOptions::default());
+        let m = nelder_mead(
+            |x| (x[0] + 2.0).powi(2),
+            &[7.0],
+            NelderMeadOptions::default(),
+        );
         assert!((m.x[0] + 2.0).abs() < 1e-5);
     }
 

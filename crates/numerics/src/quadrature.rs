@@ -154,7 +154,12 @@ pub fn gauss_legendre<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, n: usize) -> f64
 /// window uses adaptive Simpson. `decay_scale` sets the window width and
 /// should be of the order of the integrand's decay length (`kT` for Fermi
 /// tails).
-pub fn integrate_semi_infinite<F: Fn(f64) -> f64>(f: &F, a: f64, decay_scale: f64, tol: f64) -> f64 {
+pub fn integrate_semi_infinite<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    decay_scale: f64,
+    tol: f64,
+) -> f64 {
     let w = decay_scale.abs().max(1e-12) * 10.0;
     let mut total = 0.0;
     let mut lo = a;
@@ -183,7 +188,10 @@ mod tests {
 
     #[test]
     fn simpson_empty_interval_is_zero() {
-        assert_eq!(adaptive_simpson(&|x: f64| x.exp(), 1.0, 1.0, 1e-10, 10), 0.0);
+        assert_eq!(
+            adaptive_simpson(&|x: f64| x.exp(), 1.0, 1.0, 1e-10, 10),
+            0.0
+        );
     }
 
     #[test]

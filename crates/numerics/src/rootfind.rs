@@ -390,10 +390,14 @@ mod tests {
     #[test]
     fn newton_damps_overshooting_steps() {
         // atan has small derivative far out; plain Newton diverges from 5.
-        let r = newton(|x: f64| (x.atan(), 1.0 / (1.0 + x * x)), 3.0, RootFindOptions {
-            max_iter: 200,
-            ..opts()
-        })
+        let r = newton(
+            |x: f64| (x.atan(), 1.0 / (1.0 + x * x)),
+            3.0,
+            RootFindOptions {
+                max_iter: 200,
+                ..opts()
+            },
+        )
         .unwrap();
         assert!(r.abs() < 1e-6, "{r}");
     }

@@ -154,7 +154,11 @@ fn depressed_cubic_roots(p: f64, q: f64) -> Vec<f64> {
         let s = disc.sqrt();
         let u = (-half_q + s).cbrt();
         // v from u via p to avoid subtracting nearly equal cube roots.
-        let v = if u.abs() > 1e-300 { -third_p / u } else { (-half_q - s).cbrt() };
+        let v = if u.abs() > 1e-300 {
+            -third_p / u
+        } else {
+            (-half_q - s).cbrt()
+        };
         vec![u + v]
     } else if disc < -disc_tol {
         // Three distinct real roots: trigonometric method (p < 0 here).
@@ -209,7 +213,10 @@ mod tests {
     fn assert_roots(got: &[f64], want: &[f64], tol: f64) {
         assert_eq!(got.len(), want.len(), "got {got:?}, want {want:?}");
         for (g, w) in got.iter().zip(want) {
-            assert!((g - w).abs() < tol * (1.0 + w.abs()), "got {got:?}, want {want:?}");
+            assert!(
+                (g - w).abs() < tol * (1.0 + w.abs()),
+                "got {got:?}, want {want:?}"
+            );
         }
     }
 
@@ -304,7 +311,11 @@ mod tests {
     fn real_roots_dispatches_by_degree() {
         assert!(real_roots(&Polynomial::zero()).is_empty());
         assert!(real_roots(&Polynomial::constant(5.0)).is_empty());
-        assert_roots(&real_roots(&Polynomial::new(vec![-2.0, 1.0])), &[2.0], 1e-14);
+        assert_roots(
+            &real_roots(&Polynomial::new(vec![-2.0, 1.0])),
+            &[2.0],
+            1e-14,
+        );
         assert_roots(
             &real_roots(&Polynomial::new(vec![2.0, -3.0, 1.0])),
             &[1.0, 2.0],
@@ -342,7 +353,10 @@ mod tests {
             assert!(!roots.is_empty(), "odd-degree must have a real root");
             for r in roots {
                 let res = ((a * r + b) * r + c) * r + d;
-                let scale = a.abs() * r.abs().powi(3) + b.abs() * r.powi(2).abs() + c.abs() * r.abs() + d.abs();
+                let scale = a.abs() * r.abs().powi(3)
+                    + b.abs() * r.powi(2).abs()
+                    + c.abs() * r.abs()
+                    + d.abs();
                 assert!(res.abs() <= 1e-7 * (1.0 + scale), "res {res} at root {r}");
             }
         }

@@ -60,7 +60,11 @@ pub fn rms_deviation(a: &[f64], b: &[f64]) -> f64 {
 /// assert_eq!(relative_rms_percent(&model, &reference), 0.0);
 /// ```
 pub fn relative_rms_percent(model: &[f64], reference: &[f64]) -> f64 {
-    assert_eq!(model.len(), reference.len(), "series must have equal length");
+    assert_eq!(
+        model.len(),
+        reference.len(),
+        "series must have equal length"
+    );
     let peak = max_abs(reference);
     if peak == 0.0 {
         return 0.0;

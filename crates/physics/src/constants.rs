@@ -75,8 +75,10 @@ mod tests {
         // per unit F0 difference — consistent with the µA-scale currents of
         // the paper's figures (0–9 µA for F0 differences of O(1)).
         let at_300k = BALLISTIC_CURRENT_PREFACTOR * 300.0;
-        assert!((BALLISTIC_CURRENT_PREFACTOR - 1.3354e-8).abs() < 0.001e-8,
-            "{BALLISTIC_CURRENT_PREFACTOR}");
+        assert!(
+            (BALLISTIC_CURRENT_PREFACTOR - 1.3354e-8).abs() < 0.001e-8,
+            "{BALLISTIC_CURRENT_PREFACTOR}"
+        );
         assert!(at_300k > 3e-6 && at_300k < 5e-6, "{at_300k}");
     }
 

@@ -32,7 +32,10 @@ pub enum GateGeometry {
 ///
 /// Panics if any argument is non-positive.
 pub fn gate_capacitance_per_m(geometry: GateGeometry, d: f64, t_ox: f64, eps_r: f64) -> f64 {
-    assert!(d > 0.0 && t_ox > 0.0 && eps_r > 0.0, "geometry must be positive");
+    assert!(
+        d > 0.0 && t_ox > 0.0 && eps_r > 0.0,
+        "geometry must be positive"
+    );
     let eps = VACUUM_PERMITTIVITY * eps_r;
     let ratio = (2.0 * t_ox + d) / d;
     match geometry {

@@ -104,7 +104,10 @@ mod tests {
         for &e in &[-0.2, 0.0, 0.05, 0.3] {
             let fd = (fermi(e + h, 0.0, KT) - fermi(e - h, 0.0, KT)) / (2.0 * h);
             let an = fermi_derivative(e, 0.0, KT);
-            assert!((fd - an).abs() < 1e-5 * (1.0 + an.abs()), "e = {e}: {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 1e-5 * (1.0 + an.abs()),
+                "e = {e}: {fd} vs {an}"
+            );
         }
     }
 

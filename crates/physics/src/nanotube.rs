@@ -113,7 +113,8 @@ pub fn zigzag_for_diameter(d_m: f64) -> Chirality {
             best = Some((err, c));
         }
     }
-    best.expect("search range always contains a semiconducting tube").1
+    best.expect("search range always contains a semiconducting tube")
+        .1
 }
 
 #[cfg(test)]
@@ -125,7 +126,11 @@ mod tests {
         let t = Chirality::new(13, 0);
         let d_nm = t.diameter_m() * 1e9;
         assert!((d_nm - 1.018).abs() < 0.01, "{d_nm}");
-        assert!((t.band_gap_ev() - 0.837).abs() < 0.01, "{}", t.band_gap_ev());
+        assert!(
+            (t.band_gap_ev() - 0.837).abs() < 0.01,
+            "{}",
+            t.band_gap_ev()
+        );
         assert!(!t.is_metallic());
     }
 

@@ -14,10 +14,10 @@
 //! numerically `qV ≡ V` once everything is in eV/volts).
 
 use crate::params::DeviceParams;
+use cntfet_numerics::quadrature::integrate_semi_infinite;
 use cntfet_physics::constants::ELEMENTARY_CHARGE;
 use cntfet_physics::dos::CntDensityOfStates;
 use cntfet_physics::fermi::fermi_derivative;
-use cntfet_numerics::quadrature::integrate_semi_infinite;
 
 /// Numerical evaluator of the state densities `N_S`, `N_D`, `N₀` and the
 /// apportioned mobile charges `Q_S`, `Q_D` for one device.
@@ -73,7 +73,8 @@ impl ChargeModel {
     /// edge): `∫ D(E) f(E − mu) dE` over the conduction band.
     pub fn n_occupied(&self, mu: f64) -> f64 {
         // The DOS works in midgap coordinates; shift by the half gap.
-        self.dos.occupied_states(mu + self.half_gap, self.kt, self.tol)
+        self.dos
+            .occupied_states(mu + self.half_gap, self.kt, self.tol)
     }
 
     /// Derivative `dN/dμ` (1/(m·eV)) — the quantum-capacitance integrand,

@@ -48,12 +48,7 @@ impl DeviceParams {
     /// `α_D ≈ 0.035`, at `T = 300 K` and `E_F = −0.32 eV`.
     pub fn paper_default() -> Self {
         let chirality = Chirality::new(13, 0);
-        let cg = gate_capacitance_per_m(
-            GateGeometry::Coaxial,
-            chirality.diameter_m(),
-            1.5e-9,
-            3.9,
-        );
+        let cg = gate_capacitance_per_m(GateGeometry::Coaxial, chirality.diameter_m(), 1.5e-9, 3.9);
         // Fractions chosen so that α_G = 0.88 and α_D = 0.035 as in
         // FETToy: C_D = 0.0398 C_G, C_S = 0.0966 C_G.
         let capacitances = TerminalCapacitances::from_gate(cg, 0.035 / 0.88, 0.085 / 0.88);
@@ -71,12 +66,7 @@ impl DeviceParams {
     /// `E_F = −0.05 eV`, `T = 300 K`.
     pub fn javey_experimental() -> Self {
         let chirality = zigzag_for_diameter(1.6e-9);
-        let cg = gate_capacitance_per_m(
-            GateGeometry::Planar,
-            chirality.diameter_m(),
-            50e-9,
-            3.9,
-        );
+        let cg = gate_capacitance_per_m(GateGeometry::Planar, chirality.diameter_m(), 50e-9, 3.9);
         let capacitances = TerminalCapacitances::from_gate(cg, 0.035 / 0.88, 0.085 / 0.88);
         DeviceParams {
             chirality,

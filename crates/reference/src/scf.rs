@@ -132,10 +132,7 @@ impl ScfSolver {
         }
         // Scale the residual tolerance to the problem: C_Σ·1 µV.
         let f_tol = self.c_total * 1e-9;
-        let opts = RootFindOptions {
-            f_tol,
-            ..self.opts
-        };
+        let opts = RootFindOptions { f_tol, ..self.opts };
         let vsc = newton_bracketed(
             |v| self.residual(v, bias),
             lo,
@@ -233,9 +230,19 @@ mod tests {
     fn drain_bias_affects_vsc_weakly() {
         // α_D ≈ 0.035 — the drain moves the barrier far less than the gate.
         let s = solver();
-        let v0 = s.solve(BiasPoint::common_source(0.4, 0.0), 0.0).unwrap().vsc;
-        let v1 = s.solve(BiasPoint::common_source(0.4, 0.6), 0.0).unwrap().vsc;
-        let gate_pull = s.solve(BiasPoint::common_source(0.6, 0.0), 0.0).unwrap().vsc - v0;
+        let v0 = s
+            .solve(BiasPoint::common_source(0.4, 0.0), 0.0)
+            .unwrap()
+            .vsc;
+        let v1 = s
+            .solve(BiasPoint::common_source(0.4, 0.6), 0.0)
+            .unwrap()
+            .vsc;
+        let gate_pull = s
+            .solve(BiasPoint::common_source(0.6, 0.0), 0.0)
+            .unwrap()
+            .vsc
+            - v0;
         assert!((v1 - v0).abs() < gate_pull.abs(), "drain {v1} vs {v0}");
     }
 }

@@ -119,7 +119,11 @@ impl BallisticModel {
     /// # Errors
     ///
     /// Propagates the first solver failure.
-    pub fn output_characteristic(&self, vg: f64, vds_grid: &[f64]) -> Result<IvCurve, NumericsError> {
+    pub fn output_characteristic(
+        &self,
+        vg: f64,
+        vds_grid: &[f64],
+    ) -> Result<IvCurve, NumericsError> {
         let mut points = Vec::with_capacity(vds_grid.len());
         let mut guess = 0.0;
         for &vds in vds_grid {
@@ -135,7 +139,11 @@ impl BallisticModel {
     /// # Errors
     ///
     /// Propagates the first solver failure.
-    pub fn transfer_characteristic(&self, vds: f64, vg_grid: &[f64]) -> Result<IvCurve, NumericsError> {
+    pub fn transfer_characteristic(
+        &self,
+        vds: f64,
+        vg_grid: &[f64],
+    ) -> Result<IvCurve, NumericsError> {
         let mut points = Vec::with_capacity(vg_grid.len());
         let mut guess = 0.0;
         for &vg in vg_grid {
@@ -235,9 +243,7 @@ mod tests {
         // Below threshold the ballistic model is thermally limited:
         // S = ln(10)·kT/q / α_G ≈ 60 mV/dec / 0.88 at 300 K.
         let m = model();
-        let c = m
-            .transfer_characteristic(0.3, &[0.00, 0.05])
-            .unwrap();
+        let c = m.transfer_characteristic(0.3, &[0.00, 0.05]).unwrap();
         let decades = (c.points[1].ids / c.points[0].ids).log10();
         let swing_mv = 50.0 / decades;
         assert!(swing_mv > 50.0 && swing_mv < 90.0, "S = {swing_mv} mV/dec");

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .iter()
         .zip(&vtc)
         .min_by(|(_, a), (_, b)| {
-            (*a - mid).abs().partial_cmp(&(*b - mid).abs()).expect("finite")
+            (*a - mid)
+                .abs()
+                .partial_cmp(&(*b - mid).abs())
+                .expect("finite")
         })
         .map(|(v, o)| (*v, *o))
         .expect("non-empty sweep");

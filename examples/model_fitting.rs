@@ -6,8 +6,8 @@
 //! Run with `cargo run --release --example model_fitting`.
 
 use cntfet::core::spec::PiecewiseSpec;
-use cntfet::core::CompactCntFet;
 use cntfet::core::validation::rms_error_percent;
+use cntfet::core::CompactCntFet;
 use cntfet::numerics::interp::linspace;
 use cntfet::reference::{BallisticModel, DeviceParams};
 use std::error::Error;
@@ -18,11 +18,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     let grid = linspace(0.0, 0.6, 31);
 
     for (label, model) in [
-        ("Model 1 (paper breakpoints -0.08/+0.08)", CompactCntFet::model1(params.clone())?),
-        ("Model 2 (paper breakpoints -0.28/-0.03/+0.12)", CompactCntFet::model2(params.clone())?),
+        (
+            "Model 1 (paper breakpoints -0.08/+0.08)",
+            CompactCntFet::model1(params.clone())?,
+        ),
+        (
+            "Model 2 (paper breakpoints -0.28/-0.03/+0.12)",
+            CompactCntFet::model2(params.clone())?,
+        ),
     ] {
         println!("=== {label} ===");
-        println!("breakpoints (absolute V): {:?}", model.charge().breakpoints());
+        println!(
+            "breakpoints (absolute V): {:?}",
+            model.charge().breakpoints()
+        );
         for (i, poly) in model.charge().polynomials().iter().enumerate() {
             println!("  region {i}: Q(V) = {poly}");
         }
@@ -38,7 +47,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("=== breakpoint optimisation (Model 2 layout) ===");
     let optimised = CompactCntFet::with_optimized_breakpoints(params, PiecewiseSpec::model2())?;
-    println!("optimised offsets from EF/q: {:?}", optimised.spec().offsets);
+    println!(
+        "optimised offsets from EF/q: {:?}",
+        optimised.spec().offsets
+    );
     for vg in [0.2, 0.4, 0.6] {
         let err = rms_error_percent(&optimised, &reference, vg, &grid)?;
         println!("  IDS RMS error at VG={vg}: {err:.2}%");

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Compact model: one-off fit, then closed-form everywhere.
     let t_fit = Instant::now();
     let fast = CompactCntFet::model2(params)?;
-    println!("model 2 fitted in {:.1} ms", t_fit.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "model 2 fitted in {:.1} ms",
+        t_fit.elapsed().as_secs_f64() * 1e3
+    );
 
     // One bias point.
     let p_ref = reference.solve_point(0.6, 0.6, 0.0)?;

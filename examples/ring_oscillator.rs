@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let result = solve_transient(&ckt, t_stop, dt, Some(&x0))?;
     let w0 = result.waveform(stages[0]);
 
-    println!("# 3-stage CNT ring oscillator, VDD = {} V, dt = {dt:.1e} s", tech.vdd);
+    println!(
+        "# 3-stage CNT ring oscillator, VDD = {} V, dt = {dt:.1e} s",
+        tech.vdd
+    );
     println!("t[ns]\tstage0[V]");
     for (t, v) in result.time.iter().zip(&w0).step_by(20) {
         println!("{:.4}\t{v:.4}", t * 1e9);
@@ -52,7 +55,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     if crossings.len() >= 3 {
         let period = 2.0 * (crossings.last().expect("non-empty") - crossings[0])
             / (crossings.len() - 1) as f64;
-        println!("# oscillation period ~ {:.1} ps  (f ~ {:.1} GHz)", period * 1e12, 1e-9 / period);
+        println!(
+            "# oscillation period ~ {:.1} ps  (f ~ {:.1} GHz)",
+            period * 1e12,
+            1e-9 / period
+        );
     } else {
         println!("# no sustained oscillation detected — check stage loading");
     }

@@ -36,7 +36,10 @@ fn both_models_beat_five_percent_at_room_temperature_high_gate() {
     let m2 = CompactCntFet::model2(params).expect("fit m2");
     let grid = linspace(0.0, 0.6, 25);
     for vg in [0.4, 0.5, 0.6] {
-        let slow = reference.output_characteristic(vg, &grid).expect("ref").currents();
+        let slow = reference
+            .output_characteristic(vg, &grid)
+            .expect("ref")
+            .currents();
         let f1 = m1.output_characteristic(vg, &grid).expect("m1").currents();
         let f2 = m2.output_characteristic(vg, &grid).expect("m2").currents();
         assert!(relative_rms_percent(&f1, &slow) < 5.0, "m1 at vg {vg}");
@@ -57,7 +60,10 @@ fn fit_generalises_across_paper_parameter_ranges() {
             let m2 = CompactCntFet::model2(params).expect("fit");
             let grid = linspace(0.0, 0.6, 13);
             for vg in [0.2, 0.4, 0.6] {
-                let slow = reference.output_characteristic(vg, &grid).expect("ref").currents();
+                let slow = reference
+                    .output_characteristic(vg, &grid)
+                    .expect("ref")
+                    .currents();
                 let fast = m2.output_characteristic(vg, &grid).expect("m2").currents();
                 let err = relative_rms_percent(&fast, &slow);
                 assert!(
@@ -126,14 +132,17 @@ fn custom_spec_with_more_segments_stays_in_accuracy_class() {
     let params = DeviceParams::paper_default();
     let reference = BallisticModel::new(params.clone());
     let m2 = CompactCntFet::model2(params.clone()).expect("fit m2");
-    let spec5 = PiecewiseSpec::custom(vec![-0.40, -0.20, -0.05, 0.12], vec![1, 2, 3, 3])
-        .expect("spec");
+    let spec5 =
+        PiecewiseSpec::custom(vec![-0.40, -0.20, -0.05, 0.12], vec![1, 2, 3, 3]).expect("spec");
     let m5 = CompactCntFet::from_spec(params, spec5).expect("fit 5-piece");
     let grid = linspace(0.0, 0.6, 25);
     let mut e2 = 0.0;
     let mut e5 = 0.0;
     for vg in [0.2, 0.3, 0.4, 0.5, 0.6] {
-        let slow = reference.output_characteristic(vg, &grid).expect("ref").currents();
+        let slow = reference
+            .output_characteristic(vg, &grid)
+            .expect("ref")
+            .currents();
         e2 += relative_rms_percent(
             &m2.output_characteristic(vg, &grid).expect("m2").currents(),
             &slow,
@@ -164,8 +173,17 @@ fn experimental_surrogate_validates_all_three_models() {
         let i1 = m1.output_characteristic(vg, &grid).expect("m1").currents();
         let i2 = m2.output_characteristic(vg, &grid).expect("m2").currents();
         // Table V's claim: every model stays within ~10 % of experiment.
-        assert!(relative_rms_percent(&r, &measured.ids) < 15.0, "ref at {vg}");
-        assert!(relative_rms_percent(&i1, &measured.ids) < 18.0, "m1 at {vg}");
-        assert!(relative_rms_percent(&i2, &measured.ids) < 18.0, "m2 at {vg}");
+        assert!(
+            relative_rms_percent(&r, &measured.ids) < 15.0,
+            "ref at {vg}"
+        );
+        assert!(
+            relative_rms_percent(&i1, &measured.ids) < 18.0,
+            "m1 at {vg}"
+        );
+        assert!(
+            relative_rms_percent(&i2, &measured.ids) < 18.0,
+            "m2 at {vg}"
+        );
     }
 }

@@ -1,0 +1,225 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment for this workspace has no network access, so the
+//! criterion surface the workspace's benches use is vendored here:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. Instead of
+//! criterion's bootstrap statistics it measures wall-clock time over a
+//! calibrated batch and reports min / median / mean per iteration — enough
+//! to compare the paper's fast-vs-reference claims, not a replacement for
+//! real criterion's rigour.
+//!
+//! `--bench` and test-harness flags passed by `cargo bench`/`cargo test`
+//! are accepted and ignored; `cargo test --benches` runs each bench once
+//! in smoke mode (single iteration) so CI stays fast.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (split across samples).
+const TARGET_MEASURE: Duration = Duration::from_millis(600);
+/// Warm-up time before measuring.
+const TARGET_WARMUP: Duration = Duration::from_millis(150);
+
+/// Identifier for a parameterised benchmark, e.g. `("reference", "7x31")`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { full: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { full: s }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; runs the payload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    smoke: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting per-iteration wall-clock samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            // `cargo test --benches`: run once to prove it works.
+            std::hint::black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm up and calibrate the batch size.
+        let start = Instant::now();
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if start.elapsed() >= TARGET_WARMUP {
+                // Aim for ~30 samples inside the measurement budget.
+                let per_iter = dt.as_secs_f64() / batch as f64;
+                let ideal = TARGET_MEASURE.as_secs_f64() / 30.0 / per_iter.max(1e-9);
+                batch = (ideal as u64).clamp(1, 1 << 24);
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1 << 24);
+        }
+        // Measure.
+        let start = Instant::now();
+        while start.elapsed() < TARGET_MEASURE || self.samples.len() < 10 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+            if self.samples.len() >= 500 {
+                break;
+            }
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_one(name: &str, smoke: bool, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut samples = Vec::new();
+    let mut b = Bencher {
+        samples: &mut samples,
+        smoke,
+    };
+    f(&mut b);
+    if smoke {
+        println!("bench {name:<40} ... ok (smoke)");
+        return;
+    }
+    samples.sort();
+    if samples.is_empty() {
+        println!("bench {name:<40} ... no samples");
+        return;
+    }
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "bench {name:<40} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+        human(min),
+        human(median),
+        human(mean),
+        samples.len()
+    );
+}
+
+/// The top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test --benches` the libtest-style `--test` flag (or
+        // lack of `--bench`) signals smoke mode; `cargo bench` passes
+        // `--bench`.
+        let args: Vec<String> = std::env::args().collect();
+        let bench_mode = args.iter().any(|a| a == "--bench");
+        Self { smoke: !bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(name, self.smoke, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full);
+        run_one(&full, self.parent.smoke, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

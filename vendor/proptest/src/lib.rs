@@ -1,0 +1,378 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! proptest surface the workspace's tests use is vendored here: the
+//! [`proptest!`] macro, range and [`prop_oneof!`] strategies,
+//! [`collection::vec`], `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, and [`test_runner::ProptestConfig`]. Cases are drawn
+//! from a deterministic per-test xoshiro stream (perturbable via
+//! `PROPTEST_RNG_SEED`); failing inputs are printed in full. The one real
+//! capability dropped relative to upstream is shrinking — a failure
+//! reports the raw failing case instead of a minimised one.
+
+#![deny(missing_docs)]
+
+/// Everything a test file needs in scope, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Test-case plumbing, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// How a single generated case ended, when it did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case violated an assertion; the test fails.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`; draw another.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: String) -> Self {
+            Self::Fail(msg)
+        }
+
+        /// Builds the rejection variant.
+        pub fn reject(msg: String) -> Self {
+            Self::Reject(msg)
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config with an explicit case count (`PROPTEST_CASES` overrides).
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases: env_cases().unwrap_or(cases),
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self::with_cases(256)
+        }
+    }
+
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+    }
+
+    /// Deterministic xoshiro256** stream, seeded per test function.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds the stream for a named test (`PROPTEST_RNG_SEED` perturbs it).
+        pub fn for_test(name: &str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x100_0000_01b3);
+            }
+            if let Ok(v) = std::env::var("PROPTEST_RNG_SEED") {
+                if let Ok(extra) = v.trim().parse::<u64>() {
+                    seed ^= extra.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                }
+            }
+            // SplitMix64 expansion of the seed into the full state.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform `usize` in `[0, bound)`.
+        pub fn next_index(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "next_index: empty bound");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+        }
+    }
+}
+
+/// Value-generation strategies, mirroring `proptest::strategy`.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of random values of one type.
+    ///
+    /// Unlike upstream proptest there is no shrinking: a strategy is just
+    /// a sampler.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn new_value(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty usize range strategy");
+            self.start + rng.next_index(self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn new_value(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty u64 range strategy");
+            self.start + rng.next_index((self.end - self.start) as usize) as u64
+        }
+    }
+
+    impl Strategy for Range<u32> {
+        type Value = u32;
+        fn new_value(&self, rng: &mut TestRng) -> u32 {
+            assert!(self.start < self.end, "empty u32 range strategy");
+            self.start + rng.next_index((self.end - self.start) as usize) as u32
+        }
+    }
+
+    impl Strategy for Range<i32> {
+        type Value = i32;
+        fn new_value(&self, rng: &mut TestRng) -> i32 {
+            assert!(self.start < self.end, "empty i32 range strategy");
+            self.start + rng.next_index((self.end as i64 - self.start as i64) as usize) as i32
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Boxes a strategy; used by [`crate::prop_oneof!`] to unify arm types.
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Uniform choice between several strategies of a common value type.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.next_index(self.arms.len());
+            self.arms[i].new_value(rng)
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `size` (half-open)
+    /// and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec-size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.start + rng.next_index(self.size.end - self.size.start);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Uniform choice among strategy expressions with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        // Callers conventionally parenthesise arms; don't lint that.
+        #[allow(unused_parens)]
+        let arms = vec![$($crate::strategy::boxed($strat)),+];
+        $crate::strategy::Union::new(arms)
+    }};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)).to_owned(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests, mirroring proptest's macro of the same name.
+///
+/// Supports the subset the workspace uses: an optional leading
+/// `#![proptest_config(expr)]`, then test functions whose arguments are
+/// `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let max_rejects = config.cases.saturating_mul(16).max(1024);
+            let mut rejects: u32 = 0;
+            let mut case: u32 = 0;
+            while case < config.cases {
+                let mut inputs = String::new();
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);
+                        inputs.push_str(&format!(
+                            concat!(stringify!($arg), " = {:?}; "),
+                            $arg
+                        ));
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => case += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= max_rejects,
+                            "proptest `{}`: too many prop_assume! rejections ({rejects})",
+                            stringify!($name),
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest `{}` failed at case {case}: {msg}\n    inputs: {}",
+                            stringify!($name),
+                            inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,230 @@
+//! Offline, API-compatible subset of `rayon`, built on `std::thread::scope`.
+//!
+//! The build environment for this workspace has no network access, so the
+//! slice-parallelism subset the workspace uses is vendored here with the
+//! same call-site syntax as real rayon:
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let squares: Vec<i64> = [1i64, 2, 3, 4].par_iter().map(|&x| x * x).collect();
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+//!
+//! Work is split into one contiguous chunk per worker thread (bounded by
+//! [`current_num_threads`]) and executed under `std::thread::scope`, so
+//! borrowed data flows into workers without `'static` bounds and results
+//! come back in input order. `RAYON_NUM_THREADS` caps the worker count
+//! exactly as it does for real rayon; inputs shorter than the worker
+//! count fall back to a plain sequential loop (spawn overhead would
+//! dominate).
+
+#![deny(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads parallel operations will use: the
+/// `RAYON_NUM_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Runs the two closures, potentially in parallel, and returns both
+/// results — the shim for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Parallel iterator machinery (eager, slice-backed).
+pub mod iter {
+    use crate::current_num_threads;
+
+    /// Conversion into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// The element type produced.
+        type Item;
+        /// The parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Conversion into a borrowing parallel iterator (`par_iter`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The element type produced (a reference).
+        type Item: 'a;
+        /// The parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Returns a parallel iterator over borrowed elements.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceParIter<'a, T>;
+        fn par_iter(&'a self) -> SliceParIter<'a, T> {
+            SliceParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceParIter<'a, T>;
+        fn par_iter(&'a self) -> SliceParIter<'a, T> {
+            SliceParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = SliceParIter<'a, T>;
+        fn into_par_iter(self) -> SliceParIter<'a, T> {
+            SliceParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceParIter<'a, T>;
+        fn into_par_iter(self) -> SliceParIter<'a, T> {
+            SliceParIter { slice: self }
+        }
+    }
+
+    /// An eager parallel iterator: the minimal `ParallelIterator` facade.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+
+        /// Drains the iterator into an ordered `Vec`.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Maps every element through `f`, in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Collects into any container buildable from an ordered `Vec`.
+        fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+            C::from(self.drive())
+        }
+    }
+
+    /// Parallel iterator over a shared slice.
+    pub struct SliceParIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync + 'a> ParallelIterator for SliceParIter<'a, T> {
+        type Item = &'a T;
+        fn drive(self) -> Vec<&'a T> {
+            self.slice.iter().collect()
+        }
+    }
+
+    /// The result of [`ParallelIterator::map`].
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<'a, T, R, F> ParallelIterator for Map<SliceParIter<'a, T>, F>
+    where
+        T: Sync + 'a,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync + Send,
+    {
+        type Item = R;
+        fn drive(self) -> Vec<R> {
+            parallel_map_slice(self.base.slice, &self.f)
+        }
+    }
+
+    /// Chunk-per-thread ordered parallel map over a slice.
+    fn parallel_map_slice<'a, T, R, F>(data: &'a [T], f: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        let workers = current_num_threads().min(data.len());
+        if workers <= 1 {
+            return data.iter().map(f).collect();
+        }
+        let chunk = data.len().div_ceil(workers);
+        let mut out = Vec::with_capacity(data.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(chunk)
+                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("rayon worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = data.iter().map(|&x| x * x + 1).collect();
+        let par: Vec<u64> = data.par_iter().map(|&x| x * x + 1).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_iter_handles_tiny_inputs() {
+        let one = [5u32];
+        let got: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(got, vec![6]);
+        let empty: [u32; 0] = [];
+        let got: Vec<u32> = empty.par_iter().map(|&x| x + 1).collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}
