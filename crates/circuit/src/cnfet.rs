@@ -174,17 +174,17 @@ impl Element for CnfetElement {
         let di_dvd_m = di_dvds;
         let di_dvs_m = -di_dvsc - di_dvds;
         if let Some(r) = self.drain.unknown_index() {
-            mna.jacobian[(r, r)] += di_dvd_m;
+            mna.add_j_index(r, r, di_dvd_m);
             if let Some(c) = self.source.unknown_index() {
-                mna.jacobian[(r, c)] += di_dvs_m;
+                mna.add_j_index(r, c, di_dvs_m);
             }
             mna.add_j_node_extra(self.drain, sigma, s * di_dvsc);
         }
         if let Some(r) = self.source.unknown_index() {
             if let Some(c) = self.drain.unknown_index() {
-                mna.jacobian[(r, c)] += -di_dvd_m;
+                mna.add_j_index(r, c, -di_dvd_m);
             }
-            mna.jacobian[(r, r)] += -di_dvs_m;
+            mna.add_j_index(r, r, -di_dvs_m);
             mna.add_j_node_extra(self.source, sigma, -s * di_dvsc);
         }
 

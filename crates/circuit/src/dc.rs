@@ -1,9 +1,12 @@
 //! Nonlinear DC operating-point solver: damped Newton with a gmin ramp.
+//!
+//! The iteration itself lives in [`crate::engine`]; this module keeps
+//! the stable entry points ([`solve_dc`], [`solve_dc_with`]) and the
+//! [`Solution`] type.
 
-use crate::element::{AnalysisMode, Mna};
+use crate::engine::{NewtonEngine, NewtonOptions};
 use crate::error::CircuitError;
 use crate::netlist::Circuit;
-use cntfet_numerics::linalg::Matrix;
 
 /// A converged solution of the MNA system.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,109 +25,7 @@ impl Solution {
     }
 }
 
-/// Assembles `F(x)` and `J(x)` for the circuit at iterate `x`.
-pub(crate) fn assemble(
-    circuit: &Circuit,
-    x: &[f64],
-    mode: &AnalysisMode,
-    gmin: f64,
-) -> (Vec<f64>, Matrix) {
-    let n = circuit.unknown_count();
-    let mut residual = vec![0.0; n];
-    let mut jacobian = Matrix::zeros(n, n);
-    let bases = circuit.extra_var_bases();
-    {
-        let mut mna = Mna {
-            residual: &mut residual,
-            jacobian: &mut jacobian,
-        };
-        for (e, &base) in circuit.elements().iter().zip(&bases) {
-            e.stamp(x, base, mode, &mut mna);
-        }
-    }
-    if gmin > 0.0 {
-        // Leak from every node to ground keeps the matrix non-singular
-        // while far from convergence.
-        for i in 0..circuit.node_count() {
-            residual[i] += gmin * x[i];
-            jacobian[(i, i)] += gmin;
-        }
-    }
-    (residual, jacobian)
-}
-
-pub(crate) fn newton(
-    circuit: &Circuit,
-    x0: &[f64],
-    mode: &AnalysisMode,
-    gmin: f64,
-    max_iter: usize,
-) -> Result<(Vec<f64>, usize), CircuitError> {
-    let mut x = x0.to_vec();
-    let (mut f, mut j) = assemble(circuit, &x, mode, gmin);
-    let mut fnorm = inf_norm(&f);
-    for it in 0..max_iter {
-        if converged(&f, circuit) {
-            return Ok((x, it));
-        }
-        let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
-        let dx = j
-            .solve(&neg_f)
-            .map_err(|e| CircuitError::SingularSystem(format!("{e}")))?;
-        // Damped update: halve the step until the residual stops growing.
-        let mut alpha = 1.0;
-        let mut accepted = false;
-        for _ in 0..12 {
-            let trial: Vec<f64> = x.iter().zip(&dx).map(|(a, d)| a + alpha * d).collect();
-            let (tf, tj) = assemble(circuit, &trial, mode, gmin);
-            let tnorm = inf_norm(&tf);
-            if tnorm <= fnorm * (1.0 - 1e-4 * alpha) || tnorm < 1e-18 {
-                x = trial;
-                f = tf;
-                j = tj;
-                fnorm = tnorm;
-                accepted = true;
-                break;
-            }
-            alpha *= 0.5;
-        }
-        if !accepted {
-            // Take the smallest step anyway; Newton may still escape a
-            // shallow plateau.
-            let trial: Vec<f64> = x.iter().zip(&dx).map(|(a, d)| a + alpha * d).collect();
-            let (tf, tj) = assemble(circuit, &trial, mode, gmin);
-            x = trial;
-            fnorm = inf_norm(&tf);
-            f = tf;
-            j = tj;
-        }
-    }
-    if converged(&f, circuit) {
-        return Ok((x, max_iter));
-    }
-    Err(CircuitError::NoConvergence {
-        iterations: max_iter,
-        residual: fnorm,
-    })
-}
-
-fn inf_norm(v: &[f64]) -> f64 {
-    v.iter().fold(0.0f64, |m, x| m.max(x.abs()))
-}
-
-/// Row-wise convergence: node rows are currents (A), element rows mix
-/// volts (source constraints) and C/m (CNFET charge balance); a single
-/// absolute threshold per class keeps this simple and robust for the
-/// µA / 1e-10 C/m scales of this workspace.
-fn converged(f: &[f64], circuit: &Circuit) -> bool {
-    let n_nodes = circuit.node_count();
-    f.iter().enumerate().all(|(i, v)| {
-        let tol: f64 = if i < n_nodes { 1e-12 } else { 1e-15 };
-        v.abs() < tol
-    })
-}
-
-/// Solves the DC operating point.
+/// Solves the DC operating point with default [`NewtonOptions`].
 ///
 /// Plain Newton from `initial` (or all zeros) is tried first; if it
 /// fails, a gmin ramp (1e-3 → 0) continues from the best available
@@ -136,39 +37,33 @@ fn converged(f: &[f64], circuit: &Circuit) -> bool {
 /// or [`CircuitError::SingularSystem`] for structurally singular circuits
 /// (floating nodes without any DC path).
 pub fn solve_dc(circuit: &Circuit, initial: Option<&[f64]>) -> Result<Solution, CircuitError> {
-    let n = circuit.unknown_count();
-    if n == 0 {
-        return Ok(Solution {
-            x: Vec::new(),
-            iterations: 0,
-        });
-    }
-    let x0 = initial.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
-    match newton(circuit, &x0, &AnalysisMode::Dc, 0.0, 80) {
-        Ok((x, iterations)) => Ok(Solution { x, iterations }),
-        Err(_) => {
-            // Gmin ramp.
-            let mut x = x0;
-            let mut total = 0usize;
-            for exp in (0..=12).rev() {
-                let gmin = 10f64.powi(-(15 - exp));
-                let (nx, it) = newton(circuit, &x, &AnalysisMode::Dc, gmin, 80)?;
-                x = nx;
-                total += it;
-            }
-            let (x, it) = newton(circuit, &x, &AnalysisMode::Dc, 0.0, 80)?;
-            Ok(Solution {
-                x,
-                iterations: total + it,
-            })
-        }
-    }
+    solve_dc_with(circuit, initial, &NewtonOptions::default())
+}
+
+/// [`solve_dc`] with explicit [`NewtonOptions`] (tolerances, damping,
+/// solver selection).
+///
+/// For repeated solves of one circuit (sweeps, bias stepping), build a
+/// [`NewtonEngine`] once and call
+/// [`NewtonEngine::dc_operating_point`] directly so the sparsity pattern
+/// and solver ordering are reused across solves.
+///
+/// # Errors
+///
+/// Same as [`solve_dc`].
+pub fn solve_dc_with(
+    circuit: &Circuit,
+    initial: Option<&[f64]>,
+    options: &NewtonOptions,
+) -> Result<Solution, CircuitError> {
+    NewtonEngine::new(*options).dc_operating_point(circuit, initial)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::element::{CurrentSource, Resistor, VoltageSource};
+    use crate::engine::SolverKind;
     use crate::netlist::Circuit;
 
     #[test]
@@ -229,6 +124,21 @@ mod tests {
         let b = c.node("b");
         c.add(Resistor::new("R1", a, b, 1e3));
         let sol = solve_dc(&c, None).unwrap();
+        assert!(sol.voltage(a).abs() < 1e-9);
+        assert!(sol.voltage(b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floating_nodes_resolve_with_sparse_solver_too() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add(Resistor::new("R1", a, b, 1e3));
+        let opts = NewtonOptions {
+            solver: SolverKind::Sparse,
+            ..NewtonOptions::default()
+        };
+        let sol = solve_dc_with(&c, None, &opts).unwrap();
         assert!(sol.voltage(a).abs() < 1e-9);
         assert!(sol.voltage(b).abs() < 1e-9);
     }

@@ -6,7 +6,7 @@
 //! affine terms; the CNFET (in [`crate::cnfet`]) is fully nonlinear.
 
 use crate::netlist::NodeId;
-use cntfet_numerics::linalg::Matrix;
+use cntfet_numerics::sparse::PatternAssembler;
 use std::fmt;
 
 /// What kind of solve is being assembled.
@@ -28,15 +28,26 @@ pub enum AnalysisMode {
 }
 
 /// Assembly target handed to [`Element::stamp`].
+///
+/// Jacobian writes go through a pattern-aware [`PatternAssembler`]: the
+/// first assembly of a circuit records the sparsity pattern; every later
+/// Newton iteration writes values into the preallocated slots with no
+/// per-iteration allocation. The solver layer decides whether the
+/// assembled CSR matrix is factored densely or sparsely.
 #[derive(Debug)]
 pub struct Mna<'a> {
-    /// Residual vector `F(x)` (length = unknown count).
-    pub residual: &'a mut [f64],
-    /// Jacobian `∂F/∂x`.
-    pub jacobian: &'a mut Matrix,
+    residual: &'a mut [f64],
+    jacobian: &'a mut PatternAssembler,
 }
 
-impl Mna<'_> {
+impl<'a> Mna<'a> {
+    /// Wraps a residual vector and a Jacobian assembler for one assembly
+    /// pass. The caller is responsible for `begin`/`finish` on the
+    /// assembler.
+    pub fn new(residual: &'a mut [f64], jacobian: &'a mut PatternAssembler) -> Self {
+        Mna { residual, jacobian }
+    }
+
     /// Adds `v` to the residual row of `node` (no-op for ground).
     pub fn add_f_node(&mut self, node: NodeId, v: f64) {
         if let Some(i) = node.unknown_index() {
@@ -49,30 +60,37 @@ impl Mna<'_> {
         self.residual[row] += v;
     }
 
+    /// Adds `v` to the Jacobian entry at raw unknown indices (`row`,
+    /// `col`). Prefer the typed helpers below; this exists for stamps
+    /// that have already resolved their node indices.
+    pub fn add_j_index(&mut self, row: usize, col: usize, v: f64) {
+        self.jacobian.add(row, col, v);
+    }
+
     /// Adds `v` to the Jacobian entry (`row` node, `col` node).
     pub fn add_j_nodes(&mut self, row: NodeId, col: NodeId, v: f64) {
         if let (Some(r), Some(c)) = (row.unknown_index(), col.unknown_index()) {
-            self.jacobian[(r, c)] += v;
+            self.jacobian.add(r, c, v);
         }
     }
 
     /// Adds `v` to the Jacobian entry (node row, extra-variable column).
     pub fn add_j_node_extra(&mut self, row: NodeId, col: usize, v: f64) {
         if let Some(r) = row.unknown_index() {
-            self.jacobian[(r, col)] += v;
+            self.jacobian.add(r, col, v);
         }
     }
 
     /// Adds `v` to the Jacobian entry (extra-variable row, node column).
     pub fn add_j_extra_node(&mut self, row: usize, col: NodeId, v: f64) {
         if let Some(c) = col.unknown_index() {
-            self.jacobian[(row, c)] += v;
+            self.jacobian.add(row, c, v);
         }
     }
 
     /// Adds `v` to the Jacobian entry (extra row, extra column).
     pub fn add_j_extra_extra(&mut self, row: usize, col: usize, v: f64) {
-        self.jacobian[(row, col)] += v;
+        self.jacobian.add(row, col, v);
     }
 }
 

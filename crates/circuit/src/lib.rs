@@ -11,7 +11,10 @@
 //! * [`cnfet`] — the CNFET element implementing the paper's Fig. 1
 //!   equivalent circuit (inner charge node Σ + ballistic current source),
 //!   with n- and mirror-symmetric p-type polarity;
-//! * [`dc`] — damped Newton operating-point solver with a gmin ramp;
+//! * [`engine`] — the unified damped-Newton core ([`engine::NewtonEngine`])
+//!   with pattern-cached sparse assembly and dense/sparse solver
+//!   selection, shared by every analysis;
+//! * [`dc`] — DC operating-point entry points (gmin ramp);
 //! * [`sweep`] — warm-started DC sweeps (VTCs);
 //! * [`transient`] — fixed-step backward-Euler integration;
 //! * [`logic`] — complementary inverter / NAND / ring-oscillator builders
@@ -39,6 +42,7 @@
 pub mod cnfet;
 pub mod dc;
 pub mod element;
+pub mod engine;
 pub mod error;
 pub mod logic;
 pub mod netlist;
@@ -50,11 +54,16 @@ pub use error::CircuitError;
 /// Convenient glob import for building and solving circuits.
 pub mod prelude {
     pub use crate::cnfet::{CnfetElement, Polarity};
-    pub use crate::dc::{solve_dc, Solution};
+    pub use crate::dc::{solve_dc, solve_dc_with, Solution};
     pub use crate::element::{Capacitor, CurrentSource, Resistor, VoltageSource, Waveform};
+    pub use crate::engine::{NewtonEngine, NewtonOptions, SolverKind};
     pub use crate::error::CircuitError;
-    pub use crate::logic::{add_inverter, add_nand2, add_ring_oscillator, CntTechnology};
+    pub use crate::logic::{
+        add_inverter, add_inverter_chain, add_nand2, add_ring_oscillator, CntTechnology,
+    };
     pub use crate::netlist::{Circuit, NodeId};
-    pub use crate::sweep::{dc_sweep, dc_sweep_many, SweepJob, SweepResult};
-    pub use crate::transient::{solve_transient, TransientResult};
+    pub use crate::sweep::{
+        dc_sweep, dc_sweep_many, dc_sweep_many_with, dc_sweep_with, SweepJob, SweepResult,
+    };
+    pub use crate::transient::{solve_transient, solve_transient_with, TransientResult};
 }

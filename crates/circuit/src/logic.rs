@@ -82,6 +82,43 @@ pub fn add_inverter(
     ));
 }
 
+/// Instantiates a chain of `stages` inverters driven by `input` and
+/// returns the stage output nodes (created as `{name}_c{i}`).
+///
+/// Inverter chains are the canonical scaling workload for the MNA
+/// engine: node count grows linearly while each node couples only to
+/// its neighbours, so the Jacobian stays banded-sparse at any size.
+///
+/// # Panics
+///
+/// Panics if `stages` is 0.
+pub fn add_inverter_chain(
+    circuit: &mut Circuit,
+    tech: &CntTechnology,
+    name: &str,
+    input: NodeId,
+    stages: usize,
+    vdd_node: NodeId,
+) -> Vec<NodeId> {
+    assert!(stages > 0, "chain needs at least one stage");
+    let mut outputs = Vec::with_capacity(stages);
+    let mut prev = input;
+    for i in 0..stages {
+        let out = circuit.node(&format!("{name}_c{i}"));
+        add_inverter(
+            circuit,
+            tech,
+            &format!("{name}_inv{i}"),
+            prev,
+            out,
+            vdd_node,
+        );
+        outputs.push(out);
+        prev = out;
+    }
+    outputs
+}
+
 /// Instantiates a two-input complementary NAND gate.
 ///
 /// Topology: parallel p-devices to VDD, series n-devices to ground via an

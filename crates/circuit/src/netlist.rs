@@ -49,21 +49,40 @@ impl fmt::Display for NodeId {
 /// c.add(Resistor::new("R2", out, Circuit::ground(), 1e3));
 /// assert_eq!(c.node_count(), 2);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Circuit {
+    id: u64,
     names: HashMap<String, NodeId>,
     next_node: usize,
     elements: Vec<Box<dyn Element>>,
+    revision: u64,
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Circuit::new()
+    }
 }
 
 impl Circuit {
     /// Creates an empty circuit.
     pub fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
         Circuit {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
             names: HashMap::new(),
             next_node: 1,
             elements: Vec::new(),
+            revision: 0,
         }
+    }
+
+    /// A process-unique identity for this circuit instance. Solver
+    /// caches key on `(id, revision)` so an engine reused across two
+    /// different circuits can never confuse their structures.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The ground node.
@@ -82,8 +101,16 @@ impl Circuit {
         }
         let id = NodeId(self.next_node);
         self.next_node += 1;
+        self.revision += 1;
         self.names.insert(name.to_string(), id);
         id
+    }
+
+    /// Structural revision counter: bumped whenever the circuit gains a
+    /// node or an element. Solvers key their cached sparsity patterns on
+    /// this, so a grown circuit transparently rebuilds the pattern.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Looks up an existing node by name.
@@ -102,6 +129,7 @@ impl Circuit {
 
     /// Adds an element.
     pub fn add(&mut self, element: impl Element + 'static) {
+        self.revision += 1;
         self.elements.push(Box::new(element));
     }
 

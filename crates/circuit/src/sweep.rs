@@ -9,7 +9,8 @@
 //! sweep, so no locking is involved. With the `parallel` feature off the
 //! same batch runs sequentially and produces identical results.
 
-use crate::dc::{solve_dc, Solution};
+use crate::dc::Solution;
+use crate::engine::{NewtonEngine, NewtonOptions};
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId};
 
@@ -44,6 +45,27 @@ pub fn dc_sweep(
     source: &str,
     values: &[f64],
 ) -> Result<SweepResult, CircuitError> {
+    dc_sweep_with(circuit, source, values, &NewtonOptions::default())
+}
+
+/// [`dc_sweep`] with explicit [`NewtonOptions`].
+///
+/// One [`NewtonEngine`] is shared by every sweep point, so the MNA
+/// sparsity pattern is recorded once at the first point and the rest of
+/// the sweep assembles into preallocated slots and reuses the solver's
+/// elimination ordering (the swept value changes numbers, not
+/// structure).
+///
+/// # Errors
+///
+/// Same as [`dc_sweep`].
+pub fn dc_sweep_with(
+    circuit: &mut Circuit,
+    source: &str,
+    values: &[f64],
+    options: &NewtonOptions,
+) -> Result<SweepResult, CircuitError> {
+    let mut engine = NewtonEngine::new(*options);
     let mut solutions = Vec::with_capacity(values.len());
     let mut prev: Option<Vec<f64>> = None;
     for &v in values {
@@ -52,7 +74,7 @@ pub fn dc_sweep(
                 "no sweepable source named {source}"
             )));
         }
-        let sol = solve_dc(circuit, prev.as_deref())?;
+        let sol = engine.dc_operating_point(circuit, prev.as_deref())?;
         prev = Some(sol.x.clone());
         solutions.push(sol);
     }
@@ -86,9 +108,10 @@ fn run_sweep_job(
     build: &(impl Fn(usize, &SweepJob) -> Circuit + Sync),
     index: usize,
     job: &SweepJob,
+    options: &NewtonOptions,
 ) -> Result<SweepResult, CircuitError> {
     let mut circuit = build(index, job);
-    dc_sweep(&mut circuit, &job.source, &job.values)
+    dc_sweep_with(&mut circuit, &job.source, &job.values, options)
 }
 
 /// Runs a batch of independent warm-started sweeps, in parallel when the
@@ -127,33 +150,55 @@ fn run_sweep_job(
 /// assert_eq!(results.len(), corners.len());
 /// # Ok::<(), cntfet_circuit::CircuitError>(())
 /// ```
-#[cfg(feature = "parallel")]
 pub fn dc_sweep_many<F>(build: F, jobs: &[SweepJob]) -> Result<Vec<SweepResult>, CircuitError>
+where
+    F: Fn(usize, &SweepJob) -> Circuit + Sync,
+{
+    dc_sweep_many_with(build, jobs, &NewtonOptions::default())
+}
+
+/// [`dc_sweep_many`] with explicit [`NewtonOptions`] shared by every
+/// job. Each worker still owns its circuit and its own
+/// [`NewtonEngine`], so no pattern cache is shared across threads.
+///
+/// # Errors
+///
+/// Propagates the first failing job's [`CircuitError`].
+#[cfg(feature = "parallel")]
+pub fn dc_sweep_many_with<F>(
+    build: F,
+    jobs: &[SweepJob],
+    options: &NewtonOptions,
+) -> Result<Vec<SweepResult>, CircuitError>
 where
     F: Fn(usize, &SweepJob) -> Circuit + Sync,
 {
     let indexed: Vec<(usize, &SweepJob)> = jobs.iter().enumerate().collect();
     let ran: Vec<Result<SweepResult, CircuitError>> = indexed
         .par_iter()
-        .map(|&(index, job)| run_sweep_job(&build, index, job))
+        .map(|&(index, job)| run_sweep_job(&build, index, job, options))
         .collect();
     ran.into_iter().collect()
 }
 
-/// Runs a batch of independent warm-started sweeps (sequential build:
+/// [`dc_sweep_many`] with explicit [`NewtonOptions`] (sequential build:
 /// the `parallel` feature is disabled).
 ///
 /// # Errors
 ///
 /// Propagates the first failing job's [`CircuitError`].
 #[cfg(not(feature = "parallel"))]
-pub fn dc_sweep_many<F>(build: F, jobs: &[SweepJob]) -> Result<Vec<SweepResult>, CircuitError>
+pub fn dc_sweep_many_with<F>(
+    build: F,
+    jobs: &[SweepJob],
+    options: &NewtonOptions,
+) -> Result<Vec<SweepResult>, CircuitError>
 where
     F: Fn(usize, &SweepJob) -> Circuit + Sync,
 {
     jobs.iter()
         .enumerate()
-        .map(|(index, job)| run_sweep_job(&build, index, job))
+        .map(|(index, job)| run_sweep_job(&build, index, job, options))
         .collect()
 }
 

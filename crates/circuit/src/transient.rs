@@ -5,8 +5,9 @@
 //! on such systems. The step size is caller-chosen; the ring-oscillator
 //! benchmark uses ~1000 steps per period.
 
-use crate::dc::{newton, solve_dc, Solution};
+use crate::dc::{solve_dc_with, Solution};
 use crate::element::AnalysisMode;
+use crate::engine::{NewtonEngine, NewtonOptions};
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId};
 
@@ -53,6 +54,26 @@ pub fn solve_transient(
     dt: f64,
     initial: Option<&[f64]>,
 ) -> Result<TransientResult, CircuitError> {
+    solve_transient_with(circuit, t_stop, dt, initial, &NewtonOptions::transient())
+}
+
+/// [`solve_transient`] with explicit [`NewtonOptions`].
+///
+/// One [`NewtonEngine`] is shared by every backward-Euler step, so the
+/// MNA sparsity pattern is recorded once at the first step and every
+/// later step assembles into preallocated slots and reuses the solver's
+/// elimination ordering.
+///
+/// # Errors
+///
+/// Same as [`solve_transient`].
+pub fn solve_transient_with(
+    circuit: &Circuit,
+    t_stop: f64,
+    dt: f64,
+    initial: Option<&[f64]>,
+    options: &NewtonOptions,
+) -> Result<TransientResult, CircuitError> {
     if dt <= 0.0 || t_stop <= 0.0 {
         return Err(CircuitError::InvalidAnalysis(format!(
             "t_stop ({t_stop}) and dt ({dt}) must be positive"
@@ -69,8 +90,9 @@ pub fn solve_transient(
             }
             x.to_vec()
         }
-        None => solve_dc(circuit, None)?.x,
+        None => solve_dc_with(circuit, None, options)?.x,
     };
+    let mut engine = NewtonEngine::new(*options);
     let steps = (t_stop / dt).ceil() as usize;
     let mut time = Vec::with_capacity(steps + 1);
     let mut states = Vec::with_capacity(steps + 1);
@@ -84,7 +106,7 @@ pub fn solve_transient(
             t,
             prev: x.clone(),
         };
-        let (nx, _) = newton(circuit, &x, &mode, 0.0, 120)?;
+        let (nx, _) = engine.newton(circuit, &x, &mode, 0.0)?;
         x = nx;
         time.push(t);
         states.push(x.clone());
@@ -94,7 +116,7 @@ pub fn solve_transient(
 
 /// Convenience: DC operating point (re-exported through the prelude).
 pub fn operating_point(circuit: &Circuit) -> Result<Solution, CircuitError> {
-    solve_dc(circuit, None)
+    solve_dc_with(circuit, None, &NewtonOptions::default())
 }
 
 #[cfg(test)]

@@ -1,0 +1,267 @@
+//! Dense-vs-sparse equivalence of the MNA engine.
+//!
+//! The sparse path (pattern-cached assembly + fill-reusing sparse LU)
+//! must be a pure performance change: on any netlist the node voltages
+//! it produces agree with the dense path to ≤ 1e-10, and on a large
+//! inverter chain its factorisation performs strictly fewer operations.
+
+use cntfet_circuit::element::AnalysisMode;
+use cntfet_circuit::prelude::*;
+use cntfet_core::CompactCntFet;
+use cntfet_numerics::sparse::{dense_lu_ops, DenseLuSolver, LinearSolver, SparseLuSolver};
+use cntfet_reference::DeviceParams;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn dense_opts() -> NewtonOptions {
+    NewtonOptions {
+        solver: SolverKind::Dense,
+        ..NewtonOptions::default()
+    }
+}
+
+fn sparse_opts() -> NewtonOptions {
+    NewtonOptions {
+        solver: SolverKind::Sparse,
+        ..NewtonOptions::default()
+    }
+}
+
+/// Shared compact model — fitted once for the whole test binary.
+fn model() -> Arc<CompactCntFet> {
+    static MODEL: OnceLock<Arc<CompactCntFet>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        Arc::new(CompactCntFet::model2(DeviceParams::paper_default()).expect("model 2 fit"))
+    }))
+}
+
+fn max_node_voltage_diff(c: &Circuit, a: &Solution, b: &Solution) -> f64 {
+    (0..c.node_count())
+        .map(|i| (a.x[i] - b.x[i]).abs())
+        .fold(0.0f64, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomised linear ladder networks (V and I sources, resistor
+    /// rungs and cross-links): dense and sparse node voltages agree to
+    /// ≤ 1e-10.
+    #[test]
+    fn linear_netlists_agree(
+        rungs in proptest::collection::vec(100.0f64..1e5, 3..12),
+        cross in proptest::collection::vec(1e3f64..1e6, 0..6),
+        vsrc in -5.0f64..5.0,
+        isrc in -1e-3f64..1e-3,
+    ) {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        c.add(VoltageSource::dc("V1", top, Circuit::ground(), vsrc));
+        let mut prev = top;
+        let mut nodes = vec![top];
+        for (i, &r) in rungs.iter().enumerate() {
+            let nxt = c.node(&format!("n{i}"));
+            c.add(Resistor::new(&format!("R{i}"), prev, nxt, r));
+            nodes.push(nxt);
+            prev = nxt;
+        }
+        c.add(Resistor::new("Rend", prev, Circuit::ground(), 1e4));
+        // Cross-links make the pattern less trivially banded.
+        for (k, &r) in cross.iter().enumerate() {
+            let a = nodes[k % nodes.len()];
+            let b = nodes[(k * 3 + 1) % nodes.len()];
+            if a != b {
+                c.add(Resistor::new(&format!("Rx{k}"), a, b, r));
+            }
+        }
+        c.add(CurrentSource::dc("I1", Circuit::ground(), prev, isrc));
+        let sd = solve_dc_with(&c, None, &dense_opts()).expect("dense dc");
+        let ss = solve_dc_with(&c, None, &sparse_opts()).expect("sparse dc");
+        let diff = max_node_voltage_diff(&c, &sd, &ss);
+        prop_assert!(diff <= 1e-10, "dense vs sparse node voltages differ by {diff}");
+    }
+
+    /// Randomised CNFET inverter chains with resistive loads: the two
+    /// backends solve the same nonlinear system and their node voltages
+    /// agree to ≤ 1e-10.
+    #[test]
+    fn cnfet_netlists_agree(
+        stages in 1usize..4,
+        vdd in 0.6f64..0.9,
+        vin_frac in 0.0f64..1.0,
+        load in 5e4f64..5e5,
+    ) {
+        let tech = CntTechnology::symmetric(model(), vdd);
+        let mut c = Circuit::new();
+        let vdd_node = c.node("vdd");
+        let vin = c.node("in");
+        c.add(VoltageSource::dc("VDD", vdd_node, Circuit::ground(), vdd));
+        c.add(VoltageSource::dc("VIN", vin, Circuit::ground(), vin_frac * vdd));
+        let outs = add_inverter_chain(&mut c, &tech, "chain", vin, stages, vdd_node);
+        // A resistive load at every stage keeps every node's conductance
+        // well above the convergence-tolerance noise floor, so the
+        // 1e-10 agreement bound is meaningful rather than lucky.
+        for (i, &o) in outs.iter().enumerate() {
+            c.add(Resistor::new(&format!("RL{i}"), o, Circuit::ground(), load));
+        }
+        // Tight tolerances shrink the window in which the two backends
+        // may stop on different iterates.
+        let tight_dense = NewtonOptions {
+            node_current_tol: 1e-16,
+            extra_row_tol: 1e-19,
+            ..dense_opts()
+        };
+        let tight_sparse = NewtonOptions {
+            node_current_tol: 1e-16,
+            extra_row_tol: 1e-19,
+            ..sparse_opts()
+        };
+        let sd = solve_dc_with(&c, None, &tight_dense).expect("dense dc");
+        let ss = solve_dc_with(&c, None, &tight_sparse).expect("sparse dc");
+        let diff = max_node_voltage_diff(&c, &sd, &ss);
+        prop_assert!(diff <= 1e-10, "dense vs sparse node voltages differ by {diff}");
+    }
+
+    /// Transient backward-Euler on random RC ladders: waveforms from the
+    /// two backends agree to ≤ 1e-10 at every stored time point.
+    #[test]
+    fn rc_transients_agree(
+        rs in proptest::collection::vec(1e2f64..1e4, 2..6),
+        c_f in 1e-12f64..1e-10,
+    ) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        ckt.add(VoltageSource::with_waveform(
+            "V1",
+            vin,
+            Circuit::ground(),
+            Waveform::Pulse {
+                low: 0.0,
+                high: 1.0,
+                delay: 0.0,
+                rise: 1e-10,
+                width: 1.0,
+                fall: 1e-10,
+                period: 0.0,
+            },
+        ));
+        let mut prev = vin;
+        for (i, &r) in rs.iter().enumerate() {
+            let nxt = ckt.node(&format!("n{i}"));
+            ckt.add(Resistor::new(&format!("R{i}"), prev, nxt, r));
+            ckt.add(Capacitor::new(&format!("C{i}"), nxt, Circuit::ground(), c_f));
+            prev = nxt;
+        }
+        let tau = rs.iter().sum::<f64>() * c_f;
+        let (t_stop, dt) = (2.0 * tau, tau / 50.0);
+        let td = solve_transient_with(&ckt, t_stop, dt, None, &dense_opts()).expect("dense tran");
+        let ts = solve_transient_with(&ckt, t_stop, dt, None, &sparse_opts()).expect("sparse tran");
+        prop_assert_eq!(td.time.len(), ts.time.len());
+        for (xd, xs) in td.states.iter().zip(&ts.states) {
+            for (a, b) in xd.iter().zip(xs) {
+                prop_assert!((a - b).abs() <= 1e-10, "{a} vs {b}");
+            }
+        }
+    }
+}
+
+/// Acceptance criterion of the sparse engine: on a 64-stage CNFET
+/// inverter chain the sparse factorisation performs strictly fewer
+/// operations than the dense O(n³) LU — measured by the solver's own
+/// multiply–accumulate counter, not assumed.
+#[test]
+fn sparse_factorisation_beats_dense_ops_on_64_stage_chain() {
+    let tech = CntTechnology::symmetric(model(), 0.8);
+    let mut c = Circuit::new();
+    let vdd_node = c.node("vdd");
+    let vin = c.node("in");
+    c.add(VoltageSource::dc(
+        "VDD",
+        vdd_node,
+        Circuit::ground(),
+        tech.vdd,
+    ));
+    c.add(VoltageSource::dc(
+        "VIN",
+        vin,
+        Circuit::ground(),
+        0.4 * tech.vdd,
+    ));
+    add_inverter_chain(&mut c, &tech, "chain", vin, 64, vdd_node);
+    let n = c.unknown_count();
+    assert!(n > 150, "64-stage chain must be a large system, got {n}");
+
+    // One Jacobian, factored by both solver implementations.
+    let mut engine = NewtonEngine::new(NewtonOptions::default());
+    let x0 = vec![0.0; n];
+    let (_, jac) = engine.assemble(&c, &x0, &AnalysisMode::Dc, 0.0);
+    let jac = jac.clone();
+    let mut dense = DenseLuSolver::new();
+    let mut sparse = SparseLuSolver::new();
+    dense.factor(&jac).expect("dense factor");
+    sparse
+        .factor(&jac)
+        .expect("sparse factor (with pivot search)");
+    assert_eq!(dense.factor_ops(), dense_lu_ops(n));
+    assert!(
+        sparse.factor_ops() < dense.factor_ops(),
+        "sparse must do fewer ops: {} vs {}",
+        sparse.factor_ops(),
+        dense.factor_ops()
+    );
+    // The chain couples only neighbouring stages, so the win should be
+    // dramatic, not marginal.
+    assert!(
+        sparse.factor_ops() * 10 < dense.factor_ops(),
+        "expected >=10x fewer ops on a banded chain: {} vs {}",
+        sparse.factor_ops(),
+        dense.factor_ops()
+    );
+    // Refactorisation (the per-Newton-iteration path) replays the same
+    // elimination: same op count, no pivot search.
+    sparse.factor(&jac).expect("sparse refactor");
+    assert_eq!(sparse.refactor_count(), 1);
+
+    // And the two factorisations solve to the same answer.
+    let rhs: Vec<f64> = (0..n).map(|i| ((i % 5) as f64 - 2.0) * 1e-6).collect();
+    let xd = dense.solve_factored(&rhs).expect("dense solve");
+    let xs = sparse.solve_factored(&rhs).expect("sparse solve");
+    let scale = cntfet_numerics::stats::inf_norm(&xd).max(1.0);
+    for (a, b) in xd.iter().zip(&xs) {
+        assert!(
+            (a - b).abs() <= 1e-8 * scale,
+            "factored solves disagree: {a} vs {b}"
+        );
+    }
+}
+
+/// Warm-started sweeps through the sparse engine match the dense path —
+/// the whole VTC, not just one operating point.
+#[test]
+fn inverter_vtc_sweep_agrees_between_backends() {
+    let tech = CntTechnology::symmetric(model(), 0.8);
+    let build = || {
+        let mut c = Circuit::new();
+        let vdd_node = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add(VoltageSource::dc(
+            "VDD",
+            vdd_node,
+            Circuit::ground(),
+            tech.vdd,
+        ));
+        c.add(VoltageSource::dc("VIN", vin, Circuit::ground(), 0.0));
+        add_inverter(&mut c, &tech, "inv", vin, out, vdd_node);
+        c.add(Resistor::new("RL", out, Circuit::ground(), 1e5));
+        (c, out)
+    };
+    let vals: Vec<f64> = (0..=16).map(|i| 0.8 * i as f64 / 16.0).collect();
+    let (mut cd, out_d) = build();
+    let (mut cs, out_s) = build();
+    let rd = dc_sweep_with(&mut cd, "VIN", &vals, &dense_opts()).expect("dense sweep");
+    let rs = dc_sweep_with(&mut cs, "VIN", &vals, &sparse_opts()).expect("sparse sweep");
+    for (a, b) in rd.voltages(out_d).iter().zip(rs.voltages(out_s)) {
+        assert!((a - b).abs() <= 1e-9, "VTC points differ: {a} vs {b}");
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`rootfind`] — bisection, safeguarded (damped) Newton–Raphson and Brent;
 //! * [`linalg`] — dense matrices, LU with partial pivoting, and
 //!   Householder-QR least squares;
+//! * [`sparse`] — triplet → CSR assembly with a cached sparsity pattern
+//!   and a [`sparse::LinearSolver`] trait (dense-LU fallback + fill-reusing
+//!   sparse LU) for the circuit simulator's MNA systems;
 //! * [`fit`] — unconstrained and equality-constrained polynomial least
 //!   squares (the constraint machinery implements the paper's C¹-continuity
 //!   requirement);
@@ -42,6 +45,7 @@ pub mod polynomial;
 pub mod quadrature;
 pub mod rootfind;
 pub mod roots;
+pub mod sparse;
 pub mod stats;
 
 pub use error::NumericsError;

@@ -77,6 +77,12 @@ impl Matrix {
         self.rows
     }
 
+    /// Sets every entry to `value` in place (used to reuse assembly
+    /// buffers across solver iterations without reallocating).
+    pub fn fill(&mut self, value: f64) {
+        self.data.iter_mut().for_each(|v| *v = value);
+    }
+
     /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols

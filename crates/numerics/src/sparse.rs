@@ -1,0 +1,1202 @@
+//! Sparse linear algebra for MNA-style systems.
+//!
+//! The circuit simulator assembles the same Jacobian structure thousands
+//! of times (once per Newton trial point, per sweep point, per transient
+//! step). This module exploits that repetition at two levels:
+//!
+//! * **Assembly** — [`PatternAssembler`] records the sparsity pattern on
+//!   the first assembly (triplet pushes) and compiles it into a CSR
+//!   matrix with a shared [`SparsityPattern`]; every later assembly
+//!   writes values straight into the preallocated slots with no
+//!   allocation and no sorting.
+//! * **Factorisation** — the [`LinearSolver`] trait has two
+//!   implementations: [`DenseLuSolver`], the existing dense
+//!   partial-pivoting LU as a fallback, and [`SparseLuSolver`], a sparse
+//!   LU whose pivot order and fill-in pattern are chosen once
+//!   (Markowitz-style threshold pivoting) and then **reused across
+//!   factorizations** — subsequent factors replay the elimination over
+//!   the frozen pattern with a dense scatter workspace, KLU-style.
+//!
+//! Both solvers count the multiply–accumulate/divide operations of their
+//! most recent factorisation ([`LinearSolver::factor_ops`]), so the
+//! sparse-vs-dense win is measurable, not just assumed.
+
+use crate::error::NumericsError;
+use crate::linalg::Matrix;
+use std::sync::Arc;
+
+/// The symbolic (structure-only) part of a CSR matrix: row pointers and
+/// sorted column indices, shareable between matrices via [`Arc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityPattern {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl SparsityPattern {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The sorted column indices of row `r`.
+    pub fn row_cols(&self, r: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Storage slot of entry (`r`, `c`), or `None` when the entry is not
+    /// part of the pattern.
+    pub fn slot(&self, r: usize, c: usize) -> Option<usize> {
+        let base = self.row_ptr[r];
+        self.row_cols(r).binary_search(&c).ok().map(|i| base + i)
+    }
+}
+
+/// Coordinate-format accumulator used while a sparsity pattern is still
+/// being discovered. Duplicate pushes to the same entry are summed when
+/// the triplets are compiled to CSR.
+#[derive(Debug, Clone)]
+pub struct TripletMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty accumulator of the given shape.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        TripletMatrix {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of raw (pre-merge) triplets pushed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no triplet has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all triplets, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Adds `v` at (`r`, `c`). A value of `0.0` still records the entry
+    /// as structurally nonzero — assemblers rely on this to reserve
+    /// slots whose value happens to vanish at the recording point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.n_rows && c < self.n_cols, "index out of bounds");
+        self.entries.push((r, c, v));
+    }
+
+    /// Compiles the triplets into a CSR matrix, merging duplicates by
+    /// summation (in push order, so the result is bitwise identical to
+    /// dense `+=` assembly).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| (self.entries[i].0, self.entries[i].1));
+        let mut row_ptr = vec![0usize; self.n_rows + 1];
+        let mut col_idx = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        let mut last: Option<(usize, usize)> = None;
+        for &i in &order {
+            let (r, c, v) = self.entries[i];
+            if last == Some((r, c)) {
+                *values.last_mut().expect("merged entry exists") += v;
+            } else {
+                row_ptr[r + 1] += 1;
+                col_idx.push(c);
+                values.push(v);
+                last = Some((r, c));
+            }
+        }
+        for r in 0..self.n_rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            pattern: Arc::new(SparsityPattern {
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+                row_ptr,
+                col_idx,
+            }),
+            values,
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix whose [`SparsityPattern`] is shared
+/// (and comparable by pointer) so solvers can cache symbolic work per
+/// pattern.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    pattern: Arc<SparsityPattern>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.pattern.n_rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.pattern.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.pattern.nnz()
+    }
+
+    /// The shared symbolic pattern.
+    pub fn pattern(&self) -> &Arc<SparsityPattern> {
+        &self.pattern
+    }
+
+    /// The stored values, in pattern slot order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sets every stored value to zero, keeping the pattern.
+    pub fn set_zero(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Adds `v` to entry (`r`, `c`). Returns `false` (and changes
+    /// nothing) when the entry is outside the pattern.
+    pub fn add_at(&mut self, r: usize, c: usize, v: f64) -> bool {
+        match self.pattern.slot(r, c) {
+            Some(i) => {
+                self.values[i] += v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Value at (`r`, `c`) — zero for entries outside the pattern.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.pattern.slot(r, c).map_or(0.0, |i| self.values[i])
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols(), "dimension mismatch");
+        let mut y = vec![0.0; self.rows()];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let lo = self.pattern.row_ptr[r];
+            let hi = self.pattern.row_ptr[r + 1];
+            *yr = (lo..hi)
+                .map(|i| self.values[i] * x[self.pattern.col_idx[i]])
+                .sum();
+        }
+        y
+    }
+
+    /// Expands to a dense [`Matrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero-dimension matrix (dense [`Matrix`] requires
+    /// positive dimensions).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows(), self.cols());
+        self.scatter_into(&mut m);
+        m
+    }
+
+    /// Writes this matrix into `dense` (which must already have the right
+    /// shape), zeroing everything else.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn scatter_into(&self, dense: &mut Matrix) {
+        assert!(
+            dense.rows() == self.rows() && dense.cols() == self.cols(),
+            "dimension mismatch"
+        );
+        dense.fill(0.0);
+        for r in 0..self.rows() {
+            let lo = self.pattern.row_ptr[r];
+            let hi = self.pattern.row_ptr[r + 1];
+            for i in lo..hi {
+                dense[(r, self.pattern.col_idx[i])] = self.values[i];
+            }
+        }
+    }
+}
+
+/// Pattern-caching assembly target.
+///
+/// The first assembly cycle (`begin` → `add`s → `finish`) records
+/// triplets and compiles the sparsity pattern; every later cycle zeroes
+/// the stored values and routes each `add` to its preallocated slot —
+/// no allocation, no sorting, no hashing. Call [`invalidate`] when the
+/// assembled structure changes (e.g. a circuit gained elements) to force
+/// a re-recording.
+///
+/// [`invalidate`]: PatternAssembler::invalidate
+#[derive(Debug)]
+pub struct PatternAssembler {
+    state: AsmState,
+    pattern_builds: usize,
+}
+
+#[derive(Debug)]
+enum AsmState {
+    Recording(TripletMatrix),
+    Ready(CsrMatrix),
+}
+
+impl PatternAssembler {
+    /// Creates an assembler for matrices of the given shape, starting in
+    /// recording mode.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        PatternAssembler {
+            state: AsmState::Recording(TripletMatrix::new(n_rows, n_cols)),
+            pattern_builds: 0,
+        }
+    }
+
+    /// `true` while the sparsity pattern is still being recorded.
+    pub fn is_recording(&self) -> bool {
+        matches!(self.state, AsmState::Recording(_))
+    }
+
+    /// How many times a pattern has been compiled (diagnostics; lets
+    /// callers assert that structure changes rebuild the cache).
+    pub fn pattern_builds(&self) -> usize {
+        self.pattern_builds
+    }
+
+    /// Starts a new assembly cycle: clears triplets (recording mode) or
+    /// zeroes the cached values (pattern mode).
+    pub fn begin(&mut self) {
+        match &mut self.state {
+            AsmState::Recording(t) => t.clear(),
+            AsmState::Ready(m) => m.set_zero(),
+        }
+    }
+
+    /// Adds `v` at (`r`, `c`). Zero values still reserve a slot while
+    /// recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds, or if the entry is
+    /// missing from a cached pattern — that means the assembled
+    /// structure changed without [`PatternAssembler::invalidate`].
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        match &mut self.state {
+            AsmState::Recording(t) => t.push(r, c, v),
+            AsmState::Ready(m) => {
+                assert!(
+                    m.add_at(r, c, v),
+                    "entry ({r}, {c}) is not in the cached sparsity pattern; \
+                     call invalidate() after structural changes"
+                );
+            }
+        }
+    }
+
+    /// Finishes the cycle and returns the assembled matrix, compiling
+    /// the pattern on the first call.
+    pub fn finish(&mut self) -> &CsrMatrix {
+        if let AsmState::Recording(t) = &self.state {
+            self.state = AsmState::Ready(t.to_csr());
+            self.pattern_builds += 1;
+        }
+        match &self.state {
+            AsmState::Ready(m) => m,
+            AsmState::Recording(_) => unreachable!("compiled above"),
+        }
+    }
+
+    /// The assembled matrix of the last finished cycle, if any.
+    pub fn matrix(&self) -> Option<&CsrMatrix> {
+        match &self.state {
+            AsmState::Ready(m) => Some(m),
+            AsmState::Recording(_) => None,
+        }
+    }
+
+    /// Discards the cached pattern and returns to recording mode.
+    pub fn invalidate(&mut self) {
+        let (r, c) = match &self.state {
+            AsmState::Recording(t) => (t.rows(), t.cols()),
+            AsmState::Ready(m) => (m.rows(), m.cols()),
+        };
+        self.state = AsmState::Recording(TripletMatrix::new(r, c));
+    }
+}
+
+/// A direct solver for square sparse systems `A x = b`.
+///
+/// `factor` may cache symbolic work keyed on the matrix's shared
+/// [`SparsityPattern`]; `solve_factored` reuses the latest factors for
+/// any number of right-hand sides.
+pub trait LinearSolver: std::fmt::Debug {
+    /// Short human-readable solver name (for benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Factors `a`, replacing any previously stored factors. A failed
+    /// factorisation discards the previous factors as well (they may
+    /// have been partially overwritten), so `solve_factored` errors
+    /// rather than mixing stale and new data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] for (numerically)
+    /// singular input and [`NumericsError::InvalidInput`] for non-square
+    /// input.
+    fn factor(&mut self, a: &CsrMatrix) -> Result<(), NumericsError>;
+
+    /// Solves `A x = b` with the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] when there are no valid
+    /// factors (never factored, or the last factor failed) or `b` has
+    /// the wrong length.
+    fn solve_factored(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError>;
+
+    /// Factors `a` and solves in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`LinearSolver::factor`] and
+    /// [`LinearSolver::solve_factored`].
+    fn solve(&mut self, a: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        self.factor(a)?;
+        self.solve_factored(b)
+    }
+
+    /// Multiply–accumulate + divide count of the most recent
+    /// factorisation.
+    fn factor_ops(&self) -> u64;
+}
+
+/// Exact operation count (divisions + multiply–subtracts) of the dense
+/// partial-pivoting LU in [`Matrix::lu`] for an `n × n` matrix.
+pub fn dense_lu_ops(n: usize) -> u64 {
+    (0..n)
+        .map(|k| {
+            let below = (n - k - 1) as u64;
+            below + below * below
+        })
+        .sum()
+}
+
+/// The dense fallback: scatters the sparse matrix into a reused dense
+/// buffer and runs the existing partial-pivoting LU.
+#[derive(Debug, Default)]
+pub struct DenseLuSolver {
+    buffer: Option<Matrix>,
+    factors: Option<crate::linalg::LuDecomposition>,
+    ops: u64,
+}
+
+impl DenseLuSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LinearSolver for DenseLuSolver {
+    fn name(&self) -> &'static str {
+        "dense-lu"
+    }
+
+    fn factor(&mut self, a: &CsrMatrix) -> Result<(), NumericsError> {
+        let n = a.rows();
+        if n != a.cols() {
+            return Err(NumericsError::InvalidInput(format!(
+                "factor requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let reuse = self.buffer.as_ref().is_some_and(|m| m.rows() == n);
+        if !reuse {
+            self.buffer = Some(Matrix::zeros(n, n));
+        }
+        let dense = self.buffer.as_mut().expect("buffer allocated above");
+        a.scatter_into(dense);
+        match dense.lu() {
+            Ok(f) => {
+                self.factors = Some(f);
+                self.ops = dense_lu_ops(n);
+                Ok(())
+            }
+            Err(e) => {
+                self.factors = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn solve_factored(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let f = self.factors.as_ref().ok_or_else(|| {
+            NumericsError::InvalidInput("solve_factored called before factor".into())
+        })?;
+        let n = self.buffer.as_ref().map_or(0, Matrix::rows);
+        if b.len() != n {
+            return Err(NumericsError::InvalidInput(format!(
+                "rhs length {} does not match dimension {n}",
+                b.len()
+            )));
+        }
+        Ok(f.solve(b))
+    }
+
+    fn factor_ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+/// Sparse LU with a cached elimination plan.
+///
+/// The first factorisation of a pattern runs a full right-looking
+/// elimination with Markowitz-style threshold pivoting (prefer short
+/// rows among candidates whose pivot magnitude is within
+/// `pivot_threshold` of the column maximum) and records the pivot order
+/// plus the complete fill-in pattern. Later factorisations of the *same*
+/// pattern replay the elimination over the frozen structure with a dense
+/// scatter workspace — no pivot search, no pattern discovery, no
+/// allocation. If a frozen pivot collapses numerically the solver
+/// transparently redoes the pivoting factorisation.
+#[derive(Debug, Default)]
+pub struct SparseLuSolver {
+    symbolic: Option<Symbolic>,
+    f_values: Vec<f64>,
+    diag: Vec<f64>,
+    work: Vec<f64>,
+    ops: u64,
+    symbolic_factors: u64,
+    refactors: u64,
+}
+
+#[derive(Debug)]
+struct Symbolic {
+    pattern: Arc<SparsityPattern>,
+    /// `perm[k]` = original row index used as the pivot of step `k`.
+    perm: Vec<usize>,
+    /// `col_order[k]` = original column eliminated at step `k` (static
+    /// fill-reducing pre-ordering: ascending initial column degree, so
+    /// high-fanout columns like a supply rail go last).
+    col_order: Vec<usize>,
+    /// Factor storage structure, per original row: full fill-in
+    /// pattern. Column indices are *virtual* (elimination-order) —
+    /// `col_order` maps them back.
+    f_row_ptr: Vec<usize>,
+    f_col_idx: Vec<usize>,
+    /// First slot of row `r`'s U part (its pivot column `pos[r]`).
+    u_start: Vec<usize>,
+    /// Slot of the pivot entry (`perm[k]`, `k`) per step.
+    diag_slot: Vec<usize>,
+    /// Maps each slot of the A pattern to its slot in factor storage.
+    a_to_f: Vec<usize>,
+}
+
+/// Relative magnitude a candidate pivot must reach (vs the column
+/// maximum) to be eligible for the Markowitz tie-break.
+const PIVOT_THRESHOLD: f64 = 1e-3;
+
+/// A frozen pivot smaller than this fraction of its row's U-part maximum
+/// triggers a fresh pivoting factorisation.
+const REPIVOT_RATIO: f64 = 1e-12;
+
+impl SparseLuSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of full (pivot-searching) factorisations performed.
+    pub fn symbolic_factor_count(&self) -> u64 {
+        self.symbolic_factors
+    }
+
+    /// Number of fast pattern-replay factorisations performed.
+    pub fn refactor_count(&self) -> u64 {
+        self.refactors
+    }
+
+    /// Number of stored L+U entries of the current elimination plan
+    /// (0 before the first factorisation).
+    pub fn factor_nnz(&self) -> usize {
+        self.symbolic.as_ref().map_or(0, |s| s.f_col_idx.len())
+    }
+
+    /// Full factorisation with pivot search; records the elimination
+    /// plan for later replays.
+    fn factor_with_pivoting(&mut self, a: &CsrMatrix) -> Result<(), NumericsError> {
+        let n = a.rows();
+        let pattern = a.pattern();
+        // Static fill-reducing column ordering: eliminate low-degree
+        // columns first. Dense columns (e.g. a supply rail touching
+        // every gate) would otherwise be eliminated early and couple
+        // every row they reach, exploding fill.
+        let mut col_degree = vec![0usize; n];
+        for &c in &pattern.col_idx {
+            col_degree[c] += 1;
+        }
+        let mut col_order: Vec<usize> = (0..n).collect();
+        col_order.sort_by_key(|&c| (col_degree[c], c));
+        let mut col_rank = vec![0usize; n];
+        for (k, &c) in col_order.iter().enumerate() {
+            col_rank[c] = k;
+        }
+        // Working rows as (virtual column, value) vectors sorted by
+        // virtual (elimination-order) column.
+        let mut rows: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|r| {
+                let lo = pattern.row_ptr[r];
+                let hi = pattern.row_ptr[r + 1];
+                let mut row: Vec<(usize, f64)> = (lo..hi)
+                    .map(|i| (col_rank[pattern.col_idx[i]], a.values()[i]))
+                    .collect();
+                row.sort_by_key(|e| e.0);
+                row
+            })
+            .collect();
+        // Rows holding a structural entry in each column; fill creation
+        // appends, so each (row, column) pair appears at most once.
+        let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (r, row) in rows.iter().enumerate() {
+            for &(c, _) in row {
+                col_rows[c].push(r);
+            }
+        }
+        let mut pivoted = vec![false; n];
+        let mut perm = Vec::with_capacity(n);
+        let mut ops: u64 = 0;
+        for k in 0..n {
+            // Candidate scan: largest magnitude in column k.
+            let mut maxabs = 0.0f64;
+            for &r in &col_rows[k] {
+                if pivoted[r] {
+                    continue;
+                }
+                let i = rows[r]
+                    .binary_search_by_key(&k, |e| e.0)
+                    .expect("structural entry");
+                maxabs = maxabs.max(rows[r][i].1.abs());
+            }
+            if maxabs == 0.0 || !maxabs.is_finite() {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            // Markowitz-style: among magnitude-eligible rows take the
+            // shortest (least prospective fill), break ties by magnitude.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for &r in &col_rows[k] {
+                if pivoted[r] {
+                    continue;
+                }
+                let i = rows[r]
+                    .binary_search_by_key(&k, |e| e.0)
+                    .expect("structural entry");
+                let mag = rows[r][i].1.abs();
+                if mag >= PIVOT_THRESHOLD * maxabs {
+                    let len = rows[r].len();
+                    let better = best
+                        .is_none_or(|(_, blen, bmag)| len < blen || (len == blen && mag > bmag));
+                    if better {
+                        best = Some((r, len, mag));
+                    }
+                }
+            }
+            let (prow, _, _) = best.expect("maxabs > 0 guarantees an eligible row");
+            pivoted[prow] = true;
+            perm.push(prow);
+            let pstart = rows[prow]
+                .binary_search_by_key(&k, |e| e.0)
+                .expect("pivot entry");
+            let pivot_val = rows[prow][pstart].1;
+            // Clone the pivot row's U tail once per step (merge source).
+            let utail: Vec<(usize, f64)> = rows[prow][pstart + 1..].to_vec();
+            let candidates: Vec<usize> = col_rows[k]
+                .iter()
+                .copied()
+                .filter(|&r| !pivoted[r])
+                .collect();
+            for r in candidates {
+                let ei = rows[r]
+                    .binary_search_by_key(&k, |e| e.0)
+                    .expect("structural entry");
+                let m = rows[r][ei].1 / pivot_val;
+                rows[r][ei].1 = m; // becomes the stored L multiplier
+                ops += 1;
+                // rows[r][ei+1..] -= m * utail  (sorted two-way merge;
+                // performed even for m == 0 so the recorded pattern stays
+                // valid for any values with this structure).
+                let old_tail: Vec<(usize, f64)> = rows[r].split_off(ei + 1);
+                let mut oi = 0;
+                let mut ui = 0;
+                while oi < old_tail.len() || ui < utail.len() {
+                    let take_old =
+                        ui >= utail.len() || (oi < old_tail.len() && old_tail[oi].0 < utail[ui].0);
+                    let take_both =
+                        oi < old_tail.len() && ui < utail.len() && old_tail[oi].0 == utail[ui].0;
+                    if take_both {
+                        rows[r].push((old_tail[oi].0, old_tail[oi].1 - m * utail[ui].1));
+                        oi += 1;
+                        ui += 1;
+                    } else if take_old {
+                        rows[r].push(old_tail[oi]);
+                        oi += 1;
+                    } else {
+                        // Fill-in: new structural entry.
+                        rows[r].push((utail[ui].0, -m * utail[ui].1));
+                        col_rows[utail[ui].0].push(r);
+                        ui += 1;
+                    }
+                }
+                ops += utail.len() as u64;
+            }
+        }
+        // Compile factor storage from the fully eliminated rows.
+        let mut pos = vec![0usize; n];
+        for (k, &r) in perm.iter().enumerate() {
+            pos[r] = k;
+        }
+        let mut f_row_ptr = Vec::with_capacity(n + 1);
+        let mut f_col_idx = Vec::new();
+        let mut f_values = Vec::new();
+        let mut u_start = vec![0usize; n];
+        f_row_ptr.push(0);
+        for (r, row) in rows.iter().enumerate() {
+            let local_u = row
+                .binary_search_by_key(&pos[r], |e| e.0)
+                .expect("pivot entry survives elimination");
+            u_start[r] = f_col_idx.len() + local_u;
+            for &(c, v) in row {
+                f_col_idx.push(c);
+                f_values.push(v);
+            }
+            f_row_ptr.push(f_col_idx.len());
+        }
+        let diag_slot: Vec<usize> = (0..n).map(|k| u_start[perm[k]]).collect();
+        let diag: Vec<f64> = diag_slot.iter().map(|&s| f_values[s]).collect();
+        // Map every slot of A into factor storage (A ⊆ fill pattern).
+        let mut a_to_f = Vec::with_capacity(pattern.nnz());
+        for r in 0..n {
+            let flo = f_row_ptr[r];
+            let fhi = f_row_ptr[r + 1];
+            for &c in pattern.row_cols(r) {
+                let i = f_col_idx[flo..fhi]
+                    .binary_search(&col_rank[c])
+                    .expect("A entry is part of the fill pattern");
+                a_to_f.push(flo + i);
+            }
+        }
+        self.symbolic = Some(Symbolic {
+            pattern: Arc::clone(pattern),
+            perm,
+            col_order,
+            f_row_ptr,
+            f_col_idx,
+            u_start,
+            diag_slot,
+            a_to_f,
+        });
+        self.f_values = f_values;
+        self.diag = diag;
+        self.work = vec![0.0; n];
+        self.ops = ops;
+        self.symbolic_factors += 1;
+        Ok(())
+    }
+
+    /// Replays the recorded elimination over new values. Returns
+    /// `Err(SingularMatrix)` when a frozen pivot collapses — the caller
+    /// falls back to a fresh pivoting factorisation.
+    fn refactor(&mut self, a: &CsrMatrix) -> Result<(), NumericsError> {
+        let s = self.symbolic.as_ref().expect("refactor requires symbolic");
+        let n = a.rows();
+        self.f_values.iter_mut().for_each(|v| *v = 0.0);
+        for (slot, &v) in a.values().iter().enumerate() {
+            self.f_values[s.a_to_f[slot]] += v;
+        }
+        let mut ops: u64 = 0;
+        for k in 0..n {
+            let r = s.perm[k];
+            let lo = s.f_row_ptr[r];
+            let hi = s.f_row_ptr[r + 1];
+            // Scatter the row into the dense workspace.
+            for i in lo..hi {
+                self.work[s.f_col_idx[i]] = self.f_values[i];
+            }
+            // Eliminate the L part in ascending column (= step) order.
+            for i in lo..s.u_start[r] {
+                let c = s.f_col_idx[i];
+                let m = self.work[c] / self.diag[c];
+                self.work[c] = m;
+                ops += 1;
+                let pr = s.perm[c];
+                let ud = s.diag_slot[c];
+                let pend = s.f_row_ptr[pr + 1];
+                for ui in (ud + 1)..pend {
+                    self.work[s.f_col_idx[ui]] -= m * self.f_values[ui];
+                }
+                ops += (pend - ud - 1) as u64;
+            }
+            let pivot = self.work[k];
+            let mut umax = 0.0f64;
+            for i in s.u_start[r]..hi {
+                umax = umax.max(self.work[s.f_col_idx[i]].abs());
+            }
+            // Gather back and clear the workspace.
+            for i in lo..hi {
+                let c = s.f_col_idx[i];
+                self.f_values[i] = self.work[c];
+                self.work[c] = 0.0;
+            }
+            if !pivot.is_finite() || pivot.abs() < REPIVOT_RATIO * umax || pivot == 0.0 {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            self.diag[k] = pivot;
+        }
+        self.ops = ops;
+        self.refactors += 1;
+        Ok(())
+    }
+}
+
+impl LinearSolver for SparseLuSolver {
+    fn name(&self) -> &'static str {
+        "sparse-lu"
+    }
+
+    fn factor(&mut self, a: &CsrMatrix) -> Result<(), NumericsError> {
+        if a.rows() != a.cols() {
+            return Err(NumericsError::InvalidInput(format!(
+                "factor requires a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let same_pattern = self
+            .symbolic
+            .as_ref()
+            .is_some_and(|s| Arc::ptr_eq(&s.pattern, a.pattern()) || *s.pattern == **a.pattern());
+        if same_pattern {
+            match self.refactor(a) {
+                Ok(()) => return Ok(()),
+                // A frozen pivot collapsed; fall through and re-pivot.
+                Err(NumericsError::SingularMatrix { .. }) => {}
+                Err(e) => {
+                    self.symbolic = None;
+                    return Err(e);
+                }
+            }
+        }
+        let result = self.factor_with_pivoting(a);
+        if result.is_err() {
+            // A failed refactor has already overwritten parts of the
+            // factor storage; never let solve_factored read that
+            // half-updated state as if it were the previous factors.
+            self.symbolic = None;
+        }
+        result
+    }
+
+    fn solve_factored(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let s = self.symbolic.as_ref().ok_or_else(|| {
+            NumericsError::InvalidInput("solve_factored called before factor".into())
+        })?;
+        let n = s.perm.len();
+        if b.len() != n {
+            return Err(NumericsError::InvalidInput(format!(
+                "rhs length {} does not match dimension {n}",
+                b.len()
+            )));
+        }
+        // Forward: L y = P b, in pivot order (L columns are steps).
+        let mut y = vec![0.0; n];
+        for (k, &r) in s.perm.iter().enumerate() {
+            let mut acc = b[r];
+            for i in s.f_row_ptr[r]..s.u_start[r] {
+                acc -= self.f_values[i] * y[s.f_col_idx[i]];
+            }
+            y[k] = acc;
+        }
+        // Backward: U xv = y in virtual column space.
+        let mut xv = vec![0.0; n];
+        for k in (0..n).rev() {
+            let r = s.perm[k];
+            let mut acc = y[k];
+            for i in (s.diag_slot[k] + 1)..s.f_row_ptr[r + 1] {
+                acc -= self.f_values[i] * xv[s.f_col_idx[i]];
+            }
+            xv[k] = acc / self.diag[k];
+        }
+        // Undo the static column ordering.
+        let mut x = vec![0.0; n];
+        for (k, &c) in s.col_order.iter().enumerate() {
+            x[c] = xv[k];
+        }
+        Ok(x)
+    }
+
+    fn factor_ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr_from_dense(rows: &[&[f64]]) -> CsrMatrix {
+        let mut t = TripletMatrix::new(rows.len(), rows[0].len());
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    t.push(r, c, v);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn triplets_merge_duplicates_in_push_order() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 2.0);
+        t.push(0, 0, 0.5);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn zero_triplet_reserves_a_slot() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 0.0);
+        t.push(1, 0, 3.0);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.pattern().slot(0, 0), Some(0));
+        assert_eq!(m.pattern().slot(0, 1), None);
+    }
+
+    #[test]
+    fn csr_mul_vec_matches_dense() {
+        let a = csr_from_dense(&[&[2.0, 0.0, 1.0], &[0.0, 3.0, 0.0], &[1.0, 0.0, 4.0]]);
+        let y = a.mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![5.0, 6.0, 13.0]);
+        let d = a.to_dense();
+        assert_eq!(d.mul_vec(&[1.0, 2.0, 3.0]), y);
+    }
+
+    #[test]
+    fn assembler_records_then_reuses_slots() {
+        let mut asm = PatternAssembler::new(2, 2);
+        assert!(asm.is_recording());
+        asm.begin();
+        asm.add(0, 0, 2.0);
+        asm.add(0, 1, -1.0);
+        asm.add(1, 1, 3.0);
+        let nnz = asm.finish().nnz();
+        assert_eq!(nnz, 3);
+        assert_eq!(asm.pattern_builds(), 1);
+        assert!(!asm.is_recording());
+        // Second cycle: same structure, new values, same pattern object.
+        let p1 = Arc::clone(asm.matrix().unwrap().pattern());
+        asm.begin();
+        asm.add(0, 0, 5.0);
+        asm.add(1, 1, 1.0);
+        let m = asm.finish();
+        assert_eq!(m.get(0, 0), 5.0);
+        assert_eq!(m.get(0, 1), 0.0, "unwritten slot is zeroed, not stale");
+        assert!(Arc::ptr_eq(&p1, m.pattern()));
+        assert_eq!(asm.pattern_builds(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the cached sparsity pattern")]
+    fn assembler_rejects_out_of_pattern_writes() {
+        let mut asm = PatternAssembler::new(2, 2);
+        asm.begin();
+        asm.add(0, 0, 1.0);
+        asm.finish();
+        asm.begin();
+        asm.add(1, 0, 1.0);
+    }
+
+    #[test]
+    fn assembler_invalidate_returns_to_recording() {
+        let mut asm = PatternAssembler::new(2, 2);
+        asm.begin();
+        asm.add(0, 0, 1.0);
+        asm.finish();
+        asm.invalidate();
+        assert!(asm.is_recording());
+        asm.begin();
+        asm.add(1, 0, 1.0);
+        asm.add(0, 0, 1.0);
+        asm.add(1, 1, 1.0);
+        assert_eq!(asm.finish().nnz(), 3);
+        assert_eq!(asm.pattern_builds(), 2);
+    }
+
+    fn solve_both(a: &CsrMatrix, b: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut dense = DenseLuSolver::new();
+        let mut sparse = SparseLuSolver::new();
+        let xd = dense.solve(a, b).expect("dense solve");
+        let xs = sparse.solve(a, b).expect("sparse solve");
+        (xd, xs)
+    }
+
+    #[test]
+    fn solvers_agree_on_small_system() {
+        let a = csr_from_dense(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]);
+        let (xd, xs) = solve_both(&a, &[1.0, -2.0, 0.0]);
+        for (d, s) in xd.iter().zip(&xs) {
+            assert!((d - s).abs() < 1e-12, "{d} vs {s}");
+        }
+        assert!((xs[0] - 1.0).abs() < 1e-12);
+        assert!((xs[1] + 2.0).abs() < 1e-12);
+        assert!((xs[2] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_handles_zero_diagonal_mna_structure() {
+        // Voltage-source-like block: the (2,2) diagonal is structurally
+        // present but numerically zero, so pivoting is mandatory.
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1e-3);
+        t.push(0, 2, 1.0);
+        t.push(1, 1, 2e-3);
+        t.push(2, 0, 1.0);
+        t.push(2, 2, 0.0);
+        let a = t.to_csr();
+        let mut sparse = SparseLuSolver::new();
+        let x = sparse.solve(&a, &[0.0, 2e-3, 5.0]).expect("solve");
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert!((x[2] + 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_reuses_pattern_and_stays_correct() {
+        let mut asm = PatternAssembler::new(3, 3);
+        let stamp = |asm: &mut PatternAssembler, g: f64| {
+            asm.begin();
+            asm.add(0, 0, g);
+            asm.add(0, 1, -g);
+            asm.add(1, 0, -g);
+            asm.add(1, 1, g + 1e-3);
+            asm.add(1, 2, -1e-3);
+            asm.add(2, 1, -1e-3);
+            asm.add(2, 2, 2e-3);
+        };
+        let mut sparse = SparseLuSolver::new();
+        stamp(&mut asm, 1.0);
+        sparse.factor(asm.finish()).expect("first factor");
+        assert_eq!(sparse.symbolic_factor_count(), 1);
+        stamp(&mut asm, 2.5);
+        let a = asm.finish();
+        sparse.factor(a).expect("refactor");
+        assert_eq!(sparse.symbolic_factor_count(), 1, "pattern reused");
+        assert_eq!(sparse.refactor_count(), 1);
+        let b = [1.0, 0.0, -1.0];
+        let x = sparse.solve_factored(&b).expect("solve");
+        let mut dense = DenseLuSolver::new();
+        let xd = dense.solve(a, &b).expect("dense");
+        for (s, d) in x.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-12, "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_reported_by_both() {
+        let a = csr_from_dense(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut dense = DenseLuSolver::new();
+        let mut sparse = SparseLuSolver::new();
+        assert!(matches!(
+            dense.solve(&a, &[1.0, 2.0]),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+        assert!(matches!(
+            sparse.solve(&a, &[1.0, 2.0]),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn structurally_empty_column_is_singular() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 2.0);
+        let a = t.to_csr();
+        let mut sparse = SparseLuSolver::new();
+        assert!(matches!(
+            sparse.factor(&a),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn tridiagonal_sparse_beats_dense_op_count() {
+        let n = 64;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let a = t.to_csr();
+        let mut dense = DenseLuSolver::new();
+        let mut sparse = SparseLuSolver::new();
+        dense.factor(&a).expect("dense factor");
+        sparse.factor(&a).expect("sparse factor");
+        assert!(
+            sparse.factor_ops() < dense.factor_ops() / 100,
+            "tridiagonal LU should be ~O(n): sparse {} vs dense {}",
+            sparse.factor_ops(),
+            dense.factor_ops()
+        );
+        // Same count when replaying the pattern.
+        sparse.factor(&a).expect("refactor");
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let xs = sparse.solve_factored(&b).expect("solve");
+        let xd = dense.solve_factored(&b).expect("solve");
+        for (s, d) in xs.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-9, "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn dense_lu_ops_formula() {
+        // n = 3: k=0 → 2 + 4, k=1 → 1 + 1, k=2 → 0.
+        assert_eq!(dense_lu_ops(3), 8);
+        assert_eq!(dense_lu_ops(0), 0);
+        assert_eq!(dense_lu_ops(1), 0);
+    }
+
+    #[test]
+    fn solve_before_factor_is_an_error() {
+        let dense = DenseLuSolver::new();
+        let sparse = SparseLuSolver::new();
+        assert!(matches!(
+            dense.solve_factored(&[1.0]),
+            Err(NumericsError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            sparse.solve_factored(&[1.0]),
+            Err(NumericsError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn failed_factor_invalidates_previous_factors() {
+        // A successful factor followed by a singular one: the solver
+        // must not serve the (partially overwritten) old factors.
+        let a1 = csr_from_dense(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let mut a2 = a1.clone();
+        a2.set_zero();
+        a2.add_at(0, 0, 1.0);
+        a2.add_at(0, 1, 2.0);
+        a2.add_at(1, 0, 2.0);
+        a2.add_at(1, 1, 4.0);
+        let mut sparse = SparseLuSolver::new();
+        sparse.factor(&a1).expect("first factor");
+        assert!(sparse.factor(&a2).is_err());
+        assert!(matches!(
+            sparse.solve_factored(&[1.0, 2.0]),
+            Err(NumericsError::InvalidInput(_))
+        ));
+        let mut dense = DenseLuSolver::new();
+        dense.factor(&a1).expect("first factor");
+        assert!(dense.factor(&a2).is_err());
+        assert!(matches!(
+            dense.solve_factored(&[1.0, 2.0]),
+            Err(NumericsError::InvalidInput(_))
+        ));
+        // Both recover with a good matrix.
+        sparse.factor(&a1).expect("recovery factor");
+        dense.factor(&a1).expect("recovery factor");
+        assert!(sparse.solve_factored(&[1.0, 2.0]).is_ok());
+        assert!(dense.solve_factored(&[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn repivot_on_value_collapse_keeps_answers_right() {
+        // First factor with a dominant (0,0); then flip dominance so the
+        // frozen pivot order would divide by ~0 and must re-pivot.
+        let stamp = |a11: f64, a21: f64| {
+            let mut t = TripletMatrix::new(2, 2);
+            t.push(0, 0, a11);
+            t.push(0, 1, 1.0);
+            t.push(1, 0, a21);
+            t.push(1, 1, 1.0);
+            t.to_csr()
+        };
+        let a1 = stamp(4.0, 1.0);
+        let mut sparse = SparseLuSolver::new();
+        sparse.factor(&a1).expect("factor 1");
+        // Same pattern object is required for the replay path; rebuild
+        // with identical structure and tiny pivot.
+        let mut a2 = a1.clone();
+        a2.set_zero();
+        a2.add_at(0, 0, 1e-30);
+        a2.add_at(0, 1, 1.0);
+        a2.add_at(1, 0, 1.0);
+        a2.add_at(1, 1, 1.0);
+        sparse.factor(&a2).expect("factor 2 re-pivots");
+        let x = sparse.solve_factored(&[1.0, 2.0]).expect("solve");
+        let mut dense = DenseLuSolver::new();
+        let xd = dense.solve(&a2, &[1.0, 2.0]).expect("dense");
+        for (s, d) in x.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-9, "{s} vs {d}");
+        }
+    }
+}

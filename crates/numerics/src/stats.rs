@@ -29,6 +29,14 @@ pub fn max_abs(values: &[f64]) -> f64 {
     values.iter().fold(0.0, |m, v| m.max(v.abs()))
 }
 
+/// Infinity norm of a vector — the same quantity as [`max_abs`], under
+/// the name used by residual/convergence logic (the circuit crate's
+/// Newton engine shares this single definition instead of each analysis
+/// carrying its own copy).
+pub fn inf_norm(values: &[f64]) -> f64 {
+    max_abs(values)
+}
+
 /// RMS deviation between two equal-length series.
 ///
 /// # Panics

@@ -7,6 +7,7 @@ use cntfet_numerics::polynomial::Polynomial;
 use cntfet_numerics::quadrature::{adaptive_simpson, gauss_legendre};
 use cntfet_numerics::rootfind::{bisection, brent, RootFindOptions};
 use cntfet_numerics::roots::{real_roots, solve_cubic, solve_quadratic};
+use cntfet_numerics::sparse::{DenseLuSolver, LinearSolver, SparseLuSolver, TripletMatrix};
 use cntfet_numerics::stats::{relative_rms_percent, rms};
 use proptest::prelude::*;
 
@@ -165,5 +166,51 @@ proptest! {
         let mut perturbed = values.clone();
         perturbed[0] += 1.0;
         prop_assert!(relative_rms_percent(&perturbed, &values) > 0.0);
+    }
+
+    /// Random diagonally-dominant banded systems: the sparse LU (with
+    /// its cached-pattern replay) agrees with the dense fallback, both
+    /// through the shared `LinearSolver` trait.
+    #[test]
+    fn sparse_and_dense_solvers_agree(
+        diag in proptest::collection::vec(1.0f64..10.0, 4..24),
+        off in proptest::collection::vec(-0.9f64..0.9, 3..23),
+        rhs_scale in -5.0f64..5.0,
+    ) {
+        let n = diag.len().min(off.len() + 1);
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, diag[i]);
+            if i + 1 < n {
+                t.push(i, i + 1, off[i]);
+                t.push(i + 1, i, off[i] * 0.5);
+            }
+        }
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| rhs_scale * (i as f64 + 1.0)).collect();
+        let mut dense = DenseLuSolver::new();
+        let mut sparse = SparseLuSolver::new();
+        let xd = dense.solve(&a, &b).expect("dense solve");
+        let xs = sparse.solve(&a, &b).expect("sparse solve");
+        let scale = 1.0 + xd.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for (d, s) in xd.iter().zip(&xs) {
+            prop_assert!((d - s).abs() <= 1e-10 * scale, "{d} vs {s}");
+        }
+        // Replay the cached pattern with perturbed values: still agrees.
+        let mut a2 = a.clone();
+        a2.set_zero();
+        for i in 0..n {
+            a2.add_at(i, i, diag[i] + 0.25);
+            if i + 1 < n {
+                a2.add_at(i, i + 1, off[i] * 0.75);
+                a2.add_at(i + 1, i, off[i] * 0.25);
+            }
+        }
+        let xd2 = dense.solve(&a2, &b).expect("dense solve 2");
+        let xs2 = sparse.solve(&a2, &b).expect("sparse refactor solve");
+        prop_assert!(sparse.refactor_count() >= 1, "second factor must replay the pattern");
+        for (d, s) in xd2.iter().zip(&xs2) {
+            prop_assert!((d - s).abs() <= 1e-10 * scale, "{d} vs {s}");
+        }
     }
 }
