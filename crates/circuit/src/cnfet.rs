@@ -189,20 +189,21 @@ impl Element for CnfetElement {
         }
 
         // --- Terminal displacement currents (transient only). -----------
-        if let AnalysisMode::Transient { dt, prev, .. } = mode {
-            let prev_vd = s * node_voltage(prev, self.drain);
-            let prev_vg = s * node_voltage(prev, self.gate);
-            let prev_vs = s * node_voltage(prev, self.source);
-            let prev_vsig = prev[sigma];
+        if let AnalysisMode::Transient(stamp) = mode {
+            // History of the mirrored Σ unknown (stored mirrored, so no
+            // sign factor); node histories are raw and mirror through s.
+            let hist_sig = stamp.history(sigma);
             // Per-terminal capacitor to Σ, scaled to farads by length.
-            for (node, c_per_m, v_now, v_prev) in [
-                (self.gate, caps.gate, vg, prev_vg),
-                (self.drain, caps.drain, vd, prev_vd),
-                (self.source, caps.source, vs, prev_vs),
+            for (node, c_per_m, v_now) in [
+                (self.gate, caps.gate, vg),
+                (self.drain, caps.drain, vd),
+                (self.source, caps.source, vs),
             ] {
                 let c = c_per_m * self.length;
-                let g = c / dt;
-                let i_core = g * ((v_now - vsig) - (v_prev - prev_vsig));
+                let g = c * stamp.a0;
+                // Mirrored d/dt of the capacitor voltage (v_node − vΣ).
+                let ddt = stamp.a0 * (v_now - vsig) + s * stamp.history_node(node) - hist_sig;
+                let i_core = c * ddt;
                 // Mirrored current out of the mirrored node = s·i into the
                 // real node's KCL.
                 mna.add_f_node(node, s * i_core);

@@ -15,16 +15,107 @@ pub enum AnalysisMode {
     /// DC operating point; `gmin` is a node-to-ground leak added by the
     /// solver for convergence (not by elements).
     Dc,
-    /// One backward-Euler transient step of size `dt` ending at time `t`,
-    /// with the converged unknown vector of the previous step.
-    Transient {
-        /// Step size, seconds.
-        dt: f64,
-        /// Absolute time at the end of the step, seconds.
-        t: f64,
-        /// Converged unknowns of the previous time point.
-        prev: Vec<f64>,
-    },
+    /// One implicit transient step, described by a [`TransientStamp`].
+    Transient(TransientStamp),
+}
+
+/// Companion-model data for one implicit transient step.
+///
+/// Every implicit linear multistep method this simulator uses (backward
+/// Euler, variable-step BDF2) approximates a time derivative at the end
+/// of the step as an affine function of the new unknown vector:
+///
+/// ```text
+/// d/dt u_i  ≈  a0 · x[i] + hist[i]
+/// ```
+///
+/// where `a0` is the method's leading differentiation coefficient (units
+/// 1/s) and `hist[i]` folds the weighted history states into a single
+/// per-unknown value. Elements with charge storage stamp `a0`-scaled
+/// conductances into the Jacobian and the full affine expression into
+/// the residual — so the *sparsity pattern* of a transient Jacobian is
+/// independent of both the step size and the integration method, and a
+/// solver cache recorded at one `dt` can be re-valued (never
+/// re-patterned) at any other.
+///
+/// Construct stamps with [`TransientStamp::backward_euler`] or
+/// [`TransientStamp::bdf2`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientStamp {
+    /// Absolute time at the end of the step, seconds.
+    pub t: f64,
+    /// Leading differentiation coefficient `a0`, 1/s.
+    pub a0: f64,
+    /// Per-unknown history term `hist[i]` (same length as the unknown
+    /// vector), units of the unknown per second.
+    pub hist: Vec<f64>,
+}
+
+impl TransientStamp {
+    /// Backward-Euler stencil for a step of size `dt` ending at `t`:
+    /// `d/dt u ≈ (x − prev) / dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn backward_euler(t: f64, dt: f64, prev: &[f64]) -> Self {
+        assert!(dt > 0.0, "step size must be positive");
+        TransientStamp {
+            t,
+            a0: 1.0 / dt,
+            hist: prev.iter().map(|&p| -p / dt).collect(),
+        }
+    }
+
+    /// Variable-step BDF2 stencil for a step of size `dt` ending at `t`,
+    /// where the previous accepted step (from `prev2` to `prev`) had
+    /// size `dt_prev`:
+    ///
+    /// ```text
+    /// d/dt u ≈ a0·x + a1·prev + a2·prev2
+    /// a0 = (2h+g)/(h(h+g)),  a1 = −(h+g)/(hg),  a2 = h/(g(h+g))
+    /// ```
+    ///
+    /// with `h = dt`, `g = dt_prev`. For `h = g` this reduces to the
+    /// classic `(3x − 4·prev + prev2) / (2h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either step size is non-positive or the history vectors
+    /// disagree in length.
+    pub fn bdf2(t: f64, dt: f64, dt_prev: f64, prev: &[f64], prev2: &[f64]) -> Self {
+        assert!(dt > 0.0 && dt_prev > 0.0, "step sizes must be positive");
+        assert_eq!(prev.len(), prev2.len(), "history length mismatch");
+        let (h, g) = (dt, dt_prev);
+        let a0 = (2.0 * h + g) / (h * (h + g));
+        let a1 = -(h + g) / (h * g);
+        let a2 = h / (g * (h + g));
+        TransientStamp {
+            t,
+            a0,
+            hist: prev
+                .iter()
+                .zip(prev2)
+                .map(|(&p, &p2)| a1 * p + a2 * p2)
+                .collect(),
+        }
+    }
+
+    /// The history term of raw unknown index `i`.
+    pub fn history(&self, i: usize) -> f64 {
+        self.hist[i]
+    }
+
+    /// The history term of `node`'s voltage (0 for ground).
+    pub fn history_node(&self, node: NodeId) -> f64 {
+        node.unknown_index().map_or(0.0, |i| self.hist[i])
+    }
+
+    /// The discretised time derivative of `node`'s voltage at the
+    /// iterate `x`: `a0 · v(node) + hist(node)`.
+    pub fn ddt_node(&self, x: &[f64], node: NodeId) -> f64 {
+        self.a0 * node_voltage(x, node) + self.history_node(node)
+    }
 }
 
 /// Assembly target handed to [`Element::stamp`].
@@ -166,7 +257,7 @@ impl Element for Resistor {
     }
 }
 
-/// A linear capacitor (open at DC, backward-Euler companion in
+/// A linear capacitor (open at DC, implicit companion model in
 /// transient).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Capacitor {
@@ -199,11 +290,12 @@ impl Element for Capacitor {
     }
 
     fn stamp(&self, x: &[f64], _extra: usize, mode: &AnalysisMode, mna: &mut Mna<'_>) {
-        if let AnalysisMode::Transient { dt, prev, .. } = mode {
-            let g = self.capacitance / dt;
-            let v_now = node_voltage(x, self.a) - node_voltage(x, self.b);
-            let v_prev = node_voltage(prev, self.a) - node_voltage(prev, self.b);
-            let i = g * (v_now - v_prev);
+        if let AnalysisMode::Transient(stamp) = mode {
+            // i = C · d/dt (v_a − v_b); the Jacobian sees only the
+            // method's leading coefficient a0, so a step-size change
+            // re-values this stamp without touching the pattern.
+            let g = self.capacitance * stamp.a0;
+            let i = self.capacitance * (stamp.ddt_node(x, self.a) - stamp.ddt_node(x, self.b));
             mna.add_f_node(self.a, i);
             mna.add_f_node(self.b, -i);
             mna.add_j_nodes(self.a, self.a, g);
@@ -332,7 +424,7 @@ impl Element for VoltageSource {
     fn stamp(&self, x: &[f64], extra: usize, mode: &AnalysisMode, mna: &mut Mna<'_>) {
         let t = match mode {
             AnalysisMode::Dc => 0.0,
-            AnalysisMode::Transient { t, .. } => *t,
+            AnalysisMode::Transient(stamp) => stamp.t,
         };
         let target = self.waveform.value_at(t);
         let i_branch = x[extra];

@@ -16,9 +16,36 @@
 //!   factorizations. [`SolverKind::Auto`] picks the sparse path once the
 //!   system is large enough for the O(n³) dense factor to dominate.
 //!
-//! The cache is keyed on [`Circuit::revision`], the unknown count and
-//! the analysis kind, so a circuit that gains elements (or a switch from
-//! DC to transient stamping) transparently rebuilds the pattern.
+//! The cache is keyed on [`Circuit::id`], [`Circuit::revision`], the
+//! unknown count and the analysis *kind* (DC vs transient), so a
+//! circuit that gains elements (or a switch from DC to transient
+//! stamping) transparently rebuilds the pattern. The key deliberately
+//! excludes everything that only changes *values* — source levels,
+//! sweep points, the transient step size and integration method — so a
+//! whole adaptive-transient run with wildly varying steps reuses one
+//! pattern and one solver ordering (asserted by
+//! `dt_changes_revalue_but_never_repattern` in the transient tests).
+//!
+//! # Options semantics
+//!
+//! [`NewtonOptions`] is plain data (`Copy`) shared by every analysis:
+//!
+//! * `max_iter` bounds each *individual* Newton solve — per gmin step,
+//!   per transient step attempt, per sweep point — not the whole
+//!   analysis;
+//! * `node_current_tol` / `extra_row_tol` are *absolute, per-row*
+//!   convergence thresholds. Node rows are KCL sums in amperes; extra
+//!   rows mix source-constraint volts and CNFET charge-balance C/m,
+//!   which is why they get a separate (tighter) threshold;
+//! * `max_step_halvings` bounds the damping line search inside one
+//!   iteration; after the budget the smallest trial step is adopted
+//!   unconditionally so Newton can escape shallow plateaus;
+//! * `solver` / `sparse_threshold`: [`SolverKind::Auto`] compares the
+//!   unknown count against `sparse_threshold` (default 32) once per
+//!   cache build. Below it, the dense LU wins on constant factors and
+//!   reproduces the historical floating-point stream bit-for-bit; above
+//!   it, the sparse LU's frozen-ordering replay factorisations dominate
+//!   (the `netlist_scaling` bench measures the crossover).
 
 use crate::dc::Solution;
 use crate::element::{AnalysisMode, Mna};
@@ -122,6 +149,8 @@ pub struct NewtonEngine {
     cache: Option<Cache>,
     residual: Vec<f64>,
     pattern_builds: usize,
+    factorizations: u64,
+    factor_ops_total: u64,
 }
 
 impl NewtonEngine {
@@ -132,6 +161,8 @@ impl NewtonEngine {
             cache: None,
             residual: Vec::new(),
             pattern_builds: 0,
+            factorizations: 0,
+            factor_ops_total: 0,
         }
     }
 
@@ -155,6 +186,22 @@ impl NewtonEngine {
     /// Operation count of the most recent factorisation (0 before any).
     pub fn last_factor_ops(&self) -> u64 {
         self.cache.as_ref().map_or(0, |c| c.solver.factor_ops())
+    }
+
+    /// Total number of Jacobian factorisations performed over this
+    /// engine's lifetime (one per Newton iteration that reached the
+    /// linear solve).
+    pub fn total_factorizations(&self) -> u64 {
+        self.factorizations
+    }
+
+    /// Cumulative multiply–accumulate/divide operation count across all
+    /// factorisations of this engine's lifetime. Together with
+    /// [`NewtonEngine::total_factorizations`] this lets analyses report
+    /// linear-algebra cost (e.g. the `transient_scaling` bench's
+    /// fixed-vs-adaptive comparison) without instrumenting the solver.
+    pub fn total_factor_ops(&self) -> u64 {
+        self.factor_ops_total
     }
 
     fn ensure_cache(&mut self, circuit: &Circuit, transient: bool) {
@@ -197,7 +244,7 @@ impl NewtonEngine {
 
     /// Assembles `F(x)` and `J(x)` into the engine's reused buffers.
     fn assemble_into(&mut self, circuit: &Circuit, x: &[f64], mode: &AnalysisMode, gmin: f64) {
-        self.ensure_cache(circuit, matches!(mode, AnalysisMode::Transient { .. }));
+        self.ensure_cache(circuit, matches!(mode, AnalysisMode::Transient(_)));
         let cache = self.cache.as_mut().expect("cache ensured above");
         self.residual.iter_mut().for_each(|v| *v = 0.0);
         cache.asm.begin();
@@ -303,10 +350,13 @@ impl NewtonEngine {
                     *nf = -f;
                 }
                 let a = cache.asm.matrix().expect("assembled above");
-                cache
+                let dx = cache
                     .solver
                     .solve(a, &neg_f)
-                    .map_err(|e| CircuitError::SingularSystem(format!("{e}")))?
+                    .map_err(|e| CircuitError::SingularSystem(format!("{e}")))?;
+                self.factorizations += 1;
+                self.factor_ops_total += cache.solver.factor_ops();
+                dx
             };
             // Damped update: halve the step until the residual stops
             // growing; adopt the final (smallest) trial unconditionally.

@@ -17,6 +17,16 @@ pub enum CircuitError {
     SingularSystem(String),
     /// An analysis was configured inconsistently.
     InvalidAnalysis(String),
+    /// Adaptive transient stepping gave up: either the step controller
+    /// shrank the step to the configured minimum and the step still
+    /// failed (local truncation error too large or Newton divergence),
+    /// or the consecutive-rejection budget ran out first.
+    TimestepTooSmall {
+        /// Simulation time at which the controller gave up, seconds.
+        t: f64,
+        /// The step size that could not be reduced further, seconds.
+        dt: f64,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -31,6 +41,11 @@ impl fmt::Display for CircuitError {
             ),
             CircuitError::SingularSystem(msg) => write!(f, "singular mna system: {msg}"),
             CircuitError::InvalidAnalysis(msg) => write!(f, "invalid analysis: {msg}"),
+            CircuitError::TimestepTooSmall { t, dt } => write!(
+                f,
+                "adaptive transient gave up at t = {t:.6e} s with step {dt:.3e} s \
+                 (dt_min or the rejection budget was reached and the step still failed)"
+            ),
         }
     }
 }

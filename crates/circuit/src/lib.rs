@@ -16,7 +16,10 @@
 //!   selection, shared by every analysis;
 //! * [`dc`] — DC operating-point entry points (gmin ramp);
 //! * [`sweep`] — warm-started DC sweeps (VTCs);
-//! * [`transient`] — fixed-step backward-Euler integration;
+//! * [`transient`] — transient integration: fixed-step backward Euler
+//!   plus LTE-controlled adaptive stepping (backward Euler with step
+//!   doubling, variable-step BDF2 with predictor–corrector error
+//!   estimation, PI step controller);
 //! * [`logic`] — complementary inverter / NAND / ring-oscillator builders
 //!   (the paper's future-work "practical logic circuit structures").
 //!
@@ -65,5 +68,8 @@ pub mod prelude {
     pub use crate::sweep::{
         dc_sweep, dc_sweep_many, dc_sweep_many_with, dc_sweep_with, SweepJob, SweepResult,
     };
-    pub use crate::transient::{solve_transient, solve_transient_with, TransientResult};
+    pub use crate::transient::{
+        solve_transient, solve_transient_adaptive, solve_transient_fixed, solve_transient_with,
+        TimeIntegrator, TransientOptions, TransientResult, TransientRun, TransientStats,
+    };
 }

@@ -1,4 +1,24 @@
 //! Circuit description: nodes and the element container.
+//!
+//! # Unknown-vector layout
+//!
+//! Every solver in this crate shares one layout of the MNA unknown
+//! vector: the [`Circuit::node_count`] non-ground node voltages first
+//! (node `n` at index `n − 1`, see [`NodeId::unknown_index`]), followed
+//! by each element's extra variables in element insertion order
+//! ([`Circuit::extra_var_bases`]). Analyses exploit the split — e.g.
+//! adaptive transient stepping measures its truncation-error norm over
+//! the node-voltage prefix only, because the extra rows (branch
+//! currents in amperes, CNFET charge balances in C/m) live in
+//! different units.
+//!
+//! # Structural identity
+//!
+//! Solver caches are keyed on ([`Circuit::id`], [`Circuit::revision`]):
+//! `id` is process-unique per circuit instance, and `revision` bumps on
+//! every structural change (new node or element). Value-only updates
+//! such as [`Circuit::set_source_value`] leave `revision` untouched, so
+//! warm solver state survives sweeps and transient runs.
 
 use crate::element::Element;
 use std::collections::HashMap;

@@ -1,12 +1,32 @@
-//! Transient analysis: fixed-step backward Euler.
+//! Transient analysis: fixed-step and LTE-controlled adaptive stepping.
+//!
+//! Two entry-point families share one stepping core:
+//!
+//! * [`solve_transient`] / [`solve_transient_with`] — the historical
+//!   fixed-step interface (backward Euler on a uniform grid), preserved
+//!   as thin wrappers around [`solve_transient_fixed`];
+//! * [`solve_transient_adaptive`] — local-truncation-error-controlled
+//!   stepping with a [`TimeIntegrator`] (backward Euler or variable-step
+//!   BDF2), a PI step-size controller and reject-and-retry on LTE or
+//!   Newton failure. It returns a [`TransientRun`] carrying both the
+//!   waveform and per-run [`TransientStats`].
 //!
 //! Backward Euler is L-stable, which matters here because the CNFET's Σ
 //! row is an algebraic constraint (index-1 DAE) — trapezoidal rules ring
-//! on such systems. The step size is caller-chosen; the ring-oscillator
-//! benchmark uses ~1000 steps per period.
+//! on such systems. BDF2 keeps the L-stability (its stability region
+//! contains the whole left half-plane) while gaining an order: on the
+//! ring-oscillator workload it takes several times fewer accepted steps
+//! than fixed backward Euler at equal period accuracy (measured by the
+//! `transient_scaling` bench).
+//!
+//! Variable step sizes are cheap on this engine: the companion-model
+//! stamps only scale with the leading integration coefficient
+//! (see [`crate::element::TransientStamp`]), so a step-size change
+//! re-values the cached Jacobian pattern instead of rebuilding it, and
+//! the sparse solver replays its frozen elimination ordering.
 
 use crate::dc::{solve_dc_with, Solution};
-use crate::element::AnalysisMode;
+use crate::element::{AnalysisMode, TransientStamp};
 use crate::engine::{NewtonEngine, NewtonOptions};
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId};
@@ -15,7 +35,8 @@ use crate::netlist::{Circuit, NodeId};
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransientResult {
     /// Time points, seconds (first entry is 0 with the initial
-    /// condition).
+    /// condition). Uniformly spaced for fixed-step runs, variably spaced
+    /// for adaptive runs; the final entry is exactly `t_stop`.
     pub time: Vec<f64>,
     /// Unknown vector at each time point.
     pub states: Vec<Vec<f64>>,
@@ -39,10 +60,211 @@ impl TransientResult {
     pub fn is_empty(&self) -> bool {
         self.time.is_empty()
     }
+
+    /// Times at which `node`'s waveform crosses `level`, linearly
+    /// interpolated between stored points, each paired with the
+    /// crossing direction (`true` = rising). Works identically on
+    /// uniform and adaptively (nonuniformly) spaced results — the
+    /// interpolation resolves crossings far below the local step size,
+    /// which is what makes e.g. oscillation-period measurement on
+    /// coarse adaptive grids accurate.
+    pub fn crossings(&self, node: NodeId, level: f64) -> Vec<(f64, bool)> {
+        let w = self.waveform(node);
+        let mut out = Vec::new();
+        for i in 0..w.len().saturating_sub(1) {
+            let (a, b) = (w[i], w[i + 1]);
+            let rising = a < level && b >= level;
+            let falling = a > level && b <= level;
+            if rising || falling {
+                let frac = (level - a) / (b - a);
+                out.push((
+                    self.time[i] + frac * (self.time[i + 1] - self.time[i]),
+                    rising,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Implicit integration method used for transient stepping.
+///
+/// Both methods are L-stable and therefore safe on the simulator's
+/// index-1 DAE systems (the CNFET Σ rows are algebraic constraints).
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_circuit::transient::TimeIntegrator;
+///
+/// assert_eq!(TimeIntegrator::BackwardEuler.order(), 1);
+/// assert_eq!(TimeIntegrator::Bdf2.order(), 2);
+/// // BDF2 is the default for adaptive runs.
+/// assert_eq!(TimeIntegrator::default(), TimeIntegrator::Bdf2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeIntegrator {
+    /// First-order backward Euler. In adaptive mode its local truncation
+    /// error is estimated by step doubling (one full step vs two half
+    /// steps) and the Richardson-extrapolated combination of the two is
+    /// accepted, so the *accepted* solution is locally second-order
+    /// while the controller stays conservative (first-order estimate).
+    BackwardEuler,
+    /// Second-order backward differentiation formula with genuinely
+    /// variable step sizes. The LTE is estimated from the
+    /// predictor–corrector difference (quadratic extrapolation through
+    /// the last three accepted points vs the implicit solution). Each
+    /// adaptive run starts with backward-Euler steps until enough
+    /// history exists, and restarts the same way after a Newton failure.
+    #[default]
+    Bdf2,
+}
+
+impl TimeIntegrator {
+    /// Classical order of accuracy of the method (1 or 2).
+    pub fn order(self) -> usize {
+        match self {
+            TimeIntegrator::BackwardEuler => 1,
+            TimeIntegrator::Bdf2 => 2,
+        }
+    }
+}
+
+/// Tuning knobs of transient analysis — integrator choice, step bounds,
+/// LTE tolerances and controller behaviour. [`TransientOptions::default`]
+/// is a reasonable starting point for logic-style waveforms: BDF2,
+/// `rel_tol = 1e-3`, `abs_tol = 1e-6` V.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Newton-iteration options forwarded to the [`NewtonEngine`].
+    /// Default: [`NewtonOptions::transient`].
+    pub newton: NewtonOptions,
+    /// Integration method for adaptive runs (fixed-step entry points
+    /// always use backward Euler unless called through
+    /// [`solve_transient_fixed`] with BDF2). Default:
+    /// [`TimeIntegrator::Bdf2`].
+    pub integrator: TimeIntegrator,
+    /// First step size of an adaptive run, seconds. `None` derives
+    /// `t_stop / 1000`, clamped into `[dt_min, dt_max]`.
+    pub dt_init: Option<f64>,
+    /// Smallest step the controller may take, seconds. When a step at
+    /// `dt_min` still fails the run aborts with
+    /// [`CircuitError::TimestepTooSmall`]. `None` derives
+    /// `t_stop * 1e-12`. (The final step is allowed below `dt_min` when
+    /// clamping onto `t_stop`.)
+    pub dt_min: Option<f64>,
+    /// Largest step the controller may take, seconds. `None` derives
+    /// `t_stop / 10`.
+    pub dt_max: Option<f64>,
+    /// Relative LTE tolerance on node voltages. Default `1e-3`.
+    pub rel_tol: f64,
+    /// Absolute LTE tolerance on node voltages, volts. Default `1e-6`.
+    pub abs_tol: f64,
+    /// Safety factor of the step controller, in `(0, 1]`. Default `0.9`.
+    pub safety: f64,
+    /// Largest step-growth factor per accepted step. Default `2.0`,
+    /// which also keeps consecutive BDF2 step ratios inside the method's
+    /// zero-stability bound (`1 + √2 ≈ 2.414`).
+    pub max_growth: f64,
+    /// Consecutive rejections (LTE or Newton) tolerated before the run
+    /// aborts. Default `30`.
+    pub max_rejects: usize,
+    /// Hard cap on attempted steps (accepted + rejected), a runaway
+    /// guard for pathological tolerance/step-bound combinations.
+    /// Default `10_000_000`.
+    pub max_steps: usize,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        TransientOptions {
+            newton: NewtonOptions::transient(),
+            integrator: TimeIntegrator::Bdf2,
+            dt_init: None,
+            dt_min: None,
+            dt_max: None,
+            rel_tol: 1e-3,
+            abs_tol: 1e-6,
+            safety: 0.9,
+            max_growth: 2.0,
+            max_rejects: 30,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+impl TransientOptions {
+    /// Resolves the optional step bounds against `t_stop` and validates
+    /// the controller parameters.
+    fn resolve(&self, t_stop: f64) -> Result<(f64, f64, f64), CircuitError> {
+        if !(self.rel_tol >= 0.0 && self.abs_tol >= 0.0 && self.rel_tol + self.abs_tol > 0.0) {
+            return Err(CircuitError::InvalidAnalysis(format!(
+                "LTE tolerances must be non-negative and not both zero \
+                 (rel_tol {}, abs_tol {})",
+                self.rel_tol, self.abs_tol
+            )));
+        }
+        if !(self.safety > 0.0 && self.safety <= 1.0 && self.max_growth > 1.0) {
+            return Err(CircuitError::InvalidAnalysis(format!(
+                "controller needs 0 < safety <= 1 and max_growth > 1 \
+                 (safety {}, max_growth {})",
+                self.safety, self.max_growth
+            )));
+        }
+        let dt_min = self.dt_min.unwrap_or(t_stop * 1e-12);
+        let dt_max = self.dt_max.unwrap_or(t_stop / 10.0).min(t_stop);
+        if !(dt_min > 0.0 && dt_min <= dt_max) {
+            return Err(CircuitError::InvalidAnalysis(format!(
+                "need 0 < dt_min <= dt_max (dt_min {dt_min}, dt_max {dt_max})"
+            )));
+        }
+        let dt_init = self
+            .dt_init
+            .unwrap_or(t_stop / 1000.0)
+            .clamp(dt_min, dt_max);
+        Ok((dt_init, dt_min, dt_max))
+    }
+}
+
+/// Per-run stepping statistics of a transient analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransientStats {
+    /// Accepted time steps (equals `result.len() - 1`).
+    pub accepted: usize,
+    /// Steps rejected because the LTE estimate exceeded tolerance.
+    pub rejected_lte: usize,
+    /// Steps rejected because Newton failed to converge (retried at a
+    /// smaller step size).
+    pub rejected_newton: usize,
+    /// Total Newton iterations across all attempted steps (including
+    /// the extra solves of backward-Euler step doubling).
+    pub newton_iterations: usize,
+    /// Jacobian factorisations performed by the engine.
+    pub factorizations: u64,
+    /// Cumulative multiply–accumulate/divide operations across those
+    /// factorisations.
+    pub factor_ops: u64,
+    /// Times the BDF2 history was discarded and the method restarted
+    /// from backward Euler (after a Newton failure).
+    pub bdf2_restarts: usize,
+}
+
+/// A transient waveform together with the stepping statistics that
+/// produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientRun {
+    /// Time points and states.
+    pub result: TransientResult,
+    /// Accepted/rejected-step and solver-cost counters.
+    pub stats: TransientStats,
 }
 
 /// Runs a backward-Euler transient of duration `t_stop` with fixed step
 /// `dt`, starting from `initial` (or the DC operating point at `t = 0`).
+///
+/// When `t_stop` is not an integer multiple of `dt` the final step is
+/// shortened so the last time point lands exactly on `t_stop`; a `dt`
+/// larger than `t_stop` degenerates to a single step of size `t_stop`.
 ///
 /// # Errors
 ///
@@ -59,9 +281,9 @@ pub fn solve_transient(
 
 /// [`solve_transient`] with explicit [`NewtonOptions`].
 ///
-/// One [`NewtonEngine`] is shared by every backward-Euler step, so the
-/// MNA sparsity pattern is recorded once at the first step and every
-/// later step assembles into preallocated slots and reuses the solver's
+/// One [`NewtonEngine`] is shared by every step, so the MNA sparsity
+/// pattern is recorded once at the first step and every later step
+/// assembles into preallocated slots and reuses the solver's
 /// elimination ordering.
 ///
 /// # Errors
@@ -74,12 +296,264 @@ pub fn solve_transient_with(
     initial: Option<&[f64]>,
     options: &NewtonOptions,
 ) -> Result<TransientResult, CircuitError> {
+    let opts = TransientOptions {
+        newton: *options,
+        integrator: TimeIntegrator::BackwardEuler,
+        ..TransientOptions::default()
+    };
+    solve_transient_fixed(circuit, t_stop, dt, initial, &opts).map(|run| run.result)
+}
+
+/// Fixed-step transient with full [`TransientStats`] and a choice of
+/// integrator (`options.integrator`; BDF2 starts with one backward-Euler
+/// step to build history). No LTE control is performed — every
+/// Newton-converged step is accepted, and a Newton failure aborts the
+/// run. The final step is shortened to land exactly on `t_stop`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidAnalysis`] for non-positive `dt` or
+/// `t_stop` or an invalid initial-state length, and propagates solver
+/// failures at any step.
+pub fn solve_transient_fixed(
+    circuit: &Circuit,
+    t_stop: f64,
+    dt: f64,
+    initial: Option<&[f64]>,
+    options: &TransientOptions,
+) -> Result<TransientRun, CircuitError> {
     if dt <= 0.0 || t_stop <= 0.0 {
         return Err(CircuitError::InvalidAnalysis(format!(
             "t_stop ({t_stop}) and dt ({dt}) must be positive"
         )));
     }
-    let x0 = match initial {
+    let x0 = initial_state(circuit, initial, &options.newton)?;
+    let mut engine = NewtonEngine::new(options.newton);
+    // The small backoff keeps `ceil` from scheduling a degenerate extra
+    // step when t_stop/dt rounds just above an integer (a near-zero
+    // final step would make the companion coefficient 1/h explode).
+    let steps = ((t_stop / dt - 1e-9).ceil() as usize).max(1);
+    let mut time = Vec::with_capacity(steps + 1);
+    let mut states = Vec::with_capacity(steps + 1);
+    time.push(0.0);
+    states.push(x0.clone());
+    let mut stats = TransientStats::default();
+    let mut x = x0;
+    let mut t_prev = 0.0;
+    // (previous-previous point, step that led from it to `x`): BDF2
+    // history, populated after the first accepted step.
+    let mut bdf2_hist: Option<(Vec<f64>, f64)> = None;
+    for k in 1..=steps {
+        // The final step lands exactly on t_stop (shortened when t_stop
+        // is not an integer multiple of dt).
+        let t = if k == steps {
+            t_stop
+        } else {
+            (k as f64 * dt).min(t_stop)
+        };
+        let h = t - t_prev;
+        if h <= 0.0 {
+            break;
+        }
+        let stamp = match (&bdf2_hist, options.integrator) {
+            (Some((prev2, g)), TimeIntegrator::Bdf2) => TransientStamp::bdf2(t, h, *g, &x, prev2),
+            _ => TransientStamp::backward_euler(t, h, &x),
+        };
+        let (nx, it) = engine.newton(circuit, &x, &AnalysisMode::Transient(stamp), 0.0)?;
+        stats.newton_iterations += it;
+        stats.accepted += 1;
+        if options.integrator == TimeIntegrator::Bdf2 {
+            bdf2_hist = Some((x.clone(), h));
+        }
+        x = nx;
+        t_prev = t;
+        time.push(t);
+        states.push(x.clone());
+    }
+    stats.factorizations = engine.total_factorizations();
+    stats.factor_ops = engine.total_factor_ops();
+    Ok(TransientRun {
+        result: TransientResult { time, states },
+        stats,
+    })
+}
+
+/// Adaptive transient: LTE-controlled variable stepping from `t = 0` to
+/// `t_stop`, starting from `initial` (or the DC operating point).
+///
+/// Each attempted step produces a local-truncation-error estimate —
+/// step doubling for backward Euler, the predictor–corrector difference
+/// for BDF2 — which is measured in a weighted RMS norm over the node
+/// voltages (`abs_tol + rel_tol · |v|` per node). Steps with an error
+/// norm above 1 are rejected and retried smaller; accepted steps feed a
+/// PI controller that grows or shrinks the next step within
+/// `[dt_min, dt_max]`. Newton failures shrink the step by 4× and restart
+/// BDF2 from backward Euler. When a step at `dt_min` still fails, the
+/// run aborts with [`CircuitError::TimestepTooSmall`].
+///
+/// # Examples
+///
+/// An RC low-pass charging to 1 V (τ = 1 µs) needs only a few dozen
+/// adaptive steps where a fixed-step run at comparable accuracy takes
+/// thousands:
+///
+/// ```
+/// use cntfet_circuit::prelude::*;
+///
+/// let mut c = Circuit::new();
+/// let vin = c.node("in");
+/// let out = c.node("out");
+/// c.add(VoltageSource::dc("V1", vin, Circuit::ground(), 1.0));
+/// c.add(Resistor::new("R1", vin, out, 1e3));
+/// c.add(Capacitor::new("C1", out, Circuit::ground(), 1e-9));
+/// let run = solve_transient_adaptive(&c, 5e-6, None, &TransientOptions::default())?;
+/// let v_end = *run.result.waveform(out).last().unwrap();
+/// assert!((v_end - 1.0).abs() < 1e-2); // settled after 5 τ
+/// assert!(run.stats.accepted < 500);   // far fewer than 1000+ fixed steps
+/// assert_eq!(run.stats.accepted, run.result.len() - 1);
+/// # Ok::<(), cntfet_circuit::CircuitError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`CircuitError::InvalidAnalysis`] for inconsistent options (bad
+/// tolerances or step bounds, non-positive `t_stop`, wrong
+/// initial-state length), [`CircuitError::TimestepTooSmall`] when the
+/// controller collapses onto `dt_min`, and any solver error of the
+/// initial DC operating point.
+pub fn solve_transient_adaptive(
+    circuit: &Circuit,
+    t_stop: f64,
+    initial: Option<&[f64]>,
+    options: &TransientOptions,
+) -> Result<TransientRun, CircuitError> {
+    if t_stop <= 0.0 {
+        return Err(CircuitError::InvalidAnalysis(format!(
+            "t_stop ({t_stop}) must be positive"
+        )));
+    }
+    let (mut dt, dt_min, dt_max) = options.resolve(t_stop)?;
+    let x0 = initial_state(circuit, initial, &options.newton)?;
+    let n_nodes = circuit.node_count();
+    let mut engine = NewtonEngine::new(options.newton);
+    let mut stats = TransientStats::default();
+    let mut time = vec![0.0];
+    let mut states = vec![x0.clone()];
+    // Accepted history since the last integrator restart, oldest first,
+    // capped at the three points BDF2's predictor needs.
+    let mut hist: Vec<(f64, Vec<f64>)> = vec![(0.0, x0)];
+    let mut prev_err = 1.0f64;
+    let mut rejects_in_a_row = 0usize;
+    let mut attempts = 0usize;
+    // Points this close to t_stop count as arrived: a sliver step below
+    // this would make the companion coefficient 1/h blow up roundoff
+    // past the Newton tolerances.
+    let end_eps = t_stop * 1e-9;
+    loop {
+        let t_n = hist.last().expect("history is never empty").0;
+        if t_stop - t_n <= end_eps {
+            break;
+        }
+        attempts += 1;
+        if attempts > options.max_steps {
+            return Err(CircuitError::InvalidAnalysis(format!(
+                "adaptive transient exceeded max_steps ({}) at t = {t_n:.6e} s",
+                options.max_steps
+            )));
+        }
+        dt = dt.clamp(dt_min, dt_max);
+        // Land the final step exactly on t_stop (may go below dt_min).
+        let final_step = t_n + dt >= t_stop - end_eps;
+        if final_step {
+            dt = t_stop - t_n;
+        }
+        let use_bdf2 = options.integrator == TimeIntegrator::Bdf2 && hist.len() >= 3;
+        let attempt = if use_bdf2 {
+            bdf2_step(&mut engine, circuit, &hist, dt, &mut stats)
+        } else {
+            be_doubled_step(&mut engine, circuit, &hist, dt, &mut stats)
+        };
+        // Controller exponent: estimate order + 1.
+        let k = if use_bdf2 { 3.0 } else { 2.0 };
+        match attempt {
+            Ok((x_new, lte)) => {
+                let err = wrms(
+                    &lte,
+                    &x_new,
+                    &hist.last().expect("non-empty").1,
+                    n_nodes,
+                    options,
+                );
+                if err <= 1.0 {
+                    rejects_in_a_row = 0;
+                    stats.accepted += 1;
+                    let t_new = if final_step { t_stop } else { t_n + dt };
+                    time.push(t_new);
+                    states.push(x_new.clone());
+                    if hist.len() == 3 {
+                        hist.remove(0);
+                    }
+                    hist.push((t_new, x_new));
+                    // PI controller (Hairer's recommendation for stiff
+                    // problems: fac = safety · err^(−0.7/k) · prev^(0.4/k)).
+                    let errc = err.max(1e-10);
+                    let fac = options.safety * errc.powf(-0.7 / k) * prev_err.powf(0.4 / k);
+                    dt *= fac.clamp(0.2, options.max_growth);
+                    prev_err = errc;
+                } else {
+                    stats.rejected_lte += 1;
+                    rejects_in_a_row += 1;
+                    if dt <= dt_min * (1.0 + 1e-9) {
+                        return Err(CircuitError::TimestepTooSmall { t: t_n, dt });
+                    }
+                    // A non-finite norm (overflowing LTE) gives no usable
+                    // magnitude — take the maximum shrink instead.
+                    let fac = if err.is_finite() {
+                        (options.safety * err.powf(-1.0 / k)).clamp(0.1, 0.5)
+                    } else {
+                        0.1
+                    };
+                    dt *= fac;
+                }
+            }
+            Err(CircuitError::NoConvergence { .. }) | Err(CircuitError::SingularSystem(_)) => {
+                stats.rejected_newton += 1;
+                rejects_in_a_row += 1;
+                if dt <= dt_min * (1.0 + 1e-9) {
+                    return Err(CircuitError::TimestepTooSmall { t: t_n, dt });
+                }
+                dt = (dt * 0.25).max(dt_min);
+                // Stale history after a hard failure: restart from BE.
+                if use_bdf2 {
+                    stats.bdf2_restarts += 1;
+                }
+                let last = hist.pop().expect("history is never empty");
+                hist.clear();
+                hist.push(last);
+            }
+            Err(e) => return Err(e),
+        }
+        if rejects_in_a_row > options.max_rejects {
+            let t_n = hist.last().expect("non-empty").0;
+            return Err(CircuitError::TimestepTooSmall { t: t_n, dt });
+        }
+    }
+    stats.factorizations = engine.total_factorizations();
+    stats.factor_ops = engine.total_factor_ops();
+    Ok(TransientRun {
+        result: TransientResult { time, states },
+        stats,
+    })
+}
+
+/// Resolves the starting state: validated caller-provided vector or the
+/// DC operating point.
+fn initial_state(
+    circuit: &Circuit,
+    initial: Option<&[f64]>,
+    newton: &NewtonOptions,
+) -> Result<Vec<f64>, CircuitError> {
+    match initial {
         Some(x) => {
             if x.len() != circuit.unknown_count() {
                 return Err(CircuitError::InvalidAnalysis(format!(
@@ -88,30 +562,115 @@ pub fn solve_transient_with(
                     circuit.unknown_count()
                 )));
             }
-            x.to_vec()
+            Ok(x.to_vec())
         }
-        None => solve_dc_with(circuit, None, options)?.x,
-    };
-    let mut engine = NewtonEngine::new(*options);
-    let steps = (t_stop / dt).ceil() as usize;
-    let mut time = Vec::with_capacity(steps + 1);
-    let mut states = Vec::with_capacity(steps + 1);
-    time.push(0.0);
-    states.push(x0.clone());
-    let mut x = x0;
-    for k in 1..=steps {
-        let t = k as f64 * dt;
-        let mode = AnalysisMode::Transient {
-            dt,
-            t,
-            prev: x.clone(),
-        };
-        let (nx, _) = engine.newton(circuit, &x, &mode, 0.0)?;
-        x = nx;
-        time.push(t);
-        states.push(x.clone());
+        None => Ok(solve_dc_with(circuit, None, newton)?.x),
     }
-    Ok(TransientResult { time, states })
+}
+
+/// Weighted RMS of an LTE estimate over the node-voltage unknowns
+/// (branch currents and CNFET Σ rows are excluded: they live in
+/// different units and the voltages are what the tolerance means).
+fn wrms(lte: &[f64], x_new: &[f64], x_old: &[f64], n_nodes: usize, o: &TransientOptions) -> f64 {
+    if n_nodes == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for i in 0..n_nodes {
+        // The floor keeps the norm finite when abs_tol is 0 and a node
+        // sits at exactly 0 V (a zero-LTE node then contributes 0, not
+        // 0/0 = NaN).
+        let scale =
+            (o.abs_tol + o.rel_tol * x_new[i].abs().max(x_old[i].abs())).max(f64::MIN_POSITIVE);
+        let r = lte[i] / scale;
+        sum += r * r;
+    }
+    (sum / n_nodes as f64).sqrt()
+}
+
+/// One backward-Euler attempt with step-doubling error estimation:
+/// solves the full step and two half steps, returns the Richardson
+/// combination `2·x_half − x_full` (locally second-order) and the LTE
+/// estimate `x_half − x_full` (first-order, conservative).
+fn be_doubled_step(
+    engine: &mut NewtonEngine,
+    circuit: &Circuit,
+    hist: &[(f64, Vec<f64>)],
+    dt: f64,
+    stats: &mut TransientStats,
+) -> Result<(Vec<f64>, Vec<f64>), CircuitError> {
+    let (t_n, x_n) = hist.last().expect("history is never empty");
+    let solve = |engine: &mut NewtonEngine,
+                 stats: &mut TransientStats,
+                 t: f64,
+                 h: f64,
+                 from: &[f64],
+                 guess: &[f64]| {
+        let stamp = TransientStamp::backward_euler(t, h, from);
+        let r = engine.newton(circuit, guess, &AnalysisMode::Transient(stamp), 0.0);
+        if let Ok((_, it)) = &r {
+            stats.newton_iterations += *it;
+        } else {
+            stats.newton_iterations += engine.options().max_iter;
+        }
+        r.map(|(x, _)| x)
+    };
+    let x_full = solve(engine, stats, t_n + dt, dt, x_n, x_n)?;
+    let x_h1 = solve(engine, stats, t_n + 0.5 * dt, 0.5 * dt, x_n, x_n)?;
+    let x_h2 = solve(engine, stats, t_n + dt, 0.5 * dt, &x_h1, &x_full)?;
+    let lte: Vec<f64> = x_h2.iter().zip(&x_full).map(|(h, f)| h - f).collect();
+    let x_acc: Vec<f64> = x_h2.iter().zip(&x_full).map(|(h, f)| 2.0 * h - f).collect();
+    Ok((x_acc, lte))
+}
+
+/// One variable-step BDF2 attempt: quadratic-extrapolation predictor
+/// through the last three accepted points, implicit corrector, and the
+/// scaled predictor–corrector difference as the LTE estimate.
+fn bdf2_step(
+    engine: &mut NewtonEngine,
+    circuit: &Circuit,
+    hist: &[(f64, Vec<f64>)],
+    dt: f64,
+    stats: &mut TransientStats,
+) -> Result<(Vec<f64>, Vec<f64>), CircuitError> {
+    let [(t2, x2), (t1, x1), (t0, x0)] = hist else {
+        unreachable!("bdf2_step requires exactly three history points");
+    };
+    let h = dt;
+    let g = t0 - t1;
+    let f = t1 - t2;
+    let t = t0 + h;
+    // Lagrange extrapolation of the last three points to the new time.
+    let c2 = ((t - t1) * (t - t0)) / ((t2 - t1) * (t2 - t0));
+    let c1 = ((t - t2) * (t - t0)) / ((t1 - t2) * (t1 - t0));
+    let c0 = ((t - t2) * (t - t1)) / ((t0 - t2) * (t0 - t1));
+    let pred: Vec<f64> = x0
+        .iter()
+        .zip(x1)
+        .zip(x2)
+        .map(|((&a, &b), &c)| c0 * a + c1 * b + c2 * c)
+        .collect();
+    let stamp = TransientStamp::bdf2(t, h, g, x0, x1);
+    let r = engine.newton(circuit, &pred, &AnalysisMode::Transient(stamp), 0.0);
+    if let Ok((_, it)) = &r {
+        stats.newton_iterations += *it;
+    } else {
+        stats.newton_iterations += engine.options().max_iter;
+    }
+    let x_new = r.map(|(x, _)| x)?;
+    // Error-constant split of the predictor–corrector difference: the
+    // corrector's solution-error constant is C2 = h²(h+g)²/(6(2h+g)),
+    // the predictor's Cp = h(h+g)(h+g+f)/6, both multiplying y'''.
+    // LTE ≈ C2/(C2+Cp) · (x − pred); uniform steps give the classic 2/11.
+    let c_corr = h * h * (h + g) * (h + g) / (6.0 * (2.0 * h + g));
+    let c_pred = h * (h + g) * (h + g + f) / 6.0;
+    let gamma = c_corr / (c_corr + c_pred);
+    let lte: Vec<f64> = x_new
+        .iter()
+        .zip(&pred)
+        .map(|(x, p)| gamma * (x - p))
+        .collect();
+    Ok((x_new, lte))
 }
 
 /// Convenience: DC operating point (re-exported through the prelude).
@@ -212,5 +771,209 @@ mod tests {
         let w = res.waveform(out);
         let peak = w.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         assert!((peak - 1.0).abs() < 0.01, "peak {peak}");
+    }
+
+    #[test]
+    fn fixed_step_lands_exactly_on_t_stop() {
+        // t_stop is not an integer multiple of dt: the last step is
+        // shortened, never overshot.
+        let (ckt, out) = rc_circuit(1e3, 1e-9);
+        let res = solve_transient(&ckt, 1e-6, 3e-7, None).unwrap();
+        assert_eq!(res.time.len(), 5); // 0, .3, .6, .9, 1.0 µs
+        assert_eq!(*res.time.last().unwrap(), 1e-6);
+        let v = *res.waveform(out).last().unwrap();
+        let expect = 1.0 - (-1e-6_f64 / 1e-6).exp();
+        assert!((v - expect).abs() < 0.1, "{v} vs {expect}");
+    }
+
+    #[test]
+    fn dt_larger_than_t_stop_is_one_clamped_step() {
+        let (ckt, _) = rc_circuit(1e3, 1e-9);
+        let res = solve_transient(&ckt, 1e-6, 5e-6, None).unwrap();
+        assert_eq!(res.time, vec![0.0, 1e-6]);
+    }
+
+    #[test]
+    fn adaptive_rc_uses_far_fewer_steps_than_fixed() {
+        let (r, c) = (1e3, 1e-9); // tau = 1 µs
+        let tau = r * c;
+        let (ckt, out) = rc_circuit(r, c);
+        let run =
+            solve_transient_adaptive(&ckt, 5.0 * tau, None, &TransientOptions::default()).unwrap();
+        let w = run.result.waveform(out);
+        for (t, v) in run.result.time.iter().zip(&w) {
+            let expect = 1.0 - (-t / tau).exp();
+            assert!(
+                (v - expect).abs() < 5e-3,
+                "t = {t}: {v} vs analytic {expect}"
+            );
+        }
+        assert_eq!(*run.result.time.last().unwrap(), 5.0 * tau);
+        assert_eq!(run.stats.accepted, run.result.len() - 1);
+        assert!(
+            run.stats.accepted < 500,
+            "adaptive should be coarse: {} steps",
+            run.stats.accepted
+        );
+        assert!(run.stats.factorizations > 0 && run.stats.factor_ops > 0);
+    }
+
+    #[test]
+    fn be_and_bdf2_agree_with_analytic_rc_response() {
+        // Tight tolerances: the accepted solutions of both integrators
+        // (Richardson-extrapolated BE, BDF2) track the analytic
+        // exponential to ≤ 1e-6 everywhere. The per-step tolerances
+        // differ because BE's accepted value is far more accurate than
+        // its conservative first-order estimate, while BDF2's global
+        // error genuinely accumulates at ~n_steps × per-step tolerance.
+        let (r, c) = (1e3, 1e-9); // tau = 1 µs
+        let tau = r * c;
+        let (ckt, out) = rc_circuit(r, c);
+        let tight = |integrator| {
+            let (rel_tol, abs_tol) = match integrator {
+                TimeIntegrator::BackwardEuler => (1e-7, 1e-10),
+                TimeIntegrator::Bdf2 => (2e-9, 1e-11),
+            };
+            TransientOptions {
+                integrator,
+                rel_tol,
+                abs_tol,
+                ..TransientOptions::default()
+            }
+        };
+        let mut finals = Vec::new();
+        for integ in [TimeIntegrator::BackwardEuler, TimeIntegrator::Bdf2] {
+            let run = solve_transient_adaptive(&ckt, 2.0 * tau, None, &tight(integ)).unwrap();
+            let w = run.result.waveform(out);
+            let max_err = run
+                .result
+                .time
+                .iter()
+                .zip(&w)
+                .map(|(t, v)| (v - (1.0 - (-t / tau).exp())).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_err <= 1e-6,
+                "{integ:?}: max |v - analytic| = {max_err:.3e}"
+            );
+            finals.push(*w.last().unwrap());
+        }
+        assert!(
+            (finals[0] - finals[1]).abs() <= 1e-6,
+            "BE vs BDF2 at t_stop: {} vs {}",
+            finals[0],
+            finals[1]
+        );
+    }
+
+    #[test]
+    fn dt_min_collision_gives_up_cleanly() {
+        // dt_min == dt_max == 10 τ: the only allowed step is far too
+        // coarse for the default tolerance and the controller cannot
+        // shrink it, so the run must abort with TimestepTooSmall.
+        let (ckt, _) = rc_circuit(1e3, 1e-9); // tau = 1 µs
+        let opts = TransientOptions {
+            dt_min: Some(1e-5),
+            dt_max: Some(1e-5),
+            ..TransientOptions::default()
+        };
+        let err = solve_transient_adaptive(&ckt, 4e-5, None, &opts).unwrap_err();
+        assert!(
+            matches!(err, CircuitError::TimestepTooSmall { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_rejects_invalid_options() {
+        let (ckt, _) = rc_circuit(1e3, 1e-9);
+        let bad_tol = TransientOptions {
+            rel_tol: 0.0,
+            abs_tol: 0.0,
+            ..TransientOptions::default()
+        };
+        assert!(solve_transient_adaptive(&ckt, 1e-6, None, &bad_tol).is_err());
+        let bad_bounds = TransientOptions {
+            dt_min: Some(1e-6),
+            dt_max: Some(1e-9),
+            ..TransientOptions::default()
+        };
+        assert!(solve_transient_adaptive(&ckt, 1e-6, None, &bad_bounds).is_err());
+        assert!(solve_transient_adaptive(&ckt, -1.0, None, &TransientOptions::default()).is_err());
+    }
+
+    #[test]
+    fn crossings_are_interpolated_and_directed() {
+        let (r, c) = (1e3, 1e-9); // tau = 1 µs
+        let tau = r * c;
+        let (ckt, out) = rc_circuit(r, c);
+        let res = solve_transient(&ckt, 5.0 * tau, tau / 400.0, None).unwrap();
+        // The charging exponential crosses 0.5 exactly once, rising, at
+        // t = tau·ln 2. The residual offset is backward Euler's own
+        // first-order bias (~dt/2), so the interpolated crossing must
+        // land well within one grid step of the analytic time.
+        let xs = res.crossings(out, 0.5);
+        assert_eq!(xs.len(), 1);
+        let (t, rising) = xs[0];
+        assert!(rising);
+        assert!(
+            (t - tau * 2.0_f64.ln()).abs() < tau / 300.0,
+            "crossing at {t:.4e} vs ln2·tau {:.4e}",
+            tau * 2.0_f64.ln()
+        );
+        // Ground never crosses a positive level.
+        assert!(res.crossings(Circuit::ground(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn dt_changes_revalue_but_never_repattern() {
+        // An engine shared across steps of wildly different sizes and
+        // both integration stencils must record the Jacobian sparsity
+        // pattern exactly once: companion stamps scale with a0, they
+        // never add or remove entries.
+        use crate::element::{AnalysisMode, TransientStamp};
+        let (ckt, _) = rc_circuit(1e3, 1e-9);
+        let mut engine = NewtonEngine::new(NewtonOptions::transient());
+        let x = vec![0.0; ckt.unknown_count()];
+        let mut state = x.clone();
+        for (i, dt) in [1e-9, 1e-12, 3.7e-8, 2.5e-10].into_iter().enumerate() {
+            let t = (i + 1) as f64 * 1e-7;
+            let stamp = if i % 2 == 0 {
+                TransientStamp::backward_euler(t, dt, &state)
+            } else {
+                TransientStamp::bdf2(t, dt, 2.0 * dt, &state, &x)
+            };
+            let (nx, _) = engine
+                .newton(&ckt, &state, &AnalysisMode::Transient(stamp), 0.0)
+                .unwrap();
+            state = nx;
+        }
+        assert_eq!(engine.pattern_builds(), 1, "dt/method changes re-pattern");
+    }
+
+    #[test]
+    fn fixed_bdf2_matches_be_on_rc() {
+        // Fixed-grid BDF2 (BE start-up step) should be at least as
+        // accurate as fixed BE at the same step size.
+        let (r, c) = (1e3, 1e-9);
+        let tau = r * c;
+        let (ckt, out) = rc_circuit(r, c);
+        let max_err = |integrator| {
+            let opts = TransientOptions {
+                integrator,
+                ..TransientOptions::default()
+            };
+            let run = solve_transient_fixed(&ckt, 3.0 * tau, tau / 100.0, None, &opts).unwrap();
+            let w = run.result.waveform(out);
+            run.result
+                .time
+                .iter()
+                .zip(&w)
+                .map(|(t, v)| (v - (1.0 - (-t / tau).exp())).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let be = max_err(TimeIntegrator::BackwardEuler);
+        let bdf2 = max_err(TimeIntegrator::Bdf2);
+        assert!(bdf2 < be / 5.0, "bdf2 {bdf2:.3e} vs be {be:.3e}");
     }
 }

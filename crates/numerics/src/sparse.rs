@@ -20,6 +20,38 @@
 //! Both solvers count the multiply–accumulate/divide operations of their
 //! most recent factorisation ([`LinearSolver::factor_ops`]), so the
 //! sparse-vs-dense win is measurable, not just assumed.
+//!
+//! # Pattern-freeze and replay invariants
+//!
+//! The fast paths of this module rely on three invariants; violating
+//! them is a bug in the *caller*, and the module fails loudly rather
+//! than silently degrading:
+//!
+//! 1. **The recorded pattern is a superset of every later assembly.**
+//!    After [`PatternAssembler::finish`] compiles the pattern, an
+//!    [`PatternAssembler::add`] to an entry outside it panics — the
+//!    assembled structure changed without
+//!    [`PatternAssembler::invalidate`]. Callers must therefore record
+//!    every entry that can *ever* be structurally nonzero, pushing an
+//!    explicit `0.0` for entries whose value happens to vanish at the
+//!    recording point (e.g. a gmin diagonal recorded at gmin = 0, or a
+//!    companion-model conductance before the step size is known).
+//! 2. **The elimination plan is keyed on the pattern, not the values.**
+//!    [`SparseLuSolver::factor`] replays its frozen pivot order and
+//!    fill-in pattern whenever the incoming matrix shares the recorded
+//!    [`SparsityPattern`] (pointer-equal `Arc` or structurally equal
+//!    contents). Any *value* change — new Newton iterate, new sweep
+//!    point, new transient step size — takes the replay path: no pivot
+//!    search, no fill discovery, no allocation.
+//! 3. **Replay self-checks its pivots.** A frozen pivot whose magnitude
+//!    collapses below `REPIVOT_RATIO` (10⁻¹²) of its row's U-part
+//!    maximum — or becomes zero or non-finite — aborts the replay, and
+//!    `factor` transparently redoes the full Markowitz-threshold
+//!    pivoting factorisation and freezes the new plan. Callers never
+//!    see this as an error unless the matrix is genuinely singular; the
+//!    [`SparseLuSolver::symbolic_factor_count`] /
+//!    [`SparseLuSolver::refactor_count`] counters make the fallback
+//!    observable in benchmarks.
 
 use crate::error::NumericsError;
 use crate::linalg::Matrix;
