@@ -25,8 +25,8 @@ fn bench_inverter_vtc(c: &mut Criterion) {
             ckt.add(VoltageSource::dc("VDD", vdd, Circuit::ground(), t.vdd));
             ckt.add(VoltageSource::dc("VIN", vin, Circuit::ground(), 0.0));
             add_inverter(&mut ckt, &t, "inv", vin, out, vdd);
-            let vals: Vec<f64> = (0..33).map(|i| t.vdd * i as f64 / 32.0).collect();
-            black_box(dc_sweep(&mut ckt, "VIN", &vals).expect("vtc sweep"))
+            let spec = SweepSpec::linspace("VIN", 0.0, t.vdd, 33);
+            black_box(Simulator::new(ckt).dc_sweep(&spec).expect("vtc sweep"))
         })
     });
 }
@@ -46,7 +46,17 @@ fn bench_ring_transient(c: &mut Criterion) {
             if let Some(i) = nodes[0].unknown_index() {
                 x0[i] = t.vdd;
             }
-            black_box(solve_transient(&ckt, 2e-9, 1e-11, Some(&x0)).expect("ring transient"))
+            let spec = TransientSpec::fixed(2e-9, 1e-11)
+                .with_options(TransientOptions {
+                    integrator: TimeIntegrator::BackwardEuler,
+                    ..TransientOptions::default()
+                })
+                .with_initial(x0);
+            black_box(
+                Simulator::new(ckt)
+                    .transient(&spec)
+                    .expect("ring transient"),
+            )
         })
     });
     group.finish();

@@ -1,6 +1,6 @@
 //! Demonstrates the batched evaluation engine: a dense bias grid pushed
 //! through [`cntfet_core::batch`] sequentially vs in parallel, and a VTC
-//! corner family pushed through [`dc_sweep_many`].
+//! corner family pushed through [`cntfet_circuit::sim::sweep_many`].
 //!
 //! This is the "large numbers of such devices" scale-up of the paper's
 //! Table I story: the compact model is already orders of magnitude
@@ -52,23 +52,23 @@ fn main() {
     );
 
     // VTC corner family: 16 inverter supply corners, one warm-started
-    // sweep each, fanned out with dc_sweep_many.
+    // sweep each, fanned out with sim::sweep_many.
     let shared = Arc::new(model);
     let corners: Vec<f64> = linspace(0.5, 0.95, 16);
     let points_per_vtc = 65;
     println!(
-        "\nInverter VTC corners: {} sweeps x {} points via dc_sweep_many",
+        "\nInverter VTC corners: {} sweeps x {} points via sim::sweep_many",
         corners.len(),
         points_per_vtc,
     );
     let t_vtc = time_loops(1, || {
-        let jobs: Vec<SweepJob> = corners
+        let jobs: Vec<SweepSpec> = corners
             .iter()
-            .map(|&vdd| SweepJob::new("VIN", linspace(0.0, vdd, points_per_vtc)))
+            .map(|&vdd| SweepSpec::new("VIN", linspace(0.0, vdd, points_per_vtc)))
             .collect();
         // Job k's circuit really runs at corner k's supply; its sweep
         // covers VIN across that supply's full rail.
-        let build = |k: usize, _job: &SweepJob| {
+        let build = |k: usize, _job: &SweepSpec| {
             let tech = CntTechnology::symmetric(shared.clone(), corners[k]);
             let mut ckt = Circuit::new();
             let vdd = ckt.node("vdd");
@@ -79,7 +79,8 @@ fn main() {
             add_inverter(&mut ckt, &tech, "inv", vin, out, vdd);
             ckt
         };
-        let results = dc_sweep_many(build, &jobs).expect("vtc corner family");
+        let results =
+            sweep_many(build, &jobs, &NewtonOptions::default()).expect("vtc corner family");
         assert_eq!(results.len(), jobs.len());
     });
     println!("  family completed in {:.1} ms", 1e3 * t_vtc);

@@ -8,8 +8,8 @@
 //! * per-factorisation operation counts (dense formula vs the sparse
 //!   solver's measured multiply–accumulate counter),
 //! * wall-clock assembly / factor / solve times for both backends,
-//! * full `solve_dc` wall-clock for both backends and the maximum node
-//!   voltage disagreement between them.
+//! * full DC operating-point wall-clock for both backends and the
+//!   maximum node voltage disagreement between them.
 //!
 //! Chain sizes default to 2…256 (doubling); pass explicit sizes as
 //! arguments for a quicker run (CI smoke-tests `netlist_scaling 2 8`).
@@ -103,7 +103,9 @@ fn main() {
     let mut seed: Option<(usize, Vec<f64>)> = None;
     if sizes.first().is_some_and(|&n| n > 8) {
         let small = chain_circuit(&tech, 4);
-        let sol = solve_dc_with(&small, None, &NewtonOptions::default()).expect("bootstrap dc");
+        let sol = NewtonEngine::new(NewtonOptions::default())
+            .dc_operating_point(&small, None)
+            .expect("bootstrap dc");
         seed = Some((4, sol.x));
     }
 
@@ -129,13 +131,19 @@ fn main() {
             .map(|(m, x)| extend_guess(x, *m, n));
         let mut sol_dense = None;
         let dc_dense_ms = time_ms(|| {
-            sol_dense =
-                Some(solve_dc_with(&circuit, guess.as_deref(), &dense_opts).expect("dense dc"));
+            sol_dense = Some(
+                NewtonEngine::new(dense_opts)
+                    .dc_operating_point(&circuit, guess.as_deref())
+                    .expect("dense dc"),
+            );
         });
         let mut sol_sparse = None;
         let dc_sparse_ms = time_ms(|| {
-            sol_sparse =
-                Some(solve_dc_with(&circuit, guess.as_deref(), &sparse_opts).expect("sparse dc"));
+            sol_sparse = Some(
+                NewtonEngine::new(sparse_opts)
+                    .dc_operating_point(&circuit, guess.as_deref())
+                    .expect("sparse dc"),
+            );
         });
         let sol_dense = sol_dense.expect("dense solution");
         let sol_sparse = sol_sparse.expect("sparse solution");

@@ -97,6 +97,9 @@ fn main() {
         .map(|a| a.parse::<f64>().expect("t_stop must be a number (ns)") * 1e-9)
         .unwrap_or(4e-9);
     let (ckt, stages, x0, vdd) = ring_circuit();
+    // One session for the whole ladder: the MNA pattern and solver
+    // ordering are recorded once and reused by every run.
+    let mut sim = Simulator::new(ckt);
     let mid = vdd / 2.0;
     let be = TransientOptions {
         integrator: TimeIntegrator::BackwardEuler,
@@ -114,7 +117,10 @@ fn main() {
     let ladder: Vec<f64> = vec![1e-12, 0.5e-12, 0.25e-12, 0.125e-12, 0.0625e-12];
     let mut fixed_rows = Vec::new();
     for &dt in &ladder {
-        let run = solve_transient_fixed(&ckt, t_stop, dt, Some(&x0), &be).expect("fixed run");
+        let spec = TransientSpec::fixed(t_stop, dt)
+            .with_options(be)
+            .with_initial(x0.clone());
+        let run = sim.transient(&spec).expect("fixed run");
         let p = period(&run.result, stages[0], mid, t_stop / 2.0)
             .unwrap_or_else(|| panic!("no oscillation at fixed dt = {dt:.3e}"));
         fixed_rows.push(Row {
@@ -164,8 +170,10 @@ fn main() {
         dt_max: Some(50e-12),
         ..TransientOptions::default()
     };
-    let run =
-        solve_transient_adaptive(&ckt, t_stop, Some(&x0), &adaptive_opts).expect("adaptive run");
+    let spec = TransientSpec::adaptive(t_stop)
+        .with_options(adaptive_opts)
+        .with_initial(x0.clone());
+    let run = sim.transient(&spec).expect("adaptive run");
     let p_adaptive = period(&run.result, stages[0], mid, t_stop / 2.0)
         .expect("no oscillation in the adaptive run");
     let adaptive_row = Row {

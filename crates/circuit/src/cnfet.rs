@@ -221,13 +221,20 @@ impl Element for CnfetElement {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dc::solve_dc;
+    use crate::dc::Solution;
     use crate::element::VoltageSource;
+    use crate::engine::{NewtonEngine, NewtonOptions};
     use crate::netlist::Circuit;
     use cntfet_reference::DeviceParams;
 
     fn model() -> Arc<CompactCntFet> {
         Arc::new(CompactCntFet::model2(DeviceParams::paper_default()).unwrap())
+    }
+
+    fn solve_dc(c: &Circuit) -> Solution {
+        NewtonEngine::new(NewtonOptions::default())
+            .dc_operating_point(c, None)
+            .unwrap()
     }
 
     fn single_device_circuit(vg: f64, vd: f64, pol: Polarity) -> (Circuit, NodeId, usize) {
@@ -254,7 +261,7 @@ mod tests {
         let m = model();
         for &(vg, vd) in &[(0.3, 0.2), (0.5, 0.4), (0.6, 0.6)] {
             let (c, _, sigma) = single_device_circuit(vg, vd, Polarity::N);
-            let sol = solve_dc(&c, None).unwrap();
+            let sol = solve_dc(&c);
             let expect = m.vsc(vg, vd).unwrap();
             assert!(
                 (sol.x[sigma] - expect).abs() < 1e-6,
@@ -268,7 +275,7 @@ mod tests {
     fn dc_drain_current_matches_compact_model() {
         let m = model();
         let (c, _, _) = single_device_circuit(0.5, 0.4, Polarity::N);
-        let sol = solve_dc(&c, None).unwrap();
+        let sol = solve_dc(&c);
         // VD branch current = −I_D (source delivers the drain current).
         let bases = c.extra_var_bases();
         let i_vd = sol.x[bases[0]];
@@ -284,12 +291,12 @@ mod tests {
         let mn = {
             let (c, _, _) = single_device_circuit(0.5, 0.4, Polarity::N);
             let bases = c.extra_var_bases();
-            solve_dc(&c, None).unwrap().x[bases[0]]
+            solve_dc(&c).x[bases[0]]
         };
         let mp = {
             let (c, _, _) = single_device_circuit(-0.5, -0.4, Polarity::P);
             let bases = c.extra_var_bases();
-            solve_dc(&c, None).unwrap().x[bases[0]]
+            solve_dc(&c).x[bases[0]]
         };
         assert!(
             (mn + mp).abs() < 1e-9 + 1e-6 * mn.abs(),
@@ -300,7 +307,7 @@ mod tests {
     #[test]
     fn zero_bias_gives_zero_current() {
         let (c, _, _) = single_device_circuit(0.0, 0.0, Polarity::N);
-        let sol = solve_dc(&c, None).unwrap();
+        let sol = solve_dc(&c);
         let bases = c.extra_var_bases();
         assert!(sol.x[bases[0]].abs() < 1e-12);
     }

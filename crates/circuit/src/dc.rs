@@ -1,8 +1,10 @@
 //! Nonlinear DC operating-point solver: damped Newton with a gmin ramp.
 //!
 //! The iteration itself lives in [`crate::engine`]; this module keeps
-//! the stable entry points ([`solve_dc`], [`solve_dc_with`]) and the
-//! [`Solution`] type.
+//! the legacy entry points ([`solve_dc`], [`solve_dc_with`] — now
+//! deprecated wrappers over a throwaway engine) and the [`Solution`]
+//! type. New code should call [`crate::sim::Simulator::op`], which
+//! additionally shares solver caches and warm starts across analyses.
 
 use crate::engine::{NewtonEngine, NewtonOptions};
 use crate::error::CircuitError;
@@ -36,7 +38,13 @@ impl Solution {
 /// Returns [`CircuitError::NoConvergence`] if even the gmin ramp fails,
 /// or [`CircuitError::SingularSystem`] for structurally singular circuits
 /// (floating nodes without any DC path).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `sim::Simulator` session and call `op()` so the solver \
+            caches and operating point are shared across analyses"
+)]
 pub fn solve_dc(circuit: &Circuit, initial: Option<&[f64]>) -> Result<Solution, CircuitError> {
+    #[allow(deprecated)]
     solve_dc_with(circuit, initial, &NewtonOptions::default())
 }
 
@@ -44,13 +52,18 @@ pub fn solve_dc(circuit: &Circuit, initial: Option<&[f64]>) -> Result<Solution, 
 /// solver selection).
 ///
 /// For repeated solves of one circuit (sweeps, bias stepping), build a
-/// [`NewtonEngine`] once and call
-/// [`NewtonEngine::dc_operating_point`] directly so the sparsity pattern
-/// and solver ordering are reused across solves.
+/// [`crate::sim::Simulator`] session (or a [`NewtonEngine`] directly)
+/// so the sparsity pattern and solver ordering are reused across
+/// solves.
 ///
 /// # Errors
 ///
 /// Same as [`solve_dc`].
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `sim::Simulator` session with `Simulator::with_options` \
+            and call `op()`"
+)]
 pub fn solve_dc_with(
     circuit: &Circuit,
     initial: Option<&[f64]>,
@@ -61,6 +74,11 @@ pub fn solve_dc_with(
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the deprecated wrappers on purpose: legacy
+    // entry points must keep their exact behaviour on top of the
+    // session cores.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::element::{CurrentSource, Resistor, VoltageSource};
     use crate::engine::SolverKind;

@@ -212,6 +212,23 @@ pub trait Element: fmt::Debug {
     fn set_value(&mut self, _value: f64) -> bool {
         false
     }
+
+    /// `true` when this element is a drivable source — the targets of
+    /// sweep and AC requests. Lets analyses validate a requested source
+    /// name up front (with the full list of candidates in the error)
+    /// instead of failing deep inside a solve.
+    fn is_source(&self) -> bool {
+        false
+    }
+
+    /// Adds this element's *unit* small-signal stimulus to the AC
+    /// right-hand side: the linearised system is `(G + jωC)·X = −∂F/∂u`,
+    /// so a source contributes `−∂F/∂u` for a unit phasor `u = 1` on its
+    /// drive value. Returns `false` (leaving `rhs` untouched) when the
+    /// element cannot be AC-driven.
+    fn ac_stimulus(&self, _extra_base: usize, _rhs: &mut [f64]) -> bool {
+        false
+    }
 }
 
 /// A linear resistor.
@@ -444,6 +461,17 @@ impl Element for VoltageSource {
         self.waveform = Waveform::Dc(value);
         true
     }
+
+    fn is_source(&self) -> bool {
+        true
+    }
+
+    fn ac_stimulus(&self, extra: usize, rhs: &mut [f64]) -> bool {
+        // Constraint row: F = V(+) − V(−) − u, so ∂F/∂u = −1 and the
+        // unit-stimulus right-hand side gets +1 in the branch row.
+        rhs[extra] += 1.0;
+        true
+    }
 }
 
 /// An ideal current source pushing `amps` from `from` into `to`.
@@ -480,6 +508,21 @@ impl Element for CurrentSource {
 
     fn set_value(&mut self, value: f64) -> bool {
         self.amps = value;
+        true
+    }
+
+    fn is_source(&self) -> bool {
+        true
+    }
+
+    fn ac_stimulus(&self, _extra: usize, rhs: &mut [f64]) -> bool {
+        // F gains +u at `from` and −u at `to`; rhs = −∂F/∂u.
+        if let Some(i) = self.from.unknown_index() {
+            rhs[i] -= 1.0;
+        }
+        if let Some(i) = self.to.unknown_index() {
+            rhs[i] += 1.0;
+        }
         true
     }
 }

@@ -129,7 +129,6 @@ struct Cache {
     circuit_id: u64,
     revision: u64,
     unknowns: usize,
-    transient: bool,
     sparse: bool,
     asm: PatternAssembler,
     solver: Box<dyn LinearSolver>,
@@ -138,15 +137,22 @@ struct Cache {
 
 /// The reusable damped-Newton core.
 ///
-/// Create one engine per solve context (a DC solve, a whole sweep, a
-/// whole transient run) and feed it the same circuit repeatedly: the
-/// sparsity pattern, solver ordering and work buffers persist across
-/// calls. Engines are cheap to create, hold no circuit reference, and
-/// are independent — parallel sweep jobs each own one.
+/// Create one engine per solve context (a [`crate::sim::Simulator`]
+/// session, a whole sweep, a whole transient run) and feed it the same
+/// circuit repeatedly: the sparsity pattern, solver ordering and work
+/// buffers persist across calls. The DC and transient analysis kinds
+/// each own a cache slot, so a session that alternates between
+/// operating points and transient/AC work (the normal rhythm of a
+/// bias-then-analyse flow) never thrashes its patterns. Engines are
+/// cheap to create, hold no circuit reference, and are independent —
+/// parallel sweep jobs each own one.
 #[derive(Debug)]
 pub struct NewtonEngine {
     opts: NewtonOptions,
-    cache: Option<Cache>,
+    /// One cache per analysis kind: `[DC, transient]`.
+    caches: [Option<Cache>; 2],
+    /// Index into `caches` of the most recently ensured kind.
+    active: usize,
     residual: Vec<f64>,
     pattern_builds: usize,
     factorizations: u64,
@@ -158,7 +164,8 @@ impl NewtonEngine {
     pub fn new(opts: NewtonOptions) -> Self {
         NewtonEngine {
             opts,
-            cache: None,
+            caches: [None, None],
+            active: 0,
             residual: Vec::new(),
             pattern_builds: 0,
             factorizations: 0,
@@ -166,26 +173,43 @@ impl NewtonEngine {
         }
     }
 
+    fn cache(&self) -> Option<&Cache> {
+        self.caches[self.active].as_ref()
+    }
+
     /// The options this engine runs with.
     pub fn options(&self) -> &NewtonOptions {
         &self.opts
     }
 
+    /// Replaces the engine's options in place. A long-lived engine (e.g.
+    /// inside a [`crate::sim::Simulator`] session) uses this to honour
+    /// per-analysis Newton settings without discarding its caches: the
+    /// cached pattern and solver survive unless the new options change
+    /// the solver selection for the current circuit, in which case the
+    /// next solve transparently rebuilds them.
+    pub fn set_options(&mut self, opts: NewtonOptions) {
+        self.opts = opts;
+    }
+
     /// How many times this engine has (re)built a sparsity pattern —
     /// 1 after the first solve, +1 per structural change of the circuit
-    /// or switch of analysis kind.
+    /// and +1 the first time each further analysis kind (DC vs
+    /// transient) is used. The two kinds cache independently, so
+    /// alternating between them does not rebuild.
     pub fn pattern_builds(&self) -> usize {
         self.pattern_builds
     }
 
-    /// Name of the linear solver currently cached, if any.
+    /// Name of the linear solver cached for the most recently used
+    /// analysis kind, if any.
     pub fn solver_name(&self) -> Option<&'static str> {
-        self.cache.as_ref().map(|c| c.solver.name())
+        self.cache().map(|c| c.solver.name())
     }
 
     /// Operation count of the most recent factorisation (0 before any).
     pub fn last_factor_ops(&self) -> u64 {
-        self.cache.as_ref().map_or(0, |c| c.solver.factor_ops())
+        self.cache().map_or(0, |c| c.solver.factor_ops())
     }
 
     /// Total number of Jacobian factorisations performed over this
@@ -212,11 +236,11 @@ impl NewtonEngine {
             SolverKind::Sparse => true,
             SolverKind::Auto => unknowns >= self.opts.sparse_threshold,
         };
-        let fresh = !self.cache.as_ref().is_some_and(|c| {
+        self.active = usize::from(transient);
+        let fresh = !self.cache().is_some_and(|c| {
             c.circuit_id == circuit.id()
                 && c.revision == revision
                 && c.unknowns == unknowns
-                && c.transient == transient
                 && c.sparse == sparse
         });
         if fresh {
@@ -225,27 +249,27 @@ impl NewtonEngine {
             } else {
                 Box::new(DenseLuSolver::new())
             };
-            self.cache = Some(Cache {
+            self.caches[self.active] = Some(Cache {
                 circuit_id: circuit.id(),
                 revision,
                 unknowns,
-                transient,
                 sparse,
                 asm: PatternAssembler::new(unknowns, unknowns),
                 solver,
                 bases: circuit.extra_var_bases(),
             });
             self.pattern_builds += 1;
-            if self.residual.len() != unknowns {
-                self.residual = vec![0.0; unknowns];
-            }
+        }
+        if self.residual.len() != unknowns {
+            self.residual = vec![0.0; unknowns];
         }
     }
 
     /// Assembles `F(x)` and `J(x)` into the engine's reused buffers.
     fn assemble_into(&mut self, circuit: &Circuit, x: &[f64], mode: &AnalysisMode, gmin: f64) {
         self.ensure_cache(circuit, matches!(mode, AnalysisMode::Transient(_)));
-        let cache = self.cache.as_mut().expect("cache ensured above");
+        let active = self.active;
+        let cache = self.caches[active].as_mut().expect("cache ensured above");
         self.residual.iter_mut().for_each(|v| *v = 0.0);
         cache.asm.begin();
         {
@@ -287,7 +311,7 @@ impl NewtonEngine {
         gmin: f64,
     ) -> (&[f64], &CsrMatrix) {
         self.assemble_into(circuit, x, mode, gmin);
-        let cache = self.cache.as_ref().expect("cache ensured by assemble");
+        let cache = self.cache().expect("cache ensured by assemble");
         (
             &self.residual,
             cache.asm.matrix().expect("assembly finished"),
@@ -345,10 +369,10 @@ impl NewtonEngine {
                 return Ok((x, it));
             }
             let dx = {
-                let cache = self.cache.as_mut().expect("assembled above");
                 for (nf, f) in neg_f.iter_mut().zip(&self.residual) {
                     *nf = -f;
                 }
+                let cache = self.caches[self.active].as_mut().expect("assembled above");
                 let a = cache.asm.matrix().expect("assembled above");
                 let dx = cache
                     .solver
@@ -575,6 +599,32 @@ mod tests {
         let sa2 = engine.dc_operating_point(&ca, None).unwrap();
         assert!((sa2.voltage(out_a) - 1.0).abs() < 1e-9);
         assert_eq!(engine.pattern_builds(), 3);
+    }
+
+    #[test]
+    fn dc_and_transient_kinds_cache_independently() {
+        use crate::element::{AnalysisMode, Capacitor, TransientStamp};
+        let (mut c, out) = divider();
+        c.add(Capacitor::new("C1", out, Circuit::ground(), 1e-9));
+        let n = c.unknown_count();
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        let tran = |t: f64| {
+            AnalysisMode::Transient(TransientStamp {
+                t,
+                a0: 1e9,
+                hist: vec![0.0; n],
+            })
+        };
+        engine.dc_operating_point(&c, None).unwrap();
+        assert_eq!(engine.pattern_builds(), 1);
+        let x = vec![0.0; n];
+        engine.newton(&c, &x, &tran(1e-9), 0.0).unwrap();
+        assert_eq!(engine.pattern_builds(), 2, "transient kind builds its own");
+        // Alternating kinds reuses both slots: no further builds.
+        engine.dc_operating_point(&c, None).unwrap();
+        engine.newton(&c, &x, &tran(2e-9), 0.0).unwrap();
+        engine.dc_operating_point(&c, None).unwrap();
+        assert_eq!(engine.pattern_builds(), 2, "kind switches must not thrash");
     }
 
     #[test]

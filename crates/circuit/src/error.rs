@@ -17,6 +17,24 @@ pub enum CircuitError {
     SingularSystem(String),
     /// An analysis was configured inconsistently.
     InvalidAnalysis(String),
+    /// An analysis referenced a source element that does not exist (or
+    /// cannot be driven). Carries the names of the circuit's drivable
+    /// sources so the mistake is diagnosable at request build time, not
+    /// deep inside a solve.
+    UnknownSource {
+        /// The requested source name.
+        requested: String,
+        /// Names of the sources the circuit actually has.
+        available: Vec<String>,
+    },
+    /// A probe referenced a node name the circuit does not have. Carries
+    /// the circuit's node names for diagnosis.
+    UnknownNode {
+        /// The requested node name.
+        requested: String,
+        /// Names of the nodes the circuit actually has.
+        available: Vec<String>,
+    },
     /// Adaptive transient stepping gave up: either the step controller
     /// shrank the step to the configured minimum and the step still
     /// failed (local truncation error too large or Newton divergence),
@@ -41,6 +59,40 @@ impl fmt::Display for CircuitError {
             ),
             CircuitError::SingularSystem(msg) => write!(f, "singular mna system: {msg}"),
             CircuitError::InvalidAnalysis(msg) => write!(f, "invalid analysis: {msg}"),
+            CircuitError::UnknownSource {
+                requested,
+                available,
+            } => {
+                if available.is_empty() {
+                    write!(
+                        f,
+                        "no source named '{requested}' (the circuit has no sources)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "no source named '{requested}'; available sources: {}",
+                        available.join(", ")
+                    )
+                }
+            }
+            CircuitError::UnknownNode {
+                requested,
+                available,
+            } => {
+                if available.is_empty() {
+                    write!(
+                        f,
+                        "no node named '{requested}' (the circuit has no named nodes)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "no node named '{requested}'; available nodes: {}",
+                        available.join(", ")
+                    )
+                }
+            }
             CircuitError::TimestepTooSmall { t, dt } => write!(
                 f,
                 "adaptive transient gave up at t = {t:.6e} s with step {dt:.3e} s \
@@ -65,5 +117,30 @@ mod tests {
         assert!(e.to_string().contains("10"));
         let s = CircuitError::SingularSystem("pivot 0".into());
         assert!(s.to_string().contains("pivot 0"));
+    }
+
+    #[test]
+    fn unknown_source_lists_alternatives() {
+        let e = CircuitError::UnknownSource {
+            requested: "VX".into(),
+            available: vec!["VDD".into(), "VIN".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("VX") && msg.contains("VDD, VIN"), "{msg}");
+        let none = CircuitError::UnknownSource {
+            requested: "VX".into(),
+            available: vec![],
+        };
+        assert!(none.to_string().contains("no sources"));
+    }
+
+    #[test]
+    fn unknown_node_lists_alternatives() {
+        let e = CircuitError::UnknownNode {
+            requested: "ouy".into(),
+            available: vec!["in".into(), "out".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("ouy") && msg.contains("in, out"), "{msg}");
     }
 }

@@ -14,12 +14,16 @@
 //! * [`engine`] — the unified damped-Newton core ([`engine::NewtonEngine`])
 //!   with pattern-cached sparse assembly and dense/sparse solver
 //!   selection, shared by every analysis;
-//! * [`dc`] — DC operating-point entry points (gmin ramp);
-//! * [`sweep`] — warm-started DC sweeps (VTCs);
-//! * [`transient`] — transient integration: fixed-step backward Euler
-//!   plus LTE-controlled adaptive stepping (backward Euler with step
-//!   doubling, variable-step BDF2 with predictor–corrector error
-//!   estimation, PI step controller);
+//! * [`sim`] — **the public analysis API**: a [`sim::Simulator`] session
+//!   owns the circuit, the engine and every cache, and exposes all
+//!   analyses as typed methods (`op`, `dc_sweep`, `transient`, `ac`)
+//!   returning result types with probe-by-node-name accessors;
+//! * [`dc`] / [`sweep`] / [`transient`] — the analysis cores plus the
+//!   historical free-function entry points (deprecated wrappers over a
+//!   throwaway session);
+//! * [`ac`] — AC small-signal analysis: linearisation at the operating
+//!   point into `G + jωC` and complex sparse solves over one frozen
+//!   pattern per sweep;
 //! * [`logic`] — complementary inverter / NAND / ring-oscillator builders
 //!   (the paper's future-work "practical logic circuit structures").
 //!
@@ -34,14 +38,24 @@
 //! c.add(VoltageSource::dc("V1", vin, Circuit::ground(), 2.0));
 //! c.add(Resistor::new("R1", vin, out, 1e3));
 //! c.add(Resistor::new("R2", out, Circuit::ground(), 1e3));
-//! let sol = solve_dc(&c, None)?;
-//! assert!((sol.voltage(out) - 1.0).abs() < 1e-9);
+//! c.add(Capacitor::new("C1", out, Circuit::ground(), 1e-9));
+//!
+//! // One session shares the engine caches across every analysis.
+//! let mut sim = Simulator::new(c);
+//! let op = sim.op()?;
+//! assert!((op.voltage("out")? - 1.0).abs() < 1e-9);
+//!
+//! // AC small-signal: RC low-pass corner at 1/(2π·500Ω·1nF) ≈ 318 kHz.
+//! let ac = sim.ac(&AcSweep::decade("V1", 1e3, 1e8, 5))?;
+//! let mag = ac.magnitude("out")?;
+//! assert!(mag[0] > 0.49 && *mag.last().unwrap() < 1e-2);
 //! # Ok::<(), cntfet_circuit::CircuitError>(())
 //! ```
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod ac;
 pub mod cnfet;
 pub mod dc;
 pub mod element;
@@ -49,15 +63,22 @@ pub mod engine;
 pub mod error;
 pub mod logic;
 pub mod netlist;
+pub mod sim;
 pub mod sweep;
 pub mod transient;
 
 pub use error::CircuitError;
 
 /// Convenient glob import for building and solving circuits.
+///
+/// Exposes the session API ([`sim::Simulator`] and its request/result
+/// types) alongside the element builders; the deprecated free-function
+/// entry points are *not* re-exported here — import them from their
+/// modules while migrating.
 pub mod prelude {
+    pub use crate::ac::{AcResponse, AcStats, AcSweep, FreqGrid};
     pub use crate::cnfet::{CnfetElement, Polarity};
-    pub use crate::dc::{solve_dc, solve_dc_with, Solution};
+    pub use crate::dc::Solution;
     pub use crate::element::{Capacitor, CurrentSource, Resistor, VoltageSource, Waveform};
     pub use crate::engine::{NewtonEngine, NewtonOptions, SolverKind};
     pub use crate::error::CircuitError;
@@ -65,11 +86,9 @@ pub mod prelude {
         add_inverter, add_inverter_chain, add_nand2, add_ring_oscillator, CntTechnology,
     };
     pub use crate::netlist::{Circuit, NodeId};
-    pub use crate::sweep::{
-        dc_sweep, dc_sweep_many, dc_sweep_many_with, dc_sweep_with, SweepJob, SweepResult,
-    };
+    pub use crate::sim::{sweep_many, OpPoint, Probe, Simulator, SweepSpec, TransientSpec};
+    pub use crate::sweep::SweepResult;
     pub use crate::transient::{
-        solve_transient, solve_transient_adaptive, solve_transient_fixed, solve_transient_with,
         TimeIntegrator, TransientOptions, TransientResult, TransientRun, TransientStats,
     };
 }

@@ -215,10 +215,17 @@ pub fn add_ring_oscillator(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dc::solve_dc;
+    use crate::dc::Solution;
     use crate::element::VoltageSource;
-    use crate::sweep::dc_sweep;
+    use crate::engine::{NewtonEngine, NewtonOptions};
+    use crate::sim::{Simulator, SweepSpec};
     use cntfet_reference::DeviceParams;
+
+    fn solve_dc(c: &Circuit, initial: Option<&[f64]>) -> Solution {
+        NewtonEngine::new(NewtonOptions::default())
+            .dc_operating_point(c, initial)
+            .unwrap()
+    }
 
     fn tech() -> CntTechnology {
         let model = Arc::new(CompactCntFet::model2(DeviceParams::paper_default()).unwrap());
@@ -242,20 +249,21 @@ mod tests {
         let (mut c, _, out) = inverter_circuit(&t);
         // Input low → output high.
         c.set_source_value("VIN", 0.0);
-        let hi = solve_dc(&c, None).unwrap().voltage(out);
+        let hi = solve_dc(&c, None).voltage(out);
         assert!(hi > 0.9 * t.vdd, "output high {hi} (vdd {})", t.vdd);
         // Input high → output low.
         c.set_source_value("VIN", t.vdd);
-        let lo = solve_dc(&c, None).unwrap().voltage(out);
+        let lo = solve_dc(&c, None).voltage(out);
         assert!(lo < 0.1 * t.vdd, "output low {lo}");
     }
 
     #[test]
     fn inverter_vtc_is_monotone_decreasing() {
         let t = tech();
-        let (mut c, _, out) = inverter_circuit(&t);
+        let (c, _, out) = inverter_circuit(&t);
         let vals: Vec<f64> = (0..=16).map(|i| t.vdd * i as f64 / 16.0).collect();
-        let res = dc_sweep(&mut c, "VIN", &vals).unwrap();
+        let mut sim = Simulator::new(c);
+        let res = sim.dc_sweep(&SweepSpec::new("VIN", vals.clone())).unwrap();
         let outs = res.voltages(out);
         for w in outs.windows(2) {
             assert!(w[1] <= w[0] + 1e-6, "VTC not monotone: {outs:?}");
@@ -301,7 +309,7 @@ mod tests {
         for (va, vb, high) in cases {
             c.set_source_value("VA", va);
             c.set_source_value("VB", vb);
-            let sol = solve_dc(&c, prev.as_deref()).unwrap();
+            let sol = solve_dc(&c, prev.as_deref());
             let v = sol.voltage(out);
             if high {
                 assert!(v > 0.75 * t.vdd, "A={va} B={vb}: out {v} should be high");

@@ -184,6 +184,34 @@ impl Circuit {
             .collect()
     }
 
+    /// All named nodes as `(name, id)` pairs, sorted by node id (i.e.
+    /// creation order) so the listing is deterministic.
+    pub fn node_names(&self) -> Vec<(String, NodeId)> {
+        let mut names: Vec<(String, NodeId)> =
+            self.names.iter().map(|(n, &id)| (n.clone(), id)).collect();
+        names.sort_by_key(|&(_, id)| id);
+        names
+    }
+
+    /// Names of the elements that can be driven as sources (accept
+    /// [`Circuit::set_source_value`] / provide an AC stimulus), in
+    /// element insertion order. Used to validate sweep and AC requests
+    /// up front with a helpful error.
+    pub fn source_names(&self) -> Vec<String> {
+        self.elements
+            .iter()
+            .filter(|e| e.is_source())
+            .map(|e| e.name().to_string())
+            .collect()
+    }
+
+    /// `true` when the circuit has a drivable source with this name.
+    pub fn has_source(&self, name: &str) -> bool {
+        self.elements
+            .iter()
+            .any(|e| e.is_source() && e.name() == name)
+    }
+
     /// Sets the value of the named source element (DC value).
     ///
     /// Returns `true` if an element with that name accepted the update.
@@ -242,6 +270,25 @@ mod tests {
         assert!(c.set_source_value("V1", 2.5));
         assert!(!c.set_source_value("R1", 2.5));
         assert!(!c.set_source_value("nope", 1.0));
+    }
+
+    #[test]
+    fn source_and_node_listings() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add(VoltageSource::dc("V1", a, Circuit::ground(), 1.0));
+        c.add(Resistor::new("R1", a, b, 1e3));
+        assert_eq!(c.source_names(), vec!["V1".to_string()]);
+        assert!(c.has_source("V1"));
+        assert!(!c.has_source("R1"), "a resistor is not drivable");
+        assert!(!c.has_source("nope"));
+        let names = c.node_names();
+        assert_eq!(
+            names,
+            vec![("a".to_string(), a), ("b".to_string(), b)],
+            "sorted by creation order"
+        );
     }
 
     #[test]

@@ -1,36 +1,108 @@
-//! DC sweeps (transfer curves, VTCs), including parallel multi-sweep
-//! batches.
+//! DC sweeps (transfer curves, VTCs) and their result type.
 //!
-//! [`dc_sweep`] runs one warm-started sweep on one circuit. For the
-//! many-scenario workloads the paper motivates (corner analyses, VTC
-//! families, per-device parameter sweeps), [`dc_sweep_many`] fans a batch
-//! of independent sweeps out across threads — each worker builds its own
-//! circuit from a shared builder closure and warm-starts along its own
-//! sweep, so no locking is involved. With the `parallel` feature off the
-//! same batch runs sequentially and produces identical results.
+//! The sweep loop itself (`sweep_core`) runs on a caller-provided
+//! [`NewtonEngine`], so a [`crate::sim::Simulator`] session shares one
+//! engine — one recorded sparsity pattern, one solver ordering, one
+//! warm-start chain — across every analysis of a circuit. The free
+//! functions of this module ([`dc_sweep`], [`dc_sweep_many`], …) are
+//! the legacy entry points, kept as deprecated wrappers that build a
+//! throwaway engine per call; new code should use
+//! [`crate::sim::Simulator::dc_sweep`] and [`crate::sim::sweep_many`].
 
 use crate::dc::Solution;
 use crate::engine::{NewtonEngine, NewtonOptions};
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId};
+use crate::sim::{NodeWaves, SweepSpec};
 
-#[cfg(feature = "parallel")]
-use rayon::prelude::*;
-
-/// Result of a DC sweep.
+/// Result of a DC sweep: swept values, per-point solutions, and a
+/// node-major waveform cache with probe-by-name accessors shared with
+/// the transient and AC result types.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
     /// Swept source values.
     pub values: Vec<f64>,
     /// Converged solution at each value.
     pub solutions: Vec<Solution>,
+    waves: NodeWaves,
 }
 
 impl SweepResult {
-    /// Voltage of `node` across the sweep.
+    pub(crate) fn new(values: Vec<f64>, solutions: Vec<Solution>, circuit: &Circuit) -> Self {
+        let waves = NodeWaves::new(circuit, solutions.len());
+        SweepResult {
+            values,
+            solutions,
+            waves,
+        }
+    }
+
+    /// Voltage of `node` across the sweep, as a freshly allocated
+    /// vector. Prefer [`SweepResult::voltages_ref`] (borrowed, no
+    /// allocation after the first probe) or [`SweepResult::voltage`]
+    /// (by node name).
     pub fn voltages(&self, node: NodeId) -> Vec<f64> {
         self.solutions.iter().map(|s| s.voltage(node)).collect()
     }
+
+    /// Borrowed voltage waveform of `node` across the sweep (all-zero
+    /// for ground), or `None` for a node outside the swept circuit.
+    /// The node-major waveform cache is materialised on the first
+    /// probe and borrowed thereafter.
+    pub fn voltages_ref(&self, node: NodeId) -> Option<&[f64]> {
+        self.waves
+            .slice_with(node, || Box::new(self.solutions.iter().map(|s| &s.x[..])))
+    }
+
+    /// Borrowed voltage waveform of the named node across the sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::UnknownNode`] listing the available names.
+    pub fn voltage(&self, name: &str) -> Result<&[f64], CircuitError> {
+        self.waves
+            .by_name_with(name, || Box::new(self.solutions.iter().map(|s| &s.x[..])))
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the sweep holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// The engine-sharing sweep loop: validates the source name up front
+/// (listing the circuit's sources on a miss), then warm-starts each
+/// point from the previous solution — the first point from `warm` when
+/// provided.
+pub(crate) fn sweep_core(
+    engine: &mut NewtonEngine,
+    circuit: &mut Circuit,
+    source: &str,
+    values: &[f64],
+    warm: Option<&[f64]>,
+) -> Result<SweepResult, CircuitError> {
+    if !circuit.has_source(source) {
+        return Err(CircuitError::UnknownSource {
+            requested: source.to_string(),
+            available: circuit.source_names(),
+        });
+    }
+    let mut solutions = Vec::with_capacity(values.len());
+    let mut prev: Option<Vec<f64>> = warm
+        .filter(|x| x.len() == circuit.unknown_count())
+        .map(<[f64]>::to_vec);
+    for &v in values {
+        circuit.set_source_value(source, v);
+        let sol = engine.dc_operating_point(circuit, prev.as_deref())?;
+        prev = Some(sol.x.clone());
+        solutions.push(sol);
+    }
+    Ok(SweepResult::new(values.to_vec(), solutions, circuit))
 }
 
 /// Sweeps the named source through `values`, warm-starting each point
@@ -38,172 +110,98 @@ impl SweepResult {
 ///
 /// # Errors
 ///
-/// Returns [`CircuitError::InvalidAnalysis`] when no source has the given
+/// Returns [`CircuitError::UnknownSource`] when no source has the given
 /// name, and propagates solver failures.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `sim::Simulator` session and call `dc_sweep(&SweepSpec)` \
+            so solver caches are shared across analyses"
+)]
 pub fn dc_sweep(
     circuit: &mut Circuit,
     source: &str,
     values: &[f64],
 ) -> Result<SweepResult, CircuitError> {
-    dc_sweep_with(circuit, source, values, &NewtonOptions::default())
+    sweep_core(
+        &mut NewtonEngine::new(NewtonOptions::default()),
+        circuit,
+        source,
+        values,
+        None,
+    )
 }
 
 /// [`dc_sweep`] with explicit [`NewtonOptions`].
 ///
-/// One [`NewtonEngine`] is shared by every sweep point, so the MNA
-/// sparsity pattern is recorded once at the first point and the rest of
-/// the sweep assembles into preallocated slots and reuses the solver's
-/// elimination ordering (the swept value changes numbers, not
-/// structure).
-///
 /// # Errors
 ///
 /// Same as [`dc_sweep`].
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `sim::Simulator` session with `Simulator::with_options` and \
+            call `dc_sweep(&SweepSpec)`"
+)]
 pub fn dc_sweep_with(
     circuit: &mut Circuit,
     source: &str,
     values: &[f64],
     options: &NewtonOptions,
 ) -> Result<SweepResult, CircuitError> {
-    let mut engine = NewtonEngine::new(*options);
-    let mut solutions = Vec::with_capacity(values.len());
-    let mut prev: Option<Vec<f64>> = None;
-    for &v in values {
-        if !circuit.set_source_value(source, v) {
-            return Err(CircuitError::InvalidAnalysis(format!(
-                "no sweepable source named {source}"
-            )));
-        }
-        let sol = engine.dc_operating_point(circuit, prev.as_deref())?;
-        prev = Some(sol.x.clone());
-        solutions.push(sol);
-    }
-    Ok(SweepResult {
-        values: values.to_vec(),
-        solutions,
-    })
+    sweep_core(
+        &mut NewtonEngine::new(*options),
+        circuit,
+        source,
+        values,
+        None,
+    )
 }
 
-/// One independent sweep job for [`dc_sweep_many`]: which source to
-/// sweep and through which values.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SweepJob {
-    /// Name of the source to sweep.
-    pub source: String,
-    /// Values to sweep it through (warm-started in order).
-    pub values: Vec<f64>,
-}
+/// Legacy name of [`crate::sim::SweepSpec`].
+#[deprecated(since = "0.1.0", note = "use `sim::SweepSpec`")]
+pub type SweepJob = SweepSpec;
 
-impl SweepJob {
-    /// Builds a job from a source name and its sweep values.
-    pub fn new(source: impl Into<String>, values: Vec<f64>) -> Self {
-        Self {
-            source: source.into(),
-            values,
-        }
-    }
-}
-
-fn run_sweep_job(
-    build: &(impl Fn(usize, &SweepJob) -> Circuit + Sync),
-    index: usize,
-    job: &SweepJob,
-    options: &NewtonOptions,
-) -> Result<SweepResult, CircuitError> {
-    let mut circuit = build(index, job);
-    dc_sweep_with(&mut circuit, &job.source, &job.values, options)
-}
-
-/// Runs a batch of independent warm-started sweeps, in parallel when the
-/// `parallel` feature is enabled (the default).
-///
-/// `build` constructs a fresh circuit for each job from the job's index
-/// and the job itself — so jobs can differ in topology or parameters
-/// (supply corners, per-device variants), not just in what they sweep.
-/// Every worker owns its circuit outright; the builder is the only thing
-/// shared across threads. Results are in `jobs` order and identical to
-/// running [`dc_sweep`] per job yourself.
+/// Runs a batch of independent warm-started sweeps, in parallel when
+/// the `parallel` feature is enabled (the default).
 ///
 /// # Errors
 ///
 /// Propagates the first failing job's [`CircuitError`].
-///
-/// # Examples
-///
-/// ```
-/// use cntfet_circuit::prelude::*;
-/// use cntfet_circuit::sweep::{dc_sweep_many, SweepJob};
-///
-/// // Four corners of the lower divider resistor, one sweep each.
-/// let corners = [1e3, 2e3, 5e3, 1e4];
-/// let build = |k: usize, _job: &SweepJob| {
-///     let mut c = Circuit::new();
-///     let a = c.node("a");
-///     let b = c.node("b");
-///     c.add(VoltageSource::dc("V1", a, Circuit::ground(), 0.0));
-///     c.add(Resistor::new("R1", a, b, 1e3));
-///     c.add(Resistor::new("R2", b, Circuit::ground(), corners[k]));
-///     c
-/// };
-/// let jobs = vec![SweepJob::new("V1", vec![0.0, 0.5, 1.0]); corners.len()];
-/// let results = dc_sweep_many(build, &jobs)?;
-/// assert_eq!(results.len(), corners.len());
-/// # Ok::<(), cntfet_circuit::CircuitError>(())
-/// ```
-pub fn dc_sweep_many<F>(build: F, jobs: &[SweepJob]) -> Result<Vec<SweepResult>, CircuitError>
+#[deprecated(
+    since = "0.1.0",
+    note = "use `sim::sweep_many`, which runs each job in its own `Simulator` session"
+)]
+pub fn dc_sweep_many<F>(build: F, jobs: &[SweepSpec]) -> Result<Vec<SweepResult>, CircuitError>
 where
-    F: Fn(usize, &SweepJob) -> Circuit + Sync,
+    F: Fn(usize, &SweepSpec) -> Circuit + Sync,
 {
-    dc_sweep_many_with(build, jobs, &NewtonOptions::default())
+    crate::sim::sweep_many(build, jobs, &NewtonOptions::default())
 }
 
 /// [`dc_sweep_many`] with explicit [`NewtonOptions`] shared by every
-/// job. Each worker still owns its circuit and its own
-/// [`NewtonEngine`], so no pattern cache is shared across threads.
+/// job.
 ///
 /// # Errors
 ///
 /// Propagates the first failing job's [`CircuitError`].
-#[cfg(feature = "parallel")]
+#[deprecated(since = "0.1.0", note = "use `sim::sweep_many`")]
 pub fn dc_sweep_many_with<F>(
     build: F,
-    jobs: &[SweepJob],
+    jobs: &[SweepSpec],
     options: &NewtonOptions,
 ) -> Result<Vec<SweepResult>, CircuitError>
 where
-    F: Fn(usize, &SweepJob) -> Circuit + Sync,
+    F: Fn(usize, &SweepSpec) -> Circuit + Sync,
 {
-    let indexed: Vec<(usize, &SweepJob)> = jobs.iter().enumerate().collect();
-    let ran: Vec<Result<SweepResult, CircuitError>> = indexed
-        .par_iter()
-        .map(|&(index, job)| run_sweep_job(&build, index, job, options))
-        .collect();
-    ran.into_iter().collect()
-}
-
-/// [`dc_sweep_many`] with explicit [`NewtonOptions`] (sequential build:
-/// the `parallel` feature is disabled).
-///
-/// # Errors
-///
-/// Propagates the first failing job's [`CircuitError`].
-#[cfg(not(feature = "parallel"))]
-pub fn dc_sweep_many_with<F>(
-    build: F,
-    jobs: &[SweepJob],
-    options: &NewtonOptions,
-) -> Result<Vec<SweepResult>, CircuitError>
-where
-    F: Fn(usize, &SweepJob) -> Circuit + Sync,
-{
-    jobs.iter()
-        .enumerate()
-        .map(|(index, job)| run_sweep_job(&build, index, job, options))
-        .collect()
+    crate::sim::sweep_many(build, jobs, options)
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately exercise the deprecated wrappers: the
+    // acceptance contract is that legacy entry points keep their exact
+    // behaviour while delegating to the session machinery.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::element::{Resistor, VoltageSource};
 
@@ -221,6 +219,11 @@ mod tests {
         for (v, o) in vals.iter().zip(&outs) {
             assert!((o - v / 2.0).abs() < 1e-9, "{v} -> {o}");
         }
+        // The cached waveform agrees with the allocating accessor.
+        assert_eq!(res.voltages_ref(out).unwrap(), &outs[..]);
+        assert_eq!(res.voltage("out").unwrap(), &outs[..]);
+        assert_eq!(res.len(), vals.len());
+        assert!(!res.is_empty());
     }
 
     #[test]
@@ -286,18 +289,27 @@ mod tests {
         let jobs = [SweepJob::new("VX", vec![0.0])];
         assert!(matches!(
             dc_sweep_many(|_, _| build(), &jobs),
-            Err(CircuitError::InvalidAnalysis(_))
+            Err(CircuitError::UnknownSource { .. })
         ));
     }
 
     #[test]
-    fn unknown_source_is_rejected() {
+    fn unknown_source_is_rejected_with_candidates() {
         let mut c = Circuit::new();
         let a = c.node("a");
+        c.add(VoltageSource::dc("V1", a, Circuit::ground(), 1.0));
         c.add(Resistor::new("R1", a, Circuit::ground(), 1e3));
-        assert!(matches!(
-            dc_sweep(&mut c, "VX", &[0.0]),
-            Err(CircuitError::InvalidAnalysis(_))
-        ));
+        let err = dc_sweep(&mut c, "VX", &[0.0]).unwrap_err();
+        match &err {
+            CircuitError::UnknownSource {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested, "VX");
+                assert_eq!(available, &["V1".to_string()]);
+            }
+            other => panic!("expected UnknownSource, got {other:?}"),
+        }
+        assert!(err.to_string().contains("V1"));
     }
 }

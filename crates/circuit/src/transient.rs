@@ -1,10 +1,16 @@
 //! Transient analysis: fixed-step and LTE-controlled adaptive stepping.
 //!
-//! Two entry-point families share one stepping core:
+//! The stepping cores run on a caller-provided engine so a
+//! [`crate::sim::Simulator`] session shares its pattern/solver caches
+//! with every other analysis — run transients through
+//! [`crate::sim::Simulator::transient`] with a
+//! [`crate::sim::TransientSpec`] (`dt: Some(..)` for a fixed grid,
+//! `None` for adaptive stepping). Two legacy entry-point families
+//! remain as deprecated wrappers that build a throwaway engine:
 //!
 //! * [`solve_transient`] / [`solve_transient_with`] — the historical
-//!   fixed-step interface (backward Euler on a uniform grid), preserved
-//!   as thin wrappers around [`solve_transient_fixed`];
+//!   fixed-step interface (backward Euler on a uniform grid), thin
+//!   wrappers around [`solve_transient_fixed`];
 //! * [`solve_transient_adaptive`] — local-truncation-error-controlled
 //!   stepping with a [`TimeIntegrator`] (backward Euler or variable-step
 //!   BDF2), a PI step-size controller and reject-and-retry on LTE or
@@ -25,11 +31,12 @@
 //! re-values the cached Jacobian pattern instead of rebuilding it, and
 //! the sparse solver replays its frozen elimination ordering.
 
-use crate::dc::{solve_dc_with, Solution};
+use crate::dc::Solution;
 use crate::element::{AnalysisMode, TransientStamp};
 use crate::engine::{NewtonEngine, NewtonOptions};
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId};
+use crate::sim::NodeWaves;
 
 /// Result of a transient run: time points and the full unknown history.
 #[derive(Debug, Clone, PartialEq)]
@@ -250,13 +257,50 @@ pub struct TransientStats {
 }
 
 /// A transient waveform together with the stepping statistics that
-/// produced it.
+/// produced it, plus probe-by-node-name accessors shared with the sweep
+/// and AC result types.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransientRun {
     /// Time points and states.
     pub result: TransientResult,
     /// Accepted/rejected-step and solver-cost counters.
     pub stats: TransientStats,
+    waves: NodeWaves,
+}
+
+impl TransientRun {
+    pub(crate) fn new(result: TransientResult, stats: TransientStats, circuit: &Circuit) -> Self {
+        let waves = NodeWaves::new(circuit, result.states.len());
+        TransientRun {
+            result,
+            stats,
+            waves,
+        }
+    }
+
+    /// Borrowed voltage waveform of the named node. The node-major
+    /// waveform cache is materialised on the first probe and borrowed
+    /// thereafter.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::UnknownNode`] listing the available names.
+    pub fn voltage(&self, name: &str) -> Result<&[f64], CircuitError> {
+        self.waves
+            .by_name_with(name, || Box::new(self.result.states.iter().map(|x| &x[..])))
+    }
+
+    /// Borrowed voltage waveform of `node` (all-zero for ground), or
+    /// `None` for a node outside the simulated circuit.
+    pub fn voltage_ref(&self, node: NodeId) -> Option<&[f64]> {
+        self.waves
+            .slice_with(node, || Box::new(self.result.states.iter().map(|x| &x[..])))
+    }
+
+    /// The stored time points, seconds.
+    pub fn time(&self) -> &[f64] {
+        &self.result.time
+    }
 }
 
 /// Runs a backward-Euler transient of duration `t_stop` with fixed step
@@ -270,25 +314,32 @@ pub struct TransientRun {
 ///
 /// Returns [`CircuitError::InvalidAnalysis`] for non-positive `dt` or
 /// `t_stop`, and propagates solver failures at any step.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `sim::Simulator` session and call \
+            `transient(&TransientSpec::fixed(t_stop, dt))`"
+)]
 pub fn solve_transient(
     circuit: &Circuit,
     t_stop: f64,
     dt: f64,
     initial: Option<&[f64]>,
 ) -> Result<TransientResult, CircuitError> {
+    #[allow(deprecated)]
     solve_transient_with(circuit, t_stop, dt, initial, &NewtonOptions::transient())
 }
 
 /// [`solve_transient`] with explicit [`NewtonOptions`].
 ///
-/// One [`NewtonEngine`] is shared by every step, so the MNA sparsity
-/// pattern is recorded once at the first step and every later step
-/// assembles into preallocated slots and reuses the solver's
-/// elimination ordering.
-///
 /// # Errors
 ///
 /// Same as [`solve_transient`].
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `sim::Simulator` session and call \
+            `transient(&TransientSpec::fixed(t_stop, dt))` with the Newton \
+            options embedded in the spec's `TransientOptions`"
+)]
 pub fn solve_transient_with(
     circuit: &Circuit,
     t_stop: f64,
@@ -301,21 +352,42 @@ pub fn solve_transient_with(
         integrator: TimeIntegrator::BackwardEuler,
         ..TransientOptions::default()
     };
-    solve_transient_fixed(circuit, t_stop, dt, initial, &opts).map(|run| run.result)
+    let mut engine = NewtonEngine::new(opts.newton);
+    transient_fixed_core(&mut engine, circuit, t_stop, dt, initial, &opts).map(|run| run.result)
 }
 
 /// Fixed-step transient with full [`TransientStats`] and a choice of
 /// integrator (`options.integrator`; BDF2 starts with one backward-Euler
-/// step to build history). No LTE control is performed — every
-/// Newton-converged step is accepted, and a Newton failure aborts the
-/// run. The final step is shortened to land exactly on `t_stop`.
+/// step to build history).
 ///
 /// # Errors
 ///
 /// Returns [`CircuitError::InvalidAnalysis`] for non-positive `dt` or
 /// `t_stop` or an invalid initial-state length, and propagates solver
 /// failures at any step.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `sim::Simulator` session and call \
+            `transient(&TransientSpec::fixed(t_stop, dt).with_options(options))`"
+)]
 pub fn solve_transient_fixed(
+    circuit: &Circuit,
+    t_stop: f64,
+    dt: f64,
+    initial: Option<&[f64]>,
+    options: &TransientOptions,
+) -> Result<TransientRun, CircuitError> {
+    let mut engine = NewtonEngine::new(options.newton);
+    transient_fixed_core(&mut engine, circuit, t_stop, dt, initial, options)
+}
+
+/// The engine-sharing fixed-grid stepping core behind
+/// [`solve_transient_fixed`] and
+/// [`crate::sim::Simulator::transient`]. No LTE control is performed —
+/// every Newton-converged step is accepted, and a Newton failure aborts
+/// the run. The final step is shortened to land exactly on `t_stop`.
+pub(crate) fn transient_fixed_core(
+    engine: &mut NewtonEngine,
     circuit: &Circuit,
     t_stop: f64,
     dt: f64,
@@ -327,8 +399,12 @@ pub fn solve_transient_fixed(
             "t_stop ({t_stop}) and dt ({dt}) must be positive"
         )));
     }
-    let x0 = initial_state(circuit, initial, &options.newton)?;
-    let mut engine = NewtonEngine::new(options.newton);
+    engine.set_options(options.newton);
+    let x0 = initial_state(engine, circuit, initial)?;
+    // Counter baselines: the run's stats report this analysis only, not
+    // whatever the (possibly session-shared) engine did before.
+    let base_factorizations = engine.total_factorizations();
+    let base_factor_ops = engine.total_factor_ops();
     // The small backoff keeps `ceil` from scheduling a degenerate extra
     // step when t_stop/dt rounds just above an integer (a near-zero
     // final step would make the companion coefficient 1/h explode).
@@ -370,12 +446,13 @@ pub fn solve_transient_fixed(
         time.push(t);
         states.push(x.clone());
     }
-    stats.factorizations = engine.total_factorizations();
-    stats.factor_ops = engine.total_factor_ops();
-    Ok(TransientRun {
-        result: TransientResult { time, states },
+    stats.factorizations = engine.total_factorizations() - base_factorizations;
+    stats.factor_ops = engine.total_factor_ops() - base_factor_ops;
+    Ok(TransientRun::new(
+        TransientResult { time, states },
         stats,
-    })
+        circuit,
+    ))
 }
 
 /// Adaptive transient: LTE-controlled variable stepping from `t = 0` to
@@ -391,29 +468,6 @@ pub fn solve_transient_fixed(
 /// BDF2 from backward Euler. When a step at `dt_min` still fails, the
 /// run aborts with [`CircuitError::TimestepTooSmall`].
 ///
-/// # Examples
-///
-/// An RC low-pass charging to 1 V (τ = 1 µs) needs only a few dozen
-/// adaptive steps where a fixed-step run at comparable accuracy takes
-/// thousands:
-///
-/// ```
-/// use cntfet_circuit::prelude::*;
-///
-/// let mut c = Circuit::new();
-/// let vin = c.node("in");
-/// let out = c.node("out");
-/// c.add(VoltageSource::dc("V1", vin, Circuit::ground(), 1.0));
-/// c.add(Resistor::new("R1", vin, out, 1e3));
-/// c.add(Capacitor::new("C1", out, Circuit::ground(), 1e-9));
-/// let run = solve_transient_adaptive(&c, 5e-6, None, &TransientOptions::default())?;
-/// let v_end = *run.result.waveform(out).last().unwrap();
-/// assert!((v_end - 1.0).abs() < 1e-2); // settled after 5 τ
-/// assert!(run.stats.accepted < 500);   // far fewer than 1000+ fixed steps
-/// assert_eq!(run.stats.accepted, run.result.len() - 1);
-/// # Ok::<(), cntfet_circuit::CircuitError>(())
-/// ```
-///
 /// # Errors
 ///
 /// [`CircuitError::InvalidAnalysis`] for inconsistent options (bad
@@ -421,7 +475,26 @@ pub fn solve_transient_fixed(
 /// initial-state length), [`CircuitError::TimestepTooSmall`] when the
 /// controller collapses onto `dt_min`, and any solver error of the
 /// initial DC operating point.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `sim::Simulator` session and call \
+            `transient(&TransientSpec::adaptive(t_stop).with_options(options))`"
+)]
 pub fn solve_transient_adaptive(
+    circuit: &Circuit,
+    t_stop: f64,
+    initial: Option<&[f64]>,
+    options: &TransientOptions,
+) -> Result<TransientRun, CircuitError> {
+    let mut engine = NewtonEngine::new(options.newton);
+    transient_adaptive_core(&mut engine, circuit, t_stop, initial, options)
+}
+
+/// The engine-sharing adaptive stepping core behind
+/// [`solve_transient_adaptive`] and
+/// [`crate::sim::Simulator::transient`].
+pub(crate) fn transient_adaptive_core(
+    engine: &mut NewtonEngine,
     circuit: &Circuit,
     t_stop: f64,
     initial: Option<&[f64]>,
@@ -433,9 +506,11 @@ pub fn solve_transient_adaptive(
         )));
     }
     let (mut dt, dt_min, dt_max) = options.resolve(t_stop)?;
-    let x0 = initial_state(circuit, initial, &options.newton)?;
+    engine.set_options(options.newton);
+    let x0 = initial_state(engine, circuit, initial)?;
+    let base_factorizations = engine.total_factorizations();
+    let base_factor_ops = engine.total_factor_ops();
     let n_nodes = circuit.node_count();
-    let mut engine = NewtonEngine::new(options.newton);
     let mut stats = TransientStats::default();
     let mut time = vec![0.0];
     let mut states = vec![x0.clone()];
@@ -469,9 +544,9 @@ pub fn solve_transient_adaptive(
         }
         let use_bdf2 = options.integrator == TimeIntegrator::Bdf2 && hist.len() >= 3;
         let attempt = if use_bdf2 {
-            bdf2_step(&mut engine, circuit, &hist, dt, &mut stats)
+            bdf2_step(engine, circuit, &hist, dt, &mut stats)
         } else {
-            be_doubled_step(&mut engine, circuit, &hist, dt, &mut stats)
+            be_doubled_step(engine, circuit, &hist, dt, &mut stats)
         };
         // Controller exponent: estimate order + 1.
         let k = if use_bdf2 { 3.0 } else { 2.0 };
@@ -538,20 +613,21 @@ pub fn solve_transient_adaptive(
             return Err(CircuitError::TimestepTooSmall { t: t_n, dt });
         }
     }
-    stats.factorizations = engine.total_factorizations();
-    stats.factor_ops = engine.total_factor_ops();
-    Ok(TransientRun {
-        result: TransientResult { time, states },
+    stats.factorizations = engine.total_factorizations() - base_factorizations;
+    stats.factor_ops = engine.total_factor_ops() - base_factor_ops;
+    Ok(TransientRun::new(
+        TransientResult { time, states },
         stats,
-    })
+        circuit,
+    ))
 }
 
 /// Resolves the starting state: validated caller-provided vector or the
-/// DC operating point.
+/// DC operating point, solved on the shared engine.
 fn initial_state(
+    engine: &mut NewtonEngine,
     circuit: &Circuit,
     initial: Option<&[f64]>,
-    newton: &NewtonOptions,
 ) -> Result<Vec<f64>, CircuitError> {
     match initial {
         Some(x) => {
@@ -564,7 +640,7 @@ fn initial_state(
             }
             Ok(x.to_vec())
         }
-        None => Ok(solve_dc_with(circuit, None, newton)?.x),
+        None => Ok(engine.dc_operating_point(circuit, None)?.x),
     }
 }
 
@@ -673,13 +749,22 @@ fn bdf2_step(
     Ok((x_new, lte))
 }
 
-/// Convenience: DC operating point (re-exported through the prelude).
+/// Convenience: DC operating point with default options.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `sim::Simulator` session and call `op()`"
+)]
 pub fn operating_point(circuit: &Circuit) -> Result<Solution, CircuitError> {
-    solve_dc_with(circuit, None, &NewtonOptions::default())
+    NewtonEngine::new(NewtonOptions::default()).dc_operating_point(circuit, None)
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the deprecated wrappers on purpose: legacy
+    // entry points must keep their exact behaviour on top of the
+    // session cores.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::element::{Capacitor, Resistor, VoltageSource, Waveform};
     use crate::netlist::Circuit;

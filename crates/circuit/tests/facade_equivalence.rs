@@ -1,0 +1,188 @@
+//! Facade equivalence: every deprecated legacy entry point is now a
+//! thin wrapper over the `Simulator` session machinery, and on any
+//! netlist a fresh session must reproduce the legacy results
+//! **bitwise** — same floating-point stream, not merely close. Random
+//! R/C/source/CNFET netlists are generated per case and built twice
+//! (identical construction), once per facade.
+#![allow(deprecated)]
+
+use cntfet_circuit::dc::solve_dc;
+use cntfet_circuit::prelude::*;
+use cntfet_circuit::sweep::dc_sweep;
+use cntfet_circuit::transient::{solve_transient_adaptive, TransientOptions};
+use cntfet_core::CompactCntFet;
+use cntfet_reference::DeviceParams;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Shared compact model — fitted once for the whole test binary.
+fn model() -> Arc<CompactCntFet> {
+    static MODEL: OnceLock<Arc<CompactCntFet>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        Arc::new(CompactCntFet::model2(DeviceParams::paper_default()).expect("model 2 fit"))
+    }))
+}
+
+/// A random R/C/source/CNFET netlist: a CNFET inverter chain with
+/// resistive loads and node capacitors, plus an extra current source.
+/// Deterministic in its parameters, so calling it twice yields two
+/// structurally and numerically identical circuits.
+fn mixed_netlist(stages: usize, vdd: f64, vin_frac: f64, load: f64, cap: f64) -> Circuit {
+    let tech = CntTechnology::symmetric(model(), vdd);
+    let mut c = Circuit::new();
+    let vdd_node = c.node("vdd");
+    let vin = c.node("in");
+    c.add(VoltageSource::dc("VDD", vdd_node, Circuit::ground(), vdd));
+    c.add(VoltageSource::dc(
+        "VIN",
+        vin,
+        Circuit::ground(),
+        vin_frac * vdd,
+    ));
+    let outs = add_inverter_chain(&mut c, &tech, "chain", vin, stages, vdd_node);
+    for (i, &o) in outs.iter().enumerate() {
+        c.add(Resistor::new(&format!("RL{i}"), o, Circuit::ground(), load));
+        c.add(Capacitor::new(&format!("CL{i}"), o, Circuit::ground(), cap));
+    }
+    c.add(CurrentSource::dc(
+        "IL",
+        Circuit::ground(),
+        *outs.last().expect("at least one stage"),
+        1e-9,
+    ));
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `Simulator::op` is bitwise-equal to the legacy `solve_dc` on
+    /// random CNFET netlists.
+    #[test]
+    fn op_matches_solve_dc_bitwise(
+        stages in 1usize..4,
+        vdd in 0.6f64..0.9,
+        vin_frac in 0.0f64..1.0,
+        load in 5e4f64..5e5,
+        cap in 1e-16f64..1e-14,
+    ) {
+        let legacy = solve_dc(&mixed_netlist(stages, vdd, vin_frac, load, cap), None)
+            .expect("legacy dc");
+        let op = Simulator::new(mixed_netlist(stages, vdd, vin_frac, load, cap))
+            .op()
+            .expect("session dc");
+        // Unknown vectors must be bitwise equal, not merely close.
+        prop_assert_eq!(&legacy.x, &op.x().to_vec());
+        prop_assert_eq!(legacy.iterations, op.iterations());
+    }
+
+    /// `Simulator::dc_sweep` is bitwise-equal to the legacy `dc_sweep`
+    /// (full `SweepResult` equality: values, all solutions, waveforms).
+    #[test]
+    fn sweep_matches_dc_sweep_bitwise(
+        stages in 1usize..3,
+        vdd in 0.6f64..0.9,
+        load in 5e4f64..5e5,
+        cap in 1e-16f64..1e-14,
+        points in 3usize..8,
+    ) {
+        let values: Vec<f64> = (0..points).map(|i| vdd * i as f64 / (points - 1) as f64).collect();
+        let mut c1 = mixed_netlist(stages, vdd, 0.0, load, cap);
+        let legacy = dc_sweep(&mut c1, "VIN", &values).expect("legacy sweep");
+        let session = Simulator::new(mixed_netlist(stages, vdd, 0.0, load, cap))
+            .dc_sweep(&SweepSpec::new("VIN", values))
+            .expect("session sweep");
+        prop_assert_eq!(&legacy, &session);
+    }
+
+    /// `Simulator::transient` (adaptive spec) is bitwise-equal to the
+    /// legacy `solve_transient_adaptive` on random RC ladders: the full
+    /// `TransientRun` (time grid, states, stats) must match.
+    #[test]
+    fn transient_matches_solve_transient_adaptive_bitwise(
+        rungs in proptest::collection::vec(1e2f64..1e4, 2..5),
+        c_f in 1e-12f64..1e-10,
+    ) {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            ckt.add(VoltageSource::with_waveform(
+                "V1",
+                vin,
+                Circuit::ground(),
+                Waveform::Pulse {
+                    low: 0.0,
+                    high: 1.0,
+                    delay: 0.0,
+                    rise: 1e-10,
+                    width: 1.0,
+                    fall: 1e-10,
+                    period: 0.0,
+                },
+            ));
+            let mut prev = vin;
+            for (i, &r) in rungs.iter().enumerate() {
+                let nxt = ckt.node(&format!("n{i}"));
+                ckt.add(Resistor::new(&format!("R{i}"), prev, nxt, r));
+                ckt.add(Capacitor::new(&format!("C{i}"), nxt, Circuit::ground(), c_f));
+                prev = nxt;
+            }
+            ckt
+        };
+        let tau: f64 = rungs.iter().sum::<f64>() * c_f;
+        let opts = TransientOptions::default();
+        let legacy = solve_transient_adaptive(&build(), 2.0 * tau, None, &opts)
+            .expect("legacy adaptive");
+        let session = Simulator::new(build())
+            .transient(&TransientSpec::adaptive(2.0 * tau).with_options(opts))
+            .expect("session adaptive");
+        prop_assert_eq!(&legacy, &session);
+    }
+
+    /// The AC magnitude at the lowest frequency of a sweep equals the
+    /// DC small-signal gain obtained by finite-differencing a `dc_sweep`
+    /// — on random linear divider networks the two derivations of
+    /// dV(out)/dV(in) must agree to ≤ 1e-9 relative.
+    #[test]
+    fn ac_low_frequency_matches_dc_sweep_finite_difference(
+        r1 in 1e2f64..1e5,
+        r2 in 1e2f64..1e5,
+        c_load in 1e-12f64..1e-9,
+        bias in -2.0f64..2.0,
+    ) {
+        let build = || {
+            let mut c = Circuit::new();
+            let vin = c.node("in");
+            let out = c.node("out");
+            c.add(VoltageSource::dc("V1", vin, Circuit::ground(), bias));
+            c.add(Resistor::new("R1", vin, out, r1));
+            c.add(Resistor::new("R2", out, Circuit::ground(), r2));
+            c.add(Capacitor::new("C1", out, Circuit::ground(), c_load));
+            c
+        };
+        // The corner sits at 1/(2π(R1∥R2)C); probe five decades below
+        // it so the residual attenuation (f/fc)²/2 ≈ 5e-11 is inside
+        // the 1e-9 agreement bound.
+        let r_par = r1 * r2 / (r1 + r2);
+        let f_low = 1e-5 / (2.0 * std::f64::consts::PI * r_par * c_load);
+        let mut sim = Simulator::new(build());
+        let ac = sim
+            .ac(&AcSweep::list("V1", vec![f_low, 1e3 * f_low]))
+            .expect("ac");
+        let ac_gain = ac.magnitude("out").expect("probe")[0];
+        // Central finite difference of the swept transfer curve.
+        let h = 1e-4;
+        let fd = sim
+            .dc_sweep(&SweepSpec::new("V1", vec![bias - h, bias + h]))
+            .expect("fd sweep");
+        let vout = fd.voltage("out").expect("probe");
+        let fd_gain = ((vout[1] - vout[0]) / (2.0 * h)).abs();
+        prop_assert!(
+            (ac_gain - fd_gain).abs() <= 1e-9 * (1.0 + fd_gain),
+            "AC {ac_gain} vs finite-difference {fd_gain}"
+        );
+        // Sanity: both equal the analytic divider ratio.
+        let expect = r2 / (r1 + r2);
+        prop_assert!((ac_gain - expect).abs() <= 1e-9 * (1.0 + expect));
+    }
+}

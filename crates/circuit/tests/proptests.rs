@@ -1,7 +1,9 @@
 //! Property-based tests for the MNA engine: conservation laws and
-//! network theorems on randomly generated linear circuits.
+//! network theorems on randomly generated linear circuits, exercised
+//! through the `Simulator` session API.
 
 use cntfet_circuit::prelude::*;
+use cntfet_circuit::transient::TransientOptions;
 use proptest::prelude::*;
 
 proptest! {
@@ -30,13 +32,13 @@ proptest! {
             nodes.push(next);
             prev = next;
         }
-        let sol = solve_dc(&c, None).expect("dc");
+        let op = Simulator::new(c).op().expect("dc");
         let total: f64 = rs.iter().sum();
         let mut acc = 0.0;
         for (i, &r) in rs.iter().enumerate() {
             acc += r;
             let expect = vsrc * (1.0 - acc / total);
-            let got = sol.voltage(nodes[i]);
+            let got = op.voltage_at(nodes[i]);
             prop_assert!((got - expect).abs() < 1e-6 * (1.0 + expect.abs()),
                 "node {i}: {got} vs {expect}");
         }
@@ -61,8 +63,8 @@ proptest! {
             c.add(Resistor::new("R2", b, Circuit::ground(), r2));
             c.add(Resistor::new("R3", b, Circuit::ground(), r3));
             c.add(CurrentSource::dc("I2", Circuit::ground(), b, ia));
-            let sol = solve_dc(&c, None).expect("dc");
-            sol.voltage(b)
+            let op = Simulator::new(c).op().expect("dc");
+            op.voltage("b").expect("probe")
         };
         let both = build(v1, i2);
         let only_v = build(v1, 0.0);
@@ -83,9 +85,9 @@ proptest! {
         c.add(VoltageSource::dc("V1", a, Circuit::ground(), v));
         c.add(Resistor::new("R1", a, Circuit::ground(), r1));
         c.add(Resistor::new("R2", a, Circuit::ground(), r2));
-        let sol = solve_dc(&c, None).expect("dc");
         let bases = c.extra_var_bases();
-        let i_branch = sol.x[bases[0]];
+        let op = Simulator::new(c).op().expect("dc");
+        let i_branch = op.x()[bases[0]];
         let expected = -(v / r1 + v / r2);
         prop_assert!((i_branch - expected).abs() < 1e-9 * (1.0 + expected.abs()));
     }
@@ -102,16 +104,22 @@ proptest! {
         ckt.add(Resistor::new("R1", a, Circuit::ground(), r));
         ckt.add(Capacitor::new("C1", a, Circuit::ground(), c_f));
         // Start charged to 1 V (the cap holds the state; no source).
-        let x0 = vec![1.0];
-        let res = solve_transient(&ckt, 2.0 * tau, tau / 400.0, Some(&x0)).expect("tran");
-        let w = res.waveform(a);
+        let spec = TransientSpec::fixed(2.0 * tau, tau / 400.0)
+            .with_options(TransientOptions {
+                integrator: TimeIntegrator::BackwardEuler,
+                ..TransientOptions::default()
+            })
+            .with_initial(vec![1.0]);
+        let run = Simulator::new(ckt).transient(&spec).expect("tran");
+        let w = run.voltage("a").expect("probe");
         // After one time constant the voltage should be ~e^-1.
-        let idx = (res.time.len() - 1) / 2;
-        let expect = (-res.time[idx] / tau).exp();
+        let idx = (run.time().len() - 1) / 2;
+        let expect = (-run.time()[idx] / tau).exp();
         prop_assert!((w[idx] - expect).abs() < 0.01, "{} vs {expect}", w[idx]);
     }
 
-    /// Sweeping a source twice gives identical results (no hidden state).
+    /// Sweeping a source twice gives identical results (no hidden state
+    /// across sessions).
     #[test]
     fn dc_sweep_is_reproducible(v_end in 0.5f64..5.0) {
         let build = || {
@@ -121,13 +129,11 @@ proptest! {
             c.add(VoltageSource::dc("V1", a, Circuit::ground(), 0.0));
             c.add(Resistor::new("R1", a, b, 1e3));
             c.add(Resistor::new("R2", b, Circuit::ground(), 2e3));
-            (c, b)
+            c
         };
-        let vals: Vec<f64> = (0..6).map(|i| v_end * i as f64 / 5.0).collect();
-        let (mut c1, b1) = build();
-        let (mut c2, b2) = build();
-        let s1 = dc_sweep(&mut c1, "V1", &vals).expect("sweep 1");
-        let s2 = dc_sweep(&mut c2, "V1", &vals).expect("sweep 2");
-        prop_assert_eq!(s1.voltages(b1), s2.voltages(b2));
+        let spec = SweepSpec::linspace("V1", 0.0, v_end, 6);
+        let s1 = Simulator::new(build()).dc_sweep(&spec).expect("sweep 1");
+        let s2 = Simulator::new(build()).dc_sweep(&spec).expect("sweep 2");
+        prop_assert_eq!(s1.voltage("b").expect("probe"), s2.voltage("b").expect("probe"));
     }
 }

@@ -7,6 +7,7 @@
 
 use cntfet_circuit::element::AnalysisMode;
 use cntfet_circuit::prelude::*;
+use cntfet_circuit::transient::TransientOptions;
 use cntfet_core::CompactCntFet;
 use cntfet_numerics::sparse::{dense_lu_ops, DenseLuSolver, LinearSolver, SparseLuSolver};
 use cntfet_reference::DeviceParams;
@@ -75,8 +76,12 @@ proptest! {
             }
         }
         c.add(CurrentSource::dc("I1", Circuit::ground(), prev, isrc));
-        let sd = solve_dc_with(&c, None, &dense_opts()).expect("dense dc");
-        let ss = solve_dc_with(&c, None, &sparse_opts()).expect("sparse dc");
+        let sd = NewtonEngine::new(dense_opts())
+            .dc_operating_point(&c, None)
+            .expect("dense dc");
+        let ss = NewtonEngine::new(sparse_opts())
+            .dc_operating_point(&c, None)
+            .expect("sparse dc");
         let diff = max_node_voltage_diff(&c, &sd, &ss);
         prop_assert!(diff <= 1e-10, "dense vs sparse node voltages differ by {diff}");
     }
@@ -116,8 +121,12 @@ proptest! {
             extra_row_tol: 1e-19,
             ..sparse_opts()
         };
-        let sd = solve_dc_with(&c, None, &tight_dense).expect("dense dc");
-        let ss = solve_dc_with(&c, None, &tight_sparse).expect("sparse dc");
+        let sd = NewtonEngine::new(tight_dense)
+            .dc_operating_point(&c, None)
+            .expect("dense dc");
+        let ss = NewtonEngine::new(tight_sparse)
+            .dc_operating_point(&c, None)
+            .expect("sparse dc");
         let diff = max_node_voltage_diff(&c, &sd, &ss);
         prop_assert!(diff <= 1e-10, "dense vs sparse node voltages differ by {diff}");
     }
@@ -129,33 +138,49 @@ proptest! {
         rs in proptest::collection::vec(1e2f64..1e4, 2..6),
         c_f in 1e-12f64..1e-10,
     ) {
-        let mut ckt = Circuit::new();
-        let vin = ckt.node("in");
-        ckt.add(VoltageSource::with_waveform(
-            "V1",
-            vin,
-            Circuit::ground(),
-            Waveform::Pulse {
-                low: 0.0,
-                high: 1.0,
-                delay: 0.0,
-                rise: 1e-10,
-                width: 1.0,
-                fall: 1e-10,
-                period: 0.0,
-            },
-        ));
-        let mut prev = vin;
-        for (i, &r) in rs.iter().enumerate() {
-            let nxt = ckt.node(&format!("n{i}"));
-            ckt.add(Resistor::new(&format!("R{i}"), prev, nxt, r));
-            ckt.add(Capacitor::new(&format!("C{i}"), nxt, Circuit::ground(), c_f));
-            prev = nxt;
-        }
+        let build = || {
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            ckt.add(VoltageSource::with_waveform(
+                "V1",
+                vin,
+                Circuit::ground(),
+                Waveform::Pulse {
+                    low: 0.0,
+                    high: 1.0,
+                    delay: 0.0,
+                    rise: 1e-10,
+                    width: 1.0,
+                    fall: 1e-10,
+                    period: 0.0,
+                },
+            ));
+            let mut prev = vin;
+            for (i, &r) in rs.iter().enumerate() {
+                let nxt = ckt.node(&format!("n{i}"));
+                ckt.add(Resistor::new(&format!("R{i}"), prev, nxt, r));
+                ckt.add(Capacitor::new(&format!("C{i}"), nxt, Circuit::ground(), c_f));
+                prev = nxt;
+            }
+            ckt
+        };
         let tau = rs.iter().sum::<f64>() * c_f;
         let (t_stop, dt) = (2.0 * tau, tau / 50.0);
-        let td = solve_transient_with(&ckt, t_stop, dt, None, &dense_opts()).expect("dense tran");
-        let ts = solve_transient_with(&ckt, t_stop, dt, None, &sparse_opts()).expect("sparse tran");
+        let spec = |newton: NewtonOptions| {
+            TransientSpec::fixed(t_stop, dt).with_options(TransientOptions {
+                newton,
+                integrator: TimeIntegrator::BackwardEuler,
+                ..TransientOptions::default()
+            })
+        };
+        let td = Simulator::new(build())
+            .transient(&spec(dense_opts()))
+            .expect("dense tran")
+            .result;
+        let ts = Simulator::new(build())
+            .transient(&spec(sparse_opts()))
+            .expect("sparse tran")
+            .result;
         prop_assert_eq!(td.time.len(), ts.time.len());
         for (xd, xs) in td.states.iter().zip(&ts.states) {
             for (a, b) in xd.iter().zip(xs) {
@@ -257,10 +282,15 @@ fn inverter_vtc_sweep_agrees_between_backends() {
         (c, out)
     };
     let vals: Vec<f64> = (0..=16).map(|i| 0.8 * i as f64 / 16.0).collect();
-    let (mut cd, out_d) = build();
-    let (mut cs, out_s) = build();
-    let rd = dc_sweep_with(&mut cd, "VIN", &vals, &dense_opts()).expect("dense sweep");
-    let rs = dc_sweep_with(&mut cs, "VIN", &vals, &sparse_opts()).expect("sparse sweep");
+    let (cd, out_d) = build();
+    let (cs, out_s) = build();
+    let spec = SweepSpec::new("VIN", vals);
+    let rd = Simulator::with_options(cd, dense_opts())
+        .dc_sweep(&spec)
+        .expect("dense sweep");
+    let rs = Simulator::with_options(cs, sparse_opts())
+        .dc_sweep(&spec)
+        .expect("sparse sweep");
     for (a, b) in rd.voltages(out_d).iter().zip(rs.voltages(out_s)) {
         assert!((a - b).abs() <= 1e-9, "VTC points differ: {a} vs {b}");
     }

@@ -1,0 +1,244 @@
+//! A minimal complex-number type for frequency-domain linear algebra.
+//!
+//! The AC small-signal analysis of the circuit simulator solves
+//! `(G + jωC) x = b` — complex values over a real sparsity pattern. The
+//! build environment is air-gapped (no `num-complex`), and the solver
+//! only needs field arithmetic plus a magnitude, so this module provides
+//! exactly that: a `Copy` cartesian complex number with operator
+//! overloads, a robust (Smith's algorithm) division, and the polar
+//! accessors the response post-processing wants (modulus, argument, dB).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number in cartesian form, `re + j·im`.
+///
+/// # Examples
+///
+/// ```
+/// use cntfet_numerics::complex::Complex;
+///
+/// let a = Complex::new(3.0, 4.0);
+/// assert_eq!(a.abs(), 5.0);
+/// let rotated = a * Complex::I;
+/// assert_eq!(rotated, Complex::new(-4.0, 3.0));
+/// // Division is exact on Gaussian-rational inputs.
+/// assert_eq!(rotated / Complex::I, a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0j`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0j`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1j`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Builds `re + j·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely imaginary number `0 + j·im` (e.g. `jω` factors).
+    pub const fn imag(im: f64) -> Self {
+        Complex { re: 0.0, im }
+    }
+
+    /// Modulus `|z| = √(re² + im²)`, overflow-safe via [`f64::hypot`].
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `re² + im²` (no square root).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(−π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate `re − j·im`.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus in decibels, `20·log₁₀|z|` (−∞ for zero).
+    pub fn abs_db(self) -> f64 {
+        20.0 * self.abs().log10()
+    }
+
+    /// `true` when both parts are finite (no NaN or infinity).
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    /// Smith's algorithm: scales by the larger component of the divisor
+    /// so intermediate products cannot overflow prematurely. Division by
+    /// zero yields non-finite parts (as for `f64`), never panics.
+    fn div(self, rhs: Complex) -> Complex {
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let den = rhs.re + rhs.im * r;
+            Complex {
+                re: (self.re + self.im * r) / den,
+                im: (self.im - self.re * r) / den,
+            }
+        } else {
+            let r = rhs.re / rhs.im;
+            let den = rhs.im + rhs.re * r;
+            Complex {
+                re: (self.re * r + self.im) / den,
+                im: (self.im * r - self.re) / den,
+            }
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex {
+            re: self.re * rhs,
+            im: self.im * rhs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert!(((a * b) / b - a).abs() < 1e-15);
+        let mut acc = Complex::ZERO;
+        acc += a;
+        acc -= b;
+        acc *= Complex::I;
+        assert_eq!(acc, Complex::new(-2.0, 3.0) * Complex::I);
+    }
+
+    #[test]
+    fn division_is_overflow_safe() {
+        // Naive (re²+im²) division would overflow to infinity here.
+        let big = Complex::new(1e200, 1e200);
+        let q = big / big;
+        assert!((q.re - 1.0).abs() < 1e-15 && q.im.abs() < 1e-15, "{q}");
+        let z = Complex::ONE / Complex::ZERO;
+        assert!(!z.is_finite());
+    }
+
+    #[test]
+    fn polar_accessors() {
+        let z = Complex::new(0.0, 2.0);
+        assert_eq!(z.abs(), 2.0);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!((z.abs_db() - 20.0 * 2.0f64.log10()).abs() < 1e-12);
+        assert_eq!(z.conj(), Complex::new(0.0, -2.0));
+        assert_eq!(z.norm_sqr(), 4.0);
+        assert_eq!(Complex::from(1.5), Complex::new(1.5, 0.0));
+        assert_eq!(Complex::imag(-2.0), Complex::new(0.0, -2.0));
+        assert_eq!(Complex::new(3.0, -1.0) * 2.0, Complex::new(6.0, -2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+}

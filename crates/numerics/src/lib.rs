@@ -12,7 +12,10 @@
 //!   Householder-QR least squares;
 //! * [`sparse`] — triplet → CSR assembly with a cached sparsity pattern
 //!   and a [`sparse::LinearSolver`] trait (dense-LU fallback + fill-reusing
-//!   sparse LU) for the circuit simulator's MNA systems;
+//!   sparse LU, scalar-generic over real and complex values) for the
+//!   circuit simulator's MNA systems;
+//! * [`complex`] — a minimal complex number for the frequency-domain
+//!   (AC small-signal) solves of the circuit simulator;
 //! * [`fit`] — unconstrained and equality-constrained polynomial least
 //!   squares (the constraint machinery implements the paper's C¹-continuity
 //!   requirement);
@@ -36,6 +39,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod complex;
 pub mod error;
 pub mod fit;
 pub mod interp;

@@ -53,8 +53,10 @@
 //!    [`SparseLuSolver::refactor_count`] counters make the fallback
 //!    observable in benchmarks.
 
+use crate::complex::Complex;
 use crate::error::NumericsError;
 use crate::linalg::Matrix;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 use std::sync::Arc;
 
 /// The symbolic (structure-only) part of a CSR matrix: row pointers and
@@ -527,26 +529,120 @@ impl LinearSolver for DenseLuSolver {
     }
 }
 
-/// Sparse LU with a cached elimination plan.
+/// Scalar types the sparse LU elimination is generic over.
+///
+/// The factorisation algorithm only needs field arithmetic plus a real
+/// magnitude for pivot decisions, so one implementation serves both the
+/// real Newton Jacobians (`f64`, via [`SparseLuSolver`]) and the complex
+/// AC small-signal systems `G + jωC` ([`Complex`], via [`SparseLu`]).
+pub trait LuScalar:
+    Copy
+    + std::fmt::Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+
+    /// Magnitude used for pivot eligibility and collapse detection.
+    fn modulus(self) -> f64;
+
+    /// `true` when the value has no NaN or infinite component.
+    fn is_finite(self) -> bool;
+}
+
+impl LuScalar for f64 {
+    const ZERO: Self = 0.0;
+
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl LuScalar for Complex {
+    const ZERO: Self = Complex::ZERO;
+
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+
+    fn is_finite(self) -> bool {
+        Complex::is_finite(self)
+    }
+}
+
+/// Scalar-generic sparse LU with a cached elimination plan, operating on
+/// a shared [`SparsityPattern`] plus a value slice in pattern slot
+/// order.
 ///
 /// The first factorisation of a pattern runs a full right-looking
 /// elimination with Markowitz-style threshold pivoting (prefer short
 /// rows among candidates whose pivot magnitude is within
-/// `pivot_threshold` of the column maximum) and records the pivot order
+/// `PIVOT_THRESHOLD` of the column maximum) and records the pivot order
 /// plus the complete fill-in pattern. Later factorisations of the *same*
 /// pattern replay the elimination over the frozen structure with a dense
 /// scatter workspace — no pivot search, no pattern discovery, no
 /// allocation. If a frozen pivot collapses numerically the solver
 /// transparently redoes the pivoting factorisation.
-#[derive(Debug, Default)]
-pub struct SparseLuSolver {
+///
+/// For real systems assembled as [`CsrMatrix`], use the
+/// [`SparseLuSolver`] wrapper (which implements [`LinearSolver`]); use
+/// this type directly for complex-valued systems such as AC sweeps,
+/// where one frozen pattern is re-valued per frequency point:
+///
+/// ```
+/// use cntfet_numerics::complex::Complex;
+/// use cntfet_numerics::sparse::{SparseLu, TripletMatrix};
+/// use std::sync::Arc;
+///
+/// // Pattern from a real assembly; values re-valued per frequency.
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(1, 1, 1.0);
+/// let pattern = Arc::clone(t.to_csr().pattern());
+/// let mut lu = SparseLu::<Complex>::new();
+/// for omega in [1.0, 10.0, 100.0] {
+///     let vals = vec![Complex::new(1.0, omega), Complex::new(2.0, omega)];
+///     lu.factor(&pattern, &vals).unwrap();
+///     let x = lu.solve_factored(&[Complex::ONE, Complex::ONE]).unwrap();
+///     assert!((x[0] - Complex::ONE / Complex::new(1.0, omega)).abs() < 1e-15);
+/// }
+/// assert_eq!(lu.symbolic_factor_count(), 1); // ordered once,
+/// assert_eq!(lu.refactor_count(), 2); // re-valued afterwards
+/// ```
+#[derive(Debug)]
+pub struct SparseLu<T> {
     symbolic: Option<Symbolic>,
-    f_values: Vec<f64>,
-    diag: Vec<f64>,
-    work: Vec<f64>,
+    f_values: Vec<T>,
+    diag: Vec<T>,
+    work: Vec<T>,
     ops: u64,
     symbolic_factors: u64,
     refactors: u64,
+}
+
+impl<T> Default for SparseLu<T> {
+    fn default() -> Self {
+        SparseLu {
+            symbolic: None,
+            f_values: Vec::new(),
+            diag: Vec::new(),
+            work: Vec::new(),
+            ops: 0,
+            symbolic_factors: 0,
+            refactors: 0,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -579,7 +675,7 @@ const PIVOT_THRESHOLD: f64 = 1e-3;
 /// triggers a fresh pivoting factorisation.
 const REPIVOT_RATIO: f64 = 1e-12;
 
-impl SparseLuSolver {
+impl<T: LuScalar> SparseLu<T> {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Self::default()
@@ -595,17 +691,80 @@ impl SparseLuSolver {
         self.refactors
     }
 
+    /// Multiply–accumulate + divide count of the most recent
+    /// factorisation.
+    pub fn factor_ops(&self) -> u64 {
+        self.ops
+    }
+
     /// Number of stored L+U entries of the current elimination plan
     /// (0 before the first factorisation).
     pub fn factor_nnz(&self) -> usize {
         self.symbolic.as_ref().map_or(0, |s| s.f_col_idx.len())
     }
 
+    /// Factors the matrix given by `pattern` plus `values` (in pattern
+    /// slot order), replacing any previously stored factors. The same
+    /// pattern as the last call takes the fast elimination-replay path;
+    /// a failed factorisation discards the previous factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] for (numerically)
+    /// singular input and [`NumericsError::InvalidInput`] for non-square
+    /// input or a value slice that does not match the pattern.
+    pub fn factor(
+        &mut self,
+        pattern: &Arc<SparsityPattern>,
+        values: &[T],
+    ) -> Result<(), NumericsError> {
+        if pattern.rows() != pattern.cols() {
+            return Err(NumericsError::InvalidInput(format!(
+                "factor requires a square matrix, got {}x{}",
+                pattern.rows(),
+                pattern.cols()
+            )));
+        }
+        if values.len() != pattern.nnz() {
+            return Err(NumericsError::InvalidInput(format!(
+                "value slice length {} does not match pattern nnz {}",
+                values.len(),
+                pattern.nnz()
+            )));
+        }
+        let same_pattern = self
+            .symbolic
+            .as_ref()
+            .is_some_and(|s| Arc::ptr_eq(&s.pattern, pattern) || *s.pattern == **pattern);
+        if same_pattern {
+            match self.refactor(values) {
+                Ok(()) => return Ok(()),
+                // A frozen pivot collapsed; fall through and re-pivot.
+                Err(NumericsError::SingularMatrix { .. }) => {}
+                Err(e) => {
+                    self.symbolic = None;
+                    return Err(e);
+                }
+            }
+        }
+        let result = self.factor_with_pivoting(pattern, values);
+        if result.is_err() {
+            // A failed refactor has already overwritten parts of the
+            // factor storage; never let solve_factored read that
+            // half-updated state as if it were the previous factors.
+            self.symbolic = None;
+        }
+        result
+    }
+
     /// Full factorisation with pivot search; records the elimination
     /// plan for later replays.
-    fn factor_with_pivoting(&mut self, a: &CsrMatrix) -> Result<(), NumericsError> {
-        let n = a.rows();
-        let pattern = a.pattern();
+    fn factor_with_pivoting(
+        &mut self,
+        pattern: &Arc<SparsityPattern>,
+        values: &[T],
+    ) -> Result<(), NumericsError> {
+        let n = pattern.rows();
         // Static fill-reducing column ordering: eliminate low-degree
         // columns first. Dense columns (e.g. a supply rail touching
         // every gate) would otherwise be eliminated early and couple
@@ -622,12 +781,12 @@ impl SparseLuSolver {
         }
         // Working rows as (virtual column, value) vectors sorted by
         // virtual (elimination-order) column.
-        let mut rows: Vec<Vec<(usize, f64)>> = (0..n)
+        let mut rows: Vec<Vec<(usize, T)>> = (0..n)
             .map(|r| {
                 let lo = pattern.row_ptr[r];
                 let hi = pattern.row_ptr[r + 1];
-                let mut row: Vec<(usize, f64)> = (lo..hi)
-                    .map(|i| (col_rank[pattern.col_idx[i]], a.values()[i]))
+                let mut row: Vec<(usize, T)> = (lo..hi)
+                    .map(|i| (col_rank[pattern.col_idx[i]], values[i]))
                     .collect();
                 row.sort_by_key(|e| e.0);
                 row
@@ -654,7 +813,7 @@ impl SparseLuSolver {
                 let i = rows[r]
                     .binary_search_by_key(&k, |e| e.0)
                     .expect("structural entry");
-                maxabs = maxabs.max(rows[r][i].1.abs());
+                maxabs = maxabs.max(rows[r][i].1.modulus());
             }
             if maxabs == 0.0 || !maxabs.is_finite() {
                 return Err(NumericsError::SingularMatrix { pivot: k });
@@ -669,7 +828,7 @@ impl SparseLuSolver {
                 let i = rows[r]
                     .binary_search_by_key(&k, |e| e.0)
                     .expect("structural entry");
-                let mag = rows[r][i].1.abs();
+                let mag = rows[r][i].1.modulus();
                 if mag >= PIVOT_THRESHOLD * maxabs {
                     let len = rows[r].len();
                     let better = best
@@ -687,7 +846,7 @@ impl SparseLuSolver {
                 .expect("pivot entry");
             let pivot_val = rows[prow][pstart].1;
             // Clone the pivot row's U tail once per step (merge source).
-            let utail: Vec<(usize, f64)> = rows[prow][pstart + 1..].to_vec();
+            let utail: Vec<(usize, T)> = rows[prow][pstart + 1..].to_vec();
             let candidates: Vec<usize> = col_rows[k]
                 .iter()
                 .copied()
@@ -703,7 +862,7 @@ impl SparseLuSolver {
                 // rows[r][ei+1..] -= m * utail  (sorted two-way merge;
                 // performed even for m == 0 so the recorded pattern stays
                 // valid for any values with this structure).
-                let old_tail: Vec<(usize, f64)> = rows[r].split_off(ei + 1);
+                let old_tail: Vec<(usize, T)> = rows[r].split_off(ei + 1);
                 let mut oi = 0;
                 let mut ui = 0;
                 while oi < old_tail.len() || ui < utail.len() {
@@ -750,7 +909,7 @@ impl SparseLuSolver {
             f_row_ptr.push(f_col_idx.len());
         }
         let diag_slot: Vec<usize> = (0..n).map(|k| u_start[perm[k]]).collect();
-        let diag: Vec<f64> = diag_slot.iter().map(|&s| f_values[s]).collect();
+        let diag: Vec<T> = diag_slot.iter().map(|&s| f_values[s]).collect();
         // Map every slot of A into factor storage (A ⊆ fill pattern).
         let mut a_to_f = Vec::with_capacity(pattern.nnz());
         for r in 0..n {
@@ -775,7 +934,7 @@ impl SparseLuSolver {
         });
         self.f_values = f_values;
         self.diag = diag;
-        self.work = vec![0.0; n];
+        self.work = vec![T::ZERO; n];
         self.ops = ops;
         self.symbolic_factors += 1;
         Ok(())
@@ -784,11 +943,11 @@ impl SparseLuSolver {
     /// Replays the recorded elimination over new values. Returns
     /// `Err(SingularMatrix)` when a frozen pivot collapses — the caller
     /// falls back to a fresh pivoting factorisation.
-    fn refactor(&mut self, a: &CsrMatrix) -> Result<(), NumericsError> {
+    fn refactor(&mut self, values: &[T]) -> Result<(), NumericsError> {
         let s = self.symbolic.as_ref().expect("refactor requires symbolic");
-        let n = a.rows();
-        self.f_values.iter_mut().for_each(|v| *v = 0.0);
-        for (slot, &v) in a.values().iter().enumerate() {
+        let n = s.perm.len();
+        self.f_values.iter_mut().for_each(|v| *v = T::ZERO);
+        for (slot, &v) in values.iter().enumerate() {
             self.f_values[s.a_to_f[slot]] += v;
         }
         let mut ops: u64 = 0;
@@ -817,15 +976,15 @@ impl SparseLuSolver {
             let pivot = self.work[k];
             let mut umax = 0.0f64;
             for i in s.u_start[r]..hi {
-                umax = umax.max(self.work[s.f_col_idx[i]].abs());
+                umax = umax.max(self.work[s.f_col_idx[i]].modulus());
             }
             // Gather back and clear the workspace.
             for i in lo..hi {
                 let c = s.f_col_idx[i];
                 self.f_values[i] = self.work[c];
-                self.work[c] = 0.0;
+                self.work[c] = T::ZERO;
             }
-            if !pivot.is_finite() || pivot.abs() < REPIVOT_RATIO * umax || pivot == 0.0 {
+            if !pivot.is_finite() || pivot.modulus() < REPIVOT_RATIO * umax || pivot == T::ZERO {
                 return Err(NumericsError::SingularMatrix { pivot: k });
             }
             self.diag[k] = pivot;
@@ -834,47 +993,15 @@ impl SparseLuSolver {
         self.refactors += 1;
         Ok(())
     }
-}
 
-impl LinearSolver for SparseLuSolver {
-    fn name(&self) -> &'static str {
-        "sparse-lu"
-    }
-
-    fn factor(&mut self, a: &CsrMatrix) -> Result<(), NumericsError> {
-        if a.rows() != a.cols() {
-            return Err(NumericsError::InvalidInput(format!(
-                "factor requires a square matrix, got {}x{}",
-                a.rows(),
-                a.cols()
-            )));
-        }
-        let same_pattern = self
-            .symbolic
-            .as_ref()
-            .is_some_and(|s| Arc::ptr_eq(&s.pattern, a.pattern()) || *s.pattern == **a.pattern());
-        if same_pattern {
-            match self.refactor(a) {
-                Ok(()) => return Ok(()),
-                // A frozen pivot collapsed; fall through and re-pivot.
-                Err(NumericsError::SingularMatrix { .. }) => {}
-                Err(e) => {
-                    self.symbolic = None;
-                    return Err(e);
-                }
-            }
-        }
-        let result = self.factor_with_pivoting(a);
-        if result.is_err() {
-            // A failed refactor has already overwritten parts of the
-            // factor storage; never let solve_factored read that
-            // half-updated state as if it were the previous factors.
-            self.symbolic = None;
-        }
-        result
-    }
-
-    fn solve_factored(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    /// Solves `A x = b` with the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] when there are no valid
+    /// factors (never factored, or the last factor failed) or `b` has
+    /// the wrong length.
+    pub fn solve_factored(&self, b: &[T]) -> Result<Vec<T>, NumericsError> {
         let s = self.symbolic.as_ref().ok_or_else(|| {
             NumericsError::InvalidInput("solve_factored called before factor".into())
         })?;
@@ -886,7 +1013,7 @@ impl LinearSolver for SparseLuSolver {
             )));
         }
         // Forward: L y = P b, in pivot order (L columns are steps).
-        let mut y = vec![0.0; n];
+        let mut y = vec![T::ZERO; n];
         for (k, &r) in s.perm.iter().enumerate() {
             let mut acc = b[r];
             for i in s.f_row_ptr[r]..s.u_start[r] {
@@ -895,7 +1022,7 @@ impl LinearSolver for SparseLuSolver {
             y[k] = acc;
         }
         // Backward: U xv = y in virtual column space.
-        let mut xv = vec![0.0; n];
+        let mut xv = vec![T::ZERO; n];
         for k in (0..n).rev() {
             let r = s.perm[k];
             let mut acc = y[k];
@@ -905,15 +1032,61 @@ impl LinearSolver for SparseLuSolver {
             xv[k] = acc / self.diag[k];
         }
         // Undo the static column ordering.
-        let mut x = vec![0.0; n];
+        let mut x = vec![T::ZERO; n];
         for (k, &c) in s.col_order.iter().enumerate() {
             x[c] = xv[k];
         }
         Ok(x)
     }
+}
+
+/// The real-valued sparse LU behind the circuit engine's sparse Newton
+/// solves: a thin [`LinearSolver`] adapter over [`SparseLu<f64>`] that
+/// factors assembled [`CsrMatrix`] Jacobians. See [`SparseLu`] for the
+/// elimination-plan caching semantics.
+#[derive(Debug, Default)]
+pub struct SparseLuSolver {
+    core: SparseLu<f64>,
+}
+
+impl SparseLuSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of full (pivot-searching) factorisations performed.
+    pub fn symbolic_factor_count(&self) -> u64 {
+        self.core.symbolic_factor_count()
+    }
+
+    /// Number of fast pattern-replay factorisations performed.
+    pub fn refactor_count(&self) -> u64 {
+        self.core.refactor_count()
+    }
+
+    /// Number of stored L+U entries of the current elimination plan
+    /// (0 before the first factorisation).
+    pub fn factor_nnz(&self) -> usize {
+        self.core.factor_nnz()
+    }
+}
+
+impl LinearSolver for SparseLuSolver {
+    fn name(&self) -> &'static str {
+        "sparse-lu"
+    }
+
+    fn factor(&mut self, a: &CsrMatrix) -> Result<(), NumericsError> {
+        self.core.factor(a.pattern(), a.values())
+    }
+
+    fn solve_factored(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        self.core.solve_factored(b)
+    }
 
     fn factor_ops(&self) -> u64 {
-        self.ops
+        self.core.factor_ops()
     }
 }
 
@@ -1144,6 +1317,123 @@ mod tests {
         for (s, d) in xs.iter().zip(&xd) {
             assert!((s - d).abs() < 1e-9, "{s} vs {d}");
         }
+    }
+
+    #[test]
+    fn complex_lu_matches_hand_solution() {
+        // (1+j)·x0 + 1·x1 = 1 ;  1·x0 + (1−j)·x1 = j
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 0.0);
+        t.push(0, 1, 0.0);
+        t.push(1, 0, 0.0);
+        t.push(1, 1, 0.0);
+        let pattern = Arc::clone(t.to_csr().pattern());
+        let vals = [
+            Complex::new(1.0, 1.0),
+            Complex::ONE,
+            Complex::ONE,
+            Complex::new(1.0, -1.0),
+        ];
+        let mut lu = SparseLu::<Complex>::new();
+        lu.factor(&pattern, &vals).expect("complex factor");
+        let x = lu
+            .solve_factored(&[Complex::ONE, Complex::I])
+            .expect("complex solve");
+        // Determinant = (1+j)(1−j) − 1 = 1; Cramer gives
+        // x0 = (1−j) − j = 1 − 2j, x1 = (1+j)j − 1 = −2 + j... recompute:
+        // x0 = (1·(1−j) − 1·j) / 1 = 1 − 2j
+        // x1 = ((1+j)·j − 1·1) / 1 = −2 + j
+        assert!((x[0] - Complex::new(1.0, -2.0)).abs() < 1e-14, "{}", x[0]);
+        assert!((x[1] - Complex::new(-2.0, 1.0)).abs() < 1e-14, "{}", x[1]);
+        // Residual check: A x == b.
+        let b0 = vals[0] * x[0] + vals[1] * x[1];
+        let b1 = vals[2] * x[0] + vals[3] * x[1];
+        assert!((b0 - Complex::ONE).abs() < 1e-14);
+        assert!((b1 - Complex::I).abs() < 1e-14);
+    }
+
+    #[test]
+    fn complex_refactor_replays_frozen_plan() {
+        // An RC-divider style system re-valued across frequencies: the
+        // pattern is ordered once, every later frequency replays it.
+        let n = 16;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let csr = t.to_csr();
+        let pattern = Arc::clone(csr.pattern());
+        let g: Vec<f64> = csr.values().to_vec();
+        let mut lu = SparseLu::<Complex>::new();
+        let mut first_ops = 0;
+        for (k, omega) in [1.0, 10.0, 100.0, 1000.0].into_iter().enumerate() {
+            let vals: Vec<Complex> = g.iter().map(|&gr| Complex::new(gr, 1e-3 * omega)).collect();
+            lu.factor(&pattern, &vals).expect("factor");
+            if k == 0 {
+                first_ops = lu.factor_ops();
+            }
+            let b = vec![Complex::ONE; n];
+            let x = lu.solve_factored(&b).expect("solve");
+            // Residual of the tridiagonal system at every row.
+            for r in 0..n {
+                let mut acc = vals[pattern.slot(r, r).unwrap()] * x[r];
+                if r > 0 {
+                    acc += vals[pattern.slot(r, r - 1).unwrap()] * x[r - 1];
+                }
+                if r + 1 < n {
+                    acc += vals[pattern.slot(r, r + 1).unwrap()] * x[r + 1];
+                }
+                assert!((acc - Complex::ONE).abs() < 1e-12, "row {r}: {acc}");
+            }
+        }
+        assert_eq!(lu.symbolic_factor_count(), 1, "ordered exactly once");
+        assert_eq!(lu.refactor_count(), 3, "re-valued per frequency");
+        assert_eq!(lu.factor_ops(), first_ops, "replay costs the same ops");
+    }
+
+    #[test]
+    fn complex_singular_matrix_is_reported() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 4.0);
+        let csr = t.to_csr();
+        let vals: Vec<Complex> = csr.values().iter().map(|&v| Complex::from(v)).collect();
+        let mut lu = SparseLu::<Complex>::new();
+        assert!(matches!(
+            lu.factor(csr.pattern(), &vals),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+        assert!(matches!(
+            lu.solve_factored(&[Complex::ONE, Complex::ONE]),
+            Err(NumericsError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn generic_factor_rejects_bad_shapes() {
+        let mut t = TripletMatrix::new(2, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let csr = t.to_csr();
+        let mut lu = SparseLu::<f64>::new();
+        assert!(matches!(
+            lu.factor(csr.pattern(), csr.values()),
+            Err(NumericsError::InvalidInput(_))
+        ));
+        let mut sq = TripletMatrix::new(2, 2);
+        sq.push(0, 0, 1.0);
+        sq.push(1, 1, 1.0);
+        let sq = sq.to_csr();
+        assert!(matches!(
+            lu.factor(sq.pattern(), &[1.0]),
+            Err(NumericsError::InvalidInput(_))
+        ));
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! case.
 //!
 //! Builds a complementary inverter from two mirror-symmetric Model 2
-//! devices, sweeps the input and prints the VTC plus the extracted gain
-//! and switching threshold.
+//! devices in one `Simulator` session, sweeps the input, prints the VTC
+//! with the extracted switching threshold, then re-biases the *same*
+//! session at the threshold and measures the exact small-signal gain
+//! with an AC analysis (no finite-difference noise, no rebuilt solver
+//! caches).
 //!
 //! Run with `cargo run --release --example inverter_vtc`.
 
@@ -26,40 +29,43 @@ fn main() -> Result<(), Box<dyn Error>> {
     ckt.add(VoltageSource::dc("VIN", vin, Circuit::ground(), 0.0));
     add_inverter(&mut ckt, &tech, "inv1", vin, out, vdd);
 
-    let points = 41;
-    let values: Vec<f64> = (0..points)
-        .map(|i| tech.vdd * i as f64 / (points - 1) as f64)
-        .collect();
-    let sweep = dc_sweep(&mut ckt, "VIN", &values)?;
-    let vtc = sweep.voltages(out);
+    let mut sim = Simulator::new(ckt);
+    let sweep = sim.dc_sweep(&SweepSpec::linspace("VIN", 0.0, tech.vdd, 41))?;
+    let vtc = sweep.voltage("out")?;
 
     println!("# CNT inverter VTC, VDD = {} V", tech.vdd);
     println!("vin\tvout");
-    for (vi, vo) in values.iter().zip(&vtc) {
+    for (vi, vo) in sweep.values.iter().zip(vtc) {
         println!("{vi:.4}\t{vo:.4}");
     }
 
-    // Extract the switching threshold (closest point to vout = VDD/2) and
-    // the peak small-signal gain.
+    // Switching threshold: the sweep point whose output is closest to
+    // mid-rail.
     let mid = tech.vdd / 2.0;
-    let (threshold, _) = values
+    let threshold = sweep
+        .values
         .iter()
-        .zip(&vtc)
+        .zip(vtc)
         .min_by(|(_, a), (_, b)| {
             (*a - mid)
                 .abs()
                 .partial_cmp(&(*b - mid).abs())
                 .expect("finite")
         })
-        .map(|(v, o)| (*v, *o))
+        .map(|(v, _)| *v)
         .expect("non-empty sweep");
-    let mut gain = 0.0f64;
-    for w in values.windows(2).zip(vtc.windows(2)) {
-        let dv = w.0[1] - w.0[0];
-        let dout = w.1[1] - w.1[0];
-        gain = gain.max((dout / dv).abs());
-    }
     println!("# switching threshold ~ {threshold:.3} V (mid-rail {mid:.3} V)");
-    println!("# peak |dVout/dVin| ~ {gain:.1}");
+
+    // Small-signal gain at the threshold, from the same session: bias
+    // VIN there and run a one-point AC analysis far below the device
+    // capacitance corner. |H| is the exact dVout/dVin of the linearised
+    // circuit.
+    sim.set_source("VIN", threshold)?;
+    let ac = sim.ac(&AcSweep::list("VIN", vec![1.0]))?;
+    println!(
+        "# small-signal gain at threshold: |dVout/dVin| = {:.1} (phase {:.0} deg)",
+        ac.magnitude("out")?[0],
+        ac.phase_deg("out")?[0]
+    );
     Ok(())
 }

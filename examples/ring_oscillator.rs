@@ -2,10 +2,11 @@
 //! the compact model inside the MNA engine — the "practical logic
 //! circuit structures" of the paper's future-work section.
 //!
-//! The run uses `solve_transient_adaptive` (LTE-controlled BDF2), which
-//! resolves the ~32 ps oscillation with several times fewer steps than
-//! the fixed backward-Euler grid this example used historically (see
-//! the `transient_scaling` bench for the measured comparison).
+//! The run drives a `Simulator` session with an adaptive
+//! `TransientSpec` (LTE-controlled BDF2), which resolves the ~32 ps
+//! oscillation with several times fewer steps than the fixed
+//! backward-Euler grid this example used historically (see the
+//! `transient_scaling` bench for the measured comparison).
 //!
 //! Run with `cargo run --release --example ring_oscillator`.
 
@@ -41,7 +42,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         abs_tol: 1e-4,
         ..TransientOptions::default()
     };
-    let run = solve_transient_adaptive(&ckt, t_stop, Some(&x0), &options)?;
+    let mut sim = Simulator::new(ckt);
+    let run = sim.transient(
+        &TransientSpec::adaptive(t_stop)
+            .with_options(options)
+            .with_initial(x0),
+    )?;
     let w0 = run.result.waveform(stages[0]);
 
     println!(

@@ -94,9 +94,9 @@ fn circuit_level_device_agrees_with_standalone_model() {
         Circuit::ground(),
         100e-9,
     ));
-    let sol = solve_dc(&ckt, None).expect("dc");
     let bases = ckt.extra_var_bases();
-    let i_drain = -sol.x[bases[0]]; // VD branch current supplies the drain
+    let op = Simulator::new(ckt).op().expect("dc");
+    let i_drain = -op.x()[bases[0]]; // VD branch current supplies the drain
     let standalone = model.ids(0.55, 0.45).expect("ids");
     assert!(
         (i_drain - standalone).abs() < 1e-9 + 1e-6 * standalone,
@@ -118,9 +118,9 @@ fn cnt_inverter_chain_propagates_logic() {
     ckt.add(VoltageSource::dc("VIN", a, Circuit::ground(), 0.0));
     add_inverter(&mut ckt, &tech, "i1", a, b, vdd);
     add_inverter(&mut ckt, &tech, "i2", b, c, vdd);
-    let sol = solve_dc(&ckt, None).expect("dc");
-    assert!(sol.voltage(b) > 0.9 * tech.vdd, "first stage high");
-    assert!(sol.voltage(c) < 0.1 * tech.vdd, "second stage low");
+    let op = Simulator::new(ckt).op().expect("dc");
+    assert!(op.voltage_at(b) > 0.9 * tech.vdd, "first stage high");
+    assert!(op.voltage_at(c) < 0.1 * tech.vdd, "second stage low");
 }
 
 /// More segments with *untuned* boundaries are not automatically better
