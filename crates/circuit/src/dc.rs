@@ -44,8 +44,9 @@ impl Solution {
             caches and operating point are shared across analyses"
 )]
 pub fn solve_dc(circuit: &Circuit, initial: Option<&[f64]>) -> Result<Solution, CircuitError> {
-    #[allow(deprecated)]
-    solve_dc_with(circuit, initial, &NewtonOptions::default())
+    // Calls the engine directly (not the sibling deprecated wrapper):
+    // nothing inside the crate depends on a deprecated entry point.
+    NewtonEngine::new(NewtonOptions::default()).dc_operating_point(circuit, initial)
 }
 
 /// [`solve_dc`] with explicit [`NewtonOptions`] (tolerances, damping,

@@ -1,0 +1,131 @@
+//! Lowering a parsed [`Deck`] onto the circuit layer: `.model` cards
+//! become fitted [`CompactCntFet`] models (fitted once, shared across
+//! rebuilds), element cards become [`Circuit`] elements in card order —
+//! which fixes the node-creation order and therefore the whole MNA
+//! unknown layout, making deck-built and programmatically-built
+//! circuits bitwise comparable.
+
+use super::error::DeckError;
+use super::{CnfetCard, Deck, ElementCard, ModelCard};
+use crate::cnfet::{CnfetElement, Polarity};
+use crate::element::{Capacitor, CurrentSource, Resistor, VoltageSource};
+use crate::netlist::Circuit;
+use cntfet_core::CompactCntFet;
+use cntfet_physics::units::{ElectronVolts, Kelvin};
+use cntfet_reference::DeviceParams;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A fitted `.model` card.
+#[derive(Debug, Clone)]
+pub(crate) struct BuiltModel {
+    model: Arc<CompactCntFet>,
+    polarity: Polarity,
+    default_length_m: f64,
+}
+
+/// The deck's fitted models, keyed by model name.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ModelTable {
+    map: HashMap<String, BuiltModel>,
+}
+
+impl ModelTable {
+    fn lookup(&self, card: &CnfetCard) -> &BuiltModel {
+        // Parse-time validation guarantees the reference resolves.
+        &self.map[&card.model]
+    }
+}
+
+fn fit_model(card: &ModelCard) -> Result<BuiltModel, DeckError> {
+    let params = DeviceParams::paper_default()
+        .with_fermi_level(ElectronVolts(card.fermi_level_ev))
+        .with_temperature(Kelvin(card.temperature_k));
+    let model = CompactCntFet::model2(params).map_err(|e| {
+        card.origin
+            .error(format!("model '{}' failed to fit: {e}", card.name))
+    })?;
+    Ok(BuiltModel {
+        model: Arc::new(model),
+        polarity: card.polarity,
+        default_length_m: card.default_length_m,
+    })
+}
+
+impl Deck {
+    /// Fits every `.model` card (the expensive one-off step — the
+    /// piecewise charge fit), shared across per-analysis circuit
+    /// rebuilds in [`Deck::run`](super::Deck::run).
+    pub(crate) fn build_models(&self) -> Result<ModelTable, DeckError> {
+        let mut map = HashMap::new();
+        for card in &self.models {
+            map.insert(card.name.clone(), fit_model(card)?);
+        }
+        Ok(ModelTable { map })
+    }
+
+    /// Lowers the deck into a fresh [`Circuit`], fitting the CNFET
+    /// models first. Node names intern in first-appearance order and
+    /// elements are added in card order, so two builds of the same deck
+    /// (or a deck and the equivalent programmatic construction) share
+    /// the identical unknown layout.
+    ///
+    /// # Errors
+    ///
+    /// [`DeckError`] when a `.model` card fails to fit (everything
+    /// else was validated at parse time).
+    pub fn circuit(&self) -> Result<Circuit, DeckError> {
+        let models = self.build_models()?;
+        Ok(self.circuit_with(&models))
+    }
+
+    /// [`Deck::circuit`] over pre-fitted models.
+    pub(crate) fn circuit_with(&self, models: &ModelTable) -> Circuit {
+        let mut circuit = Circuit::new();
+        for card in &self.elements {
+            match card {
+                ElementCard::Resistor(c) => {
+                    let plus = circuit.node(&c.plus);
+                    let minus = circuit.node(&c.minus);
+                    circuit.add(Resistor::new(&c.name, plus, minus, c.ohms));
+                }
+                ElementCard::Capacitor(c) => {
+                    let plus = circuit.node(&c.plus);
+                    let minus = circuit.node(&c.minus);
+                    circuit.add(Capacitor::new(&c.name, plus, minus, c.farads));
+                }
+                ElementCard::Voltage(c) => {
+                    let plus = circuit.node(&c.plus);
+                    let minus = circuit.node(&c.minus);
+                    circuit.add(VoltageSource::with_waveform(
+                        &c.name,
+                        plus,
+                        minus,
+                        c.waveform.clone(),
+                    ));
+                }
+                ElementCard::Current(c) => {
+                    let plus = circuit.node(&c.plus);
+                    let minus = circuit.node(&c.minus);
+                    circuit.add(CurrentSource::dc(&c.name, plus, minus, c.amps));
+                }
+                ElementCard::Cnfet(c) => {
+                    let drain = circuit.node(&c.drain);
+                    let gate = circuit.node(&c.gate);
+                    let source = circuit.node(&c.source);
+                    let built = models.lookup(c);
+                    circuit.add(CnfetElement::new(
+                        &c.name,
+                        Arc::clone(&built.model),
+                        built.polarity,
+                        drain,
+                        gate,
+                        source,
+                        c.length.unwrap_or(built.default_length_m),
+                    ));
+                }
+            }
+        }
+        circuit
+    }
+}

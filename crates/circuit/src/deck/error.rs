@@ -1,0 +1,303 @@
+//! Deck-level errors: source spans, rendered carets and "did you mean"
+//! suggestions.
+//!
+//! Every parse- or build-time failure of the deck front-end carries a
+//! [`Span`] pointing at the offending token plus the source line it came
+//! from, so [`DeckError`]'s `Display` can render a compiler-style
+//! diagnostic:
+//!
+//! ```text
+//! deck:4:10: no model named 'nfett'; available models: nfet, pfet
+//!     4 | MN out in 0 nfett L=100n
+//!       |             ^^^^^
+//!       = help: did you mean 'nfet'?
+//! ```
+//!
+//! Name-lookup failures reuse the circuit crate's
+//! [`CircuitError::UnknownSource`] / [`CircuitError::UnknownNode`]
+//! machinery for their message text (via [`DeckError::from_circuit`]),
+//! and add an edit-distance suggestion ([`suggest`]) on top.
+
+use crate::error::CircuitError;
+use std::fmt;
+
+/// A half-open region of one deck source line: 1-based `line` and
+/// `col`, `len` characters long.
+///
+/// Spans are diagnostic metadata, not card values: **two spans always
+/// compare equal**, so a parsed deck compares equal to its
+/// serialised-and-reparsed self (round-trip equivalence) even though
+/// the token positions moved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span {
+    /// 1-based source line number.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+    /// Length in characters (at least 1 for rendering).
+    pub len: u32,
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _other: &Self) -> bool {
+        true // see the type docs: spans never participate in equality
+    }
+}
+
+impl Eq for Span {}
+
+impl Span {
+    /// Builds a span (lengths below 1 render as a single caret).
+    pub fn new(line: u32, col: u32, len: u32) -> Self {
+        Span { line, col, len }
+    }
+
+    /// A span covering both `self` and `other` when they share a line,
+    /// otherwise `self` unchanged.
+    pub fn to_span(self, other: Span) -> Span {
+        if self.line == other.line && other.col >= self.col {
+            Span {
+                line: self.line,
+                col: self.col,
+                len: other.col + other.len - self.col,
+            }
+        } else {
+            self
+        }
+    }
+}
+
+/// Where a parsed card (or one of its fields) came from: a [`Span`]
+/// plus the text of the physical line it started on, kept so build- and
+/// run-time failures (model fit errors, non-convergence during `.tran`)
+/// can still render a source-anchored diagnostic long after parsing.
+///
+/// Like [`Span`], a `SourceRef` is diagnostic metadata: **two source
+/// refs always compare equal**, keeping round-trip deck equality
+/// meaningful.
+#[derive(Debug, Clone, Default)]
+pub struct SourceRef {
+    /// Location of the token or card.
+    pub span: Span,
+    /// Text of the physical line the span points into.
+    pub line_text: String,
+}
+
+impl PartialEq for SourceRef {
+    fn eq(&self, _other: &Self) -> bool {
+        true // diagnostic metadata; see the type docs
+    }
+}
+
+impl Eq for SourceRef {}
+
+impl SourceRef {
+    /// Captures a location.
+    pub fn new(span: Span, line_text: impl Into<String>) -> Self {
+        SourceRef {
+            span,
+            line_text: line_text.into(),
+        }
+    }
+
+    /// A [`DeckError`] anchored here.
+    pub fn error(&self, message: impl Into<String>) -> DeckError {
+        DeckError::at(self.span, &self.line_text, message)
+    }
+
+    /// Wraps a [`CircuitError`] anchored here (with a "did you mean"
+    /// suggestion for the unknown-name variants).
+    pub fn circuit_error(&self, err: &CircuitError) -> DeckError {
+        DeckError::from_circuit(err, self.span, &self.line_text)
+    }
+}
+
+/// An error from parsing, building or running a SPICE deck.
+///
+/// Rendered by `Display` as a multi-line, compiler-style diagnostic
+/// with the source line and a caret under the offending token (when a
+/// span is available — errors surfaced while *running* analyses carry
+/// only a message).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeckError {
+    /// What went wrong.
+    pub message: String,
+    /// Where, when known.
+    pub span: Option<Span>,
+    /// The full text of the offending source line, for rendering.
+    pub line_text: Option<String>,
+    /// An optional "did you mean …" / usage hint.
+    pub help: Option<String>,
+}
+
+impl DeckError {
+    /// An error anchored at `span` within `line_text`.
+    pub fn at(span: Span, line_text: impl Into<String>, message: impl Into<String>) -> Self {
+        DeckError {
+            message: message.into(),
+            span: Some(span),
+            line_text: Some(line_text.into()),
+            help: None,
+        }
+    }
+
+    /// A position-less error (analysis failures, I/O wrappers).
+    pub fn message(message: impl Into<String>) -> Self {
+        DeckError {
+            message: message.into(),
+            span: None,
+            line_text: None,
+            help: None,
+        }
+    }
+
+    /// Attaches a help line (builder style).
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Wraps a [`CircuitError`] at a deck location, adding a
+    /// "did you mean" suggestion for the unknown-name variants (whose
+    /// message already lists the valid candidates).
+    pub fn from_circuit(err: &CircuitError, span: Span, line_text: &str) -> Self {
+        let help = match err {
+            CircuitError::UnknownSource {
+                requested,
+                available,
+            }
+            | CircuitError::UnknownNode {
+                requested,
+                available,
+            } => suggest(requested, available.iter().map(String::as_str)),
+            _ => None,
+        };
+        DeckError {
+            message: err.to_string(),
+            span: Some(span),
+            line_text: Some(line_text.to_string()),
+            help,
+        }
+    }
+}
+
+impl fmt::Display for DeckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.span, &self.line_text) {
+            (Some(span), Some(text)) => {
+                writeln!(f, "deck:{}:{}: {}", span.line, span.col, self.message)?;
+                writeln!(f, "{:>5} | {}", span.line, text)?;
+                let pad = " ".repeat(span.col.saturating_sub(1) as usize);
+                let carets = "^".repeat(span.len.max(1) as usize);
+                write!(f, "      | {pad}{carets}")?;
+            }
+            _ => write!(f, "deck: {}", self.message)?,
+        }
+        if let Some(help) = &self.help {
+            write!(f, "\n      = help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeckError {}
+
+impl From<CircuitError> for DeckError {
+    fn from(err: CircuitError) -> Self {
+        DeckError::message(err.to_string())
+    }
+}
+
+/// Damerau–Levenshtein distance (optimal string alignment) between two
+/// ASCII-insensitively compared strings.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(char::to_lowercase).collect();
+    let b: Vec<char> = b.chars().flat_map(char::to_lowercase).collect();
+    let (n, m) = (a.len(), b.len());
+    let mut rows = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in rows.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for (j, cell) in rows[0].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (rows[i - 1][j] + 1)
+                .min(rows[i][j - 1] + 1)
+                .min(rows[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(rows[i - 2][j - 2] + 1); // transposition
+            }
+            rows[i][j] = best;
+        }
+    }
+    rows[n][m]
+}
+
+/// Picks the candidate closest to `target` in edit distance and phrases
+/// it as a `did you mean '…'?` help line — or `None` when nothing is
+/// close enough to be a plausible typo (distance above ⌈len/3⌉,
+/// minimum 2).
+pub fn suggest<'a>(target: &str, candidates: impl Iterator<Item = &'a str>) -> Option<String> {
+    let budget = target.chars().count().div_ceil(3).max(2);
+    candidates
+        .map(|c| (edit_distance(target, c), c))
+        .filter(|&(d, _)| d <= budget)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| format!("did you mean '{c}'?"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_never_differ() {
+        assert_eq!(Span::new(1, 2, 3), Span::new(9, 9, 9));
+    }
+
+    #[test]
+    fn suggestion_picks_nearest_typo() {
+        let names = ["VDD", "VIN", "out"];
+        assert_eq!(
+            suggest("VINN", names.iter().copied()),
+            Some("did you mean 'VIN'?".to_string())
+        );
+        assert_eq!(
+            suggest("vdd", names.iter().copied()),
+            Some("did you mean 'VDD'?".to_string())
+        );
+        assert_eq!(suggest("zzzzzz", names.iter().copied()), None);
+    }
+
+    #[test]
+    fn transpositions_cost_one() {
+        assert_eq!(edit_distance("nfet", "nfte"), 1);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("", "ab"), 2);
+    }
+
+    #[test]
+    fn display_renders_caret_under_span() {
+        let e = DeckError::at(Span::new(4, 13, 5), "MN out in 0 nfett L=100n", "no model")
+            .with_help("did you mean 'nfet'?");
+        let rendered = e.to_string();
+        assert!(rendered.contains("deck:4:13: no model"), "{rendered}");
+        assert!(rendered.contains("    4 | MN out in 0 nfett L=100n"));
+        assert!(rendered.contains("      |             ^^^^^"));
+        assert!(rendered.ends_with("= help: did you mean 'nfet'?"));
+    }
+
+    #[test]
+    fn from_circuit_adds_suggestion() {
+        let err = CircuitError::UnknownNode {
+            requested: "ouy".into(),
+            available: vec!["in".into(), "out".into()],
+        };
+        let d = DeckError::from_circuit(&err, Span::new(1, 1, 3), ".print v(ouy)");
+        assert!(d.message.contains("available nodes: in, out"));
+        assert_eq!(d.help.as_deref(), Some("did you mean 'out'?"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Arithmetic expressions for `.param` cards and `{ … }` value blocks.
+//!
+//! The grammar is conventional infix arithmetic over f64:
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := factor (('*' | '/') factor)*
+//! factor  := ('+' | '-') factor | primary ('^' factor)?
+//! primary := number | param-name | '(' expr ')'
+//! ```
+//!
+//! Numbers use the full SPICE notation of
+//! [`parse_number`](super::lex::parse_number) — suffixes included, so
+//! `{2 * 10k}` is 20 000. Parameter names resolve against the `.param`
+//! definitions *earlier in the deck* (forward references are errors,
+//! keeping evaluation a single pass), and `^` is right-associative
+//! exponentiation. Division by zero and other non-finite results are
+//! reported as errors rather than propagating `inf`/`NaN` into element
+//! values.
+
+use super::lex::parse_number;
+use std::collections::HashMap;
+
+/// Evaluates `text` against the given parameter table.
+///
+/// # Errors
+///
+/// A human-readable message (no span: the caller anchors it at the
+/// expression's location in the deck).
+pub fn eval(text: &str, params: &HashMap<String, f64>) -> Result<f64, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+        params,
+    };
+    p.skip_ws();
+    if p.pos == p.chars.len() {
+        return Err("empty expression".to_string());
+    }
+    let v = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!(
+            "unexpected '{}' after the expression",
+            p.rest_preview()
+        ));
+    }
+    if !v.is_finite() {
+        return Err("expression is not finite (division by zero or overflow?)".to_string());
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    params: &'a HashMap<String, f64>,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn rest_preview(&self) -> String {
+        self.chars[self.pos..].iter().take(12).collect()
+    }
+
+    fn expr(&mut self) -> Result<f64, String> {
+        let mut v = self.term()?;
+        while let Some(op @ ('+' | '-')) = self.peek() {
+            self.pos += 1;
+            let rhs = self.term()?;
+            v = if op == '+' { v + rhs } else { v - rhs };
+        }
+        Ok(v)
+    }
+
+    fn term(&mut self) -> Result<f64, String> {
+        let mut v = self.factor()?;
+        while let Some(op @ ('*' | '/')) = self.peek() {
+            self.pos += 1;
+            let rhs = self.factor()?;
+            if op == '/' {
+                if rhs == 0.0 {
+                    return Err("division by zero".to_string());
+                }
+                v /= rhs;
+            } else {
+                v *= rhs;
+            }
+        }
+        Ok(v)
+    }
+
+    fn factor(&mut self) -> Result<f64, String> {
+        match self.peek() {
+            Some('-') => {
+                self.pos += 1;
+                Ok(-self.factor()?)
+            }
+            Some('+') => {
+                self.pos += 1;
+                self.factor()
+            }
+            _ => {
+                let base = self.primary()?;
+                if self.peek() == Some('^') {
+                    self.pos += 1;
+                    let exp = self.factor()?; // right-associative
+                    Ok(base.powf(exp))
+                } else {
+                    Ok(base)
+                }
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<f64, String> {
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let v = self.expr()?;
+                if self.peek() != Some(')') {
+                    return Err("missing ')'".to_string());
+                }
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(c) if c.is_ascii_digit() || c == '.' => {
+                let start = self.pos;
+                // A number token: digits/dot, optional exponent, then
+                // any alphabetic suffix letters.
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_digit() || *c == '.')
+                {
+                    self.pos += 1;
+                }
+                if self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|c| *c == 'e' || *c == 'E')
+                {
+                    let mut j = self.pos + 1;
+                    if self.chars.get(j).is_some_and(|c| *c == '+' || *c == '-') {
+                        j += 1;
+                    }
+                    if self.chars.get(j).is_some_and(char::is_ascii_digit) {
+                        self.pos = j;
+                        while self.chars.get(self.pos).is_some_and(char::is_ascii_digit) {
+                            self.pos += 1;
+                        }
+                    }
+                }
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(char::is_ascii_alphabetic)
+                {
+                    self.pos += 1;
+                }
+                let word: String = self.chars[start..self.pos].iter().collect();
+                parse_number(&word).ok_or_else(|| format!("malformed number '{word}'"))
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+                let start = self.pos;
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+                {
+                    self.pos += 1;
+                }
+                let name: String = self.chars[start..self.pos].iter().collect();
+                self.params.get(&name).copied().ok_or_else(|| {
+                    let mut msg = format!("unknown parameter '{name}'");
+                    if let Some(help) =
+                        super::error::suggest(&name, self.params.keys().map(String::as_str))
+                    {
+                        msg.push_str(&format!(" ({help})"));
+                    } else if self.params.is_empty() {
+                        msg.push_str(" (no .param cards defined before this point)");
+                    }
+                    msg
+                })
+            }
+            Some(c) => Err(format!("unexpected character '{c}' in expression")),
+            None => Err("expression ended unexpectedly".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> HashMap<String, f64> {
+        [("vdd".to_string(), 0.8), ("rload".to_string(), 10e3)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let p = params();
+        assert_eq!(eval("1 + 2 * 3", &p).unwrap(), 7.0);
+        assert_eq!(eval("(1 + 2) * 3", &p).unwrap(), 9.0);
+        assert_eq!(eval("2^3^2", &p).unwrap(), 512.0); // right-assoc
+        assert_eq!(eval("-vdd / 2", &p).unwrap(), -0.4);
+        assert_eq!(eval("2 * 10k", &p).unwrap(), 20e3);
+        assert_eq!(eval("rload / 2", &p).unwrap(), 5e3);
+        assert_eq!(eval("1.5u * 2", &p).unwrap(), 3e-6);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let p = params();
+        assert!(eval("1 / 0", &p).unwrap_err().contains("division by zero"));
+        assert!(eval("", &p).unwrap_err().contains("empty"));
+        assert!(eval("(1 + 2", &p).unwrap_err().contains("missing ')'"));
+        assert!(eval("1 + ", &p).unwrap_err().contains("unexpectedly"));
+        assert!(eval("1 2", &p).unwrap_err().contains("unexpected '2'"));
+        let e = eval("vddd * 2", &p).unwrap_err();
+        assert!(e.contains("did you mean 'vdd'?"), "{e}");
+        assert!(eval("1..2", &p).unwrap_err().contains("malformed number"));
+    }
+}

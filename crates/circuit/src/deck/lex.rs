@@ -1,0 +1,396 @@
+//! Deck lexer: logical lines, tokens with source spans, and SPICE
+//! numbers with engineering suffixes.
+//!
+//! A deck is line-oriented. The lexer resolves the classic SPICE line
+//! discipline before any card is parsed:
+//!
+//! * the **first line is always the title** (never a card);
+//! * lines whose first non-blank character is `*` are comments;
+//! * `;` starts an inline comment running to the end of the line;
+//! * a line starting with `+` continues the previous logical line;
+//! * `.end` stops the lexer — anything after it is ignored.
+//!
+//! Each surviving logical line becomes a vector of [`Token`]s. Words
+//! are split on whitespace and commas; `(`, `)` and `=` are
+//! single-character punctuation tokens; `{ … }` is captured whole as an
+//! expression token (evaluated by [`crate::deck::expr`]). Tokens keep
+//! the line/column they came from — across continuations — so every
+//! later error can point at real source text.
+
+use super::error::{DeckError, Span};
+
+/// What a token is, with its text payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare word: element name, node name, number, keyword.
+    Word(String),
+    /// The body of a `{ … }` expression block (braces stripped).
+    Expr(String),
+    /// One of `(`, `)`, `=`.
+    Punct(char),
+}
+
+/// One lexed token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Payload.
+    pub kind: TokenKind,
+    /// Location of the token's first character.
+    pub span: Span,
+}
+
+impl Token {
+    /// The word text, if this token is a word.
+    pub fn word(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// A logical line: tokens (possibly joined across `+` continuations)
+/// plus the text of every physical line it spans, so a diagnostic
+/// anchored at a continuation-line token renders that line's own text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalLine {
+    /// The tokens of the line, in order.
+    pub tokens: Vec<Token>,
+    /// 1-based number of the first physical line.
+    pub line: u32,
+    /// `(line number, comment-stripped text)` of each physical line —
+    /// the card line first, then its `+` continuations in order.
+    pub texts: Vec<(u32, String)>,
+}
+
+impl LogicalLine {
+    /// Text of the physical line the card started on.
+    pub fn text(&self) -> &str {
+        &self.texts[0].1
+    }
+
+    /// Text of physical line `line` (falling back to the card line for
+    /// spans that do not belong to this logical line).
+    pub fn text_for(&self, line: u32) -> &str {
+        self.texts
+            .iter()
+            .find(|(n, _)| *n == line)
+            .map_or_else(|| self.text(), |(_, t)| t)
+    }
+
+    /// Span of token `i`, or a caret at the end of the last physical
+    /// line when the card has fewer tokens (for "expected more fields"
+    /// errors).
+    pub fn span_at(&self, i: usize) -> Span {
+        match self.tokens.get(i) {
+            Some(t) => t.span,
+            None => {
+                let (line, text) = self.texts.last().expect("at least the card line");
+                let col = text.chars().count() as u32 + 1;
+                Span::new(*line, col.max(1), 1)
+            }
+        }
+    }
+}
+
+/// The lexed deck: title plus logical lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawDeck {
+    /// The mandatory title line (first line of the file).
+    pub title: String,
+    /// The card lines, comments stripped and continuations joined.
+    pub lines: Vec<LogicalLine>,
+}
+
+/// Strips an inline `;` comment.
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Lexes deck text into a title and logical lines.
+///
+/// The title is the first line **unconditionally** — even when it is
+/// blank or a `;` comment empties it — so a deck with an empty title
+/// still round-trips through the serialiser (a blank first line must
+/// never promote the first card to the title). Only a whole-file-blank
+/// deck is an error.
+///
+/// # Errors
+///
+/// [`DeckError`] for an empty deck, a leading `+` continuation with
+/// nothing to continue, an unterminated `{` expression block, or a
+/// stray character that is not part of any token.
+pub fn lex(text: &str) -> Result<RawDeck, DeckError> {
+    if text.chars().all(char::is_whitespace) {
+        return Err(DeckError::message(
+            "empty deck: the first line must be a title, followed by cards",
+        ));
+    }
+    let mut physical = text.lines().enumerate();
+    let title = physical
+        .next()
+        .map(|(_, t)| strip_comment(t).trim().to_string())
+        .expect("non-blank text has a first line");
+    let mut lines: Vec<LogicalLine> = Vec::new();
+    for (index, raw) in physical {
+        let line_no = index as u32 + 1;
+        let stripped = strip_comment(raw);
+        let trimmed = stripped.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        if let Some(cont) = trimmed.strip_prefix('+') {
+            let col0 = (stripped.len() - cont.len()) as u32 + 1;
+            let Some(last) = lines.last_mut() else {
+                return Err(DeckError::at(
+                    Span::new(line_no, (stripped.len() - trimmed.len()) as u32 + 1, 1),
+                    stripped,
+                    "continuation line '+' with no card to continue",
+                ));
+            };
+            let tokens = tokenize(cont, line_no, col0, stripped)?;
+            last.tokens.extend(tokens);
+            last.texts.push((line_no, stripped.to_string()));
+            continue;
+        }
+        // `.end` terminates the deck.
+        if trimmed
+            .split_whitespace()
+            .next()
+            .is_some_and(|w| w.eq_ignore_ascii_case(".end"))
+        {
+            break;
+        }
+        let tokens = tokenize(stripped, line_no, 1, stripped)?;
+        lines.push(LogicalLine {
+            tokens,
+            line: line_no,
+            texts: vec![(line_no, stripped.to_string())],
+        });
+    }
+    Ok(RawDeck { title, lines })
+}
+
+/// Tokenizes one physical line fragment starting at column `col0`.
+fn tokenize(s: &str, line: u32, col0: u32, line_text: &str) -> Result<Vec<Token>, DeckError> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let col = |i: usize| col0 + i as u32;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() || c == ',' {
+            i += 1;
+        } else if c == '(' || c == ')' || c == '=' {
+            tokens.push(Token {
+                kind: TokenKind::Punct(c),
+                span: Span::new(line, col(i), 1),
+            });
+            i += 1;
+        } else if c == '{' {
+            let start = i;
+            i += 1;
+            while i < chars.len() && chars[i] != '}' {
+                i += 1;
+            }
+            if i == chars.len() {
+                return Err(DeckError::at(
+                    Span::new(line, col(start), (i - start) as u32),
+                    line_text,
+                    "unterminated '{' expression (missing '}')",
+                ));
+            }
+            let body: String = chars[start + 1..i].iter().collect();
+            i += 1; // consume '}'
+            tokens.push(Token {
+                kind: TokenKind::Expr(body),
+                span: Span::new(line, col(start), (i - start) as u32),
+            });
+        } else if c == '}' {
+            return Err(DeckError::at(
+                Span::new(line, col(i), 1),
+                line_text,
+                "stray '}' without a matching '{'",
+            ));
+        } else {
+            let start = i;
+            while i < chars.len() {
+                let c = chars[i];
+                if c.is_whitespace() || "(),={}".contains(c) {
+                    break;
+                }
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            tokens.push(Token {
+                kind: TokenKind::Word(word),
+                span: Span::new(line, col(start), (i - start) as u32),
+            });
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parses a SPICE number: a decimal float in plain or scientific
+/// notation, optionally followed by an engineering suffix and trailing
+/// unit letters (which are ignored, as in `100nF` or `1kOhm`).
+///
+/// | suffix | factor | | suffix | factor |
+/// |--------|--------|-|--------|--------|
+/// | `t`    | 1e12   | | `m`    | 1e-3   |
+/// | `g`    | 1e9    | | `u`    | 1e-6   |
+/// | `meg`  | 1e6    | | `n`    | 1e-9   |
+/// | `k`    | 1e3    | | `p`    | 1e-12  |
+/// |        |        | | `f`    | 1e-15  |
+///
+/// Suffixes are case-insensitive; `meg` is matched before `m`.
+/// Returns `None` for anything that is not a well-formed number
+/// (callers attach the span and a message).
+pub fn parse_number(word: &str) -> Option<f64> {
+    let chars: Vec<char> = word.chars().collect();
+    let mut i = 0usize;
+    if i < chars.len() && (chars[i] == '+' || chars[i] == '-') {
+        i += 1;
+    }
+    let int_digits = eat_digits(&chars, &mut i);
+    let mut frac_digits = 0;
+    if i < chars.len() && chars[i] == '.' {
+        i += 1;
+        frac_digits = eat_digits(&chars, &mut i);
+    }
+    if int_digits + frac_digits == 0 {
+        return None;
+    }
+    // Exponent: 'e'/'E' only counts when digits follow, otherwise the
+    // letter belongs to the unit text (e.g. `3eV` is 3 electron-volts).
+    if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+        let mut j = i + 1;
+        if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+            j += 1;
+        }
+        let exp_digits = eat_digits(&chars, &mut j);
+        if exp_digits > 0 {
+            i = j;
+        }
+    }
+    let mantissa: f64 = chars[..i].iter().collect::<String>().parse().ok()?;
+    let rest: String = chars[i..].iter().collect::<String>().to_ascii_lowercase();
+    if !rest.chars().all(|c| c.is_ascii_alphabetic()) {
+        return None; // digits or punctuation after the number: malformed
+    }
+    let scale = if rest.starts_with("meg") {
+        1e6
+    } else {
+        match rest.chars().next() {
+            None => 1.0,
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            Some(_) => 1.0, // plain unit letters, e.g. `5V`
+        }
+    };
+    Some(mantissa * scale)
+}
+
+fn eat_digits(chars: &[char], i: &mut usize) -> usize {
+    let start = *i;
+    while *i < chars.len() && chars[*i].is_ascii_digit() {
+        *i += 1;
+    }
+    *i - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffixes_scale_correctly() {
+        for (text, expect) in [
+            ("1k", 1e3),
+            ("2.5u", 2.5e-6),
+            ("10meg", 1e7),
+            ("10MEG", 1e7),
+            ("3m", 3e-3),
+            ("1.5n", 1.5e-9),
+            ("2p", 2e-12),
+            ("4f", 4e-15),
+            ("1t", 1e12),
+            ("7g", 7e9),
+            ("100nF", 1e-7),
+            ("1kOhm", 1e3),
+            ("5V", 5.0),
+            ("-0.32", -0.32),
+            ("1e3", 1e3),
+            ("1.5e-9", 1.5e-9),
+            ("1E6", 1e6),
+            ("3eV", 3.0), // 'e' with no digits is a unit, not an exponent
+            (".5", 0.5),
+            ("2.", 2.0),
+        ] {
+            let got = parse_number(text).unwrap_or_else(|| panic!("{text} should parse"));
+            assert!(
+                (got - expect).abs() <= 1e-15 * expect.abs(),
+                "{text}: {got} != {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected() {
+        for text in ["", "k", "--1", "1.2.3", "1e+", "1k2", "1..", "+", "nan"] {
+            assert!(parse_number(text).is_none(), "{text} should not parse");
+        }
+    }
+
+    #[test]
+    fn title_comments_continuations() {
+        let deck = "\
+my title ; with a comment
+* a full-line comment
+R1 a b 1k ; trailing comment
++ 2k
+V1 a 0 DC 1
+.end
+R2 ignored after end 1k";
+        let raw = lex(deck).unwrap();
+        assert_eq!(raw.title, "my title");
+        assert_eq!(raw.lines.len(), 2);
+        // Continuation joined R1's tokens.
+        let words: Vec<&str> = raw.lines[0].tokens.iter().filter_map(Token::word).collect();
+        assert_eq!(words, ["R1", "a", "b", "1k", "2k"]);
+        // Spans survive the join: "2k" sits on physical line 4.
+        assert_eq!(raw.lines[0].tokens.last().unwrap().span.line, 4);
+    }
+
+    #[test]
+    fn empty_deck_is_an_error() {
+        let err = lex("").unwrap_err();
+        assert!(err.message.contains("empty deck"), "{err}");
+        let err = lex("\n  \n").unwrap_err();
+        assert!(err.message.contains("empty deck"), "{err}");
+    }
+
+    #[test]
+    fn orphan_continuation_is_an_error() {
+        let err = lex("title\n+ R1 a b 1k").unwrap_err();
+        assert!(err.message.contains("no card to continue"), "{err}");
+    }
+
+    #[test]
+    fn braces_capture_expressions() {
+        let raw = lex("t\nR1 a b {2 * rload}").unwrap();
+        let t = &raw.lines[0].tokens[3];
+        assert_eq!(t.kind, TokenKind::Expr("2 * rload".into()));
+        let err = lex("t\nR1 a b {2 * rload").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+}

@@ -1,0 +1,696 @@
+//! SPICE deck front-end: parse external netlists into [`Simulator`]
+//! sessions.
+//!
+//! Everything else in this crate builds circuits programmatically
+//! against [`Circuit`](crate::netlist::Circuit); this module is the
+//! text front door. A *deck* is a SPICE-like netlist — a title line,
+//! element cards (`R`/`C`/`V`/`I` and CNFET `M` cards), `.model` and
+//! `.param` definitions, analysis cards (`.op`, `.dc`, `.tran`, `.ac`)
+//! and `.print` probe selections — that parses into a [`Deck`], lowers
+//! onto the existing node/element layout, and runs each analysis card
+//! through the typed [`Simulator`] API ([`SweepSpec`],
+//! [`TransientSpec`](crate::sim::TransientSpec),
+//! [`AcSweep`](crate::ac::AcSweep)).
+//!
+//! The accepted dialect is documented card-by-card in
+//! `docs/DECK_FORMAT.md` at the repository root; the `cntfet-sim`
+//! binary wraps [`Deck::run`] as a command-line tool.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! text ──lex──▶ logical lines ──parse──▶ Deck (cards, validated names)
+//!      ──build──▶ Circuit + fitted CNFET models
+//!      ──run──▶ one fresh Simulator session per analysis card ──▶ DeckRun
+//! ```
+//!
+//! Parsing validates everything that does not require a solver: card
+//! syntax, SPICE numbers (`1k`, `2.5u`, `10meg`), `.param` arithmetic,
+//! duplicate element/model/parameter names, `.dc` sweep sources,
+//! `.print` probe nodes and the `.ac` stimulus flag. Failures carry
+//! line/column spans and render compiler-style diagnostics with
+//! "did you mean" suggestions (see [`DeckError`]).
+//!
+//! Each analysis card runs on a **fresh circuit and session**, so an
+//! earlier card can never perturb a later one (a `.dc` sweep overwrites
+//! its swept source's waveform, for example) — the SPICE convention of
+//! analysing the pristine netlist. Fitted CNFET models are shared
+//! across those rebuilds.
+//!
+//! # Example
+//!
+//! ```
+//! use cntfet_circuit::deck::Deck;
+//!
+//! let deck = Deck::parse(
+//!     "resistive divider
+//!      V1 in 0 DC 2
+//!      R1 in out 1k
+//!      R2 out 0 1k
+//!      .op
+//!      .print op v(out)",
+//! )?;
+//! let run = deck.run()?;
+//! assert_eq!(run.reports[0].columns, ["v(out)"]);
+//! assert!((run.reports[0].rows[0][0] - 1.0).abs() < 1e-9);
+//! # Ok::<(), cntfet_circuit::deck::DeckError>(())
+//! ```
+//!
+//! # Round-tripping
+//!
+//! [`Deck::to_text`] serialises a deck back to card text that reparses
+//! to an equal `Deck` (spans are diagnostic metadata and never
+//! participate in equality), and the two decks lower to circuits whose
+//! analysis results are bitwise identical — asserted by the round-trip
+//! tests in `tests/deck_parser.rs`.
+
+mod build;
+mod error;
+mod expr;
+mod lex;
+mod parse;
+mod run;
+
+pub use error::{suggest, DeckError, SourceRef, Span};
+pub use lex::parse_number;
+pub use run::{AnalysisReport, DeckRun};
+
+use crate::cnfet::Polarity;
+use crate::element::Waveform;
+use crate::sim::Simulator;
+use crate::sim::SweepSpec;
+use std::fmt;
+
+/// A parsed SPICE deck: title, element cards, model/parameter
+/// definitions, analysis cards and probe selections, in source order.
+///
+/// Obtain one with [`Deck::parse`]; lower it with [`Deck::circuit`] /
+/// [`Deck::simulator`]; execute its analysis cards with [`Deck::run`].
+/// See the [module docs](self) for the dialect and an example.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Deck {
+    /// The title line (always the first line of the deck).
+    pub title: String,
+    /// Element cards in source order — this order fixes the node and
+    /// unknown-vector layout of the lowered circuit.
+    pub elements: Vec<ElementCard>,
+    /// `.model` cards.
+    pub models: Vec<ModelCard>,
+    /// `.param` cards with their evaluated values.
+    pub params: Vec<ParamCard>,
+    /// Analysis cards in source order.
+    pub analyses: Vec<AnalysisCard>,
+    /// `.print` probe selections.
+    pub prints: Vec<PrintCard>,
+    /// `.ic` transient initial-condition overrides.
+    pub ics: Vec<IcCard>,
+}
+
+/// One element card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElementCard {
+    /// An `R` card.
+    Resistor(ResistorCard),
+    /// A `C` card.
+    Capacitor(CapacitorCard),
+    /// A `V` card.
+    Voltage(VoltageCard),
+    /// An `I` card.
+    Current(CurrentCard),
+    /// An `M` (CNFET) card.
+    Cnfet(CnfetCard),
+}
+
+impl ElementCard {
+    /// The element's name (with its leading type letter, e.g. `R1`).
+    pub fn name(&self) -> &str {
+        match self {
+            ElementCard::Resistor(c) => &c.name,
+            ElementCard::Capacitor(c) => &c.name,
+            ElementCard::Voltage(c) => &c.name,
+            ElementCard::Current(c) => &c.name,
+            ElementCard::Cnfet(c) => &c.name,
+        }
+    }
+
+    /// Where the card was parsed from.
+    pub fn origin(&self) -> &SourceRef {
+        match self {
+            ElementCard::Resistor(c) => &c.origin,
+            ElementCard::Capacitor(c) => &c.origin,
+            ElementCard::Voltage(c) => &c.origin,
+            ElementCard::Current(c) => &c.origin,
+            ElementCard::Cnfet(c) => &c.origin,
+        }
+    }
+
+    /// The node names this card connects to, in card order.
+    pub fn nodes(&self) -> Vec<&str> {
+        match self {
+            ElementCard::Resistor(c) => vec![&c.plus, &c.minus],
+            ElementCard::Capacitor(c) => vec![&c.plus, &c.minus],
+            ElementCard::Voltage(c) => vec![&c.plus, &c.minus],
+            ElementCard::Current(c) => vec![&c.plus, &c.minus],
+            ElementCard::Cnfet(c) => vec![&c.drain, &c.gate, &c.source],
+        }
+    }
+}
+
+/// `R<name> <n+> <n-> <ohms>` — a linear resistor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResistorCard {
+    /// Element name (`R…`).
+    pub name: String,
+    /// Positive node.
+    pub plus: String,
+    /// Negative node.
+    pub minus: String,
+    /// Resistance, ohms (validated positive at parse time).
+    pub ohms: f64,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// `C<name> <n+> <n-> <farads>` — a linear capacitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacitorCard {
+    /// Element name (`C…`).
+    pub name: String,
+    /// Positive node.
+    pub plus: String,
+    /// Negative node.
+    pub minus: String,
+    /// Capacitance, farads (validated positive at parse time).
+    pub farads: f64,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// `V<name> <n+> <n-> <waveform> [AC [1]]` — an ideal voltage source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageCard {
+    /// Element name (`V…`).
+    pub name: String,
+    /// Positive node.
+    pub plus: String,
+    /// Negative node.
+    pub minus: String,
+    /// The drive waveform (`DC`, `PULSE(…)` or `SIN(…)`).
+    pub waveform: Waveform,
+    /// `true` when the card carries the `AC` flag — this source is the
+    /// unit-phasor stimulus of every `.ac` analysis in the deck.
+    pub ac_stimulus: bool,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// `I<name> <n+> <n-> <amps> [AC [1]]` — an ideal DC current source
+/// pushing conventional current from `n+` through itself into `n-`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentCard {
+    /// Element name (`I…`).
+    pub name: String,
+    /// The node current is drawn from.
+    pub plus: String,
+    /// The node current is delivered into.
+    pub minus: String,
+    /// Current, amperes.
+    pub amps: f64,
+    /// `true` when the card carries the `AC` flag.
+    pub ac_stimulus: bool,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// `M<name> <drain> <gate> <source> <model> [L=<metres>]` — a ballistic
+/// CNFET instance referencing a `.model` card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnfetCard {
+    /// Element name (`M…`).
+    pub name: String,
+    /// Drain node.
+    pub drain: String,
+    /// Gate node.
+    pub gate: String,
+    /// Source node.
+    pub source: String,
+    /// Name of the `.model` card (validated to exist at parse time).
+    pub model: String,
+    /// Location of the model-name token (for unknown-model errors).
+    pub model_origin: SourceRef,
+    /// Channel length override, metres; `None` takes the model's `l`.
+    pub length: Option<f64>,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// `.model <name> cnfet [polarity=n|p] [ef=<eV>] [temp=<K>] [l=<m>]` —
+/// a CNFET model: the paper's default device with the listed
+/// overrides. Fitting happens when the deck is lowered (once per
+/// [`Deck::run`], shared across the per-analysis circuit rebuilds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCard {
+    /// Model name referenced by `M` cards.
+    pub name: String,
+    /// Channel polarity (default `n`; `p` devices are electrical
+    /// mirrors).
+    pub polarity: Polarity,
+    /// Source Fermi level relative to the band edge, eV (default
+    /// −0.32, the paper's fitting centre).
+    pub fermi_level_ev: f64,
+    /// Lattice temperature, kelvin (default 300).
+    pub temperature_k: f64,
+    /// Default channel length for instances without `L=`, metres
+    /// (default 100 nm).
+    pub default_length_m: f64,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// `.param <name> = <expr>` — a named value usable in any later card
+/// (bare, or inside `{ … }` expressions). The expression is evaluated
+/// at parse time; see [`crate::deck`] module docs and
+/// `docs/DECK_FORMAT.md` for the grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamCard {
+    /// Parameter name.
+    pub name: String,
+    /// Evaluated value.
+    pub value: f64,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// Which analysis a `.print` card scopes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisKind {
+    /// `.op`.
+    Op,
+    /// `.dc`.
+    Dc,
+    /// `.tran`.
+    Tran,
+    /// `.ac`.
+    Ac,
+}
+
+impl AnalysisKind {
+    fn keyword(self) -> &'static str {
+        match self {
+            AnalysisKind::Op => "op",
+            AnalysisKind::Dc => "dc",
+            AnalysisKind::Tran => "tran",
+            AnalysisKind::Ac => "ac",
+        }
+    }
+}
+
+/// An analysis card, lowered to the matching [`Simulator`] typed spec
+/// when run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisCard {
+    /// `.op` — DC operating point.
+    Op(OpCard),
+    /// `.dc` — swept DC analysis.
+    Dc(DcCard),
+    /// `.tran` — transient analysis.
+    Tran(TranCard),
+    /// `.ac` — small-signal frequency sweep.
+    Ac(AcCard),
+}
+
+impl AnalysisCard {
+    /// The kind of this analysis (for `.print` scoping).
+    pub fn kind(&self) -> AnalysisKind {
+        match self {
+            AnalysisCard::Op(_) => AnalysisKind::Op,
+            AnalysisCard::Dc(_) => AnalysisKind::Dc,
+            AnalysisCard::Tran(_) => AnalysisKind::Tran,
+            AnalysisCard::Ac(_) => AnalysisKind::Ac,
+        }
+    }
+
+    /// Where the card was parsed from.
+    pub fn origin(&self) -> &SourceRef {
+        match self {
+            AnalysisCard::Op(c) => &c.origin,
+            AnalysisCard::Dc(c) => &c.origin,
+            AnalysisCard::Tran(c) => &c.origin,
+            AnalysisCard::Ac(c) => &c.origin,
+        }
+    }
+}
+
+/// `.op` — solve the DC operating point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpCard {
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// `.dc <source> <start> <stop> <step>` — sweep a source, lowered to a
+/// [`SweepSpec`] (warm-started point to point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcCard {
+    /// Name of the swept `V` or `I` card (validated at parse time).
+    pub source: String,
+    /// Location of the source-name token (for unknown-source errors).
+    pub source_origin: SourceRef,
+    /// First swept value.
+    pub start: f64,
+    /// Last swept value (inclusive, within one part in 10⁹ of a step).
+    pub stop: f64,
+    /// Increment per point; its sign must move `start` toward `stop`.
+    pub step: f64,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+impl DcCard {
+    /// The explicit sweep values `start, start+step, …` up to and
+    /// including `stop` (within one part in 10⁹ of a step, absorbing
+    /// accumulated rounding).
+    pub fn values(&self) -> Vec<f64> {
+        if self.step == 0.0 || self.start == self.stop {
+            return vec![self.start];
+        }
+        let n = ((self.stop - self.start) / self.step + 1e-9).floor() as usize + 1;
+        (0..n).map(|i| self.start + self.step * i as f64).collect()
+    }
+
+    /// The equivalent [`SweepSpec`].
+    pub fn spec(&self) -> SweepSpec {
+        SweepSpec::new(&self.source, self.values())
+    }
+}
+
+/// `.tran [<dt>] <t_stop>` — transient analysis: adaptive
+/// (LTE-controlled) when `dt` is omitted, fixed-grid otherwise. Both
+/// forms use default
+/// [`TransientOptions`](crate::transient::TransientOptions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranCard {
+    /// Fixed step size, seconds; `None` runs the adaptive stepper.
+    pub dt: Option<f64>,
+    /// Duration, seconds.
+    pub t_stop: f64,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// Frequency-grid spacing of an `.ac` card.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcScale {
+    /// `dec` — `points` per decade, logarithmic.
+    Dec,
+    /// `lin` — `points` total, linear.
+    Lin,
+}
+
+/// `.ac dec|lin <points> <f_start> <f_stop>` — small-signal sweep. The
+/// stimulus is the deck's unique `AC`-flagged source card (resolved at
+/// parse time into [`AcCard::stimulus`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcCard {
+    /// Grid spacing.
+    pub scale: AcScale,
+    /// Points per decade (`dec`) or total points (`lin`).
+    pub points: usize,
+    /// First frequency, Hz.
+    pub f_start: f64,
+    /// Last frequency, Hz.
+    pub f_stop: f64,
+    /// Name of the `AC`-flagged source card carrying the unit phasor.
+    pub stimulus: String,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// One probed node of a `.print` card, with its own location for
+/// unknown-node diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRef {
+    /// Node name (validated against the deck's nodes at parse time).
+    pub node: String,
+    /// Probe location.
+    pub origin: SourceRef,
+}
+
+/// `.ic v(<node>)=<volts> …` — initial conditions for `.tran`
+/// analyses: the transient starts from the DC operating point with the
+/// listed node voltages overridden (the classic way to kick a ring
+/// oscillator off its metastable point). Multiple `.ic` cards merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IcCard {
+    /// `(node, volts)` overrides in card order.
+    pub entries: Vec<(ProbeRef, f64)>,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// `.print [op|dc|tran|ac] v(<node>) …` — selects the nodes reported
+/// by matching analyses. Without the leading analysis keyword the card
+/// applies to every analysis; without any `.print` card an analysis
+/// reports all named nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrintCard {
+    /// Scope; `None` applies to all analyses.
+    pub analysis: Option<AnalysisKind>,
+    /// Probed nodes, in card order.
+    pub nodes: Vec<ProbeRef>,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+impl Deck {
+    /// Parses deck text (see the [module docs](self) for the dialect).
+    ///
+    /// # Errors
+    ///
+    /// [`DeckError`] with a line/column span for lexical, syntactic or
+    /// deck-consistency failures (duplicate names, unknown models,
+    /// unknown `.dc` sources or `.print` nodes, a missing or ambiguous
+    /// `.ac` stimulus).
+    pub fn parse(text: &str) -> Result<Deck, DeckError> {
+        parse::parse(text)
+    }
+
+    /// Serialises the deck back to card text. The output reparses to a
+    /// deck equal to `self` (spans excluded — they never participate
+    /// in equality) whose lowered circuit is bitwise-equivalent.
+    pub fn to_text(&self) -> String {
+        self.to_string()
+    }
+
+    /// The deck's node names in first-appearance order (matching the
+    /// node-creation order of the lowered circuit), ground excluded.
+    pub fn node_names(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for card in &self.elements {
+            for node in card.nodes() {
+                if node != "0" && node != "gnd" && !seen.contains(&node) {
+                    seen.push(node);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Names of the deck's source cards (`V` and `I`), in card order.
+    pub fn source_names(&self) -> Vec<&str> {
+        self.elements
+            .iter()
+            .filter_map(|card| match card {
+                ElementCard::Voltage(v) => Some(v.name.as_str()),
+                ElementCard::Current(i) => Some(i.name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The probe node names for an analysis of the given kind: the
+    /// union of matching `.print` cards in card order, or every named
+    /// node when no `.print` card matches.
+    pub fn probes(&self, kind: AnalysisKind) -> Vec<&str> {
+        let mut nodes: Vec<&str> = Vec::new();
+        for print in &self.prints {
+            if print.analysis.is_none() || print.analysis == Some(kind) {
+                for probe in &print.nodes {
+                    if !nodes.contains(&probe.node.as_str()) {
+                        nodes.push(&probe.node);
+                    }
+                }
+            }
+        }
+        if nodes.is_empty() {
+            self.node_names()
+        } else {
+            nodes
+        }
+    }
+
+    /// Lowers the deck into a fresh [`Simulator`] session (fitting the
+    /// CNFET models of this build).
+    ///
+    /// # Errors
+    ///
+    /// [`DeckError`] when a `.model` card fails to fit.
+    pub fn simulator(&self) -> Result<Simulator, DeckError> {
+        Ok(Simulator::new(self.circuit()?))
+    }
+}
+
+/// Formats an f64 exactly (shortest text that reparses to the same
+/// bits, in exponent form so SPICE suffix parsing never applies).
+fn num(v: f64) -> String {
+    format!("{v:e}")
+}
+
+fn waveform_text(w: &Waveform) -> String {
+    match *w {
+        Waveform::Dc(v) => format!("DC {}", num(v)),
+        Waveform::Pulse {
+            low,
+            high,
+            delay,
+            rise,
+            width,
+            fall,
+            period,
+        } => format!(
+            "PULSE({} {} {} {} {} {} {})",
+            num(low),
+            num(high),
+            num(delay),
+            num(rise),
+            num(fall),
+            num(width),
+            num(period)
+        ),
+        Waveform::Sine {
+            offset,
+            amplitude,
+            frequency,
+        } => format!("SIN({} {} {})", num(offset), num(amplitude), num(frequency)),
+    }
+}
+
+impl fmt::Display for AnalysisCard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisCard::Op(_) => write!(f, ".op"),
+            AnalysisCard::Dc(c) => write!(
+                f,
+                ".dc {} {} {} {}",
+                c.source,
+                num(c.start),
+                num(c.stop),
+                num(c.step)
+            ),
+            AnalysisCard::Tran(c) => match c.dt {
+                Some(dt) => write!(f, ".tran {} {}", num(dt), num(c.t_stop)),
+                None => write!(f, ".tran {}", num(c.t_stop)),
+            },
+            AnalysisCard::Ac(c) => write!(
+                f,
+                ".ac {} {} {} {}",
+                match c.scale {
+                    AcScale::Dec => "dec",
+                    AcScale::Lin => "lin",
+                },
+                c.points,
+                num(c.f_start),
+                num(c.f_stop)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Deck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        for p in &self.params {
+            writeln!(f, ".param {} = {}", p.name, num(p.value))?;
+        }
+        for m in &self.models {
+            writeln!(
+                f,
+                ".model {} cnfet polarity={} ef={} temp={} l={}",
+                m.name,
+                match m.polarity {
+                    Polarity::N => "n",
+                    Polarity::P => "p",
+                },
+                num(m.fermi_level_ev),
+                num(m.temperature_k),
+                num(m.default_length_m)
+            )?;
+        }
+        for card in &self.elements {
+            match card {
+                ElementCard::Resistor(c) => {
+                    writeln!(f, "{} {} {} {}", c.name, c.plus, c.minus, num(c.ohms))?;
+                }
+                ElementCard::Capacitor(c) => {
+                    writeln!(f, "{} {} {} {}", c.name, c.plus, c.minus, num(c.farads))?;
+                }
+                ElementCard::Voltage(c) => {
+                    let ac = if c.ac_stimulus { " AC 1" } else { "" };
+                    writeln!(
+                        f,
+                        "{} {} {} {}{}",
+                        c.name,
+                        c.plus,
+                        c.minus,
+                        waveform_text(&c.waveform),
+                        ac
+                    )?;
+                }
+                ElementCard::Current(c) => {
+                    let ac = if c.ac_stimulus { " AC 1" } else { "" };
+                    writeln!(
+                        f,
+                        "{} {} {} DC {}{}",
+                        c.name,
+                        c.plus,
+                        c.minus,
+                        num(c.amps),
+                        ac
+                    )?;
+                }
+                ElementCard::Cnfet(c) => {
+                    write!(
+                        f,
+                        "{} {} {} {} {}",
+                        c.name, c.drain, c.gate, c.source, c.model
+                    )?;
+                    if let Some(len) = c.length {
+                        write!(f, " L={}", num(len))?;
+                    }
+                    writeln!(f)?;
+                }
+            }
+        }
+        for a in &self.analyses {
+            writeln!(f, "{a}")?;
+        }
+        for ic in &self.ics {
+            write!(f, ".ic")?;
+            for (probe, volts) in &ic.entries {
+                write!(f, " v({})={}", probe.node, num(*volts))?;
+            }
+            writeln!(f)?;
+        }
+        for p in &self.prints {
+            write!(f, ".print")?;
+            if let Some(kind) = p.analysis {
+                write!(f, " {}", kind.keyword())?;
+            }
+            for probe in &p.nodes {
+                write!(f, " v({})", probe.node)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, ".end")
+    }
+}

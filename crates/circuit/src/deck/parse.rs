@@ -1,0 +1,890 @@
+//! Card parsing: logical lines → the [`Deck`] AST, with full
+//! deck-consistency validation.
+//!
+//! Parsing is a single pass over the lexed lines (so `.param`
+//! definitions are visible to everything after them) followed by a
+//! consistency pass that needs the whole deck: duplicate
+//! element/model names, `M`-card model references (forward references
+//! are fine), `.dc` sweep sources, `.print` probe nodes, and the
+//! resolution of the unique `AC`-flagged stimulus source for `.ac`
+//! cards. Everything that can fail without a solver fails *here*, with
+//! a span.
+
+use super::error::{suggest, DeckError, SourceRef};
+use super::expr;
+use super::lex::{lex, LogicalLine, Token, TokenKind};
+use super::{
+    AcCard, AcScale, AnalysisCard, AnalysisKind, CapacitorCard, CnfetCard, CurrentCard, DcCard,
+    Deck, ElementCard, ModelCard, OpCard, ParamCard, PrintCard, ProbeRef, ResistorCard, TranCard,
+    VoltageCard,
+};
+use crate::cnfet::Polarity;
+use crate::element::Waveform;
+use crate::error::CircuitError;
+use std::collections::HashMap;
+
+/// Parses deck text. See [`Deck::parse`].
+pub fn parse(text: &str) -> Result<Deck, DeckError> {
+    let raw = lex(text)?;
+    let mut deck = Deck {
+        title: raw.title,
+        ..Deck::default()
+    };
+    let mut params: HashMap<String, f64> = HashMap::new();
+    for line in &raw.lines {
+        if line.tokens.is_empty() {
+            continue;
+        }
+        let mut cur = Cursor {
+            line,
+            i: 0,
+            params: &params,
+        };
+        let (head, head_span) = cur.next_word("a card")?;
+        let head = head.to_string();
+        let origin = SourceRef::new(head_span, line.text());
+        if let Some(dot) = head.strip_prefix('.') {
+            match dot.to_ascii_lowercase().as_str() {
+                "model" => deck.models.push(parse_model(&mut cur, origin)?),
+                "param" => {
+                    let card = parse_param(&mut cur, origin, &params)?;
+                    if params.contains_key(&card.name) {
+                        return Err(card
+                            .origin
+                            .error(format!("duplicate parameter name '{}'", card.name)));
+                    }
+                    params.insert(card.name.clone(), card.value);
+                    deck.params.push(card);
+                }
+                "op" => {
+                    cur.done()?;
+                    deck.analyses.push(AnalysisCard::Op(OpCard { origin }));
+                }
+                "dc" => deck
+                    .analyses
+                    .push(AnalysisCard::Dc(parse_dc(&mut cur, origin)?)),
+                "tran" => deck
+                    .analyses
+                    .push(AnalysisCard::Tran(parse_tran(&mut cur, origin)?)),
+                "ac" => deck
+                    .analyses
+                    .push(AnalysisCard::Ac(parse_ac(&mut cur, origin)?)),
+                "print" => deck.prints.push(parse_print(&mut cur, origin)?),
+                "ic" => deck.ics.push(parse_ic(&mut cur, origin)?),
+                other => {
+                    let known = [
+                        ".model", ".param", ".op", ".dc", ".tran", ".ac", ".print", ".ic", ".end",
+                    ];
+                    let mut err = origin.error(format!(
+                        "unknown directive '.{other}'; this dialect has {}",
+                        known.join(", ")
+                    ));
+                    if let Some(help) = suggest(&head, known.iter().copied()) {
+                        err = err.with_help(help);
+                    }
+                    return Err(err);
+                }
+            }
+            continue;
+        }
+        match head.chars().next().map(|c| c.to_ascii_uppercase()) {
+            Some('R') => deck.elements.push(ElementCard::Resistor(parse_resistor(
+                &mut cur, head, origin,
+            )?)),
+            Some('C') => deck.elements.push(ElementCard::Capacitor(parse_capacitor(
+                &mut cur, head, origin,
+            )?)),
+            Some('V') => deck
+                .elements
+                .push(ElementCard::Voltage(parse_voltage(&mut cur, head, origin)?)),
+            Some('I') => deck
+                .elements
+                .push(ElementCard::Current(parse_current(&mut cur, head, origin)?)),
+            Some('M') => deck
+                .elements
+                .push(ElementCard::Cnfet(parse_cnfet(&mut cur, head, origin)?)),
+            _ => {
+                return Err(origin.error(format!(
+                    "unknown card '{head}': element cards start with R, C, V, I or M \
+                     (directives with '.')"
+                )));
+            }
+        }
+    }
+    validate(&mut deck)?;
+    Ok(deck)
+}
+
+/// The whole-deck consistency pass.
+fn validate(deck: &mut Deck) -> Result<(), DeckError> {
+    // Duplicate element names.
+    let mut seen: HashMap<&str, u32> = HashMap::new();
+    for card in &deck.elements {
+        let origin = card.origin();
+        if let Some(first) = seen.get(card.name()) {
+            return Err(origin.error(format!(
+                "duplicate element name '{}' (first defined on line {first})",
+                card.name()
+            )));
+        }
+        seen.insert(card.name(), origin.span.line);
+    }
+    // Duplicate model names.
+    let mut models: HashMap<&str, u32> = HashMap::new();
+    for model in &deck.models {
+        if let Some(first) = models.get(model.name.as_str()) {
+            return Err(model.origin.error(format!(
+                "duplicate model name '{}' (first defined on line {first})",
+                model.name
+            )));
+        }
+        models.insert(&model.name, model.origin.span.line);
+    }
+    // M-card model references (forward references are fine).
+    for card in &deck.elements {
+        if let ElementCard::Cnfet(m) = card {
+            if !models.contains_key(m.model.as_str()) {
+                let available: Vec<&str> = models.keys().copied().collect();
+                let mut err = m.model_origin.error(if available.is_empty() {
+                    format!(
+                        "no model named '{}' (the deck has no .model cards)",
+                        m.model
+                    )
+                } else {
+                    format!(
+                        "no model named '{}'; available models: {}",
+                        m.model,
+                        available.join(", ")
+                    )
+                });
+                if let Some(help) = suggest(&m.model, available.into_iter()) {
+                    err = err.with_help(help);
+                }
+                return Err(err);
+            }
+        }
+    }
+    // `.dc` sweep sources, via the circuit crate's unknown-source error.
+    let sources: Vec<String> = deck.source_names().iter().map(|s| s.to_string()).collect();
+    for analysis in &deck.analyses {
+        if let AnalysisCard::Dc(dc) = analysis {
+            if !sources.iter().any(|s| s == &dc.source) {
+                let err = CircuitError::UnknownSource {
+                    requested: dc.source.clone(),
+                    available: sources.clone(),
+                };
+                return Err(dc.source_origin.circuit_error(&err));
+            }
+        }
+    }
+    // `.print` probe and `.ic` target nodes, via the unknown-node error.
+    let nodes: Vec<String> = deck.node_names().iter().map(|s| s.to_string()).collect();
+    let probes = deck.prints.iter().flat_map(|p| p.nodes.iter()).chain(
+        deck.ics
+            .iter()
+            .flat_map(|ic| ic.entries.iter().map(|(p, _)| p)),
+    );
+    for probe in probes {
+        let known =
+            probe.node == "0" || probe.node == "gnd" || nodes.iter().any(|n| n == &probe.node);
+        if !known {
+            let err = CircuitError::UnknownNode {
+                requested: probe.node.clone(),
+                available: nodes.clone(),
+            };
+            return Err(probe.origin.circuit_error(&err));
+        }
+    }
+    // Resolve the `.ac` stimulus: exactly one AC-flagged source card.
+    if deck
+        .analyses
+        .iter()
+        .any(|a| matches!(a, AnalysisCard::Ac(_)))
+    {
+        let flagged: Vec<&str> = deck
+            .elements
+            .iter()
+            .filter_map(|card| match card {
+                ElementCard::Voltage(v) if v.ac_stimulus => Some(v.name.as_str()),
+                ElementCard::Current(i) if i.ac_stimulus => Some(i.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        let stimulus = match flagged.as_slice() {
+            [one] => one.to_string(),
+            [] => {
+                let origin = first_ac_origin(deck);
+                return Err(origin
+                    .error(".ac analysis needs a stimulus, but no source card carries the AC flag")
+                    .with_help("append `AC 1` to the V or I card that drives the sweep"));
+            }
+            many => {
+                let origin = first_ac_origin(deck);
+                return Err(origin.error(format!(
+                    "ambiguous .ac stimulus: {} source cards carry the AC flag ({})",
+                    many.len(),
+                    many.join(", ")
+                )));
+            }
+        };
+        for analysis in &mut deck.analyses {
+            if let AnalysisCard::Ac(ac) = analysis {
+                ac.stimulus = stimulus.clone();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn first_ac_origin(deck: &Deck) -> SourceRef {
+    deck.analyses
+        .iter()
+        .find_map(|a| match a {
+            AnalysisCard::Ac(c) => Some(c.origin.clone()),
+            _ => None,
+        })
+        .unwrap_or_default()
+}
+
+/// A token cursor over one logical line.
+struct Cursor<'a> {
+    line: &'a LogicalLine,
+    i: usize,
+    params: &'a HashMap<String, f64>,
+}
+
+impl<'a> Cursor<'a> {
+    /// An error at `span`, rendered against the physical line the span
+    /// actually points into (which may be a `+` continuation line).
+    fn at(&self, span: super::Span, message: String) -> DeckError {
+        DeckError::at(span, self.line.text_for(span.line), message)
+    }
+
+    /// A [`SourceRef`] capturing `span` with its own physical line.
+    fn source_ref(&self, span: super::Span) -> SourceRef {
+        SourceRef::new(span, self.line.text_for(span.line))
+    }
+
+    fn error_at(&self, i: usize, message: String) -> DeckError {
+        self.at(self.line.span_at(i), message)
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.line.tokens.get(self.i)
+    }
+
+    /// Is the next token a word equal (ASCII case-insensitively) to
+    /// `kw`?
+    fn peek_keyword(&self, kw: &str) -> bool {
+        self.peek()
+            .and_then(Token::word)
+            .is_some_and(|w| w.eq_ignore_ascii_case(kw))
+    }
+
+    fn next_token(&mut self, what: &str) -> Result<&'a Token, DeckError> {
+        match self.line.tokens.get(self.i) {
+            Some(t) => {
+                self.i += 1;
+                Ok(t)
+            }
+            None => Err(self.error_at(self.i, format!("expected {what}, but the card ended"))),
+        }
+    }
+
+    /// Next token as a bare word.
+    fn next_word(&mut self, what: &str) -> Result<(&'a str, super::Span), DeckError> {
+        let i = self.i;
+        let t = self.next_token(what)?;
+        match &t.kind {
+            TokenKind::Word(w) => Ok((w, t.span)),
+            TokenKind::Punct(c) => Err(self.error_at(i, format!("expected {what}, got '{c}'"))),
+            TokenKind::Expr(_) => Err(self.error_at(
+                i,
+                format!("expected {what}, got a {{…}} expression (only values may be expressions)"),
+            )),
+        }
+    }
+
+    /// Next token as a numeric value: a SPICE number, a `{ … }`
+    /// expression, or a bare parameter name.
+    fn next_value(&mut self, what: &str) -> Result<(f64, super::Span), DeckError> {
+        let i = self.i;
+        let t = self.next_token(what)?;
+        match &t.kind {
+            TokenKind::Word(w) => {
+                if let Some(v) = super::lex::parse_number(w) {
+                    Ok((v, t.span))
+                } else if let Some(&v) = self.params.get(w.as_str()) {
+                    Ok((v, t.span))
+                } else {
+                    let mut err = self.error_at(
+                        i,
+                        format!("expected {what}, but '{w}' is not a number or known parameter"),
+                    );
+                    if let Some(help) = suggest(w, self.params.keys().map(String::as_str)) {
+                        err = err.with_help(help);
+                    }
+                    Err(err)
+                }
+            }
+            TokenKind::Expr(body) => expr::eval(body, self.params)
+                .map(|v| (v, t.span))
+                .map_err(|msg| self.error_at(i, format!("in {what} expression: {msg}"))),
+            TokenKind::Punct(c) => Err(self.error_at(i, format!("expected {what}, got '{c}'"))),
+        }
+    }
+
+    /// A strictly positive value (resistance, capacitance, length, …).
+    fn next_positive(&mut self, what: &str) -> Result<f64, DeckError> {
+        let (v, span) = self.next_value(what)?;
+        if v > 0.0 {
+            Ok(v)
+        } else {
+            Err(self.at(span, format!("{what} must be positive, got {v}")))
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), DeckError> {
+        let i = self.i;
+        let t = self.next_token(&format!("'{c}'"))?;
+        if t.kind == TokenKind::Punct(c) {
+            Ok(())
+        } else {
+            Err(self.error_at(i, format!("expected '{c}' here")))
+        }
+    }
+
+    /// Errors if any token is left unconsumed.
+    fn done(&mut self) -> Result<(), DeckError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => {
+                let text = match &t.kind {
+                    TokenKind::Word(w) => w.clone(),
+                    TokenKind::Expr(b) => format!("{{{b}}}"),
+                    TokenKind::Punct(c) => c.to_string(),
+                };
+                Err(self.error_at(self.i, format!("unexpected trailing '{text}' on this card")))
+            }
+        }
+    }
+
+    /// Consumes a trailing `AC [magnitude]` flag; the magnitude, when
+    /// given, must be exactly 1 (responses are transfer functions of a
+    /// unit phasor).
+    fn take_ac_flag(&mut self) -> Result<bool, DeckError> {
+        if !self.peek_keyword("ac") {
+            return Ok(false);
+        }
+        self.i += 1;
+        // Optional magnitude.
+        if self.peek().is_some() {
+            let (mag, span) = self.next_value("AC magnitude")?;
+            if mag != 1.0 {
+                return Err(self.at(
+                    span,
+                    format!(
+                        "only unit AC stimuli are supported (responses are \
+                         transfer functions); got {mag}"
+                    ),
+                ));
+            }
+        }
+        Ok(true)
+    }
+}
+
+fn parse_resistor(
+    cur: &mut Cursor<'_>,
+    name: String,
+    origin: SourceRef,
+) -> Result<ResistorCard, DeckError> {
+    let (plus, _) = cur.next_word("the + node")?;
+    let (minus, _) = cur.next_word("the - node")?;
+    let plus = plus.to_string();
+    let minus = minus.to_string();
+    let ohms = cur.next_positive("resistance")?;
+    cur.done()?;
+    Ok(ResistorCard {
+        name,
+        plus,
+        minus,
+        ohms,
+        origin,
+    })
+}
+
+fn parse_capacitor(
+    cur: &mut Cursor<'_>,
+    name: String,
+    origin: SourceRef,
+) -> Result<CapacitorCard, DeckError> {
+    let (plus, _) = cur.next_word("the + node")?;
+    let (minus, _) = cur.next_word("the - node")?;
+    let plus = plus.to_string();
+    let minus = minus.to_string();
+    let farads = cur.next_positive("capacitance")?;
+    cur.done()?;
+    Ok(CapacitorCard {
+        name,
+        plus,
+        minus,
+        farads,
+        origin,
+    })
+}
+
+fn parse_voltage(
+    cur: &mut Cursor<'_>,
+    name: String,
+    origin: SourceRef,
+) -> Result<VoltageCard, DeckError> {
+    let (plus, _) = cur.next_word("the + node")?;
+    let (minus, _) = cur.next_word("the - node")?;
+    let plus = plus.to_string();
+    let minus = minus.to_string();
+    let mut waveform = None;
+    if cur.peek_keyword("pulse") {
+        cur.i += 1;
+        let args = paren_values(cur, "PULSE", 7)?;
+        // SPICE order: PULSE(v1 v2 td tr tf pw per).
+        waveform = Some(Waveform::Pulse {
+            low: args[0],
+            high: args[1],
+            delay: args[2],
+            rise: args[3],
+            fall: args[4],
+            width: args[5],
+            period: args[6],
+        });
+    } else if cur.peek_keyword("sin") {
+        cur.i += 1;
+        let args = paren_values(cur, "SIN", 3)?;
+        waveform = Some(Waveform::Sine {
+            offset: args[0],
+            amplitude: args[1],
+            frequency: args[2],
+        });
+    } else if cur.peek_keyword("dc") {
+        cur.i += 1;
+        waveform = Some(Waveform::Dc(cur.next_value("the DC value")?.0));
+    } else if !cur.peek_keyword("ac") && cur.peek().is_some() {
+        waveform = Some(Waveform::Dc(cur.next_value("the source value")?.0));
+    }
+    let ac_stimulus = cur.take_ac_flag()?;
+    let Some(waveform) = waveform else {
+        if ac_stimulus {
+            // SPICE-style: an AC-only source sits at 0 V DC.
+            cur.done()?;
+            return Ok(VoltageCard {
+                name,
+                plus,
+                minus,
+                waveform: Waveform::Dc(0.0),
+                ac_stimulus,
+                origin,
+            });
+        }
+        return Err(origin
+            .error(format!(
+                "voltage source {name} needs a drive: `DC <v>`, `PULSE(v1 v2 td tr tf pw per)` \
+                 or `SIN(offset amplitude freq)`"
+            ))
+            .with_help("e.g. `V1 in 0 DC 1` or `V1 in 0 PULSE(0 1 0 1n 1n 5n 10n)`"));
+    };
+    cur.done()?;
+    Ok(VoltageCard {
+        name,
+        plus,
+        minus,
+        waveform,
+        ac_stimulus,
+        origin,
+    })
+}
+
+fn parse_current(
+    cur: &mut Cursor<'_>,
+    name: String,
+    origin: SourceRef,
+) -> Result<CurrentCard, DeckError> {
+    let (plus, _) = cur.next_word("the + node")?;
+    let (minus, _) = cur.next_word("the - node")?;
+    let plus = plus.to_string();
+    let minus = minus.to_string();
+    if cur.peek_keyword("dc") {
+        cur.i += 1;
+    }
+    let (amps, _) = cur.next_value("the current in amperes")?;
+    let ac_stimulus = cur.take_ac_flag()?;
+    cur.done()?;
+    Ok(CurrentCard {
+        name,
+        plus,
+        minus,
+        amps,
+        ac_stimulus,
+        origin,
+    })
+}
+
+fn parse_cnfet(
+    cur: &mut Cursor<'_>,
+    name: String,
+    origin: SourceRef,
+) -> Result<CnfetCard, DeckError> {
+    let (drain, _) = cur.next_word("the drain node")?;
+    let (gate, _) = cur.next_word("the gate node")?;
+    let (source, _) = cur.next_word("the source node")?;
+    let drain = drain.to_string();
+    let gate = gate.to_string();
+    let source = source.to_string();
+    let (model, model_span) = cur.next_word("the model name")?;
+    let model = model.to_string();
+    let model_origin = cur.source_ref(model_span);
+    let mut length = None;
+    if cur.peek().is_some() {
+        let (key, span) = cur.next_word("an instance parameter")?;
+        if !key.eq_ignore_ascii_case("l") {
+            return Err(cur.at(
+                span,
+                format!("unknown instance parameter '{key}'; M cards accept only L=<metres>"),
+            ));
+        }
+        cur.expect_punct('=')?;
+        length = Some(cur.next_positive("channel length")?);
+    }
+    cur.done()?;
+    Ok(CnfetCard {
+        name,
+        drain,
+        gate,
+        source,
+        model,
+        model_origin,
+        length,
+        origin,
+    })
+}
+
+fn parse_model(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<ModelCard, DeckError> {
+    let (name, _) = cur.next_word("the model name")?;
+    let name = name.to_string();
+    let (kind, kind_span) = cur.next_word("the model type")?;
+    if !kind.eq_ignore_ascii_case("cnfet") {
+        return Err(cur.at(
+            kind_span,
+            format!("unknown model type '{kind}'; this simulator models 'cnfet' devices"),
+        ));
+    }
+    let mut card = ModelCard {
+        name,
+        polarity: Polarity::N,
+        fermi_level_ev: -0.32,
+        temperature_k: 300.0,
+        default_length_m: 100e-9,
+        origin,
+    };
+    while cur.peek().is_some() {
+        let (key, key_span) = cur.next_word("a model parameter")?;
+        let key_lc = key.to_ascii_lowercase();
+        let key = key.to_string();
+        cur.expect_punct('=')?;
+        match key_lc.as_str() {
+            "polarity" => {
+                let (v, span) = cur.next_word("the polarity (n or p)")?;
+                card.polarity = match v.to_ascii_lowercase().as_str() {
+                    "n" => Polarity::N,
+                    "p" => Polarity::P,
+                    other => {
+                        return Err(
+                            cur.at(span, format!("polarity must be 'n' or 'p', got '{other}'"))
+                        )
+                    }
+                };
+            }
+            "ef" => card.fermi_level_ev = cur.next_value("the Fermi level in eV")?.0,
+            "temp" => card.temperature_k = cur.next_positive("the temperature in kelvin")?,
+            "l" => card.default_length_m = cur.next_positive("the default channel length")?,
+            _ => {
+                let known = ["polarity", "ef", "temp", "l"];
+                let mut err = cur.at(
+                    key_span,
+                    format!(
+                        "unknown model parameter '{key}'; cnfet models accept {}",
+                        known.join(", ")
+                    ),
+                );
+                if let Some(help) = suggest(&key, known.iter().copied()) {
+                    err = err.with_help(help);
+                }
+                return Err(err);
+            }
+        }
+    }
+    Ok(card)
+}
+
+fn parse_param(
+    cur: &mut Cursor<'_>,
+    origin: SourceRef,
+    params: &HashMap<String, f64>,
+) -> Result<ParamCard, DeckError> {
+    let (name, name_span) = cur.next_word("the parameter name")?;
+    let name = name.to_string();
+    if super::lex::parse_number(&name).is_some() {
+        return Err(cur.at(
+            name_span,
+            format!("parameter name '{name}' would shadow a number"),
+        ));
+    }
+    cur.expect_punct('=')?;
+    // Reassemble the remaining tokens into one expression string and
+    // hand it to the char-level expression parser.
+    let first = cur.i;
+    if cur.peek().is_none() {
+        return Err(cur.error_at(cur.i, "expected an expression after '='".to_string()));
+    }
+    let mut pieces: Vec<String> = Vec::new();
+    let mut last = first;
+    while let Some(t) = cur.peek() {
+        pieces.push(match &t.kind {
+            TokenKind::Word(w) => w.clone(),
+            TokenKind::Expr(b) => format!("({b})"),
+            TokenKind::Punct(c) => c.to_string(),
+        });
+        last = cur.i;
+        cur.i += 1;
+    }
+    let span = cur.line.span_at(first).to_span(cur.line.span_at(last));
+    let text = pieces.join(" ");
+    let value = expr::eval(&text, params)
+        .map_err(|msg| cur.at(span, format!("in .param expression: {msg}")))?;
+    Ok(ParamCard {
+        name,
+        value,
+        origin,
+    })
+}
+
+fn parse_dc(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<DcCard, DeckError> {
+    let (source, source_span) = cur.next_word("the swept source name")?;
+    let source = source.to_string();
+    let source_origin = cur.source_ref(source_span);
+    let (start, _) = cur.next_value("the start value")?;
+    let (stop, _) = cur.next_value("the stop value")?;
+    let (step, step_span) = cur.next_value("the step")?;
+    cur.done()?;
+    if start != stop && (step == 0.0 || (stop - start).signum() != step.signum()) {
+        return Err(cur.at(
+            step_span,
+            format!("step {step} cannot move the sweep from {start} to {stop}"),
+        ));
+    }
+    Ok(DcCard {
+        source,
+        source_origin,
+        start,
+        stop,
+        step,
+        origin,
+    })
+}
+
+fn parse_tran(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<TranCard, DeckError> {
+    let (first, first_span) = cur.next_value("the stop time (or a step size)")?;
+    let card = if cur.peek().is_some() {
+        let (t_stop, stop_span) = cur.next_value("the stop time")?;
+        cur.done()?;
+        if first <= 0.0 {
+            return Err(cur.at(
+                first_span,
+                format!("the step size must be positive, got {first}"),
+            ));
+        }
+        if t_stop <= 0.0 {
+            return Err(cur.at(
+                stop_span,
+                format!("the stop time must be positive, got {t_stop}"),
+            ));
+        }
+        TranCard {
+            dt: Some(first),
+            t_stop,
+            origin,
+        }
+    } else {
+        if first <= 0.0 {
+            return Err(cur.at(
+                first_span,
+                format!("the stop time must be positive, got {first}"),
+            ));
+        }
+        TranCard {
+            dt: None,
+            t_stop: first,
+            origin,
+        }
+    };
+    Ok(card)
+}
+
+fn parse_ac(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<AcCard, DeckError> {
+    let (scale_word, scale_span) = cur.next_word("the grid scale (dec or lin)")?;
+    let scale = match scale_word.to_ascii_lowercase().as_str() {
+        "dec" => AcScale::Dec,
+        "lin" => AcScale::Lin,
+        other => {
+            return Err(cur.at(
+                scale_span,
+                format!("grid scale must be 'dec' or 'lin', got '{other}'"),
+            ))
+        }
+    };
+    let (points_v, points_span) = cur.next_value("the point count")?;
+    if points_v < 1.0 || points_v.fract() != 0.0 {
+        return Err(cur.at(
+            points_span,
+            format!("the point count must be a positive integer, got {points_v}"),
+        ));
+    }
+    let (f_start, f_start_span) = cur.next_value("the start frequency")?;
+    let (f_stop, f_stop_span) = cur.next_value("the stop frequency")?;
+    cur.done()?;
+    // Mirror the FreqGrid constraints here so an impossible sweep is a
+    // *parse* error (caught by `cntfet-sim --check`), not a run-time one.
+    match scale {
+        AcScale::Dec => {
+            if !(f_start > 0.0 && f_start.is_finite()) {
+                return Err(cur.at(
+                    f_start_span,
+                    format!("a decade sweep needs a positive start frequency, got {f_start}"),
+                ));
+            }
+            if !(f_stop > f_start && f_stop.is_finite()) {
+                return Err(cur.at(
+                    f_stop_span,
+                    format!("a decade sweep needs f_stop > f_start, got [{f_start}, {f_stop}] Hz"),
+                ));
+            }
+        }
+        AcScale::Lin => {
+            if !(f_start >= 0.0 && f_start.is_finite()) {
+                return Err(cur.at(
+                    f_start_span,
+                    format!("a linear sweep needs a non-negative start frequency, got {f_start}"),
+                ));
+            }
+            if !(f_stop >= f_start && f_stop.is_finite()) {
+                return Err(cur.at(
+                    f_stop_span,
+                    format!("a linear sweep needs f_stop >= f_start, got [{f_start}, {f_stop}] Hz"),
+                ));
+            }
+        }
+    }
+    Ok(AcCard {
+        scale,
+        points: points_v as usize,
+        f_start,
+        f_stop,
+        stimulus: String::new(), // resolved by the validation pass
+        origin,
+    })
+}
+
+fn parse_print(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<PrintCard, DeckError> {
+    let analysis = match cur.peek().and_then(Token::word) {
+        Some(w) if w.eq_ignore_ascii_case("op") => Some(AnalysisKind::Op),
+        Some(w) if w.eq_ignore_ascii_case("dc") => Some(AnalysisKind::Dc),
+        Some(w) if w.eq_ignore_ascii_case("tran") => Some(AnalysisKind::Tran),
+        Some(w) if w.eq_ignore_ascii_case("ac") => Some(AnalysisKind::Ac),
+        _ => None,
+    };
+    if analysis.is_some() {
+        cur.i += 1;
+    }
+    let mut nodes = Vec::new();
+    while cur.peek().is_some() {
+        let (word, span) = cur.next_word("a probe (v(<node>) or a node name)")?;
+        if word.eq_ignore_ascii_case("v")
+            && cur.peek().map(|t| &t.kind) == Some(&TokenKind::Punct('('))
+        {
+            cur.expect_punct('(')?;
+            let (node, node_span) = cur.next_word("the probed node name")?;
+            let node = node.to_string();
+            cur.expect_punct(')')?;
+            nodes.push(ProbeRef {
+                node,
+                origin: cur.source_ref(node_span),
+            });
+        } else {
+            nodes.push(ProbeRef {
+                node: word.to_string(),
+                origin: cur.source_ref(span),
+            });
+        }
+    }
+    if nodes.is_empty() {
+        return Err(origin.error(".print needs at least one probe, e.g. `.print dc v(out)`"));
+    }
+    Ok(PrintCard {
+        analysis,
+        nodes,
+        origin,
+    })
+}
+
+fn parse_ic(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<super::IcCard, DeckError> {
+    let mut entries = Vec::new();
+    while cur.peek().is_some() {
+        let (word, span) = cur.next_word("an initial condition (v(<node>)=<volts>)")?;
+        let (node, node_span) = if word.eq_ignore_ascii_case("v")
+            && cur.peek().map(|t| &t.kind) == Some(&TokenKind::Punct('('))
+        {
+            cur.expect_punct('(')?;
+            let (node, node_span) = cur.next_word("the node name")?;
+            let node = node.to_string();
+            cur.expect_punct(')')?;
+            (node, node_span)
+        } else {
+            (word.to_string(), span)
+        };
+        cur.expect_punct('=')?;
+        let (volts, _) = cur.next_value("the initial voltage")?;
+        entries.push((
+            ProbeRef {
+                node,
+                origin: cur.source_ref(node_span),
+            },
+            volts,
+        ));
+    }
+    if entries.is_empty() {
+        return Err(origin.error(".ic needs at least one entry, e.g. `.ic v(out)=0.8`"));
+    }
+    Ok(super::IcCard { entries, origin })
+}
+
+/// Parses `( v v … )` with exactly `n` values.
+fn paren_values(cur: &mut Cursor<'_>, what: &str, n: usize) -> Result<Vec<f64>, DeckError> {
+    cur.expect_punct('(')?;
+    let mut values = Vec::with_capacity(n);
+    while cur.peek().map(|t| &t.kind) != Some(&TokenKind::Punct(')')) {
+        if cur.peek().is_none() {
+            return Err(cur.error_at(cur.i, format!("unterminated {what}(…) — missing ')'")));
+        }
+        values.push(cur.next_value(&format!("a {what} argument"))?.0);
+    }
+    cur.expect_punct(')')?;
+    if values.len() != n {
+        return Err(cur.error_at(
+            cur.i.saturating_sub(1),
+            format!(
+                "{what}(…) takes exactly {n} arguments, got {}",
+                values.len()
+            ),
+        ));
+    }
+    Ok(values)
+}

@@ -1,0 +1,310 @@
+//! Executing a deck's analysis cards and rendering the probe output.
+//!
+//! [`Deck::run`] walks the analysis cards in source order. Each card
+//! gets a **fresh** circuit and [`Simulator`] session (the SPICE
+//! convention: every analysis sees the pristine netlist — a `.dc`
+//! sweep overwrites its swept source's waveform and must not leak that
+//! into a later `.tran`), while the fitted CNFET models are built once
+//! and shared. Each analysis lowers to the session's typed request —
+//! `.dc` → [`SweepSpec`](crate::sim::SweepSpec), `.tran` →
+//! [`TransientSpec`], `.ac` → [`AcSweep`] — and the probed waveforms
+//! come back as an [`AnalysisReport`] that renders as an aligned table
+//! or CSV.
+
+use super::error::DeckError;
+use super::{AcCard, AcScale, AnalysisCard, AnalysisKind, DcCard, Deck, OpCard, TranCard};
+use crate::ac::{AcSweep, FreqGrid};
+use crate::sim::{Simulator, TransientSpec};
+use std::fmt::Write as _;
+
+/// The probe output of one analysis card: named columns over f64 rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// The analysis card in canonical text form (e.g. `.dc VIN 0e0 8e-1 5e-2`).
+    pub label: String,
+    /// Column names: the independent variable first (`VIN`, `time`,
+    /// `freq`; none for `.op`), then one (`.ac`: two) per probed node.
+    pub columns: Vec<String>,
+    /// One row per point, in column order.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl AnalysisReport {
+    /// Renders as CSV: a header line, then one line per row. Numbers
+    /// are printed exactly (shortest text that reparses to the same
+    /// f64), so CSV output round-trips bit-for-bit.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:e}")).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as an aligned, human-readable table (`%.6e` cells).
+    pub fn to_table(&self) -> String {
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| format!("{v:.6e}")).collect())
+            .collect();
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(j, name)| {
+                cells
+                    .iter()
+                    .map(|row| row[j].len())
+                    .chain([name.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        for (j, name) in self.columns.iter().enumerate() {
+            if j > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{name:>width$}", width = widths[j]);
+        }
+        out.push('\n');
+        for row in &cells {
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[j]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The result of running every analysis card of a deck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeckRun {
+    /// The deck's title line.
+    pub title: String,
+    /// One report per analysis card, in source order.
+    pub reports: Vec<AnalysisReport>,
+}
+
+impl Deck {
+    /// Runs every analysis card (see the [module docs](super) for the
+    /// fresh-session-per-card semantics) and collects the probe
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// [`DeckError`] when a model fails to fit or an analysis fails to
+    /// converge — run-time failures are anchored at the analysis
+    /// card's source line.
+    pub fn run(&self) -> Result<DeckRun, DeckError> {
+        let models = self.build_models()?;
+        let mut reports = Vec::with_capacity(self.analyses.len());
+        for analysis in &self.analyses {
+            let mut sim = Simulator::new(self.circuit_with(&models));
+            let report = match analysis {
+                AnalysisCard::Op(card) => self.run_op(&mut sim, card, analysis)?,
+                AnalysisCard::Dc(card) => self.run_dc(&mut sim, card, analysis)?,
+                AnalysisCard::Tran(card) => self.run_tran(&mut sim, card, analysis)?,
+                AnalysisCard::Ac(card) => self.run_ac(&mut sim, card, analysis)?,
+            };
+            reports.push(report);
+        }
+        Ok(DeckRun {
+            title: self.title.clone(),
+            reports,
+        })
+    }
+
+    fn run_op(
+        &self,
+        sim: &mut Simulator,
+        card: &OpCard,
+        analysis: &AnalysisCard,
+    ) -> Result<AnalysisReport, DeckError> {
+        let probes = self.probes(AnalysisKind::Op);
+        let op = sim.op().map_err(|e| card.origin.circuit_error(&e))?;
+        let mut row = Vec::with_capacity(probes.len());
+        for node in &probes {
+            row.push(
+                op.voltage(node)
+                    .map_err(|e| card.origin.circuit_error(&e))?,
+            );
+        }
+        Ok(AnalysisReport {
+            label: analysis.to_string(),
+            columns: probes.iter().map(|n| format!("v({n})")).collect(),
+            rows: vec![row],
+        })
+    }
+
+    fn run_dc(
+        &self,
+        sim: &mut Simulator,
+        card: &DcCard,
+        analysis: &AnalysisCard,
+    ) -> Result<AnalysisReport, DeckError> {
+        let probes = self.probes(AnalysisKind::Dc);
+        let result = sim
+            .dc_sweep(&card.spec())
+            .map_err(|e| card.origin.circuit_error(&e))?;
+        let mut columns = vec![card.source.clone()];
+        columns.extend(probes.iter().map(|n| format!("v({n})")));
+        let mut waves = Vec::with_capacity(probes.len());
+        for node in &probes {
+            waves.push(
+                result
+                    .voltage(node)
+                    .map_err(|e| card.origin.circuit_error(&e))?,
+            );
+        }
+        let rows = result
+            .values
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                let mut row = Vec::with_capacity(columns.len());
+                row.push(v);
+                row.extend(waves.iter().map(|w| w[k]));
+                row
+            })
+            .collect();
+        Ok(AnalysisReport {
+            label: analysis.to_string(),
+            columns,
+            rows,
+        })
+    }
+
+    fn run_tran(
+        &self,
+        sim: &mut Simulator,
+        card: &TranCard,
+        analysis: &AnalysisCard,
+    ) -> Result<AnalysisReport, DeckError> {
+        let probes = self.probes(AnalysisKind::Tran);
+        let mut spec = match card.dt {
+            Some(dt) => TransientSpec::fixed(card.t_stop, dt),
+            None => TransientSpec::adaptive(card.t_stop),
+        };
+        // `.ic` cards: start from the operating point with the listed
+        // node voltages overridden.
+        if self.ics.iter().any(|ic| !ic.entries.is_empty()) {
+            let op = sim.op().map_err(|e| card.origin.circuit_error(&e))?;
+            let mut x0 = op.x().to_vec();
+            for ic in &self.ics {
+                for (probe, volts) in &ic.entries {
+                    // Node names were validated at parse time; ground
+                    // entries (fixed at 0 V) are ignored.
+                    if let Some(i) = sim
+                        .circuit()
+                        .find_node(&probe.node)
+                        .and_then(|n| n.unknown_index())
+                    {
+                        x0[i] = *volts;
+                    }
+                }
+            }
+            spec = spec.with_initial(x0);
+        }
+        let run = sim
+            .transient(&spec)
+            .map_err(|e| card.origin.circuit_error(&e))?;
+        let mut columns = vec!["time".to_string()];
+        columns.extend(probes.iter().map(|n| format!("v({n})")));
+        let mut waves = Vec::with_capacity(probes.len());
+        for node in &probes {
+            waves.push(
+                run.voltage(node)
+                    .map_err(|e| card.origin.circuit_error(&e))?,
+            );
+        }
+        let rows = run
+            .time()
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| {
+                let mut row = Vec::with_capacity(columns.len());
+                row.push(t);
+                row.extend(waves.iter().map(|w| w[k]));
+                row
+            })
+            .collect();
+        Ok(AnalysisReport {
+            label: analysis.to_string(),
+            columns,
+            rows,
+        })
+    }
+
+    fn run_ac(
+        &self,
+        sim: &mut Simulator,
+        card: &AcCard,
+        analysis: &AnalysisCard,
+    ) -> Result<AnalysisReport, DeckError> {
+        let probes = self.probes(AnalysisKind::Ac);
+        let grid = match card.scale {
+            AcScale::Dec => FreqGrid::Decade {
+                f_start: card.f_start,
+                f_stop: card.f_stop,
+                points_per_decade: card.points,
+            },
+            AcScale::Lin => FreqGrid::Linear {
+                f_start: card.f_start,
+                f_stop: card.f_stop,
+                points: card.points,
+            },
+        };
+        let sweep = AcSweep {
+            source: card.stimulus.clone(),
+            grid,
+        };
+        let response = sim.ac(&sweep).map_err(|e| card.origin.circuit_error(&e))?;
+        let mut columns = vec!["freq".to_string()];
+        for node in &probes {
+            columns.push(format!("vm({node})"));
+            columns.push(format!("vp({node})"));
+        }
+        let mut mags = Vec::with_capacity(probes.len());
+        let mut phases = Vec::with_capacity(probes.len());
+        for node in &probes {
+            mags.push(
+                response
+                    .magnitude(node)
+                    .map_err(|e| card.origin.circuit_error(&e))?,
+            );
+            phases.push(
+                response
+                    .phase_deg(node)
+                    .map_err(|e| card.origin.circuit_error(&e))?,
+            );
+        }
+        let rows = response
+            .frequencies()
+            .iter()
+            .enumerate()
+            .map(|(k, &f)| {
+                let mut row = Vec::with_capacity(columns.len());
+                row.push(f);
+                for (m, p) in mags.iter().zip(&phases) {
+                    row.push(m[k]);
+                    row.push(p[k]);
+                }
+                row
+            })
+            .collect();
+        Ok(AnalysisReport {
+            label: analysis.to_string(),
+            columns,
+            rows,
+        })
+    }
+}

@@ -25,7 +25,12 @@
 //!   point into `G + jωC` and complex sparse solves over one frozen
 //!   pattern per sweep;
 //! * [`logic`] — complementary inverter / NAND / ring-oscillator builders
-//!   (the paper's future-work "practical logic circuit structures").
+//!   (the paper's future-work "practical logic circuit structures");
+//! * [`deck`] — the SPICE deck front-end: parse external netlist text
+//!   (R/C/V/I and CNFET `M` cards, `.model`/`.param`, `.op`/`.dc`/
+//!   `.tran`/`.ac`) into [`sim::Simulator`] sessions, with spanned
+//!   errors and "did you mean" suggestions; the `cntfet-sim` binary
+//!   wraps it as a command-line tool.
 //!
 //! # Examples
 //!
@@ -58,6 +63,7 @@
 pub mod ac;
 pub mod cnfet;
 pub mod dc;
+pub mod deck;
 pub mod element;
 pub mod engine;
 pub mod error;
@@ -79,6 +85,7 @@ pub mod prelude {
     pub use crate::ac::{AcResponse, AcStats, AcSweep, FreqGrid};
     pub use crate::cnfet::{CnfetElement, Polarity};
     pub use crate::dc::Solution;
+    pub use crate::deck::{AnalysisReport, Deck, DeckError, DeckRun};
     pub use crate::element::{Capacitor, CurrentSource, Resistor, VoltageSource, Waveform};
     pub use crate::engine::{NewtonEngine, NewtonOptions, SolverKind};
     pub use crate::error::CircuitError;

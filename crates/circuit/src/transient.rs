@@ -325,8 +325,15 @@ pub fn solve_transient(
     dt: f64,
     initial: Option<&[f64]>,
 ) -> Result<TransientResult, CircuitError> {
-    #[allow(deprecated)]
-    solve_transient_with(circuit, t_stop, dt, initial, &NewtonOptions::transient())
+    // Calls the core directly (not the sibling deprecated wrapper):
+    // nothing inside the crate depends on a deprecated entry point.
+    let opts = TransientOptions {
+        newton: NewtonOptions::transient(),
+        integrator: TimeIntegrator::BackwardEuler,
+        ..TransientOptions::default()
+    };
+    let mut engine = NewtonEngine::new(opts.newton);
+    transient_fixed_core(&mut engine, circuit, t_stop, dt, initial, &opts).map(|run| run.result)
 }
 
 /// [`solve_transient`] with explicit [`NewtonOptions`].

@@ -1,0 +1,123 @@
+//! `cntfet-sim` — run a SPICE deck through the CNFET circuit simulator.
+//!
+//! ```text
+//! usage: cntfet-sim [--csv] [--check] <deck.cir>
+//! ```
+//!
+//! Parses the deck, runs every analysis card (`.op`, `.dc`, `.tran`,
+//! `.ac`) through a [`cntfet::circuit::sim::Simulator`] session, and
+//! prints each card's probe output as an aligned table (default) or
+//! CSV (`--csv`). `--check` parses, validates and lowers the deck —
+//! fitting its `.model` cards — without running any analysis.
+//!
+//! The accepted deck dialect is documented in `docs/DECK_FORMAT.md`.
+//! Errors render compiler-style diagnostics with the offending source
+//! line, a caret span and (where applicable) a "did you mean"
+//! suggestion, and exit with status 1.
+
+use cntfet::circuit::deck::Deck;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cntfet-sim [--csv] [--check] <deck.cir>
+
+  --csv    print analysis reports as CSV instead of aligned tables
+  --check  parse, validate and lower the deck (fit models) but run nothing
+
+The deck dialect (R/C/V/I and CNFET M cards, .model, .param, .op, .dc,
+.tran, .ac, .print) is documented in docs/DECK_FORMAT.md.";
+
+fn main() -> ExitCode {
+    let mut csv = false;
+    let mut check = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("cntfet-sim: unknown option '{arg}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            _ if path.is_none() => path = Some(arg),
+            _ => {
+                eprintln!("cntfet-sim: more than one deck given\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("cntfet-sim: no deck given\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cntfet-sim: cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let deck = match Deck::parse(&text) {
+        Ok(deck) => deck,
+        Err(e) => {
+            eprintln!("cntfet-sim: {path}:\n{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if check {
+        return match deck.circuit() {
+            Ok(circuit) => {
+                println!(
+                    "{path}: ok — '{}': {} elements, {} nodes, {} unknowns, {} analyses",
+                    deck.title,
+                    deck.elements.len(),
+                    circuit.node_count(),
+                    circuit.unknown_count(),
+                    deck.analyses.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cntfet-sim: {path}:\n{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match deck.run() {
+        Ok(run) => {
+            // Tolerate a closed pipe (`cntfet-sim … | head`) instead of
+            // panicking mid-print.
+            use std::io::Write as _;
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let mut emit = move || -> std::io::Result<()> {
+                writeln!(out, "* {}", run.title)?;
+                for report in &run.reports {
+                    writeln!(out, "\n* {}", report.label)?;
+                    let body = if csv {
+                        report.to_csv()
+                    } else {
+                        report.to_table()
+                    };
+                    out.write_all(body.as_bytes())?;
+                }
+                Ok(())
+            };
+            match emit() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("cntfet-sim: cannot write output: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("cntfet-sim: {path}:\n{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

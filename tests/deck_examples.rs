@@ -1,0 +1,203 @@
+//! The checked-in example decks under `examples/decks/` parse, run and
+//! — for the CNFET inverter — reproduce the programmatic `Simulator`
+//! results **bitwise**: the deck front-end must be a pure text skin
+//! over the session API, adding no numerical behaviour of its own.
+
+use cntfet::circuit::deck::Deck;
+use cntfet::circuit::prelude::*;
+use cntfet::core::CompactCntFet;
+use cntfet::physics::units::{ElectronVolts, Kelvin};
+use cntfet::reference::DeviceParams;
+use std::sync::Arc;
+
+fn read_deck(name: &str) -> Deck {
+    let path = format!("{}/examples/decks/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    Deck::parse(&text).unwrap_or_else(|e| panic!("{path}:\n{e}"))
+}
+
+#[test]
+fn divider_deck_hits_half_rail() {
+    let deck = read_deck("divider.cir");
+    let run = deck.run().unwrap();
+    assert_eq!(run.reports.len(), 2, ".op and .dc");
+    // .op: 2 V across equal resistors.
+    assert_eq!(run.reports[0].columns, ["v(out)"]);
+    assert!((run.reports[0].rows[0][0] - 1.0).abs() < 1e-9);
+    // .dc: half the swept value at every point.
+    let dc = &run.reports[1];
+    assert_eq!(dc.columns, ["V1", "v(out)"]);
+    assert_eq!(dc.rows.len(), 5);
+    for row in &dc.rows {
+        assert!((row[1] - row[0] / 2.0).abs() < 1e-9, "{row:?}");
+    }
+}
+
+#[test]
+fn rc_lowpass_deck_charges_and_rolls_off() {
+    let deck = read_deck("rc_lowpass.cir");
+    let run = deck.run().unwrap();
+    assert_eq!(run.reports.len(), 3, ".op, .tran and .ac");
+    // .tran: pulse drive charges out through tau = 1 us; 5 us ≈ 5 tau.
+    let tran = &run.reports[1];
+    let last = tran.rows.last().unwrap();
+    assert!((last[0] - 5e-6).abs() < 1e-18, "lands exactly on t_stop");
+    assert!((last[1] - 1.0).abs() < 2e-2, "settled: {last:?}");
+    // .ac: unity in the passband, rolled off with -90 degrees at the top.
+    let ac = &run.reports[2];
+    assert_eq!(ac.columns, ["freq", "vm(out)", "vp(out)"]);
+    let first = &ac.rows[0];
+    let top = ac.rows.last().unwrap();
+    assert!((first[1] - 1.0).abs() < 1e-4, "passband: {first:?}");
+    assert!(top[1] < 2e-3, "stopband: {top:?}");
+    assert!((top[2] + 90.0).abs() < 1.0, "phase -> -90 deg: {top:?}");
+}
+
+#[test]
+fn ring_oscillator_deck_oscillates() {
+    let deck = read_deck("ring_oscillator.cir");
+    let run = deck.run().unwrap();
+    let tran = &run.reports[0];
+    assert_eq!(tran.columns, ["time", "v(s0)", "v(s1)", "v(s2)"]);
+    // Rail-to-rail swing on stage 0 after the .ic kick.
+    let s0: Vec<f64> = tran.rows.iter().map(|r| r[1]).collect();
+    let lo = s0.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = s0.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(lo < 0.1 && hi > 0.7, "no oscillation: swing [{lo}, {hi}]");
+    // Several mid-rail crossings inside 0.2 ns (period ~ 32 ps).
+    let crossings = s0
+        .windows(2)
+        .filter(|w| (w[0] - 0.4) * (w[1] - 0.4) < 0.0)
+        .count();
+    assert!(crossings >= 8, "only {crossings} mid-rail crossings");
+}
+
+/// The acceptance test: the inverter deck's `.dc` + `.tran` + `.ac`
+/// probe outputs are bitwise identical to the same analyses built and
+/// run directly against the `Simulator` session API.
+#[test]
+fn inverter_deck_matches_programmatic_simulator_bitwise() {
+    let deck = read_deck("inverter.cir");
+    let run = deck.run().unwrap();
+    assert_eq!(run.reports.len(), 3, ".dc, .tran and .ac");
+
+    // Mirror the deck exactly: same model parameters (the deck's
+    // `.model` defaults are the paper device), same node-creation and
+    // element order, same numeric arithmetic as the suffix parser
+    // (`0.1n` is 0.1 * 1e-9, not the literal 1e-10 — they can differ
+    // in the last bit).
+    let vdd = 0.8;
+    let device = DeviceParams::paper_default()
+        .with_fermi_level(ElectronVolts(-0.32))
+        .with_temperature(Kelvin(300.0));
+    let nfet = Arc::new(CompactCntFet::model2(device.clone()).unwrap());
+    let pfet = Arc::new(CompactCntFet::model2(device).unwrap());
+    let build = || {
+        let mut c = Circuit::new();
+        let n_vdd = c.node("vdd");
+        let n_in = c.node("in");
+        let n_out = c.node("out");
+        c.add(VoltageSource::dc("VDD", n_vdd, Circuit::ground(), vdd));
+        c.add(VoltageSource::with_waveform(
+            "VIN",
+            n_in,
+            Circuit::ground(),
+            Waveform::Pulse {
+                low: 0.0,
+                high: vdd,
+                delay: 0.1 * 1e-9,
+                rise: 0.1 * 1e-9,
+                fall: 0.1 * 1e-9,
+                width: 0.7 * 1e-9,
+                period: 2.0 * 1e-9,
+            },
+        ));
+        c.add(CnfetElement::new(
+            "MP",
+            Arc::clone(&pfet),
+            Polarity::P,
+            n_out,
+            n_in,
+            n_vdd,
+            100.0 * 1e-9,
+        ));
+        c.add(CnfetElement::new(
+            "MN",
+            Arc::clone(&nfet),
+            Polarity::N,
+            n_out,
+            n_in,
+            Circuit::ground(),
+            100.0 * 1e-9,
+        ));
+        c.add(Capacitor::new("CL", n_out, Circuit::ground(), 1e-15));
+        c
+    };
+
+    // .dc VIN 0 {vdd} 0.05 — 17 warm-started points on a fresh session.
+    let values: Vec<f64> = (0..17).map(|i| 0.05 * i as f64).collect();
+    let mut sim = Simulator::new(build());
+    let sweep = sim
+        .dc_sweep(&SweepSpec::new("VIN", values.clone()))
+        .unwrap();
+    let out = sweep.voltage("out").unwrap();
+    let dc = &run.reports[0];
+    assert_eq!(dc.columns, ["VIN", "v(out)"]);
+    assert_eq!(dc.rows.len(), values.len());
+    for (k, row) in dc.rows.iter().enumerate() {
+        assert_eq!(row[0].to_bits(), values[k].to_bits(), "swept value {k}");
+        assert_eq!(row[1].to_bits(), out[k].to_bits(), "v(out) at point {k}");
+    }
+
+    // .tran 2n — adaptive stepping from the DC operating point.
+    let mut sim = Simulator::new(build());
+    let tran_ref = sim.transient(&TransientSpec::adaptive(2.0 * 1e-9)).unwrap();
+    let tran = &run.reports[1];
+    assert_eq!(tran.columns, ["time", "v(in)", "v(out)"]);
+    assert_eq!(tran.rows.len(), tran_ref.time().len());
+    let v_in = tran_ref.voltage("in").unwrap();
+    let v_out = tran_ref.voltage("out").unwrap();
+    for (k, row) in tran.rows.iter().enumerate() {
+        assert_eq!(row[0].to_bits(), tran_ref.time()[k].to_bits(), "time {k}");
+        assert_eq!(row[1].to_bits(), v_in[k].to_bits(), "v(in) at {k}");
+        assert_eq!(row[2].to_bits(), v_out[k].to_bits(), "v(out) at {k}");
+    }
+
+    // .ac dec 5 1k 100meg — stimulus on the AC-flagged VIN card.
+    let mut sim = Simulator::new(build());
+    let ac_ref = sim.ac(&AcSweep::decade("VIN", 1e3, 1e8, 5)).unwrap();
+    let ac = &run.reports[2];
+    assert_eq!(ac.columns, ["freq", "vm(out)", "vp(out)"]);
+    let mag = ac_ref.magnitude("out").unwrap();
+    let phase = ac_ref.phase_deg("out").unwrap();
+    assert_eq!(ac.rows.len(), ac_ref.frequencies().len());
+    for (k, row) in ac.rows.iter().enumerate() {
+        assert_eq!(
+            row[0].to_bits(),
+            ac_ref.frequencies()[k].to_bits(),
+            "freq {k}"
+        );
+        assert_eq!(row[1].to_bits(), mag[k].to_bits(), "|H| at {k}");
+        assert_eq!(row[2].to_bits(), phase[k].to_bits(), "phase at {k}");
+    }
+}
+
+/// Serialise-and-reparse keeps every deck equal (spans are diagnostic
+/// metadata) and keeps the divider's analysis results bitwise stable.
+#[test]
+fn example_decks_round_trip() {
+    for name in [
+        "divider.cir",
+        "rc_lowpass.cir",
+        "inverter.cir",
+        "ring_oscillator.cir",
+    ] {
+        let deck = read_deck(name);
+        let text = deck.to_text();
+        let reparsed = Deck::parse(&text).unwrap_or_else(|e| panic!("{name} round-trip:\n{e}"));
+        assert_eq!(deck, reparsed, "{name} round-trips");
+    }
+    let deck = read_deck("divider.cir");
+    let again = Deck::parse(&deck.to_text()).unwrap();
+    assert_eq!(deck.run().unwrap(), again.run().unwrap());
+}
