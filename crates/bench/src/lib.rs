@@ -6,7 +6,7 @@
 //! experiment index and `EXPERIMENTS.md` for recorded results).
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 use cntfet_core::validation::accuracy_table;
 use cntfet_core::CompactCntFet;

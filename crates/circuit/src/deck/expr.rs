@@ -19,19 +19,26 @@
 //! values.
 
 use super::lex::parse_number;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-/// Evaluates `text` against the given parameter table.
+/// Evaluates `text` against the given parameter table, additionally
+/// inserting every parameter name the expression resolves into `used`
+/// — the parser's raw material for the unused-`.param` lint.
 ///
 /// # Errors
 ///
 /// A human-readable message (no span: the caller anchors it at the
 /// expression's location in the deck).
-pub fn eval(text: &str, params: &HashMap<String, f64>) -> Result<f64, String> {
+pub fn eval_with_uses(
+    text: &str,
+    params: &HashMap<String, f64>,
+    used: &mut BTreeSet<String>,
+) -> Result<f64, String> {
     let mut p = Parser {
         chars: text.chars().collect(),
         pos: 0,
         params,
+        used,
     };
     p.skip_ws();
     if p.pos == p.chars.len() {
@@ -55,6 +62,7 @@ struct Parser<'a> {
     chars: Vec<char>,
     pos: usize,
     params: &'a HashMap<String, f64>,
+    used: &'a mut BTreeSet<String>,
 }
 
 impl Parser<'_> {
@@ -181,6 +189,9 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 let name: String = self.chars[start..self.pos].iter().collect();
+                if self.params.contains_key(&name) {
+                    self.used.insert(name.clone());
+                }
                 self.params.get(&name).copied().ok_or_else(|| {
                     let mut msg = format!("unknown parameter '{name}'");
                     if let Some(help) =
@@ -203,6 +214,10 @@ impl Parser<'_> {
 mod tests {
     use super::*;
 
+    fn eval(text: &str, params: &HashMap<String, f64>) -> Result<f64, String> {
+        eval_with_uses(text, params, &mut BTreeSet::new())
+    }
+
     fn params() -> HashMap<String, f64> {
         [("vdd".to_string(), 0.8), ("rload".to_string(), 10e3)]
             .into_iter()
@@ -219,6 +234,22 @@ mod tests {
         assert_eq!(eval("2 * 10k", &p).unwrap(), 20e3);
         assert_eq!(eval("rload / 2", &p).unwrap(), 5e3);
         assert_eq!(eval("1.5u * 2", &p).unwrap(), 3e-6);
+    }
+
+    #[test]
+    fn eval_records_resolved_param_names() {
+        let p = params();
+        let mut used = BTreeSet::new();
+        assert_eq!(
+            eval_with_uses("vdd * 2 + rload / rload", &p, &mut used).unwrap(),
+            2.6
+        );
+        let names: Vec<&str> = used.iter().map(String::as_str).collect();
+        assert_eq!(names, ["rload", "vdd"]);
+        // Unknown names error without being recorded.
+        let mut used = BTreeSet::new();
+        assert!(eval_with_uses("nope + 1", &p, &mut used).is_err());
+        assert!(used.is_empty());
     }
 
     #[test]

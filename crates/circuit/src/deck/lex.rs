@@ -84,11 +84,16 @@ impl LogicalLine {
     pub fn span_at(&self, i: usize) -> Span {
         match self.tokens.get(i) {
             Some(t) => t.span,
-            None => {
-                let (line, text) = self.texts.last().expect("at least the card line");
-                let col = text.chars().count() as u32 + 1;
-                Span::new(*line, col.max(1), 1)
-            }
+            None => match self.texts.last() {
+                Some((line, text)) => {
+                    let col = text.chars().count() as u32 + 1;
+                    Span::new(*line, col.max(1), 1)
+                }
+                // A logical line always carries its card line, but a
+                // diagnostic helper must never be the thing that
+                // panics — point at the card's start instead.
+                None => Span::new(self.line, 1, 1),
+            },
         }
     }
 }
@@ -130,10 +135,14 @@ pub fn lex(text: &str) -> Result<RawDeck, DeckError> {
         ));
     }
     let mut physical = text.lines().enumerate();
-    let title = physical
-        .next()
-        .map(|(_, t)| strip_comment(t).trim().to_string())
-        .expect("non-blank text has a first line");
+    let Some((_, first)) = physical.next() else {
+        // Unreachable past the all-whitespace check above, but an
+        // error beats a panic if that invariant ever shifts.
+        return Err(DeckError::message(
+            "empty deck: the first line must be a title, followed by cards",
+        ));
+    };
+    let title = strip_comment(first).trim().to_string();
     let mut lines: Vec<LogicalLine> = Vec::new();
     for (index, raw) in physical {
         let line_no = index as u32 + 1;

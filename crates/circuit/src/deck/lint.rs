@@ -1,0 +1,902 @@
+//! Static deck analysis: `Deck::lint` — the engine behind
+//! `cntfet-sim --lint`.
+//!
+//! Parsing ([`Deck::parse`]) rejects everything that is *syntactically*
+//! wrong; this module finds decks that parse cleanly but are broken or
+//! suspicious *semantically*, before any factorisation runs. Three
+//! passes:
+//!
+//! 1. **Topology** — pure graph analysis of the element cards:
+//!    subnets with no DC path to ground (isolated behind capacitors,
+//!    current sources or CNFET gates), loops of ideal voltage sources,
+//!    dangling single-element nodes, elements with every terminal on
+//!    one node.
+//! 2. **Structural MNA** — lowers the deck and runs a maximum
+//!    bipartite matching on the assembled sparsity pattern
+//!    ([`crate::engine::NewtonEngine::check_dc_structure`]): a
+//!    deficient matching proves the system singular for *every* choice
+//!    of element values, and the unmatched unknowns are reported by
+//!    name. This is the same guard [`crate::sim::Simulator`] applies at
+//!    solve time — linting merely moves the verdict before the solver.
+//! 3. **Hygiene** — unused `.param`/`.model` definitions, parameters
+//!    shadowed up to case, `.print` cards scoped to analyses the deck
+//!    never runs, `.ic` without any `.tran`, and magnitudes that smell
+//!    like a wrong SPICE suffix (a femto-ohm resistor).
+//!
+//! Every finding carries a stable [`LintCode`] (`E###` = error, the
+//! deck cannot run an analysis that touches the flagged structure;
+//! `W###` = warning, the deck runs but probably does not mean what it
+//! says) and renders through the same span/caret/help machinery as
+//! parse errors ([`DeckError`]). [`LintOptions`] reconfigures codes
+//! per run: `allow` drops a code entirely, `deny` (or `deny_warnings`)
+//! promotes warnings to errors — mirroring the `--allow`/`--deny`/
+//! `--deny-warnings` flags of `cntfet-sim`.
+//!
+//! The full code table, with triggering snippets, lives in the
+//! "Diagnostics reference" section of `docs/DECK_FORMAT.md`.
+
+use super::error::{DeckError, SourceRef};
+use super::{AnalysisCard, Deck, ElementCard};
+use crate::engine::{NewtonEngine, NewtonOptions};
+use crate::error::CircuitError;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Stable identifier of one lint rule. `E…` codes are errors (the deck
+/// cannot run), `W…` codes are warnings (suspicious but runnable); see
+/// [`LintCode::default_severity`]. The numeric blocks group the passes:
+/// `1xx` topology/structure, `2xx` connectivity hygiene, `3xx`
+/// definition/probe hygiene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `E101` — a subnet has no DC path to ground (isolated behind
+    /// capacitors, current sources or CNFET gates).
+    NoDcPath,
+    /// `E102` — a voltage source closes a loop of ideal voltage
+    /// sources (including two sources in parallel or a short-circuited
+    /// source): KVL around the loop over- or under-determines it.
+    VoltageLoop,
+    /// `E103` — the assembled MNA pattern is structurally singular:
+    /// maximum bipartite matching leaves an unknown unmatched, so no
+    /// element values can make the matrix invertible.
+    StructuralSingularity,
+    /// `W201` — a node is connected to exactly one element (dangling).
+    DanglingNode,
+    /// `W202` — every terminal of an element lands on the same node,
+    /// so it contributes nothing (or, for a voltage source, shorts
+    /// itself).
+    SelfLoop,
+    /// `W301` — a `.param` is never referenced by any card.
+    UnusedParam,
+    /// `W302` — a `.model` is never instantiated by any `M` card.
+    UnusedModel,
+    /// `W303` — two `.param` names differ only in ASCII case;
+    /// parameter lookup is case-sensitive, so this is almost always a
+    /// typo.
+    ShadowedParam,
+    /// `W304` — a `.print` card is scoped to an analysis kind the deck
+    /// never runs, so its probes are never produced.
+    OrphanProbe,
+    /// `W305` — the deck has `.ic` initial conditions but no `.tran`
+    /// analysis to apply them to.
+    IcWithoutTran,
+    /// `W306` — an element value is outside any physically plausible
+    /// range (a femto-ohm resistor, a farad-scale capacitor), which
+    /// usually means a wrong SPICE suffix.
+    SuspiciousMagnitude,
+}
+
+impl LintCode {
+    /// Every code, in code order — the source of truth for
+    /// `--allow`/`--deny` validation and the docs test.
+    pub const ALL: [LintCode; 11] = [
+        LintCode::NoDcPath,
+        LintCode::VoltageLoop,
+        LintCode::StructuralSingularity,
+        LintCode::DanglingNode,
+        LintCode::SelfLoop,
+        LintCode::UnusedParam,
+        LintCode::UnusedModel,
+        LintCode::ShadowedParam,
+        LintCode::OrphanProbe,
+        LintCode::IcWithoutTran,
+        LintCode::SuspiciousMagnitude,
+    ];
+
+    /// The stable `E###`/`W###` text of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::NoDcPath => "E101",
+            LintCode::VoltageLoop => "E102",
+            LintCode::StructuralSingularity => "E103",
+            LintCode::DanglingNode => "W201",
+            LintCode::SelfLoop => "W202",
+            LintCode::UnusedParam => "W301",
+            LintCode::UnusedModel => "W302",
+            LintCode::ShadowedParam => "W303",
+            LintCode::OrphanProbe => "W304",
+            LintCode::IcWithoutTran => "W305",
+            LintCode::SuspiciousMagnitude => "W306",
+        }
+    }
+
+    /// Parses an `E###`/`W###` code (ASCII case-insensitively).
+    pub fn parse(text: &str) -> Option<LintCode> {
+        LintCode::ALL
+            .into_iter()
+            .find(|c| c.as_str().eq_ignore_ascii_case(text))
+    }
+
+    /// [`Severity::Error`] for `E…` codes, [`Severity::Warning`] for
+    /// `W…` codes — before any [`LintOptions`] reconfiguration.
+    pub fn default_severity(self) -> Severity {
+        if self.as_str().starts_with('E') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a [`Finding`] is *after* [`LintOptions`] are applied:
+/// errors fail `cntfet-sim --lint` (and `--check`), warnings do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but runnable.
+    Warning,
+    /// The deck cannot run (or the user said `--deny`).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Per-run lint configuration, mirroring the `cntfet-sim` flags.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Codes to drop entirely (`--allow CODE`).
+    pub allow: BTreeSet<LintCode>,
+    /// Codes to report as errors regardless of default severity
+    /// (`--deny CODE`).
+    pub deny: BTreeSet<LintCode>,
+    /// Promote every warning to an error (`--deny-warnings`).
+    pub deny_warnings: bool,
+}
+
+/// One lint finding: a code, its effective severity, and a rendered
+/// span/caret diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub code: LintCode,
+    /// Effective severity after [`LintOptions`].
+    pub severity: Severity,
+    /// The span-anchored message (renders the offending line with a
+    /// caret, like every other deck diagnostic).
+    pub diagnostic: DeckError,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.diagnostic)
+    }
+}
+
+/// The result of [`Deck::lint`]: findings in source order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LintReport {
+    /// All findings, sorted by source position (then code).
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// `true` when no finding survived the [`LintOptions`].
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// `true` when at least one finding has [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// The codes present, in report order (with repeats).
+    pub fn codes(&self) -> Vec<LintCode> {
+        self.findings.iter().map(|f| f.code).collect()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            writeln!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Deck {
+    /// Runs every lint pass over this deck: topology (no DC path to
+    /// ground, voltage-source loops, dangling nodes, self-loops),
+    /// structural MNA rank via maximum bipartite matching, and
+    /// definition/probe hygiene. Each [`LintCode`]'s meaning — with a
+    /// triggering snippet — is tabulated in the "Diagnostics
+    /// reference" section of `docs/DECK_FORMAT.md`.
+    ///
+    /// The structural pass lowers the deck (fitting `.model` cards,
+    /// exactly like `--check`); if lowering itself fails, that hard
+    /// error is left to [`Deck::circuit`]/[`Deck::run`] and the
+    /// structural pass is skipped rather than duplicated here.
+    pub fn lint(&self, opts: &LintOptions) -> LintReport {
+        let mut raw: Vec<(LintCode, DeckError)> = Vec::new();
+        let flagged_nodes = topology(self, &mut raw);
+        structural(self, &flagged_nodes, &mut raw);
+        hygiene(self, &mut raw);
+        raw.sort_by_key(|(code, d)| {
+            let span = d.span.unwrap_or_default();
+            (span.line, span.col, *code)
+        });
+        let findings = raw
+            .into_iter()
+            .filter(|(code, _)| !opts.allow.contains(code))
+            .map(|(code, diagnostic)| {
+                let mut severity = code.default_severity();
+                if opts.deny.contains(&code)
+                    || (opts.deny_warnings && severity == Severity::Warning)
+                {
+                    severity = Severity::Error;
+                }
+                Finding {
+                    code,
+                    severity,
+                    diagnostic,
+                }
+            })
+            .collect();
+        LintReport { findings }
+    }
+}
+
+/// Ground spelling used by the deck dialect.
+fn is_ground(name: &str) -> bool {
+    name == "0" || name == "gnd"
+}
+
+/// Union–find over node indices (index 0 is ground).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]]; // halving
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+/// The element kinds that conduct at DC and can therefore set a node's
+/// voltage: resistors, voltage sources, and the CNFET drain–source
+/// channel. Capacitors are open at DC, current sources cannot fix a
+/// potential, and the CNFET gate is purely capacitive.
+fn conductive_pairs(card: &ElementCard) -> Vec<(&str, &str)> {
+    match card {
+        ElementCard::Resistor(c) => vec![(&c.plus, &c.minus)],
+        ElementCard::Voltage(c) => vec![(&c.plus, &c.minus)],
+        ElementCard::Cnfet(c) => vec![(&c.drain, &c.source)],
+        ElementCard::Capacitor(_) | ElementCard::Current(_) => Vec::new(),
+    }
+}
+
+/// The non-conductive attachments of a card, as `(node, what)` pairs
+/// used to phrase *why* a subnet is isolated.
+fn isolating_attachments(card: &ElementCard) -> Vec<(&str, &'static str)> {
+    match card {
+        ElementCard::Capacitor(c) => {
+            vec![(c.plus.as_str(), "capacitors"), (&c.minus, "capacitors")]
+        }
+        ElementCard::Current(c) => vec![
+            (c.plus.as_str(), "current sources"),
+            (&c.minus, "current sources"),
+        ],
+        ElementCard::Cnfet(c) => vec![(c.gate.as_str(), "CNFET gates")],
+        ElementCard::Resistor(_) | ElementCard::Voltage(_) => Vec::new(),
+    }
+}
+
+/// Interned node names: index 0 is ground (`0`/`gnd`), the rest in
+/// first-appearance order.
+struct NodeTable<'d> {
+    names: Vec<&'d str>,
+    index: HashMap<&'d str, usize>,
+}
+
+impl<'d> NodeTable<'d> {
+    fn new() -> Self {
+        NodeTable {
+            names: vec!["0"],
+            index: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &'d str) -> usize {
+        if is_ground(name) {
+            return 0;
+        }
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name);
+        self.index.insert(name, i);
+        i
+    }
+
+    /// Index of an already-interned name.
+    fn get(&self, name: &str) -> usize {
+        if is_ground(name) {
+            0
+        } else {
+            self.index[name]
+        }
+    }
+}
+
+/// Pass 1: graph analysis of the cards. Returns the node names already
+/// reported by an `E101` so the structural pass does not repeat them.
+fn topology(deck: &Deck, raw: &mut Vec<(LintCode, DeckError)>) -> BTreeSet<String> {
+    let mut nodes = NodeTable::new();
+    let card_nodes: Vec<Vec<usize>> = deck
+        .elements
+        .iter()
+        .map(|card| card.nodes().into_iter().map(|n| nodes.intern(n)).collect())
+        .collect();
+    let n = nodes.names.len();
+
+    // W202: every terminal of a card on one node.
+    for (card, idxs) in deck.elements.iter().zip(&card_nodes) {
+        if idxs.len() > 1 && idxs.iter().all(|&i| i == idxs[0]) {
+            raw.push((
+                LintCode::SelfLoop,
+                card.origin()
+                    .error(format!(
+                        "every terminal of '{}' lands on node '{}'",
+                        card.name(),
+                        nodes.names[idxs[0]]
+                    ))
+                    .with_help(
+                        "the element has no effect (a self-shorted source even contradicts \
+                         itself); connect distinct nodes or delete the card",
+                    ),
+            ));
+        }
+    }
+
+    // Which cards touch each node, in deck order.
+    let mut touch_count = vec![0usize; n];
+    let mut first_card = vec![usize::MAX; n];
+    for (k, idxs) in card_nodes.iter().enumerate() {
+        let distinct: BTreeSet<usize> = idxs.iter().copied().collect();
+        for i in distinct {
+            touch_count[i] += 1;
+            if first_card[i] == usize::MAX {
+                first_card[i] = k;
+            }
+        }
+    }
+
+    // Components over DC-conductive edges only.
+    let mut uf = UnionFind::new(n);
+    for card in &deck.elements {
+        for (a, b) in conductive_pairs(card) {
+            let (ia, ib) = (nodes.get(a), nodes.get(b));
+            uf.union(ia, ib);
+        }
+    }
+
+    // E101: every component that does not reach ground.
+    let ground_root = uf.find(0);
+    let mut components: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 1..n {
+        let root = uf.find(i);
+        if root != ground_root {
+            components.entry(root).or_default().push(i);
+        }
+    }
+    let mut flagged = BTreeSet::new();
+    let mut ordered: Vec<Vec<usize>> = components.into_values().collect();
+    ordered.sort_by_key(|mems| mems.iter().map(|&i| first_card[i]).min());
+    for mems in ordered {
+        // What (non-conductive) element kinds touch the subnet — the
+        // "why" of the isolation.
+        let mut kinds: BTreeSet<&'static str> = BTreeSet::new();
+        for card in &deck.elements {
+            for (node, what) in isolating_attachments(card) {
+                if uf.find(nodes.get(node)) != ground_root && mems.contains(&nodes.get(node)) {
+                    kinds.insert(what);
+                }
+            }
+        }
+        let anchor = mems
+            .iter()
+            .map(|&i| first_card[i])
+            .min()
+            .expect("component is non-empty");
+        let list = mems
+            .iter()
+            .map(|&i| format!("'{}'", nodes.names[i]))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let message = if mems.len() == 1 {
+            format!("node {list} has no DC path to ground")
+        } else {
+            format!("nodes {list} have no DC path to ground")
+        };
+        let help = if kinds.is_empty() {
+            "the subnet is fully disconnected from ground; tie it down with a resistor \
+             or voltage source"
+                .to_string()
+        } else {
+            format!(
+                "it is reachable only through {}, which cannot set a DC voltage; add a \
+                 path to ground through a resistor, voltage source or CNFET channel",
+                kinds.into_iter().collect::<Vec<_>>().join(" and ")
+            )
+        };
+        for &i in &mems {
+            flagged.insert(nodes.names[i].to_string());
+        }
+        raw.push((
+            LintCode::NoDcPath,
+            deck.elements[anchor]
+                .origin()
+                .error(message)
+                .with_help(help),
+        ));
+    }
+
+    // W201: a (grounded) node touched by exactly one card. Nodes inside
+    // an E101 component already got a stronger diagnosis.
+    for i in 1..n {
+        if touch_count[i] == 1 && uf.find(i) == ground_root {
+            let card = &deck.elements[first_card[i]];
+            raw.push((
+                LintCode::DanglingNode,
+                card.origin()
+                    .error(format!(
+                        "node '{}' is connected to only one element ('{}')",
+                        nodes.names[i],
+                        card.name()
+                    ))
+                    .with_help("a dangling node usually means a typo in another card's node name"),
+            ));
+        }
+    }
+
+    // E102: a voltage source whose terminals are already connected by a
+    // chain of ideal voltage sources closes an over-determined loop.
+    let mut vf = UnionFind::new(n);
+    for card in &deck.elements {
+        if let ElementCard::Voltage(v) = card {
+            let (a, b) = (nodes.get(&v.plus), nodes.get(&v.minus));
+            if vf.find(a) == vf.find(b) {
+                raw.push((
+                    LintCode::VoltageLoop,
+                    card.origin()
+                        .error(format!(
+                            "voltage source '{}' closes a loop of ideal voltage sources",
+                            v.name
+                        ))
+                        .with_help(
+                            "KVL around the loop is already fixed by the other sources; \
+                             remove one or add series resistance",
+                        ),
+                ));
+            } else {
+                vf.union(a, b);
+            }
+        }
+    }
+
+    flagged
+}
+
+/// Pass 2: lower the deck and run the engine's structural-rank guard
+/// ([`NewtonEngine::check_dc_structure`]). Nodes already reported by
+/// `E101` are skipped — the topology message explains those better —
+/// so `E103` surfaces the cases only the matching can see (e.g. an
+/// unmatched source branch current).
+fn structural(deck: &Deck, flagged: &BTreeSet<String>, raw: &mut Vec<(LintCode, DeckError)>) {
+    if deck.elements.is_empty() {
+        return;
+    }
+    // Lowering fits `.model` cards; a fit failure is a hard error that
+    // `--check`/`run` reports — not a lint finding to duplicate.
+    let Ok(circuit) = deck.circuit() else {
+        return;
+    };
+    let mut engine = NewtonEngine::new(NewtonOptions::default());
+    let Err(CircuitError::StructurallySingular { nodes: unknowns }) =
+        engine.check_dc_structure(&circuit)
+    else {
+        return;
+    };
+    for name in unknowns {
+        let inner = name
+            .strip_prefix("i(")
+            .or_else(|| name.strip_prefix("internal("))
+            .and_then(|s| s.strip_suffix(')'));
+        let (anchor, what) = match inner {
+            Some(elem) => (
+                deck.elements.iter().find(|c| c.name() == elem),
+                format!("'{name}'"),
+            ),
+            None => {
+                if flagged.contains(&name) {
+                    continue;
+                }
+                (
+                    deck.elements
+                        .iter()
+                        .find(|c| c.nodes().iter().any(|n| *n == name)),
+                    format!("the voltage of node '{name}'"),
+                )
+            }
+        };
+        let origin = anchor.map_or_else(SourceRef::default, |c| c.origin().clone());
+        raw.push((
+            LintCode::StructuralSingularity,
+            origin
+                .error(format!(
+                    "structurally singular MNA system: no equation can determine {what}"
+                ))
+                .with_help(
+                    "maximum matching on the assembled pattern leaves this unknown \
+                     uncovered, so no element values can make the system solvable",
+                ),
+        ));
+    }
+}
+
+/// Pass 3: definition/probe hygiene.
+fn hygiene(deck: &Deck, raw: &mut Vec<(LintCode, DeckError)>) {
+    // W301: `.param` never referenced.
+    for p in &deck.params {
+        if !deck.param_uses.contains(&p.name) {
+            raw.push((
+                LintCode::UnusedParam,
+                p.origin
+                    .error(format!("parameter '{}' is never used", p.name))
+                    .with_help("reference it as a bare value or inside {…}, or delete the card"),
+            ));
+        }
+    }
+    // W303: `.param` names that collide up to ASCII case.
+    for (j, pj) in deck.params.iter().enumerate() {
+        if let Some(pi) = deck.params[..j]
+            .iter()
+            .find(|pi| pi.name.eq_ignore_ascii_case(&pj.name))
+        {
+            raw.push((
+                LintCode::ShadowedParam,
+                pj.origin
+                    .error(format!(
+                        "parameter '{}' differs from '{}' (line {}) only in case",
+                        pj.name, pi.name, pi.origin.span.line
+                    ))
+                    .with_help("parameter lookup is case-sensitive; rename one of them"),
+            ));
+        }
+    }
+    // W302: `.model` never instantiated.
+    let instantiated: BTreeSet<&str> = deck
+        .elements
+        .iter()
+        .filter_map(|c| match c {
+            ElementCard::Cnfet(m) => Some(m.model.as_str()),
+            _ => None,
+        })
+        .collect();
+    for m in &deck.models {
+        if !instantiated.contains(m.name.as_str()) {
+            raw.push((
+                LintCode::UnusedModel,
+                m.origin
+                    .error(format!("model '{}' is never instantiated", m.name))
+                    .with_help("no M card references it; add an instance or delete the card"),
+            ));
+        }
+    }
+    // W304: `.print` scoped to an analysis the deck never runs.
+    for p in &deck.prints {
+        if let Some(kind) = p.analysis {
+            if !deck.analyses.iter().any(|a| a.kind() == kind) {
+                let kw = kind.keyword();
+                raw.push((
+                    LintCode::OrphanProbe,
+                    p.origin
+                        .error(format!(
+                            ".print {kw} selects probes, but the deck has no .{kw} analysis"
+                        ))
+                        .with_help("add the analysis card or drop the scope keyword"),
+                ));
+            }
+        }
+    }
+    // W305: `.ic` with nothing to apply it to.
+    if !deck
+        .analyses
+        .iter()
+        .any(|a| matches!(a, AnalysisCard::Tran(_)))
+    {
+        for ic in &deck.ics {
+            raw.push((
+                LintCode::IcWithoutTran,
+                ic.origin
+                    .error(
+                        ".ic sets transient initial conditions, but the deck has no .tran analysis",
+                    )
+                    .with_help("add a .tran card or remove the .ic"),
+            ));
+        }
+    }
+    // W306: magnitudes that smell like a wrong SPICE suffix.
+    for card in &deck.elements {
+        match card {
+            ElementCard::Resistor(r) if !(1e-3..=1e12).contains(&r.ohms) => {
+                raw.push((
+                    LintCode::SuspiciousMagnitude,
+                    r.origin
+                        .error(format!(
+                            "resistance of '{}' is {:e} Ω — outside the plausible range \
+                             1 mΩ … 1 TΩ",
+                            r.name, r.ohms
+                        ))
+                        .with_help(
+                            "check the SPICE suffix: 'f' is femto (1e-15) and 'meg' is 1e6 \
+                             ('m' alone is milli)",
+                        ),
+                ));
+            }
+            ElementCard::Capacitor(c) if !(1e-18..=1.0).contains(&c.farads) => {
+                raw.push((
+                    LintCode::SuspiciousMagnitude,
+                    c.origin
+                        .error(format!(
+                            "capacitance of '{}' is {:e} F — outside the plausible range \
+                             1 aF … 1 F",
+                            c.name, c.farads
+                        ))
+                        .with_help(
+                            "check the SPICE suffix: 'f' is femto (1e-15) and 'meg' is 1e6 \
+                             ('m' alone is milli)",
+                        ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(text: &str) -> LintReport {
+        Deck::parse(text)
+            .expect("test deck parses")
+            .lint(&LintOptions::default())
+    }
+
+    const CLEAN: &str = "divider\nV1 in 0 DC 1\nR1 in out 1k\nR2 out 0 1k\n.op\n";
+
+    #[test]
+    fn clean_deck_has_no_findings() {
+        let report = lint(CLEAN);
+        assert!(report.is_clean(), "{report}");
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn code_table_round_trips() {
+        for code in LintCode::ALL {
+            assert_eq!(LintCode::parse(code.as_str()), Some(code));
+            assert_eq!(
+                LintCode::parse(&code.as_str().to_ascii_lowercase()),
+                Some(code)
+            );
+        }
+        assert_eq!(LintCode::parse("E999"), None);
+        assert!(LintCode::NoDcPath.default_severity() == Severity::Error);
+        assert!(LintCode::DanglingNode.default_severity() == Severity::Warning);
+    }
+
+    #[test]
+    fn e101_capacitor_isolated_node() {
+        let report = lint("t\nV1 in 0 DC 1\nR1 in 0 1k\nC1 in mid 1p\n.op\n");
+        let codes = report.codes();
+        assert_eq!(codes, [LintCode::NoDcPath], "{report}");
+        let f = &report.findings[0];
+        assert_eq!(f.severity, Severity::Error);
+        assert!(f.diagnostic.message.contains("'mid'"), "{f}");
+        assert_eq!(f.diagnostic.span.unwrap().line, 4); // the C card
+        assert!(
+            f.diagnostic.help.as_deref().unwrap().contains("capacitors"),
+            "{f}"
+        );
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn e101_current_source_cutset() {
+        let report = lint("t\nI1 0 top 1u\nC2 top 0 1p\n.op\n");
+        assert_eq!(report.codes(), [LintCode::NoDcPath], "{report}");
+        let help = report.findings[0].diagnostic.help.as_deref().unwrap();
+        assert!(help.contains("capacitors and current sources"), "{help}");
+    }
+
+    #[test]
+    fn e101_merges_a_multi_node_subnet() {
+        let report = lint("t\nV1 in 0 DC 1\nC1 in a 1p\nR2 a b 1k\n.op\n");
+        assert_eq!(report.codes(), [LintCode::NoDcPath], "{report}");
+        let msg = &report.findings[0].diagnostic.message;
+        assert!(msg.contains("nodes 'a', 'b'"), "{msg}");
+    }
+
+    #[test]
+    fn e102_parallel_sources_then_e103_branch_current() {
+        let report = lint("t\nV1 a 0 DC 1\nV2 a 0 DC 2\nR1 a 0 1k\n.op\n");
+        assert_eq!(
+            report.codes(),
+            [LintCode::VoltageLoop, LintCode::StructuralSingularity],
+            "{report}"
+        );
+        assert!(report.findings[0].diagnostic.message.contains("'V2'"));
+        assert_eq!(report.findings[0].diagnostic.span.unwrap().line, 3);
+        assert!(report.findings[1].diagnostic.message.contains("i(V2)"));
+    }
+
+    #[test]
+    fn e102_three_source_loop() {
+        // Three sources around a–b–ground: their constraint rows span
+        // only two node columns, so the matching also leaves a branch
+        // current unmatched — E102 names the loop, E103 the symptom.
+        let report = lint("t\nV1 a 0 DC 1\nV2 b a DC 1\nV3 b 0 DC 2\nR1 a 0 1k\nR2 b 0 1k\n.op\n");
+        assert_eq!(
+            report.codes(),
+            [LintCode::VoltageLoop, LintCode::StructuralSingularity],
+            "{report}"
+        );
+        assert!(report.findings[0].diagnostic.message.contains("'V3'"));
+    }
+
+    #[test]
+    fn w201_dangling_node() {
+        let report = lint("t\nV1 in 0 DC 1\nR1 in out 1k\nR2 out 0 1k\nR3 out x 1k\n.op\n");
+        assert_eq!(report.codes(), [LintCode::DanglingNode], "{report}");
+        let f = &report.findings[0];
+        assert_eq!(f.severity, Severity::Warning);
+        assert!(f.diagnostic.message.contains("'x'"), "{f}");
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn w202_self_loop_element() {
+        let report = lint("t\nV1 a 0 DC 1\nR1 a a 1k\nR2 a 0 1k\n.op\n");
+        assert_eq!(report.codes(), [LintCode::SelfLoop], "{report}");
+        assert!(report.findings[0].diagnostic.message.contains("'R1'"));
+    }
+
+    #[test]
+    fn w301_w303_param_hygiene() {
+        let report = lint("t\n.param vdd = 1\n.param VDD = 2\nV1 a 0 DC vdd\nR1 a 0 1k\n.op\n");
+        assert_eq!(
+            report.codes(),
+            [LintCode::UnusedParam, LintCode::ShadowedParam],
+            "{report}"
+        );
+        assert!(report.findings[0].diagnostic.message.contains("'VDD'"));
+        assert!(report.findings[1].diagnostic.message.contains("line 2"));
+    }
+
+    #[test]
+    fn w301_sees_uses_inside_expressions() {
+        let report = lint("t\n.param vdd = 1\nV1 a 0 DC {vdd * 2}\nR1 a 0 1k\n.op\n");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn w302_unused_model() {
+        let report = lint("t\n.model mN cnfet\nV1 a 0 DC 1\nR1 a 0 1k\n.op\n");
+        assert_eq!(report.codes(), [LintCode::UnusedModel], "{report}");
+        assert!(report.findings[0].diagnostic.message.contains("'mN'"));
+    }
+
+    #[test]
+    fn w304_orphan_scoped_print() {
+        let report = lint("t\nV1 a 0 DC 1\nR1 a 0 1k\n.op\n.print tran v(a)\n");
+        assert_eq!(report.codes(), [LintCode::OrphanProbe], "{report}");
+        assert!(report.findings[0].diagnostic.message.contains(".tran"));
+    }
+
+    #[test]
+    fn w305_ic_without_tran() {
+        let report = lint("t\nV1 a 0 DC 1\nR1 a 0 1k\n.op\n.ic v(a)=0.5\n");
+        assert_eq!(report.codes(), [LintCode::IcWithoutTran], "{report}");
+        let with_tran = lint("t\nV1 a 0 DC 1\nR1 a 0 1k\n.tran 1u\n.ic v(a)=0.5\n");
+        assert!(with_tran.is_clean(), "{with_tran}");
+    }
+
+    #[test]
+    fn w306_suspicious_magnitudes() {
+        // '1f' on a resistor is a femto-ohm — almost certainly a typo.
+        let report = lint("t\nV1 a 0 DC 1\nR1 a 0 1f\n.op\n");
+        assert_eq!(report.codes(), [LintCode::SuspiciousMagnitude], "{report}");
+        let report = lint("t\nV1 a 0 DC 1\nR1 a 0 1k\nC1 a 0 10\n.tran 1u\n");
+        assert_eq!(report.codes(), [LintCode::SuspiciousMagnitude], "{report}");
+    }
+
+    #[test]
+    fn options_allow_deny_and_deny_warnings() {
+        let deck = Deck::parse("t\nV1 a 0 DC 1\nR1 a 0 1k\nR2 a x 1k\n.op\n").unwrap();
+        let base = deck.lint(&LintOptions::default());
+        assert_eq!(base.codes(), [LintCode::DanglingNode]);
+        assert!(!base.has_errors());
+
+        let mut allow = LintOptions::default();
+        allow.allow.insert(LintCode::DanglingNode);
+        assert!(deck.lint(&allow).is_clean());
+
+        let mut deny = LintOptions::default();
+        deny.deny.insert(LintCode::DanglingNode);
+        let denied = deck.lint(&deny);
+        assert_eq!(denied.findings[0].severity, Severity::Error);
+        assert!(denied.has_errors());
+
+        let strict = LintOptions {
+            deny_warnings: true,
+            ..LintOptions::default()
+        };
+        assert!(deck.lint(&strict).has_errors());
+    }
+
+    #[test]
+    fn findings_render_with_code_and_caret() {
+        let report = lint("t\nV1 in 0 DC 1\nR1 in 0 1k\nC1 in mid 1p\n.op\n");
+        let text = report.to_string();
+        assert!(text.contains("error[E101]"), "{text}");
+        assert!(text.contains("deck:4:"), "{text}");
+        assert!(text.contains("C1 in mid 1p"), "{text}");
+        assert!(text.contains("= help:"), "{text}");
+    }
+}

@@ -68,11 +68,13 @@ mod build;
 mod error;
 mod expr;
 mod lex;
+mod lint;
 mod parse;
 mod run;
 
 pub use error::{suggest, DeckError, SourceRef, Span};
 pub use lex::parse_number;
+pub use lint::{Finding, LintCode, LintOptions, LintReport, Severity};
 pub use run::{AnalysisReport, DeckRun};
 
 use crate::cnfet::Polarity;
@@ -104,6 +106,31 @@ pub struct Deck {
     pub prints: Vec<PrintCard>,
     /// `.ic` transient initial-condition overrides.
     pub ics: Vec<IcCard>,
+    /// Which `.param` names the deck's cards actually referenced (bare
+    /// or inside `{…}` / `.param` expressions) — raw material for the
+    /// unused-parameter lint. Diagnostic metadata: like [`Span`], it
+    /// never participates in deck equality (serialising inlines every
+    /// parameter value, so a round-tripped deck has no uses left).
+    pub param_uses: ParamUses,
+}
+
+/// The set of `.param` names a parse resolved — see
+/// [`Deck::param_uses`]. Compares equal to every other value so that
+/// diagnostic metadata never breaks deck equality or round-tripping.
+#[derive(Debug, Clone, Default, Eq)]
+pub struct ParamUses(pub std::collections::BTreeSet<String>);
+
+impl ParamUses {
+    /// `true` when some card referenced the parameter `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.0.contains(name)
+    }
+}
+
+impl PartialEq for ParamUses {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 /// One element card.

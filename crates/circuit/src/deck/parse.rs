@@ -21,7 +21,8 @@ use super::{
 use crate::cnfet::Polarity;
 use crate::element::Waveform;
 use crate::error::CircuitError;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 
 /// Parses deck text. See [`Deck::parse`].
 pub fn parse(text: &str) -> Result<Deck, DeckError> {
@@ -31,6 +32,7 @@ pub fn parse(text: &str) -> Result<Deck, DeckError> {
         ..Deck::default()
     };
     let mut params: HashMap<String, f64> = HashMap::new();
+    let used = RefCell::new(BTreeSet::new());
     for line in &raw.lines {
         if line.tokens.is_empty() {
             continue;
@@ -39,6 +41,7 @@ pub fn parse(text: &str) -> Result<Deck, DeckError> {
             line,
             i: 0,
             params: &params,
+            used: &used,
         };
         let (head, head_span) = cur.next_word("a card")?;
         let head = head.to_string();
@@ -47,7 +50,7 @@ pub fn parse(text: &str) -> Result<Deck, DeckError> {
             match dot.to_ascii_lowercase().as_str() {
                 "model" => deck.models.push(parse_model(&mut cur, origin)?),
                 "param" => {
-                    let card = parse_param(&mut cur, origin, &params)?;
+                    let card = parse_param(&mut cur, origin)?;
                     if params.contains_key(&card.name) {
                         return Err(card
                             .origin
@@ -111,6 +114,7 @@ pub fn parse(text: &str) -> Result<Deck, DeckError> {
             }
         }
     }
+    deck.param_uses = super::ParamUses(used.into_inner());
     validate(&mut deck)?;
     Ok(deck)
 }
@@ -251,6 +255,10 @@ struct Cursor<'a> {
     line: &'a LogicalLine,
     i: usize,
     params: &'a HashMap<String, f64>,
+    /// Parameter names any card resolved (bare or inside `{…}` / `.param`
+    /// expressions) — shared across the whole parse for the unused-param
+    /// lint. A `RefCell` because the cursor also borrows `params`.
+    used: &'a RefCell<BTreeSet<String>>,
 }
 
 impl<'a> Cursor<'a> {
@@ -315,6 +323,7 @@ impl<'a> Cursor<'a> {
                 if let Some(v) = super::lex::parse_number(w) {
                     Ok((v, t.span))
                 } else if let Some(&v) = self.params.get(w.as_str()) {
+                    self.used.borrow_mut().insert(w.clone());
                     Ok((v, t.span))
                 } else {
                     let mut err = self.error_at(
@@ -327,9 +336,11 @@ impl<'a> Cursor<'a> {
                     Err(err)
                 }
             }
-            TokenKind::Expr(body) => expr::eval(body, self.params)
-                .map(|v| (v, t.span))
-                .map_err(|msg| self.error_at(i, format!("in {what} expression: {msg}"))),
+            TokenKind::Expr(body) => {
+                expr::eval_with_uses(body, self.params, &mut self.used.borrow_mut())
+                    .map(|v| (v, t.span))
+                    .map_err(|msg| self.error_at(i, format!("in {what} expression: {msg}")))
+            }
             TokenKind::Punct(c) => Err(self.error_at(i, format!("expected {what}, got '{c}'"))),
         }
     }
@@ -625,11 +636,7 @@ fn parse_model(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<ModelCard, Dec
     Ok(card)
 }
 
-fn parse_param(
-    cur: &mut Cursor<'_>,
-    origin: SourceRef,
-    params: &HashMap<String, f64>,
-) -> Result<ParamCard, DeckError> {
+fn parse_param(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<ParamCard, DeckError> {
     let (name, name_span) = cur.next_word("the parameter name")?;
     let name = name.to_string();
     if super::lex::parse_number(&name).is_some() {
@@ -658,7 +665,7 @@ fn parse_param(
     }
     let span = cur.line.span_at(first).to_span(cur.line.span_at(last));
     let text = pieces.join(" ");
-    let value = expr::eval(&text, params)
+    let value = expr::eval_with_uses(&text, cur.params, &mut cur.used.borrow_mut())
         .map_err(|msg| cur.at(span, format!("in .param expression: {msg}")))?;
     Ok(ParamCard {
         name,

@@ -52,7 +52,7 @@ use crate::element::{AnalysisMode, Mna};
 use crate::error::CircuitError;
 use crate::netlist::Circuit;
 use cntfet_numerics::sparse::{
-    CsrMatrix, DenseLuSolver, LinearSolver, PatternAssembler, SparseLuSolver,
+    structural_rank, CsrMatrix, DenseLuSolver, LinearSolver, PatternAssembler, SparseLuSolver,
 };
 use cntfet_numerics::stats::inf_norm;
 
@@ -133,6 +133,10 @@ struct Cache {
     asm: PatternAssembler,
     solver: Box<dyn LinearSolver>,
     bases: Vec<usize>,
+    /// `true` once this structure passed the structural-rank check, so
+    /// repeated DC solves (sweep points, transient initial conditions)
+    /// pay for the matching exactly once per pattern build.
+    struct_ok: bool,
 }
 
 /// The reusable damped-Newton core.
@@ -257,6 +261,7 @@ impl NewtonEngine {
                 asm: PatternAssembler::new(unknowns, unknowns),
                 solver,
                 bases: circuit.extra_var_bases(),
+                struct_ok: false,
             });
             self.pattern_builds += 1;
         }
@@ -409,6 +414,52 @@ impl NewtonEngine {
         })
     }
 
+    /// Verifies that the DC MNA system is structurally nonsingular:
+    /// assembles the Jacobian once at `x = 0` with gmin 0 and runs a
+    /// maximum bipartite matching on its nonzero entries
+    /// ([`cntfet_numerics::sparse::structural_rank`]). A perfect
+    /// matching proves *some* value assignment makes the matrix
+    /// invertible; a deficient one means no values ever can — the
+    /// classic floating-node / capacitor-isolated-subnet mistakes — and
+    /// the check reports exactly which unknowns are undeterminable, by
+    /// name, before any factorisation runs.
+    ///
+    /// The verdict is cached per pattern build (`struct_ok`), so sweeps
+    /// and warm-started solves pay for the matching once; failures are
+    /// re-checked so the error stays reproducible.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::StructurallySingular`] with the names of the
+    /// unmatched unknowns.
+    pub fn check_dc_structure(&mut self, circuit: &Circuit) -> Result<(), CircuitError> {
+        let n = circuit.unknown_count();
+        if n == 0 {
+            return Ok(());
+        }
+        self.ensure_cache(circuit, false);
+        if self.caches[self.active]
+            .as_ref()
+            .is_some_and(|c| c.struct_ok)
+        {
+            return Ok(());
+        }
+        let x0 = vec![0.0; n];
+        self.assemble_into(circuit, &x0, &AnalysisMode::Dc, 0.0);
+        let cache = self.caches[self.active].as_mut().expect("assembled above");
+        let rank = structural_rank(cache.asm.matrix().expect("assembly finished"));
+        if rank.is_full() {
+            cache.struct_ok = true;
+            return Ok(());
+        }
+        let nodes = rank
+            .unmatched_cols
+            .iter()
+            .map(|&col| unknown_name(circuit, &cache.bases, col))
+            .collect();
+        Err(CircuitError::StructurallySingular { nodes })
+    }
+
     /// Solves the DC operating point: plain Newton from `initial` (or
     /// zeros) first, then a gmin ramp (1e-3 → 0) when that fails —
     /// identical strategy to the historical `solve_dc`, but running on
@@ -416,9 +467,14 @@ impl NewtonEngine {
     ///
     /// # Errors
     ///
-    /// [`CircuitError::NoConvergence`] if even the gmin ramp fails, or
-    /// [`CircuitError::SingularSystem`] for structurally singular
-    /// circuits (floating nodes without any DC path).
+    /// [`CircuitError::StructurallySingular`] (before any
+    /// factorisation) when the MNA pattern cannot have full rank for
+    /// any element values — see
+    /// [`NewtonEngine::check_dc_structure`];
+    /// [`CircuitError::NoConvergence`] if even the gmin ramp fails; or
+    /// [`CircuitError::SingularSystem`] for systems that are
+    /// structurally fine but numerically singular (e.g. a loop of
+    /// ideal voltage sources whose constraints conflict).
     pub fn dc_operating_point(
         &mut self,
         circuit: &Circuit,
@@ -431,6 +487,7 @@ impl NewtonEngine {
                 iterations: 0,
             });
         }
+        self.check_dc_structure(circuit)?;
         let x0 = initial.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
         match self.newton(circuit, &x0, &AnalysisMode::Dc, 0.0) {
             Ok((x, iterations)) => Ok(Solution { x, iterations }),
@@ -452,6 +509,32 @@ impl NewtonEngine {
             }
         }
     }
+}
+
+/// Human-readable name of MNA unknown `col`: the node name for voltage
+/// unknowns, `i(NAME)` for source branch currents and `internal(NAME)`
+/// for other element extra variables (the CNFET inner charge node).
+fn unknown_name(circuit: &Circuit, bases: &[usize], col: usize) -> String {
+    let nodes = circuit.node_count();
+    if col < nodes {
+        return circuit
+            .node_names()
+            .into_iter()
+            .find(|(_, id)| id.unknown_index() == Some(col))
+            .map(|(name, _)| name)
+            .unwrap_or_else(|| format!("node #{}", col + 1));
+    }
+    for (e, &base) in circuit.elements().iter().zip(bases) {
+        let extra = e.extra_vars();
+        if extra > 0 && (base..base + extra).contains(&col) {
+            return if e.is_source() {
+                format!("i({})", e.name())
+            } else {
+                format!("internal({})", e.name())
+            };
+        }
+    }
+    format!("unknown #{col}")
 }
 
 #[cfg(test)]
@@ -625,6 +708,85 @@ mod tests {
         engine.newton(&c, &x, &tran(2e-9), 0.0).unwrap();
         engine.dc_operating_point(&c, None).unwrap();
         assert_eq!(engine.pattern_builds(), 2, "kind switches must not thrash");
+    }
+
+    #[test]
+    fn capacitor_isolated_node_is_structurally_singular() {
+        use crate::element::Capacitor;
+        // V1 drives "in"; "mid" hangs behind a capacitor with no DC
+        // path to ground — its KCL row and voltage column are both
+        // empty at DC, a textbook structurally singular system.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        c.add(VoltageSource::dc("V1", vin, Circuit::ground(), 1.0));
+        c.add(Resistor::new("R1", vin, Circuit::ground(), 1e3));
+        c.add(Capacitor::new("C1", vin, mid, 1e-12));
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        let err = engine.dc_operating_point(&c, None).unwrap_err();
+        match err {
+            CircuitError::StructurallySingular { nodes } => {
+                assert_eq!(nodes, vec!["mid".to_string()]);
+            }
+            other => panic!("expected StructurallySingular, got {other:?}"),
+        }
+        // The check is re-run (and still fails) on a repeated solve.
+        assert!(matches!(
+            engine.dc_operating_point(&c, None),
+            Err(CircuitError::StructurallySingular { .. })
+        ));
+    }
+
+    #[test]
+    fn current_source_cutset_is_structurally_singular() {
+        use crate::element::CurrentSource;
+        // A current source feeding a node with no other connection:
+        // the node voltage appears in no equation.
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        c.add(CurrentSource::dc("I1", top, Circuit::ground(), 1e-3));
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        let err = engine.dc_operating_point(&c, None).unwrap_err();
+        match err {
+            CircuitError::StructurallySingular { nodes } => {
+                assert_eq!(nodes, vec!["top".to_string()]);
+            }
+            other => panic!("expected StructurallySingular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structural_check_does_not_add_pattern_builds_or_break_solves() {
+        let (c, out) = divider();
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        let sol = engine.dc_operating_point(&c, None).unwrap();
+        assert!((sol.voltage(out) - 1.5).abs() < 1e-9);
+        assert_eq!(engine.pattern_builds(), 1, "check shares the DC cache");
+        engine.dc_operating_point(&c, None).unwrap();
+        assert_eq!(engine.pattern_builds(), 1);
+    }
+
+    #[test]
+    fn parallel_voltage_sources_fail_before_any_lu() {
+        // Two ideal sources across the same node pair: both branch
+        // currents stamp the same constraint rows/columns, leaving one
+        // current column unmatchable — caught structurally, without a
+        // factorisation.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add(VoltageSource::dc("V1", a, Circuit::ground(), 1.0));
+        c.add(VoltageSource::dc("V2", a, Circuit::ground(), 2.0));
+        c.add(Resistor::new("R1", a, Circuit::ground(), 1e3));
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        let err = engine.dc_operating_point(&c, None).unwrap_err();
+        match err {
+            CircuitError::StructurallySingular { nodes } => {
+                assert_eq!(nodes.len(), 1, "{nodes:?}");
+                assert!(nodes[0].starts_with("i(V"), "{nodes:?}");
+            }
+            other => panic!("expected StructurallySingular, got {other:?}"),
+        }
+        assert_eq!(engine.total_factorizations(), 0, "failed before any LU");
     }
 
     #[test]

@@ -35,6 +35,19 @@ pub enum CircuitError {
         /// Names of the nodes the circuit actually has.
         available: Vec<String>,
     },
+    /// The DC MNA system is **structurally** singular: maximum bipartite
+    /// matching on the assembled sparsity pattern leaves at least one
+    /// unknown unmatched, so no assignment of element values can make
+    /// the matrix invertible. Raised *before* any factorisation — the
+    /// classic causes are a node with no DC path to ground (isolated by
+    /// capacitors or current sources) or a gate-only node. Carries the
+    /// human-readable names of the undeterminable unknowns: node names,
+    /// `i(ELEMENT)` for source branch currents, `internal(ELEMENT)` for
+    /// other element unknowns.
+    StructurallySingular {
+        /// Names of the unknowns no equation can determine.
+        nodes: Vec<String>,
+    },
     /// Adaptive transient stepping gave up: either the step controller
     /// shrank the step to the configured minimum and the step still
     /// failed (local truncation error too large or Newton divergence),
@@ -93,6 +106,12 @@ impl fmt::Display for CircuitError {
                     )
                 }
             }
+            CircuitError::StructurallySingular { nodes } => write!(
+                f,
+                "structurally singular mna system: no equation can determine {} \
+                 (check for nodes isolated from ground by capacitors or current sources)",
+                nodes.join(", ")
+            ),
             CircuitError::TimestepTooSmall { t, dt } => write!(
                 f,
                 "adaptive transient gave up at t = {t:.6e} s with step {dt:.3e} s \
@@ -117,6 +136,16 @@ mod tests {
         assert!(e.to_string().contains("10"));
         let s = CircuitError::SingularSystem("pivot 0".into());
         assert!(s.to_string().contains("pivot 0"));
+    }
+
+    #[test]
+    fn structurally_singular_names_unknowns() {
+        let e = CircuitError::StructurallySingular {
+            nodes: vec!["mid".into(), "i(V2)".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("structurally singular"), "{msg}");
+        assert!(msg.contains("mid, i(V2)"), "{msg}");
     }
 
     #[test]

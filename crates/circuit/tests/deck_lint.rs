@@ -1,0 +1,310 @@
+//! Integration tests for the static deck analyzer (`Deck::lint`) and
+//! the structural-singularity guard it shares with the solver.
+//!
+//! The snapshot tests pin the *rendered* diagnostic of every lint code
+//! — code, span, caret and help text — so a wording or renderer change
+//! is a conscious edit here, not an accident. The property tests check
+//! the two acceptance claims: structurally sound random networks pass
+//! the guard and solve, injected isolation defects are rejected by name
+//! *before* any factorization, and linting never panics on arbitrarily
+//! mutated deck text.
+
+use cntfet_circuit::deck::{Deck, LintOptions};
+use cntfet_circuit::engine::{NewtonEngine, NewtonOptions};
+use cntfet_circuit::error::CircuitError;
+use cntfet_circuit::prelude::*;
+use proptest::prelude::*;
+
+fn report(text: &str) -> String {
+    Deck::parse(text)
+        .expect("snapshot deck parses")
+        .lint(&LintOptions::default())
+        .to_string()
+}
+
+#[test]
+fn snapshot_e101_no_dc_path() {
+    assert_eq!(
+        report("t\nV1 in 0 DC 1\nR1 in 0 1k\nC1 in mid 1p\n.op\n"),
+        "error[E101]: deck:4:1: node 'mid' has no DC path to ground
+    4 | C1 in mid 1p
+      | ^^
+      = help: it is reachable only through capacitors, which cannot set a DC voltage; add a path to ground through a resistor, voltage source or CNFET channel
+"
+    );
+}
+
+#[test]
+fn snapshot_e102_e103_voltage_loop() {
+    assert_eq!(
+        report("t\nV1 a 0 DC 1\nV2 a 0 DC 2\nR1 a 0 1k\n.op\n"),
+        "error[E102]: deck:3:1: voltage source 'V2' closes a loop of ideal voltage sources
+    3 | V2 a 0 DC 2
+      | ^^
+      = help: KVL around the loop is already fixed by the other sources; remove one or add series resistance
+
+error[E103]: deck:3:1: structurally singular MNA system: no equation can determine 'i(V2)'
+    3 | V2 a 0 DC 2
+      | ^^
+      = help: maximum matching on the assembled pattern leaves this unknown uncovered, so no element values can make the system solvable
+"
+    );
+}
+
+#[test]
+fn snapshot_w201_w202_connectivity() {
+    assert_eq!(
+        report("t\nV1 a 0 DC 1\nR1 a 0 1k\nR2 a a 1k\nR3 a x 1k\n.op\n"),
+        "warning[W202]: deck:4:1: every terminal of 'R2' lands on node 'a'
+    4 | R2 a a 1k
+      | ^^
+      = help: the element has no effect (a self-shorted source even contradicts itself); connect distinct nodes or delete the card
+
+warning[W201]: deck:5:1: node 'x' is connected to only one element ('R3')
+    5 | R3 a x 1k
+      | ^^
+      = help: a dangling node usually means a typo in another card's node name
+"
+    );
+}
+
+#[test]
+fn snapshot_w301_w303_param_hygiene() {
+    assert_eq!(
+        report("t\n.param vdd = 1\n.param VDD = 2\nV1 a 0 DC vdd\nR1 a 0 1k\n.op\n"),
+        "warning[W301]: deck:3:1: parameter 'VDD' is never used
+    3 | .param VDD = 2
+      | ^^^^^^
+      = help: reference it as a bare value or inside {…}, or delete the card
+
+warning[W303]: deck:3:1: parameter 'VDD' differs from 'vdd' (line 2) only in case
+    3 | .param VDD = 2
+      | ^^^^^^
+      = help: parameter lookup is case-sensitive; rename one of them
+"
+    );
+}
+
+#[test]
+fn snapshot_w302_unused_model() {
+    assert_eq!(
+        report("t\n.model mX cnfet\nV1 a 0 DC 1\nR1 a 0 1k\n.op\n"),
+        "warning[W302]: deck:2:1: model 'mX' is never instantiated
+    2 | .model mX cnfet
+      | ^^^^^^
+      = help: no M card references it; add an instance or delete the card
+"
+    );
+}
+
+#[test]
+fn snapshot_w304_w305_w306_probe_hygiene() {
+    assert_eq!(
+        report("t\nV1 a 0 DC 1\nR1 a 0 1meg\nC1 a 0 2\n.op\n.print tran v(a)\n.ic v(a)=1\n"),
+        "warning[W306]: deck:4:1: capacitance of 'C1' is 2e0 F — outside the plausible range 1 aF … 1 F
+    4 | C1 a 0 2
+      | ^^
+      = help: check the SPICE suffix: 'f' is femto (1e-15) and 'meg' is 1e6 ('m' alone is milli)
+
+warning[W304]: deck:6:1: .print tran selects probes, but the deck has no .tran analysis
+    6 | .print tran v(a)
+      | ^^^^^^
+      = help: add the analysis card or drop the scope keyword
+
+warning[W305]: deck:7:1: .ic sets transient initial conditions, but the deck has no .tran analysis
+    7 | .ic v(a)=1
+      | ^^^
+      = help: add a .tran card or remove the .ic
+"
+    );
+}
+
+/// The acceptance claim: the same circuits the lint rejects as decks
+/// yield `CircuitError::StructurallySingular` from the programmatic
+/// session API, naming the undeterminable unknowns.
+#[test]
+fn simulator_op_reports_structural_singularity() {
+    let mut c = Circuit::new();
+    let a = c.node("in");
+    let mid = c.node("mid");
+    c.add(VoltageSource::dc("V1", a, Circuit::ground(), 1.0));
+    c.add(Resistor::new("R1", a, Circuit::ground(), 1e3));
+    c.add(Capacitor::new("C1", a, mid, 1e-12));
+    match Simulator::new(c).op() {
+        Err(CircuitError::StructurallySingular { nodes }) => {
+            assert_eq!(nodes, ["mid"]);
+        }
+        other => panic!("expected StructurallySingular, got {other:?}"),
+    }
+
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    c.add(VoltageSource::dc("V1", a, Circuit::ground(), 1.0));
+    c.add(VoltageSource::dc("V2", a, Circuit::ground(), 2.0));
+    c.add(Resistor::new("R1", a, Circuit::ground(), 1e3));
+    match Simulator::new(c).op() {
+        Err(CircuitError::StructurallySingular { nodes }) => {
+            assert_eq!(nodes.len(), 1);
+            assert!(nodes[0].starts_with("i(V"), "{nodes:?}");
+        }
+        other => panic!("expected StructurallySingular, got {other:?}"),
+    }
+}
+
+/// Builds a grounded resistor chain `top → n0 → … → ground` driven by
+/// a voltage source, with optional extra resistors to ground — every
+/// node has a DC path, so the structural check must pass and the
+/// operating point must solve.
+fn grounded_chain(rs: &[f64], extra_to_ground: &[usize], vsrc: f64) -> Circuit {
+    let mut c = Circuit::new();
+    let top = c.node("top");
+    c.add(VoltageSource::dc("V1", top, Circuit::ground(), vsrc));
+    let mut prev = top;
+    let mut nodes = vec![top];
+    for (i, &r) in rs.iter().enumerate() {
+        let next = if i + 1 == rs.len() {
+            Circuit::ground()
+        } else {
+            c.node(&format!("n{i}"))
+        };
+        c.add(Resistor::new(&format!("R{i}"), prev, next, r));
+        if next != Circuit::ground() {
+            nodes.push(next);
+        }
+        prev = next;
+    }
+    for (k, &idx) in extra_to_ground.iter().enumerate() {
+        let from = nodes[idx % nodes.len()];
+        c.add(Resistor::new(
+            &format!("Rx{k}"),
+            from,
+            Circuit::ground(),
+            1e4,
+        ));
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Agreement, success side: on structurally sound random networks
+    /// the matching reports full rank and LU succeeds.
+    #[test]
+    fn sound_networks_pass_the_guard_and_solve(
+        rs in proptest::collection::vec(10.0f64..1e6, 2..8),
+        extra in proptest::collection::vec(0usize..8, 0..3),
+        vsrc in -10.0f64..10.0,
+    ) {
+        let c = grounded_chain(&rs, &extra, vsrc);
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        prop_assert!(engine.check_dc_structure(&c).is_ok());
+        prop_assert!(Simulator::new(grounded_chain(&rs, &extra, vsrc)).op().is_ok());
+    }
+
+    /// Agreement, failure side: injecting an isolation defect into a
+    /// sound network is caught structurally — by name, before any LU.
+    #[test]
+    fn injected_defects_are_rejected_by_name(
+        rs in proptest::collection::vec(10.0f64..1e6, 2..8),
+        vsrc in -10.0f64..10.0,
+        defect in 0u32..3,
+    ) {
+        let mut c = grounded_chain(&rs, &[], vsrc);
+        let expect: fn(&[String]) -> bool = match defect {
+            0u32 => {
+                // A node reachable only through a capacitor.
+                let iso = c.node("iso");
+                let top = c.node("top");
+                c.add(Capacitor::new("Cx", top, iso, 1e-12));
+                |nodes| nodes == ["iso"]
+            }
+            1 => {
+                // A second ideal source across the driven node.
+                let top = c.node("top");
+                c.add(VoltageSource::dc("Vdup", top, Circuit::ground(), 0.5));
+                |nodes| nodes.len() == 1 && nodes[0].starts_with("i(V")
+            }
+            _ => {
+                // A node fed only by a current source.
+                let iso = c.node("iso");
+                c.add(CurrentSource::dc("Ix", Circuit::ground(), iso, 1e-6));
+                |nodes| nodes == ["iso"]
+            }
+        };
+        match Simulator::new(c).op() {
+            Err(CircuitError::StructurallySingular { nodes }) => {
+                prop_assert!(expect(&nodes), "unexpected unknowns {nodes:?}");
+            }
+            other => prop_assert!(false, "expected StructurallySingular, got {other:?}"),
+        }
+    }
+}
+
+/// Corpus for the mutation fuzzer: every checked-in deck, good and bad.
+const CORPUS: [&str; 8] = [
+    include_str!("../../../examples/decks/divider.cir"),
+    include_str!("../../../examples/decks/rc_lowpass.cir"),
+    include_str!("../../../examples/decks/inverter.cir"),
+    include_str!("../../../examples/decks/ring_oscillator.cir"),
+    include_str!("../../../examples/decks/bad/cap_isolated.cir"),
+    include_str!("../../../examples/decks/bad/vloop.cir"),
+    include_str!("../../../examples/decks/bad/icutset.cir"),
+    include_str!("../../../examples/decks/bad/hygiene.cir"),
+];
+
+/// Applies one line-level mutation, keyed by `(line, op)`.
+fn mutate(text: &str, line: usize, op: u32) -> String {
+    let mut lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return text.to_string();
+    }
+    let i = line % lines.len();
+    let truncated;
+    match op % 4 {
+        0 => {
+            lines.remove(i);
+        }
+        1 => lines.insert(i, lines[i]),
+        2 => {
+            let j = (i + 1) % lines.len();
+            lines.swap(i, j);
+        }
+        _ => {
+            let keep = lines[i].len() / 2;
+            let cut = lines[i]
+                .char_indices()
+                .map(|(k, _)| k)
+                .find(|&k| k >= keep)
+                .unwrap_or(0);
+            truncated = lines[i][..cut].to_string();
+            lines[i] = &truncated;
+        }
+    }
+    lines.join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Linting never panics, however the deck text is mangled — any
+    /// mutation that still parses must lint without crashing, under
+    /// default and strict options alike.
+    #[test]
+    fn lint_never_panics_on_mutated_decks(
+        pick in 0usize..8,
+        lines in proptest::collection::vec(0usize..32, 1..4),
+        ops in proptest::collection::vec(0u32..4, 1..4),
+    ) {
+        let mut text = CORPUS[pick].to_string();
+        for (&line, &op) in lines.iter().zip(&ops) {
+            text = mutate(&text, line, op);
+        }
+        if let Ok(deck) = Deck::parse(&text) {
+            let report = deck.lint(&LintOptions::default());
+            // Severity config must never drop below the default count.
+            let strict = deck.lint(&LintOptions { deny_warnings: true, ..LintOptions::default() });
+            prop_assert_eq!(report.findings.len(), strict.findings.len());
+        }
+    }
+}

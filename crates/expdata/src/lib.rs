@@ -20,7 +20,7 @@
 //! 2005 device is *not* claimed — see `DESIGN.md` §4.
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 use cntfet_numerics::NumericsError;
 use cntfet_reference::{BallisticModel, DeviceParams};

@@ -96,6 +96,12 @@ impl SparsityPattern {
         let base = self.row_ptr[r];
         self.row_cols(r).binary_search(&c).ok().map(|i| base + i)
     }
+
+    /// The storage-slot range of row `r`: `row_cols(r)[k]` lives in slot
+    /// `row_range(r).start + k` of the value array.
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.row_ptr[r]..self.row_ptr[r + 1]
+    }
 }
 
 /// Coordinate-format accumulator used while a sparsity pattern is still
@@ -297,6 +303,104 @@ impl CsrMatrix {
                 dense[(r, self.pattern.col_idx[i])] = self.values[i];
             }
         }
+    }
+}
+
+/// Result of a [`structural_rank`] computation: the size of a maximum
+/// row–column matching plus the rows and columns left unmatched.
+///
+/// A square matrix is **structurally nonsingular** — some choice of
+/// values on its nonzero entries makes it invertible — exactly when the
+/// matching is perfect ([`StructuralRank::is_full`]). A structurally
+/// singular matrix is numerically singular for *every* assignment of
+/// values, so the unmatched columns pinpoint unknowns that no equation
+/// can determine (and the unmatched rows, equations that constrain
+/// nothing) before any factorisation is attempted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralRank {
+    /// Size of the maximum bipartite matching between rows and columns.
+    pub rank: usize,
+    /// Rows not covered by the matching, ascending.
+    pub unmatched_rows: Vec<usize>,
+    /// Columns not covered by the matching, ascending.
+    pub unmatched_cols: Vec<usize>,
+}
+
+impl StructuralRank {
+    /// `true` when every row and every column is matched (for a square
+    /// matrix: `rank == n`, i.e. structurally nonsingular).
+    pub fn is_full(&self) -> bool {
+        self.unmatched_rows.is_empty() && self.unmatched_cols.is_empty()
+    }
+}
+
+/// Structural rank of a sparse matrix via maximum bipartite matching
+/// (Kuhn's augmenting-path algorithm) on its *nonzero* entries.
+///
+/// Entries whose stored value is exactly `0.0` are ignored: assemblers
+/// reserve slots for entries that can *become* nonzero later (a gmin
+/// diagonal recorded at gmin = 0, a companion-model conductance before
+/// the step size is known), and such placeholders are not structural
+/// entries of the assembled operator. Callers who want the rank of the
+/// pattern itself should therefore assemble with representative values.
+///
+/// The maximum matching is the entry point to the Dulmage–Mendelsohn
+/// coarse decomposition (the roadmap's BTF ordering work); here it is
+/// used to diagnose structurally singular MNA systems with the exact
+/// unmatched unknowns.
+pub fn structural_rank(m: &CsrMatrix) -> StructuralRank {
+    let pattern = m.pattern();
+    let values = m.values();
+    let n_rows = pattern.rows();
+    let n_cols = pattern.cols();
+
+    // row_for_col[c] = row currently matched to column c (usize::MAX =
+    // unmatched). `seen` carries a per-phase stamp so it is never
+    // cleared between augmenting phases.
+    let mut row_for_col = vec![usize::MAX; n_cols];
+    let mut seen = vec![0usize; n_cols];
+
+    fn augment(
+        r: usize,
+        pattern: &SparsityPattern,
+        values: &[f64],
+        stamp: usize,
+        seen: &mut [usize],
+        row_for_col: &mut [usize],
+    ) -> bool {
+        let slots = pattern.row_range(r);
+        for (k, &c) in pattern.row_cols(r).iter().enumerate() {
+            if values[slots.start + k] == 0.0 || seen[c] == stamp {
+                continue;
+            }
+            seen[c] = stamp;
+            let owner = row_for_col[c];
+            if owner == usize::MAX || augment(owner, pattern, values, stamp, seen, row_for_col) {
+                row_for_col[c] = r;
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut rank = 0;
+    for r in 0..n_rows {
+        // Stamps start at 1 so the zero-initialised `seen` is "unseen".
+        if augment(r, pattern, values, r + 1, &mut seen, &mut row_for_col) {
+            rank += 1;
+        }
+    }
+
+    let mut row_matched = vec![false; n_rows];
+    for &r in row_for_col.iter().filter(|&&r| r != usize::MAX) {
+        row_matched[r] = true;
+    }
+    StructuralRank {
+        rank,
+        unmatched_rows: (0..n_rows).filter(|&r| !row_matched[r]).collect(),
+        unmatched_cols: (0..n_cols)
+            .filter(|&c| row_for_col[c] == usize::MAX)
+            .collect(),
     }
 }
 
@@ -1128,6 +1232,54 @@ mod tests {
         assert_eq!(m.nnz(), 2);
         assert_eq!(m.pattern().slot(0, 0), Some(0));
         assert_eq!(m.pattern().slot(0, 1), None);
+    }
+
+    #[test]
+    fn structural_rank_full_for_diagonal() {
+        let m = csr_from_dense(&[&[2.0, 1.0, 0.0], &[0.0, 3.0, 0.0], &[1.0, 0.0, 4.0]]);
+        let sr = structural_rank(&m);
+        assert_eq!(sr.rank, 3);
+        assert!(sr.is_full());
+        assert!(sr.unmatched_rows.is_empty() && sr.unmatched_cols.is_empty());
+    }
+
+    #[test]
+    fn structural_rank_ignores_reserved_zero_slots() {
+        // A reserved-but-zero diagonal (gmin slot at gmin = 0) must not
+        // count as a structural entry: column 2 is only "covered" by a
+        // placeholder, so the matrix is structurally singular.
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        t.push(2, 2, 0.0);
+        let m = t.to_csr();
+        let sr = structural_rank(&m);
+        assert_eq!(sr.rank, 2);
+        assert_eq!(sr.unmatched_rows, vec![2]);
+        assert_eq!(sr.unmatched_cols, vec![2]);
+    }
+
+    #[test]
+    fn structural_rank_finds_augmenting_paths() {
+        // Row 0 grabs column 0 first; row 2 can only use column 0, so
+        // the matching must reroute row 0 to column 1 — rank 3 needs an
+        // augmenting path, not just greedy assignment.
+        let m = csr_from_dense(&[&[1.0, 1.0, 0.0], &[0.0, 1.0, 1.0], &[1.0, 0.0, 0.0]]);
+        let sr = structural_rank(&m);
+        assert_eq!(sr.rank, 3);
+        assert!(sr.is_full());
+    }
+
+    #[test]
+    fn structural_rank_reports_deficient_block() {
+        // Rows 1 and 2 both depend only on column 1: one of them must
+        // go unmatched, as must one of columns {0 is fine} — column 2
+        // is untouched entirely.
+        let m = csr_from_dense(&[&[1.0, 1.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let sr = structural_rank(&m);
+        assert_eq!(sr.rank, 2);
+        assert_eq!(sr.unmatched_rows.len(), 1);
+        assert_eq!(sr.unmatched_cols, vec![2]);
     }
 
     #[test]

@@ -1,39 +1,94 @@
 //! `cntfet-sim` — run a SPICE deck through the CNFET circuit simulator.
 //!
 //! ```text
-//! usage: cntfet-sim [--csv] [--check] <deck.cir>
+//! usage: cntfet-sim [--csv] [--check] [--lint] [lint options] <deck.cir>
 //! ```
 //!
 //! Parses the deck, runs every analysis card (`.op`, `.dc`, `.tran`,
 //! `.ac`) through a [`cntfet::circuit::sim::Simulator`] session, and
 //! prints each card's probe output as an aligned table (default) or
-//! CSV (`--csv`). `--check` parses, validates and lowers the deck —
-//! fitting its `.model` cards — without running any analysis.
+//! CSV (`--csv`). `--check` parses, validates, lints and lowers the
+//! deck — fitting its `.model` cards — without running any analysis.
+//! `--lint` runs the static analyzer alone: structural errors (a node
+//! isolated behind capacitors, a loop of ideal voltage sources, a
+//! structurally singular MNA pattern) and hygiene warnings, each with
+//! a stable `E###`/`W###` code tunable via `--allow CODE`,
+//! `--deny CODE` and `--deny-warnings`. The full code table lives in
+//! the "Diagnostics reference" section of `docs/DECK_FORMAT.md`.
 //!
-//! The accepted deck dialect is documented in `docs/DECK_FORMAT.md`.
 //! Errors render compiler-style diagnostics with the offending source
 //! line, a caret span and (where applicable) a "did you mean"
 //! suggestion, and exit with status 1.
 
-use cntfet::circuit::deck::Deck;
+use cntfet::circuit::deck::{Deck, LintCode, LintOptions};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cntfet-sim [--csv] [--check] <deck.cir>
+const USAGE: &str = "usage: cntfet-sim [--csv] [--check] [--lint] [lint options] <deck.cir>
 
-  --csv    print analysis reports as CSV instead of aligned tables
-  --check  parse, validate and lower the deck (fit models) but run nothing
+  --csv             print analysis reports as CSV instead of aligned tables
+  --check           parse, validate, lint and lower the deck but run nothing
+  --lint            run the static deck analyzer and print its findings
+
+lint options (with --lint or --check):
+  --allow CODE      drop a lint code entirely (repeatable)
+  --deny CODE       report a lint code as an error (repeatable)
+  --deny-warnings   report every warning as an error
+
+Lint codes are stable E###/W### identifiers (e.g. E101 no DC path to
+ground, W301 unused .param); see docs/DECK_FORMAT.md for the table.
 
 The deck dialect (R/C/V/I and CNFET M cards, .model, .param, .op, .dc,
 .tran, .ac, .print) is documented in docs/DECK_FORMAT.md.";
 
+/// Parses an `E###`/`W###` argument, exiting with the valid code list
+/// on failure.
+fn parse_code(flag: &str, text: Option<String>) -> Result<LintCode, ExitCode> {
+    let Some(text) = text else {
+        eprintln!("cntfet-sim: {flag} needs a lint code\n{USAGE}");
+        return Err(ExitCode::FAILURE);
+    };
+    LintCode::parse(&text).ok_or_else(|| {
+        let all: Vec<&str> = LintCode::ALL.iter().map(|c| c.as_str()).collect();
+        eprintln!(
+            "cntfet-sim: unknown lint code '{text}' for {flag} (valid codes: {})",
+            all.join(", ")
+        );
+        ExitCode::FAILURE
+    })
+}
+
 fn main() -> ExitCode {
     let mut csv = false;
     let mut check = false;
+    let mut lint = false;
+    let mut lint_opts = LintOptions::default();
     let mut path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        // Accept both `--allow CODE` and `--allow=CODE`.
+        let (flag, inline) = match arg.split_once('=') {
+            Some((flag, value)) if flag.starts_with("--") => {
+                (flag.to_string(), Some(value.to_string()))
+            }
+            _ => (arg.clone(), None),
+        };
+        match flag.as_str() {
             "--csv" => csv = true,
             "--check" => check = true,
+            "--lint" => lint = true,
+            "--deny-warnings" => lint_opts.deny_warnings = true,
+            "--allow" => match parse_code("--allow", inline.or_else(|| args.next())) {
+                Ok(code) => {
+                    lint_opts.allow.insert(code);
+                }
+                Err(status) => return status,
+            },
+            "--deny" => match parse_code("--deny", inline.or_else(|| args.next())) {
+                Ok(code) => {
+                    lint_opts.deny.insert(code);
+                }
+                Err(status) => return status,
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -67,6 +122,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if lint || check {
+        let report = deck.lint(&lint_opts);
+        if !report.is_clean() {
+            eprint!("cntfet-sim: {path}:\n{report}");
+        }
+        if report.has_errors() {
+            let errors = report
+                .findings
+                .iter()
+                .filter(|f| f.severity == cntfet::circuit::deck::Severity::Error)
+                .count();
+            eprintln!(
+                "cntfet-sim: {path}: {errors} lint error{} — the deck cannot run",
+                if errors == 1 { "" } else { "s" }
+            );
+            return ExitCode::FAILURE;
+        }
+        if lint && !check {
+            let n = report.findings.len();
+            println!(
+                "{path}: lint ok — {n} warning{}",
+                if n == 1 { "" } else { "s" }
+            );
+            return ExitCode::SUCCESS;
+        }
+    }
     if check {
         return match deck.circuit() {
             Ok(circuit) => {

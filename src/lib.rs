@@ -37,7 +37,7 @@
 //! figure.
 
 #![deny(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub use cntfet_circuit as circuit;
 pub use cntfet_core as core;

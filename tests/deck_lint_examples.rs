@@ -1,0 +1,78 @@
+//! Lint contracts for the checked-in deck corpus: every deck under
+//! `examples/decks/` is clean even with `--deny-warnings`, and every
+//! deck under `examples/decks/bad/` declares its expected findings in
+//! a `* lint: CODE …` header line that must match the analyzer's
+//! output exactly — the broken decks are executable documentation of
+//! the diagnostics.
+
+use cntfet::circuit::deck::{Deck, LintCode, LintOptions, Severity};
+use std::path::{Path, PathBuf};
+
+fn decks_in(dir: &str) -> Vec<(PathBuf, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join(dir);
+    let mut decks: Vec<PathBuf> = std::fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("{}: {e}", root.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "cir"))
+        .collect();
+    decks.sort();
+    assert!(!decks.is_empty(), "no decks under {}", root.display());
+    decks
+        .into_iter()
+        .map(|p| {
+            let text =
+                std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (p, text)
+        })
+        .collect()
+}
+
+#[test]
+fn example_decks_lint_clean_under_deny_warnings() {
+    let strict = LintOptions {
+        deny_warnings: true,
+        ..LintOptions::default()
+    };
+    for (path, text) in decks_in("examples/decks") {
+        let deck = Deck::parse(&text).unwrap_or_else(|e| panic!("{}:\n{e}", path.display()));
+        let report = deck.lint(&strict);
+        assert!(
+            report.is_clean(),
+            "{} should lint clean:\n{report}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn bad_decks_produce_exactly_their_declared_codes() {
+    for (path, text) in decks_in("examples/decks/bad") {
+        let declared: Vec<LintCode> = text
+            .lines()
+            .find_map(|l| l.strip_prefix("* lint:"))
+            .unwrap_or_else(|| panic!("{} lacks a '* lint:' header", path.display()))
+            .split_whitespace()
+            .map(|code| {
+                LintCode::parse(code)
+                    .unwrap_or_else(|| panic!("{}: bad code '{code}'", path.display()))
+            })
+            .collect();
+        let deck = Deck::parse(&text).unwrap_or_else(|e| panic!("{}:\n{e}", path.display()));
+        let report = deck.lint(&LintOptions::default());
+        let mut got = report.codes();
+        got.sort();
+        let mut want = declared.clone();
+        want.sort();
+        assert_eq!(got, want, "{}:\n{report}", path.display());
+        // E-codes must be errors, W-codes warnings, out of the box.
+        let expect_errors = declared
+            .iter()
+            .any(|c| c.default_severity() == Severity::Error);
+        assert_eq!(
+            report.has_errors(),
+            expect_errors,
+            "{}:\n{report}",
+            path.display()
+        );
+    }
+}
