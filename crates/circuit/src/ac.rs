@@ -208,9 +208,17 @@ pub struct AcStats {
     /// Full pivot-searching complex factorisations (1 per sweep unless
     /// a frozen pivot collapsed numerically).
     pub symbolic_factorizations: u64,
-    /// Fast elimination-replay factorisations (one per remaining
-    /// frequency point).
+    /// Fast elimination-replay factorisations (full replays; partial
+    /// replays count separately).
     pub refactorizations: u64,
+    /// Partial replays that recomputed only the columns reached from
+    /// the frequency-dependent (capacitive) matrix slots — the normal
+    /// path for every frequency after the first.
+    pub partial_refactorizations: u64,
+    /// Columns actually recomputed across the sweep's factorisations.
+    pub columns_recomputed: u64,
+    /// Columns a full-replay sweep would have recomputed.
+    pub columns_total: u64,
     /// Cumulative complex multiply–accumulate/divide operations across
     /// all factorisations of the sweep.
     pub factor_ops: u64,
@@ -403,8 +411,16 @@ pub(crate) fn ac_core(
     };
 
     // One complex LU per sweep: ordered at the first frequency, value
-    // replay afterwards.
+    // replay afterwards. Only the capacitive slots change with
+    // frequency (imaginary part ω·C), so later frequencies take the
+    // partial-refactorization path seeded with exactly those slots.
     let mut lu = SparseLu::<Complex>::new();
+    let dyn_slots: Vec<usize> = c
+        .iter()
+        .enumerate()
+        .filter(|&(_, &cv)| cv != 0.0)
+        .map(|(slot, _)| slot)
+        .collect();
     let rhs_c: Vec<Complex> = rhs.iter().map(|&v| Complex::from(v)).collect();
     let mut vals = vec![Complex::ZERO; g.len()];
     let n_points = freqs.len();
@@ -415,7 +431,12 @@ pub(crate) fn ac_core(
         for ((v, &gv), &cv) in vals.iter_mut().zip(&g).zip(&c) {
             *v = Complex::new(gv, omega * cv);
         }
-        lu.factor(&pattern, &vals).map_err(|e| {
+        let factored = if k == 0 {
+            lu.factor(&pattern, &vals)
+        } else {
+            lu.factor_partial(&pattern, &vals, &dyn_slots)
+        };
+        factored.map_err(|e| {
             CircuitError::SingularSystem(format!("AC system is singular at {f:.6e} Hz: {e}"))
         })?;
         factor_ops += lu.factor_ops();
@@ -427,11 +448,15 @@ pub(crate) fn ac_core(
         }
     }
 
+    let path = lu.factor_path_stats();
     let stats = AcStats {
         frequencies: n_points,
         jacobian_nnz: pattern.nnz(),
         symbolic_factorizations: lu.symbolic_factor_count(),
         refactorizations: lu.refactor_count(),
+        partial_refactorizations: path.partial_refactorizations,
+        columns_recomputed: path.columns_recomputed,
+        columns_total: path.columns_total,
         factor_ops,
     };
     Ok(AcResponse {
@@ -524,9 +549,14 @@ mod tests {
         assert_eq!(s.frequencies, res.len());
         assert_eq!(s.symbolic_factorizations, 1, "ordered once");
         assert_eq!(
-            s.refactorizations as usize,
+            s.partial_refactorizations as usize,
             s.frequencies - 1,
-            "every later frequency replays the plan"
+            "every later frequency partially replays the plan"
+        );
+        assert_eq!(s.refactorizations, 0, "no full replay is ever needed");
+        assert!(
+            s.columns_recomputed <= s.columns_total,
+            "partial path recomputes at most every column"
         );
         assert!(s.jacobian_nnz > 0 && s.factor_ops > 0);
     }

@@ -25,7 +25,7 @@
 //! reversed. The Σ unknown of a p-device stores the *mirrored* inner
 //! voltage.
 
-use crate::element::{node_voltage, AnalysisMode, Element, Mna};
+use crate::element::{node_voltage, AnalysisMode, DeviceState, Element, Mna, StampOutcome};
 use crate::netlist::NodeId;
 use cntfet_core::CompactCntFet;
 use cntfet_physics::constants::BALLISTIC_CURRENT_PREFACTOR;
@@ -122,18 +122,35 @@ impl CnfetElement {
         let di_dvds = k * sig_d;
         (i, di_dvsc, di_dvds)
     }
-}
 
-impl Element for CnfetElement {
-    fn name(&self) -> &str {
-        &self.name
+    /// The expensive channel quantities at a mirrored operating point
+    /// `(vsc, vds)`: fitted-charge values/derivatives at both band
+    /// edges and the ballistic transport current with its derivatives.
+    /// Everything else in the stamp is affine in the terminal voltages,
+    /// so this array is exactly what device bypass caches.
+    ///
+    /// Layout: `[q_src, dq_src, q_drn, dq_drn, i, di_dvsc, di_dvds]`.
+    fn eval_channel(&self, vsc: f64, vds: f64) -> [f64; 7] {
+        let charge = self.model.charge();
+        let q_src = charge.eval(vsc);
+        let dq_src = charge.eval_derivative(vsc);
+        let q_drn = charge.eval(vsc + vds);
+        let dq_drn = charge.eval_derivative(vsc + vds);
+        let (i, di_dvsc, di_dvds) = self.current_core(vsc, vds);
+        [q_src, dq_src, q_drn, dq_drn, i, di_dvsc, di_dvds]
     }
 
-    fn extra_vars(&self) -> usize {
-        1 // the inner node Σ (mirrored voltage for P devices)
-    }
-
-    fn stamp(&self, x: &[f64], sigma: usize, mode: &AnalysisMode, mna: &mut Mna<'_>) {
+    /// Stamps residual and Jacobian from precomputed channel
+    /// quantities; all remaining arithmetic is affine in the live
+    /// terminal voltages.
+    fn stamp_with_eval(
+        &self,
+        x: &[f64],
+        sigma: usize,
+        mode: &AnalysisMode,
+        mna: &mut Mna<'_>,
+        ev: &[f64; 7],
+    ) {
         let s = self.sign();
         // Mirrored terminal voltages (identity for N devices).
         let vd = s * node_voltage(x, self.drain);
@@ -141,14 +158,9 @@ impl Element for CnfetElement {
         let vs = s * node_voltage(x, self.source);
         let vsig = x[sigma];
         let vsc = vsig - vs;
-        let vds = vd - vs;
 
         let caps = self.model.params().capacitances;
-        let charge = self.model.charge();
-        let q_src = charge.eval(vsc);
-        let dq_src = charge.eval_derivative(vsc);
-        let q_drn = charge.eval(vsc + vds);
-        let dq_drn = charge.eval_derivative(vsc + vds);
+        let [q_src, dq_src, q_drn, dq_drn, i_core, di_dvsc, di_dvds] = *ev;
 
         // --- Σ row: charge balance (units C/m). -------------------------
         let qt = caps.gate * (vg - vs) + caps.drain * (vd - vs);
@@ -166,7 +178,6 @@ impl Element for CnfetElement {
         mna.add_j_extra_node(sigma, self.source, s * df_dvs);
 
         // --- Transport current source drain → source. -------------------
-        let (i_core, di_dvsc, di_dvds) = self.current_core(vsc, vds);
         // Real current into the real drain is s·i_core.
         mna.add_f_node(self.drain, s * i_core);
         mna.add_f_node(self.source, -s * i_core);
@@ -214,6 +225,76 @@ impl Element for CnfetElement {
                 // return current exits through the other terminals via
                 // their own companions; no Σ-row stamp here.
             }
+        }
+    }
+
+    /// The mirrored controlling voltages `(vsc, vds)` at iterate `x`.
+    fn control_voltages(&self, x: &[f64], sigma: usize) -> (f64, f64) {
+        let s = self.sign();
+        let vd = s * node_voltage(x, self.drain);
+        let vs = s * node_voltage(x, self.source);
+        let vsig = x[sigma];
+        (vsig - vs, vd - vs)
+    }
+}
+
+impl Element for CnfetElement {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn extra_vars(&self) -> usize {
+        1 // the inner node Σ (mirrored voltage for P devices)
+    }
+
+    fn stamp(&self, x: &[f64], sigma: usize, mode: &AnalysisMode, mna: &mut Mna<'_>) {
+        let (vsc, vds) = self.control_voltages(x, sigma);
+        let ev = self.eval_channel(vsc, vds);
+        self.stamp_with_eval(x, sigma, mode, mna, &ev);
+    }
+
+    fn stamp_cached(
+        &self,
+        x: &[f64],
+        sigma: usize,
+        mode: &AnalysisMode,
+        mna: &mut Mna<'_>,
+        state: &mut DeviceState,
+        vtol: f64,
+    ) -> StampOutcome {
+        let (vsc, vds) = self.control_voltages(x, sigma);
+        let cached = state.key.filter(|&[vsc0, vds0]| {
+            vtol >= 0.0
+                && state.vals.len() == 7
+                && (vsc - vsc0).abs() <= vtol
+                && (vds - vds0).abs() <= vtol
+        });
+        if let Some([vsc0, vds0]) = cached {
+            // Bypass: re-linearise the cached evaluation at the live
+            // point (first-order in the sub-vtol voltage deltas, so the
+            // residual error is O(vtol²)). The cache key stays at the
+            // last true evaluation, so drift cannot accumulate.
+            let dvsc = vsc - vsc0;
+            let dvds = vds - vds0;
+            let v: &[f64] = &state.vals;
+            let ev = [
+                v[0] + v[1] * dvsc,
+                v[1],
+                v[2] + v[3] * (dvsc + dvds),
+                v[3],
+                v[4] + v[5] * dvsc + v[6] * dvds,
+                v[5],
+                v[6],
+            ];
+            self.stamp_with_eval(x, sigma, mode, mna, &ev);
+            StampOutcome::Bypassed
+        } else {
+            let ev = self.eval_channel(vsc, vds);
+            state.key = Some([vsc, vds]);
+            state.vals.clear();
+            state.vals.extend_from_slice(&ev);
+            self.stamp_with_eval(x, sigma, mode, mna, &ev);
+            StampOutcome::Evaluated
         }
     }
 }

@@ -75,7 +75,7 @@ mod run;
 pub use error::{suggest, DeckError, SourceRef, Span};
 pub use lex::parse_number;
 pub use lint::{Finding, LintCode, LintOptions, LintReport, Severity};
-pub use run::{AnalysisReport, DeckRun};
+pub use run::{AnalysisReport, CardStats, DeckRun};
 
 use crate::cnfet::Polarity;
 use crate::element::Waveform;

@@ -14,8 +14,63 @@
 use super::error::DeckError;
 use super::{AcCard, AcScale, AnalysisCard, AnalysisKind, DcCard, Deck, OpCard, TranCard};
 use crate::ac::{AcSweep, FreqGrid};
+use crate::engine::EngineCounters;
 use crate::sim::{Simulator, TransientSpec};
 use std::fmt::Write as _;
+
+/// Hot-path solver counters of one analysis card, printed by
+/// `cntfet-sim --stats`. Each card runs on a fresh session, so these
+/// are exact per-card numbers, not session-cumulative ones. AC cards
+/// fold their complex per-frequency factorisations into the same
+/// fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CardStats {
+    /// Linear-system factorisations, full and partial alike.
+    pub factorizations: u64,
+    /// Factorisations that took a full path: pivot-searching symbolic
+    /// factorisations plus full replays of a frozen plan.
+    pub full_refactorizations: u64,
+    /// Factorisations that replayed only the columns reached from
+    /// changed matrix values.
+    pub partial_refactorizations: u64,
+    /// Columns actually recomputed across all factorisations.
+    pub columns_recomputed: u64,
+    /// Columns a full-replay run would have recomputed.
+    pub columns_total: u64,
+    /// Nonlinear device model evaluations that ran in full.
+    pub device_evals: u64,
+    /// Device evaluations skipped by the bypass layer.
+    pub device_bypasses: u64,
+}
+
+impl CardStats {
+    fn from_counters(c: EngineCounters) -> Self {
+        CardStats {
+            factorizations: c.factorizations,
+            full_refactorizations: c.symbolic_factorizations + c.replay_refactorizations,
+            partial_refactorizations: c.partial_refactorizations,
+            columns_recomputed: c.columns_recomputed,
+            columns_total: c.columns_total,
+            device_evals: c.device_evals,
+            device_bypasses: c.device_bypasses,
+        }
+    }
+
+    /// One-line human-readable rendering (the `--stats` output body).
+    pub fn summary(&self) -> String {
+        format!(
+            "factorizations {} (full {}, partial {}), columns recomputed {}/{}, \
+             device evals {}, bypassed {}",
+            self.factorizations,
+            self.full_refactorizations,
+            self.partial_refactorizations,
+            self.columns_recomputed,
+            self.columns_total,
+            self.device_evals,
+            self.device_bypasses,
+        )
+    }
+}
 
 /// The probe output of one analysis card: named columns over f64 rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +82,8 @@ pub struct AnalysisReport {
     pub columns: Vec<String>,
     /// One row per point, in column order.
     pub rows: Vec<Vec<f64>>,
+    /// Per-card solver-cost counters (see [`CardStats`]).
+    pub stats: CardStats,
 }
 
 impl AnalysisReport {
@@ -142,6 +199,7 @@ impl Deck {
             label: analysis.to_string(),
             columns: probes.iter().map(|n| format!("v({n})")).collect(),
             rows: vec![row],
+            stats: CardStats::from_counters(sim.counters()),
         })
     }
 
@@ -180,6 +238,7 @@ impl Deck {
             label: analysis.to_string(),
             columns,
             rows,
+            stats: CardStats::from_counters(sim.counters()),
         })
     }
 
@@ -241,6 +300,7 @@ impl Deck {
             label: analysis.to_string(),
             columns,
             rows,
+            stats: CardStats::from_counters(sim.counters()),
         })
     }
 
@@ -301,10 +361,23 @@ impl Deck {
                 row
             })
             .collect();
+        // Fold the AC sweep's complex factorisations into the card
+        // stats on top of the engine's real-valued operating-point
+        // work (sweeps reuse the frozen ordering partially per
+        // frequency, same as the Newton path).
+        let mut stats = CardStats::from_counters(sim.counters());
+        let s = response.stats();
+        stats.factorizations +=
+            s.symbolic_factorizations + s.refactorizations + s.partial_refactorizations;
+        stats.full_refactorizations += s.symbolic_factorizations + s.refactorizations;
+        stats.partial_refactorizations += s.partial_refactorizations;
+        stats.columns_recomputed += s.columns_recomputed;
+        stats.columns_total += s.columns_total;
         Ok(AnalysisReport {
             label: analysis.to_string(),
             columns,
             rows,
+            stats,
         })
     }
 }

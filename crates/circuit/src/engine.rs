@@ -48,11 +48,12 @@
 //!   (the `netlist_scaling` bench measures the crossover).
 
 use crate::dc::Solution;
-use crate::element::{AnalysisMode, Mna};
+use crate::element::{AnalysisMode, DeviceState, Mna, StampOutcome};
 use crate::error::CircuitError;
 use crate::netlist::Circuit;
 use cntfet_numerics::sparse::{
-    structural_rank, CsrMatrix, DenseLuSolver, LinearSolver, PatternAssembler, SparseLuSolver,
+    structural_rank, CsrMatrix, DenseLuSolver, FactorPathStats, LinearSolver, PatternAssembler,
+    SparseLuSolver,
 };
 use cntfet_numerics::stats::inf_norm;
 
@@ -96,6 +97,25 @@ pub struct NewtonOptions {
     /// Unknown count at which [`SolverKind::Auto`] switches from dense
     /// to sparse. Default 32.
     pub sparse_threshold: usize,
+    /// Use KLU-style partial refactorization on the sparse path: diff
+    /// the assembled matrix values against the previous successful
+    /// factorization and replay only the columns reached from changed
+    /// slots through the frozen elimination DAG. Bitwise-identical to
+    /// the full replay (the partial replay performs the same arithmetic
+    /// on the recomputed columns and reuses the rest verbatim), so it
+    /// is on by default. Default `true`.
+    pub partial_refactor: bool,
+    /// SPICE3-lineage device bypass: skip re-evaluating a nonlinear
+    /// device whose controlling voltages moved less than
+    /// [`NewtonOptions::bypass_vtol`] since its last true evaluation,
+    /// re-stamping its cached (first-order corrected) values instead.
+    /// Changes the floating-point stream, so it is **off by default**;
+    /// the waveform deviation is bounded by the agreement tests at
+    /// O(`bypass_vtol`²) per stamp. Default `false`.
+    pub bypass: bool,
+    /// Controlling-voltage tolerance of the device bypass, volts.
+    /// Only read when [`NewtonOptions::bypass`] is on. Default `1e-6`.
+    pub bypass_vtol: f64,
 }
 
 impl Default for NewtonOptions {
@@ -107,6 +127,9 @@ impl Default for NewtonOptions {
             max_step_halvings: 12,
             solver: SolverKind::Auto,
             sparse_threshold: 32,
+            partial_refactor: true,
+            bypass: false,
+            bypass_vtol: 1e-6,
         }
     }
 }
@@ -137,6 +160,77 @@ struct Cache {
     /// repeated DC solves (sweep points, transient initial conditions)
     /// pay for the matching exactly once per pattern build.
     struct_ok: bool,
+    /// One bypass cache per element (empty [`DeviceState`] for elements
+    /// that never cache), owned by the engine so elements stay `&self`.
+    states: Vec<DeviceState>,
+    /// Matrix values of the previous *successful* factorization, the
+    /// baseline the partial-refactorization diff runs against.
+    prev_values: Vec<f64>,
+    /// `false` until a factorization succeeds (and again after one
+    /// fails), forcing the next factor down the full path.
+    prev_valid: bool,
+    /// Reused scratch list of changed value slots.
+    changed: Vec<usize>,
+    /// Solver stats at the last harvest, so the engine can accumulate
+    /// deltas across cache rebuilds (a fresh solver restarts from 0).
+    last_path: FactorPathStats,
+}
+
+/// Cumulative hot-path counters of a [`NewtonEngine`], harvested with
+/// [`NewtonEngine::counters`]. All counts are engine-lifetime
+/// cumulative — an analysis that wants its own share captures a
+/// baseline first and calls [`EngineCounters::delta_since`] after, the
+/// per-analysis discipline used by [`crate::transient::TransientStats`]
+/// and [`crate::ac::AcStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineCounters {
+    /// Jacobian factorizations (one per Newton iteration that reached
+    /// the linear solve), full and partial alike.
+    pub factorizations: u64,
+    /// Multiply–accumulate/divide operations across all factorizations.
+    pub factor_ops: u64,
+    /// Full pivot-searching factorizations (symbolic + numeric).
+    pub symbolic_factorizations: u64,
+    /// Full replays of a frozen elimination plan.
+    pub replay_refactorizations: u64,
+    /// Partial replays that reused unaffected columns.
+    pub partial_refactorizations: u64,
+    /// Columns actually recomputed, over every factorization path.
+    pub columns_recomputed: u64,
+    /// Columns that a full factorization would have recomputed.
+    pub columns_total: u64,
+    /// Nonlinear device evaluations that ran the full model.
+    pub device_evals: u64,
+    /// Nonlinear device evaluations skipped by the bypass layer.
+    pub device_bypasses: u64,
+}
+
+impl EngineCounters {
+    /// The counts accumulated since `baseline` (saturating, so a stale
+    /// baseline from a different engine degrades to the raw counts).
+    pub fn delta_since(&self, baseline: &EngineCounters) -> EngineCounters {
+        EngineCounters {
+            factorizations: self.factorizations.saturating_sub(baseline.factorizations),
+            factor_ops: self.factor_ops.saturating_sub(baseline.factor_ops),
+            symbolic_factorizations: self
+                .symbolic_factorizations
+                .saturating_sub(baseline.symbolic_factorizations),
+            replay_refactorizations: self
+                .replay_refactorizations
+                .saturating_sub(baseline.replay_refactorizations),
+            partial_refactorizations: self
+                .partial_refactorizations
+                .saturating_sub(baseline.partial_refactorizations),
+            columns_recomputed: self
+                .columns_recomputed
+                .saturating_sub(baseline.columns_recomputed),
+            columns_total: self.columns_total.saturating_sub(baseline.columns_total),
+            device_evals: self.device_evals.saturating_sub(baseline.device_evals),
+            device_bypasses: self
+                .device_bypasses
+                .saturating_sub(baseline.device_bypasses),
+        }
+    }
 }
 
 /// The reusable damped-Newton core.
@@ -161,6 +255,11 @@ pub struct NewtonEngine {
     pattern_builds: usize,
     factorizations: u64,
     factor_ops_total: u64,
+    /// Engine-lifetime factorization-path stats, accumulated as deltas
+    /// from each cache's solver so they survive cache rebuilds.
+    path: FactorPathStats,
+    device_evals: u64,
+    device_bypasses: u64,
 }
 
 impl NewtonEngine {
@@ -174,6 +273,9 @@ impl NewtonEngine {
             pattern_builds: 0,
             factorizations: 0,
             factor_ops_total: 0,
+            path: FactorPathStats::default(),
+            device_evals: 0,
+            device_bypasses: 0,
         }
     }
 
@@ -232,6 +334,23 @@ impl NewtonEngine {
         self.factor_ops_total
     }
 
+    /// Snapshot of every engine-lifetime hot-path counter. Capture one
+    /// before an analysis and diff with [`EngineCounters::delta_since`]
+    /// after it for clean per-analysis numbers on a shared session.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            factorizations: self.factorizations,
+            factor_ops: self.factor_ops_total,
+            symbolic_factorizations: self.path.symbolic_factorizations,
+            replay_refactorizations: self.path.replay_refactorizations,
+            partial_refactorizations: self.path.partial_refactorizations,
+            columns_recomputed: self.path.columns_recomputed,
+            columns_total: self.path.columns_total,
+            device_evals: self.device_evals,
+            device_bypasses: self.device_bypasses,
+        }
+    }
+
     fn ensure_cache(&mut self, circuit: &Circuit, transient: bool) {
         let unknowns = circuit.unknown_count();
         let revision = circuit.revision();
@@ -253,15 +372,28 @@ impl NewtonEngine {
             } else {
                 Box::new(DenseLuSolver::new())
             };
+            let mut asm = PatternAssembler::new(unknowns, unknowns);
+            // Record the per-add slot sequence during the pattern build
+            // so every later re-stamp replays direct slot writes.
+            asm.set_track_writes(true);
             self.caches[self.active] = Some(Cache {
                 circuit_id: circuit.id(),
                 revision,
                 unknowns,
                 sparse,
-                asm: PatternAssembler::new(unknowns, unknowns),
+                asm,
                 solver,
                 bases: circuit.extra_var_bases(),
                 struct_ok: false,
+                states: circuit
+                    .elements()
+                    .iter()
+                    .map(|_| DeviceState::default())
+                    .collect(),
+                prev_values: Vec::new(),
+                prev_valid: false,
+                changed: Vec::new(),
+                last_path: FactorPathStats::default(),
             });
             self.pattern_builds += 1;
         }
@@ -278,9 +410,21 @@ impl NewtonEngine {
         self.residual.iter_mut().for_each(|v| *v = 0.0);
         cache.asm.begin();
         {
+            // A negative tolerance disables the bypass while keeping
+            // each device's evaluation cache warm (and its eval counted).
+            let vtol = if self.opts.bypass {
+                self.opts.bypass_vtol
+            } else {
+                -1.0
+            };
             let mut mna = Mna::new(&mut self.residual, &mut cache.asm);
-            for (e, &base) in circuit.elements().iter().zip(&cache.bases) {
-                e.stamp(x, base, mode, &mut mna);
+            let elements = circuit.elements().iter().zip(&cache.bases);
+            for ((e, &base), state) in elements.zip(&mut cache.states) {
+                match e.stamp_cached(x, base, mode, &mut mna, state, vtol) {
+                    StampOutcome::Evaluated => self.device_evals += 1,
+                    StampOutcome::Bypassed => self.device_bypasses += 1,
+                    StampOutcome::Static => {}
+                }
             }
         }
         // Structural diagonal: reserves every (i, i) slot so the gmin
@@ -379,13 +523,46 @@ impl NewtonEngine {
                 }
                 let cache = self.caches[self.active].as_mut().expect("assembled above");
                 let a = cache.asm.matrix().expect("assembled above");
-                let dx = cache
-                    .solver
-                    .solve(a, &neg_f)
-                    .map_err(|e| CircuitError::SingularSystem(format!("{e}")))?;
+                // Diff the assembled values against the last successful
+                // factorization and replay only the affected columns.
+                // Slots holding bitwise-equal values need no recompute,
+                // so the partial path is exact, not approximate.
+                let use_partial = self.opts.partial_refactor
+                    && cache.sparse
+                    && cache.prev_valid
+                    && cache.prev_values.len() == a.values().len();
+                let factored = if use_partial {
+                    cache.changed.clear();
+                    let pairs = a.values().iter().zip(&cache.prev_values);
+                    for (slot, (new, old)) in pairs.enumerate() {
+                        if new.to_bits() != old.to_bits() {
+                            cache.changed.push(slot);
+                        }
+                    }
+                    cache.solver.factor_partial(a, &cache.changed)
+                } else {
+                    cache.solver.factor(a)
+                };
+                let path = cache.solver.factor_stats();
+                self.path += path.delta_since(&cache.last_path);
+                cache.last_path = path;
+                match factored {
+                    Ok(()) => {
+                        cache.prev_values.clear();
+                        cache.prev_values.extend_from_slice(a.values());
+                        cache.prev_valid = true;
+                    }
+                    Err(e) => {
+                        cache.prev_valid = false;
+                        return Err(CircuitError::SingularSystem(format!("{e}")));
+                    }
+                }
                 self.factorizations += 1;
                 self.factor_ops_total += cache.solver.factor_ops();
-                dx
+                cache
+                    .solver
+                    .solve_factored(&neg_f)
+                    .map_err(|e| CircuitError::SingularSystem(format!("{e}")))?
             };
             // Damped update: halve the step until the residual stops
             // growing; adopt the final (smallest) trial unconditionally.
@@ -795,5 +972,95 @@ mod tests {
         let mut engine = NewtonEngine::new(NewtonOptions::default());
         let sol = engine.dc_operating_point(&c, None).unwrap();
         assert!(sol.x.is_empty());
+    }
+
+    /// A resistor ladder long enough for the sparse solver.
+    fn sparse_ladder() -> Circuit {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        c.add(VoltageSource::dc("V1", top, Circuit::ground(), 1.0));
+        let mut prev = top;
+        for i in 0..40 {
+            let nxt = c.node(&format!("n{i}"));
+            c.add(Resistor::new(&format!("R{i}"), prev, nxt, 1e3));
+            prev = nxt;
+        }
+        c.add(Resistor::new("Rend", prev, Circuit::ground(), 1e3));
+        c
+    }
+
+    #[test]
+    fn counters_support_per_analysis_deltas() {
+        // The cumulative counters never reset; per-analysis numbers come
+        // from baseline + delta_since, and must isolate each solve.
+        let mut c = sparse_ladder();
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        engine.dc_operating_point(&c, None).unwrap();
+        let after_first = engine.counters();
+        assert!(after_first.factorizations > 0);
+        assert!(after_first.device_evals == 0, "linear elements never eval");
+        assert!(c.set_source_value("V1", 2.0));
+        engine.dc_operating_point(&c, None).unwrap();
+        let after_second = engine.counters();
+        let delta = after_second.delta_since(&after_first);
+        // Cumulative keeps growing; the delta sees only the second solve.
+        assert!(after_second.factorizations > after_first.factorizations);
+        assert_eq!(
+            delta.factorizations,
+            after_second.factorizations - after_first.factorizations
+        );
+        assert!(delta.symbolic_factorizations == 0, "pattern was reused");
+        // Self-delta is zero: nothing ran in between.
+        let zero = after_second.delta_since(&after_second);
+        assert_eq!(zero, EngineCounters::default());
+    }
+
+    #[test]
+    fn source_value_change_takes_the_partial_path() {
+        // A source-level change touches only the RHS of a linear
+        // circuit: the Jacobian values are bitwise-unchanged, so the
+        // diff finds zero changed slots and the partial refactorization
+        // recomputes zero columns while still solving correctly.
+        let mut c = sparse_ladder();
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        engine.dc_operating_point(&c, None).unwrap();
+        let base = engine.counters();
+        assert_eq!(base.partial_refactorizations, 0, "first solve is full");
+        assert!(c.set_source_value("V1", 2.0));
+        let sol = engine.dc_operating_point(&c, None).unwrap();
+        let delta = engine.counters().delta_since(&base);
+        assert!(delta.partial_refactorizations > 0);
+        assert_eq!(delta.columns_recomputed, 0, "no Jacobian slot changed");
+        assert!(delta.columns_total > 0);
+        let mid = c.find_node("n19").unwrap();
+        assert!((sol.voltage(mid) - 2.0 * 21.0 / 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_refactor_off_replays_in_full() {
+        let mut c = sparse_ladder();
+        let mut engine = NewtonEngine::new(NewtonOptions {
+            partial_refactor: false,
+            ..NewtonOptions::default()
+        });
+        engine.dc_operating_point(&c, None).unwrap();
+        assert!(c.set_source_value("V1", 2.0));
+        engine.dc_operating_point(&c, None).unwrap();
+        let total = engine.counters();
+        assert_eq!(total.partial_refactorizations, 0);
+        assert_eq!(total.columns_recomputed, total.columns_total);
+    }
+
+    #[test]
+    fn dense_path_never_partially_refactors() {
+        let (mut c, _) = divider();
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        engine.dc_operating_point(&c, None).unwrap();
+        assert!(c.set_source_value("V1", 3.0));
+        engine.dc_operating_point(&c, None).unwrap();
+        let total = engine.counters();
+        assert_eq!(engine.solver_name(), Some("dense-lu"));
+        assert_eq!(total.partial_refactorizations, 0);
+        assert!(total.factorizations > 0);
     }
 }

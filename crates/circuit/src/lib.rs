@@ -87,10 +87,11 @@ pub mod prelude {
     pub use crate::dc::Solution;
     pub use crate::deck::{AnalysisReport, Deck, DeckError, DeckRun};
     pub use crate::element::{Capacitor, CurrentSource, Resistor, VoltageSource, Waveform};
-    pub use crate::engine::{NewtonEngine, NewtonOptions, SolverKind};
+    pub use crate::engine::{EngineCounters, NewtonEngine, NewtonOptions, SolverKind};
     pub use crate::error::CircuitError;
     pub use crate::logic::{
-        add_inverter, add_inverter_chain, add_nand2, add_ring_oscillator, CntTechnology,
+        add_inverter, add_inverter_array, add_inverter_chain, add_nand2, add_ring_oscillator,
+        CntTechnology,
     };
     pub use crate::netlist::{Circuit, NodeId};
     pub use crate::sim::{sweep_many, OpPoint, Probe, Simulator, SweepSpec, TransientSpec};

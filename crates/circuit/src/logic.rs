@@ -119,6 +119,46 @@ pub fn add_inverter_chain(
     outputs
 }
 
+/// Instantiates a `rows × stages` array of independent inverter
+/// chains, all driven by `input`, and returns every stage output node
+/// (row-major; nodes are created as `{name}_r{row}_c{stage}`).
+///
+/// Where a single chain grows the unknown count linearly in one banded
+/// strand, the array is the fast-SPICE scaling workload: thousands of
+/// gates whose Jacobian is block-banded — each row an independent
+/// block coupled only through the shared input and supply — so
+/// fill-reducing orderings, partial refactorization and device bypass
+/// all have structure to exploit (the `fastspice_scaling` bench builds
+/// its ≥1000-gate netlist here).
+///
+/// # Panics
+///
+/// Panics if `rows` or `stages` is 0.
+pub fn add_inverter_array(
+    circuit: &mut Circuit,
+    tech: &CntTechnology,
+    name: &str,
+    input: NodeId,
+    rows: usize,
+    stages: usize,
+    vdd_node: NodeId,
+) -> Vec<NodeId> {
+    assert!(rows > 0, "array needs at least one row");
+    assert!(stages > 0, "array needs at least one stage per row");
+    let mut outputs = Vec::with_capacity(rows * stages);
+    for r in 0..rows {
+        outputs.extend(add_inverter_chain(
+            circuit,
+            tech,
+            &format!("{name}_r{r}"),
+            input,
+            stages,
+            vdd_node,
+        ));
+    }
+    outputs
+}
+
 /// Instantiates a two-input complementary NAND gate.
 ///
 /// Topology: parallel p-devices to VDD, series n-devices to ground via an

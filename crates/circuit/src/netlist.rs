@@ -164,6 +164,19 @@ impl Circuit {
         &mut self.elements
     }
 
+    /// Number of nonlinear device instances: elements that carry extra
+    /// unknowns without being sources (today, the CNFETs and their
+    /// inner charge nodes). This is the population the device-bypass
+    /// counters ([`crate::engine::EngineCounters::device_evals`] /
+    /// `device_bypasses`) draw from — linear R/C/V/I stamps are static
+    /// and never counted.
+    pub fn device_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| e.extra_vars() > 0 && !e.is_source())
+            .count()
+    }
+
     /// Total number of MNA unknowns: node voltages plus element extra
     /// variables (source branch currents, CNFET inner nodes).
     pub fn unknown_count(&self) -> usize {

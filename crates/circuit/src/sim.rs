@@ -556,6 +556,19 @@ impl Simulator {
         self.engine.total_factor_ops()
     }
 
+    /// Snapshot of every session-lifetime hot-path counter
+    /// (factorisation paths, columns recomputed, device evaluations vs
+    /// bypasses). Per-analysis numbers come from capturing a baseline
+    /// before an analysis and calling
+    /// [`EngineCounters::delta_since`] after it — the discipline
+    /// [`TransientStats`](crate::transient::TransientStats) follows
+    /// internally.
+    ///
+    /// [`EngineCounters::delta_since`]: crate::engine::EngineCounters::delta_since
+    pub fn counters(&self) -> crate::engine::EngineCounters {
+        self.engine.counters()
+    }
+
     /// Name of the linear solver currently cached by the engine.
     pub fn solver_name(&self) -> Option<&'static str> {
         self.engine.solver_name()

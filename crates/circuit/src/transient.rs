@@ -251,9 +251,43 @@ pub struct TransientStats {
     /// Cumulative multiply–accumulate/divide operations across those
     /// factorisations.
     pub factor_ops: u64,
+    /// Full pivot-searching factorisations among `factorizations` (the
+    /// rest replayed a frozen plan, fully or partially).
+    pub symbolic_factorizations: u64,
+    /// Factorisations that replayed only the columns reached from
+    /// changed matrix values ([`NewtonOptions::partial_refactor`]).
+    ///
+    /// [`NewtonOptions::partial_refactor`]: crate::engine::NewtonOptions
+    pub partial_refactorizations: u64,
+    /// Columns actually recomputed across all factorisations.
+    pub columns_recomputed: u64,
+    /// Columns a full-replay run would have recomputed.
+    pub columns_total: u64,
+    /// Nonlinear device model evaluations that ran in full.
+    pub device_evals: u64,
+    /// Device evaluations skipped by the bypass layer
+    /// ([`NewtonOptions::bypass`]).
+    ///
+    /// [`NewtonOptions::bypass`]: crate::engine::NewtonOptions
+    pub device_bypasses: u64,
     /// Times the BDF2 history was discarded and the method restarted
     /// from backward Euler (after a Newton failure).
     pub bdf2_restarts: usize,
+}
+
+impl TransientStats {
+    /// Copies the engine's per-analysis counter delta into the solver
+    /// cost fields (step counters are untouched).
+    pub(crate) fn absorb_counters(&mut self, delta: crate::engine::EngineCounters) {
+        self.factorizations = delta.factorizations;
+        self.factor_ops = delta.factor_ops;
+        self.symbolic_factorizations = delta.symbolic_factorizations;
+        self.partial_refactorizations = delta.partial_refactorizations;
+        self.columns_recomputed = delta.columns_recomputed;
+        self.columns_total = delta.columns_total;
+        self.device_evals = delta.device_evals;
+        self.device_bypasses = delta.device_bypasses;
+    }
 }
 
 /// A transient waveform together with the stepping statistics that
@@ -408,10 +442,9 @@ pub(crate) fn transient_fixed_core(
     }
     engine.set_options(options.newton);
     let x0 = initial_state(engine, circuit, initial)?;
-    // Counter baselines: the run's stats report this analysis only, not
+    // Counter baseline: the run's stats report this analysis only, not
     // whatever the (possibly session-shared) engine did before.
-    let base_factorizations = engine.total_factorizations();
-    let base_factor_ops = engine.total_factor_ops();
+    let base_counters = engine.counters();
     // The small backoff keeps `ceil` from scheduling a degenerate extra
     // step when t_stop/dt rounds just above an integer (a near-zero
     // final step would make the companion coefficient 1/h explode).
@@ -453,8 +486,7 @@ pub(crate) fn transient_fixed_core(
         time.push(t);
         states.push(x.clone());
     }
-    stats.factorizations = engine.total_factorizations() - base_factorizations;
-    stats.factor_ops = engine.total_factor_ops() - base_factor_ops;
+    stats.absorb_counters(engine.counters().delta_since(&base_counters));
     Ok(TransientRun::new(
         TransientResult { time, states },
         stats,
@@ -515,8 +547,7 @@ pub(crate) fn transient_adaptive_core(
     let (mut dt, dt_min, dt_max) = options.resolve(t_stop)?;
     engine.set_options(options.newton);
     let x0 = initial_state(engine, circuit, initial)?;
-    let base_factorizations = engine.total_factorizations();
-    let base_factor_ops = engine.total_factor_ops();
+    let base_counters = engine.counters();
     let n_nodes = circuit.node_count();
     let mut stats = TransientStats::default();
     let mut time = vec![0.0];
@@ -620,8 +651,7 @@ pub(crate) fn transient_adaptive_core(
             return Err(CircuitError::TimestepTooSmall { t: t_n, dt });
         }
     }
-    stats.factorizations = engine.total_factorizations() - base_factorizations;
-    stats.factor_ops = engine.total_factor_ops() - base_factor_ops;
+    stats.absorb_counters(engine.counters().delta_since(&base_counters));
     Ok(TransientRun::new(
         TransientResult { time, states },
         stats,

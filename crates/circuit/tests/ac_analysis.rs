@@ -142,9 +142,13 @@ fn cnfet_chain_pattern_ordered_once_per_sweep() {
     let s = res.stats();
     assert_eq!(s.symbolic_factorizations, 1, "one ordering per sweep");
     assert_eq!(
-        s.refactorizations as usize,
-        s.frequencies - 1,
+        s.refactorizations + s.partial_refactorizations,
+        s.frequencies as u64 - 1,
         "all later frequencies re-value the frozen pattern"
+    );
+    assert!(
+        s.partial_refactorizations > 0,
+        "capacitive slots drive the partial path"
     );
     // A second sweep on the same session orders its own plan once more
     // (fresh complex solver per sweep) but reuses the engine's real

@@ -23,7 +23,7 @@
 //!
 //! # Pattern-freeze and replay invariants
 //!
-//! The fast paths of this module rely on three invariants; violating
+//! The fast paths of this module rely on four invariants; violating
 //! them is a bug in the *caller*, and the module fails loudly rather
 //! than silently degrading:
 //!
@@ -52,6 +52,23 @@
 //!    [`SparseLuSolver::symbolic_factor_count`] /
 //!    [`SparseLuSolver::refactor_count`] counters make the fallback
 //!    observable in benchmarks.
+//! 4. **Partial refactorization trusts the changed-slot set.** A caller
+//!    of [`SparseLu::factor_partial`] promises that every A-pattern slot
+//!    *not* listed in `changed_slots` holds a value bitwise identical to
+//!    the one given to the previous successful factorisation. Under that
+//!    contract the solver marks the elimination step of each changed
+//!    slot's row dirty, propagates dirtiness forward through the frozen
+//!    elimination DAG (step `k` is dirty when any virtual column of its
+//!    L part is a dirty step — the recorded U structure, transposed),
+//!    and replays *only* the dirty steps; every clean step keeps its
+//!    L/U row and pivot from the previous factorisation, so the result
+//!    is bitwise identical to a full replay. The replayed steps run the
+//!    same pivot-collapse self-check as invariant 3, and a collapse
+//!    aborts to a full re-pivot exactly as a full replay would. Listing
+//!    *extra* (unchanged) slots is always safe — it only costs work; a
+//!    *missing* changed slot silently factors the wrong matrix, which is
+//!    why [`SparseLu::factor_partial`] is fed from value diffs, never
+//!    from per-element bookkeeping guesses.
 
 use crate::complex::Complex;
 use crate::error::NumericsError;
@@ -404,6 +421,366 @@ pub fn structural_rank(m: &CsrMatrix) -> StructuralRank {
     }
 }
 
+/// Fill-reducing column pre-ordering used by [`SparseLu`] when it
+/// freezes an elimination plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillOrdering {
+    /// The static ordering of the first release: ascending initial
+    /// column degree, ties by index (dense rail columns go last).
+    AscendingDegree,
+    /// Block-triangular (BTF) pre-permutation — strongly connected
+    /// components of the column digraph induced by a structural
+    /// matching, in topological order — with a minimum-degree
+    /// (AMD-family) ordering of `A + Aᵀ` inside each diagonal block.
+    AmdBtf,
+    /// Run the symbolic elimination under both orderings and freeze
+    /// whichever plan records fewer L+U entries; ties keep
+    /// [`FillOrdering::AscendingDegree`]. Guarantees fill never exceeds
+    /// the static ordering at the cost of a second (rare) symbolic
+    /// pass. The default.
+    #[default]
+    Auto,
+}
+
+/// The static fill-reducing column ordering: ascending initial column
+/// degree, ties broken by column index.
+///
+/// # Panics
+///
+/// Panics if the pattern is not square.
+pub fn ascending_degree_order(pattern: &SparsityPattern) -> Vec<usize> {
+    assert_eq!(
+        pattern.rows(),
+        pattern.cols(),
+        "ordering needs a square pattern"
+    );
+    let n = pattern.cols();
+    let mut col_degree = vec![0usize; n];
+    for &c in &pattern.col_idx {
+        col_degree[c] += 1;
+    }
+    let mut col_order: Vec<usize> = (0..n).collect();
+    col_order.sort_by_key(|&c| (col_degree[c], c));
+    col_order
+}
+
+/// Sorted, deduplicated adjacency lists of `A + Aᵀ` without the
+/// diagonal — the undirected graph minimum-degree ordering works on.
+fn symmetrized_adjacency(pattern: &SparsityPattern) -> Vec<Vec<usize>> {
+    let n = pattern.rows();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for r in 0..n {
+        for &c in pattern.row_cols(r) {
+            if r != c {
+                adj[r].push(c);
+                adj[c].push(r);
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
+
+/// Sorted union of two sorted neighbour lists, dropping `skip_a`,
+/// `skip_b` and dead vertices.
+fn merge_live_union(
+    a: &[usize],
+    b: &[usize],
+    skip_a: usize,
+    skip_b: usize,
+    alive: &[bool],
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let v = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        if v != skip_a && v != skip_b && alive[v] {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Minimum-degree elimination ordering of the vertices in `members`
+/// (ascending indices into the full graph), on the subgraph of
+/// `adj_full` they induce. Exact external degrees via explicit clique
+/// merging; ties broken by smallest index, so the result is
+/// deterministic.
+fn min_degree_order(adj_full: &[Vec<usize>], members: &[usize]) -> Vec<usize> {
+    let n = members.len();
+    if n <= 1 {
+        return members.to_vec();
+    }
+    let mut local = vec![usize::MAX; adj_full.len()];
+    for (i, &v) in members.iter().enumerate() {
+        local[v] = i;
+    }
+    // Local adjacency restricted to the member set. `members` is
+    // ascending, so mapped lists stay sorted.
+    let mut adj: Vec<Vec<usize>> = members
+        .iter()
+        .map(|&v| {
+            adj_full[v]
+                .iter()
+                .filter_map(|&u| (local[u] != usize::MAX).then_some(local[u]))
+                .collect()
+        })
+        .collect();
+    let mut alive = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| (adj[v].len(), v))
+            .expect("a live vertex remains");
+        alive[v] = false;
+        order.push(members[v]);
+        // Eliminating v turns its live neighbourhood into a clique and
+        // removes v — the neighbours' lists stay exact-live-degree.
+        let nbrs = std::mem::take(&mut adj[v]);
+        for &u in nbrs.iter().filter(|&&u| alive[u]) {
+            adj[u] = merge_live_union(&adj[u], &nbrs, u, v, &alive);
+        }
+    }
+    order
+}
+
+/// Structural perfect matching `column → row` on the pattern (values
+/// ignored: reserved zero slots are structural here, since the plan
+/// must stay valid for any values with this structure). `None` when no
+/// perfect matching exists (structurally singular).
+fn pattern_matching(pattern: &SparsityPattern) -> Option<Vec<usize>> {
+    let n = pattern.rows();
+    let mut row_for_col = vec![usize::MAX; n];
+    let mut seen = vec![0usize; n];
+
+    fn augment(
+        r: usize,
+        pattern: &SparsityPattern,
+        stamp: usize,
+        seen: &mut [usize],
+        row_for_col: &mut [usize],
+    ) -> bool {
+        for &c in pattern.row_cols(r) {
+            if seen[c] == stamp {
+                continue;
+            }
+            seen[c] = stamp;
+            let owner = row_for_col[c];
+            if owner == usize::MAX || augment(owner, pattern, stamp, seen, row_for_col) {
+                row_for_col[c] = r;
+                return true;
+            }
+        }
+        false
+    }
+
+    for r in 0..n {
+        if !augment(r, pattern, r + 1, &mut seen, &mut row_for_col) {
+            return None;
+        }
+    }
+    Some(row_for_col)
+}
+
+/// Tarjan's strongly-connected-components algorithm, iterative so deep
+/// chains cannot overflow the call stack. Components come out in
+/// reverse topological order of the condensation.
+fn tarjan_scc(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        call.push((start, 0));
+        while let Some(frame) = call.last_mut() {
+            let v = frame.0;
+            if frame.1 < edges[v].len() {
+                let w = edges[v][frame.1];
+                frame.1 += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let p = parent.0;
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("component members are on the stack");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// BTF + AMD column ordering: finds a structural matching, permutes to
+/// block-triangular form (Tarjan SCCs of the matched column digraph in
+/// topological order) and orders each diagonal block by minimum degree
+/// on `A + Aᵀ`. Falls back to plain minimum degree when the pattern has
+/// no perfect matching (it is then structurally singular and the
+/// factorisation will report that on its own).
+///
+/// # Panics
+///
+/// Panics if the pattern is not square.
+pub fn btf_amd_order(pattern: &SparsityPattern) -> Vec<usize> {
+    assert_eq!(
+        pattern.rows(),
+        pattern.cols(),
+        "ordering needs a square pattern"
+    );
+    let n = pattern.rows();
+    let adj = symmetrized_adjacency(pattern);
+    let Some(row_for_col) = pattern_matching(pattern) else {
+        let members: Vec<usize> = (0..n).collect();
+        return min_degree_order(&adj, &members);
+    };
+    // Column digraph: c → c' when c's matched row has an entry in c'.
+    let edges: Vec<Vec<usize>> = (0..n)
+        .map(|c| {
+            pattern
+                .row_cols(row_for_col[c])
+                .iter()
+                .copied()
+                .filter(|&c2| c2 != c)
+                .collect()
+        })
+        .collect();
+    let comps = tarjan_scc(&edges);
+    let mut order = Vec::with_capacity(n);
+    for comp in comps.iter().rev() {
+        let mut members = comp.clone();
+        members.sort_unstable();
+        order.extend(min_degree_order(&adj, &members));
+    }
+    order
+}
+
+/// Minimum-degree (AMD-family) ordering of the whole pattern on
+/// `A + Aᵀ`, without the BTF pre-permutation.
+///
+/// # Panics
+///
+/// Panics if the pattern is not square.
+pub fn amd_order(pattern: &SparsityPattern) -> Vec<usize> {
+    assert_eq!(
+        pattern.rows(),
+        pattern.cols(),
+        "ordering needs a square pattern"
+    );
+    let members: Vec<usize> = (0..pattern.rows()).collect();
+    min_degree_order(&symmetrized_adjacency(pattern), &members)
+}
+
+/// Cumulative factorisation-path statistics of a [`LinearSolver`]: how
+/// often each path ran and how much of the elimination it recomputed.
+/// All counters are monotone; per-analysis figures come from
+/// [`FactorPathStats::delta_since`] against a snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactorPathStats {
+    /// Full pivot-searching factorisations (symbolic + numeric).
+    pub symbolic_factorizations: u64,
+    /// Full replays of a frozen elimination plan.
+    pub replay_refactorizations: u64,
+    /// Partial replays restricted to changed-slot-affected columns.
+    pub partial_refactorizations: u64,
+    /// Elimination steps (columns) actually recomputed, over all paths.
+    pub columns_recomputed: u64,
+    /// Elimination steps that a full recomputation would have run —
+    /// `columns_recomputed / columns_total` is the partial-path win.
+    pub columns_total: u64,
+}
+
+impl FactorPathStats {
+    /// Component-wise difference against an earlier snapshot
+    /// (saturating, so a solver swap mid-flight yields zeros rather
+    /// than wrapping).
+    pub fn delta_since(&self, baseline: &FactorPathStats) -> FactorPathStats {
+        FactorPathStats {
+            symbolic_factorizations: self
+                .symbolic_factorizations
+                .saturating_sub(baseline.symbolic_factorizations),
+            replay_refactorizations: self
+                .replay_refactorizations
+                .saturating_sub(baseline.replay_refactorizations),
+            partial_refactorizations: self
+                .partial_refactorizations
+                .saturating_sub(baseline.partial_refactorizations),
+            columns_recomputed: self
+                .columns_recomputed
+                .saturating_sub(baseline.columns_recomputed),
+            columns_total: self.columns_total.saturating_sub(baseline.columns_total),
+        }
+    }
+}
+
+impl AddAssign for FactorPathStats {
+    fn add_assign(&mut self, rhs: FactorPathStats) {
+        self.symbolic_factorizations += rhs.symbolic_factorizations;
+        self.replay_refactorizations += rhs.replay_refactorizations;
+        self.partial_refactorizations += rhs.partial_refactorizations;
+        self.columns_recomputed += rhs.columns_recomputed;
+        self.columns_total += rhs.columns_total;
+    }
+}
+
 /// Pattern-caching assembly target.
 ///
 /// The first assembly cycle (`begin` → `add`s → `finish`) records
@@ -413,11 +790,32 @@ pub fn structural_rank(m: &CsrMatrix) -> StructuralRank {
 /// assembled structure changes (e.g. a circuit gained elements) to force
 /// a re-recording.
 ///
+/// With [`set_track_writes`] enabled the recording cycle also remembers
+/// the `(row, col)` of every `add` in call order and compiles that
+/// sequence to pattern slots. Later cycles that replay the same
+/// sequence skip the per-add binary search (a direct slot `+=`), and
+/// callers can partition [`write_slots`] by add index to learn which
+/// pattern slots each contributor (circuit element) touches — the
+/// bookkeeping behind partial refactorization. A cycle that deviates
+/// from the recorded sequence falls back to the searched path from the
+/// point of divergence and stays correct.
+///
 /// [`invalidate`]: PatternAssembler::invalidate
+/// [`set_track_writes`]: PatternAssembler::set_track_writes
+/// [`write_slots`]: PatternAssembler::write_slots
 #[derive(Debug)]
 pub struct PatternAssembler {
     state: AsmState,
     pattern_builds: usize,
+    track_writes: bool,
+    /// `(row, col)` of every recorded `add`, in call order.
+    writes: Vec<(usize, usize)>,
+    /// `writes` compiled to pattern slots at `finish`.
+    write_slots: Vec<usize>,
+    /// Position in the recorded write sequence of the current cycle.
+    cursor: usize,
+    replay_hits: u64,
+    replay_misses: u64,
 }
 
 #[derive(Debug)]
@@ -433,12 +831,48 @@ impl PatternAssembler {
         PatternAssembler {
             state: AsmState::Recording(TripletMatrix::new(n_rows, n_cols)),
             pattern_builds: 0,
+            track_writes: false,
+            writes: Vec::new(),
+            write_slots: Vec::new(),
+            cursor: 0,
+            replay_hits: 0,
+            replay_misses: 0,
         }
     }
 
     /// `true` while the sparsity pattern is still being recorded.
     pub fn is_recording(&self) -> bool {
         matches!(self.state, AsmState::Recording(_))
+    }
+
+    /// Enables (or disables) write-sequence tracking. Enable *before*
+    /// the recording cycle: a pattern compiled without tracking has no
+    /// recorded sequence, so every later add takes the searched path.
+    pub fn set_track_writes(&mut self, on: bool) {
+        self.track_writes = on;
+    }
+
+    /// Number of adds of the recorded (pattern-compiling) cycle.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Pattern slot of each recorded add, in call order (empty until a
+    /// tracked recording cycle has finished). Stable across cycles, so
+    /// callers may index it by add ranges captured during recording.
+    pub fn write_slots(&self) -> &[usize] {
+        &self.write_slots
+    }
+
+    /// Adds routed through the recorded write sequence (no slot search).
+    pub fn replay_hits(&self) -> u64 {
+        self.replay_hits
+    }
+
+    /// Adds that missed the recorded sequence and fell back to the
+    /// searched path.
+    pub fn replay_misses(&self) -> u64 {
+        self.replay_misses
     }
 
     /// How many times a pattern has been compiled (diagnostics; lets
@@ -451,9 +885,13 @@ impl PatternAssembler {
     /// zeroes the cached values (pattern mode).
     pub fn begin(&mut self) {
         match &mut self.state {
-            AsmState::Recording(t) => t.clear(),
+            AsmState::Recording(t) => {
+                t.clear();
+                self.writes.clear();
+            }
             AsmState::Ready(m) => m.set_zero(),
         }
+        self.cursor = 0;
     }
 
     /// Adds `v` at (`r`, `c`). Zero values still reserve a slot while
@@ -466,13 +904,25 @@ impl PatternAssembler {
     /// structure changed without [`PatternAssembler::invalidate`].
     pub fn add(&mut self, r: usize, c: usize, v: f64) {
         match &mut self.state {
-            AsmState::Recording(t) => t.push(r, c, v),
+            AsmState::Recording(t) => {
+                t.push(r, c, v);
+                if self.track_writes {
+                    self.writes.push((r, c));
+                }
+            }
             AsmState::Ready(m) => {
-                assert!(
-                    m.add_at(r, c, v),
-                    "entry ({r}, {c}) is not in the cached sparsity pattern; \
-                     call invalidate() after structural changes"
-                );
+                if self.cursor < self.write_slots.len() && self.writes[self.cursor] == (r, c) {
+                    m.values[self.write_slots[self.cursor]] += v;
+                    self.cursor += 1;
+                    self.replay_hits += 1;
+                } else {
+                    self.replay_misses += 1;
+                    assert!(
+                        m.add_at(r, c, v),
+                        "entry ({r}, {c}) is not in the cached sparsity pattern; \
+                         call invalidate() after structural changes"
+                    );
+                }
             }
         }
     }
@@ -481,7 +931,13 @@ impl PatternAssembler {
     /// the pattern on the first call.
     pub fn finish(&mut self) -> &CsrMatrix {
         if let AsmState::Recording(t) = &self.state {
-            self.state = AsmState::Ready(t.to_csr());
+            let m = t.to_csr();
+            self.write_slots = self
+                .writes
+                .iter()
+                .map(|&(r, c)| m.pattern.slot(r, c).expect("recorded write is in pattern"))
+                .collect();
+            self.state = AsmState::Ready(m);
             self.pattern_builds += 1;
         }
         match &self.state {
@@ -505,6 +961,9 @@ impl PatternAssembler {
             AsmState::Ready(m) => (m.rows(), m.cols()),
         };
         self.state = AsmState::Recording(TripletMatrix::new(r, c));
+        self.writes.clear();
+        self.write_slots.clear();
+        self.cursor = 0;
     }
 }
 
@@ -552,6 +1011,32 @@ pub trait LinearSolver: std::fmt::Debug {
     /// Multiply–accumulate + divide count of the most recent
     /// factorisation.
     fn factor_ops(&self) -> u64;
+
+    /// Factors `a` under the partial-refactorization contract (module
+    /// invariant 4): the caller promises that every pattern slot *not*
+    /// listed in `changed_slots` holds a value bitwise identical to the
+    /// previous successful factorisation. Solvers without a partial
+    /// path ignore the hint and run a full [`LinearSolver::factor`],
+    /// which is always a correct (if slower) implementation of the
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinearSolver::factor`].
+    fn factor_partial(
+        &mut self,
+        a: &CsrMatrix,
+        changed_slots: &[usize],
+    ) -> Result<(), NumericsError> {
+        let _ = changed_slots;
+        self.factor(a)
+    }
+
+    /// Cumulative factorisation-path statistics. Solvers without path
+    /// tracking report all zeros.
+    fn factor_stats(&self) -> FactorPathStats {
+        FactorPathStats::default()
+    }
 }
 
 /// Exact operation count (divisions + multiply–subtracts) of the dense
@@ -572,6 +1057,8 @@ pub struct DenseLuSolver {
     buffer: Option<Matrix>,
     factors: Option<crate::linalg::LuDecomposition>,
     ops: u64,
+    factors_done: u64,
+    columns_done: u64,
 }
 
 impl DenseLuSolver {
@@ -605,6 +1092,8 @@ impl LinearSolver for DenseLuSolver {
             Ok(f) => {
                 self.factors = Some(f);
                 self.ops = dense_lu_ops(n);
+                self.factors_done += 1;
+                self.columns_done += n as u64;
                 Ok(())
             }
             Err(e) => {
@@ -630,6 +1119,16 @@ impl LinearSolver for DenseLuSolver {
 
     fn factor_ops(&self) -> u64 {
         self.ops
+    }
+
+    fn factor_stats(&self) -> FactorPathStats {
+        // Every dense factorisation is a full pivot-searching one.
+        FactorPathStats {
+            symbolic_factorizations: self.factors_done,
+            columns_recomputed: self.columns_done,
+            columns_total: self.columns_done,
+            ..FactorPathStats::default()
+        }
     }
 }
 
@@ -730,9 +1229,16 @@ pub struct SparseLu<T> {
     f_values: Vec<T>,
     diag: Vec<T>,
     work: Vec<T>,
+    /// Dirty-step flags of the partial-refactorization scan; all false
+    /// between calls.
+    step_flag: Vec<bool>,
+    ordering: FillOrdering,
     ops: u64,
     symbolic_factors: u64,
     refactors: u64,
+    partial_refactors: u64,
+    columns_recomputed: u64,
+    columns_total: u64,
 }
 
 impl<T> Default for SparseLu<T> {
@@ -742,9 +1248,14 @@ impl<T> Default for SparseLu<T> {
             f_values: Vec::new(),
             diag: Vec::new(),
             work: Vec::new(),
+            step_flag: Vec::new(),
+            ordering: FillOrdering::default(),
             ops: 0,
             symbolic_factors: 0,
             refactors: 0,
+            partial_refactors: 0,
+            columns_recomputed: 0,
+            columns_total: 0,
         }
     }
 }
@@ -754,9 +1265,9 @@ struct Symbolic {
     pattern: Arc<SparsityPattern>,
     /// `perm[k]` = original row index used as the pivot of step `k`.
     perm: Vec<usize>,
-    /// `col_order[k]` = original column eliminated at step `k` (static
-    /// fill-reducing pre-ordering: ascending initial column degree, so
-    /// high-fanout columns like a supply rail go last).
+    /// `col_order[k]` = original column eliminated at step `k` (the
+    /// fill-reducing pre-ordering chosen via [`FillOrdering`] when the
+    /// plan was frozen).
     col_order: Vec<usize>,
     /// Factor storage structure, per original row: full fill-in
     /// pattern. Column indices are *virtual* (elimination-order) —
@@ -769,6 +1280,37 @@ struct Symbolic {
     diag_slot: Vec<usize>,
     /// Maps each slot of the A pattern to its slot in factor storage.
     a_to_f: Vec<usize>,
+    /// Inverse of `perm`: the elimination step at which each original
+    /// row is the pivot.
+    row_step: Vec<usize>,
+    /// Original row of each A-pattern slot (changed slot → dirty step).
+    slot_row: Vec<usize>,
+    /// CSR over steps: `dep_steps[dep_ptr[k]..dep_ptr[k + 1]]` are the
+    /// steps whose row carries an L entry in virtual column `k` — the
+    /// steps whose elimination reads step `k`'s U row and pivot, i.e.
+    /// the out-edges of the elimination DAG used by the partial
+    /// refactorization's dirtiness propagation. Dependents always have
+    /// step index > `k`, so one ascending flag scan settles the set.
+    dep_ptr: Vec<usize>,
+    dep_steps: Vec<usize>,
+}
+
+/// A finished right-looking elimination before it is compiled into
+/// frozen factor storage: the [`SparseLu`] ordering-selection layer
+/// runs one per candidate ordering and installs the cheapest.
+struct Elimination<T> {
+    col_order: Vec<usize>,
+    col_rank: Vec<usize>,
+    perm: Vec<usize>,
+    rows: Vec<Vec<(usize, T)>>,
+    ops: u64,
+}
+
+impl<T> Elimination<T> {
+    /// Total recorded L+U entries (the fill the plan commits to).
+    fn fill_nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
 }
 
 /// Relative magnitude a candidate pivot must reach (vs the column
@@ -793,6 +1335,34 @@ impl<T: LuScalar> SparseLu<T> {
     /// Number of fast pattern-replay factorisations performed.
     pub fn refactor_count(&self) -> u64 {
         self.refactors
+    }
+
+    /// Number of partial (changed-slot) refactorisations performed.
+    pub fn partial_refactor_count(&self) -> u64 {
+        self.partial_refactors
+    }
+
+    /// Cumulative factorisation-path statistics.
+    pub fn factor_path_stats(&self) -> FactorPathStats {
+        FactorPathStats {
+            symbolic_factorizations: self.symbolic_factors,
+            replay_refactorizations: self.refactors,
+            partial_refactorizations: self.partial_refactors,
+            columns_recomputed: self.columns_recomputed,
+            columns_total: self.columns_total,
+        }
+    }
+
+    /// The fill-reducing ordering used when freezing a new elimination
+    /// plan ([`FillOrdering::Auto`] by default).
+    pub fn ordering(&self) -> FillOrdering {
+        self.ordering
+    }
+
+    /// Sets the fill-reducing ordering. Takes effect at the next full
+    /// pivoting factorisation; an already-frozen plan keeps replaying.
+    pub fn set_ordering(&mut self, ordering: FillOrdering) {
+        self.ordering = ordering;
     }
 
     /// Multiply–accumulate + divide count of the most recent
@@ -861,24 +1431,115 @@ impl<T: LuScalar> SparseLu<T> {
         result
     }
 
-    /// Full factorisation with pivot search; records the elimination
+    /// Factors under the partial-refactorization contract (module
+    /// invariant 4): every pattern slot *not* in `changed_slots` must be
+    /// bitwise identical to the previous successful factorisation of
+    /// this pattern. Only the elimination steps reachable from the
+    /// changed slots through the frozen elimination DAG are replayed;
+    /// the result is bitwise identical to a full [`SparseLu::factor`].
+    /// When no plan for this pattern is frozen — or a replayed pivot
+    /// collapses — the call transparently runs the full pivoting
+    /// factorisation, exactly like `factor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] for (numerically)
+    /// singular input and [`NumericsError::InvalidInput`] for non-square
+    /// input, a value slice that does not match the pattern, or a
+    /// changed slot outside the pattern.
+    pub fn factor_partial(
+        &mut self,
+        pattern: &Arc<SparsityPattern>,
+        values: &[T],
+        changed_slots: &[usize],
+    ) -> Result<(), NumericsError> {
+        if pattern.rows() != pattern.cols() {
+            return Err(NumericsError::InvalidInput(format!(
+                "factor requires a square matrix, got {}x{}",
+                pattern.rows(),
+                pattern.cols()
+            )));
+        }
+        if values.len() != pattern.nnz() {
+            return Err(NumericsError::InvalidInput(format!(
+                "value slice length {} does not match pattern nnz {}",
+                values.len(),
+                pattern.nnz()
+            )));
+        }
+        if let Some(&bad) = changed_slots.iter().find(|&&s| s >= values.len()) {
+            return Err(NumericsError::InvalidInput(format!(
+                "changed slot {bad} is outside the pattern's {} slots",
+                values.len()
+            )));
+        }
+        let same_pattern = self
+            .symbolic
+            .as_ref()
+            .is_some_and(|s| Arc::ptr_eq(&s.pattern, pattern) || *s.pattern == **pattern);
+        if same_pattern {
+            match self.refactor_partial(values, changed_slots) {
+                Ok(()) => return Ok(()),
+                // A frozen pivot collapsed; fall through and re-pivot.
+                Err(NumericsError::SingularMatrix { .. }) => {}
+                Err(e) => {
+                    self.symbolic = None;
+                    return Err(e);
+                }
+            }
+        }
+        let result = self.factor_with_pivoting(pattern, values);
+        if result.is_err() {
+            self.symbolic = None;
+        }
+        result
+    }
+
+    /// Full factorisation with pivot search; runs the symbolic
+    /// elimination under the configured [`FillOrdering`] (both
+    /// candidates for [`FillOrdering::Auto`]) and freezes the cheapest
     /// plan for later replays.
     fn factor_with_pivoting(
         &mut self,
         pattern: &Arc<SparsityPattern>,
         values: &[T],
     ) -> Result<(), NumericsError> {
+        let plan = match self.ordering {
+            FillOrdering::AscendingDegree => {
+                Self::eliminate(pattern, values, ascending_degree_order(pattern))?
+            }
+            FillOrdering::AmdBtf => Self::eliminate(pattern, values, btf_amd_order(pattern))?,
+            FillOrdering::Auto => {
+                let st = Self::eliminate(pattern, values, ascending_degree_order(pattern));
+                let amd = Self::eliminate(pattern, values, btf_amd_order(pattern));
+                match (st, amd) {
+                    (Ok(a), Ok(b)) => {
+                        if b.fill_nnz() < a.fill_nnz() {
+                            b
+                        } else {
+                            a
+                        }
+                    }
+                    (Ok(a), Err(_)) => a,
+                    (Err(_), Ok(b)) => b,
+                    (Err(e), Err(_)) => return Err(e),
+                }
+            }
+        };
+        self.install_plan(pattern, plan);
+        Ok(())
+    }
+
+    /// Right-looking elimination with Markowitz-style threshold
+    /// pivoting under the given column pre-ordering; pure (no solver
+    /// state touched) so the ordering-selection layer can race
+    /// candidates.
+    fn eliminate(
+        pattern: &Arc<SparsityPattern>,
+        values: &[T],
+        col_order: Vec<usize>,
+    ) -> Result<Elimination<T>, NumericsError> {
         let n = pattern.rows();
-        // Static fill-reducing column ordering: eliminate low-degree
-        // columns first. Dense columns (e.g. a supply rail touching
-        // every gate) would otherwise be eliminated early and couple
-        // every row they reach, exploding fill.
-        let mut col_degree = vec![0usize; n];
-        for &c in &pattern.col_idx {
-            col_degree[c] += 1;
-        }
-        let mut col_order: Vec<usize> = (0..n).collect();
-        col_order.sort_by_key(|&c| (col_degree[c], c));
         let mut col_rank = vec![0usize; n];
         for (k, &c) in col_order.iter().enumerate() {
             col_rank[c] = k;
@@ -991,7 +1652,26 @@ impl<T: LuScalar> SparseLu<T> {
                 ops += utail.len() as u64;
             }
         }
-        // Compile factor storage from the fully eliminated rows.
+        Ok(Elimination {
+            col_order,
+            col_rank,
+            perm,
+            rows,
+            ops,
+        })
+    }
+
+    /// Compiles a finished elimination into frozen factor storage and
+    /// installs it as the active plan.
+    fn install_plan(&mut self, pattern: &Arc<SparsityPattern>, plan: Elimination<T>) {
+        let Elimination {
+            col_order,
+            col_rank,
+            perm,
+            rows,
+            ops,
+        } = plan;
+        let n = pattern.rows();
         let mut pos = vec![0usize; n];
         for (k, &r) in perm.iter().enumerate() {
             pos[r] = k;
@@ -1026,6 +1706,32 @@ impl<T: LuScalar> SparseLu<T> {
                 a_to_f.push(flo + i);
             }
         }
+        // Row of each A-pattern slot, for changed-slot → dirty-step
+        // marking, and the elimination DAG's out-edges (dependents of
+        // each step) for the partial refactorization's propagation.
+        let mut slot_row = Vec::with_capacity(pattern.nnz());
+        for r in 0..n {
+            for _ in pattern.row_range(r) {
+                slot_row.push(r);
+            }
+        }
+        let mut dep_ptr = vec![0usize; n + 1];
+        for r in 0..n {
+            for i in f_row_ptr[r]..u_start[r] {
+                dep_ptr[f_col_idx[i] + 1] += 1;
+            }
+        }
+        for k in 0..n {
+            dep_ptr[k + 1] += dep_ptr[k];
+        }
+        let mut cursor = dep_ptr.clone();
+        let mut dep_steps = vec![0usize; dep_ptr[n]];
+        for (r, &step) in pos.iter().enumerate() {
+            for &c in &f_col_idx[f_row_ptr[r]..u_start[r]] {
+                dep_steps[cursor[c]] = step;
+                cursor[c] += 1;
+            }
+        }
         self.symbolic = Some(Symbolic {
             pattern: Arc::clone(pattern),
             perm,
@@ -1035,13 +1741,19 @@ impl<T: LuScalar> SparseLu<T> {
             u_start,
             diag_slot,
             a_to_f,
+            row_step: pos,
+            slot_row,
+            dep_ptr,
+            dep_steps,
         });
         self.f_values = f_values;
         self.diag = diag;
         self.work = vec![T::ZERO; n];
+        self.step_flag = vec![false; n];
         self.ops = ops;
         self.symbolic_factors += 1;
-        Ok(())
+        self.columns_recomputed += n as u64;
+        self.columns_total += n as u64;
     }
 
     /// Replays the recorded elimination over new values. Returns
@@ -1095,6 +1807,106 @@ impl<T: LuScalar> SparseLu<T> {
         }
         self.ops = ops;
         self.refactors += 1;
+        self.columns_recomputed += n as u64;
+        self.columns_total += n as u64;
+        Ok(())
+    }
+
+    /// Replays only the elimination steps affected by `changed_slots`
+    /// (module invariant 4): the step of each changed slot's row is
+    /// marked dirty, and dirtiness propagates to every step whose L part
+    /// reads a dirty step's U row. Because a step's dependents always
+    /// have larger step indices, a single ascending scan over the dirty
+    /// flags settles the affected set; clean steps keep their L/U rows
+    /// and pivots bitwise, so the result equals a full replay bitwise.
+    /// Returns `Err(SingularMatrix)` when a replayed pivot collapses —
+    /// the caller falls back to a fresh pivoting factorisation.
+    fn refactor_partial(&mut self, values: &[T], changed: &[usize]) -> Result<(), NumericsError> {
+        let s = self
+            .symbolic
+            .as_ref()
+            .expect("refactor_partial requires symbolic");
+        let n = s.perm.len();
+        let mut first = n;
+        for &slot in changed {
+            let k = s.row_step[s.slot_row[slot]];
+            if !self.step_flag[k] {
+                self.step_flag[k] = true;
+                if k < first {
+                    first = k;
+                }
+            }
+        }
+        let mut ops: u64 = 0;
+        let mut replayed: u64 = 0;
+        let mut collapsed: Option<usize> = None;
+        for k in first..n {
+            if !self.step_flag[k] {
+                continue;
+            }
+            self.step_flag[k] = false;
+            if collapsed.is_some() {
+                // Only draining the remaining flags after an abort.
+                continue;
+            }
+            let r = s.perm[k];
+            let lo = s.f_row_ptr[r];
+            let hi = s.f_row_ptr[r + 1];
+            // Reset this row to its A values; clean rows keep their
+            // already-eliminated factors untouched.
+            for i in lo..hi {
+                self.f_values[i] = T::ZERO;
+            }
+            for slot in s.pattern.row_range(r) {
+                self.f_values[s.a_to_f[slot]] += values[slot];
+            }
+            // From here the arithmetic is identical to `refactor`.
+            for i in lo..hi {
+                self.work[s.f_col_idx[i]] = self.f_values[i];
+            }
+            for i in lo..s.u_start[r] {
+                let c = s.f_col_idx[i];
+                let m = self.work[c] / self.diag[c];
+                self.work[c] = m;
+                ops += 1;
+                let pr = s.perm[c];
+                let ud = s.diag_slot[c];
+                let pend = s.f_row_ptr[pr + 1];
+                for ui in (ud + 1)..pend {
+                    self.work[s.f_col_idx[ui]] -= m * self.f_values[ui];
+                }
+                ops += (pend - ud - 1) as u64;
+            }
+            let pivot = self.work[k];
+            let mut umax = 0.0f64;
+            for i in s.u_start[r]..hi {
+                umax = umax.max(self.work[s.f_col_idx[i]].modulus());
+            }
+            for i in lo..hi {
+                let c = s.f_col_idx[i];
+                self.f_values[i] = self.work[c];
+                self.work[c] = T::ZERO;
+            }
+            if !pivot.is_finite() || pivot.modulus() < REPIVOT_RATIO * umax || pivot == T::ZERO {
+                collapsed = Some(k);
+                continue;
+            }
+            self.diag[k] = pivot;
+            replayed += 1;
+            // This step's U row and pivot changed: every step reading
+            // them must replay too. Dependents are strictly later
+            // steps, so this scan still visits them.
+            for &d in &s.dep_steps[s.dep_ptr[k]..s.dep_ptr[k + 1]] {
+                self.step_flag[d] = true;
+            }
+        }
+        if let Some(k) = collapsed {
+            return Err(NumericsError::SingularMatrix { pivot: k });
+        }
+        self.ops = ops;
+        self.partial_refactors += 1;
+        self.columns_recomputed += replayed;
+        self.columns_total += n as u64;
         Ok(())
     }
 
@@ -1169,10 +1981,25 @@ impl SparseLuSolver {
         self.core.refactor_count()
     }
 
+    /// Number of partial (changed-slot) refactorisations performed.
+    pub fn partial_refactor_count(&self) -> u64 {
+        self.core.partial_refactor_count()
+    }
+
     /// Number of stored L+U entries of the current elimination plan
     /// (0 before the first factorisation).
     pub fn factor_nnz(&self) -> usize {
         self.core.factor_nnz()
+    }
+
+    /// The fill-reducing ordering used for new elimination plans.
+    pub fn ordering(&self) -> FillOrdering {
+        self.core.ordering()
+    }
+
+    /// Sets the fill-reducing ordering for future elimination plans.
+    pub fn set_ordering(&mut self, ordering: FillOrdering) {
+        self.core.set_ordering(ordering);
     }
 }
 
@@ -1185,12 +2012,25 @@ impl LinearSolver for SparseLuSolver {
         self.core.factor(a.pattern(), a.values())
     }
 
+    fn factor_partial(
+        &mut self,
+        a: &CsrMatrix,
+        changed_slots: &[usize],
+    ) -> Result<(), NumericsError> {
+        self.core
+            .factor_partial(a.pattern(), a.values(), changed_slots)
+    }
+
     fn solve_factored(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
         self.core.solve_factored(b)
     }
 
     fn factor_ops(&self) -> u64 {
         self.core.factor_ops()
+    }
+
+    fn factor_stats(&self) -> FactorPathStats {
+        self.core.factor_path_stats()
     }
 }
 
@@ -1672,5 +2512,297 @@ mod tests {
         for (s, d) in x.iter().zip(&xd) {
             assert!((s - d).abs() < 1e-9, "{s} vs {d}");
         }
+    }
+
+    /// A tridiagonal ladder with an off-band entry: a playground with
+    /// nontrivial elimination dependencies.
+    fn ladder(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0 + i as f64 * 0.01);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        t.push(0, n - 1, -0.25);
+        t.push(n - 1, 0, -0.25);
+        t.to_csr()
+    }
+
+    #[test]
+    fn partial_refactor_matches_full_replay_bitwise() {
+        let n = 24;
+        let a = ladder(n);
+        let mut lu = SparseLu::<f64>::new();
+        lu.factor(a.pattern(), a.values()).expect("first factor");
+        // Change two mid-ladder couplings.
+        let mut vals = a.values().to_vec();
+        let s1 = a.pattern().slot(10, 11).unwrap();
+        let s2 = a.pattern().slot(15, 15).unwrap();
+        vals[s1] = -1.5;
+        vals[s2] = 3.25;
+        lu.factor_partial(a.pattern(), &vals, &[s1, s2])
+            .expect("partial");
+        let stats = lu.factor_path_stats();
+        assert_eq!(stats.partial_refactorizations, 1);
+        assert!(
+            stats.columns_recomputed < stats.columns_total,
+            "a localized change must not replay every column: {stats:?}"
+        );
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x_partial = lu.solve_factored(&b).expect("solve after partial");
+        // Full replay of the same values on the same frozen plan is the
+        // bitwise reference.
+        lu.factor(a.pattern(), &vals).expect("full replay");
+        let x_full = lu.solve_factored(&b).expect("solve after full");
+        for (p, f) in x_partial.iter().zip(&x_full) {
+            assert_eq!(p.to_bits(), f.to_bits(), "{p} vs {f}");
+        }
+    }
+
+    #[test]
+    fn partial_refactor_with_no_changes_is_a_noop() {
+        let a = ladder(12);
+        let mut lu = SparseLu::<f64>::new();
+        lu.factor(a.pattern(), a.values()).expect("factor");
+        let before = lu.factor_path_stats();
+        lu.factor_partial(a.pattern(), a.values(), &[])
+            .expect("empty partial");
+        let d = lu.factor_path_stats().delta_since(&before);
+        assert_eq!(d.partial_refactorizations, 1);
+        assert_eq!(d.columns_recomputed, 0, "nothing changed, nothing replayed");
+        assert_eq!(lu.factor_ops(), 0);
+        let b = vec![1.0; 12];
+        let x = lu.solve_factored(&b).expect("factors still valid");
+        let resid = a.mul_vec(&x);
+        for (rr, bb) in resid.iter().zip(&b) {
+            assert!((rr - bb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partial_refactor_pivot_collapse_falls_back_to_repivot() {
+        let stamp = |a11: f64| {
+            let mut t = TripletMatrix::new(2, 2);
+            t.push(0, 0, a11);
+            t.push(0, 1, 1.0);
+            t.push(1, 0, 1.0);
+            t.push(1, 1, 1.0);
+            t.to_csr()
+        };
+        let a1 = stamp(4.0);
+        let mut lu = SparseLu::<f64>::new();
+        lu.factor(a1.pattern(), a1.values()).expect("factor 1");
+        let sym_before = lu.symbolic_factor_count();
+        let mut vals = a1.values().to_vec();
+        let s = a1.pattern().slot(0, 0).unwrap();
+        vals[s] = 1e-30;
+        lu.factor_partial(a1.pattern(), &vals, &[s])
+            .expect("collapse re-pivots transparently");
+        assert_eq!(lu.symbolic_factor_count(), sym_before + 1);
+        let x = lu.solve_factored(&[1.0, 2.0]).expect("solve");
+        let mut dense = DenseLuSolver::new();
+        let a2 = stamp(1e-30);
+        let xd = dense.solve(&a2, &[1.0, 2.0]).expect("dense");
+        for (sv, d) in x.iter().zip(&xd) {
+            assert!((sv - d).abs() < 1e-9, "{sv} vs {d}");
+        }
+    }
+
+    #[test]
+    fn partial_refactor_rejects_out_of_pattern_slots() {
+        let a = ladder(8);
+        let mut lu = SparseLu::<f64>::new();
+        lu.factor(a.pattern(), a.values()).expect("factor");
+        assert!(matches!(
+            lu.factor_partial(a.pattern(), a.values(), &[a.nnz()]),
+            Err(NumericsError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn partial_refactor_without_a_frozen_plan_pivots_fully() {
+        let a = ladder(8);
+        let mut lu = SparseLu::<f64>::new();
+        lu.factor_partial(a.pattern(), a.values(), &[0])
+            .expect("first-call partial factors fully");
+        assert_eq!(lu.symbolic_factor_count(), 1);
+        assert_eq!(lu.partial_refactor_count(), 0);
+        assert!(lu.solve_factored(&[1.0; 8]).is_ok());
+    }
+
+    #[test]
+    fn orderings_are_permutations_and_factor_correctly() {
+        let a = ladder(16);
+        for order in [
+            ascending_degree_order(a.pattern()),
+            amd_order(a.pattern()),
+            btf_amd_order(a.pattern()),
+        ] {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "not a permutation");
+        }
+        for ordering in [
+            FillOrdering::AscendingDegree,
+            FillOrdering::AmdBtf,
+            FillOrdering::Auto,
+        ] {
+            let mut lu = SparseLu::<f64>::new();
+            lu.set_ordering(ordering);
+            lu.factor(a.pattern(), a.values()).expect("factor");
+            let b: Vec<f64> = (0..16).map(|i| i as f64 - 8.0).collect();
+            let x = lu.solve_factored(&b).expect("solve");
+            let resid = a.mul_vec(&x);
+            for (rr, bb) in resid.iter().zip(&b) {
+                assert!((rr - bb).abs() < 1e-10, "{ordering:?}: {rr} vs {bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_ordering_fill_never_exceeds_static() {
+        // An arrow matrix: the static degree order handles it well, and
+        // Auto must never do worse on any structure.
+        let n = 32;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(0, i, 1.0);
+                t.push(i, 0, 1.0);
+            }
+        }
+        let arrow = t.to_csr();
+        for a in [&arrow, &ladder(n)] {
+            let mut st = SparseLu::<f64>::new();
+            st.set_ordering(FillOrdering::AscendingDegree);
+            st.factor(a.pattern(), a.values()).expect("static");
+            let mut auto = SparseLu::<f64>::new();
+            auto.factor(a.pattern(), a.values()).expect("auto");
+            assert!(
+                auto.factor_nnz() <= st.factor_nnz(),
+                "auto fill {} vs static fill {}",
+                auto.factor_nnz(),
+                st.factor_nnz()
+            );
+        }
+    }
+
+    #[test]
+    fn btf_blocks_of_block_triangular_pattern_localize_amd() {
+        // 2x2 block lower-triangular: {0,1} and {2,3} blocks. BTF must
+        // order each block contiguously.
+        let mut t = TripletMatrix::new(4, 4);
+        t.push(0, 0, 2.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 2.0);
+        t.push(2, 0, 0.5); // cross-block coupling, lower only
+        t.push(2, 2, 2.0);
+        t.push(2, 3, 1.0);
+        t.push(3, 2, 1.0);
+        t.push(3, 3, 2.0);
+        let a = t.to_csr();
+        let order = btf_amd_order(a.pattern());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (k, &c) in order.iter().enumerate() {
+                p[c] = k;
+            }
+            p
+        };
+        let first_block: std::collections::BTreeSet<usize> = [pos[0], pos[1]].into_iter().collect();
+        let second_block: std::collections::BTreeSet<usize> =
+            [pos[2], pos[3]].into_iter().collect();
+        assert!(
+            first_block.iter().max() < second_block.iter().min()
+                || second_block.iter().max() < first_block.iter().min(),
+            "blocks are not contiguous in {order:?}"
+        );
+    }
+
+    #[test]
+    fn assembler_replays_tracked_write_sequence() {
+        let mut asm = PatternAssembler::new(3, 3);
+        asm.set_track_writes(true);
+        let stamp = |asm: &mut PatternAssembler, g: f64| {
+            asm.begin();
+            asm.add(0, 0, g);
+            asm.add(0, 1, -g);
+            asm.add(1, 1, g);
+            asm.add(1, 1, 1e-3); // duplicate slot, summed in order
+            asm.add(2, 2, 1.0);
+        };
+        stamp(&mut asm, 1.0);
+        asm.finish();
+        assert_eq!(asm.write_count(), 5);
+        assert_eq!(asm.write_slots().len(), 5);
+        assert_eq!(asm.replay_hits(), 0, "recording cycle never replays");
+        stamp(&mut asm, 2.0);
+        let m = asm.finish();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 1), 2.0 + 1e-3);
+        assert_eq!(asm.replay_hits(), 5);
+        assert_eq!(asm.replay_misses(), 0);
+        // The same slots are written every cycle, so callers may carve
+        // write_slots() into per-contributor ranges.
+        let slots = asm.write_slots().to_vec();
+        assert_eq!(slots[2], slots[3], "duplicate add maps to one slot");
+    }
+
+    #[test]
+    fn assembler_tracked_cycle_deviating_falls_back_correctly() {
+        let mut asm = PatternAssembler::new(2, 2);
+        asm.set_track_writes(true);
+        asm.begin();
+        asm.add(0, 0, 1.0);
+        asm.add(1, 1, 2.0);
+        asm.finish();
+        // Different order than recorded: misses the sequence, stays
+        // correct through the searched path.
+        asm.begin();
+        asm.add(1, 1, 5.0);
+        asm.add(0, 0, 4.0);
+        let m = asm.finish();
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(1, 1), 5.0);
+        assert!(asm.replay_misses() > 0);
+    }
+
+    #[test]
+    fn complex_partial_refactor_matches_full() {
+        // The AC use case: conductances fixed, only the jω slots churn.
+        let n = 16;
+        let a = ladder(n);
+        let pattern = Arc::clone(a.pattern());
+        let g: Vec<f64> = a.values().to_vec();
+        let dyn_slots: Vec<usize> = (0..n).map(|i| pattern.slot(i, i).unwrap()).collect();
+        let make = |omega: f64| -> Vec<Complex> {
+            let mut v: Vec<Complex> = g.iter().map(|&gr| Complex::from(gr)).collect();
+            for &s in &dyn_slots {
+                v[s] += Complex::new(0.0, 1e-3 * omega);
+            }
+            v
+        };
+        let mut lu = SparseLu::<Complex>::new();
+        let mut full = SparseLu::<Complex>::new();
+        lu.factor(&pattern, &make(1.0)).expect("first factor");
+        full.factor(&pattern, &make(1.0)).expect("first factor");
+        let b = vec![Complex::ONE; n];
+        for omega in [10.0, 100.0, 1000.0] {
+            let vals = make(omega);
+            lu.factor_partial(&pattern, &vals, &dyn_slots)
+                .expect("partial");
+            full.factor(&pattern, &vals).expect("full");
+            let xp = lu.solve_factored(&b).expect("solve");
+            let xf = full.solve_factored(&b).expect("solve");
+            for (p, f) in xp.iter().zip(&xf) {
+                assert_eq!(p.re.to_bits(), f.re.to_bits());
+                assert_eq!(p.im.to_bits(), f.im.to_bits());
+            }
+        }
+        assert_eq!(lu.partial_refactor_count(), 3);
     }
 }

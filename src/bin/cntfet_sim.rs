@@ -23,9 +23,12 @@
 use cntfet::circuit::deck::{Deck, LintCode, LintOptions};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cntfet-sim [--csv] [--check] [--lint] [lint options] <deck.cir>
+const USAGE: &str =
+    "usage: cntfet-sim [--csv] [--stats] [--check] [--lint] [lint options] <deck.cir>
 
   --csv             print analysis reports as CSV instead of aligned tables
+  --stats           print per-card solver statistics (factorizations full vs
+                    partial, columns recomputed, device evals vs bypasses)
   --check           parse, validate, lint and lower the deck but run nothing
   --lint            run the static deck analyzer and print its findings
 
@@ -59,6 +62,7 @@ fn parse_code(flag: &str, text: Option<String>) -> Result<LintCode, ExitCode> {
 
 fn main() -> ExitCode {
     let mut csv = false;
+    let mut stats = false;
     let mut check = false;
     let mut lint = false;
     let mut lint_opts = LintOptions::default();
@@ -74,6 +78,7 @@ fn main() -> ExitCode {
         };
         match flag.as_str() {
             "--csv" => csv = true,
+            "--stats" => stats = true,
             "--check" => check = true,
             "--lint" => lint = true,
             "--deny-warnings" => lint_opts.deny_warnings = true,
@@ -184,6 +189,9 @@ fn main() -> ExitCode {
                         report.to_table()
                     };
                     out.write_all(body.as_bytes())?;
+                    if stats {
+                        writeln!(out, "* stats: {}", report.stats.summary())?;
+                    }
                 }
                 Ok(())
             };
