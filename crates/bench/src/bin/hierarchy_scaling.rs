@@ -1,0 +1,122 @@
+//! Hierarchy scaling: the `.subckt` flattener and the deck front-end
+//! on generated multi-thousand-gate standard-cell netlists.
+//!
+//! The workload is `cntfet-gen`'s ring-array topology — `rows`
+//! parallel chains of `stages` CNFET inverters, expressed two ways
+//! from the same [`Workload`] value:
+//!
+//! * **hierarchical** — a `.subckt row` of `.subckt inv` instances
+//!   plus one `X` card per row (two levels of instantiation), and
+//! * **flat** — the generator's own pre-flattened netlist with
+//!   identical node names, element order and analysis cards.
+//!
+//! Asserted, not hoped for:
+//!
+//! 1. the parser flattens the hierarchical deck into exactly the same
+//!    element count, node count and MNA unknown count as the flat one;
+//! 2. both decks complete the same fixed-step transient and their
+//!    probe CSVs are **byte-identical** — the flattener is invisible
+//!    to the arithmetic at any scale;
+//! 3. at the default size the flattened circuit exceeds 10⁴ MNA
+//!    unknowns, and parse + flatten throughput is reported per deck.
+//!
+//! Pass an optional gate-count argument to resize the array (CI
+//! smoke-runs a small N where the equality assertions still hold but
+//! the 10⁴-unknown floor is reported without being enforced).
+
+use cntfet_circuit::deck::generate::Workload;
+use cntfet_circuit::deck::Deck;
+use std::time::Instant;
+
+const STAGES: usize = 8;
+
+struct Parsed {
+    label: &'static str,
+    deck: Deck,
+    bytes: usize,
+    parse_time: std::time::Duration,
+}
+
+fn parse_labelled(label: &'static str, text: &str) -> Parsed {
+    let start = Instant::now();
+    let deck = Deck::parse(text).unwrap_or_else(|e| panic!("{label} deck: {e}"));
+    Parsed {
+        label,
+        deck,
+        bytes: text.len(),
+        parse_time: start.elapsed(),
+    }
+}
+
+fn main() {
+    let gates = std::env::args()
+        .nth(1)
+        .map(|a| a.parse::<usize>().expect("gate count must be an integer"))
+        .unwrap_or(4000);
+    let rows = gates.div_ceil(STAGES).max(1);
+    let workload = Workload::RingArray {
+        rows,
+        stages: STAGES,
+    };
+    println!(
+        "ring array: {} ({rows} rows x {STAGES} stages)",
+        workload.title()
+    );
+
+    let hier_text = workload.deck(false);
+    let flat_text = workload.deck(true);
+    let hier = parse_labelled("hierarchical", &hier_text);
+    let flat = parse_labelled("flat", &flat_text);
+
+    for p in [&hier, &flat] {
+        let per_elem = p.parse_time.as_secs_f64() / p.deck.elements.len().max(1) as f64;
+        println!(
+            "{:<13} {:>8} bytes, {:>6} elements, parsed in {:>8.2?} ({:.0} ns/element)",
+            p.label,
+            p.bytes,
+            p.deck.elements.len(),
+            p.parse_time,
+            per_elem * 1e9,
+        );
+    }
+    assert_eq!(
+        hier.deck.elements.len(),
+        flat.deck.elements.len(),
+        "flattener must produce the flat deck's element count"
+    );
+    assert_eq!(
+        hier.deck.node_names(),
+        flat.deck.node_names(),
+        "flattener must produce the flat deck's nodes, in order"
+    );
+
+    let sim = hier.deck.simulator().expect("hierarchical deck builds");
+    let unknowns = sim.circuit().unknown_count();
+    let devices = sim.circuit().device_count();
+    println!("flattened circuit: {devices} CNFETs, {unknowns} MNA unknowns");
+    if gates >= 4000 {
+        assert!(
+            unknowns > 10_000,
+            "the ≥4000-gate array must exceed 10k unknowns, got {unknowns}"
+        );
+    }
+
+    let mut csvs = Vec::new();
+    for p in [&hier, &flat] {
+        let start = Instant::now();
+        let run = p.deck.run().unwrap_or_else(|e| panic!("{}: {e}", p.label));
+        let csv: String = run.reports.iter().map(|r| r.to_csv()).collect();
+        println!(
+            "{:<13} transient completed in {:>8.2?} ({} probe rows)",
+            p.label,
+            start.elapsed(),
+            run.reports.iter().map(|r| r.rows.len()).sum::<usize>(),
+        );
+        csvs.push(csv);
+    }
+    assert!(
+        csvs[0] == csvs[1],
+        "hierarchical and flat probe CSVs must be byte-identical"
+    );
+    println!("OK: hierarchical output is byte-identical to the flat deck");
+}

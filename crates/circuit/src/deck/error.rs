@@ -81,6 +81,13 @@ pub struct SourceRef {
     pub span: Span,
     /// Text of the physical line the span points into.
     pub line_text: String,
+    /// Provenance of cards synthesized by subcircuit flattening: the
+    /// instance path, the `.subckt` name and the definition-local
+    /// location the card expanded from, pre-rendered. Diagnostics
+    /// anchored here carry it as a `= note:` line, so a lint finding on
+    /// `x3.x1.m2` points at the offending `X` card *and* at the line
+    /// inside the definition.
+    pub note: Option<String>,
 }
 
 impl PartialEq for SourceRef {
@@ -97,18 +104,31 @@ impl SourceRef {
         SourceRef {
             span,
             line_text: line_text.into(),
+            note: None,
         }
     }
 
-    /// A [`DeckError`] anchored here.
+    /// Attaches a flattening-provenance note (builder style).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// A [`DeckError`] anchored here (carrying this location's
+    /// provenance note, when present).
     pub fn error(&self, message: impl Into<String>) -> DeckError {
-        DeckError::at(self.span, &self.line_text, message)
+        let mut err = DeckError::at(self.span, &self.line_text, message);
+        err.note = self.note.clone();
+        err
     }
 
     /// Wraps a [`CircuitError`] anchored here (with a "did you mean"
-    /// suggestion for the unknown-name variants).
+    /// suggestion for the unknown-name variants and this location's
+    /// provenance note, when present).
     pub fn circuit_error(&self, err: &CircuitError) -> DeckError {
-        DeckError::from_circuit(err, self.span, &self.line_text)
+        let mut deck_err = DeckError::from_circuit(err, self.span, &self.line_text);
+        deck_err.note = self.note.clone();
+        deck_err
     }
 }
 
@@ -128,6 +148,9 @@ pub struct DeckError {
     pub line_text: Option<String>,
     /// An optional "did you mean …" / usage hint.
     pub help: Option<String>,
+    /// An optional context line — where inside a `.subckt` definition a
+    /// flattened card expanded from (rendered before `help`).
+    pub note: Option<String>,
 }
 
 impl DeckError {
@@ -138,6 +161,7 @@ impl DeckError {
             span: Some(span),
             line_text: Some(line_text.into()),
             help: None,
+            note: None,
         }
     }
 
@@ -148,12 +172,19 @@ impl DeckError {
             span: None,
             line_text: None,
             help: None,
+            note: None,
         }
     }
 
     /// Attaches a help line (builder style).
     pub fn with_help(mut self, help: impl Into<String>) -> Self {
         self.help = Some(help.into());
+        self
+    }
+
+    /// Attaches a context note line (builder style).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
         self
     }
 
@@ -177,6 +208,7 @@ impl DeckError {
             span: Some(span),
             line_text: Some(line_text.to_string()),
             help,
+            note: None,
         }
     }
 }
@@ -192,6 +224,9 @@ impl fmt::Display for DeckError {
                 write!(f, "      | {pad}{carets}")?;
             }
             _ => write!(f, "deck: {}", self.message)?,
+        }
+        if let Some(note) = &self.note {
+            write!(f, "\n      = note: {note}")?;
         }
         if let Some(help) = &self.help {
             write!(f, "\n      = help: {help}")?;

@@ -1,0 +1,501 @@
+//! Hierarchical benchmark-deck generation — the engine behind the
+//! `cntfet-gen` binary and the `hierarchy_scaling` bench.
+//!
+//! A [`Workload`] describes a scalable digital topology (inverter ring
+//! arrays, ripple-carry adders, shift registers) built from a small
+//! CNFET standard-cell library (`inv`, `nand2`, `nor2`, `dff`, plus a
+//! NAND-only full adder `fa`). [`Workload::deck`] renders it either
+//! **hierarchically** — the cell `.subckt` blocks plus `X` instance
+//! cards, exercising the parser's flattener — or **pre-flattened** by
+//! the generator itself, reproducing the exact element order, node
+//! names and parameter values the flattener would produce. The two
+//! decks share a title and `.print` cards, so their `cntfet-sim --csv`
+//! outputs compare byte-for-byte: the flat deck is the independent
+//! witness that flattening is correct at scale.
+//!
+//! The canonical cell text is shared with `examples/cells/*.cir`
+//! through [`cell_subckt`]; a repo test pins the two in sync.
+
+use std::fmt::Write as _;
+
+/// One card in a standard-cell body.
+enum CellCard {
+    /// `<name> <drain> <gate> <source> <model>` — a CNFET.
+    Fet(&'static str, [&'static str; 3], &'static str),
+    /// `<name> <plus> <minus> <value>` — a capacitor; the value may
+    /// name a cell parameter.
+    Cap(&'static str, [&'static str; 2], &'static str),
+    /// `<name> <nodes…> <cell>` — a nested cell instance.
+    Inst(&'static str, &'static [&'static str], &'static str),
+}
+
+/// A standard cell: ports, parameter defaults and body cards — enough
+/// to render its `.subckt` block *and* to emit it pre-flattened.
+struct Cell {
+    name: &'static str,
+    ports: &'static [&'static str],
+    defaults: &'static [(&'static str, &'static str)],
+    cards: &'static [CellCard],
+}
+
+/// Static CMOS-style inverter with an explicit output load.
+const INV: Cell = Cell {
+    name: "inv",
+    ports: &["out", "in", "vdd"],
+    defaults: &[("cl", "2f")],
+    cards: &[
+        CellCard::Fet("mp", ["out", "in", "vdd"], "pfet"),
+        CellCard::Fet("mn", ["out", "in", "0"], "nfet"),
+        CellCard::Cap("cl", ["out", "0"], "cl"),
+    ],
+};
+
+/// Two-input NAND: parallel p-network, series n-network. The stack
+/// node `mid` carries an explicit junction parasitic (`cm`): without
+/// it the node is purely algebraic and damped Newton limit-cycles on
+/// hard-switching edges (the same failure mode the fastspice
+/// regression suite pins down), while the C/dt diagonal the parasitic
+/// contributes under implicit integration keeps every step convergent.
+const NAND2: Cell = Cell {
+    name: "nand2",
+    ports: &["out", "a", "b", "vdd"],
+    defaults: &[("cl", "2f")],
+    cards: &[
+        CellCard::Fet("mpa", ["out", "a", "vdd"], "pfet"),
+        CellCard::Fet("mpb", ["out", "b", "vdd"], "pfet"),
+        CellCard::Fet("mna", ["out", "a", "mid"], "nfet"),
+        CellCard::Fet("mnb", ["mid", "b", "0"], "nfet"),
+        CellCard::Cap("cl", ["out", "0"], "cl"),
+        CellCard::Cap("cm", ["mid", "0"], "0.2f"),
+    ],
+};
+
+/// Two-input NOR: series p-network, parallel n-network. `top` is the
+/// p-stack node; see [`NAND2`] for why it carries a parasitic.
+const NOR2: Cell = Cell {
+    name: "nor2",
+    ports: &["out", "a", "b", "vdd"],
+    defaults: &[("cl", "2f")],
+    cards: &[
+        CellCard::Fet("mpa", ["top", "a", "vdd"], "pfet"),
+        CellCard::Fet("mpb", ["out", "b", "top"], "pfet"),
+        CellCard::Fet("mna", ["out", "a", "0"], "nfet"),
+        CellCard::Fet("mnb", ["out", "b", "0"], "nfet"),
+        CellCard::Cap("cl", ["out", "0"], "cl"),
+        CellCard::Cap("cm", ["top", "0"], "0.2f"),
+    ],
+};
+
+/// Master–slave D flip-flop: two gated NAND latches plus a clock
+/// inverter (9 gates).
+const DFF: Cell = Cell {
+    name: "dff",
+    ports: &["d", "clk", "q", "vdd"],
+    defaults: &[],
+    cards: &[
+        CellCard::Inst("xc", &["cb", "clk", "vdd"], "inv"),
+        CellCard::Inst("xm1", &["ms", "d", "cb", "vdd"], "nand2"),
+        CellCard::Inst("xm2", &["mr", "ms", "cb", "vdd"], "nand2"),
+        CellCard::Inst("xm3", &["mq", "ms", "mqb", "vdd"], "nand2"),
+        CellCard::Inst("xm4", &["mqb", "mr", "mq", "vdd"], "nand2"),
+        CellCard::Inst("xs1", &["ss", "mq", "clk", "vdd"], "nand2"),
+        CellCard::Inst("xs2", &["sr", "ss", "clk", "vdd"], "nand2"),
+        CellCard::Inst("xs3", &["q", "ss", "qb", "vdd"], "nand2"),
+        CellCard::Inst("xs4", &["qb", "sr", "q", "vdd"], "nand2"),
+    ],
+};
+
+/// NAND-only full adder (9 NAND2 gates: XOR/XOR for the sum, the
+/// shared `n1`/`n5` intermediates for the carry).
+const FA: Cell = Cell {
+    name: "fa",
+    ports: &["sum", "cout", "a", "b", "cin", "vdd"],
+    defaults: &[],
+    cards: &[
+        CellCard::Inst("x1", &["n1", "a", "b", "vdd"], "nand2"),
+        CellCard::Inst("x2", &["n2", "a", "n1", "vdd"], "nand2"),
+        CellCard::Inst("x3", &["n3", "b", "n1", "vdd"], "nand2"),
+        CellCard::Inst("x4", &["n4", "n2", "n3", "vdd"], "nand2"),
+        CellCard::Inst("x5", &["n5", "n4", "cin", "vdd"], "nand2"),
+        CellCard::Inst("x6", &["n6", "n4", "n5", "vdd"], "nand2"),
+        CellCard::Inst("x7", &["n7", "cin", "n5", "vdd"], "nand2"),
+        CellCard::Inst("x8", &["sum", "n6", "n7", "vdd"], "nand2"),
+        CellCard::Inst("x9", &["cout", "n1", "n5", "vdd"], "nand2"),
+    ],
+};
+
+const CELLS: [&Cell; 5] = [&INV, &NAND2, &NOR2, &DFF, &FA];
+
+fn cell_by_name(name: &str) -> &'static Cell {
+    CELLS
+        .iter()
+        .find(|c| c.name == name)
+        .expect("cell instances reference known cells")
+}
+
+impl Cell {
+    /// The canonical `.subckt` block text of this cell.
+    fn subckt_text(&self) -> String {
+        let mut s = format!(".subckt {} {}", self.name, self.ports.join(" "));
+        for (k, v) in self.defaults {
+            let _ = write!(s, " {k}={v}");
+        }
+        s.push('\n');
+        for card in self.cards {
+            match card {
+                CellCard::Fet(name, [d, g, src], model) => {
+                    let _ = writeln!(s, "{name} {d} {g} {src} {model}");
+                }
+                CellCard::Cap(name, [p, m], value) => {
+                    let _ = writeln!(s, "{name} {p} {m} {value}");
+                }
+                CellCard::Inst(name, nodes, child) => {
+                    let _ = writeln!(s, "{name} {} {child}", nodes.join(" "));
+                }
+            }
+        }
+        let _ = writeln!(s, ".ends {}", self.name);
+        s
+    }
+}
+
+/// The canonical `.subckt` block of a library cell (`inv`, `nand2`,
+/// `nor2`, `dff`, `fa`) — the exact text [`Workload::deck`] embeds.
+/// The standard-cell example decks under `examples/cells/` carry the
+/// same blocks; a repo test keeps them in sync.
+pub fn cell_subckt(name: &str) -> Option<String> {
+    CELLS
+        .iter()
+        .find(|c| c.name == name)
+        .map(|c| c.subckt_text())
+}
+
+/// Emits `cell` pre-flattened at `path`, reproducing exactly what the
+/// deck parser's flattener produces for the equivalent `X` card: same
+/// card order (body order, depth-first), same dotted node names, same
+/// parameter values. Element names become `<name>_<path with dots as
+/// underscores>` — they keep their type letter, and element names
+/// never appear in analysis output, so this is the only naming
+/// difference between the two emissions.
+fn emit_flat(
+    out: &mut String,
+    cell: &Cell,
+    path: &str,
+    nodes: &[String],
+    overrides: &[(String, String)],
+) {
+    let env: Vec<(&str, String)> = cell
+        .defaults
+        .iter()
+        .map(|(k, v)| match overrides.iter().find(|(ok, _)| ok == k) {
+            Some((_, ov)) => (*k, ov.clone()),
+            None => (*k, (*v).to_string()),
+        })
+        .collect();
+    let flat = path.replace('.', "_");
+    let map = |w: &str| -> String {
+        if w == "0" {
+            return w.to_string();
+        }
+        match cell.ports.iter().position(|p| *p == w) {
+            Some(i) => nodes[i].clone(),
+            None => format!("{path}.{w}"),
+        }
+    };
+    for card in cell.cards {
+        match card {
+            CellCard::Fet(name, [d, g, src], model) => {
+                let _ = writeln!(
+                    out,
+                    "{name}_{flat} {} {} {} {model}",
+                    map(d),
+                    map(g),
+                    map(src)
+                );
+            }
+            CellCard::Cap(name, [p, m], value) => {
+                let v = env
+                    .iter()
+                    .find(|(k, _)| k == value)
+                    .map_or_else(|| (*value).to_string(), |(_, v)| v.clone());
+                let _ = writeln!(out, "{name}_{flat} {} {} {v}", map(p), map(m));
+            }
+            CellCard::Inst(name, bound, child) => {
+                let child_nodes: Vec<String> = bound.iter().map(|w| map(w)).collect();
+                emit_flat(
+                    out,
+                    cell_by_name(child),
+                    &format!("{path}.{name}"),
+                    &child_nodes,
+                    &[],
+                );
+            }
+        }
+    }
+}
+
+/// A generated benchmark topology. Sizes below 1 are clamped to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// `rows` parallel chains of `stages` inverters, every chain driven
+    /// by one shared pulse input (each row is a `.subckt row` of `inv`
+    /// instances — two levels of hierarchy).
+    RingArray {
+        /// Number of parallel inverter chains.
+        rows: usize,
+        /// Inverters per chain.
+        stages: usize,
+    },
+    /// An N-bit ripple-carry adder of NAND-only full adders (9 NAND2
+    /// gates per bit), with `b = 1…1` and a pulse on `a0` so every
+    /// carry ripples through the whole chain.
+    Adder {
+        /// Adder width in bits.
+        bits: usize,
+    },
+    /// An N-stage master–slave D-flip-flop shift register (9 gates per
+    /// stage) clocked by a pulse, shifting a slower data pulse.
+    ShiftRegister {
+        /// Number of flip-flop stages.
+        bits: usize,
+    },
+}
+
+impl Workload {
+    /// Number of logic gates (inverters and NAND2s) in the deck.
+    pub fn gate_count(&self) -> usize {
+        match *self {
+            Workload::RingArray { rows, stages } => rows.max(1) * stages.max(1),
+            Workload::Adder { bits } => bits.max(1) * 9,
+            Workload::ShiftRegister { bits } => bits.max(1) * 9,
+        }
+    }
+
+    /// The deck title — identical between hierarchical and flat
+    /// emission, so `cntfet-sim --csv` outputs compare byte-for-byte.
+    pub fn title(&self) -> String {
+        let gates = self.gate_count();
+        match *self {
+            Workload::RingArray { rows, stages } => {
+                format!(
+                    "ring-array {}x{} ({gates} gates)",
+                    rows.max(1),
+                    stages.max(1)
+                )
+            }
+            Workload::Adder { bits } => {
+                format!("adder {}-bit ripple ({gates} gates)", bits.max(1))
+            }
+            Workload::ShiftRegister { bits } => {
+                format!("shift-register {}-bit ({gates} gates)", bits.max(1))
+            }
+        }
+    }
+
+    /// Renders the deck text: hierarchical (`.subckt` definitions plus
+    /// `X` instance cards) by default, or pre-flattened by the
+    /// generator itself when `flat` — see `emit_flat` for the
+    /// equivalence contract.
+    pub fn deck(&self, flat: bool) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.title());
+        s.push_str(".model nfet cnfet polarity=n\n");
+        s.push_str(".model pfet cnfet polarity=p\n");
+        match *self {
+            Workload::RingArray { rows, stages } => {
+                let (rows, stages) = (rows.max(1), stages.max(1));
+                if !flat {
+                    s.push_str(&INV.subckt_text());
+                    // The row: `stages` inverters in series, with a
+                    // heavier load (cl override) on the last one.
+                    let _ = writeln!(s, ".subckt row out in vdd");
+                    for k in 1..=stages {
+                        let src = if k == 1 {
+                            "in".to_string()
+                        } else {
+                            format!("n{}", k - 1)
+                        };
+                        let dst = if k == stages {
+                            "out".to_string()
+                        } else {
+                            format!("n{k}")
+                        };
+                        let tail = if k == stages { " cl=4f" } else { "" };
+                        let _ = writeln!(s, "x{k} {dst} {src} vdd inv{tail}");
+                    }
+                    s.push_str(".ends row\n");
+                }
+                s.push_str("V1 vdd 0 DC 0.9\n");
+                s.push_str("VIN in 0 PULSE(0 0.9 0 40p 40p 400p 1n)\n");
+                for r in 0..rows {
+                    if flat {
+                        for k in 1..=stages {
+                            let src = if k == 1 {
+                                "in".to_string()
+                            } else {
+                                format!("xr{r}.n{}", k - 1)
+                            };
+                            let dst = if k == stages {
+                                format!("o{r}")
+                            } else {
+                                format!("xr{r}.n{k}")
+                            };
+                            let ov: Vec<(String, String)> = if k == stages {
+                                vec![("cl".to_string(), "4f".to_string())]
+                            } else {
+                                Vec::new()
+                            };
+                            emit_flat(
+                                &mut s,
+                                &INV,
+                                &format!("xr{r}.x{k}"),
+                                &[dst, src, "vdd".to_string()],
+                                &ov,
+                            );
+                        }
+                    } else {
+                        let _ = writeln!(s, "xr{r} o{r} in vdd row");
+                    }
+                }
+                let _ = writeln!(s, ".tran 10p 400p");
+                if rows == 1 {
+                    let _ = writeln!(s, ".print tran v(o0)");
+                } else {
+                    let _ = writeln!(s, ".print tran v(o0) v(o{})", rows - 1);
+                }
+            }
+            Workload::Adder { bits } => {
+                let bits = bits.max(1);
+                if !flat {
+                    s.push_str(&NAND2.subckt_text());
+                    s.push_str(&FA.subckt_text());
+                }
+                s.push_str("V1 vdd 0 DC 0.9\n");
+                s.push_str("VA0 a0 0 PULSE(0 0.9 0 40p 40p 400p 1n)\n");
+                for i in 1..bits {
+                    let _ = writeln!(s, "VA{i} a{i} 0 DC 0");
+                }
+                for i in 0..bits {
+                    let _ = writeln!(s, "VB{i} b{i} 0 DC 0.9");
+                }
+                for i in 0..bits {
+                    let cin = if i == 0 {
+                        "0".to_string()
+                    } else {
+                        format!("c{i}")
+                    };
+                    if flat {
+                        let nodes = [
+                            format!("sum{i}"),
+                            format!("c{}", i + 1),
+                            format!("a{i}"),
+                            format!("b{i}"),
+                            cin,
+                            "vdd".to_string(),
+                        ];
+                        emit_flat(&mut s, &FA, &format!("xfa{i}"), &nodes, &[]);
+                    } else {
+                        let _ = writeln!(s, "xfa{i} sum{i} c{} a{i} b{i} {cin} vdd fa", i + 1);
+                    }
+                }
+                let _ = writeln!(s, ".tran 10p 400p");
+                if bits == 1 {
+                    let _ = writeln!(s, ".print tran v(sum0) v(c1)");
+                } else {
+                    let _ = writeln!(s, ".print tran v(sum0) v(sum{}) v(c{bits})", bits - 1);
+                }
+            }
+            Workload::ShiftRegister { bits } => {
+                let bits = bits.max(1);
+                if !flat {
+                    s.push_str(&INV.subckt_text());
+                    s.push_str(&NAND2.subckt_text());
+                    s.push_str(&DFF.subckt_text());
+                }
+                s.push_str("V1 vdd 0 DC 0.9\n");
+                s.push_str("VCLK clk 0 PULSE(0 0.9 100p 40p 40p 160p 400p)\n");
+                s.push_str("VD q0 0 PULSE(0 0.9 0 40p 40p 600p 1200p)\n");
+                for i in 1..=bits {
+                    let d = format!("q{}", i - 1);
+                    if flat {
+                        let nodes = [d, "clk".to_string(), format!("q{i}"), "vdd".to_string()];
+                        emit_flat(&mut s, &DFF, &format!("xd{i}"), &nodes, &[]);
+                    } else {
+                        let _ = writeln!(s, "xd{i} {d} clk q{i} vdd dff");
+                    }
+                }
+                let _ = writeln!(s, ".tran 20p 800p");
+                if bits == 1 {
+                    let _ = writeln!(s, ".print tran v(q1)");
+                } else {
+                    let _ = writeln!(s, ".print tran v(q1) v(q{bits})");
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deck::Deck;
+
+    #[test]
+    fn hier_and_flat_parse_to_identical_circuits() {
+        for w in [
+            Workload::RingArray { rows: 3, stages: 4 },
+            Workload::Adder { bits: 2 },
+            Workload::ShiftRegister { bits: 1 },
+        ] {
+            let hier = Deck::parse(&w.deck(false)).expect("hier deck parses");
+            let flat = Deck::parse(&w.deck(true)).expect("flat deck parses");
+            // Same node layout (names and first-appearance order) …
+            assert_eq!(hier.node_names(), flat.node_names(), "{w:?}");
+            // … and element-for-element identical values: only the
+            // names differ (dots vs underscores).
+            assert_eq!(hier.elements.len(), flat.elements.len(), "{w:?}");
+            for (h, f) in hier.elements.iter().zip(&flat.elements) {
+                match h.name().rsplit_once('.') {
+                    // A flattened cell card: `path.elem` ↔ `elem_path`.
+                    Some((path, elem)) => {
+                        assert_eq!(format!("{elem}_{}", path.replace('.', "_")), f.name());
+                    }
+                    // A top-level card (supply, stimulus): same name.
+                    None => assert_eq!(h.name(), f.name()),
+                }
+                assert_eq!(h.nodes(), f.nodes());
+            }
+        }
+    }
+
+    #[test]
+    fn gate_counts_scale() {
+        assert_eq!(
+            Workload::RingArray {
+                rows: 200,
+                stages: 5
+            }
+            .gate_count(),
+            1000
+        );
+        assert_eq!(Workload::Adder { bits: 4 }.gate_count(), 36);
+        assert_eq!(Workload::ShiftRegister { bits: 8 }.gate_count(), 72);
+    }
+
+    #[test]
+    fn generated_decks_lint_clean() {
+        use crate::deck::LintOptions;
+        for w in [
+            Workload::RingArray { rows: 2, stages: 3 },
+            Workload::Adder { bits: 2 },
+            Workload::ShiftRegister { bits: 1 },
+        ] {
+            for flat in [false, true] {
+                let deck = Deck::parse(&w.deck(flat)).expect("deck parses");
+                let report = deck.lint(&LintOptions::default());
+                assert!(report.is_clean(), "{w:?} flat={flat}:\n{report}");
+            }
+        }
+    }
+}

@@ -18,8 +18,8 @@
 //!    of element values, and the unmatched unknowns are reported by
 //!    name. This is the same guard [`crate::sim::Simulator`] applies at
 //!    solve time — linting merely moves the verdict before the solver.
-//! 3. **Hygiene** — unused `.param`/`.model` definitions, parameters
-//!    shadowed up to case, `.print` cards scoped to analyses the deck
+//! 3. **Hygiene** — unused `.param`/`.model`/`.subckt` definitions,
+//!    parameters shadowed up to case, `.print` cards scoped to analyses the deck
 //!    never runs, `.ic` without any `.tran`, and magnitudes that smell
 //!    like a wrong SPICE suffix (a femto-ohm resistor).
 //!
@@ -84,12 +84,15 @@ pub enum LintCode {
     /// range (a femto-ohm resistor, a farad-scale capacitor), which
     /// usually means a wrong SPICE suffix.
     SuspiciousMagnitude,
+    /// `W307` — a `.subckt` definition is never instantiated by any
+    /// `X` card (directly or through another subcircuit).
+    UnusedSubckt,
 }
 
 impl LintCode {
     /// Every code, in code order — the source of truth for
     /// `--allow`/`--deny` validation and the docs test.
-    pub const ALL: [LintCode; 11] = [
+    pub const ALL: [LintCode; 12] = [
         LintCode::NoDcPath,
         LintCode::VoltageLoop,
         LintCode::StructuralSingularity,
@@ -101,6 +104,7 @@ impl LintCode {
         LintCode::OrphanProbe,
         LintCode::IcWithoutTran,
         LintCode::SuspiciousMagnitude,
+        LintCode::UnusedSubckt,
     ];
 
     /// The stable `E###`/`W###` text of this code.
@@ -117,6 +121,7 @@ impl LintCode {
             LintCode::OrphanProbe => "W304",
             LintCode::IcWithoutTran => "W305",
             LintCode::SuspiciousMagnitude => "W306",
+            LintCode::UnusedSubckt => "W307",
         }
     }
 
@@ -634,6 +639,17 @@ fn hygiene(deck: &Deck, raw: &mut Vec<(LintCode, DeckError)>) {
                 m.origin
                     .error(format!("model '{}' is never instantiated", m.name))
                     .with_help("no M card references it; add an instance or delete the card"),
+            ));
+        }
+    }
+    // W307: `.subckt` never instantiated (directly or transitively).
+    for def in &deck.subckts {
+        if !deck.subckt_uses.contains(&def.name) {
+            raw.push((
+                LintCode::UnusedSubckt,
+                def.origin
+                    .error(format!("subcircuit '{}' is never instantiated", def.name))
+                    .with_help("no X card references it; add an instance or delete the block"),
             ));
         }
     }

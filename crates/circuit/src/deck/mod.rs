@@ -67,6 +67,7 @@
 mod build;
 mod error;
 mod expr;
+pub mod generate;
 mod lex;
 mod lint;
 mod parse;
@@ -106,12 +107,23 @@ pub struct Deck {
     pub prints: Vec<PrintCard>,
     /// `.ic` transient initial-condition overrides.
     pub ics: Vec<IcCard>,
+    /// `.subckt … .ends` definitions, in source order.
+    pub subckts: Vec<SubcktDef>,
+    /// Top-level `X` instance cards, in source order. Each records the
+    /// contiguous range of [`Deck::elements`] its (recursive)
+    /// flattening produced, so the serialiser can re-emit the `X` card
+    /// in place of those synthesized elements.
+    pub instances: Vec<InstanceCard>,
     /// Which `.param` names the deck's cards actually referenced (bare
     /// or inside `{…}` / `.param` expressions) — raw material for the
     /// unused-parameter lint. Diagnostic metadata: like [`Span`], it
     /// never participates in deck equality (serialising inlines every
     /// parameter value, so a round-tripped deck has no uses left).
     pub param_uses: ParamUses,
+    /// Which `.subckt` names the deck instantiated (directly or through
+    /// nested instances) — raw material for the unused-subcircuit lint.
+    /// Diagnostic metadata, like [`Deck::param_uses`].
+    pub subckt_uses: ParamUses,
 }
 
 /// The set of `.param` names a parse resolved — see
@@ -489,6 +501,90 @@ pub struct PrintCard {
     pub origin: SourceRef,
 }
 
+/// `.subckt <name> <ports…> [param=default …]` … `.ends [name]` — a
+/// subcircuit definition. The body is kept as raw card lines and
+/// re-parsed at every instantiation with that instance's parameter
+/// environment (globals, then declared defaults, shadowed by the `X`
+/// card's overrides), so defaults and body values may be `{…}`
+/// expressions over any of those parameters.
+///
+/// Instantiation *flattens*: body elements land in [`Deck::elements`]
+/// under dotted instance paths (`x1.mn`, internal nodes `x1.mid`,
+/// nested `x3.x1.m2`), with diagnostics anchored at the offending `X`
+/// card and the definition-local location carried as a note.
+#[derive(Debug, Clone)]
+pub struct SubcktDef {
+    /// Subcircuit name, referenced by `X` cards.
+    pub name: String,
+    /// Port (interface node) names, in declaration order.
+    pub ports: Vec<String>,
+    /// Declared parameter names with the token index of each default
+    /// value on the header line (defaults evaluate lazily, per
+    /// instantiation).
+    pub(crate) defaults: Vec<(String, usize)>,
+    /// The `.subckt` header line (re-parsed per instantiation for
+    /// default values).
+    pub(crate) header: lex::LogicalLine,
+    /// Body card lines, re-parsed per instantiation.
+    pub(crate) body: Vec<lex::LogicalLine>,
+    /// Location of the `.subckt` card.
+    pub origin: SourceRef,
+}
+
+impl SubcktDef {
+    /// The declared parameter names, in declaration order.
+    pub fn param_names(&self) -> impl Iterator<Item = &str> {
+        self.defaults.iter().map(|(name, _)| name.as_str())
+    }
+}
+
+// Definitions compare by token content, not by source position: like
+// [`Span`], line numbers are diagnostic metadata, so a serialised deck
+// (whose `.subckt` blocks land on different lines) reparses equal.
+impl PartialEq for SubcktDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.ports == other.ports
+            && self
+                .defaults
+                .iter()
+                .map(|(n, _)| n)
+                .eq(other.defaults.iter().map(|(n, _)| n))
+            && self.header.tokens == other.header.tokens
+            && self.body.len() == other.body.len()
+            && self
+                .body
+                .iter()
+                .zip(&other.body)
+                .all(|(a, b)| a.tokens == b.tokens)
+    }
+}
+
+/// `X<name> <nodes…> <subckt> [param=val …]` — a subcircuit instance.
+/// The node list binds the definition's ports in order; `param=val`
+/// overrides shadow the definition's defaults (values may be `{…}`
+/// expressions over the enclosing scope's parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceCard {
+    /// Instance name (`X…`, kept as written) — the first component of
+    /// every flattened element/node path under this instance.
+    pub name: String,
+    /// Actual nodes bound to the definition's ports, in port order.
+    pub nodes: Vec<String>,
+    /// Name of the instantiated `.subckt`.
+    pub subckt: String,
+    /// Evaluated `param=val` overrides, in card order.
+    pub overrides: Vec<(String, f64)>,
+    /// First index into [`Deck::elements`] of the cards this instance
+    /// flattened to.
+    pub elements_start: usize,
+    /// How many flattened cards this instance produced (including
+    /// nested instances).
+    pub elements_len: usize,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
 impl Deck {
     /// Parses deck text (see the [module docs](self) for the dialect).
     ///
@@ -653,50 +749,43 @@ impl fmt::Display for Deck {
                 num(m.default_length_m)
             )?;
         }
-        for card in &self.elements {
-            match card {
-                ElementCard::Resistor(c) => {
-                    writeln!(f, "{} {} {} {}", c.name, c.plus, c.minus, num(c.ohms))?;
-                }
-                ElementCard::Capacitor(c) => {
-                    writeln!(f, "{} {} {} {}", c.name, c.plus, c.minus, num(c.farads))?;
-                }
-                ElementCard::Voltage(c) => {
-                    let ac = if c.ac_stimulus { " AC 1" } else { "" };
-                    writeln!(
-                        f,
-                        "{} {} {} {}{}",
-                        c.name,
-                        c.plus,
-                        c.minus,
-                        waveform_text(&c.waveform),
-                        ac
-                    )?;
-                }
-                ElementCard::Current(c) => {
-                    let ac = if c.ac_stimulus { " AC 1" } else { "" };
-                    writeln!(
-                        f,
-                        "{} {} {} DC {}{}",
-                        c.name,
-                        c.plus,
-                        c.minus,
-                        num(c.amps),
-                        ac
-                    )?;
-                }
-                ElementCard::Cnfet(c) => {
-                    write!(
-                        f,
-                        "{} {} {} {} {}",
-                        c.name, c.drain, c.gate, c.source, c.model
-                    )?;
-                    if let Some(len) = c.length {
-                        write!(f, " L={}", num(len))?;
-                    }
-                    writeln!(f)?;
+        for def in &self.subckts {
+            // Header and body lines are kept verbatim (comment-stripped,
+            // continuations on their own `+` lines), so definitions —
+            // including `{…}` expressions over still-named parameters —
+            // survive the round trip token-for-token.
+            for (_, text) in &def.header.texts {
+                writeln!(f, "{text}")?;
+            }
+            for line in &def.body {
+                for (_, text) in &line.texts {
+                    writeln!(f, "{text}")?;
                 }
             }
+            writeln!(f, ".ends {}", def.name)?;
+        }
+        // Directly-written elements interleave with `X` instance cards:
+        // each instance stands in for the contiguous run of flattened
+        // elements it produced.
+        let mut instances = self.instances.iter().peekable();
+        let mut i = 0;
+        while i < self.elements.len() || instances.peek().is_some() {
+            if let Some(x) = instances.peek() {
+                if x.elements_start <= i {
+                    write!(f, "{} {} {}", x.name, x.nodes.join(" "), x.subckt)?;
+                    for (k, v) in &x.overrides {
+                        write!(f, " {k}={}", num(*v))?;
+                    }
+                    writeln!(f)?;
+                    i = x.elements_start + x.elements_len;
+                    instances.next();
+                    continue;
+                }
+            }
+            if let Some(card) = self.elements.get(i) {
+                write_element(f, card)?;
+            }
+            i += 1;
         }
         for a in &self.analyses {
             writeln!(f, "{a}")?;
@@ -720,4 +809,52 @@ impl fmt::Display for Deck {
         }
         write!(f, ".end")
     }
+}
+
+/// Writes one element card in canonical form.
+fn write_element(f: &mut fmt::Formatter<'_>, card: &ElementCard) -> fmt::Result {
+    match card {
+        ElementCard::Resistor(c) => {
+            writeln!(f, "{} {} {} {}", c.name, c.plus, c.minus, num(c.ohms))?;
+        }
+        ElementCard::Capacitor(c) => {
+            writeln!(f, "{} {} {} {}", c.name, c.plus, c.minus, num(c.farads))?;
+        }
+        ElementCard::Voltage(c) => {
+            let ac = if c.ac_stimulus { " AC 1" } else { "" };
+            writeln!(
+                f,
+                "{} {} {} {}{}",
+                c.name,
+                c.plus,
+                c.minus,
+                waveform_text(&c.waveform),
+                ac
+            )?;
+        }
+        ElementCard::Current(c) => {
+            let ac = if c.ac_stimulus { " AC 1" } else { "" };
+            writeln!(
+                f,
+                "{} {} {} DC {}{}",
+                c.name,
+                c.plus,
+                c.minus,
+                num(c.amps),
+                ac
+            )?;
+        }
+        ElementCard::Cnfet(c) => {
+            write!(
+                f,
+                "{} {} {} {} {}",
+                c.name, c.drain, c.gate, c.source, c.model
+            )?;
+            if let Some(len) = c.length {
+                write!(f, " L={}", num(len))?;
+            }
+            writeln!(f)?;
+        }
+    }
+    Ok(())
 }

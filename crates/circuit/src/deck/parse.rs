@@ -10,13 +10,13 @@
 //! cards. Everything that can fail without a solver fails *here*, with
 //! a span.
 
-use super::error::{suggest, DeckError, SourceRef};
+use super::error::{suggest, DeckError, SourceRef, Span};
 use super::expr;
 use super::lex::{lex, LogicalLine, Token, TokenKind};
 use super::{
     AcCard, AcScale, AnalysisCard, AnalysisKind, CapacitorCard, CnfetCard, CurrentCard, DcCard,
-    Deck, ElementCard, ModelCard, OpCard, ParamCard, PrintCard, ProbeRef, ResistorCard, TranCard,
-    VoltageCard,
+    Deck, ElementCard, InstanceCard, ModelCard, OpCard, ParamCard, PrintCard, ProbeRef,
+    ResistorCard, SubcktDef, TranCard, VoltageCard,
 };
 use crate::cnfet::Polarity;
 use crate::element::Waveform;
@@ -27,13 +27,19 @@ use std::collections::{BTreeSet, HashMap};
 /// Parses deck text. See [`Deck::parse`].
 pub fn parse(text: &str) -> Result<Deck, DeckError> {
     let raw = lex(text)?;
+    // First pass: split `.subckt … .ends` blocks out of the line
+    // stream, so `X` cards may reference definitions written later.
+    let (top_lines, subckts) = collect_subckts(raw.lines)?;
     let mut deck = Deck {
         title: raw.title,
+        subckts,
         ..Deck::default()
     };
     let mut params: HashMap<String, f64> = HashMap::new();
     let used = RefCell::new(BTreeSet::new());
-    for line in &raw.lines {
+    let subckt_used = RefCell::new(BTreeSet::new());
+    let mut instance_names: HashMap<String, u32> = HashMap::new();
+    for line in &top_lines {
         if line.tokens.is_empty() {
             continue;
         }
@@ -74,9 +80,13 @@ pub fn parse(text: &str) -> Result<Deck, DeckError> {
                     .push(AnalysisCard::Ac(parse_ac(&mut cur, origin)?)),
                 "print" => deck.prints.push(parse_print(&mut cur, origin)?),
                 "ic" => deck.ics.push(parse_ic(&mut cur, origin)?),
+                "ends" => {
+                    return Err(origin.error("found .ends without a matching .subckt"));
+                }
                 other => {
                     let known = [
-                        ".model", ".param", ".op", ".dc", ".tran", ".ac", ".print", ".ic", ".end",
+                        ".model", ".param", ".subckt", ".ends", ".op", ".dc", ".tran", ".ac",
+                        ".print", ".ic", ".end",
                     ];
                     let mut err = origin.error(format!(
                         "unknown directive '.{other}'; this dialect has {}",
@@ -90,33 +100,606 @@ pub fn parse(text: &str) -> Result<Deck, DeckError> {
             }
             continue;
         }
-        match head.chars().next().map(|c| c.to_ascii_uppercase()) {
-            Some('R') => deck.elements.push(ElementCard::Resistor(parse_resistor(
-                &mut cur, head, origin,
-            )?)),
-            Some('C') => deck.elements.push(ElementCard::Capacitor(parse_capacitor(
-                &mut cur, head, origin,
-            )?)),
-            Some('V') => deck
-                .elements
-                .push(ElementCard::Voltage(parse_voltage(&mut cur, head, origin)?)),
-            Some('I') => deck
-                .elements
-                .push(ElementCard::Current(parse_current(&mut cur, head, origin)?)),
-            Some('M') => deck
-                .elements
-                .push(ElementCard::Cnfet(parse_cnfet(&mut cur, head, origin)?)),
-            _ => {
+        if head.starts_with(['x', 'X']) {
+            let x = parse_x(&mut cur, head, origin.clone())?;
+            if let Some(first) = instance_names.get(&x.name) {
                 return Err(origin.error(format!(
-                    "unknown card '{head}': element cards start with R, C, V, I or M \
-                     (directives with '.')"
+                    "duplicate instance name '{}' (first defined on line {first})",
+                    x.name
                 )));
             }
+            instance_names.insert(x.name.clone(), origin.span.line);
+            let subckt_site = cur.source_ref(x.subckt_span);
+            let bound: Vec<String> = x.nodes.iter().map(|(w, _)| w.clone()).collect();
+            let start = deck.elements.len();
+            let mut expansion = Expansion {
+                defs: &deck.subckts,
+                globals: &params,
+                used: &used,
+                subckt_used: &subckt_used,
+                anchor: &origin,
+                elements: &mut deck.elements,
+                stack: Vec::new(),
+            };
+            expansion.instantiate(
+                &x.name,
+                &bound,
+                &x.overrides,
+                &x.subckt,
+                &origin,
+                &subckt_site,
+            )?;
+            deck.instances.push(InstanceCard {
+                name: x.name,
+                nodes: x.nodes.into_iter().map(|(w, _)| w).collect(),
+                subckt: x.subckt,
+                overrides: x.overrides,
+                elements_start: start,
+                elements_len: deck.elements.len() - start,
+                origin,
+            });
+            continue;
         }
+        deck.elements.push(parse_element(&mut cur, head, origin)?);
     }
     deck.param_uses = super::ParamUses(used.into_inner());
+    deck.subckt_uses = super::ParamUses(subckt_used.into_inner());
     validate(&mut deck)?;
     Ok(deck)
+}
+
+/// Parses one element card dispatched on its leading type letter.
+fn parse_element(
+    cur: &mut Cursor<'_>,
+    head: String,
+    origin: SourceRef,
+) -> Result<ElementCard, DeckError> {
+    match head.chars().next().map(|c| c.to_ascii_uppercase()) {
+        Some('R') => Ok(ElementCard::Resistor(parse_resistor(cur, head, origin)?)),
+        Some('C') => Ok(ElementCard::Capacitor(parse_capacitor(cur, head, origin)?)),
+        Some('V') => Ok(ElementCard::Voltage(parse_voltage(cur, head, origin)?)),
+        Some('I') => Ok(ElementCard::Current(parse_current(cur, head, origin)?)),
+        Some('M') => Ok(ElementCard::Cnfet(parse_cnfet(cur, head, origin)?)),
+        _ => Err(origin.error(format!(
+            "unknown card '{head}': element cards start with R, C, V, I or M, \
+             subcircuit instances with X (directives with '.')"
+        ))),
+    }
+}
+
+/// Splits `.subckt … .ends` blocks out of the lexed line stream,
+/// structurally parsing each header (name, ports, parameter defaults)
+/// and eagerly validating body card heads — even for definitions no
+/// `X` card ends up using. Default values are *not* evaluated here;
+/// their token index into the header line is recorded so each
+/// instantiation can evaluate them against its own parameter
+/// environment.
+fn collect_subckts(
+    lines: Vec<LogicalLine>,
+) -> Result<(Vec<LogicalLine>, Vec<SubcktDef>), DeckError> {
+    let no_params: HashMap<String, f64> = HashMap::new();
+    let scratch = RefCell::new(BTreeSet::new());
+    let mut top: Vec<LogicalLine> = Vec::new();
+    let mut defs: Vec<SubcktDef> = Vec::new();
+    let mut open: Option<SubcktDef> = None;
+    for line in lines {
+        if line.tokens.is_empty() {
+            if open.is_none() {
+                top.push(line);
+            }
+            continue;
+        }
+        let head_lc = line.tokens[0].word().map(str::to_ascii_lowercase);
+        match head_lc.as_deref() {
+            Some(".subckt") => {
+                let parsed = {
+                    let mut cur = Cursor {
+                        line: &line,
+                        i: 0,
+                        params: &no_params,
+                        used: &scratch,
+                    };
+                    let (_, head_span) = cur.next_word("a card")?;
+                    let origin = SourceRef::new(head_span, line.text());
+                    if let Some(outer) = &open {
+                        return Err(origin
+                            .error(format!(
+                                "subcircuit definitions cannot nest: '.subckt' inside \
+                                 '.subckt {}'",
+                                outer.name
+                            ))
+                            .with_help(format!(
+                                "close '.subckt {}' with `.ends` first",
+                                outer.name
+                            )));
+                    }
+                    let (name, name_span) = cur.next_word("the subcircuit name")?;
+                    let name = name.to_string();
+                    if super::lex::parse_number(&name).is_some() {
+                        return Err(cur.at(
+                            name_span,
+                            format!("subcircuit name '{name}' would shadow a number"),
+                        ));
+                    }
+                    if let Some(first) = defs.iter().find(|d| d.name == name) {
+                        return Err(cur.at(
+                            name_span,
+                            format!(
+                                "duplicate subcircuit name '{name}' (first defined on line {})",
+                                first.origin.span.line
+                            ),
+                        ));
+                    }
+                    let mut ports: Vec<String> = Vec::new();
+                    let mut defaults: Vec<(String, usize)> = Vec::new();
+                    while cur.peek().is_some() {
+                        // A word followed by `=` starts the parameter
+                        // defaults; everything before is a port.
+                        if cur.line.tokens.get(cur.i + 1).map(|t| &t.kind)
+                            == Some(&TokenKind::Punct('='))
+                        {
+                            while cur.peek().is_some() {
+                                let (key, key_span) =
+                                    cur.next_word("a parameter default (name=value)")?;
+                                let key = key.to_string();
+                                if super::lex::parse_number(&key).is_some() {
+                                    return Err(cur.at(
+                                        key_span,
+                                        format!("parameter name '{key}' would shadow a number"),
+                                    ));
+                                }
+                                if defaults.iter().any(|(k, _)| *k == key) {
+                                    return Err(cur.at(
+                                        key_span,
+                                        format!("duplicate parameter default '{key}'"),
+                                    ));
+                                }
+                                cur.expect_punct('=')?;
+                                let value_idx = cur.i;
+                                cur.next_token("the default value")?;
+                                defaults.push((key, value_idx));
+                            }
+                            break;
+                        }
+                        let (port, port_span) = cur.next_word("a port node")?;
+                        if port == "0" || port == "gnd" {
+                            return Err(cur.at(
+                                port_span,
+                                format!(
+                                    "the ground node '{port}' cannot be a subcircuit port \
+                                     (it is global)"
+                                ),
+                            ));
+                        }
+                        if ports.iter().any(|p| p == port) {
+                            return Err(cur.at(port_span, format!("duplicate port node '{port}'")));
+                        }
+                        ports.push(port.to_string());
+                    }
+                    if ports.is_empty() {
+                        return Err(origin
+                            .error(format!(".subckt '{name}' needs at least one port"))
+                            .with_help("e.g. `.subckt inv out in vdd`"));
+                    }
+                    (name, ports, defaults, origin)
+                };
+                let (name, ports, defaults, origin) = parsed;
+                open = Some(SubcktDef {
+                    name,
+                    ports,
+                    defaults,
+                    header: line,
+                    body: Vec::new(),
+                    origin,
+                });
+            }
+            Some(".ends") => match open.take() {
+                Some(def) => {
+                    let mut cur = Cursor {
+                        line: &line,
+                        i: 0,
+                        params: &no_params,
+                        used: &scratch,
+                    };
+                    cur.next_word("a card")?;
+                    if cur.peek().is_some() {
+                        let (ends_name, span) = cur.next_word("the subcircuit name")?;
+                        if ends_name != def.name {
+                            return Err(cur.at(
+                                span,
+                                format!(
+                                    "this .ends closes '.subckt {}', not '{ends_name}'",
+                                    def.name
+                                ),
+                            ));
+                        }
+                    }
+                    cur.done()?;
+                    defs.push(def);
+                }
+                // A stray `.ends` falls through to the top-level
+                // directive dispatch, which reports it with a span.
+                None => top.push(line),
+            },
+            _ => match &mut open {
+                Some(def) => {
+                    let span = line.tokens[0].span;
+                    let text = line.text_for(span.line).to_string();
+                    let Some(w) = line.tokens[0].word() else {
+                        return Err(DeckError::at(span, text, "expected a card".to_string()));
+                    };
+                    if w.starts_with('.') {
+                        return Err(DeckError::at(
+                            span,
+                            text,
+                            format!(
+                                "directives are not allowed inside a .subckt body \
+                                 (found '{w}' in '.subckt {}')",
+                                def.name
+                            ),
+                        )
+                        .with_help(
+                            "only R, C, V, I, M and X cards may appear between \
+                             .subckt and .ends",
+                        ));
+                    }
+                    let first = w.chars().next().unwrap_or(' ').to_ascii_uppercase();
+                    if !matches!(first, 'R' | 'C' | 'V' | 'I' | 'M' | 'X') {
+                        return Err(DeckError::at(
+                            span,
+                            text,
+                            format!(
+                                "unknown card '{w}' in '.subckt {}': element cards start \
+                                 with R, C, V, I or M, subcircuit instances with X",
+                                def.name
+                            ),
+                        ));
+                    }
+                    def.body.push(line);
+                }
+                None => top.push(line),
+            },
+        }
+    }
+    if let Some(def) = open {
+        return Err(def
+            .origin
+            .error(format!("missing .ends for '.subckt {}'", def.name))
+            .with_help(format!(
+                "close the definition with `.ends` (or `.ends {}`)",
+                def.name
+            )));
+    }
+    Ok((top, defs))
+}
+
+/// A parsed `X<name> <nodes…> <subckt> [param=val …]` instance card,
+/// before flattening.
+struct RawInstance {
+    name: String,
+    nodes: Vec<(String, Span)>,
+    subckt: String,
+    subckt_span: Span,
+    overrides: Vec<(String, f64)>,
+}
+
+/// Parses an `X` card: leading words are the bound nodes, the last
+/// word before any `name=value` overrides names the subcircuit.
+/// Override values are evaluated with the *caller's* parameter
+/// environment (the cursor's), per SPICE scoping.
+fn parse_x(
+    cur: &mut Cursor<'_>,
+    name: String,
+    origin: SourceRef,
+) -> Result<RawInstance, DeckError> {
+    let mut words: Vec<(String, Span)> = Vec::new();
+    while let Some(t) = cur.peek() {
+        if !matches!(t.kind, TokenKind::Word(_)) {
+            break;
+        }
+        // Stop at the first `key=value` override.
+        if cur.line.tokens.get(cur.i + 1).map(|t| &t.kind) == Some(&TokenKind::Punct('=')) {
+            break;
+        }
+        let (w, span) = cur.next_word("a node or subcircuit name")?;
+        words.push((w.to_string(), span));
+    }
+    if words.len() < 2 {
+        return Err(origin
+            .error(format!(
+                "instance {name} needs at least one node and a subcircuit name"
+            ))
+            .with_help("e.g. `X1 in out vdd inv` (nodes first, the .subckt name last)"));
+    }
+    let (subckt, subckt_span) = words.pop().expect("length checked above");
+    let mut overrides: Vec<(String, f64)> = Vec::new();
+    while cur.peek().is_some() {
+        let (key, key_span) = cur.next_word("a parameter override (name=value)")?;
+        let key = key.to_string();
+        if overrides.iter().any(|(k, _)| *k == key) {
+            return Err(cur.at(key_span, format!("duplicate parameter override '{key}'")));
+        }
+        cur.expect_punct('=')?;
+        let (value, _) = cur.next_value(&format!("the value of '{key}'"))?;
+        overrides.push((key, value));
+    }
+    cur.done()?;
+    Ok(RawInstance {
+        name,
+        nodes: words,
+        subckt,
+        subckt_span,
+        overrides,
+    })
+}
+
+/// Flattening state for one top-level `X` card: rewrites each body
+/// card of the instantiated definition (and, recursively, of nested
+/// `X` cards) into `deck.elements`, dotting element names and internal
+/// nodes through the instance path and re-anchoring every diagnostic
+/// on the top-level instance card with a definition-local note.
+struct Expansion<'a> {
+    defs: &'a [SubcktDef],
+    globals: &'a HashMap<String, f64>,
+    used: &'a RefCell<BTreeSet<String>>,
+    subckt_used: &'a RefCell<BTreeSet<String>>,
+    /// The top-level `X` card every flattened diagnostic anchors to.
+    anchor: &'a SourceRef,
+    elements: &'a mut Vec<ElementCard>,
+    /// Definition names on the current instantiation path, for
+    /// recursion detection.
+    stack: Vec<String>,
+}
+
+impl Expansion<'_> {
+    /// The `= note:` text tying a flattened card back to its
+    /// definition-local source line.
+    fn note_for(&self, path: &str, def_name: &str, span: Span, text: &str) -> String {
+        format!(
+            "in {path} (.subckt '{def_name}'), expanded from deck:{}:{}: {}",
+            span.line,
+            span.col,
+            text.trim()
+        )
+    }
+
+    /// An anchor-located [`SourceRef`] whose note records the
+    /// definition-local site `local`.
+    fn anchored(&self, path: &str, def_name: &str, local: &SourceRef) -> SourceRef {
+        SourceRef::new(self.anchor.span, self.anchor.line_text.clone()).with_note(self.note_for(
+            path,
+            def_name,
+            local.span,
+            &local.line_text,
+        ))
+    }
+
+    /// Re-anchors a definition-local parse error on the top-level
+    /// instance card, demoting the local site to a note — unless the
+    /// error already carries one (it came through a deeper level).
+    fn reanchor(&self, mut err: DeckError, path: &str, def_name: &str) -> DeckError {
+        if err.note.is_some() {
+            return err;
+        }
+        err.note = Some(match (&err.span, &err.line_text) {
+            (Some(span), Some(text)) => self.note_for(path, def_name, *span, text),
+            _ => format!("in {path} (.subckt '{def_name}')"),
+        });
+        err.span = Some(self.anchor.span);
+        err.line_text = Some(self.anchor.line_text.clone());
+        err
+    }
+
+    /// Dots the card's name through the instance path, maps its nodes
+    /// and appends it to the flattened element list.
+    fn push_rewritten(
+        &mut self,
+        card: ElementCard,
+        path: &str,
+        def_name: &str,
+        map: &dyn Fn(&str) -> String,
+    ) {
+        let card = match card {
+            ElementCard::Resistor(mut r) => {
+                r.name = format!("{path}.{}", r.name);
+                r.plus = map(&r.plus);
+                r.minus = map(&r.minus);
+                ElementCard::Resistor(r)
+            }
+            ElementCard::Capacitor(mut c) => {
+                c.name = format!("{path}.{}", c.name);
+                c.plus = map(&c.plus);
+                c.minus = map(&c.minus);
+                ElementCard::Capacitor(c)
+            }
+            ElementCard::Voltage(mut v) => {
+                v.name = format!("{path}.{}", v.name);
+                v.plus = map(&v.plus);
+                v.minus = map(&v.minus);
+                ElementCard::Voltage(v)
+            }
+            ElementCard::Current(mut i) => {
+                i.name = format!("{path}.{}", i.name);
+                i.plus = map(&i.plus);
+                i.minus = map(&i.minus);
+                ElementCard::Current(i)
+            }
+            ElementCard::Cnfet(mut m) => {
+                m.name = format!("{path}.{}", m.name);
+                m.drain = map(&m.drain);
+                m.gate = map(&m.gate);
+                m.source = map(&m.source);
+                m.model_origin = self.anchored(path, def_name, &m.model_origin);
+                ElementCard::Cnfet(m)
+            }
+        };
+        self.elements.push(card);
+    }
+
+    /// Expands one instance: binds `nodes` to the definition's ports,
+    /// builds the parameter environment (globals, then defaults in
+    /// declaration order with `overrides` shadowing), and re-parses the
+    /// stored body lines under it.
+    fn instantiate(
+        &mut self,
+        path: &str,
+        nodes: &[String],
+        overrides: &[(String, f64)],
+        subckt: &str,
+        card_site: &SourceRef,
+        subckt_site: &SourceRef,
+    ) -> Result<(), DeckError> {
+        let defs = self.defs;
+        let Some(def) = defs.iter().find(|d| d.name == subckt) else {
+            let available: Vec<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+            let mut err = subckt_site.error(if available.is_empty() {
+                format!("no subcircuit named '{subckt}' (the deck has no .subckt definitions)")
+            } else {
+                format!(
+                    "no subcircuit named '{subckt}'; available subcircuits: {}",
+                    available.join(", ")
+                )
+            });
+            if let Some(help) = suggest(subckt, available.into_iter()) {
+                err = err.with_help(help);
+            }
+            return Err(err);
+        };
+        self.subckt_used.borrow_mut().insert(def.name.clone());
+        if let Some(pos) = self.stack.iter().position(|s| s == subckt) {
+            let mut chain: Vec<&str> = self.stack[pos..].iter().map(String::as_str).collect();
+            chain.push(subckt);
+            return Err(subckt_site
+                .error(format!(
+                    "recursive subcircuit instantiation: {}",
+                    chain.join(" -> ")
+                ))
+                .with_help(
+                    "a .subckt body cannot instantiate itself, directly or through \
+                     other subcircuits",
+                ));
+        }
+        if def.ports.len() != nodes.len() {
+            return Err(card_site
+                .error(format!(
+                    "subcircuit '{}' takes {} nodes (ports: {}), but {} {} given",
+                    def.name,
+                    def.ports.len(),
+                    def.ports.join(" "),
+                    nodes.len(),
+                    if nodes.len() == 1 { "is" } else { "are" }
+                ))
+                .with_help(format!(
+                    "'.subckt {}' is defined on line {}",
+                    def.name, def.origin.span.line
+                )));
+        }
+        for (key, _) in overrides {
+            if !def.defaults.iter().any(|(k, _)| k == key) {
+                let declared: Vec<&str> = def.param_names().collect();
+                let mut err = card_site.error(if declared.is_empty() {
+                    format!(
+                        "subcircuit '{}' declares no parameters, but '{key}' was given",
+                        def.name
+                    )
+                } else {
+                    format!(
+                        "unknown parameter '{key}' for subcircuit '{}'; it declares {}",
+                        def.name,
+                        declared.join(", ")
+                    )
+                });
+                if let Some(help) = suggest(key, declared.into_iter()) {
+                    err = err.with_help(help);
+                }
+                return Err(err);
+            }
+        }
+        // Instance parameter environment: globals, then the defaults in
+        // declaration order (each may reference globals and earlier
+        // parameters), with instance overrides shadowing defaults.
+        let mut env = self.globals.clone();
+        for (pname, tokidx) in &def.defaults {
+            if let Some((_, v)) = overrides.iter().find(|(k, _)| k == pname) {
+                env.insert(pname.clone(), *v);
+                continue;
+            }
+            let value = {
+                let mut cur = Cursor {
+                    line: &def.header,
+                    i: *tokidx,
+                    params: &env,
+                    used: self.used,
+                };
+                cur.next_value(&format!("the default of parameter '{pname}'"))
+                    .map_err(|e| self.reanchor(e, path, &def.name))?
+                    .0
+            };
+            env.insert(pname.clone(), value);
+        }
+        self.stack.push(def.name.clone());
+        let mut child_names: HashMap<String, u32> = HashMap::new();
+        for line in &def.body {
+            if line.tokens.is_empty() {
+                continue;
+            }
+            let mut cur = Cursor {
+                line,
+                i: 0,
+                params: &env,
+                used: self.used,
+            };
+            let (head, head_span) = match cur.next_word("a card") {
+                Ok(ok) => ok,
+                Err(e) => return Err(self.reanchor(e, path, &def.name)),
+            };
+            let head = head.to_string();
+            let local = cur.source_ref(head_span);
+            let map = |w: &str| -> String {
+                if w == "0" || w == "gnd" {
+                    return w.to_string();
+                }
+                match def.ports.iter().position(|p| p == w) {
+                    Some(idx) => nodes[idx].clone(),
+                    None => format!("{path}.{w}"),
+                }
+            };
+            if head.starts_with(['x', 'X']) {
+                let x = parse_x(&mut cur, head, self.anchored(path, &def.name, &local))
+                    .map_err(|e| self.reanchor(e, path, &def.name))?;
+                if let Some(first) = child_names.get(&x.name) {
+                    return Err(self.anchored(path, &def.name, &local).error(format!(
+                        "duplicate instance name '{}' in '.subckt {}' (first defined on \
+                         line {first})",
+                        x.name, def.name
+                    )));
+                }
+                child_names.insert(x.name.clone(), head_span.line);
+                let child_path = format!("{path}.{}", x.name);
+                let child_nodes: Vec<String> = x.nodes.iter().map(|(w, _)| map(w)).collect();
+                let subckt_local = cur.source_ref(x.subckt_span);
+                let child_card_site = self.anchored(&child_path, &def.name, &local);
+                let child_subckt_site = self.anchored(&child_path, &def.name, &subckt_local);
+                self.instantiate(
+                    &child_path,
+                    &child_nodes,
+                    &x.overrides,
+                    &x.subckt,
+                    &child_card_site,
+                    &child_subckt_site,
+                )?;
+            } else {
+                let origin = self.anchored(path, &def.name, &local);
+                let card = match parse_element(&mut cur, head, origin) {
+                    Ok(card) => card,
+                    Err(e) => return Err(self.reanchor(e, path, &def.name)),
+                };
+                self.push_rewritten(card, path, &def.name, &map);
+            }
+        }
+        self.stack.pop();
+        Ok(())
+    }
 }
 
 /// The whole-deck consistency pass.

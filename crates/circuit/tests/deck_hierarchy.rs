@@ -1,0 +1,166 @@
+//! Flattening-equivalence property tests: for randomly generated
+//! hierarchies (instantiation depth ≤ 3, random parameter overrides),
+//! the parser's `.subckt`/`X` flattener must produce **bitwise** the
+//! same analysis results as a flat netlist written out by this harness
+//! with its own independent expansion of the same structure.
+//!
+//! The flat deck uses the same node names (dotted instance paths) and
+//! card order the flattener produces, so the MNA systems are assembled
+//! identically and every probe sample must match to the last ULP —
+//! compared through the round-tripping CSV renderer.
+
+use cntfet_circuit::deck::Deck;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// One randomly parameterised instance in the top-level chain.
+#[derive(Debug, Clone)]
+struct ChainLink {
+    /// Hierarchy depth of the subcircuit to instantiate (1..=3).
+    depth: usize,
+    /// Instance `r=` override, ohms; `None` leaves the default.
+    r_override: Option<f64>,
+}
+
+/// Zips independently drawn depth and raw-override vectors into chain
+/// links (the vendored proptest shim only composes ranges and vecs).
+/// Raw values below 100 Ω map to "no override, use the default".
+fn links_from(depths: &[usize], raws: &[f64]) -> Vec<ChainLink> {
+    depths
+        .iter()
+        .zip(raws)
+        .map(|(&depth, &raw)| ChainLink {
+            depth,
+            r_override: (raw >= 100.0).then_some(raw),
+        })
+        .collect()
+}
+
+/// The fixed library the random decks draw from: `s1` is a resistive
+/// pi-section with an internal node, `s2` chains two `s1`, `s3` chains
+/// two `s2` — three levels of hierarchy with parameter forwarding
+/// (`{r}` and scaled `{2*r}` expressions at every level).
+const LIBRARY: &str = ".subckt s1 p q r=1k
+R1 p m {r}
+R2 m q {2*r}
+C1 m 0 1f
+.ends s1
+.subckt s2 p q r=2k
+x1 p m s1 r={r}
+x2 m q s1
+.ends s2
+.subckt s3 p q r=3k
+x1 p m s2 r={2*r}
+x2 m q s2 r={r}
+.ends s3
+";
+
+/// Default `r` of each library cell, indexed by depth.
+const DEFAULT_R: [f64; 4] = [0.0, 1e3, 2e3, 3e3];
+
+/// Emits the harness's own flat expansion of `s<depth>` instantiated
+/// at `path` between `p` and `q` with parameter value `r` — the same
+/// node names and card order the parser's flattener produces, but
+/// derived independently (explicit recursion, values computed in f64
+/// and printed through Rust's round-tripping float formatter).
+fn emit_flat(out: &mut String, depth: usize, path: &str, p: &str, q: &str, r: f64) {
+    let m = format!("{path}.m");
+    match depth {
+        1 => {
+            let _ = writeln!(out, "R1{path} {p} {m} {r}");
+            let _ = writeln!(out, "R2{path} {m} {q} {v}", v = 2.0 * r);
+            let _ = writeln!(out, "C1{path} {m} 0 0.000000000000001");
+        }
+        2 => {
+            emit_flat(out, 1, &format!("{path}.x1"), p, &m, r);
+            emit_flat(out, 1, &format!("{path}.x2"), &m, q, DEFAULT_R[1]);
+        }
+        _ => {
+            emit_flat(out, 2, &format!("{path}.x1"), p, &m, 2.0 * r);
+            emit_flat(out, 2, &format!("{path}.x2"), &m, q, r);
+        }
+    }
+}
+
+/// Builds the hierarchical deck and the harness-flattened deck for one
+/// random chain; both carry identical analysis and probe cards.
+fn build_decks(links: &[ChainLink], vsrc: f64) -> (String, String) {
+    let mut hier = String::from("hier\n");
+    hier.push_str(LIBRARY);
+    let mut flat = String::from("hier\n");
+    for s in [&mut hier, &mut flat] {
+        let _ = writeln!(s, "V1 n0 0 DC {vsrc}");
+    }
+    for (i, link) in links.iter().enumerate() {
+        let p = format!("n{i}");
+        let q = if i + 1 == links.len() {
+            "0".to_string()
+        } else {
+            format!("n{}", i + 1)
+        };
+        let over = match link.r_override {
+            Some(r) => format!(" r={r}"),
+            None => String::new(),
+        };
+        let _ = writeln!(hier, "xc{i} {p} {q} s{}{over}", link.depth);
+        let r = link.r_override.unwrap_or(DEFAULT_R[link.depth]);
+        emit_flat(&mut flat, link.depth, &format!("xc{i}"), &p, &q, r);
+    }
+    let probes: Vec<String> = (0..links.len()).map(|i| format!("v(n{i})")).collect();
+    for s in [&mut hier, &mut flat] {
+        let _ = writeln!(s, ".op");
+        let _ = writeln!(s, ".dc V1 0 1 0.5");
+        let _ = writeln!(s, ".print op {}", probes.join(" "));
+        let _ = writeln!(s, ".print dc {}", probes.join(" "));
+    }
+    (hier, flat)
+}
+
+fn run_csv(text: &str) -> Vec<String> {
+    let deck = Deck::parse(text).unwrap_or_else(|e| panic!("deck should parse:\n{e}\n{text}"));
+    let run = deck
+        .run()
+        .unwrap_or_else(|e| panic!("deck should run:\n{e}\n{text}"));
+    run.reports.iter().map(|r| r.to_csv()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random hierarchy chains: parser-flattened vs harness-flattened
+    /// analysis output is textually identical CSV — and the CSV float
+    /// formatter round-trips f64, so textual equality is bitwise
+    /// equality of every operating-point and sweep sample.
+    #[test]
+    fn parser_flattening_matches_harness_flattening(
+        depths in proptest::collection::vec(1usize..4, 1..5),
+        raws in proptest::collection::vec(0.0f64..10e3, 4..5),
+        vsrc in 0.5f64..5.0,
+    ) {
+        let links = links_from(&depths, &raws);
+        let (hier, flat) = build_decks(&links, vsrc);
+        let hier_csv = run_csv(&hier);
+        let flat_csv = run_csv(&flat);
+        prop_assert!(hier_csv == flat_csv,
+            "analysis output diverged\nhier deck:\n{}\nflat deck:\n{}", hier, flat);
+    }
+
+    /// The hierarchical deck also survives a serialise → reparse → run
+    /// round trip with bitwise-identical output (the `Display` form of
+    /// a deck with `.subckt` blocks is a faithful spelling of it).
+    #[test]
+    fn hierarchy_round_trip_preserves_results(
+        depths in proptest::collection::vec(1usize..4, 1..4),
+        raws in proptest::collection::vec(0.0f64..10e3, 3..4),
+        vsrc in 0.5f64..5.0,
+    ) {
+        let links = links_from(&depths, &raws);
+        let (hier, _) = build_decks(&links, vsrc);
+        let deck = Deck::parse(&hier).expect("hier deck parses");
+        let reparsed = Deck::parse(&deck.to_string()).expect("rendered deck parses");
+        prop_assert_eq!(deck.clone(), reparsed.clone());
+        let a: Vec<String> = deck.run().expect("runs").reports.iter().map(|r| r.to_csv()).collect();
+        let b: Vec<String> = reparsed.run().expect("runs").reports.iter().map(|r| r.to_csv()).collect();
+        prop_assert_eq!(a, b);
+    }
+}

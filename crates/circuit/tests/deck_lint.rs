@@ -119,6 +119,36 @@ warning[W305]: deck:7:1: .ic sets transient initial conditions, but the deck has
     );
 }
 
+#[test]
+fn snapshot_w307_unused_subckt() {
+    assert_eq!(
+        report("t\n.subckt inv out in\nR1 out in 1k\n.ends\nV1 a 0 DC 1\nR9 a 0 1k\n.op\n"),
+        "warning[W307]: deck:2:1: subcircuit 'inv' is never instantiated
+    2 | .subckt inv out in
+      | ^^^^^^^
+      = help: no X card references it; add an instance or delete the block
+"
+    );
+}
+
+/// A defect *inside* a subcircuit body is reported with the full dotted
+/// instance path, anchored at the top-level `X` card, with the
+/// subckt-local card in the `= note:` breadcrumb — the finding names
+/// where the problem manifests in the flat circuit and where its text
+/// lives in the deck.
+#[test]
+fn snapshot_e101_inside_a_subckt_names_the_instance_path() {
+    assert_eq!(
+        report("t\n.subckt blk p\nR1 p q 1k\nC1 q r 1p\n.ends\nV1 in 0 DC 1\nX1 in blk\n.op\n"),
+        "error[E101]: deck:7:1: node 'X1.r' has no DC path to ground
+    7 | X1 in blk
+      | ^^
+      = note: in X1 (.subckt 'blk'), expanded from deck:4:1: C1 q r 1p
+      = help: it is reachable only through capacitors, which cannot set a DC voltage; add a path to ground through a resistor, voltage source or CNFET channel
+"
+    );
+}
+
 /// The acceptance claim: the same circuits the lint rejects as decks
 /// yield `CircuitError::StructurallySingular` from the programmatic
 /// session API, naming the undeterminable unknowns.
@@ -242,7 +272,7 @@ proptest! {
 }
 
 /// Corpus for the mutation fuzzer: every checked-in deck, good and bad.
-const CORPUS: [&str; 8] = [
+const CORPUS: [&str; 11] = [
     include_str!("../../../examples/decks/divider.cir"),
     include_str!("../../../examples/decks/rc_lowpass.cir"),
     include_str!("../../../examples/decks/inverter.cir"),
@@ -251,6 +281,11 @@ const CORPUS: [&str; 8] = [
     include_str!("../../../examples/decks/bad/vloop.cir"),
     include_str!("../../../examples/decks/bad/icutset.cir"),
     include_str!("../../../examples/decks/bad/hygiene.cir"),
+    // Hierarchical decks: mutations land inside `.subckt` bodies, on
+    // `X` cards and across `.ends` boundaries too.
+    include_str!("../../../examples/decks/adder2.cir"),
+    include_str!("../../../examples/cells/nand2.cir"),
+    include_str!("../../../examples/cells/dff.cir"),
 ];
 
 /// Applies one line-level mutation, keyed by `(line, op)`.
@@ -292,7 +327,7 @@ proptest! {
     /// default and strict options alike.
     #[test]
     fn lint_never_panics_on_mutated_decks(
-        pick in 0usize..8,
+        pick in 0usize..11,
         lines in proptest::collection::vec(0usize..32, 1..4),
         ops in proptest::collection::vec(0u32..4, 1..4),
     ) {

@@ -1,0 +1,404 @@
+//! Subcircuit front-end edge cases: every way a `.subckt` definition
+//! or `X` instantiation can go wrong must fail with a *spanned*
+//! diagnostic anchored at the offending card — never a panic or a
+//! stack overflow — and the flattener's parameter scoping, node
+//! rewriting and round-trip serialisation must be exact.
+//!
+//! The snapshot tests pin the full rendered error text (line numbers,
+//! caret, `= note:` instance-path breadcrumb, `= help:` suggestion) so
+//! hierarchical diagnostic quality is a regression-tested feature.
+
+use cntfet_circuit::deck::{Deck, DeckError, ElementCard};
+
+fn parse_err(deck: &str) -> DeckError {
+    Deck::parse(deck).expect_err("deck should not parse")
+}
+
+fn parse_ok(deck: &str) -> Deck {
+    Deck::parse(deck).unwrap_or_else(|e| panic!("deck should parse:\n{e}"))
+}
+
+// ------------------------------------------------------- definitions
+
+#[test]
+fn duplicate_subckt_names_point_at_both_lines() {
+    let err =
+        parse_err("t\n.subckt inv out in\nR1 out in 1k\n.ends\n.subckt inv a b\nR1 a b 1k\n.ends");
+    assert_eq!(
+        err.to_string(),
+        "deck:5:9: duplicate subcircuit name 'inv' (first defined on line 2)
+    5 | .subckt inv a b
+      |         ^^^"
+    );
+}
+
+#[test]
+fn subckt_needs_at_least_one_port() {
+    let err = parse_err("t\n.subckt inv\nR1 a b 1k\n.ends");
+    assert!(err.message.contains("needs at least one port"), "{err}");
+    assert_eq!(err.help.as_deref(), Some("e.g. `.subckt inv out in vdd`"));
+}
+
+#[test]
+fn ground_cannot_be_a_port() {
+    let err = parse_err("t\n.subckt inv out 0\nR1 out 0 1k\n.ends");
+    assert_eq!(
+        err.to_string(),
+        "deck:2:17: the ground node '0' cannot be a subcircuit port (it is global)
+    2 | .subckt inv out 0
+      |                 ^"
+    );
+    let err = parse_err("t\n.subckt inv out gnd\nR1 out gnd 1k\n.ends");
+    assert!(err.message.contains("'gnd'"), "{err}");
+}
+
+#[test]
+fn nested_definitions_are_rejected() {
+    let err = parse_err("t\n.subckt inv out in\n.subckt buf a b\n.ends\n.ends");
+    assert_eq!(
+        err.to_string(),
+        "deck:3:1: subcircuit definitions cannot nest: '.subckt' inside '.subckt inv'
+    3 | .subckt buf a b
+      | ^^^^^^^
+      = help: close '.subckt inv' with `.ends` first"
+    );
+}
+
+#[test]
+fn directives_inside_a_body_are_rejected() {
+    let err = parse_err("t\n.subckt inv out in\n.param w = 1\n.ends");
+    assert_eq!(
+        err.to_string(),
+        "deck:3:1: directives are not allowed inside a .subckt body (found '.param' in '.subckt inv')
+    3 | .param w = 1
+      | ^^^^^^
+      = help: only R, C, V, I, M and X cards may appear between .subckt and .ends"
+    );
+}
+
+#[test]
+fn ends_name_mismatch_is_rejected() {
+    let err = parse_err("t\n.subckt inv out in\nR1 out in 1k\n.ends buf");
+    assert_eq!(
+        err.to_string(),
+        "deck:4:7: this .ends closes '.subckt inv', not 'buf'
+    4 | .ends buf
+      |       ^^^"
+    );
+}
+
+#[test]
+fn missing_ends_is_rejected_at_the_open_header() {
+    let err = parse_err("t\n.subckt inv out in\nR1 out in 1k");
+    assert_eq!(
+        err.to_string(),
+        "deck:2:1: missing .ends for '.subckt inv'
+    2 | .subckt inv out in
+      | ^^^^^^^
+      = help: close the definition with `.ends` (or `.ends inv`)"
+    );
+}
+
+#[test]
+fn stray_ends_is_rejected() {
+    let err = parse_err("t\nR1 a 0 1k\n.ends");
+    assert_eq!(
+        err.to_string(),
+        "deck:3:1: found .ends without a matching .subckt
+    3 | .ends
+      | ^^^^^"
+    );
+}
+
+// ------------------------------------------------------ instantiation
+
+#[test]
+fn undefined_subckt_suggests_the_nearest_name() {
+    let err =
+        parse_err("t\n.subckt inv out in vdd\nR1 out in 1k\n.ends\nV1 vdd 0 DC 1\nX1 a b vdd inx");
+    assert_eq!(
+        err.to_string(),
+        "deck:6:12: no subcircuit named 'inx'; available subcircuits: inv
+    6 | X1 a b vdd inx
+      |            ^^^
+      = help: did you mean 'inv'?"
+    );
+}
+
+#[test]
+fn undefined_subckt_in_a_deck_without_definitions() {
+    let err = parse_err("t\nX1 a b inv");
+    assert!(
+        err.message
+            .contains("(the deck has no .subckt definitions)"),
+        "{err}"
+    );
+}
+
+#[test]
+fn port_count_mismatch_names_the_definition_site() {
+    let err = parse_err("t\n.subckt inv out in vdd\nR1 out in 1k\n.ends\nX1 a b inv");
+    assert_eq!(
+        err.to_string(),
+        "deck:5:1: subcircuit 'inv' takes 3 nodes (ports: out in vdd), but 2 are given
+    5 | X1 a b inv
+      | ^^
+      = help: '.subckt inv' is defined on line 2"
+    );
+}
+
+#[test]
+fn instance_with_too_few_words_is_rejected() {
+    let err = parse_err("t\nX1 inv");
+    assert_eq!(
+        err.to_string(),
+        "deck:2:1: instance X1 needs at least one node and a subcircuit name
+    2 | X1 inv
+      | ^^
+      = help: e.g. `X1 in out vdd inv` (nodes first, the .subckt name last)"
+    );
+}
+
+#[test]
+fn duplicate_instance_names_are_rejected() {
+    let err = parse_err("t\n.subckt inv out in\nR1 out in 1k\n.ends\nX1 a b inv\nX1 c d inv");
+    assert_eq!(
+        err.to_string(),
+        "deck:6:1: duplicate instance name 'X1' (first defined on line 5)
+    6 | X1 c d inv
+      | ^^"
+    );
+}
+
+#[test]
+fn unknown_parameter_override_suggests_the_nearest() {
+    let err = parse_err("t\n.subckt inv out in cl=1f\nC1 out 0 {cl}\n.ends\nX1 a b inv cll=2f");
+    assert_eq!(
+        err.to_string(),
+        "deck:5:1: unknown parameter 'cll' for subcircuit 'inv'; it declares cl
+    5 | X1 a b inv cll=2f
+      | ^^
+      = help: did you mean 'cl'?"
+    );
+}
+
+#[test]
+fn override_on_a_parameterless_subckt_is_rejected() {
+    let err = parse_err("t\n.subckt inv out in\nR1 out in 1k\n.ends\nX1 a b inv cl=2f");
+    assert!(
+        err.message
+            .contains("declares no parameters, but 'cl' was given"),
+        "{err}"
+    );
+}
+
+// --------------------------------------------------------- recursion
+
+/// Direct self-instantiation must be a spanned error, not a stack
+/// overflow — the `= note:` breadcrumb names the instance path.
+#[test]
+fn direct_recursion_is_a_spanned_error() {
+    let err = parse_err("t\n.subckt a p\nx1 p a\n.ends\nX1 n a");
+    assert_eq!(
+        err.to_string(),
+        "deck:5:1: recursive subcircuit instantiation: a -> a
+    5 | X1 n a
+      | ^^
+      = note: in X1.x1 (.subckt 'a'), expanded from deck:3:6: x1 p a
+      = help: a .subckt body cannot instantiate itself, directly or through other subcircuits"
+    );
+}
+
+/// Mutual recursion (a -> b -> a) is caught through the stack too.
+#[test]
+fn mutual_recursion_is_a_spanned_error() {
+    let err = parse_err("t\n.subckt a p\nx1 p b\n.ends\n.subckt b p\nx1 p a\n.ends\nX1 n a");
+    assert_eq!(
+        err.to_string(),
+        "deck:8:1: recursive subcircuit instantiation: a -> b -> a
+    8 | X1 n a
+      | ^^
+      = note: in X1.x1.x1 (.subckt 'b'), expanded from deck:6:6: x1 p a
+      = help: a .subckt body cannot instantiate itself, directly or through other subcircuits"
+    );
+}
+
+// --------------------------------------- flattened-card diagnostics
+
+/// A name collision between two cards of the same expansion reports
+/// the *dotted* element name and anchors at the instance card, with
+/// the subckt-local location in the note.
+#[test]
+fn duplicate_element_inside_a_body_reports_the_dotted_path() {
+    let err = parse_err("t\n.subckt inv out in\nR1 out in 1k\nR1 out in 2k\n.ends\nX1 a b inv");
+    assert_eq!(
+        err.to_string(),
+        "deck:6:1: duplicate element name 'X1.R1' (first defined on line 6)
+    6 | X1 a b inv
+      | ^^
+      = note: in X1 (.subckt 'inv'), expanded from deck:4:1: R1 out in 2k"
+    );
+}
+
+/// Probe resolution sees flattened dotted nodes; a near-miss (wrong
+/// case here) lists them and suggests the exact spelling.
+#[test]
+fn dotted_probe_suggests_the_full_instance_path() {
+    let err = parse_err(
+        "t\n.subckt inv out in vdd\nR1 out in 1k\nC1 out mid 1f\n.ends\n\
+         V1 vdd 0 DC 1\nV2 a 0 DC 1\nX3 b a vdd inv\n.op\n.print op v(x3.mid)",
+    );
+    assert_eq!(
+        err.to_string(),
+        "deck:10:13: no node named 'x3.mid'; available nodes: vdd, a, b, X3.mid
+   10 | .print op v(x3.mid)
+      |             ^^^^^^
+      = help: did you mean 'X3.mid'?"
+    );
+}
+
+// ------------------------------------------------- parameter scoping
+
+/// Three levels of shadowing: the global `.param`, a definition
+/// default, and an instance override each win at the right level, and
+/// sibling instances do not leak overrides into each other.
+#[test]
+fn param_shadowing_resolves_per_instance() {
+    let deck = parse_ok(
+        "t
+.param cl = 1f
+.subckt leaf out cl=2f
+C1 out 0 {cl}
+.ends
+.subckt mid out cl=3f
+x1 out leaf cl={cl}
+x2 out leaf
+.ends
+V1 top 0 DC 1
+X1 top mid cl=4f
+X2 top mid
+X3 top leaf
+C9 top 0 {cl}",
+    );
+    let farads: Vec<(String, f64)> = deck
+        .elements
+        .iter()
+        .filter_map(|e| match e {
+            ElementCard::Capacitor(c) => Some((c.name.clone(), c.farads)),
+            _ => None,
+        })
+        .collect();
+    let get = |name: &str| {
+        farads
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no capacitor named {name}"))
+            .1
+    };
+    // X1 overrides mid's cl=4f; mid forwards its cl to x1's leaf.
+    assert_eq!(get("X1.x1.C1"), 4e-15);
+    // …but x2 instantiates leaf without an override: leaf default.
+    assert_eq!(get("X1.x2.C1"), 2e-15);
+    // X2 leaves mid at its default 3f, forwarded to x1. (`3f` is the
+    // suffix product 3.0 * 1e-15, one ulp off the literal 3e-15.)
+    assert_eq!(get("X2.x1.C1"), 3.0 * 1e-15);
+    assert_eq!(get("X2.x2.C1"), 2e-15);
+    // A bare leaf instance uses the definition default, not the global.
+    assert_eq!(get("X3.C1"), 2e-15);
+    // The global .param still governs top-level cards.
+    assert_eq!(get("C9"), 1e-15);
+}
+
+/// Definition defaults may reference globals and earlier defaults.
+#[test]
+fn defaults_evaluate_in_the_global_environment() {
+    let deck = parse_ok(
+        "t
+.param unit = 1f
+.subckt leaf out cl={3*unit}
+C1 out 0 {cl}
+.ends
+V1 top 0 DC 1
+X1 top leaf",
+    );
+    let ElementCard::Capacitor(c) = &deck.elements[1] else {
+        panic!("expected the flattened capacitor after V1");
+    };
+    assert_eq!(c.name, "X1.C1");
+    assert_eq!(c.farads, 3.0 * 1e-15);
+}
+
+// ------------------------------------------------- node rewriting
+
+/// Ground stays global, ports bind to the caller's nodes, and locals
+/// get the dotted instance prefix — through two levels of nesting.
+#[test]
+fn node_rewriting_through_nested_instances() {
+    let deck = parse_ok(
+        "t
+.subckt leaf p
+R1 p mid 1k
+R2 mid 0 1k
+.ends
+.subckt branch q
+x1 q leaf
+.ends
+V1 top 0 DC 1
+X1 top branch",
+    );
+    let cards: Vec<(String, Vec<String>)> = deck
+        .elements
+        .iter()
+        .map(|e| {
+            (
+                e.name().to_string(),
+                e.nodes().iter().map(|n| n.to_string()).collect(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        cards,
+        vec![
+            ("V1".to_string(), vec!["top".to_string(), "0".to_string()]),
+            (
+                "X1.x1.R1".to_string(),
+                vec!["top".to_string(), "X1.x1.mid".to_string()]
+            ),
+            (
+                "X1.x1.R2".to_string(),
+                vec!["X1.x1.mid".to_string(), "0".to_string()]
+            ),
+        ]
+    );
+}
+
+// ------------------------------------------------------- round-trip
+
+/// A hierarchical deck serialises back to text that reparses into an
+/// equal `Deck` — definitions, instances and flattened elements alike.
+#[test]
+fn hierarchical_decks_round_trip_through_display() {
+    let text = "roundtrip
+.param cl = 1f
+.subckt inv out in vdd cl=2f
+R1 out in 1k
+C1 out 0 {cl}
+.ends inv
+.subckt buf out in vdd
+x1 m in vdd inv
+x2 out m vdd inv cl=4f
+.ends buf
+V1 vdd 0 DC 0.9
+V2 in 0 DC 0
+X1 out in vdd buf
+R9 out 0 10k
+.op
+.print op v(out) v(X1.m)
+";
+    let deck = parse_ok(text);
+    let rendered = deck.to_string();
+    let reparsed = parse_ok(&rendered);
+    assert_eq!(deck, reparsed, "serialise -> reparse must be identity");
+    // And the rendering itself is stable (idempotent round-trip).
+    assert_eq!(rendered, reparsed.to_string());
+}

@@ -228,3 +228,50 @@ proptest! {
         }
     }
 }
+
+/// Known limitation, pinned: damped Newton limit-cycles on
+/// hard-switching series stacks.
+///
+/// Two NAND-wired inverters (both NAND2 inputs tied, so the n-side is
+/// a two-transistor series stack whose internal node carries no
+/// capacitance) driven by a 40 ps edge under fixed 10 ps backward-Euler
+/// steps — the gain of the first stage turns the 0.225 V/step input
+/// ramp into a ≥ 0.4 V/step swing at the internal nodes, and the
+/// residual stalls around 1e-8…1e-9 A (three decades above
+/// `node_current_tol`) while the line search oscillates between two
+/// points instead of converging.
+///
+/// The queued Newton-robustness pass (pseudo-transient continuation /
+/// trust-region damping on the per-step solves — see ROADMAP.md) is
+/// expected to make this converge; un-`#[ignore]` the test when it
+/// lands. Until then the standard-cell library sidesteps the cycle by
+/// giving every stack node an explicit junction parasitic (`cm` in the
+/// `nand2`/`nor2` cells), which this deck deliberately omits.
+#[test]
+#[ignore = "damped-Newton limit cycle on capacitor-free series stacks; queued robustness pass"]
+fn nand_stack_limit_cycle_regression() {
+    let deck = cntfet_circuit::deck::Deck::parse(
+        "nand-wired inverter chain, no stack parasitic
+.model nfet cnfet polarity=n
+.model pfet cnfet polarity=p
+V1 vdd 0 DC 0.9
+VIN in 0 PULSE(0 0.9 0 40p 40p 400p 1n)
+.subckt ninv out in vdd
+mpa out in vdd pfet
+mpb out in vdd pfet
+mna out in mid nfet
+mnb mid in 0 nfet
+cl out 0 2f
+.ends
+x1 n1 in vdd ninv
+x2 out n1 vdd ninv
+.tran 10p 400p
+.print tran v(out)
+",
+    )
+    .expect("deck parses");
+    let run = deck.run().unwrap_or_else(|e| {
+        panic!("transient should converge once the robustness pass lands:\n{e}")
+    });
+    assert!(run.reports.iter().any(|r| !r.rows.is_empty()));
+}

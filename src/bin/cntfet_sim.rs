@@ -40,8 +40,9 @@ lint options (with --lint or --check):
 Lint codes are stable E###/W### identifiers (e.g. E101 no DC path to
 ground, W301 unused .param); see docs/DECK_FORMAT.md for the table.
 
-The deck dialect (R/C/V/I and CNFET M cards, .model, .param, .op, .dc,
-.tran, .ac, .print) is documented in docs/DECK_FORMAT.md.";
+The deck dialect (R/C/V/I and CNFET M cards, .model, .param,
+.subckt/.ends definitions with X instance cards, .op, .dc, .tran, .ac,
+.print) is documented in docs/DECK_FORMAT.md.";
 
 /// Parses an `E###`/`W###` argument, exiting with the valid code list
 /// on failure.

@@ -1,0 +1,89 @@
+//! Contracts for the standard-cell example decks under
+//! `examples/cells/`: every `.subckt` block they carry is byte-identical
+//! to the canonical block `cntfet-gen` embeds in generated decks
+//! ([`cntfet::circuit::deck::generate::cell_subckt`]), every deck lints
+//! clean under `--deny-warnings`, and every deck runs its transient to
+//! completion — the cells are executable documentation of the library.
+
+use cntfet::circuit::deck::generate::cell_subckt;
+use cntfet::circuit::deck::{Deck, LintOptions};
+use std::path::Path;
+
+/// Which canonical cells each example deck must embed, in order.
+const CELL_DECKS: [(&str, &[&str]); 4] = [
+    ("inv.cir", &["inv"]),
+    ("nand2.cir", &["nand2"]),
+    ("nor2.cir", &["nor2"]),
+    ("dff.cir", &["inv", "nand2", "dff"]),
+];
+
+fn read(file: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/cells")
+        .join(file);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// The `.subckt <name> … .ends <name>` block of `text`, inclusive,
+/// with a trailing newline — the same shape `cell_subckt` returns.
+fn extract_block(text: &str, name: &str) -> String {
+    let mut block = String::new();
+    let mut inside = false;
+    for line in text.lines() {
+        let mut words = line.split_whitespace();
+        let head = words.next().unwrap_or("");
+        if head.eq_ignore_ascii_case(".subckt") && words.next() == Some(name) {
+            inside = true;
+        }
+        if inside {
+            block.push_str(line);
+            block.push('\n');
+            if head.eq_ignore_ascii_case(".ends") {
+                return block;
+            }
+        }
+    }
+    panic!("no `.subckt {name}` block found");
+}
+
+#[test]
+fn example_cells_match_the_generator_library() {
+    for (file, cells) in CELL_DECKS {
+        let text = read(file);
+        for name in cells {
+            let canonical =
+                cell_subckt(name).unwrap_or_else(|| panic!("generator has no cell named '{name}'"));
+            assert_eq!(
+                extract_block(&text, name),
+                canonical,
+                "examples/cells/{file}: `.subckt {name}` drifted from the \
+                 cntfet-gen library block"
+            );
+        }
+    }
+}
+
+#[test]
+fn example_cells_lint_clean_under_deny_warnings() {
+    let strict = LintOptions {
+        deny_warnings: true,
+        ..LintOptions::default()
+    };
+    for (file, _) in CELL_DECKS {
+        let deck = Deck::parse(&read(file)).unwrap_or_else(|e| panic!("{file}:\n{e}"));
+        let report = deck.lint(&strict);
+        assert!(report.is_clean(), "{file} should lint clean:\n{report}");
+    }
+}
+
+#[test]
+fn example_cells_run_their_transients() {
+    for (file, _) in CELL_DECKS {
+        let deck = Deck::parse(&read(file)).unwrap_or_else(|e| panic!("{file}:\n{e}"));
+        let run = deck.run().unwrap_or_else(|e| panic!("{file}:\n{e}"));
+        assert!(
+            run.reports.iter().any(|r| !r.rows.is_empty()),
+            "{file}: no analysis output"
+        );
+    }
+}

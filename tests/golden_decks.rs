@@ -89,3 +89,12 @@ fn rc_lowpass_matches_seed_bitwise() {
 fn ring_oscillator_matches_seed_bitwise() {
     assert_bitwise_golden("ring_oscillator");
 }
+
+/// Hierarchical guard: a `.subckt`-based deck (two full adders built
+/// from nand2 cells, flattened by the parser) stays bitwise stable too
+/// — the flattener must keep producing the exact same circuit, node
+/// order included, or the transient arithmetic shifts.
+#[test]
+fn adder2_matches_golden_bitwise() {
+    assert_bitwise_golden("adder2");
+}
