@@ -1,0 +1,158 @@
+//! Warm-server throughput vs cold CLI invocation.
+//!
+//! The case for `cntfet-serve` is quantitative: a cold `cntfet-sim`
+//! run pays process start-up, deck parsing, CNFET model fitting (an
+//! SCF solve per distinct `.model` parameter set) and symbolic
+//! sparsity/pivot analysis on every invocation, while a warm server
+//! session pays them once and then reuses the fitted models and the
+//! frozen factorization plan for every subsequent deck of the same
+//! topology. This bench measures both paths on the same deck and
+//! **asserts** the ratio:
+//!
+//! 1. warm decks/sec ≥ 5 × cold decks/sec (the ISSUE's floor);
+//! 2. the warm results are **bitwise** identical to the cold CLI's
+//!    CSV output — caching must change cost, never answers.
+//!
+//! Cold runs spawn the sibling `cntfet-sim` binary (build it first:
+//! `cargo build --release`); warm runs go through a real in-process
+//! server over a Unix socket, so the measured path includes framing,
+//! dispatch and the job queue — everything a client would see.
+//!
+//! Usage: `server_throughput [COLD_RUNS] [WARM_RUNS]` (defaults 3, 15).
+
+use cntfet_server::client::Client;
+use cntfet_server::json::Json;
+use cntfet_server::server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn data_lines(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| !l.starts_with('*') && !l.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn result_csv(result: &Json) -> String {
+    result
+        .get("reports")
+        .and_then(Json::as_arr)
+        .expect("reports array")
+        .iter()
+        .map(|r| r.get("csv").and_then(Json::as_str).expect("csv member"))
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cold_runs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let warm_runs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(15);
+
+    let deck_path = repo_path("examples/decks/inverter.cir");
+    let deck = std::fs::read_to_string(&deck_path).expect("inverter deck");
+
+    // The cold baseline: the real CLI binary, one process per deck.
+    let sim = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .join("cntfet-sim");
+    assert!(
+        sim.exists(),
+        "{} not found — run `cargo build --release` first so the cold \
+         baseline measures the released CLI",
+        sim.display()
+    );
+
+    println!(
+        "cold: {} x `cntfet-sim --csv {}`",
+        cold_runs,
+        deck_path.display()
+    );
+    let mut cold_csv = None;
+    let cold_started = Instant::now();
+    for _ in 0..cold_runs {
+        let output = Command::new(&sim)
+            .arg("--csv")
+            .arg(&deck_path)
+            .output()
+            .expect("spawn cntfet-sim");
+        assert!(
+            output.status.success(),
+            "cold run failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let csv = data_lines(&String::from_utf8(output.stdout).expect("utf8 csv"));
+        if let Some(first) = &cold_csv {
+            assert_eq!(first, &csv, "cold runs must agree with each other");
+        } else {
+            cold_csv = Some(csv);
+        }
+    }
+    let cold_elapsed = cold_started.elapsed().as_secs_f64();
+    let cold_rate = cold_runs as f64 / cold_elapsed;
+    let cold_csv = cold_csv.expect("at least one cold run");
+    println!("cold: {cold_elapsed:.3} s, {cold_rate:.2} decks/s");
+
+    // The warm path: a real server over a real socket. One untimed
+    // submission primes the model cache and the engine pool, exactly
+    // as a long-lived service would be after its first job.
+    let socket = std::env::temp_dir().join(format!("cntfet-bench-{}.sock", std::process::id()));
+    let server = Server::start(ServerConfig::new(&socket, 1)).expect("server starts");
+    let mut client = Client::connect(&socket).expect("connect");
+    let prime = client.submit(&deck).expect("prime submit");
+    let prime_result = client.wait_result(prime).expect("prime result");
+    assert_eq!(
+        cold_csv,
+        data_lines(&result_csv(&prime_result)),
+        "the priming (cold-cache) server run must already match the CLI bitwise"
+    );
+
+    println!("warm: {warm_runs} x submit over {}", socket.display());
+    let warm_started = Instant::now();
+    for k in 0..warm_runs {
+        let job = client.submit(&deck).expect("warm submit");
+        let result = client.wait_result(job).expect("warm result");
+        assert_eq!(
+            cold_csv,
+            data_lines(&result_csv(&result)),
+            "warm run {k}: server output must stay bitwise-identical to the cold CLI"
+        );
+    }
+    let warm_elapsed = warm_started.elapsed().as_secs_f64();
+    let warm_rate = warm_runs as f64 / warm_elapsed;
+    println!("warm: {warm_elapsed:.3} s, {warm_rate:.2} decks/s");
+
+    let stats = client.stats().expect("stats");
+    let engine_hits = stats
+        .get("caches")
+        .and_then(|c| c.get("engines"))
+        .and_then(|e| e.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(
+        engine_hits >= warm_runs as u64,
+        "every timed run must ride the warm engine pool (hits: {engine_hits})"
+    );
+
+    client.shutdown(true).ok();
+    server.wait();
+
+    let speedup = warm_rate / cold_rate;
+    println!("speedup: {speedup:.1}x (warm {warm_rate:.2} vs cold {cold_rate:.2} decks/s)");
+    assert!(
+        speedup >= 5.0,
+        "warm-cache throughput must beat cold CLI invocation by >= 5x, got {speedup:.1}x"
+    );
+    println!(
+        "PASS: warm >= 5x cold, all {} runs bitwise-equal",
+        warm_runs + 1
+    );
+}

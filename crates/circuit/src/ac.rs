@@ -427,6 +427,7 @@ pub(crate) fn ac_core(
     let mut data = vec![Complex::ZERO; n * n_points];
     let mut factor_ops = 0u64;
     for (k, &f) in freqs.iter().enumerate() {
+        engine.check_cancel()?;
         let omega = 2.0 * std::f64::consts::PI * f;
         for ((v, &gv), &cv) in vals.iter_mut().zip(&g).zip(&c) {
             *v = Complex::new(gv, omega * cv);

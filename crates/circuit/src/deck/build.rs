@@ -5,14 +5,13 @@
 //! unknown layout, making deck-built and programmatically-built
 //! circuits bitwise comparable.
 
+use super::cache::ModelCache;
 use super::error::DeckError;
-use super::{CnfetCard, Deck, ElementCard, ModelCard};
+use super::{CnfetCard, Deck, ElementCard};
 use crate::cnfet::{CnfetElement, Polarity};
 use crate::element::{Capacitor, CurrentSource, Resistor, VoltageSource};
 use crate::netlist::Circuit;
 use cntfet_core::CompactCntFet;
-use cntfet_physics::units::{ElectronVolts, Kelvin};
-use cntfet_reference::DeviceParams;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -37,29 +36,27 @@ impl ModelTable {
     }
 }
 
-fn fit_model(card: &ModelCard) -> Result<BuiltModel, DeckError> {
-    let params = DeviceParams::paper_default()
-        .with_fermi_level(ElectronVolts(card.fermi_level_ev))
-        .with_temperature(Kelvin(card.temperature_k));
-    let model = CompactCntFet::model2(params).map_err(|e| {
-        card.origin
-            .error(format!("model '{}' failed to fit: {e}", card.name))
-    })?;
-    Ok(BuiltModel {
-        model: Arc::new(model),
-        polarity: card.polarity,
-        default_length_m: card.default_length_m,
-    })
-}
-
 impl Deck {
     /// Fits every `.model` card (the expensive one-off step — the
     /// piecewise charge fit), shared across per-analysis circuit
     /// rebuilds in [`Deck::run`](super::Deck::run).
     pub(crate) fn build_models(&self) -> Result<ModelTable, DeckError> {
+        self.build_models_with(&ModelCache::new())
+    }
+
+    /// [`Deck::build_models`] through a shared [`ModelCache`]: each
+    /// card's fit is served from the cache when its `(ef, temp)` pair
+    /// was fitted before (there, or by a previous run sharing the
+    /// cache).
+    pub(crate) fn build_models_with(&self, cache: &ModelCache) -> Result<ModelTable, DeckError> {
         let mut map = HashMap::new();
         for card in &self.models {
-            map.insert(card.name.clone(), fit_model(card)?);
+            let built = BuiltModel {
+                model: cache.fit(card)?,
+                polarity: card.polarity,
+                default_length_m: card.default_length_m,
+            };
+            map.insert(card.name.clone(), built);
         }
         Ok(ModelTable { map })
     }

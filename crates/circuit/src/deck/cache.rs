@@ -1,0 +1,273 @@
+//! Content-hash caches for warm deck serving: fitted CNFET models
+//! keyed by fitting parameters ([`ModelCache`]) and warm Newton
+//! engines — symbolic factorizations, pivot plans, solver buffers —
+//! keyed by deck topology ([`EnginePool`]).
+//!
+//! Both caches are `Sync`: a server shares one of each across its
+//! worker threads. Both are *semantically invisible* — a run served
+//! from a warm cache produces output bitwise-equal to a cold run:
+//!
+//! * Model fitting is a pure function of `(ef, temp)`, so a cache hit
+//!   returns the identical `Arc<CompactCntFet>` a cold fit would have
+//!   produced (asserted by `model_cache_hit_is_bitwise_invisible`).
+//! * A warm engine replays its frozen elimination plan, and the replay
+//!   performs the same arithmetic sequence a fresh pivot-searching
+//!   factorization performs on equal values (see
+//!   [`NewtonEngine::rebind`](crate::engine::NewtonEngine::rebind)).
+//!   The cache-correctness tests in `tests/deck_cache.rs` assert the
+//!   resulting CSVs are bitwise-equal to cold runs.
+
+use super::error::DeckError;
+use super::ModelCard;
+use crate::engine::NewtonEngine;
+use cntfet_core::CompactCntFet;
+use cntfet_physics::units::{ElectronVolts, Kelvin};
+use cntfet_reference::DeviceParams;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters of a cache, taken with [`ModelCache::stats`] /
+/// [`EnginePool::stats`]. Subtract snapshots
+/// ([`CacheStats::delta_since`]) to scope counts to one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to do the work cold.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// The counts accumulated since `baseline` (saturating).
+    pub fn delta_since(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+        }
+    }
+}
+
+/// Key of a fitted model: the bit patterns of the two fitting inputs
+/// (`ef`, `temp`). Polarity and default length are element-level
+/// attributes applied after fitting, so they don't key the cache.
+type ModelKey = (u64, u64);
+
+/// A thread-safe cache of fitted CNFET models keyed by fitting
+/// parameters. Fitting (the piecewise charge fit behind every `.model`
+/// card) is the most expensive one-off step of a deck run; decks served
+/// repeatedly — or many decks sharing the paper's standard models — fit
+/// each distinct `(ef, temp)` once per process instead of once per run.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    map: Mutex<HashMap<ModelKey, Arc<CompactCntFet>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ModelCache::default()
+    }
+
+    /// Fits the model of a `.model` card, reusing a previous fit with
+    /// the same `(ef, temp)` when one is cached.
+    ///
+    /// # Errors
+    ///
+    /// [`DeckError`] (anchored at the card) when the fit fails; failed
+    /// fits are not cached, so a retry re-runs the fit.
+    pub(crate) fn fit(&self, card: &ModelCard) -> Result<Arc<CompactCntFet>, DeckError> {
+        let key = (card.fermi_level_ev.to_bits(), card.temperature_k.to_bits());
+        if let Some(model) = self.map.lock().expect("model cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(model));
+        }
+        // Fit outside the lock: fits are slow and independent, and a
+        // racing duplicate fit is pure-function idempotent.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let params = DeviceParams::paper_default()
+            .with_fermi_level(ElectronVolts(card.fermi_level_ev))
+            .with_temperature(Kelvin(card.temperature_k));
+        let model = CompactCntFet::model2(params).map_err(|e| {
+            card.origin
+                .error(format!("model '{}' failed to fit: {e}", card.name))
+        })?;
+        let model = Arc::new(model);
+        self.map
+            .lock()
+            .expect("model cache poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&model));
+        Ok(model)
+    }
+
+    /// Distinct fitted models currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("model cache poisoned").len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How many warm engines one topology shelf retains. Beyond this the
+/// oldest returned engine is dropped — a pool serving `P` concurrent
+/// workers never needs more than `P` engines per topology, and
+/// unbounded retention would pin every pattern a busy server ever saw.
+const SHELF_DEPTH: usize = 16;
+
+/// A thread-safe pool of warm [`NewtonEngine`]s keyed by
+/// [`Deck::topology_hash`](super::Deck::topology_hash). Taking an
+/// engine for a deck with a previously-seen topology skips the
+/// symbolic factorization (pattern build, structural-rank check,
+/// pivot-order search) — the dominant per-run cost for small decks —
+/// leaving only the value-dependent numeric replay.
+#[derive(Debug, Default)]
+pub struct EnginePool {
+    shelves: Mutex<HashMap<u64, Vec<NewtonEngine>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EnginePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        EnginePool::default()
+    }
+
+    /// Takes a warm engine for the given topology, if one is shelved.
+    /// The caller owns it for the duration of a run and should
+    /// [`put`](EnginePool::put) it back after.
+    pub fn take(&self, topology: u64) -> Option<NewtonEngine> {
+        let taken = self
+            .shelves
+            .lock()
+            .expect("engine pool poisoned")
+            .get_mut(&topology)
+            .and_then(Vec::pop);
+        match taken {
+            Some(engine) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(engine)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Shelves an engine for the given topology. Engines beyond
+    /// the per-topology depth limit are dropped.
+    pub fn put(&self, topology: u64, engine: NewtonEngine) {
+        let mut shelves = self.shelves.lock().expect("engine pool poisoned");
+        let shelf = shelves.entry(topology).or_default();
+        if shelf.len() < SHELF_DEPTH {
+            shelf.push(engine);
+        }
+    }
+
+    /// Warm engines currently shelved, over all topologies.
+    pub fn len(&self) -> usize {
+        self.shelves
+            .lock()
+            .expect("engine pool poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// `true` when no engine is shelved.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the hit/miss counters (one count per
+    /// [`take`](EnginePool::take)).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deck::Deck;
+
+    fn model_card(ef: f64, temp: f64) -> ModelCard {
+        ModelCard {
+            name: "nfet".into(),
+            polarity: crate::cnfet::Polarity::N,
+            fermi_level_ev: ef,
+            temperature_k: temp,
+            default_length_m: 100e-9,
+            origin: Default::default(),
+        }
+    }
+
+    #[test]
+    fn model_cache_hits_on_equal_params_only() {
+        let cache = ModelCache::new();
+        let a = cache.fit(&model_card(-0.32, 300.0)).unwrap();
+        let b = cache.fit(&model_card(-0.32, 300.0)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "equal params must share one fit");
+        let c = cache.fit(&model_card(-0.30, 300.0)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "different ef must refit");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn engine_pool_counts_hits_and_misses() {
+        let pool = EnginePool::new();
+        assert!(pool.take(42).is_none());
+        pool.put(42, NewtonEngine::new(Default::default()));
+        assert!(pool.take(42).is_some());
+        assert!(pool.take(42).is_none(), "taking removes the engine");
+        assert_eq!(pool.stats(), CacheStats { hits: 1, misses: 2 });
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn shelf_depth_is_bounded() {
+        let pool = EnginePool::new();
+        for _ in 0..(SHELF_DEPTH + 4) {
+            pool.put(7, NewtonEngine::new(Default::default()));
+        }
+        assert_eq!(pool.len(), SHELF_DEPTH);
+    }
+
+    #[test]
+    fn topology_hash_ignores_values_and_names_but_not_wiring() {
+        let base =
+            Deck::parse("divider\nV1 in 0 DC 2\nR1 in out 1k\nR2 out 0 1k\n.op\n.end").unwrap();
+        let values =
+            Deck::parse("divider\nV1 in 0 DC 5\nR1 in out 2k\nR2 out 0 7k\n.op\n.end").unwrap();
+        let renamed =
+            Deck::parse("divider\nV9 top 0 DC 2\nRa top mid 1k\nRb mid 0 1k\n.op\n.end").unwrap();
+        let rewired =
+            Deck::parse("divider\nV1 in 0 DC 2\nR1 in out 1k\nR2 in 0 1k\n.op\n.end").unwrap();
+        let grown =
+            Deck::parse("divider\nV1 in 0 DC 2\nR1 in out 1k\nR2 out 0 1k\nR3 out 0 1k\n.op\n.end")
+                .unwrap();
+        assert_eq!(base.topology_hash(), values.topology_hash());
+        assert_eq!(base.topology_hash(), renamed.topology_hash());
+        assert_ne!(base.topology_hash(), rewired.topology_hash());
+        assert_ne!(base.topology_hash(), grown.topology_hash());
+    }
+}

@@ -31,11 +31,13 @@
 //! line/column spans and render compiler-style diagnostics with
 //! "did you mean" suggestions (see [`DeckError`]).
 //!
-//! Each analysis card runs on a **fresh circuit and session**, so an
-//! earlier card can never perturb a later one (a `.dc` sweep overwrites
-//! its swept source's waveform, for example) — the SPICE convention of
-//! analysing the pristine netlist. Fitted CNFET models are shared
-//! across those rebuilds.
+//! Each analysis card runs on a **fresh circuit**, so an earlier card
+//! can never perturb a later one (a `.dc` sweep overwrites its swept
+//! source's waveform, for example) — the SPICE convention of analysing
+//! the pristine netlist. Fitted CNFET models are shared across those
+//! rebuilds, and one Newton engine carries its symbolic caches from
+//! card to card (and, through [`Deck::run_with`], from run to run via
+//! a [`ModelCache`] / [`EnginePool`]) without changing any result bit.
 //!
 //! # Example
 //!
@@ -65,6 +67,7 @@
 //! tests in `tests/deck_parser.rs`.
 
 mod build;
+mod cache;
 mod error;
 mod expr;
 pub mod generate;
@@ -73,10 +76,11 @@ mod lint;
 mod parse;
 mod run;
 
+pub use cache::{CacheStats, EnginePool, ModelCache};
 pub use error::{suggest, DeckError, SourceRef, Span};
 pub use lex::parse_number;
 pub use lint::{Finding, LintCode, LintOptions, LintReport, Severity};
-pub use run::{AnalysisReport, CardStats, DeckRun};
+pub use run::{AnalysisReport, CardStats, DeckRun, ReportHeader, RunCaches, RunContext, RunEvent};
 
 use crate::cnfet::Polarity;
 use crate::element::Waveform;
@@ -101,6 +105,8 @@ pub struct Deck {
     pub models: Vec<ModelCard>,
     /// `.param` cards with their evaluated values.
     pub params: Vec<ParamCard>,
+    /// `.option` cards tuning the solver (see [`OptionEntry`]).
+    pub options: Vec<OptionCard>,
     /// Analysis cards in source order.
     pub analyses: Vec<AnalysisCard>,
     /// `.print` probe selections.
@@ -318,6 +324,78 @@ pub struct ParamCard {
     pub value: f64,
     /// Card location.
     pub origin: SourceRef,
+}
+
+/// `.option <key>=<value> …` — solver tuning knobs, applied to every
+/// analysis card in the deck. Multiple `.option` cards merge in source
+/// order (later entries win). Keys map onto
+/// [`NewtonOptions`](crate::engine::NewtonOptions) and
+/// [`TransientOptions`](crate::transient::TransientOptions) — see
+/// [`OptionEntry`] for the accepted keys and [`Deck::newton_options`] /
+/// [`Deck::transient_options`] for the lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptionCard {
+    /// `key=value` entries in card order.
+    pub entries: Vec<OptionEntry>,
+    /// Card location.
+    pub origin: SourceRef,
+}
+
+/// One `key=value` entry of an `.option` card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptionEntry {
+    /// `reltol=<r>` — relative LTE tolerance of the adaptive transient
+    /// stepper ([`TransientOptions::rel_tol`](crate::transient::TransientOptions::rel_tol),
+    /// default `1e-3`). Validated positive at parse time.
+    RelTol(f64),
+    /// `abstol=<v>` — absolute LTE floor of the adaptive transient
+    /// stepper, volts ([`TransientOptions::abs_tol`](crate::transient::TransientOptions::abs_tol),
+    /// default `1e-6`). Validated positive at parse time.
+    AbsTol(f64),
+    /// `dtmin=<s>` — minimum adaptive step size, seconds
+    /// ([`TransientOptions::dt_min`](crate::transient::TransientOptions::dt_min)).
+    /// Validated positive at parse time.
+    DtMin(f64),
+    /// `bypass=0|1` — the SPICE3-lineage device bypass
+    /// ([`NewtonOptions::bypass`](crate::engine::NewtonOptions::bypass),
+    /// default off).
+    Bypass(bool),
+    /// `bypassvtol=<v>` — controlling-voltage tolerance of the device
+    /// bypass, volts
+    /// ([`NewtonOptions::bypass_vtol`](crate::engine::NewtonOptions::bypass_vtol),
+    /// default `1e-6`). Validated positive at parse time.
+    BypassVtol(f64),
+    /// `solver=auto|dense|sparse` — linear-solver selection
+    /// ([`NewtonOptions::solver`](crate::engine::NewtonOptions::solver),
+    /// default `auto`).
+    Solver(crate::engine::SolverKind),
+}
+
+impl OptionEntry {
+    /// The canonical key text of this entry.
+    pub fn key(&self) -> &'static str {
+        match self {
+            OptionEntry::RelTol(_) => "reltol",
+            OptionEntry::AbsTol(_) => "abstol",
+            OptionEntry::DtMin(_) => "dtmin",
+            OptionEntry::Bypass(_) => "bypass",
+            OptionEntry::BypassVtol(_) => "bypassvtol",
+            OptionEntry::Solver(_) => "solver",
+        }
+    }
+
+    fn value_text(&self) -> String {
+        match self {
+            OptionEntry::RelTol(v) | OptionEntry::AbsTol(v) | OptionEntry::DtMin(v) => num(*v),
+            OptionEntry::Bypass(b) => String::from(if *b { "1" } else { "0" }),
+            OptionEntry::BypassVtol(v) => num(*v),
+            OptionEntry::Solver(kind) => String::from(match kind {
+                crate::engine::SolverKind::Auto => "auto",
+                crate::engine::SolverKind::Dense => "dense",
+                crate::engine::SolverKind::Sparse => "sparse",
+            }),
+        }
+    }
 }
 
 /// Which analysis a `.print` card scopes to.
@@ -653,13 +731,110 @@ impl Deck {
     }
 
     /// Lowers the deck into a fresh [`Simulator`] session (fitting the
-    /// CNFET models of this build).
+    /// CNFET models of this build). The deck's `.option` cards are
+    /// applied as the session's Newton options.
     ///
     /// # Errors
     ///
     /// [`DeckError`] when a `.model` card fails to fit.
     pub fn simulator(&self) -> Result<Simulator, DeckError> {
-        Ok(Simulator::new(self.circuit()?))
+        Ok(Simulator::with_options(
+            self.circuit()?,
+            self.newton_options(),
+        ))
+    }
+
+    /// The Newton options the deck's `.option` cards select: defaults
+    /// with `bypass`, `bypassvtol` and `solver` entries applied in
+    /// source order (later entries win). These drive `.op` and `.dc`
+    /// cards directly; `.tran` cards take them through
+    /// [`Deck::transient_options`].
+    pub fn newton_options(&self) -> crate::engine::NewtonOptions {
+        let mut newton = crate::engine::NewtonOptions::default();
+        self.apply_newton_entries(&mut newton);
+        newton
+    }
+
+    /// The transient options the deck's `.option` cards select:
+    /// [`TransientOptions::default`](crate::transient::TransientOptions)
+    /// with `reltol`, `abstol` and `dtmin` applied, and the embedded
+    /// Newton options adjusted like [`Deck::newton_options`] (on top of
+    /// the transient iteration budget).
+    pub fn transient_options(&self) -> crate::transient::TransientOptions {
+        let mut tran = crate::transient::TransientOptions::default();
+        self.apply_newton_entries(&mut tran.newton);
+        for card in &self.options {
+            for entry in &card.entries {
+                match entry {
+                    OptionEntry::RelTol(v) => tran.rel_tol = *v,
+                    OptionEntry::AbsTol(v) => tran.abs_tol = *v,
+                    OptionEntry::DtMin(v) => tran.dt_min = Some(*v),
+                    _ => {}
+                }
+            }
+        }
+        tran
+    }
+
+    fn apply_newton_entries(&self, newton: &mut crate::engine::NewtonOptions) {
+        for card in &self.options {
+            for entry in &card.entries {
+                match entry {
+                    OptionEntry::Bypass(b) => newton.bypass = *b,
+                    OptionEntry::BypassVtol(v) => newton.bypass_vtol = *v,
+                    OptionEntry::Solver(kind) => newton.solver = *kind,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// A content hash of the deck's circuit **topology**: the element
+    /// kinds and their node wiring in card order (exactly what fixes
+    /// the lowered circuit's unknown layout and MNA sparsity pattern),
+    /// with every element *value* excluded. Two decks with equal hashes
+    /// assemble structurally identical MNA systems, so one deck's
+    /// symbolic factorization (sparsity pattern, write plan, pivot
+    /// order) can seed the other's engine via
+    /// [`NewtonEngine::rebind`](crate::engine::NewtonEngine::rebind) —
+    /// the key of the warm-engine pool
+    /// ([`EnginePool`]).
+    ///
+    /// FNV-1a over the per-card kind tag and first-appearance node
+    /// indices (ground is index 0), so node *names* don't matter but
+    /// wiring order does — matching how the circuit interns nodes.
+    pub fn topology_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let mut ids: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+        for card in &self.elements {
+            let kind = match card {
+                ElementCard::Resistor(_) => 1u64,
+                ElementCard::Capacitor(_) => 2,
+                ElementCard::Voltage(_) => 3,
+                ElementCard::Current(_) => 4,
+                ElementCard::Cnfet(_) => 5,
+            };
+            mix(kind);
+            for node in card.nodes() {
+                let id = if node == "0" || node == "gnd" {
+                    0
+                } else {
+                    let next = ids.len() as u64 + 1;
+                    *ids.entry(node).or_insert(next)
+                };
+                mix(id);
+            }
+        }
+        mix(self.elements.len() as u64);
+        hash
     }
 }
 
@@ -734,6 +909,13 @@ impl fmt::Display for Deck {
         writeln!(f, "{}", self.title)?;
         for p in &self.params {
             writeln!(f, ".param {} = {}", p.name, num(p.value))?;
+        }
+        for card in &self.options {
+            write!(f, ".option")?;
+            for entry in &card.entries {
+                write!(f, " {}={}", entry.key(), entry.value_text())?;
+            }
+            writeln!(f)?;
         }
         for m in &self.models {
             writeln!(

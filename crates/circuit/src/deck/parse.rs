@@ -15,11 +15,12 @@ use super::expr;
 use super::lex::{lex, LogicalLine, Token, TokenKind};
 use super::{
     AcCard, AcScale, AnalysisCard, AnalysisKind, CapacitorCard, CnfetCard, CurrentCard, DcCard,
-    Deck, ElementCard, InstanceCard, ModelCard, OpCard, ParamCard, PrintCard, ProbeRef,
-    ResistorCard, SubcktDef, TranCard, VoltageCard,
+    Deck, ElementCard, InstanceCard, ModelCard, OpCard, OptionCard, OptionEntry, ParamCard,
+    PrintCard, ProbeRef, ResistorCard, SubcktDef, TranCard, VoltageCard,
 };
 use crate::cnfet::Polarity;
 use crate::element::Waveform;
+use crate::engine::SolverKind;
 use crate::error::CircuitError;
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
@@ -65,6 +66,7 @@ pub fn parse(text: &str) -> Result<Deck, DeckError> {
                     params.insert(card.name.clone(), card.value);
                     deck.params.push(card);
                 }
+                "option" => deck.options.push(parse_option(&mut cur, origin)?),
                 "op" => {
                     cur.done()?;
                     deck.analyses.push(AnalysisCard::Op(OpCard { origin }));
@@ -85,8 +87,8 @@ pub fn parse(text: &str) -> Result<Deck, DeckError> {
                 }
                 other => {
                     let known = [
-                        ".model", ".param", ".subckt", ".ends", ".op", ".dc", ".tran", ".ac",
-                        ".print", ".ic", ".end",
+                        ".model", ".param", ".option", ".subckt", ".ends", ".op", ".dc", ".tran",
+                        ".ac", ".print", ".ic", ".end",
                     ];
                     let mut err = origin.error(format!(
                         "unknown directive '.{other}'; this dialect has {}",
@@ -1217,6 +1219,78 @@ fn parse_model(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<ModelCard, Dec
         }
     }
     Ok(card)
+}
+
+fn parse_option(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<OptionCard, DeckError> {
+    let mut entries = Vec::new();
+    while cur.peek().is_some() {
+        let (key, key_span) = cur.next_word("an option name")?;
+        let key_lc = key.to_ascii_lowercase();
+        let key = key.to_string();
+        cur.expect_punct('=')?;
+        let entry = match key_lc.as_str() {
+            "reltol" => OptionEntry::RelTol(cur.next_positive("the relative LTE tolerance")?),
+            "abstol" => {
+                OptionEntry::AbsTol(cur.next_positive("the absolute LTE tolerance in volts")?)
+            }
+            "dtmin" => OptionEntry::DtMin(cur.next_positive("the minimum step size in seconds")?),
+            "bypass" => {
+                let (v, span) = cur.next_word("0 or 1")?;
+                let on = match v.to_ascii_lowercase().as_str() {
+                    "1" | "on" => true,
+                    "0" | "off" => false,
+                    other => {
+                        return Err(cur.at(span, format!("bypass must be 0 or 1, got '{other}'")))
+                    }
+                };
+                OptionEntry::Bypass(on)
+            }
+            "bypassvtol" => {
+                OptionEntry::BypassVtol(cur.next_positive("the bypass voltage tolerance in volts")?)
+            }
+            "solver" => {
+                let (v, span) = cur.next_word("the solver (auto, dense or sparse)")?;
+                let kind = match v.to_ascii_lowercase().as_str() {
+                    "auto" => SolverKind::Auto,
+                    "dense" => SolverKind::Dense,
+                    "sparse" => SolverKind::Sparse,
+                    other => {
+                        return Err(cur.at(
+                            span,
+                            format!("solver must be auto, dense or sparse, got '{other}'"),
+                        ))
+                    }
+                };
+                OptionEntry::Solver(kind)
+            }
+            _ => {
+                let known = [
+                    "reltol",
+                    "abstol",
+                    "dtmin",
+                    "bypass",
+                    "bypassvtol",
+                    "solver",
+                ];
+                let mut err = cur.at(
+                    key_span,
+                    format!(
+                        "unknown option '{key}'; .option accepts {}",
+                        known.join(", ")
+                    ),
+                );
+                if let Some(help) = suggest(&key, known.iter().copied()) {
+                    err = err.with_help(help);
+                }
+                return Err(err);
+            }
+        };
+        entries.push(entry);
+    }
+    if entries.is_empty() {
+        return Err(origin.error(".option needs at least one key=value entry"));
+    }
+    Ok(OptionCard { entries, origin })
 }
 
 fn parse_param(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<ParamCard, DeckError> {

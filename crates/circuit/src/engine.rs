@@ -56,6 +56,8 @@ use cntfet_numerics::sparse::{
     SparseLuSolver,
 };
 use cntfet_numerics::stats::inf_norm;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Which linear solver backs the Newton iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -260,6 +262,8 @@ pub struct NewtonEngine {
     path: FactorPathStats,
     device_evals: u64,
     device_bypasses: u64,
+    /// Cooperative cancellation flag, polled once per Newton iteration.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl NewtonEngine {
@@ -276,6 +280,7 @@ impl NewtonEngine {
             path: FactorPathStats::default(),
             device_evals: 0,
             device_bypasses: 0,
+            cancel: None,
         }
     }
 
@@ -296,6 +301,85 @@ impl NewtonEngine {
     /// next solve transparently rebuilds them.
     pub fn set_options(&mut self, opts: NewtonOptions) {
         self.opts = opts;
+    }
+
+    /// Installs (or clears) a cooperative cancellation flag. The engine
+    /// polls it once at the top of every Newton iteration, and the
+    /// transient cores additionally poll once per step attempt, so a
+    /// cancelled analysis stops within one accepted step and returns
+    /// [`CircuitError::Cancelled`]. The flag is shared: a controller
+    /// thread sets it with [`AtomicBool::store`] while the solve runs on
+    /// a worker. Cancellation leaves the engine's caches intact and
+    /// reusable.
+    pub fn set_cancel(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.cancel = cancel;
+    }
+
+    /// Whether the installed cancellation flag (if any) has been raised.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    /// Returns [`CircuitError::Cancelled`] when the flag is raised —
+    /// the poll used by every analysis loop.
+    pub fn check_cancel(&self) -> Result<(), CircuitError> {
+        if self.cancel_requested() {
+            Err(CircuitError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Re-keys the engine's caches onto another [`Circuit`] with the
+    /// *identical MNA structure* — the warm-session seam of the
+    /// persistent server. A deck re-lowered from text produces a fresh
+    /// `Circuit` whose `id`/`revision` differ even when its stamp
+    /// sequence is identical; without rebinding, the engine would
+    /// discard its symbolic analysis (pattern, pivot order, fill-in
+    /// plan) and redo it from scratch.
+    ///
+    /// For each cached analysis kind whose unknown count and
+    /// extra-variable bases match the new circuit, the cache is re-keyed
+    /// in place: the recorded pattern, tracked write sequence and frozen
+    /// solver plan survive, while everything value-dependent is reset —
+    /// the structural-rank verdict, the partial-refactorization baseline
+    /// and the per-device bypass caches — so no numerical state leaks
+    /// between circuits. Incompatible slots are dropped and rebuild
+    /// lazily.
+    ///
+    /// **Caller contract:** the new circuit must stamp the same slot
+    /// sequence (same element kinds and node wiring, values free). Keyed
+    /// lookups via [`crate::deck::Deck::topology_hash`] guarantee this;
+    /// a mismatched caller is caught by the assembler's pattern guard.
+    pub fn rebind(&mut self, circuit: &Circuit) {
+        let unknowns = circuit.unknown_count();
+        let bases = circuit.extra_var_bases();
+        let elements = circuit.elements().len();
+        for slot in &mut self.caches {
+            let compatible = slot
+                .as_ref()
+                .is_some_and(|c| c.unknowns == unknowns && c.bases == bases);
+            if compatible {
+                let c = slot.as_mut().expect("checked above");
+                c.circuit_id = circuit.id();
+                c.revision = circuit.revision();
+                c.struct_ok = false;
+                c.prev_valid = false;
+                c.prev_values.clear();
+                c.states.clear();
+                c.states.resize_with(elements, DeviceState::default);
+            } else {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Whether any analysis kind holds a warm cache (pattern + solver
+    /// plan) that [`NewtonEngine::rebind`] could carry to a new circuit.
+    pub fn is_warm(&self) -> bool {
+        self.caches.iter().any(Option::is_some)
     }
 
     /// How many times this engine has (re)built a sparsity pattern —
@@ -494,7 +578,8 @@ impl NewtonEngine {
     ///
     /// [`CircuitError::SingularSystem`] when the Jacobian cannot be
     /// factored, [`CircuitError::NoConvergence`] when the iteration
-    /// budget runs out.
+    /// budget runs out, [`CircuitError::Cancelled`] when the installed
+    /// cancellation flag is raised mid-iteration.
     pub fn newton(
         &mut self,
         circuit: &Circuit,
@@ -514,6 +599,7 @@ impl NewtonEngine {
         let max_iter = self.opts.max_iter;
         let max_halvings = self.opts.max_step_halvings;
         for it in 0..max_iter {
+            self.check_cancel()?;
             if self.converged(circuit) {
                 return Ok((x, it));
             }
@@ -668,6 +754,7 @@ impl NewtonEngine {
         let x0 = initial.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
         match self.newton(circuit, &x0, &AnalysisMode::Dc, 0.0) {
             Ok((x, iterations)) => Ok(Solution { x, iterations }),
+            Err(CircuitError::Cancelled) => Err(CircuitError::Cancelled),
             Err(_) => {
                 // Gmin ramp.
                 let mut x = x0;
@@ -1049,6 +1136,59 @@ mod tests {
         let total = engine.counters();
         assert_eq!(total.partial_refactorizations, 0);
         assert_eq!(total.columns_recomputed, total.columns_total);
+    }
+
+    #[test]
+    fn rebind_carries_symbolic_work_to_an_identical_circuit() {
+        // Two independently built ladders: same wiring, different ids.
+        let c1 = sparse_ladder();
+        let mut c2 = sparse_ladder();
+        assert!(c2.set_source_value("V1", 2.0));
+        assert_ne!(c1.id(), c2.id());
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        engine.dc_operating_point(&c1, None).unwrap();
+        assert_eq!(engine.pattern_builds(), 1);
+        let before = engine.counters();
+        engine.rebind(&c2);
+        assert!(engine.is_warm());
+        let sol = engine.dc_operating_point(&c2, None).unwrap();
+        let delta = engine.counters().delta_since(&before);
+        assert_eq!(engine.pattern_builds(), 1, "rebind must not repattern");
+        assert_eq!(delta.symbolic_factorizations, 0, "pivot plan was replayed");
+        let mid = c2.find_node("n19").unwrap();
+        assert!((sol.voltage(mid) - 2.0 * 21.0 / 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebind_drops_incompatible_caches() {
+        let c1 = sparse_ladder();
+        let (c2, out) = divider();
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        engine.dc_operating_point(&c1, None).unwrap();
+        engine.rebind(&c2);
+        assert!(!engine.is_warm(), "different unknown count drops the slot");
+        let sol = engine.dc_operating_point(&c2, None).unwrap();
+        assert!((sol.voltage(out) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raised_cancel_flag_aborts_newton() {
+        use std::sync::atomic::AtomicBool;
+        let (c, _) = divider();
+        let mut engine = NewtonEngine::new(NewtonOptions::default());
+        let flag = Arc::new(AtomicBool::new(true));
+        engine.set_cancel(Some(Arc::clone(&flag)));
+        assert!(matches!(
+            engine.dc_operating_point(&c, None),
+            Err(CircuitError::Cancelled)
+        ));
+        // Lowering the flag makes the same engine usable again.
+        flag.store(false, Ordering::Relaxed);
+        engine.dc_operating_point(&c, None).unwrap();
+        // And clearing the token removes the poll entirely.
+        engine.set_cancel(None);
+        assert!(!engine.cancel_requested());
+        engine.dc_operating_point(&c, None).unwrap();
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub enum CircuitError {
         /// Names of the unknowns no equation can determine.
         nodes: Vec<String>,
     },
+    /// The analysis was interrupted by a cooperative cancellation
+    /// request (see `Simulator::set_cancel`). The flag is polled once
+    /// per Newton iteration and once per transient step attempt, so a
+    /// cancelled transient stops within one accepted step. Partial
+    /// results computed before the interrupt are discarded by the
+    /// analysis entry points; the engine itself stays reusable.
+    Cancelled,
     /// Adaptive transient stepping gave up: either the step controller
     /// shrank the step to the configured minimum and the step still
     /// failed (local truncation error too large or Newton divergence),
@@ -112,6 +119,12 @@ impl fmt::Display for CircuitError {
                  (check for nodes isolated from ground by capacitors or current sources)",
                 nodes.join(", ")
             ),
+            CircuitError::Cancelled => {
+                write!(
+                    f,
+                    "analysis cancelled by a cooperative cancellation request"
+                )
+            }
             CircuitError::TimestepTooSmall { t, dt } => write!(
                 f,
                 "adaptive transient gave up at t = {t:.6e} s with step {dt:.3e} s \
@@ -161,6 +174,11 @@ mod tests {
             available: vec![],
         };
         assert!(none.to_string().contains("no sources"));
+    }
+
+    #[test]
+    fn cancelled_displays_cause() {
+        assert!(CircuitError::Cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -52,8 +52,11 @@ use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId};
 use crate::sweep::{sweep_core, SweepResult};
 use crate::transient::TransientRun;
-use crate::transient::{transient_adaptive_core, transient_fixed_core, TransientOptions};
-use std::sync::OnceLock;
+use crate::transient::{
+    transient_adaptive_core, transient_fixed_core, StepObserver, TransientOptions,
+};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, OnceLock};
 
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
@@ -388,6 +391,44 @@ impl Simulator {
         }
     }
 
+    /// Creates a session around `circuit` reusing a warm
+    /// [`NewtonEngine`] harvested from an earlier session with
+    /// [`Simulator::into_engine`] — the warm-session seam of the
+    /// persistent server. The engine is [re-keyed](NewtonEngine::rebind)
+    /// onto the new circuit: when the MNA structure matches, its
+    /// recorded sparsity pattern and frozen pivot plan survive and the
+    /// symbolic analysis is skipped; otherwise the caches rebuild
+    /// lazily and the session behaves exactly like a cold one. The
+    /// session starts with no warm-start point, so the Newton iteration
+    /// sequence of a resumed run matches a cold run's bit for bit.
+    pub fn resume(circuit: Circuit, mut engine: NewtonEngine, options: NewtonOptions) -> Self {
+        engine.rebind(&circuit);
+        engine.set_options(options);
+        Simulator {
+            circuit,
+            engine,
+            newton: options,
+            last_x: None,
+        }
+    }
+
+    /// Dissolves the session and returns its engine so a pool can keep
+    /// the warm symbolic state for a later [`Simulator::resume`]. Any
+    /// installed cancellation flag is detached first.
+    pub fn into_engine(mut self) -> NewtonEngine {
+        self.engine.set_cancel(None);
+        self.engine
+    }
+
+    /// Installs (or clears) a cooperative cancellation flag on the
+    /// session engine: raise it from another thread and the running
+    /// analysis returns [`CircuitError::Cancelled`] within one Newton
+    /// iteration (DC/AC/sweep) or one transient step attempt. See
+    /// [`NewtonEngine::set_cancel`].
+    pub fn set_cancel(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.engine.set_cancel(cancel);
+    }
+
     /// The circuit under simulation.
     pub fn circuit(&self) -> &Circuit {
         &self.circuit
@@ -484,6 +525,32 @@ impl Simulator {
     /// [`CircuitError::TimestepTooSmall`] when adaptive stepping gives
     /// up, plus any solver failure.
     pub fn transient(&mut self, spec: &TransientSpec) -> Result<TransientRun, CircuitError> {
+        self.transient_core(spec, None)
+    }
+
+    /// [`Simulator::transient`] with an incremental observer: `observe`
+    /// is called once per **accepted** step with the simulation time and
+    /// the full unknown vector, including the initial state at `t = 0`,
+    /// before the run completes — the streaming seam of the persistent
+    /// server. Rejected step attempts are never observed, so the
+    /// observed sequence equals the returned [`TransientRun`]'s points.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Simulator::transient`].
+    pub fn transient_observed(
+        &mut self,
+        spec: &TransientSpec,
+        mut observe: impl FnMut(f64, &[f64]),
+    ) -> Result<TransientRun, CircuitError> {
+        self.transient_core(spec, Some(&mut observe))
+    }
+
+    fn transient_core(
+        &mut self,
+        spec: &TransientSpec,
+        observer: Option<StepObserver<'_>>,
+    ) -> Result<TransientRun, CircuitError> {
         // Resolve the starting state here so the session's warm start
         // benefits the DC solve; a caller-provided state passes through
         // to the cores, which validate its length.
@@ -507,6 +574,7 @@ impl Simulator {
                 dt,
                 resolved.as_deref(),
                 &spec.options,
+                observer,
             )?,
             None => transient_adaptive_core(
                 &mut self.engine,
@@ -514,6 +582,7 @@ impl Simulator {
                 spec.t_stop,
                 resolved.as_deref(),
                 &spec.options,
+                observer,
             )?,
         };
         Ok(run)

@@ -137,6 +137,10 @@ impl TimeIntegrator {
     }
 }
 
+/// Callback handed to the transient stepping cores; it receives every
+/// accepted `(t, x)` point in order, including the initial state.
+pub(crate) type StepObserver<'a> = &'a mut dyn FnMut(f64, &[f64]);
+
 /// Tuning knobs of transient analysis — integrator choice, step bounds,
 /// LTE tolerances and controller behaviour. [`TransientOptions::default`]
 /// is a reasonable starting point for logic-style waveforms: BDF2,
@@ -367,7 +371,8 @@ pub fn solve_transient(
         ..TransientOptions::default()
     };
     let mut engine = NewtonEngine::new(opts.newton);
-    transient_fixed_core(&mut engine, circuit, t_stop, dt, initial, &opts).map(|run| run.result)
+    transient_fixed_core(&mut engine, circuit, t_stop, dt, initial, &opts, None)
+        .map(|run| run.result)
 }
 
 /// [`solve_transient`] with explicit [`NewtonOptions`].
@@ -394,7 +399,8 @@ pub fn solve_transient_with(
         ..TransientOptions::default()
     };
     let mut engine = NewtonEngine::new(opts.newton);
-    transient_fixed_core(&mut engine, circuit, t_stop, dt, initial, &opts).map(|run| run.result)
+    transient_fixed_core(&mut engine, circuit, t_stop, dt, initial, &opts, None)
+        .map(|run| run.result)
 }
 
 /// Fixed-step transient with full [`TransientStats`] and a choice of
@@ -419,7 +425,7 @@ pub fn solve_transient_fixed(
     options: &TransientOptions,
 ) -> Result<TransientRun, CircuitError> {
     let mut engine = NewtonEngine::new(options.newton);
-    transient_fixed_core(&mut engine, circuit, t_stop, dt, initial, options)
+    transient_fixed_core(&mut engine, circuit, t_stop, dt, initial, options, None)
 }
 
 /// The engine-sharing fixed-grid stepping core behind
@@ -427,6 +433,9 @@ pub fn solve_transient_fixed(
 /// [`crate::sim::Simulator::transient`]. No LTE control is performed —
 /// every Newton-converged step is accepted, and a Newton failure aborts
 /// the run. The final step is shortened to land exactly on `t_stop`.
+/// `observer`, when present, sees every accepted `(t, x)` point in
+/// order (including the initial state) before the run completes; the
+/// engine's cancellation flag is additionally polled once per step.
 pub(crate) fn transient_fixed_core(
     engine: &mut NewtonEngine,
     circuit: &Circuit,
@@ -434,6 +443,7 @@ pub(crate) fn transient_fixed_core(
     dt: f64,
     initial: Option<&[f64]>,
     options: &TransientOptions,
+    mut observer: Option<StepObserver<'_>>,
 ) -> Result<TransientRun, CircuitError> {
     if dt <= 0.0 || t_stop <= 0.0 {
         return Err(CircuitError::InvalidAnalysis(format!(
@@ -453,6 +463,9 @@ pub(crate) fn transient_fixed_core(
     let mut states = Vec::with_capacity(steps + 1);
     time.push(0.0);
     states.push(x0.clone());
+    if let Some(obs) = observer.as_deref_mut() {
+        obs(0.0, &x0);
+    }
     let mut stats = TransientStats::default();
     let mut x = x0;
     let mut t_prev = 0.0;
@@ -460,6 +473,7 @@ pub(crate) fn transient_fixed_core(
     // history, populated after the first accepted step.
     let mut bdf2_hist: Option<(Vec<f64>, f64)> = None;
     for k in 1..=steps {
+        engine.check_cancel()?;
         // The final step lands exactly on t_stop (shortened when t_stop
         // is not an integer multiple of dt).
         let t = if k == steps {
@@ -485,6 +499,9 @@ pub(crate) fn transient_fixed_core(
         t_prev = t;
         time.push(t);
         states.push(x.clone());
+        if let Some(obs) = observer.as_deref_mut() {
+            obs(t, &x);
+        }
     }
     stats.absorb_counters(engine.counters().delta_since(&base_counters));
     Ok(TransientRun::new(
@@ -526,18 +543,24 @@ pub fn solve_transient_adaptive(
     options: &TransientOptions,
 ) -> Result<TransientRun, CircuitError> {
     let mut engine = NewtonEngine::new(options.newton);
-    transient_adaptive_core(&mut engine, circuit, t_stop, initial, options)
+    transient_adaptive_core(&mut engine, circuit, t_stop, initial, options, None)
 }
 
 /// The engine-sharing adaptive stepping core behind
 /// [`solve_transient_adaptive`] and
-/// [`crate::sim::Simulator::transient`].
+/// [`crate::sim::Simulator::transient`]. `observer`, when present, sees
+/// every **accepted** `(t, x)` point in order (including the initial
+/// state); rejected attempts are invisible to it. The engine's
+/// cancellation flag is polled once per step attempt on top of the
+/// per-Newton-iteration polls, so cancellation lands within one
+/// accepted step.
 pub(crate) fn transient_adaptive_core(
     engine: &mut NewtonEngine,
     circuit: &Circuit,
     t_stop: f64,
     initial: Option<&[f64]>,
     options: &TransientOptions,
+    mut observer: Option<StepObserver<'_>>,
 ) -> Result<TransientRun, CircuitError> {
     if t_stop <= 0.0 {
         return Err(CircuitError::InvalidAnalysis(format!(
@@ -552,6 +575,9 @@ pub(crate) fn transient_adaptive_core(
     let mut stats = TransientStats::default();
     let mut time = vec![0.0];
     let mut states = vec![x0.clone()];
+    if let Some(obs) = observer.as_deref_mut() {
+        obs(0.0, &x0);
+    }
     // Accepted history since the last integrator restart, oldest first,
     // capped at the three points BDF2's predictor needs.
     let mut hist: Vec<(f64, Vec<f64>)> = vec![(0.0, x0)];
@@ -567,6 +593,7 @@ pub(crate) fn transient_adaptive_core(
         if t_stop - t_n <= end_eps {
             break;
         }
+        engine.check_cancel()?;
         attempts += 1;
         if attempts > options.max_steps {
             return Err(CircuitError::InvalidAnalysis(format!(
@@ -603,6 +630,9 @@ pub(crate) fn transient_adaptive_core(
                     let t_new = if final_step { t_stop } else { t_n + dt };
                     time.push(t_new);
                     states.push(x_new.clone());
+                    if let Some(obs) = observer.as_deref_mut() {
+                        obs(t_new, &x_new);
+                    }
                     if hist.len() == 3 {
                         hist.remove(0);
                     }

@@ -972,7 +972,10 @@ impl PatternAssembler {
 /// `factor` may cache symbolic work keyed on the matrix's shared
 /// [`SparsityPattern`]; `solve_factored` reuses the latest factors for
 /// any number of right-hand sides.
-pub trait LinearSolver: std::fmt::Debug {
+///
+/// `Send` is a supertrait so a boxed solver — and anything caching one,
+/// like a warm Newton engine — can migrate between worker threads.
+pub trait LinearSolver: std::fmt::Debug + Send {
     /// Short human-readable solver name (for benchmark tables).
     fn name(&self) -> &'static str;
 

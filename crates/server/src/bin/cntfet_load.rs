@@ -1,0 +1,322 @@
+//! `cntfet-load` — load generator and smoke tester for `cntfet-serve`.
+//!
+//! ```text
+//! cntfet-load --socket PATH [--repeat N] [--clients C]
+//!             [--expect GOLDEN_DIR] [--cancel-smoke DECK]
+//!             [--shutdown] [DECK...]
+//! ```
+//!
+//! Submits each deck file `--repeat` times from `--clients` concurrent
+//! connections, waits for every result, and reports throughput in
+//! decks per second plus the server's cache counters. With `--expect`,
+//! every result's CSV is compared line-by-line against
+//! `GOLDEN_DIR/<deck-stem>.csv` (comment lines stripped) — any drift
+//! is a hard failure, making this the CI smoke driver. With
+//! `--cancel-smoke`, a long deck is submitted, cancelled as soon as
+//! its first streamed rows arrive, and the job must report
+//! `cancelled`.
+
+use cntfet_server::client::Client;
+use cntfet_server::json::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::time::Instant;
+
+const USAGE: &str = "\
+USAGE:
+    cntfet-load --socket PATH [--repeat N] [--clients C]
+                [--expect GOLDEN_DIR] [--cancel-smoke DECK]
+                [--shutdown] [DECK...]
+
+OPTIONS:
+    --socket PATH        Server socket to connect to (required).
+    --repeat N           Submit each deck N times per client (default 1).
+    --clients C          Concurrent client connections (default 1).
+    --expect DIR         Compare each result against DIR/<deck-stem>.csv
+                         (comment lines stripped, otherwise bitwise).
+    --cancel-smoke DECK  Submit DECK, cancel on the first streamed rows,
+                         require the job to finish 'cancelled'.
+    --shutdown           Send a drain shutdown once done.
+    -h, --help           Show this help.
+";
+
+struct Args {
+    socket: String,
+    repeat: usize,
+    clients: usize,
+    expect: Option<PathBuf>,
+    cancel_smoke: Option<PathBuf>,
+    shutdown: bool,
+    decks: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: String::new(),
+        repeat: 1,
+        clients: 1,
+        expect: None,
+        cancel_smoke: None,
+        shutdown: false,
+        decks: Vec::new(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--socket" => args.socket = argv.next().ok_or("--socket needs a path")?,
+            "--repeat" => {
+                args.repeat = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--repeat needs a positive integer")?;
+            }
+            "--clients" => {
+                args.clients = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--clients needs a positive integer")?;
+            }
+            "--expect" => {
+                args.expect = Some(argv.next().ok_or("--expect needs a directory")?.into())
+            }
+            "--cancel-smoke" => {
+                args.cancel_smoke = Some(argv.next().ok_or("--cancel-smoke needs a deck")?.into());
+            }
+            "--shutdown" => args.shutdown = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown argument {other:?}")),
+            deck => args.decks.push(deck.into()),
+        }
+    }
+    if args.socket.is_empty() {
+        return Err("--socket PATH is required".into());
+    }
+    if args.decks.is_empty() && args.cancel_smoke.is_none() && !args.shutdown {
+        return Err("nothing to do: pass deck files, --cancel-smoke or --shutdown".into());
+    }
+    Ok(args)
+}
+
+/// One deck ready to submit: its text plus the optional golden CSV it
+/// must reproduce.
+#[derive(Clone)]
+struct LoadedDeck {
+    name: String,
+    text: String,
+    golden: Option<Vec<String>>,
+}
+
+fn load_decks(paths: &[PathBuf], expect: Option<&Path>) -> Result<Vec<LoadedDeck>, String> {
+    paths
+        .iter()
+        .map(|path| {
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let golden = match expect {
+                Some(dir) => {
+                    let golden_path = dir.join(format!("{name}.csv"));
+                    let raw = std::fs::read_to_string(&golden_path)
+                        .map_err(|e| format!("{}: {e}", golden_path.display()))?;
+                    Some(data_lines(&raw))
+                }
+                None => None,
+            };
+            Ok(LoadedDeck { name, text, golden })
+        })
+        .collect()
+}
+
+/// Comment (`*`) and blank lines stripped — the same normalisation the
+/// golden deck tests apply before their bitwise line comparison.
+fn data_lines(csv: &str) -> Vec<String> {
+    csv.lines()
+        .filter(|l| !l.starts_with('*') && !l.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Concatenates a result's per-report CSVs in card order.
+fn result_csv(result: &Json) -> Result<String, String> {
+    let reports = result
+        .get("reports")
+        .and_then(Json::as_arr)
+        .ok_or("result lacks a reports array")?;
+    let mut out = String::new();
+    for report in reports {
+        out.push_str(
+            report
+                .get("csv")
+                .and_then(Json::as_str)
+                .ok_or("report lacks a csv member")?,
+        );
+    }
+    Ok(out)
+}
+
+fn check_golden(deck: &LoadedDeck, result: &Json) -> Result<(), String> {
+    let Some(golden) = &deck.golden else {
+        return Ok(());
+    };
+    let fresh = data_lines(&result_csv(result)?);
+    if fresh.len() != golden.len() {
+        return Err(format!(
+            "{}: row count mismatch ({} golden vs {} server)",
+            deck.name,
+            golden.len(),
+            fresh.len()
+        ));
+    }
+    for (k, (g, f)) in golden.iter().zip(&fresh).enumerate() {
+        if g != f {
+            return Err(format!(
+                "{}: line {k} differs\n  golden: {g}\n  server: {f}",
+                deck.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_client(socket: &str, decks: &[LoadedDeck], repeat: usize) -> Result<usize, String> {
+    let mut client = Client::connect(socket).map_err(|e| e.to_string())?;
+    let mut completed = 0;
+    for _ in 0..repeat {
+        for deck in decks {
+            let job = client.submit(&deck.text).map_err(|e| e.to_string())?;
+            let result = client
+                .wait_result(job)
+                .map_err(|e| format!("{}: {e}", deck.name))?;
+            check_golden(deck, &result)?;
+            completed += 1;
+        }
+    }
+    Ok(completed)
+}
+
+/// Submits the deck, streams it from a second connection, cancels as
+/// soon as the first `rows` event lands, and requires the stream to
+/// end in a `cancelled` event with the job reporting `cancelled`.
+fn cancel_smoke(socket: &str, path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut control = Client::connect(socket).map_err(|e| e.to_string())?;
+    let job = control.submit(&text).map_err(|e| e.to_string())?;
+
+    let (first_rows_tx, first_rows_rx) = mpsc::channel();
+    let socket_owned = socket.to_string();
+    let streamer = std::thread::spawn(move || -> Result<Vec<String>, String> {
+        let mut client = Client::connect(&socket_owned).map_err(|e| e.to_string())?;
+        let mut kinds = Vec::new();
+        let mut signalled = false;
+        client
+            .stream(job, 0, &mut |event| {
+                let kind = event
+                    .get("type")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                if kind == "rows" && !signalled {
+                    signalled = true;
+                    let _ = first_rows_tx.send(());
+                }
+                kinds.push(kind);
+            })
+            .map_err(|e| e.to_string())?;
+        Ok(kinds)
+    });
+
+    first_rows_rx
+        .recv()
+        .map_err(|_| "stream ended before any rows arrived".to_string())?;
+    control.cancel(job).map_err(|e| e.to_string())?;
+
+    let kinds = streamer
+        .join()
+        .map_err(|_| "stream thread panicked".to_string())??;
+    let last = kinds.last().map(String::as_str);
+    if last != Some("cancelled") {
+        return Err(format!(
+            "cancel smoke: stream ended with {last:?}, expected \"cancelled\" (events: {kinds:?})"
+        ));
+    }
+    let status = control.status(job).map_err(|e| e.to_string())?;
+    let state = status.get("state").and_then(Json::as_str);
+    if state != Some("cancelled") {
+        return Err(format!(
+            "cancel smoke: job state is {state:?}, expected \"cancelled\""
+        ));
+    }
+    println!(
+        "cancel smoke: job {job} cancelled mid-run ({} events)",
+        kinds.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("cntfet-load: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("cntfet-load: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let decks = load_decks(&args.decks, args.expect.as_deref())?;
+
+    if !decks.is_empty() {
+        let started = Instant::now();
+        let completed: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|_| scope.spawn(|| run_client(&args.socket, &decks, args.repeat)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| "client thread panicked".to_string())?)
+                .sum::<Result<usize, String>>()
+        })?;
+        let elapsed = started.elapsed().as_secs_f64();
+        println!(
+            "{completed} decks in {elapsed:.3} s — {:.1} decks/s ({} clients)",
+            completed as f64 / elapsed.max(1e-9),
+            args.clients
+        );
+        if args.expect.is_some() {
+            println!("all results matched their golden CSVs");
+        }
+        let mut client = Client::connect(&args.socket).map_err(|e| e.to_string())?;
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        if let Some(caches) = stats.get("caches") {
+            println!("server caches: {}", caches.render());
+        }
+    }
+
+    if let Some(deck) = &args.cancel_smoke {
+        cancel_smoke(&args.socket, deck)?;
+    }
+
+    if args.shutdown {
+        let mut client = Client::connect(&args.socket).map_err(|e| e.to_string())?;
+        client.shutdown(false).map_err(|e| e.to_string())?;
+        println!("server shutting down");
+    }
+    Ok(())
+}

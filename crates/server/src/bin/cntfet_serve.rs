@@ -1,0 +1,90 @@
+//! `cntfet-serve` — run the persistent simulation service.
+//!
+//! ```text
+//! cntfet-serve --socket PATH [--http ADDR] [--workers N]
+//! ```
+//!
+//! Listens on a Unix domain socket speaking the framed JSON protocol
+//! (see `docs/SERVER.md`), with an optional HTTP/1.1 bridge on a TCP
+//! address. Prints one `listening ...` line once ready — scripts can
+//! wait for it — and runs until a client sends the `shutdown` op.
+
+use cntfet_server::server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+USAGE:
+    cntfet-serve --socket PATH [--http ADDR] [--workers N]
+
+OPTIONS:
+    --socket PATH   Unix domain socket to listen on (required).
+                    A stale socket file is removed before binding.
+    --http ADDR     Also serve a minimal HTTP/1.1 bridge on this TCP
+                    address (e.g. 127.0.0.1:7878): POST /api takes a
+                    protocol request object, GET /healthz answers
+                    {\"ok\":true}.
+    --workers N     Worker threads, i.e. decks simulated concurrently
+                    (default 2).
+    -h, --help      Show this help.
+
+The server keeps fitted CNFET models and warm Newton engines (frozen
+sparsity pattern + pivot order) cached across jobs, so repeated or
+value-tweaked decks skip cold-start work. Stop it by sending the
+shutdown op, e.g.:  printf '...' | cntfet-load --socket PATH --shutdown
+";
+
+fn main() -> ExitCode {
+    let mut socket = None;
+    let mut http = None;
+    let mut workers = 2usize;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--socket" => socket = argv.next(),
+            "--http" => http = argv.next(),
+            "--workers" => match argv.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n > 0 => workers = n,
+                _ => return usage_error("--workers needs a positive integer"),
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(socket) = socket else {
+        return usage_error("--socket PATH is required");
+    };
+
+    let config = ServerConfig {
+        socket: socket.into(),
+        http: http.clone(),
+        workers,
+    };
+    let running = match Server::start(config) {
+        Ok(running) => running,
+        Err(e) => {
+            eprintln!("cntfet-serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match running.http_addr() {
+        Some(addr) => println!(
+            "listening on {} (http {addr}), {workers} workers",
+            running.socket().display()
+        ),
+        None => println!(
+            "listening on {}, {workers} workers",
+            running.socket().display()
+        ),
+    }
+    running.wait();
+    ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("cntfet-serve: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}

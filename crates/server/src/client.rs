@@ -1,0 +1,237 @@
+//! A blocking client for the Unix-socket protocol — used by
+//! `cntfet-load`, the integration tests and the throughput bench, and
+//! reusable by any Rust tool that wants to talk to `cntfet-serve`.
+
+use crate::json::Json;
+use crate::proto;
+use std::fmt;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A client-side failure: transport trouble or a server-reported
+/// error response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, read, write, framing).
+    Io(io::Error),
+    /// The server answered `"ok": false`.
+    Server {
+        /// The protocol error code (`"parse_error"`, `"run_error"`, …).
+        code: String,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client. One request/response exchange in flight at a
+/// time; open one client per thread for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a server's Unix socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the socket cannot be opened.
+    pub fn connect(socket: impl AsRef<Path>) -> Result<Client, ClientError> {
+        Ok(Client {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// Sends one request object and reads one response frame, mapping
+    /// `"ok": false` responses to [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure, unexpected EOF, or an
+    /// error response.
+    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+        proto::write_json(&mut self.stream, request)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Json, ClientError> {
+        let response = proto::read_json(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-exchange",
+            ))
+        })?;
+        check_ok(response)
+    }
+
+    /// Submits a deck; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; `shutting_down` when the server is draining.
+    pub fn submit(&mut self, deck: &str) -> Result<u64, ClientError> {
+        let response = self.request(&Json::obj(vec![
+            ("op", Json::str("submit")),
+            ("deck", Json::str(deck)),
+        ]))?;
+        response
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| malformed("submit response lacks a job id"))
+    }
+
+    /// Fetches a job's status object.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; `unknown_job` for evicted ids.
+    pub fn status(&mut self, job: u64) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![
+            ("op", Json::str("status")),
+            ("job", Json::num(job)),
+        ]))
+    }
+
+    /// Blocks until the job completes and returns its result object
+    /// (`title`, `reports`, `caches`). The job is evicted server-side.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] carrying the job's own failure for
+    /// failed or cancelled jobs.
+    pub fn wait_result(&mut self, job: u64) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![
+            ("op", Json::str("result")),
+            ("job", Json::num(job)),
+            ("wait", Json::Bool(true)),
+        ]))
+    }
+
+    /// Requests cancellation; returns the job's state as of the call.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`]; `unknown_job` for evicted ids.
+    pub fn cancel(&mut self, job: u64) -> Result<String, ClientError> {
+        let response = self.request(&Json::obj(vec![
+            ("op", Json::str("cancel")),
+            ("job", Json::num(job)),
+        ]))?;
+        response
+            .get("state")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| malformed("cancel response lacks a state"))
+    }
+
+    /// Streams a job's events from sequence `from`, invoking `sink`
+    /// per event, until the stream completes. Returns the next
+    /// sequence number (for resuming).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or an error frame.
+    pub fn stream(
+        &mut self,
+        job: u64,
+        from: usize,
+        sink: &mut dyn FnMut(&Json),
+    ) -> Result<usize, ClientError> {
+        proto::write_json(
+            &mut self.stream,
+            &Json::obj(vec![
+                ("op", Json::str("stream")),
+                ("job", Json::num(job)),
+                ("from", Json::num(from as u64)),
+            ]),
+        )?;
+        let mut seq = from;
+        loop {
+            let batch = self.read_response()?;
+            let events = batch
+                .get("events")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| malformed("stream batch lacks an events array"))?;
+            seq += events.len();
+            for event in events {
+                sink(event);
+            }
+            if batch.get("done").and_then(Json::as_bool) == Some(true) {
+                return Ok(seq);
+            }
+        }
+    }
+
+    /// Fetches server statistics (job counts, cache hit/miss).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("op", Json::str("stats"))]))
+    }
+
+    /// Round-trips a ping.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Json::obj(vec![("op", Json::str("ping"))]))?;
+        Ok(())
+    }
+
+    /// Asks the server to shut down (`drain` keeps running jobs,
+    /// `abort` cancels them). The server closes the connection after
+    /// acknowledging.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure.
+    pub fn shutdown(&mut self, abort: bool) -> Result<(), ClientError> {
+        self.request(&Json::obj(vec![
+            ("op", Json::str("shutdown")),
+            ("mode", Json::str(if abort { "abort" } else { "drain" })),
+        ]))?;
+        Ok(())
+    }
+}
+
+fn check_ok(response: Json) -> Result<Json, ClientError> {
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(response);
+    }
+    let code = response
+        .get("code")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let message = response
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("the server reported an error without a message")
+        .to_string();
+    Err(ClientError::Server { code, message })
+}
+
+fn malformed(what: &str) -> ClientError {
+    ClientError::Io(io::Error::new(io::ErrorKind::InvalidData, what))
+}

@@ -1,0 +1,199 @@
+//! A minimal, opt-in HTTP/1.1 bridge so curl-style tools can reach the
+//! server over TCP without speaking the framed protocol.
+//!
+//! Exactly two routes:
+//!
+//! * `POST /api` — body is one protocol request object, response body
+//!   is the response object. A `stream` op collects the job's whole
+//!   event log into a single response (use the socket protocol for
+//!   true incremental delivery).
+//! * `GET /healthz` — `{"ok": true}` liveness probe.
+//!
+//! One request per connection (`Connection: close`); no TLS, no
+//! chunked encoding, no keep-alive. This is an operational convenience
+//! endpoint, not a web server.
+
+use crate::hub::Hub;
+use crate::json::Json;
+use crate::proto::{error_response, ErrorCode, MAX_FRAME};
+use crate::server::{dispatch, stream_batch, Dispatch};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Binds `addr` and spawns the bridge's accept thread. Returns the
+/// handle plus the bound address (resolving port `0` requests).
+///
+/// # Errors
+///
+/// [`io::Error`] when the TCP listener cannot bind.
+pub fn spawn(addr: &str, hub: &Arc<Hub>) -> io::Result<(JoinHandle<()>, std::net::SocketAddr)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let hub = Arc::clone(hub);
+    let handle = std::thread::Builder::new()
+        .name("cntfet-http".into())
+        .spawn(move || accept_loop(listener, &hub))?;
+    Ok((handle, bound))
+}
+
+fn accept_loop(listener: TcpListener, hub: &Arc<Hub>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let hub = Arc::clone(hub);
+                let _ = std::thread::Builder::new()
+                    .name("cntfet-http-conn".into())
+                    .spawn(move || {
+                        let _ = serve_one(stream, &hub);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if hub.is_shutting_down() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                if hub.is_shutting_down() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, hub: &Hub) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("");
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    match (method.as_str(), path) {
+        ("GET", "/healthz") => {
+            respond(&mut writer, 200, &Json::obj(vec![("ok", Json::Bool(true))]))
+        }
+        ("POST", "/api") => {
+            if content_length > MAX_FRAME as usize {
+                return respond(
+                    &mut writer,
+                    413,
+                    &error_response(
+                        ErrorCode::TooLarge,
+                        format!(
+                            "body of {content_length} bytes exceeds the {MAX_FRAME}-byte limit"
+                        ),
+                    ),
+                );
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            let text = match std::str::from_utf8(&body) {
+                Ok(text) => text,
+                Err(e) => {
+                    return respond(
+                        &mut writer,
+                        400,
+                        &error_response(ErrorCode::BadRequest, format!("non-utf8 body: {e}")),
+                    );
+                }
+            };
+            let request = match Json::parse(text) {
+                Ok(request) => request,
+                Err(e) => {
+                    return respond(
+                        &mut writer,
+                        400,
+                        &error_response(ErrorCode::BadRequest, e.to_string()),
+                    );
+                }
+            };
+            let response = match dispatch(hub, &request) {
+                Dispatch::One(response) | Dispatch::Close(response) => response,
+                Dispatch::Stream { job, from } => collect_stream(hub, job, from),
+            };
+            let status = if response.get("ok").and_then(Json::as_bool) == Some(true) {
+                200
+            } else {
+                status_for(&response)
+            };
+            respond(&mut writer, status, &response)
+        }
+        _ => respond(
+            &mut writer,
+            404,
+            &error_response(ErrorCode::BadRequest, "routes: POST /api, GET /healthz"),
+        ),
+    }
+}
+
+/// Drains a job's whole event log into one `stream`-shaped response.
+fn collect_stream(hub: &Hub, job: u64, from: usize) -> Json {
+    let mut all = Vec::new();
+    let mut next = from;
+    loop {
+        match hub.next_events(job, next) {
+            Ok((events, done)) => {
+                next += events.len();
+                all.extend(events);
+                if done {
+                    return stream_batch(job, from, &all, true);
+                }
+            }
+            Err((code, message)) => return error_response(code, message),
+        }
+    }
+}
+
+fn status_for(response: &Json) -> u16 {
+    match response.get("code").and_then(Json::as_str) {
+        Some("unknown_job") => 404,
+        Some("too_large") => 413,
+        Some("shutting_down") => 503,
+        Some("run_error") | Some("parse_error") => 422,
+        _ => 400,
+    }
+}
+
+fn respond(w: &mut impl Write, status: u16, body: &Json) -> io::Result<()> {
+    let text = body.render();
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{text}",
+        text.len()
+    )?;
+    w.flush()
+}

@@ -1,0 +1,36 @@
+//! cntfet-server — a persistent simulation service for the CNFET
+//! circuit stack.
+//!
+//! Spawning `cntfet-sim` per deck pays the whole cold-start bill every
+//! time: process launch, model fitting, symbolic sparsity analysis and
+//! pivot-order discovery. This crate keeps all of that warm in one
+//! long-lived process:
+//!
+//! * a **worker pool** of threads serving an async job queue
+//!   (submit / status / cancel / result / stream),
+//! * a **fitted-model cache** keyed on `.model` card parameters, and a
+//! * **warm-engine pool** keyed on the deck's *topology hash*, so a
+//!   resubmitted deck — or one that differs only in element values —
+//!   reuses the frozen sparsity pattern and pivot order instead of
+//!   re-running symbolic analysis.
+//!
+//! Clients speak length-prefixed JSON frames over a Unix domain socket
+//! ([`proto`]); an optional minimal HTTP/1.1 bridge ([`http`]) serves
+//! the same ops over TCP for curl-style access. Everything is std-only
+//! — no external dependencies, suitable for air-gapped machines. The
+//! wire protocol is documented in `docs/SERVER.md`.
+//!
+//! Long transients stream incrementally: each accepted time step is
+//! appended to the job's event log as it lands, so a client can plot a
+//! waveform while the run is still integrating — and cancellation
+//! takes effect within one accepted step.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod hub;
+pub mod json;
+pub mod proto;
+pub mod server;

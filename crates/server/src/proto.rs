@@ -1,0 +1,183 @@
+//! Wire protocol: length-prefixed JSON frames and the protocol's
+//! stable error codes.
+//!
+//! Every message — request or response, in either direction — is one
+//! *frame*: a 4-byte big-endian `u32` byte length followed by that many
+//! bytes of UTF-8 JSON. Requests are objects with an `"op"` member;
+//! responses are objects with `"ok": true` (plus op-specific members)
+//! or `"ok": false, "code": "<error code>", "error": "<message>"`.
+//! Most ops produce exactly one response frame; `stream` produces a
+//! frame per event batch followed by a `"done": true` frame. The full
+//! protocol reference lives in `docs/SERVER.md`.
+
+use crate::json::Json;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame's payload length, bytes. Large enough for
+/// any real deck or waveform batch; small enough that a corrupt or
+/// hostile length prefix cannot make the server allocate unbounded
+/// memory. Oversized requests are answered with
+/// [`ErrorCode::TooLarge`].
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Writes one frame (4-byte big-endian length + payload).
+///
+/// # Errors
+///
+/// [`io::Error`] from the underlying writer, or `InvalidInput` when
+/// `payload` exceeds [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload over 4 GiB"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Serialises a JSON value and writes it as one frame.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn write_json(w: &mut impl Write, value: &Json) -> io::Result<()> {
+    write_frame(w, value.render().as_bytes())
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean end-of-stream (EOF
+/// before any length byte — the peer hung up between messages).
+///
+/// # Errors
+///
+/// [`io::Error`] from the underlying reader; `InvalidData` when the
+/// length prefix exceeds [`MAX_FRAME`] (the stream is unrecoverable —
+/// close it) or EOF lands mid-frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read(&mut len_bytes) {
+        Ok(0) => return Ok(None),
+        Ok(mut n) => {
+            while n < 4 {
+                let more = r.read(&mut len_bytes[n..])?;
+                if more == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "eof inside a frame length prefix",
+                    ));
+                }
+                n += more;
+            }
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Reads one frame and parses it as JSON.
+///
+/// # Errors
+///
+/// As [`read_frame`]; JSON syntax errors map to `InvalidData`.
+pub fn read_json(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-utf8 frame: {e}")))?;
+    Json::parse(text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Stable protocol error codes, carried in the `"code"` member of an
+/// `"ok": false` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was structurally invalid: not an object, missing or
+    /// unknown `"op"`, missing a required member.
+    BadRequest,
+    /// The submitted deck failed to parse or validate; the message
+    /// carries the deck front-end's rendered diagnostic.
+    ParseError,
+    /// The deck parsed but an analysis failed (non-convergence,
+    /// singular system, model fit failure, …).
+    RunError,
+    /// The referenced job id does not exist (never submitted, or
+    /// evicted after retrieval).
+    UnknownJob,
+    /// The request frame exceeded [`MAX_FRAME`].
+    TooLarge,
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire text of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::RunError => "run_error",
+            ErrorCode::UnknownJob => "unknown_job",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// Builds the standard `"ok": false` error response.
+pub fn error_response(code: ErrorCode, message: impl Into<String>) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("code", Json::str(code.as_str())),
+        ("error", Json::Str(message.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_json(&mut buf, &Json::obj(vec![("op", Json::str("ping"))])).unwrap();
+        write_json(&mut buf, &Json::num(7)).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_json(&mut r).unwrap().unwrap().get("op").unwrap(),
+            &Json::str("ping")
+        );
+        assert_eq!(read_json(&mut r).unwrap().unwrap(), Json::num(7));
+        assert!(read_json(&mut r).unwrap().is_none(), "clean eof");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = 10u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        assert!(read_frame(&mut io::Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,345 @@
+//! The Unix-socket front end: request dispatch, the accept loop, and
+//! the [`Server`] / [`RunningServer`] lifecycle.
+
+use crate::hub::{self, Hub};
+use crate::json::Json;
+use crate::proto::{self, ErrorCode};
+use std::io::{self, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps between polls when no connection is
+/// pending (the listener is non-blocking so shutdown is noticed).
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Path of the Unix domain socket to listen on. A stale socket
+    /// file from a crashed previous run is removed before binding.
+    pub socket: PathBuf,
+    /// Optional TCP address (`host:port`) for the minimal HTTP/1.1
+    /// bridge; `None` disables it.
+    pub http: Option<String>,
+    /// Worker threads — the number of decks simulated concurrently.
+    pub workers: usize,
+}
+
+impl ServerConfig {
+    /// A configuration listening on `socket` with `workers` workers
+    /// and no HTTP bridge.
+    pub fn new(socket: impl Into<PathBuf>, workers: usize) -> Self {
+        ServerConfig {
+            socket: socket.into(),
+            http: None,
+            workers: workers.max(1),
+        }
+    }
+}
+
+/// The service entry point; see [`Server::start`].
+#[derive(Debug)]
+pub struct Server;
+
+/// A started server: its hub plus the threads serving it. Dropping
+/// this does **not** stop the server — call
+/// [`shutdown`](RunningServer::shutdown) (or send the `shutdown` op)
+/// and then [`wait`](RunningServer::wait).
+#[derive(Debug)]
+pub struct RunningServer {
+    hub: Arc<Hub>,
+    socket: PathBuf,
+    http_addr: Option<std::net::SocketAddr>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the socket (and the HTTP bridge, if configured), spawns
+    /// the worker pool and the accept loop, and returns the running
+    /// server.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when a listener cannot bind.
+    pub fn start(config: ServerConfig) -> io::Result<RunningServer> {
+        let hub = Hub::new(config.workers);
+        let mut threads = hub::spawn_workers(&hub, config.workers);
+
+        // A socket file left behind by a crashed server would make
+        // bind fail with AddrInUse; remove it first. A *live* server
+        // also loses its socket this way — run one server per path.
+        if config.socket.exists() {
+            std::fs::remove_file(&config.socket)?;
+        }
+        let listener = UnixListener::bind(&config.socket)?;
+        listener.set_nonblocking(true)?;
+        let accept_hub = Arc::clone(&hub);
+        threads.push(
+            std::thread::Builder::new()
+                .name("cntfet-accept".into())
+                .spawn(move || accept_loop(listener, &accept_hub))
+                .expect("spawn accept thread"),
+        );
+
+        let mut http_addr = None;
+        if let Some(addr) = &config.http {
+            let (handle, bound) = crate::http::spawn(addr, &hub)?;
+            threads.push(handle);
+            http_addr = Some(bound);
+        }
+
+        Ok(RunningServer {
+            hub,
+            socket: config.socket,
+            http_addr,
+            threads,
+        })
+    }
+}
+
+impl RunningServer {
+    /// The server's hub — handy for in-process submission (benches,
+    /// tests) without a socket round-trip.
+    pub fn hub(&self) -> &Arc<Hub> {
+        &self.hub
+    }
+
+    /// The socket path the server is listening on.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// The HTTP bridge's bound address, when one was configured
+    /// (reports the actual port for `:0` requests).
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http_addr
+    }
+
+    /// Initiates shutdown (drain by default; `abort` cancels queued
+    /// and running jobs first). Equivalent to the `shutdown` op.
+    pub fn shutdown(&self, abort: bool) {
+        self.hub.shutdown(abort);
+    }
+
+    /// Blocks until every thread (workers, accept loop, HTTP bridge)
+    /// has exited, then removes the socket file. Call after
+    /// [`shutdown`](RunningServer::shutdown) — or let a client's
+    /// `shutdown` op trigger the exit.
+    pub fn wait(self) {
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+fn accept_loop(listener: UnixListener, hub: &Arc<Hub>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let hub = Arc::clone(hub);
+                let _ = std::thread::Builder::new()
+                    .name("cntfet-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &hub);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if hub.is_shutting_down() {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                if hub.is_shutting_down() {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: UnixStream, hub: &Hub) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    let mut writer = io::BufWriter::new(stream);
+    loop {
+        let request = match proto::read_json(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()), // clean hang-up
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized length prefix, mid-frame EOF or malformed
+                // JSON: the stream may be desynchronised — answer and
+                // close.
+                let code = if e.to_string().contains("limit") {
+                    ErrorCode::TooLarge
+                } else {
+                    ErrorCode::ParseError
+                };
+                let _ = proto::write_json(&mut writer, &proto::error_response(code, e.to_string()));
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        match dispatch(hub, &request) {
+            Dispatch::One(response) => proto::write_json(&mut writer, &response)?,
+            Dispatch::Stream { job, from } => stream_events(hub, job, from, &mut writer)?,
+            Dispatch::Close(response) => {
+                proto::write_json(&mut writer, &response)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// What a dispatched request produces on the wire.
+pub enum Dispatch {
+    /// One response frame.
+    One(Json),
+    /// A `stream` op: frames until the job's event log completes.
+    /// The socket handler emits a frame per batch; the HTTP bridge
+    /// collects all batches into one response.
+    Stream {
+        /// The job to stream.
+        job: u64,
+        /// First event sequence number to deliver.
+        from: usize,
+    },
+    /// One response frame, then close the connection (`shutdown`).
+    Close(Json),
+}
+
+/// Dispatches one request object to the hub. Shared by the socket
+/// handler and the HTTP bridge.
+pub fn dispatch(hub: &Hub, request: &Json) -> Dispatch {
+    let Some(op) = request.get("op").and_then(Json::as_str) else {
+        return Dispatch::One(proto::error_response(
+            ErrorCode::BadRequest,
+            "request must be an object with a string \"op\" member",
+        ));
+    };
+    match op {
+        "ping" => Dispatch::One(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("pong", Json::Bool(true)),
+        ])),
+        "submit" => {
+            let Some(deck) = request.get("deck").and_then(Json::as_str) else {
+                return bad_request("submit needs a string \"deck\" member");
+            };
+            match hub.submit(deck.to_string()) {
+                Ok(id) => Dispatch::One(Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::num(id)),
+                    ("state", Json::str("queued")),
+                ])),
+                Err((code, message)) => Dispatch::One(proto::error_response(code, message)),
+            }
+        }
+        "status" => match job_id(request) {
+            Ok(id) => match hub.status(id) {
+                Ok(response) => Dispatch::One(response),
+                Err((code, message)) => Dispatch::One(proto::error_response(code, message)),
+            },
+            Err(d) => d,
+        },
+        "result" => match job_id(request) {
+            Ok(id) => {
+                let wait = request.get("wait").and_then(Json::as_bool).unwrap_or(true);
+                let keep = request.get("keep").and_then(Json::as_bool).unwrap_or(false);
+                match hub.result(id, wait, keep) {
+                    Ok(response) => Dispatch::One(response),
+                    Err((code, message)) => Dispatch::One(proto::error_response(code, message)),
+                }
+            }
+            Err(d) => d,
+        },
+        "cancel" => match job_id(request) {
+            Ok(id) => match hub.cancel(id) {
+                Ok(state) => Dispatch::One(Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::num(id)),
+                    ("state", Json::str(state.as_str())),
+                ])),
+                Err((code, message)) => Dispatch::One(proto::error_response(code, message)),
+            },
+            Err(d) => d,
+        },
+        "stream" => match job_id(request) {
+            Ok(id) => {
+                let from = request.get("from").and_then(Json::as_u64).unwrap_or(0) as usize;
+                Dispatch::Stream { job: id, from }
+            }
+            Err(d) => d,
+        },
+        "stats" => Dispatch::One(hub.stats()),
+        "shutdown" => {
+            let abort = match request.get("mode").and_then(Json::as_str) {
+                None | Some("drain") => false,
+                Some("abort") => true,
+                Some(other) => {
+                    return bad_request(&format!(
+                        "shutdown mode must be \"drain\" or \"abort\", got {other:?}"
+                    ));
+                }
+            };
+            hub.shutdown(abort);
+            Dispatch::Close(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("state", Json::str("shutting_down")),
+            ]))
+        }
+        other => Dispatch::One(proto::error_response(
+            ErrorCode::BadRequest,
+            format!("unknown op {other:?}"),
+        )),
+    }
+}
+
+fn job_id(request: &Json) -> Result<u64, Dispatch> {
+    request
+        .get("job")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad_request("expected a numeric \"job\" member"))
+}
+
+fn bad_request(message: &str) -> Dispatch {
+    Dispatch::One(proto::error_response(ErrorCode::BadRequest, message))
+}
+
+/// Renders one batch of pre-serialized events as a `stream` response
+/// frame. Shared with the HTTP bridge.
+pub fn stream_batch(job: u64, seq: usize, events: &[String], done: bool) -> Json {
+    let parsed = events
+        .iter()
+        .map(|text| Json::parse(text).expect("stored events are valid JSON"))
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("job", Json::num(job)),
+        ("seq", Json::num(seq as u64)),
+        ("events", Json::Arr(parsed)),
+        ("done", Json::Bool(done)),
+    ])
+}
+
+fn stream_events(hub: &Hub, job: u64, mut from: usize, w: &mut impl Write) -> io::Result<()> {
+    loop {
+        match hub.next_events(job, from) {
+            Ok((events, done)) => {
+                proto::write_json(w, &stream_batch(job, from, &events, done))?;
+                from += events.len();
+                if done {
+                    return Ok(());
+                }
+            }
+            Err((code, message)) => {
+                return proto::write_json(w, &proto::error_response(code, message));
+            }
+        }
+    }
+}

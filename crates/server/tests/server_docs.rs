@@ -1,0 +1,151 @@
+//! `docs/SERVER.md` promises that every fenced `proto` block is a
+//! faithful transcript: `>` lines are requests, `<` lines are the
+//! responses the server gives (`"*"` marking members whose value may
+//! vary). This test replays each block against a freshly started
+//! server over a real Unix socket — `proto-noworkers` blocks against a
+//! server whose queue never drains, for deterministic `queued`-state
+//! examples — and additionally requires every fenced `json` block to
+//! parse. A documentation edit that drifts from the implementation
+//! breaks the build.
+
+use cntfet_server::json::Json;
+use cntfet_server::proto;
+use cntfet_server::server::{Server, ServerConfig};
+use std::os::unix::net::UnixStream;
+
+struct Block {
+    line: usize,
+    info: String,
+    body: String,
+}
+
+fn fenced_blocks(markdown: &str) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Block> = None;
+    for (i, line) in markdown.lines().enumerate() {
+        let fence = line.trim_start();
+        match &mut current {
+            None => {
+                if let Some(info) = fence.strip_prefix("```") {
+                    current = Some(Block {
+                        line: i + 1,
+                        info: info.trim().to_string(),
+                        body: String::new(),
+                    });
+                }
+            }
+            Some(_) if fence.starts_with("```") => {
+                blocks.push(current.take().expect("open block"));
+            }
+            Some(block) => {
+                block.body.push_str(line);
+                block.body.push('\n');
+            }
+        }
+    }
+    assert!(current.is_none(), "unclosed fence in SERVER.md");
+    blocks
+}
+
+/// `expected` must be structurally contained in `actual`: every object
+/// member present with a matching value (extra actual members are
+/// fine), arrays element-wise with equal length, and the string `"*"`
+/// matching anything.
+fn matches(expected: &Json, actual: &Json) -> bool {
+    match (expected, actual) {
+        (Json::Str(s), _) if s == "*" => true,
+        (Json::Obj(want), Json::Obj(_)) => want
+            .iter()
+            .all(|(k, v)| actual.get(k).is_some_and(|a| matches(v, a))),
+        (Json::Arr(want), Json::Arr(got)) => {
+            want.len() == got.len() && want.iter().zip(got).all(|(w, g)| matches(w, g))
+        }
+        _ => expected == actual,
+    }
+}
+
+fn replay(block: &Block, workers: usize) {
+    let socket = std::env::temp_dir().join(format!(
+        "cntfet-docs-{}-{}.sock",
+        std::process::id(),
+        block.line
+    ));
+    let server = Server::start(ServerConfig {
+        socket: socket.clone(),
+        http: None,
+        workers,
+    })
+    .expect("doc server starts");
+    let mut stream = UnixStream::connect(&socket).expect("connect");
+
+    let mut pending: Option<(usize, String)> = None;
+    for (offset, line) in block.body.lines().enumerate() {
+        let at = block.line + 1 + offset;
+        if let Some(request) = line.strip_prefix("> ") {
+            assert!(
+                pending.is_none(),
+                "SERVER.md line {at}: request without a preceding response check"
+            );
+            let request = Json::parse(request)
+                .unwrap_or_else(|e| panic!("SERVER.md line {at}: bad request JSON: {e}"));
+            proto::write_json(&mut stream, &request)
+                .unwrap_or_else(|e| panic!("SERVER.md line {at}: send failed: {e}"));
+            pending = Some((at, line.to_string()));
+        } else if let Some(expected) = line.strip_prefix("< ") {
+            let (sent_at, sent) = pending
+                .take()
+                .unwrap_or_else(|| panic!("SERVER.md line {at}: response with no request"));
+            let expected = Json::parse(expected)
+                .unwrap_or_else(|e| panic!("SERVER.md line {at}: bad expected JSON: {e}"));
+            let actual = proto::read_json(&mut stream)
+                .unwrap_or_else(|e| panic!("SERVER.md line {at}: read failed: {e}"))
+                .unwrap_or_else(|| panic!("SERVER.md line {at}: server closed early"));
+            assert!(
+                matches(&expected, &actual),
+                "SERVER.md line {at}: transcript drifted\n  request (line {sent_at}): {sent}\n  expected: {}\n  actual:   {}",
+                expected.render(),
+                actual.render()
+            );
+        } else if !line.trim().is_empty() {
+            panic!("SERVER.md line {at}: proto lines must start with '> ' or '< '");
+        }
+    }
+    assert!(
+        pending.is_none(),
+        "SERVER.md block at line {}: trailing request",
+        block.line
+    );
+
+    drop(stream);
+    server.shutdown(true);
+    server.wait();
+}
+
+#[test]
+fn every_server_md_proto_transcript_replays_verbatim() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/SERVER.md");
+    let markdown = std::fs::read_to_string(path).expect("docs/SERVER.md exists");
+    let blocks = fenced_blocks(&markdown);
+    let mut replayed = 0;
+    for block in &blocks {
+        match block.info.as_str() {
+            "proto" => {
+                replay(block, 2);
+                replayed += 1;
+            }
+            "proto-noworkers" => {
+                replay(block, 0);
+                replayed += 1;
+            }
+            "json" => {
+                Json::parse(block.body.trim())
+                    .unwrap_or_else(|e| panic!("SERVER.md json block at line {}: {e}", block.line));
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        replayed >= 6,
+        "expected the protocol reference to carry at least 6 executable transcripts, found {replayed}"
+    );
+}

@@ -1,0 +1,296 @@
+//! End-to-end service tests over a real Unix socket: golden decks stay
+//! bitwise through the whole submit → worker → result round trip,
+//! cancellation interrupts a long transient and frees its worker, and
+//! concurrent clients on a small pool never cross-contaminate.
+
+use cntfet_server::client::Client;
+use cntfet_server::json::Json;
+use cntfet_server::server::{RunningServer, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// A unique socket path per test (tests share one process).
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cntfet-test-{}-{tag}.sock", std::process::id()))
+}
+
+fn start(tag: &str, workers: usize) -> RunningServer {
+    Server::start(ServerConfig::new(socket_path(tag), workers)).expect("server starts")
+}
+
+fn stop(server: RunningServer) {
+    server.shutdown(true);
+    server.wait();
+}
+
+/// Concatenated per-report CSV of a result object.
+fn result_csv(result: &Json) -> String {
+    let reports = result
+        .get("reports")
+        .and_then(Json::as_arr)
+        .expect("reports");
+    reports
+        .iter()
+        .map(|r| r.get("csv").and_then(Json::as_str).expect("csv"))
+        .collect()
+}
+
+fn data_lines(text: &str) -> Vec<&str> {
+    text.lines()
+        .filter(|l| !l.starts_with('*') && !l.is_empty())
+        .collect()
+}
+
+/// Every checked-in example deck, submitted over the socket, must
+/// reproduce its golden CSV line for line — the server's warm path is
+/// not allowed to move a single ULP relative to the seed binary.
+#[test]
+fn golden_decks_stay_bitwise_over_the_socket() {
+    let server = start("golden", 2);
+    let mut client = Client::connect(server.socket()).unwrap();
+    for name in [
+        "divider",
+        "inverter",
+        "rc_lowpass",
+        "ring_oscillator",
+        "adder2",
+    ] {
+        let deck = std::fs::read_to_string(repo_path(&format!("examples/decks/{name}.cir")))
+            .expect("example deck");
+        let golden = std::fs::read_to_string(repo_path(&format!("tests/golden/{name}.csv")))
+            .expect("golden csv");
+        // Twice: the first run is cold, the second rides the warm
+        // engine pool — both must match.
+        for round in ["cold", "warm"] {
+            let job = client.submit(&deck).unwrap();
+            let result = client.wait_result(job).unwrap();
+            let fresh = result_csv(&result);
+            assert_eq!(
+                data_lines(&golden),
+                data_lines(&fresh),
+                "{name} ({round}): server output drifted from the golden capture"
+            );
+        }
+    }
+    let stats = client.stats().unwrap();
+    let engine_hits = stats
+        .get("caches")
+        .and_then(|c| c.get("engines"))
+        .and_then(|e| e.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(engine_hits >= 5, "warm rounds must hit the engine pool");
+    stop(server);
+}
+
+/// A deliberately long fixed-grid transient on a nonlinear CNFET
+/// stage: tens of thousands of accepted steps, so cancellation has a
+/// wide window to land mid-card.
+const LONG_TRAN: &str = "\
+slow inverter transient
+.model nfet cnfet polarity=n
+.model pfet cnfet polarity=p
+VDD vdd 0 DC 0.8
+VIN in 0 PULSE(0 0.8 0.1n 0.1n 0.1n 0.7n 2n)
+MP out in vdd pfet L=100n
+MN out in 0 nfet L=100n
+CL out 0 1f
+.tran 0.02n 4000n
+.print tran v(out)
+.end
+";
+
+const QUICK: &str =
+    "divider\nV1 in 0 DC 2\nR1 in out 1k\nR2 out 0 1k\n.op\n.print op v(out)\n.end\n";
+
+/// Cancel lands mid-transient: the stream ends in a `cancelled` event
+/// *without* ever reaching the card's `end` event, and the single
+/// worker is immediately free to serve the next job.
+#[test]
+fn cancel_interrupts_a_long_transient_and_frees_the_worker() {
+    let server = start("cancel", 1);
+    let socket = server.socket().to_path_buf();
+    let mut control = Client::connect(&socket).unwrap();
+    let job = control.submit(LONG_TRAN).unwrap();
+
+    let (rows_tx, rows_rx) = std::sync::mpsc::channel();
+    let stream_socket = socket.clone();
+    let streamer = std::thread::spawn(move || {
+        let mut client = Client::connect(&stream_socket).unwrap();
+        let mut kinds = Vec::new();
+        let mut signalled = false;
+        client
+            .stream(job, 0, &mut |event| {
+                let kind = event
+                    .get("type")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string();
+                if kind == "rows" && !signalled {
+                    signalled = true;
+                    rows_tx.send(()).unwrap();
+                }
+                kinds.push(kind);
+            })
+            .unwrap();
+        kinds
+    });
+
+    rows_rx.recv().expect("the transient must stream rows");
+    control.cancel(job).unwrap();
+    let kinds = streamer.join().unwrap();
+    assert_eq!(kinds.last().map(String::as_str), Some("cancelled"));
+    assert!(
+        !kinds.iter().any(|k| k == "end"),
+        "the transient card must have been cut mid-run, events: {kinds:?}"
+    );
+
+    // The worker must be free: a follow-up job on the 1-worker server
+    // completes.
+    let quick = control.submit(QUICK).unwrap();
+    let result = control.wait_result(quick).unwrap();
+    assert!(result_csv(&result).contains('\n'));
+
+    // The cancelled job reports its state until evicted.
+    let status = control.status(job).unwrap();
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("cancelled")
+    );
+    stop(server);
+}
+
+/// Two clients hammer a 2-worker server with *different* decks; every
+/// result must match that deck's own cold CSV — shared caches must
+/// never leak one deck's answers into another's.
+#[test]
+fn concurrent_clients_never_cross_contaminate() {
+    let server = start("concurrent", 2);
+    let socket = server.socket().to_path_buf();
+    let decks: Vec<(String, String)> = ["divider", "rc_lowpass"]
+        .iter()
+        .map(|name| {
+            let text = std::fs::read_to_string(repo_path(&format!("examples/decks/{name}.cir")))
+                .expect("example deck");
+            let golden = std::fs::read_to_string(repo_path(&format!("tests/golden/{name}.csv")))
+                .expect("golden csv");
+            (text, golden)
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (k, (text, golden)) in decks.iter().enumerate() {
+            let socket = socket.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(&socket).unwrap();
+                for round in 0..3 {
+                    let job = client.submit(text).unwrap();
+                    let result = client.wait_result(job).unwrap();
+                    assert_eq!(
+                        data_lines(golden),
+                        data_lines(&result_csv(&result)),
+                        "client {k} round {round}: cross-contaminated result"
+                    );
+                }
+            });
+        }
+    });
+    stop(server);
+}
+
+/// Protocol edges: unknown ops, bad members, unknown jobs, and the
+/// submit-after-shutdown path all answer with their documented codes.
+#[test]
+fn protocol_errors_carry_their_documented_codes() {
+    let server = start("errors", 1);
+    let mut client = Client::connect(server.socket()).unwrap();
+
+    let err = client
+        .request(&Json::obj(vec![("op", Json::str("frobnicate"))]))
+        .unwrap_err();
+    assert!(err.to_string().contains("bad_request"), "{err}");
+
+    let err = client
+        .request(&Json::obj(vec![
+            ("op", Json::str("status")),
+            ("job", Json::num(999)),
+        ]))
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown_job"), "{err}");
+
+    let bad_deck = client.submit("broken\nR1 a\n.end\n").unwrap();
+    let err = client.wait_result(bad_deck).unwrap_err();
+    assert!(err.to_string().contains("parse_error"), "{err}");
+
+    client.shutdown(false).unwrap();
+    // The shutdown reply closes that connection; a fresh submit is
+    // refused.
+    let mut late = Client::connect(server.socket()).unwrap();
+    let err = late.submit(QUICK).unwrap_err();
+    assert!(err.to_string().contains("shutting_down"), "{err}");
+    server.wait();
+}
+
+/// The HTTP bridge serves the same dispatch over TCP: healthz, then a
+/// submit/result pair via `POST /api`.
+#[test]
+fn http_bridge_round_trips_a_job() {
+    let server = Server::start(ServerConfig {
+        socket: socket_path("http"),
+        http: Some("127.0.0.1:0".into()),
+        workers: 1,
+    })
+    .unwrap();
+    let addr = server.http_addr().expect("http bridge bound");
+
+    assert_eq!(
+        http_post(addr, "GET", "/healthz", "").1.get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    let submit = Json::obj(vec![
+        ("op", Json::str("submit")),
+        ("deck", Json::str(QUICK)),
+    ])
+    .render();
+    let (status, response) = http_post(addr, "POST", "/api", &submit);
+    assert_eq!(status, 200, "{response:?}");
+    let job = response.get("job").and_then(Json::as_u64).unwrap();
+
+    let result_req = Json::obj(vec![
+        ("op", Json::str("result")),
+        ("job", Json::num(job)),
+        ("wait", Json::Bool(true)),
+    ])
+    .render();
+    let (status, result) = http_post(addr, "POST", "/api", &result_req);
+    assert_eq!(status, 200, "{result:?}");
+    assert!(result_csv(&result).starts_with("v(out)\n"));
+
+    stop(server);
+}
+
+fn http_post(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let json_body = raw.split("\r\n\r\n").nth(1).expect("body");
+    (status, Json::parse(json_body).expect("json body"))
+}

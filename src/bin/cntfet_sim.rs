@@ -40,7 +40,7 @@ lint options (with --lint or --check):
 Lint codes are stable E###/W### identifiers (e.g. E101 no DC path to
 ground, W301 unused .param); see docs/DECK_FORMAT.md for the table.
 
-The deck dialect (R/C/V/I and CNFET M cards, .model, .param,
+The deck dialect (R/C/V/I and CNFET M cards, .model, .param, .option,
 .subckt/.ends definitions with X instance cards, .op, .dc, .tran, .ac,
 .print) is documented in docs/DECK_FORMAT.md.";
 
@@ -193,6 +193,14 @@ fn main() -> ExitCode {
                     if stats {
                         writeln!(out, "* stats: {}", report.stats.summary())?;
                     }
+                }
+                if stats {
+                    let c = run.caches.models;
+                    writeln!(
+                        out,
+                        "\n* model cache: {} fitted, {} reused",
+                        c.misses, c.hits
+                    )?;
                 }
                 Ok(())
             };

@@ -1,0 +1,124 @@
+//! The `.option` card: parsing, canonical round-trip, lowering into
+//! [`NewtonOptions`] / [`TransientOptions`], and end-to-end behaviour
+//! (the knobs must actually reach the engine).
+
+use cntfet::circuit::deck::{Deck, OptionEntry};
+use cntfet::circuit::engine::{NewtonOptions, SolverKind};
+use cntfet::circuit::transient::TransientOptions;
+
+fn deck(body: &str) -> Deck {
+    Deck::parse(body).unwrap_or_else(|e| panic!("{e}"))
+}
+
+const RC_TAIL: &str = "\
+V1 in 0 PULSE(0 1 0 1n 1n 10u 20u)
+R1 in out 1k
+C1 out 0 1n
+.tran 1u
+.print v(out)
+.end
+";
+
+#[test]
+fn option_card_parses_every_knob() {
+    let d = deck(&format!(
+        "knobs\n.option reltol=1e-2 abstol=2u dtmin=1p\n.option bypass=1 bypassvtol=5e-5 solver=sparse\n{RC_TAIL}"
+    ));
+    let entries: Vec<&OptionEntry> = d.options.iter().flat_map(|c| &c.entries).collect();
+    assert_eq!(entries.len(), 6);
+
+    let newton = d.newton_options();
+    assert!(newton.bypass);
+    assert_eq!(newton.bypass_vtol, 5e-5);
+    assert_eq!(newton.solver, SolverKind::Sparse);
+
+    let tran = d.transient_options();
+    assert_eq!(tran.rel_tol, 1e-2);
+    assert_eq!(tran.abs_tol, 2e-6, "SPICE suffix 'u' must scale abstol");
+    assert_eq!(tran.dt_min, Some(1e-12));
+    assert!(tran.newton.bypass, "newton knobs flow into the transient");
+}
+
+#[test]
+fn option_free_deck_lowering_is_exactly_the_default() {
+    let d = deck(&format!("plain\n{RC_TAIL}"));
+    assert_eq!(d.newton_options(), NewtonOptions::default());
+    let tran = d.transient_options();
+    let default = TransientOptions::default();
+    assert_eq!(tran.rel_tol, default.rel_tol);
+    assert_eq!(tran.abs_tol, default.abs_tol);
+    assert_eq!(tran.dt_min, default.dt_min);
+}
+
+#[test]
+fn later_entries_win() {
+    let d = deck(&format!(
+        "merge order\n.option reltol=1e-2\n.option reltol=4e-3 bypass=on\n.option bypass=off\n{RC_TAIL}"
+    ));
+    assert_eq!(d.transient_options().rel_tol, 4e-3);
+    assert!(!d.newton_options().bypass, "bypass=off must override on");
+}
+
+#[test]
+fn display_round_trips_the_canonical_form() {
+    let d = deck(&format!(
+        "round trip\n.option reltol=1e-2 bypass=1 solver=dense\n{RC_TAIL}"
+    ));
+    let rendered = d.to_string();
+    assert!(
+        rendered.contains(".option reltol=1e-2 bypass=1 solver=dense"),
+        "canonical text missing from:\n{rendered}"
+    );
+    let again = deck(&rendered);
+    assert_eq!(again.options, d.options);
+    assert_eq!(again.newton_options(), d.newton_options());
+}
+
+#[test]
+fn unknown_keys_and_bad_values_are_rejected_with_location() {
+    for (body, needle) in [
+        (".option gmin=1e-12", "gmin"),
+        (".option reltol=-1", "reltol"),
+        (".option bypass=maybe", "bypass"),
+        (".option solver=cholesky", "solver"),
+        (".option", ".option"),
+    ] {
+        let text = format!("bad\n{body}\n{RC_TAIL}");
+        let err = Deck::parse(&text).expect_err(body).to_string();
+        assert!(err.contains(needle), "{body}: diagnostic was:\n{err}");
+        assert!(err.contains(":2:"), "{body}: no line-2 location in:\n{err}");
+    }
+}
+
+/// The knobs must actually steer the run: a loosened `reltol` lets the
+/// adaptive stepper take larger steps, so the same `.tran` card
+/// produces fewer accepted points than the default tolerance does.
+#[test]
+fn reltol_reaches_the_adaptive_stepper() {
+    let tight = deck(
+        "tight\nV1 in 0 PULSE(0 1 0 1n 1n 10u 20u)\nR1 in out 1k\nC1 out 0 1n\n.tran 2u\n.print v(out)\n.end\n",
+    );
+    let loose = deck(
+        "loose\n.option reltol=5e-2 abstol=1e-3\nV1 in 0 PULSE(0 1 0 1n 1n 10u 20u)\nR1 in out 1k\nC1 out 0 1n\n.tran 2u\n.print v(out)\n.end\n",
+    );
+    let tight_rows = tight.run().unwrap().reports[0].rows.len();
+    let loose_rows = loose.run().unwrap().reports[0].rows.len();
+    assert!(
+        loose_rows < tight_rows,
+        "loose tolerance should accept fewer steps ({loose_rows} vs {tight_rows})"
+    );
+}
+
+/// Forcing the dense and sparse solvers on the same deck must agree:
+/// solver selection is a performance knob, not a semantics knob.
+#[test]
+fn solver_selection_changes_the_path_not_the_answer() {
+    let body = "V1 in 0 DC 2\nR1 in mid 1k\nR2 mid out 1k\nR3 out 0 1k\n.op\n.print op v(mid) v(out)\n.end\n";
+    let dense = deck(&format!("dense\n.option solver=dense\n{body}"))
+        .run()
+        .unwrap();
+    let sparse = deck(&format!("sparse\n.option solver=sparse\n{body}"))
+        .run()
+        .unwrap();
+    assert_eq!(dense.reports[0].rows, sparse.reports[0].rows);
+}

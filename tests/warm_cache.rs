@@ -1,0 +1,207 @@
+//! Cache correctness: the warm paths (shared [`ModelCache`], shared
+//! [`EnginePool`]) must change *cost*, never *results*.
+//!
+//! The contract under test, deck by deck:
+//!
+//! * a resubmitted deck — or one that differs only in element values —
+//!   reuses the pooled engine's frozen sparsity pattern and pivot
+//!   order, yet its CSVs stay **bitwise** equal to a cold run's;
+//! * a *topology* change (wiring, element kinds, element count) misses
+//!   the engine pool;
+//! * a `.model` *parameter* change misses the model cache;
+//! * concurrent runs sharing one small pool never cross-contaminate.
+
+use cntfet::circuit::deck::{Deck, EnginePool, ModelCache, RunContext};
+use std::sync::Arc;
+
+/// Cold-run CSV: every report stitched in card order, no shared state.
+fn cold_csv(text: &str) -> String {
+    let run = Deck::parse(text).unwrap().run().unwrap();
+    run.reports.iter().map(|r| r.to_csv()).collect()
+}
+
+fn warm_ctx<'a>(models: &'a ModelCache, engines: &'a EnginePool) -> RunContext<'a> {
+    RunContext {
+        models: Some(models),
+        engines: Some(engines),
+    }
+}
+
+fn run_warm(text: &str, ctx: &RunContext<'_>) -> (String, cntfet::circuit::deck::DeckRun) {
+    let run = Deck::parse(text).unwrap().run_with(ctx).unwrap();
+    let csv: String = run.reports.iter().map(|r| r.to_csv()).collect();
+    (csv, run)
+}
+
+const INVERTER: &str = "\
+CNFET inverter
+.model nfet cnfet polarity=n
+.model pfet cnfet polarity=p
+VDD vdd 0 DC 0.8
+VIN in 0 PULSE(0 0.8 0.1n 0.1n 0.1n 0.7n 2n)
+MP out in vdd pfet L=100n
+MN out in 0 nfet L=100n
+CL out 0 1f
+.dc VIN 0 0.8 0.1
+.tran 2n
+.print dc v(out)
+.print tran v(out)
+.end
+";
+
+const RC_A: &str = "\
+RC low-pass, nominal values
+V1 in 0 PULSE(0 1 0 1n 1n 10u 20u)
+R1 in out 1k
+C1 out 0 1n
+.op
+.tran 50n 2u
+.print v(out)
+.end
+";
+
+/// Same wiring as [`RC_A`]; only element values differ, so the two
+/// decks share a topology hash and hence a pooled engine.
+const RC_B: &str = "\
+RC low-pass, shifted corner
+V1 in 0 PULSE(0 1 0 1n 1n 10u 20u)
+R1 in out 2.2k
+C1 out 0 470p
+.op
+.tran 50n 2u
+.print v(out)
+.end
+";
+
+#[test]
+fn resubmitted_deck_hits_both_caches_and_stays_bitwise() {
+    let cold = cold_csv(INVERTER);
+    let models = ModelCache::new();
+    let engines = EnginePool::new();
+    let ctx = warm_ctx(&models, &engines);
+
+    let (first_csv, first) = run_warm(INVERTER, &ctx);
+    assert_eq!(first.caches.engines.hits, 0, "first run must be cold");
+    // Polarity is element-level (applied after fitting), so the n and
+    // p cards with default ef/temp share one cached fit: one miss,
+    // then one hit within the same run.
+    assert_eq!(first.caches.models.misses, 1);
+    assert_eq!(first.caches.models.hits, 1);
+    assert_eq!(first_csv, cold);
+
+    let (second_csv, second) = run_warm(INVERTER, &ctx);
+    assert_eq!(second.caches.engines.hits, 1, "engine pool must hit");
+    assert_eq!(second.caches.models.hits, 2, "both fits must be reused");
+    assert_eq!(second.caches.models.misses, 0);
+    assert_eq!(
+        second_csv, cold,
+        "warm engine replay must be bitwise-identical to the cold run"
+    );
+}
+
+#[test]
+fn value_changed_deck_shares_the_symbolic_plan_bitwise() {
+    assert_eq!(
+        Deck::parse(RC_A).unwrap().topology_hash(),
+        Deck::parse(RC_B).unwrap().topology_hash(),
+        "value-only edits must not move the topology hash"
+    );
+    let cold_b = cold_csv(RC_B);
+    let models = ModelCache::new();
+    let engines = EnginePool::new();
+    let ctx = warm_ctx(&models, &engines);
+
+    run_warm(RC_A, &ctx);
+    let (warm_b_csv, warm_b) = run_warm(RC_B, &ctx);
+    assert_eq!(
+        warm_b.caches.engines.hits, 1,
+        "same topology, different values: the pooled engine must be reused"
+    );
+    assert_eq!(
+        warm_b_csv, cold_b,
+        "a value-changed deck on a warm engine must match its cold run bitwise"
+    );
+}
+
+#[test]
+fn topology_change_misses_the_engine_pool() {
+    let grown = "\
+RC low-pass with a load
+V1 in 0 PULSE(0 1 0 1n 1n 10u 20u)
+R1 in out 1k
+C1 out 0 1n
+RL out 0 10k
+.op
+.print v(out)
+.end
+";
+    assert_ne!(
+        Deck::parse(RC_A).unwrap().topology_hash(),
+        Deck::parse(grown).unwrap().topology_hash()
+    );
+    let models = ModelCache::new();
+    let engines = EnginePool::new();
+    let ctx = warm_ctx(&models, &engines);
+    run_warm(RC_A, &ctx);
+    let (_, run) = run_warm(grown, &ctx);
+    assert_eq!(run.caches.engines.hits, 0, "changed wiring must miss");
+    assert_eq!(run.caches.engines.misses, 1);
+}
+
+#[test]
+fn model_param_change_misses_the_model_cache() {
+    let shifted = INVERTER.replace(
+        ".model nfet cnfet polarity=n",
+        ".model nfet cnfet polarity=n ef=-0.30",
+    );
+    let models = ModelCache::new();
+    let engines = EnginePool::new();
+    let ctx = warm_ctx(&models, &engines);
+
+    run_warm(INVERTER, &ctx);
+    let (_, run) = run_warm(&shifted, &ctx);
+    assert_eq!(
+        run.caches.models.misses, 1,
+        "the ef-shifted nfet must be refitted"
+    );
+    assert_eq!(
+        run.caches.models.hits, 1,
+        "the untouched pfet fit must be reused"
+    );
+    // Polarity is element-level (applied after fitting), so the n and
+    // p cards with default ef/temp share one cached fit.
+    assert_eq!(models.len(), 2, "default-params fit + ef=-0.30 fit");
+}
+
+#[test]
+fn concurrent_runs_on_one_pool_never_cross_contaminate() {
+    let cases: Vec<(&str, String)> = vec![
+        (INVERTER, cold_csv(INVERTER)),
+        (RC_A, cold_csv(RC_A)),
+        (RC_B, cold_csv(RC_B)),
+    ];
+    let models = Arc::new(ModelCache::new());
+    let engines = Arc::new(EnginePool::new());
+
+    std::thread::scope(|scope| {
+        for worker in 0..6 {
+            let (text, want) = &cases[worker % cases.len()];
+            let models = Arc::clone(&models);
+            let engines = Arc::clone(&engines);
+            scope.spawn(move || {
+                for round in 0..4 {
+                    let ctx = RunContext {
+                        models: Some(&models),
+                        engines: Some(&engines),
+                    };
+                    let (csv, _) = run_warm(text, &ctx);
+                    assert_eq!(
+                        &csv, want,
+                        "worker {worker} round {round}: a shared pool must \
+                         never bleed state between decks"
+                    );
+                }
+            });
+        }
+    });
+}
