@@ -297,6 +297,29 @@ impl Element for CnfetElement {
             StampOutcome::Evaluated
         }
     }
+
+    fn limit_step(&self, _x: &[f64], dx: &[f64], sigma: usize) -> Option<f64> {
+        // fetlim-style swing cap: no controlling voltage of this device
+        // may move more than MAX_SWING in one Newton iteration. 2 V is
+        // generous against the 0.9 V logic rails, so healthy solves —
+        // whose per-iteration swings stay well under it — are never
+        // touched; only the wild multi-volt overshoots of a diverging
+        // or limit-cycling iteration get clamped.
+        const MAX_SWING: f64 = 2.0;
+        let s = self.sign();
+        let dvd = s * node_voltage(dx, self.drain);
+        let dvg = s * node_voltage(dx, self.gate);
+        let dvs = s * node_voltage(dx, self.source);
+        let dvsc = dx[sigma] - dvs;
+        let dvds = dvd - dvs;
+        let dvgs = dvg - dvs;
+        let worst = dvsc.abs().max(dvds.abs()).max(dvgs.abs());
+        if worst > MAX_SWING {
+            Some(MAX_SWING / worst)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

@@ -51,11 +51,10 @@ const INV: Cell = Cell {
 };
 
 /// Two-input NAND: parallel p-network, series n-network. The stack
-/// node `mid` carries an explicit junction parasitic (`cm`): without
-/// it the node is purely algebraic and damped Newton limit-cycles on
-/// hard-switching edges (the same failure mode the fastspice
-/// regression suite pins down), while the C/dt diagonal the parasitic
-/// contributes under implicit integration keeps every step convergent.
+/// node `mid` is purely algebraic (no parasitic): the engine's
+/// convergence ladder (voltage limiting → Armijo damping →
+/// pseudo-transient continuation) handles the hard-switching series
+/// stack that historically needed a 0.2 fF `cm` workaround capacitor.
 const NAND2: Cell = Cell {
     name: "nand2",
     ports: &["out", "a", "b", "vdd"],
@@ -66,12 +65,11 @@ const NAND2: Cell = Cell {
         CellCard::Fet("mna", ["out", "a", "mid"], "nfet"),
         CellCard::Fet("mnb", ["mid", "b", "0"], "nfet"),
         CellCard::Cap("cl", ["out", "0"], "cl"),
-        CellCard::Cap("cm", ["mid", "0"], "0.2f"),
     ],
 };
 
 /// Two-input NOR: series p-network, parallel n-network. `top` is the
-/// p-stack node; see [`NAND2`] for why it carries a parasitic.
+/// p-stack node, algebraic like [`NAND2`]'s `mid`.
 const NOR2: Cell = Cell {
     name: "nor2",
     ports: &["out", "a", "b", "vdd"],
@@ -82,7 +80,6 @@ const NOR2: Cell = Cell {
         CellCard::Fet("mna", ["out", "a", "0"], "nfet"),
         CellCard::Fet("mnb", ["out", "b", "0"], "nfet"),
         CellCard::Cap("cl", ["out", "0"], "cl"),
-        CellCard::Cap("cm", ["top", "0"], "0.2f"),
     ],
 };
 

@@ -369,6 +369,19 @@ pub enum OptionEntry {
     /// ([`NewtonOptions::solver`](crate::engine::NewtonOptions::solver),
     /// default `auto`).
     Solver(crate::engine::SolverKind),
+    /// `limiting=0|1` — per-device voltage limiting of Newton steps
+    /// ([`NewtonOptions::limiting`](crate::engine::NewtonOptions::limiting),
+    /// default on).
+    Limiting(bool),
+    /// `armijo_c1=<c>` — sufficient-decrease constant of the Armijo
+    /// line search
+    /// ([`NewtonOptions::armijo_c1`](crate::engine::NewtonOptions::armijo_c1),
+    /// default `1e-4`). Validated inside `(0, 1)` at parse time.
+    ArmijoC1(f64),
+    /// `ptc=0|1` — pseudo-transient continuation rescue for stalled
+    /// solves ([`NewtonOptions::ptc`](crate::engine::NewtonOptions::ptc),
+    /// default on).
+    Ptc(bool),
 }
 
 impl OptionEntry {
@@ -381,14 +394,19 @@ impl OptionEntry {
             OptionEntry::Bypass(_) => "bypass",
             OptionEntry::BypassVtol(_) => "bypassvtol",
             OptionEntry::Solver(_) => "solver",
+            OptionEntry::Limiting(_) => "limiting",
+            OptionEntry::ArmijoC1(_) => "armijo_c1",
+            OptionEntry::Ptc(_) => "ptc",
         }
     }
 
     fn value_text(&self) -> String {
         match self {
             OptionEntry::RelTol(v) | OptionEntry::AbsTol(v) | OptionEntry::DtMin(v) => num(*v),
-            OptionEntry::Bypass(b) => String::from(if *b { "1" } else { "0" }),
-            OptionEntry::BypassVtol(v) => num(*v),
+            OptionEntry::Bypass(b) | OptionEntry::Limiting(b) | OptionEntry::Ptc(b) => {
+                String::from(if *b { "1" } else { "0" })
+            }
+            OptionEntry::BypassVtol(v) | OptionEntry::ArmijoC1(v) => num(*v),
             OptionEntry::Solver(kind) => String::from(match kind {
                 crate::engine::SolverKind::Auto => "auto",
                 crate::engine::SolverKind::Dense => "dense",
@@ -783,6 +801,9 @@ impl Deck {
                     OptionEntry::Bypass(b) => newton.bypass = *b,
                     OptionEntry::BypassVtol(v) => newton.bypass_vtol = *v,
                     OptionEntry::Solver(kind) => newton.solver = *kind,
+                    OptionEntry::Limiting(b) => newton.limiting = *b,
+                    OptionEntry::ArmijoC1(c) => newton.armijo_c1 = *c,
+                    OptionEntry::Ptc(b) => newton.ptc = *b,
                     _ => {}
                 }
             }

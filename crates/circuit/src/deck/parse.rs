@@ -1263,6 +1263,36 @@ fn parse_option(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<OptionCard, D
                 };
                 OptionEntry::Solver(kind)
             }
+            "limiting" => {
+                let (v, span) = cur.next_word("0 or 1")?;
+                let on = match v.to_ascii_lowercase().as_str() {
+                    "1" | "on" => true,
+                    "0" | "off" => false,
+                    other => {
+                        return Err(cur.at(span, format!("limiting must be 0 or 1, got '{other}'")))
+                    }
+                };
+                OptionEntry::Limiting(on)
+            }
+            "armijo_c1" => {
+                let (c, span) = cur.next_value("the Armijo sufficient-decrease constant")?;
+                if !(c > 0.0 && c < 1.0) {
+                    return Err(cur.at(
+                        span,
+                        format!("armijo_c1 must be strictly between 0 and 1, got {c}"),
+                    ));
+                }
+                OptionEntry::ArmijoC1(c)
+            }
+            "ptc" => {
+                let (v, span) = cur.next_word("0 or 1")?;
+                let on = match v.to_ascii_lowercase().as_str() {
+                    "1" | "on" => true,
+                    "0" | "off" => false,
+                    other => return Err(cur.at(span, format!("ptc must be 0 or 1, got '{other}'"))),
+                };
+                OptionEntry::Ptc(on)
+            }
             _ => {
                 let known = [
                     "reltol",
@@ -1271,6 +1301,9 @@ fn parse_option(cur: &mut Cursor<'_>, origin: SourceRef) -> Result<OptionCard, D
                     "bypass",
                     "bypassvtol",
                     "solver",
+                    "limiting",
+                    "armijo_c1",
+                    "ptc",
                 ];
                 let mut err = cur.at(
                     key_span,

@@ -58,6 +58,12 @@ pub struct CardStats {
     pub device_evals: u64,
     /// Device evaluations skipped by the bypass layer.
     pub device_bypasses: u64,
+    /// Newton steps scaled down by per-device voltage limiting.
+    pub limiter_clamps: u64,
+    /// Armijo line-search backtracks (step halvings actually taken).
+    pub armijo_backtracks: u64,
+    /// Pseudo-transient continuation stages that converged.
+    pub ptc_steps: u64,
 }
 
 impl CardStats {
@@ -70,6 +76,9 @@ impl CardStats {
             columns_total: c.columns_total,
             device_evals: c.device_evals,
             device_bypasses: c.device_bypasses,
+            limiter_clamps: c.limiter_clamps,
+            armijo_backtracks: c.armijo_backtracks,
+            ptc_steps: c.ptc_steps,
         }
     }
 
@@ -77,7 +86,8 @@ impl CardStats {
     pub fn summary(&self) -> String {
         format!(
             "factorizations {} (full {}, partial {}), columns recomputed {}/{}, \
-             device evals {}, bypassed {}",
+             device evals {}, bypassed {}, limiter clamps {}, armijo backtracks {}, \
+             ptc stages {}",
             self.factorizations,
             self.full_refactorizations,
             self.partial_refactorizations,
@@ -85,6 +95,9 @@ impl CardStats {
             self.columns_total,
             self.device_evals,
             self.device_bypasses,
+            self.limiter_clamps,
+            self.armijo_backtracks,
+            self.ptc_steps,
         )
     }
 }

@@ -291,6 +291,20 @@ pub trait Element: fmt::Debug {
     fn ac_stimulus(&self, _extra_base: usize, _rhs: &mut [f64]) -> bool {
         false
     }
+
+    /// SPICE3 `pnjlim`/`fetlim`-lineage voltage limiting: given the
+    /// current iterate `x` and the proposed Newton step `dx`, returns
+    /// `Some(s)` with `s ∈ (0, 1)` when this element wants the step
+    /// scaled down to keep its controlling-voltage swing physically
+    /// reasonable, `None` to accept the step as proposed. The engine
+    /// takes the minimum over all elements and scales the *whole* step
+    /// (preserving the Newton direction); returning `None` whenever the
+    /// step is already in-bounds keeps converging solves bitwise
+    /// untouched. The default never limits (linear elements cannot
+    /// overshoot).
+    fn limit_step(&self, _x: &[f64], _dx: &[f64], _extra_base: usize) -> Option<f64> {
+        None
+    }
 }
 
 /// A linear resistor.

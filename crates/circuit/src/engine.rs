@@ -56,6 +56,7 @@ use cntfet_numerics::sparse::{
     SparseLuSolver,
 };
 use cntfet_numerics::stats::inf_norm;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -118,6 +119,31 @@ pub struct NewtonOptions {
     /// Controlling-voltage tolerance of the device bypass, volts.
     /// Only read when [`NewtonOptions::bypass`] is on. Default `1e-6`.
     pub bypass_vtol: f64,
+    /// Per-device voltage limiting ([`crate::element::Element::limit_step`]):
+    /// before the line search, every element may propose a step scale
+    /// that caps its per-iteration controlling-voltage swing
+    /// (SPICE3 `pnjlim`/`fetlim` lineage). A step already within every
+    /// device's limits is passed through untouched — bitwise — so
+    /// limiting only alters solves that were heading for trouble.
+    /// Default `true`.
+    pub limiting: bool,
+    /// Sufficient-decrease constant `c₁` of the Armijo condition the
+    /// damping line search accepts on: a trial step of length `α·dx`
+    /// is accepted when `‖F‖ ≤ ‖F₀‖·(1 − c₁·α)`. The historical
+    /// halving loop used exactly this test with `c₁ = 1e-4`, which is
+    /// the default — solves that already converge reproduce their
+    /// float stream bit-for-bit. Must lie in `(0, 1)`. Default `1e-4`.
+    pub armijo_c1: f64,
+    /// Pseudo-transient continuation rescue: when the accepted-iterate
+    /// cycle detector proves the damped iteration is in a limit cycle
+    /// (an iterate recurred bitwise, so the deterministic map can never
+    /// converge), re-solve with a temporary `C/dt`-like diagonal
+    /// regularization `g·(x − x_anchor)` on the weakly-damped unknowns,
+    /// ramped `1e-3 → 0`. Reuses the reserved gmin diagonal slots, so
+    /// no re-pattern occurs. Only ever runs on solves that would
+    /// otherwise fail, keeping already-converging decks bitwise
+    /// untouched. Default `true`.
+    pub ptc: bool,
 }
 
 impl Default for NewtonOptions {
@@ -132,6 +158,9 @@ impl Default for NewtonOptions {
             partial_refactor: true,
             bypass: false,
             bypass_vtol: 1e-6,
+            limiting: true,
+            armijo_c1: 1e-4,
+            ptc: true,
         }
     }
 }
@@ -205,6 +234,12 @@ pub struct EngineCounters {
     pub device_evals: u64,
     /// Nonlinear device evaluations skipped by the bypass layer.
     pub device_bypasses: u64,
+    /// Newton steps scaled down by per-device voltage limiting.
+    pub limiter_clamps: u64,
+    /// Armijo line-search backtracks (step halvings actually taken).
+    pub armijo_backtracks: u64,
+    /// Pseudo-transient continuation stages that converged.
+    pub ptc_steps: u64,
 }
 
 impl EngineCounters {
@@ -231,8 +266,235 @@ impl EngineCounters {
             device_bypasses: self
                 .device_bypasses
                 .saturating_sub(baseline.device_bypasses),
+            limiter_clamps: self.limiter_clamps.saturating_sub(baseline.limiter_clamps),
+            armijo_backtracks: self
+                .armijo_backtracks
+                .saturating_sub(baseline.armijo_backtracks),
+            ptc_steps: self.ptc_steps.saturating_sub(baseline.ptc_steps),
         }
     }
+}
+
+/// The highest rung of the convergence-robustness ladder a Newton solve
+/// climbed to: plain Newton steps, per-device voltage limiting, Armijo
+/// backtracking, or the pseudo-transient continuation rescue. Rungs are
+/// ordered — a solve reported as [`NewtonStrategy::Ptc`] typically also
+/// exercised limiting and damping on the way up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NewtonStrategy {
+    /// Full (unclamped, undamped) Newton steps sufficed.
+    #[default]
+    Newton,
+    /// Voltage limiting clamped at least one step.
+    Limited,
+    /// The Armijo line search backtracked at least once.
+    Damped,
+    /// The cycle detector proved a limit cycle and pseudo-transient
+    /// continuation ran.
+    Ptc,
+}
+
+impl NewtonStrategy {
+    /// Short human-readable name of this strategy rung.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NewtonStrategy::Newton => "newton",
+            NewtonStrategy::Limited => "voltage limiting",
+            NewtonStrategy::Damped => "armijo damping",
+            NewtonStrategy::Ptc => "pseudo-transient",
+        }
+    }
+}
+
+impl fmt::Display for NewtonStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Post-mortem of the most recent Newton solve, harvested with
+/// [`NewtonEngine::last_report`]: which strategy rung it ended on, how
+/// hard it worked, and — crucially for debugging a failing deck — the
+/// worst-residual unknown *by name*. Attached to
+/// [`CircuitError::NoConvergence`] and
+/// [`CircuitError::TimestepTooSmall`] so a failure names the node that
+/// refused to settle instead of just a number.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConvergenceReport {
+    /// Highest strategy rung exercised.
+    pub strategy: NewtonStrategy,
+    /// Newton iterations performed (across PTC stages if any ran).
+    pub iterations: usize,
+    /// Final residual infinity norm.
+    pub residual: f64,
+    /// Name of the unknown with the largest final residual (a node
+    /// name, `i(NAME)` for a source branch current, `internal(NAME)`
+    /// for an element's internal unknown).
+    pub worst_unknown: String,
+    /// Newton steps scaled down by voltage limiting during this solve.
+    pub limiter_clamps: u64,
+    /// Armijo backtracks taken during this solve.
+    pub armijo_backtracks: u64,
+    /// Converged pseudo-transient continuation stages of this solve.
+    pub ptc_steps: u64,
+}
+
+impl ConvergenceReport {
+    /// The strategy rungs this solve actually exercised, joined with
+    /// `" → "` — e.g. `"newton → armijo damping → pseudo-transient"`.
+    pub fn ladder(&self) -> String {
+        let mut rungs = vec![NewtonStrategy::Newton.as_str()];
+        if self.limiter_clamps > 0 {
+            rungs.push(NewtonStrategy::Limited.as_str());
+        }
+        if self.armijo_backtracks > 0 {
+            rungs.push(NewtonStrategy::Damped.as_str());
+        }
+        if self.ptc_steps > 0 || self.strategy == NewtonStrategy::Ptc {
+            rungs.push(NewtonStrategy::Ptc.as_str());
+        }
+        rungs.join(" → ")
+    }
+}
+
+impl fmt::Display for ConvergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let worst = if self.worst_unknown.is_empty() {
+            "?"
+        } else {
+            &self.worst_unknown
+        };
+        write!(
+            f,
+            "worst unknown {worst} (|F| = {:.3e}), strategies tried: {}",
+            self.residual,
+            self.ladder()
+        )
+    }
+}
+
+/// Temporary pseudo-transient regularization applied by a rescue stage:
+/// adds `g·(x[i] − anchor[i])` to every masked row, folded into the
+/// reserved diagonal slots. The mask is frozen once per rescue (node
+/// rows whose dynamic loading is below the initial [`PTC_G0`]) so the
+/// critical weakly-loaded row cannot drop out of the regularized set
+/// as `g` ramps down past its tiny-but-nonzero companion load.
+struct PtcTerm<'a> {
+    g: f64,
+    anchor: &'a [f64],
+    mask: &'a [bool],
+}
+
+#[derive(Debug)]
+/// How a [`NewtonEngine::run_newton_loop`] call ended (convergence
+/// errors excluded — those are `Err`).
+enum LoopExit {
+    /// Converged after this many iterations.
+    Converged(usize),
+    /// An accepted iterate recurred bitwise: the deterministic iterate
+    /// map is in a limit cycle and can never converge. Carries the
+    /// iterations spent proving it.
+    Stalled(usize),
+    /// The iteration budget ran out without convergence or a proven
+    /// cycle.
+    Exhausted,
+}
+
+/// Minimal per-solve trace kept by the engine so the worst unknown can
+/// be resolved to a name lazily (names cost an O(nodes) scan).
+#[derive(Debug, Clone)]
+struct SolveTrace {
+    strategy: NewtonStrategy,
+    iterations: usize,
+    residual: f64,
+    worst: usize,
+    limiter_clamps: u64,
+    armijo_backtracks: u64,
+    ptc_steps: u64,
+}
+
+/// Hard cap on the per-iteration step infinity norm *inside
+/// pseudo-transient rescue stages* (volts). The limit cycles this
+/// rescues are overshoot oscillations of a few hundred mV around a
+/// weakly-conducting balance point; capping the step turns the bounce
+/// into a monotone walk. Never applied to plain solves, so converging
+/// decks stay bitwise-identical.
+const PTC_STEP_CAP: f64 = 0.1;
+
+/// Initial pseudo-transient stiffness (siemens) and the frozen
+/// weakly-loaded-row threshold: rows whose dynamic (companion)
+/// conductance is below this at the stall point get the `g·(x −
+/// anchor)` regularization for the whole rescue ramp.
+const PTC_G0: f64 = 1e-3;
+
+/// Stage budget for one pseudo-transient rescue. Marching at the floor
+/// stiffness contracts the remaining error geometrically per stage, so
+/// the budget bounds pathological cases, not healthy rescues.
+const PTC_MAX_STAGES: usize = 256;
+
+/// Starting conductance-to-ground of the gmin-stepping rescue rung
+/// (siemens): strong enough that the first stage is nearly linear.
+const GMIN_STEP_START: f64 = 1e-3;
+
+/// Geometric ramp factor of the gmin-stepping ladder.
+const GMIN_STEP_FACTOR: f64 = 0.1;
+
+/// The gmin ladder stops ramping below this conductance (siemens) and
+/// hands over to the final stage at the caller's own gmin: below
+/// ~1e-12 S the stepping solutions are indistinguishable from the
+/// unregularized one at the engine's current tolerances.
+const GMIN_STEP_FLOOR: f64 = 1e-12;
+
+/// Stage budget of one gmin-stepping rescue: 9 decades at the initial
+/// ×0.1 factor plus generous room for adaptive back-offs.
+const GMIN_MAX_STAGES: usize = 256;
+
+/// The gmin ladder gives up once adaptive back-off has pushed its ramp
+/// factor this close to 1: progress per stage is then too small to
+/// ever reach the floor.
+const GMIN_FACTOR_GIVEUP: f64 = 0.97;
+
+/// Consecutive failed (stiffen-and-restore) pseudo-transient stages
+/// tolerated without the true residual improving on its best-seen
+/// value; past this the see-saw is provably not progressing and the
+/// rescue hands over to gmin stepping instead of burning its full
+/// stage budget.
+const PTC_MAX_STIFFENS: usize = 8;
+
+/// Consecutive near-flat accepted iterates before the stagnation stall
+/// trigger may fire (see `run_newton_loop`). Wide enough that transient
+/// plateaus of healthy solves never accumulate it.
+const STALL_WINDOW: usize = 24;
+
+/// Relative residual-norm change below which an accepted iterate counts
+/// as stagnant. The observed limit cycles drift by ~1e-6 relative per
+/// period; healthy Newton progress is orders of magnitude faster.
+const STALL_RTOL: f64 = 1e-5;
+
+/// Nonmonotone breakout steps a *rescue* stage may spend before its
+/// stall detector is allowed to end the stage. The Armijo condition's
+/// monotone-decrease demand can trap the iterate at a residual ridge —
+/// a local minimum of ‖f‖ where the root lies on the far side and
+/// every damped step is rejected down to the smallest trial. A
+/// breakout accepts the full (limited, capped) Newton step without the
+/// sufficient-decrease test, letting the residual rise temporarily to
+/// cross the ridge. Plain solves never break out, so converging decks
+/// stay bitwise-identical.
+const NEWTON_BREAKOUTS: usize = 3;
+
+/// FNV-1a over the raw bit patterns — a cheap fingerprint for the
+/// bitwise iterate-cycle detector.
+fn bits_hash(v: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &x in v {
+        h ^= x.to_bits();
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn bitwise_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(p, q)| p.to_bits() == q.to_bits())
 }
 
 /// The reusable damped-Newton core.
@@ -262,6 +524,13 @@ pub struct NewtonEngine {
     path: FactorPathStats,
     device_evals: u64,
     device_bypasses: u64,
+    limiter_clamps: u64,
+    armijo_backtracks: u64,
+    ptc_steps: u64,
+    /// Trace of the most recent [`NewtonEngine::newton`] solve, kept so
+    /// [`NewtonEngine::last_report`] can resolve the worst unknown to a
+    /// name lazily.
+    last_trace: Option<SolveTrace>,
     /// Cooperative cancellation flag, polled once per Newton iteration.
     cancel: Option<Arc<AtomicBool>>,
 }
@@ -280,6 +549,10 @@ impl NewtonEngine {
             path: FactorPathStats::default(),
             device_evals: 0,
             device_bypasses: 0,
+            limiter_clamps: 0,
+            armijo_backtracks: 0,
+            ptc_steps: 0,
+            last_trace: None,
             cancel: None,
         }
     }
@@ -432,7 +705,33 @@ impl NewtonEngine {
             columns_total: self.path.columns_total,
             device_evals: self.device_evals,
             device_bypasses: self.device_bypasses,
+            limiter_clamps: self.limiter_clamps,
+            armijo_backtracks: self.armijo_backtracks,
+            ptc_steps: self.ptc_steps,
         }
+    }
+
+    /// Post-mortem of the most recent [`NewtonEngine::newton`] solve
+    /// (`None` before any). The worst-residual unknown is resolved to a
+    /// name here — lazily, off the hot path — against the given
+    /// circuit, which must be the one the solve ran on.
+    pub fn last_report(&self, circuit: &Circuit) -> Option<ConvergenceReport> {
+        let t = self.last_trace.as_ref()?;
+        let worst_unknown = if t.worst < circuit.unknown_count() {
+            let bases = circuit.extra_var_bases();
+            unknown_name(circuit, &bases, t.worst)
+        } else {
+            format!("unknown #{}", t.worst)
+        };
+        Some(ConvergenceReport {
+            strategy: t.strategy,
+            iterations: t.iterations,
+            residual: t.residual,
+            worst_unknown,
+            limiter_clamps: t.limiter_clamps,
+            armijo_backtracks: t.armijo_backtracks,
+            ptc_steps: t.ptc_steps,
+        })
     }
 
     fn ensure_cache(&mut self, circuit: &Circuit, transient: bool) {
@@ -487,7 +786,16 @@ impl NewtonEngine {
     }
 
     /// Assembles `F(x)` and `J(x)` into the engine's reused buffers.
-    fn assemble_into(&mut self, circuit: &Circuit, x: &[f64], mode: &AnalysisMode, gmin: f64) {
+    /// `ptc` (only `Some` inside a pseudo-transient rescue stage) adds
+    /// its diagonal regularization through the reserved gmin slots.
+    fn assemble_into(
+        &mut self,
+        circuit: &Circuit,
+        x: &[f64],
+        mode: &AnalysisMode,
+        gmin: f64,
+        ptc: Option<&PtcTerm<'_>>,
+    ) {
         self.ensure_cache(circuit, matches!(mode, AnalysisMode::Transient(_)));
         let active = self.active;
         let cache = self.caches[active].as_mut().expect("cache ensured above");
@@ -512,23 +820,49 @@ impl NewtonEngine {
             }
         }
         // Structural diagonal: reserves every (i, i) slot so the gmin
-        // ramp and the pivot search always have a diagonal to write to,
-        // regardless of which gmin value recorded the pattern. A gmin
-        // leak from every node to ground keeps the matrix non-singular
-        // while far from convergence.
+        // ramp, the pseudo-transient regularization and the pivot search
+        // always have a diagonal to write to, regardless of which values
+        // recorded the pattern. A gmin leak from every node to ground
+        // keeps the matrix non-singular while far from convergence.
+        // Both branches issue one add() per diagonal in the same order,
+        // so the tracked write sequence is identical either way.
         let nodes = circuit.node_count();
-        if gmin > 0.0 {
-            for (i, (ri, &xi)) in self.residual.iter_mut().zip(x).take(nodes).enumerate() {
-                *ri += gmin * xi;
-                cache.asm.add(i, i, gmin);
+        match ptc {
+            None => {
+                if gmin > 0.0 {
+                    for (i, (ri, &xi)) in self.residual.iter_mut().zip(x).take(nodes).enumerate() {
+                        *ri += gmin * xi;
+                        cache.asm.add(i, i, gmin);
+                    }
+                } else {
+                    for i in 0..nodes {
+                        cache.asm.add(i, i, 0.0);
+                    }
+                }
+                for i in nodes..cache.unknowns {
+                    cache.asm.add(i, i, 0.0);
+                }
             }
-        } else {
-            for i in 0..nodes {
-                cache.asm.add(i, i, 0.0);
+            Some(p) => {
+                let rows = self
+                    .residual
+                    .iter_mut()
+                    .zip(x)
+                    .zip(p.mask.iter().zip(p.anchor))
+                    .enumerate()
+                    .take(cache.unknowns);
+                for (i, ((ri, &xi), (&masked, &anchor))) in rows {
+                    let base = if i < nodes && gmin > 0.0 { gmin } else { 0.0 };
+                    let reg = if masked { p.g } else { 0.0 };
+                    if base > 0.0 {
+                        *ri += base * xi;
+                    }
+                    if reg > 0.0 {
+                        *ri += reg * (xi - anchor);
+                    }
+                    cache.asm.add(i, i, base + reg);
+                }
             }
-        }
-        for i in nodes..cache.unknowns {
-            cache.asm.add(i, i, 0.0);
         }
         cache.asm.finish();
     }
@@ -543,7 +877,7 @@ impl NewtonEngine {
         mode: &AnalysisMode,
         gmin: f64,
     ) -> (&[f64], &CsrMatrix) {
-        self.assemble_into(circuit, x, mode, gmin);
+        self.assemble_into(circuit, x, mode, gmin, None);
         let cache = self.cache().expect("cache ensured by assemble");
         (
             &self.residual,
@@ -566,44 +900,77 @@ impl NewtonEngine {
         })
     }
 
-    /// Runs one damped-Newton solve from `x0` at the given analysis mode
-    /// and gmin. Each trial point of the damping line search is
-    /// assembled exactly once: the accepted trial's residual/Jacobian
-    /// stay in the engine buffers and seed the next iteration, and when
-    /// no damping step reduces the residual the smallest already-
-    /// assembled step is adopted as-is (Newton may still escape a
-    /// shallow plateau).
+    /// One pass of the damped-Newton iteration, shared by the plain
+    /// solve and every pseudo-transient rescue stage. Each trial point
+    /// of the line search is assembled exactly once: the accepted
+    /// trial's residual/Jacobian stay in the engine buffers and seed
+    /// the next iteration, and when no damping step satisfies the
+    /// Armijo condition the smallest already-assembled step is adopted
+    /// as-is (Newton may still escape a shallow plateau).
     ///
-    /// # Errors
+    /// With `detect_cycles` on, two stall triggers exit
+    /// [`LoopExit::Stalled`] rather than burning the rest of the
+    /// budget:
     ///
-    /// [`CircuitError::SingularSystem`] when the Jacobian cannot be
-    /// factored, [`CircuitError::NoConvergence`] when the iteration
-    /// budget runs out, [`CircuitError::Cancelled`] when the installed
-    /// cancellation flag is raised mid-iteration.
-    pub fn newton(
+    /// * **bitwise recurrence** of an accepted iterate — a *proof* of a
+    ///   limit cycle, since assembly depends only on `x` (bypass off)
+    ///   and the partial refactorization is bitwise-exact, so the
+    ///   iterate map is deterministic;
+    /// * **non-monotone stagnation** — [`STALL_WINDOW`] consecutive
+    ///   accepted iterates whose residual norm changes by less than
+    ///   [`STALL_RTOL`] relatively, at least one of them an *increase*.
+    ///   This catches the practical limit cycle that oscillates between
+    ///   two points with a slow last-bit drift (so it never recurs
+    ///   bitwise); the increase requirement keeps a slowly *converging*
+    ///   crawl (monotone decrease) from ever tripping it.
+    #[allow(clippy::too_many_arguments)]
+    fn run_newton_loop(
         &mut self,
         circuit: &Circuit,
-        x0: &[f64],
+        x: &mut [f64],
         mode: &AnalysisMode,
         gmin: f64,
-    ) -> Result<(Vec<f64>, usize), CircuitError> {
-        let n = circuit.unknown_count();
-        if n == 0 {
-            return Ok((Vec::new(), 0));
-        }
-        let mut x = x0.to_vec();
-        self.assemble_into(circuit, &x, mode, gmin);
+        ptc: Option<&PtcTerm<'_>>,
+        detect_cycles: bool,
+        rescue_cap: bool,
+    ) -> Result<LoopExit, CircuitError> {
+        let n = x.len();
+        self.assemble_into(circuit, x, mode, gmin, ptc);
         let mut fnorm = inf_norm(&self.residual);
         let mut neg_f = vec![0.0; n];
         let mut trial = vec![0.0; n];
         let max_iter = self.opts.max_iter;
         let max_halvings = self.opts.max_step_halvings;
+        let c1 = self.opts.armijo_c1;
+        // Like the stall detector, voltage limiting assumes stamps are a
+        // pure function of `x`. The bypass layer's history-dependent
+        // stamps break that: a limited step changes which devices get
+        // bypassed on later iterates, and the first-order-corrected
+        // cached stamps can then disagree with the limiter's trajectory
+        // enough to stall the solve. Bypass runs keep the seed's plain
+        // Newton + Armijo behavior instead.
+        let limiting = self.opts.limiting && !self.opts.bypass;
+        let mut visited: Vec<(u64, Vec<f64>)> = Vec::new();
+        if detect_cycles {
+            visited.push((bits_hash(x), x.to_vec()));
+        }
+        let mut stagnant = 0usize;
+        let mut saw_increase = false;
+        let mut prev_fnorm = fnorm;
+        // Rescue stages may escape a residual ridge a few times before
+        // the stall detector ends the stage (see [`NEWTON_BREAKOUTS`]).
+        let mut breakouts = if detect_cycles && rescue_cap {
+            NEWTON_BREAKOUTS
+        } else {
+            0
+        };
+        let mut force_full = false;
         for it in 0..max_iter {
             self.check_cancel()?;
             if self.converged(circuit) {
-                return Ok((x, it));
+                return Ok(LoopExit::Converged(it));
             }
-            let dx = {
+            let mut dx = {
                 for (nf, f) in neg_f.iter_mut().zip(&self.residual) {
                     *nf = -f;
                 }
@@ -650,30 +1017,474 @@ impl NewtonEngine {
                     .solve_factored(&neg_f)
                     .map_err(|e| CircuitError::SingularSystem(format!("{e}")))?
             };
-            // Damped update: halve the step until the residual stops
-            // growing; adopt the final (smallest) trial unconditionally.
+            // Per-device voltage limiting: each element may cap its own
+            // controlling-voltage swing; the tightest cap scales the
+            // whole step so the direction is preserved. A step within
+            // every device's limits passes through bitwise-untouched.
+            if limiting {
+                let mut scale = 1.0f64;
+                {
+                    let cache = self.caches[self.active].as_ref().expect("assembled above");
+                    for (e, &base) in circuit.elements().iter().zip(&cache.bases) {
+                        if let Some(s) = e.limit_step(x, &dx, base) {
+                            if s < scale {
+                                scale = s;
+                            }
+                        }
+                    }
+                }
+                if scale < 1.0 {
+                    for d in dx.iter_mut() {
+                        *d *= scale;
+                    }
+                    self.limiter_clamps += 1;
+                }
+            }
+            // Rescue stages additionally cap the raw step size: the
+            // pathologies being rescued (overshoot oscillations,
+            // near-degenerate subthreshold rows proposing volts-sized
+            // moves) both yield to a bounded walk toward the balance
+            // point instead of a bounce across it.
+            if rescue_cap {
+                let mx = inf_norm(&dx);
+                if mx > PTC_STEP_CAP {
+                    let s = PTC_STEP_CAP / mx;
+                    for d in dx.iter_mut() {
+                        *d *= s;
+                    }
+                }
+            }
+            // Armijo line search: halve the step until the residual
+            // satisfies the sufficient-decrease condition; adopt the
+            // final (smallest) trial unconditionally.
             let mut alpha = 1.0;
+            let unconditional = std::mem::take(&mut force_full);
             for h in 0..=max_halvings {
-                for ((t, &xi), &di) in trial.iter_mut().zip(&x).zip(&dx) {
+                for ((t, &xi), &di) in trial.iter_mut().zip(x.iter()).zip(&dx) {
                     *t = xi + alpha * di;
                 }
-                self.assemble_into(circuit, &trial, mode, gmin);
+                self.assemble_into(circuit, &trial, mode, gmin, ptc);
                 let tnorm = inf_norm(&self.residual);
-                let improved = tnorm <= fnorm * (1.0 - 1e-4 * alpha) || tnorm < 1e-18;
+                let improved =
+                    unconditional || tnorm <= fnorm * (1.0 - c1 * alpha) || tnorm < 1e-18;
                 if improved || h == max_halvings {
                     x.copy_from_slice(&trial);
                     fnorm = tnorm;
                     break;
                 }
                 alpha *= 0.5;
+                self.armijo_backtracks += 1;
+            }
+            if detect_cycles {
+                let h = bits_hash(x);
+                let recurred = visited.iter().any(|(vh, vx)| *vh == h && bitwise_eq(vx, x));
+                let mut stalled = recurred;
+                if !recurred {
+                    visited.push((h, x.to_vec()));
+                    if (fnorm - prev_fnorm).abs() <= STALL_RTOL * prev_fnorm {
+                        stagnant += 1;
+                        if fnorm > prev_fnorm {
+                            saw_increase = true;
+                        }
+                        stalled = stagnant >= STALL_WINDOW && saw_increase;
+                    } else {
+                        stagnant = 0;
+                        saw_increase = false;
+                    }
+                }
+                prev_fnorm = fnorm;
+                if stalled {
+                    if breakouts == 0 {
+                        return Ok(LoopExit::Stalled(it + 1));
+                    }
+                    // Trapped at a residual ridge: spend a breakout —
+                    // the next step is accepted at full length without
+                    // the sufficient-decrease test — and rearm the
+                    // detector for the new trajectory.
+                    breakouts -= 1;
+                    force_full = true;
+                    visited.clear();
+                    stagnant = 0;
+                    saw_increase = false;
+                }
             }
         }
         if self.converged(circuit) {
-            return Ok((x, max_iter));
+            return Ok(LoopExit::Converged(max_iter));
+        }
+        Ok(LoopExit::Exhausted)
+    }
+
+    /// Runs one Newton solve from `x0` at the given analysis mode and
+    /// gmin, climbing the robustness ladder as needed: full Newton
+    /// steps → per-device voltage limiting → Armijo backtracking →
+    /// (on a *proven* limit cycle) pseudo-transient continuation. A
+    /// solve that converges without the higher rungs reproduces the
+    /// historical floating-point stream bit-for-bit. The post-mortem of
+    /// every solve is retrievable via [`NewtonEngine::last_report`].
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SingularSystem`] when the Jacobian cannot be
+    /// factored, [`CircuitError::NoConvergence`] (carrying a
+    /// [`ConvergenceReport`]) when the whole ladder fails,
+    /// [`CircuitError::Cancelled`] when the installed cancellation flag
+    /// is raised mid-iteration.
+    pub fn newton(
+        &mut self,
+        circuit: &Circuit,
+        x0: &[f64],
+        mode: &AnalysisMode,
+        gmin: f64,
+    ) -> Result<(Vec<f64>, usize), CircuitError> {
+        let n = circuit.unknown_count();
+        if n == 0 {
+            return Ok((Vec::new(), 0));
+        }
+        let started = self.counters();
+        let mut x = x0.to_vec();
+        // Cycle detection requires the iterate map to be a pure
+        // function of x; the bypass layer's history-dependent stamps
+        // break that, so it disables the detector (and with it PTC).
+        let detect = self.opts.ptc && !self.opts.bypass;
+        let mut ptc_used = false;
+        let solved: Result<usize, CircuitError> =
+            match self.run_newton_loop(circuit, &mut x, mode, gmin, None, detect, false) {
+                Ok(LoopExit::Converged(it)) => Ok(it),
+                // A proven stall escalates early; a burnt-out budget
+                // escalates late. Either way the plain iteration has
+                // failed — historically a hard error — so the rescue
+                // can only fix decks, never perturb converging ones.
+                Ok(LoopExit::Stalled(it)) => {
+                    ptc_used = true;
+                    self.rescue(circuit, &mut x, x0, mode, gmin, it)
+                }
+                Ok(LoopExit::Exhausted) if detect => {
+                    ptc_used = true;
+                    self.rescue(circuit, &mut x, x0, mode, gmin, self.opts.max_iter)
+                }
+                Ok(LoopExit::Exhausted) => Err(CircuitError::NoConvergence {
+                    iterations: self.opts.max_iter,
+                    residual: inf_norm(&self.residual),
+                    report: ConvergenceReport::default(),
+                }),
+                Err(e) => Err(e),
+            };
+        let delta = self.counters().delta_since(&started);
+        let strategy = if ptc_used {
+            NewtonStrategy::Ptc
+        } else if delta.armijo_backtracks > 0 {
+            NewtonStrategy::Damped
+        } else if delta.limiter_clamps > 0 {
+            NewtonStrategy::Limited
+        } else {
+            NewtonStrategy::Newton
+        };
+        let worst = self
+            .residual
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.abs()
+                    .partial_cmp(&b.1.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map_or(0, |(i, _)| i);
+        let iterations = match &solved {
+            Ok(it) => *it,
+            Err(CircuitError::NoConvergence { iterations, .. }) => *iterations,
+            Err(_) => self.opts.max_iter,
+        };
+        self.last_trace = Some(SolveTrace {
+            strategy,
+            iterations,
+            residual: inf_norm(&self.residual),
+            worst,
+            limiter_clamps: delta.limiter_clamps,
+            armijo_backtracks: delta.armijo_backtracks,
+            ptc_steps: delta.ptc_steps,
+        });
+        match solved {
+            Ok(it) => Ok((x, it)),
+            Err(CircuitError::NoConvergence {
+                iterations,
+                residual,
+                ..
+            }) => {
+                let report = self.last_report(circuit).unwrap_or_default();
+                Err(CircuitError::NoConvergence {
+                    iterations,
+                    residual,
+                    report,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The per-row dynamic (charge/companion) loading at `x`: how
+    /// strongly each unknown is damped by the integration stamp. At DC
+    /// every unknown is algebraic (zero load everywhere); in transient
+    /// mode it is the absolute difference between the transient and DC
+    /// Jacobian diagonals at the same point — exactly the `C·a0`
+    /// companion conductance for capacitive rows, and ~0 for the
+    /// (nearly) algebraic rows the pseudo-transient rescue targets.
+    fn dynamic_load(
+        &mut self,
+        circuit: &Circuit,
+        x: &[f64],
+        mode: &AnalysisMode,
+        gmin: f64,
+    ) -> Vec<f64> {
+        let n = circuit.unknown_count();
+        if matches!(mode, AnalysisMode::Dc) {
+            return vec![0.0; n];
+        }
+        self.assemble_into(circuit, x, mode, gmin, None);
+        let diag_t: Vec<f64> = {
+            let m = self
+                .cache()
+                .and_then(|c| c.asm.matrix())
+                .expect("assembly finished");
+            (0..n).map(|i| m.get(i, i)).collect()
+        };
+        self.assemble_into(circuit, x, &AnalysisMode::Dc, gmin, None);
+        let diag_dc: Vec<f64> = {
+            let m = self
+                .cache()
+                .and_then(|c| c.asm.matrix())
+                .expect("assembly finished");
+            (0..n).map(|i| m.get(i, i)).collect()
+        };
+        diag_t
+            .iter()
+            .zip(&diag_dc)
+            .map(|(t, d)| (t - d).abs())
+            .collect()
+    }
+
+    /// The two-stage rescue behind a failed plain solve: pseudo-
+    /// transient continuation first, and — should the PTC ramp itself
+    /// fail — gmin stepping restarted from the solve's entry point
+    /// `x0`. Both only ever run on solves that were already lost, so
+    /// converging decks never see them.
+    fn rescue(
+        &mut self,
+        circuit: &Circuit,
+        x: &mut [f64],
+        x0: &[f64],
+        mode: &AnalysisMode,
+        gmin: f64,
+        iters_used: usize,
+    ) -> Result<usize, CircuitError> {
+        match self.ptc_rescue(circuit, x, mode, gmin, iters_used) {
+            Err(CircuitError::NoConvergence { iterations, .. }) => {
+                x.copy_from_slice(x0);
+                self.gmin_rescue(circuit, x, mode, gmin, iterations)
+            }
+            other => other,
+        }
+    }
+
+    /// Gmin stepping, the final rescue rung: solves the system with a
+    /// strong conductance to ground on every node diagonal (through
+    /// the reserved gmin slots, so no re-pattern) and ramps it down
+    /// geometrically to the caller's `gmin`, warm-starting each stage
+    /// from the previous stage's solution. Unlike the PTC term, which
+    /// anchors at the current (possibly poisoned) iterate, the gmin
+    /// ladder anchors every node toward ground — exactly what carries
+    /// subthreshold leakage dividers (series stacks that just switched
+    /// off) whose rows are too weak for Newton from any distant point.
+    ///
+    /// The ramp is adaptive: a stage that fails restores the last
+    /// converged stage's solution and retries with a gentler factor
+    /// (square root of the current one), so an exponential row whose
+    /// solution moves too far per decade gets as many intermediate
+    /// rungs as it needs. Each converged stage counts toward
+    /// `ptc_steps` — both rungs are continuation methods and report as
+    /// one.
+    fn gmin_rescue(
+        &mut self,
+        circuit: &Circuit,
+        x: &mut [f64],
+        mode: &AnalysisMode,
+        gmin: f64,
+        iters_used: usize,
+    ) -> Result<usize, CircuitError> {
+        let mut total = iters_used;
+        let mut g = GMIN_STEP_START;
+        let mut factor = GMIN_STEP_FACTOR;
+        // Last converged rung: (conductance, solution).
+        let mut good: Option<(f64, Vec<f64>)> = None;
+        let floor = GMIN_STEP_FLOOR.max(gmin);
+        for _stage in 0..GMIN_MAX_STAGES {
+            let exit = self.run_newton_loop(circuit, x, mode, g, None, true, true)?;
+            match exit {
+                LoopExit::Converged(it) => {
+                    total += it;
+                    self.ptc_steps += 1;
+                    if g <= floor {
+                        break;
+                    }
+                    good = Some((g, x.to_vec()));
+                    g = (g * factor).max(floor);
+                }
+                other => {
+                    total += match other {
+                        LoopExit::Stalled(it) => it,
+                        _ => self.opts.max_iter,
+                    };
+                    // Back off: restore the last good rung and descend
+                    // more gently from there. With no good rung yet, or
+                    // a factor already near 1, the ladder has nothing
+                    // left to try.
+                    factor = factor.sqrt();
+                    match &good {
+                        Some((gg, gx)) if factor < GMIN_FACTOR_GIVEUP => {
+                            x.copy_from_slice(gx);
+                            g = (gg * factor).max(floor);
+                        }
+                        _ => {
+                            return Err(CircuitError::NoConvergence {
+                                iterations: total,
+                                residual: inf_norm(&self.residual),
+                                report: ConvergenceReport::default(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Final stage at the caller's own gmin: a success here is a
+        // true solution of the original system.
+        match self.run_newton_loop(circuit, x, mode, gmin, None, true, true)? {
+            LoopExit::Converged(it) => {
+                total += it;
+                self.ptc_steps += 1;
+                Ok(total)
+            }
+            _ => Err(CircuitError::NoConvergence {
+                iterations: total,
+                residual: inf_norm(&self.residual),
+                report: ConvergenceReport::default(),
+            }),
+        }
+    }
+
+    /// Pseudo-transient continuation: called only after the plain
+    /// damped iteration stalled (proven limit cycle / stagnation) or
+    /// exhausted its budget. Adds a `C/dt`-like regularization
+    /// `g·(x − x_anchor)` to every weakly-loaded (nearly algebraic)
+    /// node row — the rows that lack the damping a real capacitor
+    /// would provide — re-anchoring at each converged stage and
+    /// shrinking `g` by the true residual's progress ratio (switched
+    /// evolution/relaxation, forced into `[÷100, ÷10]` per stage so the
+    /// ramp can neither stall nor collapse). A stage that fails
+    /// restores its anchor and stiffens `g` instead. The rescue
+    /// succeeds the moment the *unregularized* system meets the same
+    /// per-row tolerances plain Newton stops at, so a success is a
+    /// true solution.
+    fn ptc_rescue(
+        &mut self,
+        circuit: &Circuit,
+        x: &mut [f64],
+        mode: &AnalysisMode,
+        gmin: f64,
+        iters_used: usize,
+    ) -> Result<usize, CircuitError> {
+        let load = self.dynamic_load(circuit, x, mode, gmin);
+        // Only node (KCL) rows are regularized: `g` is a conductance,
+        // commensurate with current-balance rows. Element rows (source
+        // constraints in volts, CNFET charge balances in C/m) live on
+        // completely different scales — a Siemens-sized `g·(x − anchor)`
+        // term would dwarf their natural residuals and make their
+        // tolerances unreachable.
+        let nodes = circuit.node_count();
+        let mask: Vec<bool> = load
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i < nodes && l < PTC_G0)
+            .collect();
+        let mut g = PTC_G0;
+        let mut total = iters_used;
+        // Switched evolution/relaxation: after each converged stage the
+        // stiffness shrinks in proportion to the true residual's
+        // progress, so the ramp crawls while the hard region is being
+        // crossed and accelerates once the iterate closes in on the
+        // solution. A failed stage restores its anchor and stiffens.
+        self.assemble_into(circuit, x, mode, gmin, None);
+        let mut fprev = inf_norm(&self.residual);
+        // See-saw bound: failed stages that never improve on the best
+        // true residual seen are counted; past PTC_MAX_STIFFENS the
+        // rescue yields to gmin stepping rather than thrash.
+        let mut fbest = fprev;
+        let mut stiffens = 0usize;
+        for _stage in 0..PTC_MAX_STAGES {
+            let anchor = x.to_vec();
+            let exit = {
+                let term = PtcTerm {
+                    g,
+                    anchor: &anchor,
+                    mask: &mask,
+                };
+                self.run_newton_loop(circuit, x, mode, gmin, Some(&term), true, true)
+            };
+            match exit {
+                Ok(LoopExit::Converged(it)) => {
+                    total += it;
+                    self.ptc_steps += 1;
+                    // The stage solved the *regularized* system; accept
+                    // as soon as the true system meets the same per-row
+                    // tolerances plain Newton stops at.
+                    self.assemble_into(circuit, x, mode, gmin, None);
+                    if self.converged(circuit) {
+                        return Ok(total);
+                    }
+                    let fnow = inf_norm(&self.residual);
+                    if fnow < fbest {
+                        fbest = fnow;
+                        stiffens = 0;
+                    }
+                    let ratio = if fprev > 0.0 { fnow / fprev } else { 0.1 };
+                    g *= ratio.clamp(1e-2, 1e-1);
+                    fprev = fnow;
+                }
+                Ok(LoopExit::Stalled(it)) => {
+                    total += it;
+                    x.copy_from_slice(&anchor);
+                    stiffens += 1;
+                    if g >= 1.0 || stiffens > PTC_MAX_STIFFENS {
+                        break;
+                    }
+                    g = (g * 1e2).min(1.0);
+                }
+                Ok(LoopExit::Exhausted) => {
+                    total += self.opts.max_iter;
+                    x.copy_from_slice(&anchor);
+                    stiffens += 1;
+                    if g >= 1.0 || stiffens > PTC_MAX_STIFFENS {
+                        break;
+                    }
+                    g = (g * 1e2).min(1.0);
+                }
+                Err(CircuitError::Cancelled) => return Err(CircuitError::Cancelled),
+                Err(CircuitError::SingularSystem(_)) => {
+                    // A stage stiff enough to go singular is abandoned,
+                    // not fatal: restore and stiffen like any failure.
+                    x.copy_from_slice(&anchor);
+                    stiffens += 1;
+                    if g >= 1.0 || stiffens > PTC_MAX_STIFFENS {
+                        break;
+                    }
+                    g = (g * 1e2).min(1.0);
+                }
+                Err(e) => return Err(e),
+            }
         }
         Err(CircuitError::NoConvergence {
-            iterations: max_iter,
-            residual: fnorm,
+            iterations: total,
+            residual: inf_norm(&self.residual),
+            report: ConvergenceReport::default(),
         })
     }
 
@@ -708,7 +1519,7 @@ impl NewtonEngine {
             return Ok(());
         }
         let x0 = vec![0.0; n];
-        self.assemble_into(circuit, &x0, &AnalysisMode::Dc, 0.0);
+        self.assemble_into(circuit, &x0, &AnalysisMode::Dc, 0.0, None);
         let cache = self.caches[self.active].as_mut().expect("assembled above");
         let rank = structural_rank(cache.asm.matrix().expect("assembly finished"));
         if rank.is_full() {

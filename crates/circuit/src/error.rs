@@ -1,5 +1,6 @@
 //! Error type of the circuit simulator.
 
+use crate::engine::ConvergenceReport;
 use std::fmt;
 
 /// Error returned by circuit analyses.
@@ -11,6 +12,9 @@ pub enum CircuitError {
         iterations: usize,
         /// Final residual infinity norm.
         residual: f64,
+        /// Post-mortem of the failed solve: worst-residual unknown by
+        /// name and the strategy ladder that was exhausted.
+        report: ConvergenceReport,
     },
     /// The MNA matrix was singular (floating node, short loop of ideal
     /// sources, …).
@@ -64,6 +68,9 @@ pub enum CircuitError {
         t: f64,
         /// The step size that could not be reduced further, seconds.
         dt: f64,
+        /// Post-mortem of the final failed Newton solve: worst unknown
+        /// by name and the last strategy tried before giving up.
+        report: ConvergenceReport,
     },
 }
 
@@ -73,9 +80,11 @@ impl fmt::Display for CircuitError {
             CircuitError::NoConvergence {
                 iterations,
                 residual,
+                report,
             } => write!(
                 f,
-                "newton failed to converge after {iterations} iterations (residual {residual:.3e})"
+                "newton failed to converge after {iterations} iterations \
+                 (residual {residual:.3e}); {report}"
             ),
             CircuitError::SingularSystem(msg) => write!(f, "singular mna system: {msg}"),
             CircuitError::InvalidAnalysis(msg) => write!(f, "invalid analysis: {msg}"),
@@ -125,10 +134,11 @@ impl fmt::Display for CircuitError {
                     "analysis cancelled by a cooperative cancellation request"
                 )
             }
-            CircuitError::TimestepTooSmall { t, dt } => write!(
+            CircuitError::TimestepTooSmall { t, dt, report } => write!(
                 f,
                 "adaptive transient gave up at t = {t:.6e} s with step {dt:.3e} s \
-                 (dt_min or the rejection budget was reached and the step still failed)"
+                 (dt_min or the rejection budget was reached and the step still failed); \
+                 last solve: {report}"
             ),
         }
     }
@@ -145,10 +155,60 @@ mod tests {
         let e = CircuitError::NoConvergence {
             iterations: 10,
             residual: 1e-3,
+            report: ConvergenceReport::default(),
         };
         assert!(e.to_string().contains("10"));
         let s = CircuitError::SingularSystem("pivot 0".into());
         assert!(s.to_string().contains("pivot 0"));
+    }
+
+    #[test]
+    fn no_convergence_renders_report_exactly() {
+        use crate::engine::NewtonStrategy;
+        let e = CircuitError::NoConvergence {
+            iterations: 120,
+            residual: 2.5e-4,
+            report: ConvergenceReport {
+                strategy: NewtonStrategy::Ptc,
+                iterations: 120,
+                residual: 2.5e-4,
+                worst_unknown: "mid".into(),
+                limiter_clamps: 3,
+                armijo_backtracks: 17,
+                ptc_steps: 2,
+            },
+        };
+        assert_eq!(
+            e.to_string(),
+            "newton failed to converge after 120 iterations (residual 2.500e-4); \
+             worst unknown mid (|F| = 2.500e-4), strategies tried: \
+             newton → voltage limiting → armijo damping → pseudo-transient"
+        );
+    }
+
+    #[test]
+    fn timestep_too_small_renders_report_exactly() {
+        use crate::engine::NewtonStrategy;
+        let e = CircuitError::TimestepTooSmall {
+            t: 1.23e-10,
+            dt: 1e-15,
+            report: ConvergenceReport {
+                strategy: NewtonStrategy::Damped,
+                iterations: 120,
+                residual: 4.2e-9,
+                worst_unknown: "i(VIN)".into(),
+                limiter_clamps: 0,
+                armijo_backtracks: 5,
+                ptc_steps: 0,
+            },
+        };
+        assert_eq!(
+            e.to_string(),
+            "adaptive transient gave up at t = 1.230000e-10 s with step 1.000e-15 s \
+             (dt_min or the rejection budget was reached and the step still failed); \
+             last solve: worst unknown i(VIN) (|F| = 4.200e-9), strategies tried: \
+             newton → armijo damping"
+        );
     }
 
     #[test]

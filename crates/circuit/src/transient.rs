@@ -274,6 +274,16 @@ pub struct TransientStats {
     ///
     /// [`NewtonOptions::bypass`]: crate::engine::NewtonOptions
     pub device_bypasses: u64,
+    /// Newton steps scaled down by per-device voltage limiting.
+    pub limiter_clamps: u64,
+    /// Armijo line-search backtracks (step halvings actually taken).
+    pub armijo_backtracks: u64,
+    /// Pseudo-transient continuation stages that converged.
+    pub ptc_steps: u64,
+    /// Backward-Euler sub-steps taken by the fixed-grid rescue: grid
+    /// intervals whose one-shot step system had no reachable solution
+    /// were split internally (the output grid is unchanged).
+    pub substeps: u64,
     /// Times the BDF2 history was discarded and the method restarted
     /// from backward Euler (after a Newton failure).
     pub bdf2_restarts: usize,
@@ -291,6 +301,9 @@ impl TransientStats {
         self.columns_total = delta.columns_total;
         self.device_evals = delta.device_evals;
         self.device_bypasses = delta.device_bypasses;
+        self.limiter_clamps = delta.limiter_clamps;
+        self.armijo_backtracks = delta.armijo_backtracks;
+        self.ptc_steps = delta.ptc_steps;
     }
 }
 
@@ -436,6 +449,60 @@ pub fn solve_transient_fixed(
 /// `observer`, when present, sees every accepted `(t, x)` point in
 /// order (including the initial state) before the run completes; the
 /// engine's cancellation flag is additionally polled once per step.
+/// Maximum halvings of one fixed-grid interval before the rescue gives
+/// up: `2^6 = 64` sub-steps, matching the dt reduction an adaptive run
+/// would try before declaring [`CircuitError::TimestepTooSmall`].
+const FIXED_SUBSTEP_DEPTH: usize = 6;
+
+/// Solves one fixed-grid interval `[t0, t1]` by backward Euler,
+/// recursively halving the interval when the step system cannot be
+/// converged (see the call site in [`transient_fixed_core`] for why a
+/// solution may not exist at the full `h`). `iterations` accumulates
+/// Newton iterations across every attempt; `substeps` counts the extra
+/// internal steps taken beyond the one the grid asked for.
+///
+/// # Errors
+///
+/// The deepest [`CircuitError::NoConvergence`] (still carrying its
+/// [`crate::engine::ConvergenceReport`]) when even the smallest
+/// sub-interval fails; any other engine error is propagated untouched.
+#[allow(clippy::too_many_arguments)]
+fn fixed_substep(
+    engine: &mut NewtonEngine,
+    circuit: &Circuit,
+    x: &[f64],
+    t0: f64,
+    t1: f64,
+    depth: usize,
+    iterations: &mut usize,
+    substeps: &mut u64,
+) -> Result<Vec<f64>, CircuitError> {
+    let stamp = TransientStamp::backward_euler(t1, t1 - t0, x);
+    match engine.newton(circuit, x, &AnalysisMode::Transient(stamp), 0.0) {
+        Ok((nx, it)) => {
+            *iterations += it;
+            Ok(nx)
+        }
+        Err(CircuitError::NoConvergence { iterations: it, .. }) if depth > 0 => {
+            *iterations += it;
+            let tm = 0.5 * (t0 + t1);
+            let xm = fixed_substep(engine, circuit, x, t0, tm, depth - 1, iterations, substeps)?;
+            *substeps += 1;
+            fixed_substep(
+                engine,
+                circuit,
+                &xm,
+                tm,
+                t1,
+                depth - 1,
+                iterations,
+                substeps,
+            )
+        }
+        Err(e) => Err(e),
+    }
+}
+
 pub(crate) fn transient_fixed_core(
     engine: &mut NewtonEngine,
     circuit: &Circuit,
@@ -489,11 +556,58 @@ pub(crate) fn transient_fixed_core(
             (Some((prev2, g)), TimeIntegrator::Bdf2) => TransientStamp::bdf2(t, h, *g, &x, prev2),
             _ => TransientStamp::backward_euler(t, h, &x),
         };
-        let (nx, it) = engine.newton(circuit, &x, &AnalysisMode::Transient(stamp), 0.0)?;
+        let mut substepped = false;
+        let (nx, it) = match engine.newton(circuit, &x, &AnalysisMode::Transient(stamp), 0.0) {
+            Ok(r) => r,
+            // Hard-switching steps over purely algebraic internal nodes
+            // can fold the one-shot step system so that no solution is
+            // reachable at this `h` — no Newton variant can converge to
+            // a point that does not exist. Splitting the interval
+            // restores solvability while keeping the output grid (and
+            // every already-produced sample) untouched; the rescue only
+            // runs where the historical behavior was a hard error.
+            Err(CircuitError::NoConvergence { iterations, .. }) => {
+                let mut its = iterations;
+                let tm = 0.5 * (t_prev + t);
+                let depth = FIXED_SUBSTEP_DEPTH - 1;
+                let xm = fixed_substep(
+                    engine,
+                    circuit,
+                    &x,
+                    t_prev,
+                    tm,
+                    depth,
+                    &mut its,
+                    &mut stats.substeps,
+                )?;
+                stats.substeps += 1;
+                let nx = fixed_substep(
+                    engine,
+                    circuit,
+                    &xm,
+                    tm,
+                    t,
+                    depth,
+                    &mut its,
+                    &mut stats.substeps,
+                )?;
+                substepped = true;
+                (nx, its)
+            }
+            Err(e) => return Err(e),
+        };
         stats.newton_iterations += it;
         stats.accepted += 1;
         if options.integrator == TimeIntegrator::Bdf2 {
-            bdf2_hist = Some((x.clone(), h));
+            // Sub-stepping leaves `x` one (internal) BE step away from
+            // `nx`, so the two-point grid history is no longer valid:
+            // restart BDF2 from backward Euler, as after any rescue.
+            bdf2_hist = if substepped {
+                stats.bdf2_restarts += 1;
+                None
+            } else {
+                Some((x.clone(), h))
+            };
         }
         x = nx;
         t_prev = t;
@@ -647,7 +761,11 @@ pub(crate) fn transient_adaptive_core(
                     stats.rejected_lte += 1;
                     rejects_in_a_row += 1;
                     if dt <= dt_min * (1.0 + 1e-9) {
-                        return Err(CircuitError::TimestepTooSmall { t: t_n, dt });
+                        return Err(CircuitError::TimestepTooSmall {
+                            t: t_n,
+                            dt,
+                            report: engine.last_report(circuit).unwrap_or_default(),
+                        });
                     }
                     // A non-finite norm (overflowing LTE) gives no usable
                     // magnitude — take the maximum shrink instead.
@@ -663,7 +781,11 @@ pub(crate) fn transient_adaptive_core(
                 stats.rejected_newton += 1;
                 rejects_in_a_row += 1;
                 if dt <= dt_min * (1.0 + 1e-9) {
-                    return Err(CircuitError::TimestepTooSmall { t: t_n, dt });
+                    return Err(CircuitError::TimestepTooSmall {
+                        t: t_n,
+                        dt,
+                        report: engine.last_report(circuit).unwrap_or_default(),
+                    });
                 }
                 dt = (dt * 0.25).max(dt_min);
                 // Stale history after a hard failure: restart from BE.
@@ -678,7 +800,11 @@ pub(crate) fn transient_adaptive_core(
         }
         if rejects_in_a_row > options.max_rejects {
             let t_n = hist.last().expect("non-empty").0;
-            return Err(CircuitError::TimestepTooSmall { t: t_n, dt });
+            return Err(CircuitError::TimestepTooSmall {
+                t: t_n,
+                dt,
+                report: engine.last_report(circuit).unwrap_or_default(),
+            });
         }
     }
     stats.absorb_counters(engine.counters().delta_since(&base_counters));

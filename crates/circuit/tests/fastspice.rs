@@ -229,26 +229,23 @@ proptest! {
     }
 }
 
-/// Known limitation, pinned: damped Newton limit-cycles on
+/// Regression guard for the historical damped-Newton limit cycle on
 /// hard-switching series stacks.
 ///
 /// Two NAND-wired inverters (both NAND2 inputs tied, so the n-side is
-/// a two-transistor series stack whose internal node carries no
+/// a two-transistor series stack whose internal node carries almost no
 /// capacitance) driven by a 40 ps edge under fixed 10 ps backward-Euler
 /// steps — the gain of the first stage turns the 0.225 V/step input
-/// ramp into a ≥ 0.4 V/step swing at the internal nodes, and the
-/// residual stalls around 1e-8…1e-9 A (three decades above
-/// `node_current_tol`) while the line search oscillates between two
-/// points instead of converging.
-///
-/// The queued Newton-robustness pass (pseudo-transient continuation /
-/// trust-region damping on the per-step solves — see ROADMAP.md) is
-/// expected to make this converge; un-`#[ignore]` the test when it
-/// lands. Until then the standard-cell library sidesteps the cycle by
-/// giving every stack node an explicit junction parasitic (`cm` in the
-/// `nand2`/`nor2` cells), which this deck deliberately omits.
+/// ramp into a ≥ 0.4 V/step swing at the internal nodes, and the plain
+/// line search used to oscillate between two points with the residual
+/// stalled around 1e-8…1e-9 A (three decades above
+/// `node_current_tol`). The convergence-robustness ladder (voltage
+/// limiting → Armijo damping with the bitwise cycle detector →
+/// pseudo-transient continuation on the weakly-loaded stack node) now
+/// carries these steps to convergence; the standard-cell library no
+/// longer needs the `cm` workaround parasitic this deck always
+/// omitted.
 #[test]
-#[ignore = "damped-Newton limit cycle on capacitor-free series stacks; queued robustness pass"]
 fn nand_stack_limit_cycle_regression() {
     let deck = cntfet_circuit::deck::Deck::parse(
         "nand-wired inverter chain, no stack parasitic

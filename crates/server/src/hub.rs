@@ -94,6 +94,9 @@ struct Table {
     retired: VecDeque<u64>,
     /// Jobs completed over the server's lifetime, by final state.
     finished: [u64; 3], // done, failed, cancelled
+    /// Lifetime convergence-aid totals summed over successful runs:
+    /// limiter clamps, Armijo backtracks, PTC stages.
+    convergence: [u64; 3],
 }
 
 impl Table {
@@ -341,6 +344,7 @@ impl Hub {
         let queued = table.queue.len() as u64;
         let running = table.running as u64;
         let [done, failed, cancelled] = table.finished;
+        let [limiter_clamps, armijo_backtracks, ptc_steps] = table.convergence;
         drop(table);
         let models = self.models.stats();
         let engines = self.engines.stats();
@@ -357,6 +361,14 @@ impl Hub {
                 ]),
             ),
             ("workers", Json::num(self.workers as u64)),
+            (
+                "convergence",
+                Json::obj(vec![
+                    ("limiter_clamps", Json::num(limiter_clamps)),
+                    ("armijo_backtracks", Json::num(armijo_backtracks)),
+                    ("ptc_steps", Json::num(ptc_steps)),
+                ]),
+            ),
             (
                 "caches",
                 Json::obj(vec![
@@ -433,6 +445,21 @@ impl Hub {
                 return None;
             }
             table = self.wait_state(table);
+        }
+    }
+
+    /// Folds a finished run's convergence-aid counters into the
+    /// lifetime totals reported by the `stats` op.
+    fn record_convergence(&self, run: &DeckRun) {
+        let mut totals = [0u64; 3];
+        for report in &run.reports {
+            totals[0] += report.stats.limiter_clamps;
+            totals[1] += report.stats.armijo_backtracks;
+            totals[2] += report.stats.ptc_steps;
+        }
+        let mut table = self.lock();
+        for (slot, add) in table.convergence.iter_mut().zip(totals) {
+            *slot += add;
         }
     }
 
@@ -553,6 +580,9 @@ fn card_stats_json(stats: &CardStats) -> Json {
         ("columns_total", Json::num(stats.columns_total)),
         ("device_evals", Json::num(stats.device_evals)),
         ("device_bypasses", Json::num(stats.device_bypasses)),
+        ("limiter_clamps", Json::num(stats.limiter_clamps)),
+        ("armijo_backtracks", Json::num(stats.armijo_backtracks)),
+        ("ptc_steps", Json::num(stats.ptc_steps)),
     ])
 }
 
@@ -609,11 +639,14 @@ pub fn run_job(hub: &Hub, id: u64, deck_text: &str, cancel: &Arc<AtomicBool>) {
         hub.push_event(id, render_event(&event));
     });
     match outcome {
-        Ok(run) => hub.settle(
-            id,
-            JobState::Done,
-            SettleOutcome::Result(render_result(&run)),
-        ),
+        Ok(run) => {
+            hub.record_convergence(&run);
+            hub.settle(
+                id,
+                JobState::Done,
+                SettleOutcome::Result(render_result(&run)),
+            );
+        }
         Err(_) if cancel.load(Ordering::SeqCst) => {
             hub.settle(id, JobState::Cancelled, SettleOutcome::Cancelled);
         }

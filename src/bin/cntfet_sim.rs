@@ -28,7 +28,8 @@ const USAGE: &str =
 
   --csv             print analysis reports as CSV instead of aligned tables
   --stats           print per-card solver statistics (factorizations full vs
-                    partial, columns recomputed, device evals vs bypasses)
+                    partial, columns recomputed, device evals vs bypasses,
+                    limiter clamps, armijo backtracks, ptc stages)
   --check           parse, validate, lint and lower the deck but run nothing
   --lint            run the static deck analyzer and print its findings
 

@@ -22,15 +22,18 @@ C1 out 0 1n
 #[test]
 fn option_card_parses_every_knob() {
     let d = deck(&format!(
-        "knobs\n.option reltol=1e-2 abstol=2u dtmin=1p\n.option bypass=1 bypassvtol=5e-5 solver=sparse\n{RC_TAIL}"
+        "knobs\n.option reltol=1e-2 abstol=2u dtmin=1p\n.option bypass=1 bypassvtol=5e-5 solver=sparse\n.option limiting=0 armijo_c1=1e-3 ptc=off\n{RC_TAIL}"
     ));
     let entries: Vec<&OptionEntry> = d.options.iter().flat_map(|c| &c.entries).collect();
-    assert_eq!(entries.len(), 6);
+    assert_eq!(entries.len(), 9);
 
     let newton = d.newton_options();
     assert!(newton.bypass);
     assert_eq!(newton.bypass_vtol, 5e-5);
     assert_eq!(newton.solver, SolverKind::Sparse);
+    assert!(!newton.limiting);
+    assert_eq!(newton.armijo_c1, 1e-3);
+    assert!(!newton.ptc);
 
     let tran = d.transient_options();
     assert_eq!(tran.rel_tol, 1e-2);
@@ -81,6 +84,10 @@ fn unknown_keys_and_bad_values_are_rejected_with_location() {
         (".option reltol=-1", "reltol"),
         (".option bypass=maybe", "bypass"),
         (".option solver=cholesky", "solver"),
+        (".option limiting=maybe", "limiting"),
+        (".option armijo_c1=1.5", "armijo_c1"),
+        (".option armijo_c1=0", "armijo_c1"),
+        (".option ptc=2", "ptc"),
         (".option", ".option"),
     ] {
         let text = format!("bad\n{body}\n{RC_TAIL}");

@@ -1,0 +1,81 @@
+//! The convergence-torture corpus: every deck under
+//! `examples/decks/torture/` declares itself `expected-convergent` in
+//! a header comment and must (a) lint clean under deny-warnings and
+//! (b) run to completion. The decks are built to *fail plain Newton*
+//! — bare algebraic stack nodes driven with supply-sized strides per
+//! timestep — so a regression in the engine's convergence ladder
+//! (voltage limiting → Armijo damping → pseudo-transient / gmin
+//! stepping) shows up here as a hard non-convergence failure, not as
+//! a silent accuracy drift.
+
+use cntfet::circuit::deck::{Deck, LintOptions};
+use std::path::{Path, PathBuf};
+
+const MARKER: &str = "* torture: expected-convergent";
+
+fn torture_decks() -> Vec<(PathBuf, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/decks/torture");
+    let mut decks: Vec<PathBuf> = std::fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("{}: {e}", root.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "cir"))
+        .collect();
+    decks.sort();
+    assert!(!decks.is_empty(), "no decks under {}", root.display());
+    decks
+        .into_iter()
+        .map(|p| {
+            let text =
+                std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (p, text)
+        })
+        .collect()
+}
+
+#[test]
+fn torture_decks_declare_their_contract() {
+    for (path, text) in torture_decks() {
+        assert!(
+            text.lines().any(|l| l.trim() == MARKER),
+            "{}: missing the `{MARKER}` header — the corpus is \
+             executable documentation and every deck must state its \
+             expected outcome",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn torture_decks_lint_clean_under_deny_warnings() {
+    let strict = LintOptions {
+        deny_warnings: true,
+        ..LintOptions::default()
+    };
+    for (path, text) in torture_decks() {
+        let deck = Deck::parse(&text).unwrap_or_else(|e| panic!("{}:\n{e}", path.display()));
+        let report = deck.lint(&strict);
+        assert!(
+            report.is_clean(),
+            "{} must lint clean:\n{report}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn torture_decks_converge() {
+    for (path, text) in torture_decks() {
+        let deck = Deck::parse(&text).unwrap_or_else(|e| panic!("{}:\n{e}", path.display()));
+        let run = deck
+            .run()
+            .unwrap_or_else(|e| panic!("{} must converge:\n{e}", path.display()));
+        for report in &run.reports {
+            assert!(
+                !report.rows.is_empty(),
+                "{}: card '{}' produced no rows",
+                path.display(),
+                report.label
+            );
+        }
+    }
+}
